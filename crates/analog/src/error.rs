@@ -1,0 +1,97 @@
+//! Error types for the analog simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or simulating a netlist.
+///
+/// ```
+/// use resipe_analog::AnalogError;
+/// let err = AnalogError::SingularMatrix { step: 3 };
+/// assert!(err.to_string().contains("singular"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalogError {
+    /// A referenced node does not exist in the netlist.
+    UnknownNode {
+        /// The offending node index.
+        index: usize,
+        /// Number of nodes actually present.
+        node_count: usize,
+    },
+    /// An element value was invalid (negative capacitance, zero-step, ...).
+    InvalidElement {
+        /// Description of the element and why it was rejected.
+        reason: String,
+    },
+    /// The transient configuration was invalid.
+    InvalidConfig {
+        /// Description of the invalid field.
+        reason: String,
+    },
+    /// The MNA system matrix became singular during a solve.
+    SingularMatrix {
+        /// The time-step index at which factorization failed.
+        step: usize,
+    },
+    /// A requested waveform was not captured during the simulation.
+    WaveformNotCaptured {
+        /// The node whose waveform was requested.
+        index: usize,
+    },
+}
+
+impl fmt::Display for AnalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalogError::UnknownNode { index, node_count } => {
+                write!(f, "unknown node {index}: netlist has {node_count} node(s)")
+            }
+            AnalogError::InvalidElement { reason } => {
+                write!(f, "invalid element: {reason}")
+            }
+            AnalogError::InvalidConfig { reason } => {
+                write!(f, "invalid transient configuration: {reason}")
+            }
+            AnalogError::SingularMatrix { step } => {
+                write!(f, "singular MNA matrix at time step {step}")
+            }
+            AnalogError::WaveformNotCaptured { index } => {
+                write!(f, "waveform for node {index} was not captured")
+            }
+        }
+    }
+}
+
+impl Error for AnalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = AnalogError::UnknownNode {
+            index: 7,
+            node_count: 3,
+        };
+        assert_eq!(e.to_string(), "unknown node 7: netlist has 3 node(s)");
+        let e = AnalogError::InvalidElement {
+            reason: "negative capacitance".into(),
+        };
+        assert!(e.to_string().contains("negative capacitance"));
+        let e = AnalogError::InvalidConfig {
+            reason: "zero step".into(),
+        };
+        assert!(e.to_string().contains("zero step"));
+        let e = AnalogError::WaveformNotCaptured { index: 2 };
+        assert!(e.to_string().contains("node 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnalogError>();
+    }
+}

@@ -1,0 +1,749 @@
+//! Fixed-step backward-Euler transient analysis.
+//!
+//! The solver assembles the modified-nodal-analysis (MNA) system
+//! `[G  B; Bᵀ 0] · [v; i] = [rhs; e]` each step, with capacitors replaced by
+//! their backward-Euler companion models (a conductance `C/h` in parallel
+//! with a history current source). Voltage sources contribute branch-current
+//! unknowns, whose solved values also give per-source delivered energy — the
+//! basis of the power numbers reported for the analog path.
+//!
+//! Behavioural elements (sample-and-hold, comparators) are expressed as
+//! [`Controller`]s: callbacks invoked before every step that observe the
+//! previous node voltages and may retune netlist elements (switch states,
+//! source levels). The solver refactors its LU only when a controller
+//! actually changed something, so pure-RC stretches run at one
+//! back/forward-substitution per step.
+
+use crate::error::AnalogError;
+use crate::linalg::{LuFactors, Matrix};
+use crate::netlist::{Netlist, Node};
+use crate::units::{Joules, Seconds, Volts};
+use crate::waveform::Waveform;
+
+/// The numerical integration scheme for capacitor companion models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Integrator {
+    /// Backward Euler: L-stable, first order; damps ringing — the safe
+    /// default for switched RC networks.
+    #[default]
+    BackwardEuler,
+    /// Trapezoidal rule: A-stable, second order; more accurate on smooth
+    /// charging curves, used here to cross-check backward-Euler results.
+    Trapezoidal,
+}
+
+/// Configuration of a transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientConfig {
+    stop: Seconds,
+    step: Seconds,
+    capture_every: usize,
+    integrator: Integrator,
+}
+
+impl TransientConfig {
+    /// Default integration step when none is given: 10 ps, fine enough for
+    /// the paper's 1 ns computation stage.
+    pub const DEFAULT_STEP: Seconds = Seconds(10e-12);
+
+    /// Creates a configuration running from 0 to `stop` with the default
+    /// step and full capture.
+    pub fn new(stop: Seconds) -> TransientConfig {
+        TransientConfig {
+            stop,
+            step: Self::DEFAULT_STEP,
+            capture_every: 1,
+            integrator: Integrator::default(),
+        }
+    }
+
+    /// Selects the integration scheme.
+    pub fn with_integrator(mut self, integrator: Integrator) -> TransientConfig {
+        self.integrator = integrator;
+        self
+    }
+
+    /// The configured integration scheme.
+    pub fn integrator(&self) -> Integrator {
+        self.integrator
+    }
+
+    /// Sets the integration step.
+    pub fn with_step(mut self, step: Seconds) -> TransientConfig {
+        self.step = step;
+        self
+    }
+
+    /// Captures only every `n`-th step into waveforms (1 = every step).
+    /// Reduces memory for long runs; controllers still see every step.
+    pub fn with_capture_every(mut self, n: usize) -> TransientConfig {
+        self.capture_every = n;
+        self
+    }
+
+    /// The configured stop time.
+    pub fn stop(&self) -> Seconds {
+        self.stop
+    }
+
+    /// The configured integration step.
+    pub fn step(&self) -> Seconds {
+        self.step
+    }
+
+    fn validate(&self) -> Result<(), AnalogError> {
+        if !(self.stop.0 > 0.0) || !self.stop.0.is_finite() {
+            return Err(AnalogError::InvalidConfig {
+                reason: format!("stop time must be positive and finite, got {}", self.stop),
+            });
+        }
+        if !(self.step.0 > 0.0) || !self.step.0.is_finite() {
+            return Err(AnalogError::InvalidConfig {
+                reason: format!("step must be positive and finite, got {}", self.step),
+            });
+        }
+        if self.step.0 > self.stop.0 {
+            return Err(AnalogError::InvalidConfig {
+                reason: "step larger than stop time".to_owned(),
+            });
+        }
+        if self.capture_every == 0 {
+            return Err(AnalogError::InvalidConfig {
+                reason: "capture_every must be at least 1".to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Read-only view of the circuit state handed to controllers.
+#[derive(Debug)]
+pub struct StepView<'a> {
+    /// The start time of the step about to be integrated.
+    pub time: Seconds,
+    /// Node voltages at `time` (index 0 = ground = 0 V).
+    voltages: &'a [f64],
+}
+
+impl StepView<'_> {
+    /// Voltage of `node` at the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to the simulated netlist.
+    pub fn voltage(&self, node: Node) -> Volts {
+        Volts(self.voltages[node.index()])
+    }
+}
+
+/// A behavioural element: observes the circuit every step and may retune it.
+///
+/// Implemented for closures `FnMut(&StepView, &mut Netlist) -> bool`; the
+/// return value reports whether the netlist was changed (so the solver knows
+/// to refactor).
+pub trait Controller {
+    /// Called before integrating the step that starts at `view.time`.
+    /// Returns `true` if the netlist was modified.
+    fn on_step(&mut self, view: &StepView<'_>, net: &mut Netlist) -> bool;
+}
+
+impl<F> Controller for F
+where
+    F: FnMut(&StepView<'_>, &mut Netlist) -> bool,
+{
+    fn on_step(&mut self, view: &StepView<'_>, net: &mut Netlist) -> bool {
+        self(view, net)
+    }
+}
+
+/// A no-op controller for purely linear runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoController;
+
+impl Controller for NoController {
+    fn on_step(&mut self, _view: &StepView<'_>, _net: &mut Netlist) -> bool {
+        false
+    }
+}
+
+/// Result of a transient run: per-node waveforms plus per-source energy.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    waveforms: Vec<Waveform>,
+    source_energy: Vec<Joules>,
+    final_voltages: Vec<f64>,
+    steps: usize,
+}
+
+impl TransientResult {
+    /// The captured waveform of `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::WaveformNotCaptured`] if the node index is out
+    /// of range for the simulated netlist.
+    pub fn waveform(&self, node: Node) -> Result<&Waveform, AnalogError> {
+        self.waveforms
+            .get(node.index())
+            .ok_or(AnalogError::WaveformNotCaptured {
+                index: node.index(),
+            })
+    }
+
+    /// Final voltage of `node` at the stop time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::UnknownNode`] if the node index is out of
+    /// range.
+    pub fn final_voltage(&self, node: Node) -> Result<Volts, AnalogError> {
+        self.final_voltages
+            .get(node.index())
+            .map(|&v| Volts(v))
+            .ok_or(AnalogError::UnknownNode {
+                index: node.index(),
+                node_count: self.final_voltages.len(),
+            })
+    }
+
+    /// Total energy delivered by the `i`-th voltage source (in insertion
+    /// order). Negative values mean the source absorbed energy.
+    pub fn source_energy(&self, source_index: usize) -> Option<Joules> {
+        self.source_energy.get(source_index).copied()
+    }
+
+    /// Sum of energy delivered by all voltage sources.
+    pub fn total_source_energy(&self) -> Joules {
+        self.source_energy.iter().copied().sum()
+    }
+
+    /// Number of integration steps taken.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+/// A transient simulation of one netlist.
+///
+/// The netlist is cloned at construction; controllers mutate the internal
+/// copy, leaving the caller's netlist untouched.
+#[derive(Debug, Clone)]
+pub struct Transient {
+    net: Netlist,
+    cfg: TransientConfig,
+}
+
+impl Transient {
+    /// Prepares a transient run of `net` under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidConfig`] for nonsensical stop/step
+    /// values.
+    pub fn new(net: &Netlist, cfg: TransientConfig) -> Result<Transient, AnalogError> {
+        cfg.validate()?;
+        Ok(Transient {
+            net: net.clone(),
+            cfg,
+        })
+    }
+
+    /// Runs the simulation with no behavioural controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::SingularMatrix`] if the MNA system cannot be
+    /// factored (e.g. a floating node with no DC path to ground).
+    pub fn run(self) -> Result<TransientResult, AnalogError> {
+        self.run_with(NoController)
+    }
+
+    /// Runs the simulation, invoking `controller` before every step.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Transient::run`].
+    pub fn run_with<C: Controller>(
+        mut self,
+        mut controller: C,
+    ) -> Result<TransientResult, AnalogError> {
+        let n_nodes = self.net.node_count();
+        let n_unknowns = (n_nodes - 1) + self.net.vsource_count();
+        let h = self.cfg.step.0;
+        let n_steps = (self.cfg.stop.0 / h).round() as usize;
+
+        let mut voltages = vec![0.0; n_nodes]; // index 0 = ground
+                                               // Capacitor branch voltage history, seeded from initial conditions.
+        let mut cap_history: Vec<f64> = self.net.capacitors.iter().map(|c| c.initial.0).collect();
+        // Capacitor branch current history (trapezoidal rule only).
+        let mut cap_current: Vec<f64> = vec![0.0; self.net.capacitors.len()];
+        // Apply consistent initial node voltages for grounded capacitors so
+        // the first captured sample reflects the IC.
+        for cap in &self.net.capacitors {
+            if cap.b.is_ground() && cap.initial.0 != 0.0 {
+                voltages[cap.a.index()] = cap.initial.0;
+            }
+        }
+
+        let mut waveforms = vec![Waveform::new(); n_nodes];
+        let mut source_energy = vec![0.0; self.net.vsource_count()];
+
+        let mut matrix = Matrix::zeros(n_unknowns.max(1), n_unknowns.max(1));
+        let mut rhs = vec![0.0; n_unknowns];
+        let mut factors: Option<LuFactors> = None;
+
+        // Capture t = 0.
+        for (node, wf) in waveforms.iter_mut().enumerate() {
+            wf.push(Seconds(0.0), Volts(voltages[node]));
+        }
+
+        for step in 0..n_steps {
+            let t0 = Seconds(step as f64 * h);
+            let view = StepView {
+                time: t0,
+                voltages: &voltages,
+            };
+            let dirty = controller.on_step(&view, &mut self.net);
+            if dirty {
+                factors = None;
+            }
+            // Trapezoidal runs use one backward-Euler startup step to
+            // establish a consistent capacitor-current history; the
+            // companion conductance changes after it, forcing a refactor.
+            let integrator = if step == 0 {
+                Integrator::BackwardEuler
+            } else {
+                self.cfg.integrator
+            };
+            if step == 1 && self.cfg.integrator == Integrator::Trapezoidal {
+                factors = None;
+            }
+
+            if n_unknowns == 0 {
+                continue;
+            }
+
+            // (Re)assemble. Conductance stamps only change when the netlist
+            // changed, but the RHS changes every step (capacitor history),
+            // so we rebuild RHS always and the matrix only when dirty.
+            if factors.is_none() {
+                matrix.clear();
+                self.stamp_matrix(&mut matrix, h, integrator);
+                factors =
+                    Some(LuFactors::factor(&matrix).ok_or(AnalogError::SingularMatrix { step })?);
+            }
+            rhs.fill(0.0);
+            self.stamp_rhs(&mut rhs, h, &cap_history, &cap_current, integrator);
+
+            let solution = factors.as_ref().expect("factored above").solve(&rhs);
+
+            // Unpack node voltages (index 0 stays ground).
+            voltages[1..n_nodes].copy_from_slice(&solution[..n_nodes - 1]);
+
+            // Update capacitor history from the new node voltages.
+            for (idx, cap) in self.net.capacitors.iter().enumerate() {
+                let v_new = voltages[cap.a.index()] - voltages[cap.b.index()];
+                cap_current[idx] = match integrator {
+                    // i_{n+1} = (C/h)(v_{n+1} − v_n)
+                    Integrator::BackwardEuler => cap.farads.0 / h * (v_new - cap_history[idx]),
+                    // i_{n+1} = (2C/h)(v_{n+1} − v_n) − i_n
+                    Integrator::Trapezoidal => {
+                        2.0 * cap.farads.0 / h * (v_new - cap_history[idx]) - cap_current[idx]
+                    }
+                };
+                cap_history[idx] = v_new;
+            }
+
+            // Accumulate per-source delivered energy: E += V · I · h. The
+            // MNA branch current is oriented from + terminal through the
+            // source, so delivered power is −V·I_branch.
+            for (k, vs) in self.net.vsources.iter().enumerate() {
+                let i_branch = solution[(n_nodes - 1) + k];
+                source_energy[k] += -vs.volts.0 * i_branch * h;
+            }
+
+            let t1 = Seconds((step + 1) as f64 * h);
+            if (step + 1) % self.cfg.capture_every == 0 || step + 1 == n_steps {
+                for (node, wf) in waveforms.iter_mut().enumerate() {
+                    wf.push(t1, Volts(voltages[node]));
+                }
+            }
+        }
+
+        Ok(TransientResult {
+            waveforms,
+            source_energy: source_energy.into_iter().map(Joules).collect(),
+            final_voltages: voltages,
+            steps: n_steps,
+        })
+    }
+
+    /// Stamps the conductance and incidence parts of the MNA matrix.
+    fn stamp_matrix(&self, m: &mut Matrix, h: f64, integrator: Integrator) {
+        let n_nodes = self.net.node_count();
+        let mut stamp_conductance = |a: Node, b: Node, g: f64| {
+            if !a.is_ground() {
+                m.stamp(a.index() - 1, a.index() - 1, g);
+            }
+            if !b.is_ground() {
+                m.stamp(b.index() - 1, b.index() - 1, g);
+            }
+            if !a.is_ground() && !b.is_ground() {
+                m.stamp(a.index() - 1, b.index() - 1, -g);
+                m.stamp(b.index() - 1, a.index() - 1, -g);
+            }
+        };
+
+        for r in &self.net.resistors {
+            stamp_conductance(r.a, r.b, 1.0 / r.ohms.0);
+        }
+        for sw in &self.net.switches {
+            stamp_conductance(sw.a, sw.b, 1.0 / sw.resistance().0);
+        }
+        let cap_factor = match integrator {
+            Integrator::BackwardEuler => 1.0,
+            Integrator::Trapezoidal => 2.0,
+        };
+        for c in &self.net.capacitors {
+            stamp_conductance(c.a, c.b, cap_factor * c.farads.0 / h);
+        }
+        for (k, vs) in self.net.vsources.iter().enumerate() {
+            let row = (n_nodes - 1) + k;
+            // Constraint: V(b) − V(a) = volts; branch current flows b→a
+            // inside the source.
+            if !vs.b.is_ground() {
+                m.stamp(row, vs.b.index() - 1, 1.0);
+                m.stamp(vs.b.index() - 1, row, 1.0);
+            }
+            if !vs.a.is_ground() {
+                m.stamp(row, vs.a.index() - 1, -1.0);
+                m.stamp(vs.a.index() - 1, row, -1.0);
+            }
+        }
+    }
+
+    /// Stamps the right-hand side: capacitor history and source values.
+    fn stamp_rhs(
+        &self,
+        rhs: &mut [f64],
+        h: f64,
+        cap_history: &[f64],
+        cap_current: &[f64],
+        integrator: Integrator,
+    ) {
+        let n_nodes = self.net.node_count();
+        for ((c, &v_prev), &i_prev) in self.net.capacitors.iter().zip(cap_history).zip(cap_current)
+        {
+            let i_eq = match integrator {
+                Integrator::BackwardEuler => c.farads.0 / h * v_prev,
+                Integrator::Trapezoidal => 2.0 * c.farads.0 / h * v_prev + i_prev,
+            };
+            if !c.a.is_ground() {
+                rhs[c.a.index() - 1] += i_eq;
+            }
+            if !c.b.is_ground() {
+                rhs[c.b.index() - 1] -= i_eq;
+            }
+        }
+        for i in &self.net.isources {
+            if !i.a.is_ground() {
+                rhs[i.a.index() - 1] -= i.amps.0;
+            }
+            if !i.b.is_ground() {
+                rhs[i.b.index() - 1] += i.amps.0;
+            }
+        }
+        for (k, vs) in self.net.vsources.iter().enumerate() {
+            rhs[(n_nodes - 1) + k] = vs.volts.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::SwitchState;
+    use crate::units::{Farads, Ohms};
+
+    /// RC charging: v(t) = V(1 − e^(−t/RC)).
+    #[test]
+    fn rc_charging_matches_closed_form() {
+        let mut net = Netlist::new();
+        let vdd = net.node("vdd");
+        let cap = net.node("cap");
+        net.voltage_source(Node::GROUND, vdd, Volts(1.0));
+        net.resistor(vdd, cap, Ohms(1e3));
+        net.capacitor(cap, Node::GROUND, Farads(1e-9));
+        // tau = 1 µs; simulate 3 tau.
+        let cfg = TransientConfig::new(Seconds(3e-6)).with_step(Seconds(1e-9));
+        let res = Transient::new(&net, cfg).unwrap().run().unwrap();
+        let wf = res.waveform(cap).unwrap();
+        for &t in &[0.5e-6, 1e-6, 2e-6, 3e-6] {
+            let expected = 1.0 - (-t / 1e-6_f64).exp();
+            let got = wf.sample(Seconds(t)).unwrap().0;
+            assert!(
+                (got - expected).abs() < 2e-3,
+                "t={t}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn voltage_divider_dc() {
+        let mut net = Netlist::new();
+        let vdd = net.node("vdd");
+        let mid = net.node("mid");
+        net.voltage_source(Node::GROUND, vdd, Volts(2.0));
+        net.resistor(vdd, mid, Ohms(1e3));
+        net.resistor(mid, Node::GROUND, Ohms(3e3));
+        let cfg = TransientConfig::new(Seconds(1e-6)).with_step(Seconds(1e-8));
+        let res = Transient::new(&net, cfg).unwrap().run().unwrap();
+        let v = res.final_voltage(mid).unwrap();
+        assert!((v.0 - 1.5).abs() < 1e-9, "divider voltage {v}");
+    }
+
+    #[test]
+    fn initial_condition_respected() {
+        let mut net = Netlist::new();
+        let cap = net.node("cap");
+        net.resistor(cap, Node::GROUND, Ohms(1e3));
+        net.capacitor_with_initial(cap, Node::GROUND, Farads(1e-9), Volts(1.0));
+        let cfg = TransientConfig::new(Seconds(2e-6)).with_step(Seconds(1e-9));
+        let res = Transient::new(&net, cfg).unwrap().run().unwrap();
+        let wf = res.waveform(cap).unwrap();
+        // Discharge: v(t) = e^(−t/τ), τ = 1 µs.
+        let got = wf.sample(Seconds(1e-6)).unwrap().0;
+        let expected = (-1.0_f64).exp();
+        assert!((got - expected).abs() < 2e-3, "got {got}");
+        assert!((wf.values()[0] - 1.0).abs() < 1e-12, "IC at t=0");
+    }
+
+    #[test]
+    fn switch_controller_gates_charging() {
+        let mut net = Netlist::new();
+        let vdd = net.node("vdd");
+        let cap = net.node("cap");
+        net.voltage_source(Node::GROUND, vdd, Volts(1.0));
+        let sw = net.switch(vdd, cap, Ohms(1e3), Ohms(1e15));
+        net.capacitor(cap, Node::GROUND, Farads(1e-9));
+        // Close the switch at t = 1 µs.
+        let mut closed = false;
+        let controller = move |view: &StepView<'_>, net: &mut Netlist| {
+            if !closed && view.time.0 >= 1e-6 {
+                net.set_switch(sw, SwitchState::Closed);
+                closed = true;
+                true
+            } else {
+                false
+            }
+        };
+        let cfg = TransientConfig::new(Seconds(3e-6)).with_step(Seconds(1e-9));
+        let res = Transient::new(&net, cfg)
+            .unwrap()
+            .run_with(controller)
+            .unwrap();
+        let wf = res.waveform(cap).unwrap();
+        // Before the switch closes the cap stays at ~0.
+        assert!(wf.sample(Seconds(0.9e-6)).unwrap().0.abs() < 1e-6);
+        // One tau after closing it reaches 1 − 1/e.
+        let got = wf.sample(Seconds(2e-6)).unwrap().0;
+        let expected = 1.0 - (-1.0_f64).exp();
+        assert!((got - expected).abs() < 3e-3, "got {got}");
+    }
+
+    #[test]
+    fn source_energy_matches_rc_theory() {
+        // Charging a capacitor through a resistor draws E = C·V² from the
+        // source (half stored, half dissipated) once fully charged.
+        let mut net = Netlist::new();
+        let vdd = net.node("vdd");
+        let cap = net.node("cap");
+        net.voltage_source(Node::GROUND, vdd, Volts(1.0));
+        net.resistor(vdd, cap, Ohms(1e3));
+        net.capacitor(cap, Node::GROUND, Farads(1e-9));
+        let cfg = TransientConfig::new(Seconds(10e-6)).with_step(Seconds(1e-9));
+        let res = Transient::new(&net, cfg).unwrap().run().unwrap();
+        let e = res.source_energy(0).unwrap();
+        let expected = 1e-9; // C·V² = 1e-9 J
+        assert!(
+            (e.0 - expected).abs() / expected < 0.01,
+            "source energy {} J, expected {expected} J",
+            e.0
+        );
+        assert!((res.total_source_energy().0 - e.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let net = Netlist::new();
+        assert!(matches!(
+            Transient::new(&net, TransientConfig::new(Seconds(0.0))),
+            Err(AnalogError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            Transient::new(
+                &net,
+                TransientConfig::new(Seconds(1e-6)).with_step(Seconds(-1.0))
+            ),
+            Err(AnalogError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            Transient::new(
+                &net,
+                TransientConfig::new(Seconds(1e-9)).with_step(Seconds(1e-6))
+            ),
+            Err(AnalogError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            Transient::new(
+                &net,
+                TransientConfig::new(Seconds(1e-6)).with_capture_every(0)
+            ),
+            Err(AnalogError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn floating_node_is_singular() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        // `b` has no DC path to anything.
+        net.resistor(Node::GROUND, a, Ohms(1e3));
+        let _ = b;
+        let cfg = TransientConfig::new(Seconds(1e-6)).with_step(Seconds(1e-8));
+        let err = Transient::new(&net, cfg).unwrap().run();
+        assert!(matches!(err, Err(AnalogError::SingularMatrix { .. })));
+    }
+
+    #[test]
+    fn capture_every_thins_samples() {
+        let mut net = Netlist::new();
+        let vdd = net.node("vdd");
+        net.voltage_source(Node::GROUND, vdd, Volts(1.0));
+        net.resistor(vdd, Node::GROUND, Ohms(1e3));
+        let cfg = TransientConfig::new(Seconds(1e-6))
+            .with_step(Seconds(1e-9))
+            .with_capture_every(10);
+        let res = Transient::new(&net, cfg).unwrap().run().unwrap();
+        let wf = res.waveform(vdd).unwrap();
+        // 1000 steps / 10 + initial sample.
+        assert!(wf.len() <= 102, "captured {} samples", wf.len());
+        assert_eq!(res.steps(), 1000);
+    }
+
+    #[test]
+    fn current_source_charges_capacitor_linearly() {
+        use crate::units::Amps;
+        let mut net = Netlist::new();
+        let cap = net.node("cap");
+        net.current_source(Node::GROUND, cap, Amps(1e-6));
+        net.capacitor(cap, Node::GROUND, Farads(1e-9));
+        // Leak to keep the matrix non-singular; large enough not to matter
+        // over the simulated window (tau_leak = 1 ms >> 10 µs).
+        net.resistor(cap, Node::GROUND, Ohms(1e6));
+        let cfg = TransientConfig::new(Seconds(10e-6)).with_step(Seconds(10e-9));
+        let res = Transient::new(&net, cfg).unwrap().run().unwrap();
+        let wf = res.waveform(cap).unwrap();
+        // v(t) = I·t/C = 1 µA · 5 µs / 1 nF = 5 mV.
+        let got = wf.sample(Seconds(5e-6)).unwrap().0;
+        assert!((got - 5e-3).abs() / 5e-3 < 0.01, "got {got}");
+        // Retuning the source mid-run flattens the ramp.
+        let mut net2 = Netlist::new();
+        let cap2 = net2.node("cap");
+        let src = net2.current_source(Node::GROUND, cap2, Amps(1e-6));
+        net2.capacitor(cap2, Node::GROUND, Farads(1e-9));
+        net2.resistor(cap2, Node::GROUND, Ohms(1e6));
+        let mut off = false;
+        let controller = move |view: &StepView<'_>, net: &mut Netlist| {
+            if !off && view.time.0 >= 5e-6 {
+                net.set_current(src, Amps(0.0));
+                off = true;
+                true
+            } else {
+                false
+            }
+        };
+        let cfg = TransientConfig::new(Seconds(10e-6)).with_step(Seconds(10e-9));
+        let res = Transient::new(&net2, cfg)
+            .unwrap()
+            .run_with(controller)
+            .unwrap();
+        let wf = res.waveform(cap2).unwrap();
+        let at_5us = wf.sample(Seconds(5e-6)).unwrap().0;
+        let at_10us = wf.sample(Seconds(10e-6)).unwrap().0;
+        assert!((at_10us - at_5us).abs() < 0.1, "held {at_5us} -> {at_10us}");
+    }
+
+    #[test]
+    fn trapezoidal_matches_closed_form_better() {
+        // Same RC charge as `rc_charging_matches_closed_form`, coarse
+        // step: trapezoidal (2nd order) must beat backward Euler (1st).
+        let mut net = Netlist::new();
+        let vdd = net.node("vdd");
+        let cap = net.node("cap");
+        net.voltage_source(Node::GROUND, vdd, Volts(1.0));
+        net.resistor(vdd, cap, Ohms(1e3));
+        net.capacitor(cap, Node::GROUND, Farads(1e-9));
+        let error_with = |integrator: Integrator| {
+            let cfg = TransientConfig::new(Seconds(2e-6))
+                .with_step(Seconds(50e-9)) // tau/20: coarse on purpose
+                .with_integrator(integrator);
+            let res = Transient::new(&net, cfg).unwrap().run().unwrap();
+            let wf = res.waveform(cap).unwrap();
+            let mut worst: f64 = 0.0;
+            for &t in &[0.5e-6, 1e-6, 1.5e-6, 2e-6] {
+                let expected = 1.0 - (-t / 1e-6_f64).exp();
+                let got = wf.sample(Seconds(t)).unwrap().0;
+                worst = worst.max((got - expected).abs());
+            }
+            worst
+        };
+        let be = error_with(Integrator::BackwardEuler);
+        let trap = error_with(Integrator::Trapezoidal);
+        assert!(
+            trap < be / 5.0,
+            "trapezoidal error {trap} should be well under BE {be}"
+        );
+    }
+
+    #[test]
+    fn trapezoidal_initial_condition_discharge() {
+        let mut net = Netlist::new();
+        let cap = net.node("cap");
+        net.resistor(cap, Node::GROUND, Ohms(1e3));
+        net.capacitor_with_initial(cap, Node::GROUND, Farads(1e-9), Volts(1.0));
+        let cfg = TransientConfig::new(Seconds(2e-6))
+            .with_step(Seconds(2e-9))
+            .with_integrator(Integrator::Trapezoidal);
+        let res = Transient::new(&net, cfg).unwrap().run().unwrap();
+        let got = res.waveform(cap).unwrap().sample(Seconds(1e-6)).unwrap().0;
+        let expected = (-1.0_f64).exp();
+        assert!((got - expected).abs() < 2e-3, "got {got}");
+    }
+
+    #[test]
+    fn integrator_accessor() {
+        let cfg = TransientConfig::new(Seconds(1e-6));
+        assert_eq!(cfg.integrator(), Integrator::BackwardEuler);
+        let cfg = cfg.with_integrator(Integrator::Trapezoidal);
+        assert_eq!(cfg.integrator(), Integrator::Trapezoidal);
+    }
+
+    #[test]
+    fn two_source_superposition() {
+        // Two sources through equal resistors into one node: v = (V1+V2)/2.
+        let mut net = Netlist::new();
+        let s1 = net.node("s1");
+        let s2 = net.node("s2");
+        let out = net.node("out");
+        net.voltage_source(Node::GROUND, s1, Volts(1.0));
+        net.voltage_source(Node::GROUND, s2, Volts(0.2));
+        net.resistor(s1, out, Ohms(10e3));
+        net.resistor(s2, out, Ohms(10e3));
+        let cfg = TransientConfig::new(Seconds(1e-7)).with_step(Seconds(1e-10));
+        let res = Transient::new(&net, cfg).unwrap().run().unwrap();
+        let v = res.final_voltage(out).unwrap();
+        assert!((v.0 - 0.6).abs() < 1e-9, "got {v}");
+    }
+}

@@ -1,0 +1,468 @@
+//! Typed physical quantities.
+//!
+//! Every interface in the ReSiPE reproduction that carries a physical value
+//! uses one of these newtypes instead of a bare `f64`, so that seconds cannot
+//! be confused with volts and conductances cannot be confused with
+//! resistances (C-NEWTYPE). The wrappers are `Copy`, ordered, hashable by
+//! bits where meaningful, and support the arithmetic that is physically
+//! sensible (`Volts / Ohms = Amps`, `Ohms * Farads = Seconds`, ...).
+//!
+//! ```
+//! use resipe_analog::units::{Farads, Ohms, Seconds, Siemens, Volts};
+//!
+//! let tau: Seconds = Ohms(100e3) * Farads(100e-15);
+//! assert!((tau.0 - 10e-9).abs() < 1e-18);
+//! let g: Siemens = Ohms(10e3).recip();
+//! assert!((g.0 - 1e-4).abs() < 1e-12);
+//! let v = Volts(1.0) * 0.5;
+//! assert_eq!(v, Volts(0.5));
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $symbol:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Returns the raw `f64` value in SI base units.
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value of the quantity.
+            pub fn abs(self) -> $name {
+                $name(self.0.abs())
+            }
+
+            /// Returns the smaller of two quantities.
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+
+            /// Returns the larger of two quantities.
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+
+            /// Clamps the quantity into `[lo, hi]`.
+            pub fn clamp(self, lo: $name, hi: $name) -> $name {
+                $name(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// `true` if the underlying value is finite (not NaN/inf).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $symbol)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// The dimensionless ratio of two like quantities.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+unit!(
+    /// A time quantity in seconds.
+    Seconds,
+    "s"
+);
+unit!(
+    /// An electric potential in volts.
+    Volts,
+    "V"
+);
+unit!(
+    /// A resistance in ohms.
+    Ohms,
+    "Ω"
+);
+unit!(
+    /// A conductance in siemens.
+    Siemens,
+    "S"
+);
+unit!(
+    /// A capacitance in farads.
+    Farads,
+    "F"
+);
+unit!(
+    /// A current in amperes.
+    Amps,
+    "A"
+);
+unit!(
+    /// A frequency in hertz.
+    Hertz,
+    "Hz"
+);
+unit!(
+    /// An energy in joules.
+    Joules,
+    "J"
+);
+unit!(
+    /// A power in watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// An area in square micrometers (the natural unit at 65 nm).
+    SquareMicrometers,
+    "µm²"
+);
+
+impl Seconds {
+    /// Constructs a time from a value in nanoseconds.
+    ///
+    /// ```
+    /// use resipe_analog::units::Seconds;
+    /// assert!((Seconds::from_nanos(100.0).0 - 100e-9).abs() < 1e-18);
+    /// ```
+    pub fn from_nanos(ns: f64) -> Seconds {
+        Seconds(ns * 1e-9)
+    }
+
+    /// Returns the time expressed in nanoseconds.
+    pub fn as_nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Returns the frequency whose period is this time.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the period is zero.
+    pub fn recip(self) -> Hertz {
+        debug_assert!(self.0 != 0.0, "zero period has no frequency");
+        Hertz(1.0 / self.0)
+    }
+}
+
+impl Ohms {
+    /// Returns the equivalent conductance `1/R`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the resistance is zero.
+    pub fn recip(self) -> Siemens {
+        debug_assert!(self.0 != 0.0, "zero resistance has no conductance");
+        Siemens(1.0 / self.0)
+    }
+
+    /// Constructs a resistance from a value in kilo-ohms.
+    pub fn from_kilo(kohms: f64) -> Ohms {
+        Ohms(kohms * 1e3)
+    }
+
+    /// Constructs a resistance from a value in mega-ohms.
+    pub fn from_mega(mohms: f64) -> Ohms {
+        Ohms(mohms * 1e6)
+    }
+}
+
+impl Siemens {
+    /// Returns the equivalent resistance `1/G`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the conductance is zero.
+    pub fn recip(self) -> Ohms {
+        debug_assert!(self.0 != 0.0, "zero conductance has no resistance");
+        Ohms(1.0 / self.0)
+    }
+
+    /// Constructs a conductance from a value in millisiemens.
+    pub fn from_milli(ms: f64) -> Siemens {
+        Siemens(ms * 1e-3)
+    }
+
+    /// Returns the conductance expressed in millisiemens.
+    pub fn as_milli(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl Farads {
+    /// Constructs a capacitance from a value in femtofarads.
+    pub fn from_femto(ff: f64) -> Farads {
+        Farads(ff * 1e-15)
+    }
+}
+
+impl Watts {
+    /// Constructs a power from a value in milliwatts.
+    pub fn from_milli(mw: f64) -> Watts {
+        Watts(mw * 1e-3)
+    }
+
+    /// Returns the power expressed in milliwatts.
+    pub fn as_milli(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the power expressed in microwatts.
+    pub fn as_micro(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Joules {
+    /// Returns the energy expressed in picojoules.
+    pub fn as_pico(self) -> f64 {
+        self.0 * 1e12
+    }
+}
+
+// Cross-unit arithmetic with physical meaning.
+
+impl Mul<Farads> for Ohms {
+    /// `R · C` is the RC time constant.
+    type Output = Seconds;
+    fn mul(self, rhs: Farads) -> Seconds {
+        Seconds(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Ohms> for Farads {
+    type Output = Seconds;
+    fn mul(self, rhs: Ohms) -> Seconds {
+        rhs * self
+    }
+}
+
+impl Div<Ohms> for Volts {
+    /// Ohm's law: `I = V / R`.
+    type Output = Amps;
+    fn div(self, rhs: Ohms) -> Amps {
+        Amps(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Siemens> for Volts {
+    /// Ohm's law: `I = V · G`.
+    type Output = Amps;
+    fn mul(self, rhs: Siemens) -> Amps {
+        Amps(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Ohms> for Amps {
+    /// Ohm's law: `V = I · R`.
+    type Output = Volts;
+    fn mul(self, rhs: Ohms) -> Volts {
+        Volts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volts> for Amps {
+    /// Instantaneous power `P = I · V`.
+    type Output = Watts;
+    fn mul(self, rhs: Volts) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    /// Energy `E = P · t`.
+    type Output = Joules;
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for Joules {
+    /// Average power `P = E / t`.
+    type Output = Watts;
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Seconds> for Siemens {
+    /// `G · t` has units of farads (used in `t_out = Δt/C · Σ t_in G`).
+    type Output = Farads;
+    fn mul(self, rhs: Seconds) -> Farads {
+        Farads(self.0 * rhs.0)
+    }
+}
+
+impl Div<Farads> for Seconds {
+    /// `Δt / C` has units of ohms (the gain constant of Eq. 5 in the paper).
+    type Output = Ohms;
+    fn div(self, rhs: Farads) -> Ohms {
+        Ohms(self.0 / rhs.0)
+    }
+}
+
+/// Energy stored on a capacitor charged to `v`: `E = ½ C V²`.
+///
+/// ```
+/// use resipe_analog::units::{cap_energy, Farads, Volts};
+/// let e = cap_energy(Farads(100e-15), Volts(1.0));
+/// assert!((e.0 - 50e-15).abs() < 1e-24);
+/// ```
+pub fn cap_energy(c: Farads, v: Volts) -> Joules {
+    Joules(0.5 * c.0 * v.0 * v.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rc_time_constant() {
+        let tau = Ohms(100e3) * Farads(100e-15);
+        assert!((tau.0 - 10e-9).abs() < 1e-18);
+        let tau2 = Farads(100e-15) * Ohms(100e3);
+        assert_eq!(tau, tau2);
+    }
+
+    #[test]
+    fn ohms_law_round_trip() {
+        let i = Volts(1.0) / Ohms(10e3);
+        assert!((i.0 - 1e-4).abs() < 1e-12);
+        let v = i * Ohms(10e3);
+        assert!((v.0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_round_trip() {
+        let g = Ohms(50e3).recip();
+        assert!((g.recip().0 - 50e3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ratio_is_dimensionless() {
+        let ratio = Seconds(50e-9) / Seconds(100e-9);
+        assert!((ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_units() {
+        let total: Siemens = [Siemens(1e-4), Siemens(2e-4)].into_iter().sum();
+        assert!((total.0 - 3e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(Seconds::from_nanos(1.0), Seconds(1e-9));
+        assert!((Seconds(1e-9).as_nanos() - 1.0).abs() < 1e-12);
+        assert_eq!(Ohms::from_kilo(10.0), Ohms(10e3));
+        assert_eq!(Ohms::from_mega(1.0), Ohms(1e6));
+        assert_eq!(Farads::from_femto(100.0), Farads(100e-15));
+        assert!((Siemens::from_milli(1.6).as_milli() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_energy() {
+        let e = Watts(1e-3) * Seconds(1e-6);
+        assert!((e.0 - 1e-9).abs() < 1e-18);
+        let p = e / Seconds(1e-6);
+        assert!((p.0 - 1e-3).abs() < 1e-12);
+        assert!((Watts(2e-3).as_milli() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_includes_symbol() {
+        assert_eq!(format!("{}", Volts(1.5)), "1.5 V");
+        assert_eq!(format!("{}", Ohms(10.0)), "10 Ω");
+    }
+
+    #[test]
+    fn negation_and_assign_ops() {
+        let mut v = Volts(1.0);
+        v += Volts(0.5);
+        v -= Volts(0.25);
+        assert_eq!(v, Volts(1.25));
+        assert_eq!(-v, Volts(-1.25));
+        assert_eq!(v.abs(), Volts(1.25));
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        assert_eq!(Volts(1.0).min(Volts(2.0)), Volts(1.0));
+        assert_eq!(Volts(1.0).max(Volts(2.0)), Volts(2.0));
+        assert_eq!(Volts(3.0).clamp(Volts(0.0), Volts(2.0)), Volts(2.0));
+    }
+}

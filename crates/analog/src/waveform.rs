@@ -1,0 +1,313 @@
+//! Captured waveforms and post-processing.
+//!
+//! A [`Waveform`] is a time series of node voltages sampled at every
+//! transient step. The ReSiPE decode stage needs threshold-crossing
+//! detection (to find when `V(C_gd)` surpasses `V_out`, which defines the
+//! output spike time), and the tests need interpolation and extrema.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Seconds, Volts};
+
+/// Which direction a threshold crossing must have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// Value passes from below the threshold to at/above it.
+    Rising,
+    /// Value passes from above the threshold to at/below it.
+    Falling,
+}
+
+/// A sampled time series of one circuit quantity.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Waveform {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Waveform {
+    /// Creates an empty waveform.
+    pub fn new() -> Waveform {
+        Waveform::default()
+    }
+
+    /// Creates a waveform from parallel time/value vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length or times are not
+    /// strictly increasing.
+    pub fn from_samples(times: Vec<f64>, values: Vec<f64>) -> Waveform {
+        assert_eq!(times.len(), values.len(), "times/values length mismatch");
+        assert!(
+            times.windows(2).all(|w| w[0] < w[1]),
+            "sample times must be strictly increasing"
+        );
+        Waveform { times, values }
+    }
+
+    /// Appends one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not after the last sample time.
+    pub fn push(&mut self, t: Seconds, v: Volts) {
+        if let Some(&last) = self.times.last() {
+            assert!(t.0 > last, "sample times must be strictly increasing");
+        }
+        self.times.push(t.0);
+        self.values.push(v.0);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if no samples have been captured.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The sample times in seconds.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The sample values in volts.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The last captured value, or 0.0 if empty.
+    pub fn last_value(&self) -> f64 {
+        self.values.last().copied().unwrap_or(0.0)
+    }
+
+    /// The last captured time, or 0.0 if empty.
+    pub fn last_time(&self) -> f64 {
+        self.times.last().copied().unwrap_or(0.0)
+    }
+
+    /// Linear interpolation of the value at time `t`.
+    ///
+    /// Values outside the captured range clamp to the endpoints. Returns
+    /// `None` if the waveform is empty.
+    pub fn sample(&self, t: Seconds) -> Option<Volts> {
+        if self.times.is_empty() {
+            return None;
+        }
+        let t = t.0;
+        if t <= self.times[0] {
+            return Some(Volts(self.values[0]));
+        }
+        if t >= *self.times.last().expect("non-empty") {
+            return Some(Volts(self.last_value()));
+        }
+        // Binary search for the surrounding interval.
+        let idx = self.times.partition_point(|&x| x <= t);
+        let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+        let (v0, v1) = (self.values[idx - 1], self.values[idx]);
+        let frac = (t - t0) / (t1 - t0);
+        Some(Volts(v0 + frac * (v1 - v0)))
+    }
+
+    /// The maximum captured value, or `None` if empty.
+    pub fn max_value(&self) -> Option<Volts> {
+        self.values
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+            .map(Volts)
+    }
+
+    /// The minimum captured value, or `None` if empty.
+    pub fn min_value(&self) -> Option<Volts> {
+        self.values
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            })
+            .map(Volts)
+    }
+
+    /// Finds the first time the waveform crosses `threshold` with the given
+    /// edge direction, searching from `from`. The crossing time is linearly
+    /// interpolated between samples.
+    ///
+    /// Returns `None` if no such crossing exists.
+    ///
+    /// ```
+    /// use resipe_analog::waveform::{Edge, Waveform};
+    /// use resipe_analog::units::{Seconds, Volts};
+    ///
+    /// let w = Waveform::from_samples(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0]);
+    /// let t = w.crossing(Volts(0.5), Edge::Rising, Seconds(0.0)).unwrap();
+    /// assert!((t.0 - 0.5).abs() < 1e-12);
+    /// let t = w.crossing(Volts(0.5), Edge::Falling, Seconds(0.0)).unwrap();
+    /// assert!((t.0 - 1.5).abs() < 1e-12);
+    /// ```
+    pub fn crossing(&self, threshold: Volts, edge: Edge, from: Seconds) -> Option<Seconds> {
+        let th = threshold.0;
+        for w in self
+            .times
+            .iter()
+            .zip(&self.values)
+            .collect::<Vec<_>>()
+            .windows(2)
+        {
+            let (&t0, &v0) = w[0];
+            let (&t1, &v1) = w[1];
+            if t1 < from.0 {
+                continue;
+            }
+            let crossed = match edge {
+                Edge::Rising => v0 < th && v1 >= th,
+                Edge::Falling => v0 > th && v1 <= th,
+            };
+            if crossed {
+                let frac = if (v1 - v0).abs() < f64::MIN_POSITIVE {
+                    0.0
+                } else {
+                    (th - v0) / (v1 - v0)
+                };
+                let t = t0 + frac * (t1 - t0);
+                if t >= from.0 {
+                    return Some(Seconds(t));
+                }
+            }
+        }
+        None
+    }
+
+    /// Root-mean-square error between this and another waveform evaluated at
+    /// this waveform's sample times. Useful for validating the behavioural
+    /// engine against the MNA engine.
+    ///
+    /// Returns `None` if either waveform is empty.
+    pub fn rms_error(&self, other: &Waveform) -> Option<f64> {
+        if self.is_empty() || other.is_empty() {
+            return None;
+        }
+        let mut sum = 0.0;
+        for (&t, &v) in self.times.iter().zip(&self.values) {
+            let o = other.sample(Seconds(t))?.0;
+            sum += (v - o) * (v - o);
+        }
+        Some((sum / self.len() as f64).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        Waveform::from_samples(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 1.0, 2.0, 3.0])
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut w = Waveform::new();
+        assert!(w.is_empty());
+        w.push(Seconds(0.0), Volts(0.0));
+        w.push(Seconds(1.0), Volts(2.0));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.last_value(), 2.0);
+        assert_eq!(w.last_time(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotonic_push_panics() {
+        let mut w = Waveform::new();
+        w.push(Seconds(1.0), Volts(0.0));
+        w.push(Seconds(1.0), Volts(1.0));
+    }
+
+    #[test]
+    fn interpolation_midpoint() {
+        let w = ramp();
+        let v = w.sample(Seconds(1.5)).expect("non-empty");
+        assert!((v.0 - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_clamps_at_ends() {
+        let w = ramp();
+        assert_eq!(w.sample(Seconds(-1.0)), Some(Volts(0.0)));
+        assert_eq!(w.sample(Seconds(10.0)), Some(Volts(3.0)));
+        assert_eq!(Waveform::new().sample(Seconds(0.0)), None);
+    }
+
+    #[test]
+    fn rising_crossing_interpolated() {
+        let w = ramp();
+        let t = w
+            .crossing(Volts(2.5), Edge::Rising, Seconds(0.0))
+            .expect("crossing exists");
+        assert!((t.0 - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn falling_crossing() {
+        let w = Waveform::from_samples(vec![0.0, 1.0, 2.0], vec![2.0, 0.0, 2.0]);
+        let t = w
+            .crossing(Volts(1.0), Edge::Falling, Seconds(0.0))
+            .expect("crossing exists");
+        assert!((t.0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_respects_from() {
+        let w = Waveform::from_samples(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 1.0, 0.0, 1.0]);
+        let t = w
+            .crossing(Volts(0.5), Edge::Rising, Seconds(1.5))
+            .expect("second crossing");
+        assert!((t.0 - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_crossing_returns_none() {
+        let w = ramp();
+        assert!(w
+            .crossing(Volts(10.0), Edge::Rising, Seconds(0.0))
+            .is_none());
+        assert!(w
+            .crossing(Volts(1.0), Edge::Falling, Seconds(0.0))
+            .is_none());
+    }
+
+    #[test]
+    fn extrema() {
+        let w = Waveform::from_samples(vec![0.0, 1.0, 2.0], vec![-1.0, 5.0, 2.0]);
+        assert_eq!(w.max_value(), Some(Volts(5.0)));
+        assert_eq!(w.min_value(), Some(Volts(-1.0)));
+        assert_eq!(Waveform::new().max_value(), None);
+    }
+
+    #[test]
+    fn rms_error_identical_is_zero() {
+        let w = ramp();
+        let err = w.rms_error(&w).expect("non-empty");
+        assert!(err < 1e-15);
+    }
+
+    #[test]
+    fn rms_error_offset() {
+        let a = ramp();
+        let b = Waveform::from_samples(vec![0.0, 3.0], vec![1.0, 4.0]);
+        // b(t) = a(t) + 1 everywhere -> RMS error 1.
+        let err = a.rms_error(&b).expect("non-empty");
+        assert!((err - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_samples_length_mismatch_panics() {
+        let _ = Waveform::from_samples(vec![0.0, 1.0], vec![0.0]);
+    }
+}

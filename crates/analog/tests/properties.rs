@@ -1,0 +1,105 @@
+//! Property-based tests for the analog substrate.
+
+use proptest::prelude::*;
+
+use resipe_analog::linalg::Matrix;
+use resipe_analog::netlist::{Netlist, Node};
+use resipe_analog::transient::{Integrator, Transient, TransientConfig};
+use resipe_analog::units::{Farads, Ohms, Seconds, Volts};
+use resipe_analog::waveform::{Edge, Waveform};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// LU solve inverts the matrix product for diagonally-dominant
+    /// (guaranteed non-singular) random systems.
+    #[test]
+    fn lu_solve_round_trip(
+        vals in proptest::collection::vec(-1.0..1.0f64, 9),
+        rhs in proptest::collection::vec(-10.0..10.0f64, 3),
+    ) {
+        let mut a = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                a[(i, j)] = vals[i * 3 + j];
+            }
+            // Make strictly diagonally dominant.
+            a[(i, i)] += 4.0;
+        }
+        let x = a.solve(&rhs).expect("dominant matrices are non-singular");
+        let back = a.mul_vec(&x);
+        for (b, r) in back.iter().zip(&rhs) {
+            prop_assert!((b - r).abs() < 1e-9, "{b} vs {r}");
+        }
+    }
+
+    /// RC charging stays within [0, V] and is monotone for any R, C in a
+    /// physical range — under both integrators.
+    #[test]
+    fn rc_charge_bounded_and_monotone(
+        r_kohm in 1.0..500.0f64,
+        c_ff in 10.0..1000.0f64,
+        trapezoidal in any::<bool>(),
+    ) {
+        let mut net = Netlist::new();
+        let vdd = net.node("vdd");
+        let cap = net.node("cap");
+        net.voltage_source(Node::GROUND, vdd, Volts(1.0));
+        net.resistor(vdd, cap, Ohms(r_kohm * 1e3));
+        net.capacitor(cap, Node::GROUND, Farads(c_ff * 1e-15));
+        let tau = r_kohm * 1e3 * c_ff * 1e-15;
+        let integrator = if trapezoidal {
+            Integrator::Trapezoidal
+        } else {
+            Integrator::BackwardEuler
+        };
+        let cfg = TransientConfig::new(Seconds(3.0 * tau))
+            .with_step(Seconds(tau / 200.0))
+            .with_integrator(integrator);
+        let res = Transient::new(&net, cfg).expect("valid").run().expect("converges");
+        let wf = res.waveform(cap).expect("captured");
+        let mut prev = -1e-9;
+        for &v in wf.values() {
+            prop_assert!((-1e-9..=1.0 + 1e-6).contains(&v), "out of range {v}");
+            prop_assert!(v >= prev - 1e-9, "non-monotone");
+            prev = v;
+        }
+    }
+
+    /// Waveform interpolation stays within the convex hull of its
+    /// neighbours.
+    #[test]
+    fn interpolation_within_bounds(
+        values in proptest::collection::vec(-5.0..5.0f64, 2..20),
+        frac in 0.0..1.0f64,
+    ) {
+        let times: Vec<f64> = (0..values.len()).map(|i| i as f64).collect();
+        let wf = Waveform::from_samples(times, values.clone());
+        let t = frac * (values.len() - 1) as f64;
+        let v = wf.sample(Seconds(t)).expect("non-empty").0;
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    /// A detected rising crossing really brackets the threshold.
+    #[test]
+    fn crossing_brackets_threshold(
+        values in proptest::collection::vec(0.0..1.0f64, 3..30),
+        th in 0.05..0.95f64,
+    ) {
+        let times: Vec<f64> = (0..values.len()).map(|i| i as f64).collect();
+        let wf = Waveform::from_samples(times, values.clone());
+        if let Some(t) = wf.crossing(Volts(th), Edge::Rising, Seconds(0.0)) {
+            let before = wf.sample(Seconds((t.0 - 0.5).max(0.0))).expect("in range").0;
+            let after = wf
+                .sample(Seconds((t.0 + 0.5).min((values.len() - 1) as f64)))
+                .expect("in range")
+                .0;
+            // Just before the interpolated crossing the signal is below
+            // (or equal within the sample resolution), just after at or
+            // above — allowing for equality at sample points.
+            prop_assert!(before <= th + 1e-9 || after >= th - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Table I and Table II generators.
+
+use serde::{Deserialize, Serialize};
+
+use crate::components::{CostLibrary, DataFormat, DesignPoint};
+
+/// One formatted row of Table II.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableRow {
+    /// Design name.
+    pub name: String,
+    /// Data format.
+    pub format: DataFormat,
+    /// Power in mW.
+    pub power_mw: f64,
+    /// Power efficiency in TOPS/W.
+    pub efficiency_tops_w: f64,
+    /// MVM latency in ns.
+    pub latency_ns: f64,
+    /// Area in µm².
+    pub area_um2: f64,
+    /// Area relative to ReSiPE.
+    pub area_rel: f64,
+}
+
+/// The Table II comparison (power, efficiency, latency, area).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonTable {
+    rows: Vec<TableRow>,
+}
+
+impl ComparisonTable {
+    /// Builds the table at the paper's operating point.
+    pub fn paper() -> ComparisonTable {
+        ComparisonTable::from_library(&CostLibrary::paper())
+    }
+
+    /// Builds the table from an explicit cost library.
+    pub fn from_library(lib: &CostLibrary) -> ComparisonTable {
+        let resipe_area = lib.resipe.area.0;
+        let row = |d: &DesignPoint| TableRow {
+            name: d.name.clone(),
+            format: d.format,
+            power_mw: d.power.as_milli(),
+            efficiency_tops_w: d.tops_per_watt(),
+            latency_ns: d.latency.as_nanos(),
+            area_um2: d.area.0,
+            area_rel: d.area.0 / resipe_area,
+        };
+        ComparisonTable {
+            rows: lib.all().map(row).to_vec(),
+        }
+    }
+
+    /// The rows in Table II order (level, PWM, rate, ReSiPE).
+    pub fn rows(&self) -> &[TableRow] {
+        &self.rows
+    }
+
+    /// The ReSiPE row.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for tables built by this crate's constructors.
+    pub fn resipe(&self) -> &TableRow {
+        self.rows
+            .iter()
+            .find(|r| r.format == DataFormat::SingleSpiking)
+            .expect("table contains the ReSiPE row")
+    }
+
+    /// The headline claims of Sec. IV-B, recomputed from the table.
+    pub fn headline(&self) -> HeadlineClaims {
+        let find = |f: DataFormat| {
+            self.rows
+                .iter()
+                .find(|r| r.format == f)
+                .expect("complete table")
+        };
+        let resipe = self.resipe();
+        let level = find(DataFormat::Level);
+        let rate = find(DataFormat::RateCoding);
+        let pwm = find(DataFormat::Pwm);
+        HeadlineClaims {
+            eff_vs_level: resipe.efficiency_tops_w / level.efficiency_tops_w,
+            eff_vs_rate: resipe.efficiency_tops_w / rate.efficiency_tops_w,
+            eff_vs_pwm: resipe.efficiency_tops_w / pwm.efficiency_tops_w,
+            power_reduction_vs_rate: 1.0 - resipe.power_mw / rate.power_mw,
+            latency_reduction_vs_rate: 1.0 - resipe.latency_ns / rate.latency_ns,
+            latency_reduction_vs_pwm: 1.0 - resipe.latency_ns / pwm.latency_ns,
+            area_saving_vs_rate: 1.0 - resipe.area_um2 / rate.area_um2,
+            area_saving_vs_level: 1.0 - resipe.area_um2 / level.area_um2,
+        }
+    }
+
+    /// Renders the table as aligned plain text (the `table2` binary's
+    /// output).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<22} {:>14} {:>10} {:>12} {:>12} {:>12} {:>9}\n",
+            "Design", "Format", "Power(mW)", "Eff(TOPS/W)", "Latency(ns)", "Area(um^2)", "Area(x)"
+        ));
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{:<22} {:>14} {:>10.3} {:>12.2} {:>12.1} {:>12.0} {:>9.2}\n",
+                r.name,
+                r.format.to_string(),
+                r.power_mw,
+                r.efficiency_tops_w,
+                r.latency_ns,
+                r.area_um2,
+                r.area_rel
+            ));
+        }
+        s
+    }
+}
+
+/// The recomputed Sec. IV-B headline numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeadlineClaims {
+    /// Power-efficiency ratio vs. level-based (paper: 1.97×).
+    pub eff_vs_level: f64,
+    /// Power-efficiency ratio vs. rate-coding (paper: 2.41×).
+    pub eff_vs_rate: f64,
+    /// Power-efficiency ratio vs. PWM (paper: 49.76×).
+    pub eff_vs_pwm: f64,
+    /// Power reduction vs. rate-coding (paper: 67.1 %).
+    pub power_reduction_vs_rate: f64,
+    /// Latency reduction vs. rate-coding (paper: 50 %).
+    pub latency_reduction_vs_rate: f64,
+    /// Latency reduction vs. PWM (paper: 68.8 %).
+    pub latency_reduction_vs_pwm: f64,
+    /// Area saving vs. rate-coding (paper: 14.2 %).
+    pub area_saving_vs_rate: f64,
+    /// Area saving vs. level-based (paper: 85.3 %).
+    pub area_saving_vs_level: f64,
+}
+
+/// Renders Table I (the qualitative data-format comparison).
+pub fn data_format_table() -> String {
+    let formats = [
+        DataFormat::Level,
+        DataFormat::Pwm,
+        DataFormat::RateCoding,
+        DataFormat::TemporalCoding,
+        DataFormat::SingleSpiking,
+    ];
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<16} {:<24} {:<28} {:<14}\n",
+        "Format", "Interface circuit", "Non-zero voltage duration", "In/out scale"
+    ));
+    for f in formats {
+        s.push_str(&format!(
+            "{:<16} {:<24} {:<28} {:<14}\n",
+            f.to_string(),
+            f.interface_circuit(),
+            f.voltage_duration(),
+            if f.in_out_scale_same() {
+                "same"
+            } else {
+                "different"
+            }
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_matches_paper() {
+        let h = ComparisonTable::paper().headline();
+        assert!((h.eff_vs_level - 1.97).abs() < 0.02);
+        assert!((h.eff_vs_rate - 2.41).abs() < 0.03);
+        assert!((h.eff_vs_pwm - 49.76).abs() < 0.5);
+        assert!((h.power_reduction_vs_rate - 0.671).abs() < 0.005);
+        assert!((h.latency_reduction_vs_rate - 0.50).abs() < 0.01);
+        assert!((h.latency_reduction_vs_pwm - 0.688).abs() < 0.005);
+        assert!((h.area_saving_vs_rate - 0.142).abs() < 0.005);
+        assert!((h.area_saving_vs_level - 0.853).abs() < 0.005);
+    }
+
+    #[test]
+    fn table_has_four_rows_resipe_last() {
+        let t = ComparisonTable::paper();
+        assert_eq!(t.rows().len(), 4);
+        assert_eq!(t.rows()[3].format, DataFormat::SingleSpiking);
+        assert_eq!(t.resipe().format, DataFormat::SingleSpiking);
+        assert!((t.resipe().area_rel - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_all_designs() {
+        let text = ComparisonTable::paper().render();
+        for needle in ["ReSiPE", "Level", "Rate", "PWM", "Power(mW)"] {
+            assert!(text.contains(needle), "missing {needle}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn table1_renders_five_formats() {
+        let text = data_format_table();
+        for needle in [
+            "level",
+            "PWM",
+            "rate coding",
+            "temporal coding",
+            "single-spiking",
+            "DAC & ADC",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+        // Only rate coding has different in/out scales (Table I).
+        assert_eq!(text.matches("different").count(), 1);
+    }
+}

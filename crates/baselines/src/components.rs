@@ -1,0 +1,341 @@
+//! The 65 nm interface-component cost library and calibrated design
+//! points.
+//!
+//! # Calibration
+//!
+//! The GROBID extraction of the paper preserves Table II's *relative*
+//! claims but not its cell contents, so the absolute operating points are
+//! reconstructed as follows (documented per the DESIGN.md substitution
+//! rules):
+//!
+//! 1. **ReSiPE** is computed from first principles by
+//!    [`resipe::power::EnergyModel::paper`] (98.1 % COG share, ≈ 0.48 mW
+//!    at the 32×32 / 65 nm / 1 GHz operating point).
+//! 2. Every baseline is then derived from the paper's stated ratios:
+//!    * power efficiency: ReSiPE is **1.97× / 2.41× / 49.76×** better
+//!      than the level-based / rate-coding / PWM designs (Sec. IV-B.1);
+//!    * power: ReSiPE is a **67.1 % reduction** vs. rate-coding
+//!      (abstract / conclusion);
+//!    * latency: ReSiPE is **50 % / 68.8 %** shorter than rate-coding /
+//!      PWM, and comparable to (here: 2× slower than) the DAC/ADC-speed
+//!      level-based designs (Sec. IV-B.2);
+//!    * area: ReSiPE saves **14.2 % / 85.3 %** vs. rate-coding /
+//!      level-based (Sec. IV-B.3).
+//! 3. Throughput per engine is `2·R·C` operations per MVM pass over the
+//!    design's pass latency. Efficiency is carried as the published
+//!    figure rather than recomputed as `T/P`: the cited macros' published
+//!    efficiencies reflect their own operating modes (the rate-coding
+//!    macros pipeline spike streams), so the two need not agree — the
+//!    same situation any published comparison table is in.
+//! 4. PWM area is not claimed by the paper; it is set between the
+//!    rate-coding and level-based points since the design needs an ADC
+//!    but no DAC (\[15\]).
+//!
+//! The unit tests assert that the paper's ratios re-emerge from the table
+//! to within 1 %.
+
+use serde::{Deserialize, Serialize};
+
+use resipe::power::EnergyModel;
+use resipe_analog::units::{Seconds, SquareMicrometers, Watts};
+
+/// The data-format classes of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataFormat {
+    /// Analog voltage levels (DAC in, ADC out).
+    Level,
+    /// Pulse-width modulation.
+    Pwm,
+    /// Spike-frequency (rate) coding.
+    RateCoding,
+    /// Bio-plausible relative spike timing (excluded from Table II).
+    TemporalCoding,
+    /// ReSiPE's single-spiking format.
+    SingleSpiking,
+}
+
+impl DataFormat {
+    /// Table I row: the interface circuit each format requires.
+    pub fn interface_circuit(self) -> &'static str {
+        match self {
+            DataFormat::Level => "DAC & ADC",
+            DataFormat::Pwm => "Pulse modulator & ADC",
+            DataFormat::RateCoding => "Spike modulator",
+            DataFormat::TemporalCoding => "Neuron circuit",
+            DataFormat::SingleSpiking => "GD & COG (ReSiPE)",
+        }
+    }
+
+    /// Table I row: how long non-zero voltage is applied to the array.
+    pub fn voltage_duration(self) -> &'static str {
+        match self {
+            DataFormat::Level => "long (entire computation)",
+            DataFormat::Pwm | DataFormat::RateCoding | DataFormat::TemporalCoding => "medium",
+            DataFormat::SingleSpiking => "short (Δt only)",
+        }
+    }
+
+    /// Table I row: whether inputs and outputs share one scale.
+    pub fn in_out_scale_same(self) -> bool {
+        !matches!(self, DataFormat::RateCoding)
+    }
+}
+
+impl std::fmt::Display for DataFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DataFormat::Level => "level",
+            DataFormat::Pwm => "PWM",
+            DataFormat::RateCoding => "rate coding",
+            DataFormat::TemporalCoding => "temporal coding",
+            DataFormat::SingleSpiking => "single-spiking",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One design's Table II operating point (32×32 array, 65 nm).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Display name with the paper's reference numbers.
+    pub name: String,
+    /// Data format class.
+    pub format: DataFormat,
+    /// Average power.
+    pub power: Watts,
+    /// Latency of one MVM pass.
+    pub latency: Seconds,
+    /// Power efficiency in ops per joule, as published for the design.
+    ///
+    /// For ReSiPE this equals `throughput_ops() / power` exactly; for the
+    /// cited macros it is the published figure, which reflects their own
+    /// operating modes (e.g. the rate-coding macros pipeline spike
+    /// streams) and therefore need not equal the single-MVM `T/P` of this
+    /// table — exactly the situation a published comparison table is in.
+    pub efficiency_ops_j: f64,
+    /// Die area of one engine.
+    pub area: SquareMicrometers,
+}
+
+impl DesignPoint {
+    /// Power efficiency in ops/s per watt (ops per joule).
+    pub fn power_efficiency(&self) -> f64 {
+        self.efficiency_ops_j
+    }
+
+    /// Single-engine throughput: one MVM pass (2·R·C ops) per latency.
+    pub fn throughput_ops(&self) -> f64 {
+        OPS_PER_MVM / self.latency.0
+    }
+
+    /// Power efficiency in TOPS/W.
+    pub fn tops_per_watt(&self) -> f64 {
+        self.power_efficiency() / 1e12
+    }
+
+    /// Throughput density: ops per second per µm² — the Fig. 6 figure of
+    /// merit under an area budget.
+    pub fn throughput_density(&self) -> f64 {
+        self.throughput_ops() / self.area.0
+    }
+}
+
+/// ReSiPE die area at 65 nm for a 32×32 engine: 1T1R array (~0.5 µm cell
+/// pitch) + GD + 32 COGs (comparator + 100 fF MIM cap each).
+pub const RESIPE_AREA: SquareMicrometers = SquareMicrometers(5_900.0);
+
+/// Operations per MVM on a 32×32 array (multiply + accumulate per cell).
+pub const OPS_PER_MVM: f64 = 2.0 * 32.0 * 32.0;
+
+/// The four calibrated Table II design points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostLibrary {
+    /// ReSiPE (this work).
+    pub resipe: DesignPoint,
+    /// Level-based \[14, 17\].
+    pub level: DesignPoint,
+    /// Rate-coding \[11, 13\].
+    pub rate: DesignPoint,
+    /// PWM-based \[15\].
+    pub pwm: DesignPoint,
+}
+
+impl CostLibrary {
+    /// Builds the library at the paper's operating point.
+    pub fn paper() -> CostLibrary {
+        let model = EnergyModel::paper();
+        let p_resipe = model.power();
+        let lat_resipe = model.latency();
+        let eff_resipe = model.power_efficiency();
+
+        let resipe = DesignPoint {
+            name: "ReSiPE (this work)".to_owned(),
+            format: DataFormat::SingleSpiking,
+            power: p_resipe,
+            latency: lat_resipe,
+            efficiency_ops_j: eff_resipe,
+            area: RESIPE_AREA,
+        };
+
+        // Level-based [14, 17]: high-speed DAC/ADC finish an MVM in one
+        // 100 ns pass; ReSiPE's efficiency is 1.97× better; area saving
+        // 85.3 % means the level design is 1/(1−0.853) ≈ 6.80× larger.
+        let lat_level = Seconds(100e-9);
+        let eff_level = eff_resipe / 1.97;
+        let level = DesignPoint {
+            name: "Level-based [14,17]".to_owned(),
+            format: DataFormat::Level,
+            power: Watts((OPS_PER_MVM / lat_level.0) / eff_level),
+            latency: lat_level,
+            efficiency_ops_j: eff_level,
+            area: SquareMicrometers(RESIPE_AREA.0 / (1.0 - 0.853)),
+        };
+
+        // Rate-coding [11, 13]: 67.1 % power reduction means
+        // P_rate = P_resipe / 0.329; latency is 2× (ReSiPE shortens 50 %);
+        // efficiency ratio 2.41 then fixes the (pipelined) throughput.
+        // Area saving 14.2 % -> 1/(1−0.142) ≈ 1.166× larger.
+        let p_rate = Watts(p_resipe.0 / (1.0 - 0.671));
+        let eff_rate = eff_resipe / 2.41;
+        let rate = DesignPoint {
+            name: "Rate-coding [11,13]".to_owned(),
+            format: DataFormat::RateCoding,
+            power: p_rate,
+            latency: Seconds(lat_resipe.0 * 2.0),
+            efficiency_ops_j: eff_rate,
+            area: SquareMicrometers(RESIPE_AREA.0 / (1.0 - 0.142)),
+        };
+
+        // PWM [15]: ReSiPE shortens latency 68.8 % ->
+        // lat_pwm = lat_resipe / (1−0.688); efficiency ratio 49.76 with a
+        // single non-pipelined pass fixes the power. Area: assumption (4),
+        // between rate-coding and level-based.
+        let lat_pwm = Seconds(lat_resipe.0 / (1.0 - 0.688));
+        let eff_pwm = eff_resipe / 49.76;
+        let pwm = DesignPoint {
+            name: "PWM-based [15]".to_owned(),
+            format: DataFormat::Pwm,
+            power: Watts((OPS_PER_MVM / lat_pwm.0) / eff_pwm),
+            latency: lat_pwm,
+            efficiency_ops_j: eff_pwm,
+            area: SquareMicrometers(RESIPE_AREA.0 * 3.2),
+        };
+
+        CostLibrary {
+            resipe,
+            level,
+            rate,
+            pwm,
+        }
+    }
+
+    /// All four points in Table II order.
+    pub fn all(&self) -> [&DesignPoint; 4] {
+        [&self.level, &self.pwm, &self.rate, &self.resipe]
+    }
+}
+
+impl Default for CostLibrary {
+    fn default() -> CostLibrary {
+        CostLibrary::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> CostLibrary {
+        CostLibrary::paper()
+    }
+
+    #[test]
+    fn efficiency_ratios_match_paper() {
+        let l = lib();
+        let eff = |d: &DesignPoint| d.power_efficiency();
+        let vs_level = eff(&l.resipe) / eff(&l.level);
+        let vs_rate = eff(&l.resipe) / eff(&l.rate);
+        let vs_pwm = eff(&l.resipe) / eff(&l.pwm);
+        assert!((vs_level - 1.97).abs() < 0.02, "vs level: {vs_level}");
+        assert!((vs_rate - 2.41).abs() < 0.03, "vs rate: {vs_rate}");
+        assert!((vs_pwm - 49.76).abs() < 0.5, "vs PWM: {vs_pwm}");
+    }
+
+    #[test]
+    fn power_reduction_vs_rate_is_67_percent() {
+        let l = lib();
+        let reduction = 1.0 - l.resipe.power.0 / l.rate.power.0;
+        assert!((reduction - 0.671).abs() < 0.005, "reduction {reduction}");
+    }
+
+    #[test]
+    fn latency_claims_match_paper() {
+        let l = lib();
+        // 50 % shorter than rate-coding.
+        let vs_rate = 1.0 - l.resipe.latency.0 / l.rate.latency.0;
+        assert!((vs_rate - 0.5).abs() < 0.01, "vs rate {vs_rate}");
+        // 68.8 % shorter than PWM.
+        let vs_pwm = 1.0 - l.resipe.latency.0 / l.pwm.latency.0;
+        assert!((vs_pwm - 0.688).abs() < 0.005, "vs PWM {vs_pwm}");
+        // Not much faster than level-based (level is actually faster).
+        assert!(l.level.latency.0 <= l.resipe.latency.0);
+    }
+
+    #[test]
+    fn area_claims_match_paper() {
+        let l = lib();
+        let vs_rate = 1.0 - l.resipe.area.0 / l.rate.area.0;
+        assert!((vs_rate - 0.142).abs() < 0.005, "vs rate {vs_rate}");
+        let vs_level = 1.0 - l.resipe.area.0 / l.level.area.0;
+        assert!((vs_level - 0.853).abs() < 0.005, "vs level {vs_level}");
+    }
+
+    #[test]
+    fn resipe_power_comes_from_physics() {
+        let l = lib();
+        let direct = EnergyModel::paper().power();
+        assert_eq!(l.resipe.power, direct);
+        assert!(l.resipe.power.as_milli() < 1.0);
+    }
+
+    #[test]
+    fn resipe_has_best_throughput_density() {
+        let l = lib();
+        for d in [&l.level, &l.rate, &l.pwm] {
+            assert!(
+                l.resipe.throughput_density() > d.throughput_density(),
+                "ReSiPE density {} vs {} {}",
+                l.resipe.throughput_density(),
+                d.name,
+                d.throughput_density()
+            );
+        }
+    }
+
+    #[test]
+    fn data_format_table_rows() {
+        assert_eq!(DataFormat::Level.interface_circuit(), "DAC & ADC");
+        assert!(!DataFormat::RateCoding.in_out_scale_same());
+        assert!(DataFormat::SingleSpiking.in_out_scale_same());
+        assert!(DataFormat::SingleSpiking
+            .voltage_duration()
+            .contains("short"));
+        assert_eq!(format!("{}", DataFormat::Pwm), "PWM");
+    }
+
+    #[test]
+    fn all_returns_table_order() {
+        let l = lib();
+        let names: Vec<&str> = l.all().iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names.len(), 4);
+        assert!(names[3].contains("ReSiPE"));
+    }
+
+    #[test]
+    fn tops_per_watt_magnitudes() {
+        let l = lib();
+        // ReSiPE ≈ 21 TOPS/W, PWM well below 1 TOPS/W.
+        assert!(l.resipe.tops_per_watt() > 15.0);
+        assert!(l.pwm.tops_per_watt() < 1.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for the baseline designs.
+
+use std::error::Error;
+use std::fmt;
+
+use resipe_reram::ReramError;
+
+/// Errors produced by the comparison engines and cost models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// Input vector length did not match the crossbar.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// An input value was not finite.
+    InvalidInput {
+        /// The offending value.
+        value: f64,
+    },
+    /// A design parameter was invalid.
+    InvalidParameter {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// An error bubbled up from the ReRAM substrate.
+    Reram(ReramError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            BaselineError::InvalidInput { value } => {
+                write!(f, "input value {value} is not finite")
+            }
+            BaselineError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
+            }
+            BaselineError::Reram(e) => write!(f, "reram substrate: {e}"),
+        }
+    }
+}
+
+impl Error for BaselineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BaselineError::Reram(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ReramError> for BaselineError {
+    fn from(e: ReramError) -> BaselineError {
+        BaselineError::Reram(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = BaselineError::DimensionMismatch {
+            expected: 32,
+            got: 16,
+        };
+        assert!(e.to_string().contains("32"));
+        assert!(e.source().is_none());
+        let e: BaselineError = ReramError::InvalidFraction { value: 2.0 }.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BaselineError>();
+    }
+}

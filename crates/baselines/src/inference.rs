@@ -1,0 +1,382 @@
+//! Running trained networks on the comparison engines.
+//!
+//! The paper motivates ReSiPE with the *functional* weaknesses of the
+//! other formats: level-based designs are bounded by DAC/ADC resolution,
+//! and "the rate-coding based designs suffer from quantization errors and
+//! thus usually prolong the computing period for ensuring satisfactory
+//! performance" (Sec. I/II). This module makes those claims measurable:
+//! it lowers a trained [`resipe_nn::Network`] onto differential 1T1R
+//! crossbar pairs — the same tiling scheme the ReSiPE engine uses — and
+//! executes every dense/conv layer through **any** [`PimEngine`], so all
+//! four data formats can be compared on identical weights and identical
+//! inputs.
+
+use resipe_nn::data::Dataset;
+use resipe_nn::layers::{im2col, Layer};
+use resipe_nn::network::Network;
+use resipe_nn::tensor::Tensor;
+use resipe_reram::crossbar::{Crossbar, DEFAULT_ACCESS_RESISTANCE};
+use resipe_reram::device::ResistanceWindow;
+use resipe_reram::mapping::DifferentialMapping;
+
+use crate::error::BaselineError;
+use crate::PimEngine;
+
+/// Maximum wordlines per crossbar tile (the paper's 32×32 arrays).
+pub const TILE_ROWS: usize = 32;
+
+/// One weight layer lowered onto differential crossbar tile pairs.
+#[derive(Debug, Clone)]
+struct MappedLayer {
+    /// `(positive, negative)` crossbars, one pair per row tile.
+    tiles: Vec<(Crossbar, Crossbar)>,
+    /// Converts `(G⁺ − G⁻)` sums back to weight units.
+    decode_scale: f64,
+    bias: Vec<f64>,
+    input_scale: f64,
+}
+
+#[derive(Debug, Clone)]
+enum BaselineLayer {
+    Dense(MappedLayer),
+    Conv {
+        mapped: MappedLayer,
+        kernel: usize,
+        padding: usize,
+        out_channels: usize,
+    },
+    Relu,
+    MaxPool(usize),
+    AvgPool(usize),
+    Flatten,
+}
+
+/// A trained network compiled for execution on a comparison engine.
+///
+/// The engine is supplied per call, so one compiled network can be
+/// evaluated under every data format.
+#[derive(Debug, Clone)]
+pub struct BaselineNetwork {
+    layers: Vec<BaselineLayer>,
+    name: String,
+}
+
+impl BaselineNetwork {
+    /// Compiles a trained network onto differential crossbar pairs in the
+    /// recommended resistance window.
+    ///
+    /// `calibration` fixes per-layer activation scales via the ideal
+    /// network (as in the ReSiPE compile path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidParameter`] for unsupported layers
+    /// or propagated substrate errors.
+    pub fn compile(net: &Network, calibration: &Tensor) -> Result<BaselineNetwork, BaselineError> {
+        let window = ResistanceWindow::RECOMMENDED;
+        let access = DEFAULT_ACCESS_RESISTANCE;
+
+        // Per-weight-layer input scales from the ideal network.
+        let mut ideal = net.clone();
+        let mut scales = Vec::new();
+        {
+            let mut x = calibration.clone();
+            for layer in ideal.layers_mut() {
+                if layer.has_weights() {
+                    scales.push(f64::from(x.max_abs()).max(f64::MIN_POSITIVE));
+                }
+                x = layer
+                    .forward(&x)
+                    .map_err(|e| BaselineError::InvalidParameter {
+                        reason: format!("calibration pass failed: {e}"),
+                    })?;
+            }
+        }
+        let mut scale_iter = scales.into_iter();
+
+        let map_matrix = |weights: &[f64],
+                          rows: usize,
+                          cols: usize,
+                          bias: Vec<f64>,
+                          input_scale: f64|
+         -> Result<MappedLayer, BaselineError> {
+            let mut tiles = Vec::new();
+            let mut row_start = 0;
+            // Normalize once over the whole matrix so tiles share a scale.
+            let mapping = DifferentialMapping::new();
+            let full = mapping.map(weights, rows, cols)?;
+            let decode_scale = full.decode_scale(window);
+            while row_start < rows {
+                let tile_rows = (rows - row_start).min(TILE_ROWS);
+                let slice: Vec<f64> =
+                    weights[row_start * cols..(row_start + tile_rows) * cols].to_vec();
+                // Re-map the tile against the whole-matrix scale so all
+                // tiles share one normalization.
+                let tile_map =
+                    mapping.map_with_scale(&slice, tile_rows, cols, full.weight_scale())?;
+                let (pos, neg) = tile_map.to_crossbars(window, access)?;
+                tiles.push((pos, neg));
+                row_start += tile_rows;
+            }
+            Ok(MappedLayer {
+                tiles,
+                decode_scale,
+                bias,
+                input_scale,
+            })
+        };
+
+        let mut layers = Vec::with_capacity(net.len());
+        for layer in net.layers() {
+            let mapped = match layer {
+                Layer::Dense(d) => {
+                    let w = d.weights();
+                    let (rows, cols) = (w.shape()[0], w.shape()[1]);
+                    let weights: Vec<f64> = w.data().iter().map(|&v| v as f64).collect();
+                    let bias = d.bias().data().iter().map(|&v| v as f64).collect();
+                    let scale = scale_iter.next().expect("one scale per weight layer");
+                    BaselineLayer::Dense(map_matrix(&weights, rows, cols, bias, scale)?)
+                }
+                Layer::Conv2d(c) => {
+                    let w = c.weights();
+                    let (out_ch, fan_in) = (w.shape()[0], w.shape()[1]);
+                    let mut weights = vec![0.0f64; fan_in * out_ch];
+                    for oc in 0..out_ch {
+                        for k in 0..fan_in {
+                            weights[k * out_ch + oc] = w.get(&[oc, k]) as f64;
+                        }
+                    }
+                    let bias = c.bias().data().iter().map(|&v| v as f64).collect();
+                    let scale = scale_iter.next().expect("one scale per weight layer");
+                    BaselineLayer::Conv {
+                        mapped: map_matrix(&weights, fan_in, out_ch, bias, scale)?,
+                        kernel: c.kernel_size(),
+                        padding: c.padding(),
+                        out_channels: c.out_channels(),
+                    }
+                }
+                Layer::Relu(_) => BaselineLayer::Relu,
+                Layer::MaxPool2d(p) => BaselineLayer::MaxPool(p.size()),
+                Layer::AvgPool2d(p) => BaselineLayer::AvgPool(p.size()),
+                Layer::Flatten(_) => BaselineLayer::Flatten,
+            };
+            layers.push(mapped);
+        }
+        Ok(BaselineNetwork {
+            layers,
+            name: net.name().to_owned(),
+        })
+    }
+
+    /// The compiled network's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward_mapped<E: PimEngine + ?Sized>(
+        engine: &E,
+        mapped: &MappedLayer,
+        activations: &[f64],
+    ) -> Result<Vec<f64>, BaselineError> {
+        let cols = mapped.tiles[0].0.cols();
+        let mut acc = vec![0.0f64; cols];
+        let mut row_start = 0;
+        for (pos, neg) in &mapped.tiles {
+            let rows = pos.rows();
+            let a: Vec<f64> = activations[row_start..row_start + rows]
+                .iter()
+                .map(|&v| v.clamp(0.0, 1.0))
+                .collect();
+            let plus = engine.mvm(pos, &a)?;
+            let minus = engine.mvm(neg, &a)?;
+            for (j, (p, m)) in plus.iter().zip(&minus).enumerate() {
+                acc[j] += p - m;
+            }
+            row_start += rows;
+        }
+        for y in &mut acc {
+            *y *= mapped.decode_scale;
+        }
+        Ok(acc)
+    }
+
+    /// Forward pass of a batch through `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for incompatible inputs.
+    pub fn forward<E: PimEngine + ?Sized>(
+        &self,
+        engine: &E,
+        input: &Tensor,
+    ) -> Result<Tensor, BaselineError> {
+        let shape_err = |reason: String| BaselineError::InvalidParameter { reason };
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = match layer {
+                BaselineLayer::Dense(mapped) => {
+                    let s = x.shape().to_vec();
+                    let n = s[0];
+                    let mut out = Tensor::zeros(&[n, mapped.tiles[0].0.cols()]);
+                    for i in 0..n {
+                        let a: Vec<f64> = x
+                            .row(i)
+                            .iter()
+                            .map(|&v| v as f64 / mapped.input_scale)
+                            .collect();
+                        let y = Self::forward_mapped(engine, mapped, &a)?;
+                        for (j, &yj) in y.iter().enumerate() {
+                            out.set(&[i, j], (yj * mapped.input_scale + mapped.bias[j]) as f32);
+                        }
+                    }
+                    out
+                }
+                BaselineLayer::Conv {
+                    mapped,
+                    kernel,
+                    padding,
+                    out_channels,
+                } => {
+                    let s = x.shape().to_vec();
+                    let (n, h, w) = (s[0], s[2], s[3]);
+                    let h_out = h + 2 * padding + 1 - kernel;
+                    let w_out = w + 2 * padding + 1 - kernel;
+                    let mut out = Tensor::zeros(&[n, *out_channels, h_out, w_out]);
+                    for b in 0..n {
+                        let cols = im2col(&x, b, *kernel, *padding)
+                            .map_err(|e| shape_err(e.to_string()))?;
+                        let fan_in = cols.shape()[0];
+                        for pix in 0..h_out * w_out {
+                            let a: Vec<f64> = (0..fan_in)
+                                .map(|r| cols.get(&[r, pix]) as f64 / mapped.input_scale)
+                                .collect();
+                            let y = Self::forward_mapped(engine, mapped, &a)?;
+                            let (oi, oj) = (pix / w_out, pix % w_out);
+                            for (oc, &yc) in y.iter().enumerate() {
+                                out.set(
+                                    &[b, oc, oi, oj],
+                                    (yc * mapped.input_scale + mapped.bias[oc]) as f32,
+                                );
+                            }
+                        }
+                    }
+                    out
+                }
+                BaselineLayer::Relu => x.map(|v| v.max(0.0)),
+                BaselineLayer::MaxPool(size) => {
+                    let mut pool = resipe_nn::layers::MaxPool2d::new(*size);
+                    pool.forward(&x).map_err(|e| shape_err(e.to_string()))?
+                }
+                BaselineLayer::AvgPool(size) => {
+                    let mut pool = resipe_nn::layers::AvgPool2d::new(*size);
+                    pool.forward(&x).map_err(|e| shape_err(e.to_string()))?
+                }
+                BaselineLayer::Flatten => {
+                    let mut fl = resipe_nn::layers::Flatten::new();
+                    fl.forward(&x).map_err(|e| shape_err(e.to_string()))?
+                }
+            };
+        }
+        Ok(x)
+    }
+
+    /// Classification accuracy of the network under `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors.
+    pub fn accuracy<E: PimEngine + ?Sized>(
+        &self,
+        engine: &E,
+        data: &Dataset,
+    ) -> Result<f32, BaselineError> {
+        const EVAL_BATCH: usize = 16;
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let mut preds = Vec::with_capacity(data.len());
+        for chunk in indices.chunks(EVAL_BATCH) {
+            let (x, _) = data
+                .batch(chunk)
+                .map_err(|e| BaselineError::InvalidParameter {
+                    reason: e.to_string(),
+                })?;
+            let logits = self.forward(engine, &x)?;
+            preds.extend(logits.argmax_rows());
+        }
+        resipe_nn::metrics::accuracy_of(&preds, data.labels()).map_err(|e| {
+            BaselineError::InvalidParameter {
+                reason: e.to_string(),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LevelBased, RateCoding};
+    use resipe_nn::data::synth_digits;
+    use resipe_nn::models;
+    use resipe_nn::train::{Sgd, TrainConfig};
+
+    fn trained() -> (Network, Dataset, Dataset) {
+        let train = synth_digits(300, 31).unwrap();
+        let test = synth_digits(80, 32).unwrap();
+        let mut net = models::mlp1(3).unwrap();
+        Sgd::new(TrainConfig::new(5).with_learning_rate(0.1))
+            .fit(&mut net, &train)
+            .unwrap();
+        (net, train, test)
+    }
+
+    #[test]
+    fn high_resolution_level_engine_tracks_ideal() {
+        let (net, train, test) = trained();
+        let mut ideal = net.clone();
+        let ideal_acc = resipe_nn::metrics::accuracy(&mut ideal, &test).unwrap();
+        let (calib, _) = train.batch(&(0..32).collect::<Vec<_>>()).unwrap();
+        let compiled = BaselineNetwork::compile(&net, &calib).unwrap();
+        let engine = LevelBased::new(14, 14).unwrap();
+        let acc = compiled.accuracy(&engine, &test).unwrap();
+        assert!(
+            ideal_acc - acc < 0.06,
+            "14-bit level engine {acc} vs ideal {ideal_acc}"
+        );
+    }
+
+    #[test]
+    fn rate_coding_window_logit_error_tradeoff() {
+        // The Sec. I claim: rate coding needs long windows to control its
+        // quantization error. Measured at logit level (classification
+        // accuracy on the near-binary digit task is not monotone in the
+        // window — coarse input quantization can act as denoising).
+        let (net, train, test) = trained();
+        let (calib, _) = train.batch(&(0..32).collect::<Vec<_>>()).unwrap();
+        let compiled = BaselineNetwork::compile(&net, &calib).unwrap();
+        let (x, _) = test.batch(&(0..24).collect::<Vec<_>>()).unwrap();
+        let mut ideal = net.clone();
+        let reference = ideal.forward(&x).unwrap();
+        let logit_err = |window: usize| {
+            let engine = RateCoding::new(window).unwrap();
+            let logits = compiled.forward(&engine, &x).unwrap();
+            resipe_nn::metrics::mean_absolute_error(&reference, &logits).unwrap()
+        };
+        let coarse = logit_err(2);
+        let fine = logit_err(128);
+        assert!(
+            fine < coarse,
+            "128-slot logit error {fine} should undercut 2-slot {coarse}"
+        );
+        // And the long window still classifies well end to end.
+        let engine = RateCoding::new(128).unwrap();
+        let acc = compiled.accuracy(&engine, &test).unwrap();
+        assert!(acc > 0.6, "fine-window accuracy {acc}");
+    }
+
+    #[test]
+    fn compiled_name_and_structure() {
+        let (net, train, _) = trained();
+        let (calib, _) = train.batch(&[0, 1]).unwrap();
+        let compiled = BaselineNetwork::compile(&net, &calib).unwrap();
+        assert_eq!(compiled.name(), "MLP-1");
+    }
+}

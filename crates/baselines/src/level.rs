@@ -1,0 +1,186 @@
+//! The level-based comparison design (\[14\] Chen ISSCC'18, \[17\] Mochida
+//! VLSI'18).
+//!
+//! Inputs are converted by per-wordline DACs into analog voltage levels
+//! held for the whole computation; bitline currents are digitized by
+//! (shared, but here modelled per-column) ADCs. Functionally the design
+//! is limited by its converter resolutions: a `dac_bits`-level input
+//! quantization and an `adc_bits`-level output quantization over the
+//! full-scale column current.
+
+use serde::{Deserialize, Serialize};
+
+use resipe_reram::crossbar::Crossbar;
+
+use crate::components::{CostLibrary, DataFormat, DesignPoint};
+use crate::error::BaselineError;
+use crate::PimEngine;
+
+/// The level-based engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelBased {
+    dac_bits: u32,
+    adc_bits: u32,
+    design_point: DesignPoint,
+}
+
+impl LevelBased {
+    /// The paper's comparison point: 6-bit DACs and 8-bit ADCs (typical
+    /// of the cited macros).
+    pub fn paper() -> LevelBased {
+        LevelBased::new(6, 8).expect("paper bit widths are valid")
+    }
+
+    /// Creates a level-based engine with explicit converter resolutions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidParameter`] if either bit width is
+    /// outside `1..=16`.
+    pub fn new(dac_bits: u32, adc_bits: u32) -> Result<LevelBased, BaselineError> {
+        for (bits, name) in [(dac_bits, "dac_bits"), (adc_bits, "adc_bits")] {
+            if bits == 0 || bits > 16 {
+                return Err(BaselineError::InvalidParameter {
+                    reason: format!("{name} must be in 1..=16, got {bits}"),
+                });
+            }
+        }
+        Ok(LevelBased {
+            dac_bits,
+            adc_bits,
+            design_point: CostLibrary::paper().level,
+        })
+    }
+
+    /// DAC resolution in bits.
+    pub fn dac_bits(&self) -> u32 {
+        self.dac_bits
+    }
+
+    /// ADC resolution in bits.
+    pub fn adc_bits(&self) -> u32 {
+        self.adc_bits
+    }
+
+    fn quantize(value: f64, bits: u32) -> f64 {
+        let steps = ((1u64 << bits) - 1) as f64;
+        (value.clamp(0.0, 1.0) * steps).round() / steps
+    }
+}
+
+impl PimEngine for LevelBased {
+    fn name(&self) -> &str {
+        &self.design_point.name
+    }
+
+    fn data_format(&self) -> DataFormat {
+        DataFormat::Level
+    }
+
+    fn mvm(&self, crossbar: &Crossbar, inputs: &[f64]) -> Result<Vec<f64>, BaselineError> {
+        crate::check_inputs(crossbar, inputs)?;
+        // DAC quantization of each input level.
+        let levels: Vec<f64> = inputs
+            .iter()
+            .map(|&a| Self::quantize(a, self.dac_bits))
+            .collect();
+        // Full-scale column current: every input at 1.0 through the
+        // maximum cell conductance.
+        let g_max_eff = 1.0 / (crossbar.window().lrs().0 + crossbar.access_resistance().0);
+        let full_scale = crossbar.rows() as f64 * g_max_eff;
+        (0..crossbar.cols())
+            .map(|col| {
+                let mut current = 0.0;
+                for (row, &a) in levels.iter().enumerate() {
+                    current += a * crossbar.effective_conductance(row, col)?.0;
+                }
+                // ADC quantization over the full-scale range.
+                Ok(Self::quantize(current / full_scale, self.adc_bits) * full_scale)
+            })
+            .collect()
+    }
+
+    fn design_point(&self) -> DesignPoint {
+        self.design_point.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal_mvm;
+    use resipe_reram::device::ResistanceWindow;
+
+    fn xbar() -> Crossbar {
+        let mut xb = Crossbar::new(8, 4, ResistanceWindow::RECOMMENDED);
+        for r in 0..8 {
+            for c in 0..4 {
+                xb.program_fraction(r, c, ((r * 4 + c) as f64 / 31.0).min(1.0))
+                    .unwrap();
+            }
+        }
+        xb
+    }
+
+    #[test]
+    fn high_resolution_matches_ideal() {
+        let engine = LevelBased::new(16, 16).unwrap();
+        let xb = xbar();
+        let a = [0.1, 0.9, 0.3, 0.7, 0.5, 0.2, 0.8, 0.6];
+        let got = engine.mvm(&xb, &a).unwrap();
+        let ideal = ideal_mvm(&xb, &a).unwrap();
+        for (g, i) in got.iter().zip(&ideal) {
+            assert!((g - i).abs() / i < 1e-3, "{g} vs {i}");
+        }
+    }
+
+    #[test]
+    fn low_resolution_quantizes() {
+        let coarse = LevelBased::new(2, 2).unwrap();
+        let fine = LevelBased::new(12, 12).unwrap();
+        let xb = xbar();
+        let a = [0.37; 8];
+        let yc = coarse.mvm(&xb, &a).unwrap();
+        let yf = fine.mvm(&xb, &a).unwrap();
+        // Coarse quantization must differ measurably from fine.
+        let diff: f64 = yc.iter().zip(&yf).map(|(c, f)| (c - f).abs()).sum();
+        assert!(diff > 0.0, "2-bit and 12-bit outputs identical");
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_lsb() {
+        // DAC error on inputs propagates; ADC error bounded by half an
+        // output LSB of full scale.
+        let engine = LevelBased::new(16, 4).unwrap();
+        let xb = xbar();
+        let a = [0.5; 8];
+        let got = engine.mvm(&xb, &a).unwrap();
+        let ideal = ideal_mvm(&xb, &a).unwrap();
+        let g_max_eff = 1.0 / (xb.window().lrs().0 + xb.access_resistance().0);
+        let full_scale = 8.0 * g_max_eff;
+        let lsb = full_scale / 15.0;
+        for (g, i) in got.iter().zip(&ideal) {
+            assert!((g - i).abs() <= 0.5 * lsb + 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_point_and_metadata() {
+        let engine = LevelBased::paper();
+        assert_eq!(engine.dac_bits(), 6);
+        assert_eq!(engine.adc_bits(), 8);
+        assert_eq!(engine.data_format(), DataFormat::Level);
+        assert!(engine.name().contains("Level"));
+        assert!(engine.design_point().power.0 > 0.0);
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert!(LevelBased::new(0, 8).is_err());
+        assert!(LevelBased::new(8, 17).is_err());
+        let engine = LevelBased::paper();
+        let xb = xbar();
+        assert!(engine.mvm(&xb, &[0.5; 4]).is_err());
+        assert!(engine.mvm(&xb, &[f64::NAN; 8]).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! # resipe-baselines
+//!
+//! Every comparison design of the ReSiPE paper's Table II, plus the cost
+//! models that regenerate Table II and Fig. 6:
+//!
+//! * [`level`] — the level-based design (\[14\] Chen et al. ISSCC'18,
+//!   \[17\] Mochida et al. VLSI'18): DAC-driven wordline voltages, ADC-read
+//!   bitline currents;
+//! * [`rate`] — the rate-coding design (\[11\] Liu et al. DAC'15,
+//!   \[13\] Yan et al. VLSI'19): values carried by spike counts over a
+//!   fixed window;
+//! * [`pwm`] — the PWM design (\[15\] Jiang et al. ISCAS'18): values
+//!   carried by pulse widths, outputs still ADC-read;
+//! * [`components`] — the 65 nm interface-component cost library and the
+//!   calibrated per-design operating points;
+//! * [`comparison`] — Table I (data formats) and Table II (power /
+//!   efficiency / latency / area) generators;
+//! * [`throughput`] — the Fig. 6 latency–area–throughput trade-off.
+//!
+//! All three baselines also implement a *functional* MVM
+//! ([`PimEngine::mvm`]) with their characteristic quantization behaviour,
+//! so accuracy comparisons against ReSiPE are possible beyond what the
+//! paper tabulates.
+
+// `!(x > 0.0)` deliberately rejects NaN alongside non-positive values
+// when validating physical parameters; the clippy lint would obscure that.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod comparison;
+pub mod components;
+pub mod error;
+pub mod inference;
+pub mod level;
+pub mod pwm;
+pub mod rate;
+pub mod temporal;
+pub mod throughput;
+
+pub use comparison::{ComparisonTable, TableRow};
+pub use components::{DataFormat, DesignPoint};
+pub use error::BaselineError;
+pub use inference::BaselineNetwork;
+pub use level::LevelBased;
+pub use pwm::PwmBased;
+pub use rate::RateCoding;
+pub use temporal::TemporalCoding;
+
+use resipe_reram::crossbar::Crossbar;
+
+/// Common interface of every comparison processing engine.
+///
+/// `mvm` is the *functional* model: normalized activations `a ∈ \[0, 1\]`
+/// in, conductance-weighted dot products `y_j = Σ_i ã_i G_ij` (in siemens)
+/// out, where `ã` is the design's quantized reconstruction of `a`.
+pub trait PimEngine {
+    /// The design's display name as used in Table II.
+    fn name(&self) -> &str;
+
+    /// The data format class of Table I.
+    fn data_format(&self) -> DataFormat;
+
+    /// Functional MVM with the design's quantization behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`BaselineError::DimensionMismatch`] when
+    /// `inputs.len() != crossbar.rows()` and
+    /// [`BaselineError::InvalidInput`] for non-finite inputs.
+    fn mvm(&self, crossbar: &Crossbar, inputs: &[f64]) -> Result<Vec<f64>, BaselineError>;
+
+    /// The design's calibrated Table II operating point.
+    fn design_point(&self) -> DesignPoint;
+}
+
+pub(crate) fn check_inputs(crossbar: &Crossbar, inputs: &[f64]) -> Result<(), BaselineError> {
+    if inputs.len() != crossbar.rows() {
+        return Err(BaselineError::DimensionMismatch {
+            expected: crossbar.rows(),
+            got: inputs.len(),
+        });
+    }
+    for &a in inputs {
+        if !a.is_finite() {
+            return Err(BaselineError::InvalidInput { value: a });
+        }
+    }
+    Ok(())
+}
+
+/// The exact (unquantized) dot products `Σ a_i G_ij` — the reference all
+/// functional baselines are compared against.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::DimensionMismatch`] for a length mismatch.
+pub fn ideal_mvm(crossbar: &Crossbar, inputs: &[f64]) -> Result<Vec<f64>, BaselineError> {
+    check_inputs(crossbar, inputs)?;
+    (0..crossbar.cols())
+        .map(|col| {
+            let mut acc = 0.0;
+            for (row, &a) in inputs.iter().enumerate() {
+                acc += a * crossbar.effective_conductance(row, col)?.0;
+            }
+            Ok(acc)
+        })
+        .collect()
+}

@@ -1,0 +1,185 @@
+//! The PWM comparison design (\[15\] Jiang et al. ISCAS'18).
+//!
+//! Values are carried by pulse *widths*: a wordline is driven high for
+//! `a · T_pulse`, quantized to the modulator's clock. The bitline
+//! integrates the delivered charge, which an ADC then digitizes — the
+//! paper notes "the work still requires ADC to generate output data",
+//! which is what sinks its efficiency in Table II.
+
+use serde::{Deserialize, Serialize};
+
+use resipe_reram::crossbar::Crossbar;
+
+use crate::components::{CostLibrary, DataFormat, DesignPoint};
+use crate::error::BaselineError;
+use crate::PimEngine;
+
+/// The PWM engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PwmBased {
+    /// Number of clock ticks across the full pulse window.
+    width_steps: usize,
+    /// Output ADC resolution in bits.
+    adc_bits: u32,
+    design_point: DesignPoint,
+}
+
+impl PwmBased {
+    /// The paper's comparison point: a 1 GHz clock over the ~640 ns
+    /// window (about 512 usable width steps after guard intervals) and an
+    /// 8-bit output ADC.
+    pub fn paper() -> PwmBased {
+        PwmBased::new(512, 8).expect("paper parameters are valid")
+    }
+
+    /// Creates a PWM engine with explicit resolution parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidParameter`] for a zero/oversized
+    /// step count or an ADC width outside `1..=16`.
+    pub fn new(width_steps: usize, adc_bits: u32) -> Result<PwmBased, BaselineError> {
+        if width_steps == 0 || width_steps > 1 << 16 {
+            return Err(BaselineError::InvalidParameter {
+                reason: format!("width steps must be in 1..=65536, got {width_steps}"),
+            });
+        }
+        if adc_bits == 0 || adc_bits > 16 {
+            return Err(BaselineError::InvalidParameter {
+                reason: format!("adc_bits must be in 1..=16, got {adc_bits}"),
+            });
+        }
+        Ok(PwmBased {
+            width_steps,
+            adc_bits,
+            design_point: CostLibrary::paper().pwm,
+        })
+    }
+
+    /// The pulse-width resolution in clock ticks.
+    pub fn width_steps(&self) -> usize {
+        self.width_steps
+    }
+
+    /// The output ADC resolution in bits.
+    pub fn adc_bits(&self) -> u32 {
+        self.adc_bits
+    }
+
+    /// The quantized pulse width (as a fraction of the window) for value
+    /// `a`.
+    pub fn width_for(&self, a: f64) -> f64 {
+        let steps = self.width_steps as f64;
+        (a.clamp(0.0, 1.0) * steps).round() / steps
+    }
+}
+
+impl PimEngine for PwmBased {
+    fn name(&self) -> &str {
+        &self.design_point.name
+    }
+
+    fn data_format(&self) -> DataFormat {
+        DataFormat::Pwm
+    }
+
+    fn mvm(&self, crossbar: &Crossbar, inputs: &[f64]) -> Result<Vec<f64>, BaselineError> {
+        crate::check_inputs(crossbar, inputs)?;
+        let widths: Vec<f64> = inputs.iter().map(|&a| self.width_for(a)).collect();
+        let g_max_eff = 1.0 / (crossbar.window().lrs().0 + crossbar.access_resistance().0);
+        let full_scale = crossbar.rows() as f64 * g_max_eff;
+        let adc_steps = ((1u64 << self.adc_bits) - 1) as f64;
+        (0..crossbar.cols())
+            .map(|col| {
+                let mut charge = 0.0;
+                for (row, &w) in widths.iter().enumerate() {
+                    charge += w * crossbar.effective_conductance(row, col)?.0;
+                }
+                let normalized = (charge / full_scale).clamp(0.0, 1.0);
+                Ok((normalized * adc_steps).round() / adc_steps * full_scale)
+            })
+            .collect()
+    }
+
+    fn design_point(&self) -> DesignPoint {
+        self.design_point.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal_mvm;
+    use resipe_reram::device::ResistanceWindow;
+
+    fn xbar() -> Crossbar {
+        let mut xb = Crossbar::new(4, 3, ResistanceWindow::RECOMMENDED);
+        xb.program_matrix(&[
+            0.9, 0.1, 0.5, 0.3, 0.7, 0.2, 0.6, 0.4, 0.8, 0.05, 0.95, 0.45,
+        ])
+        .unwrap();
+        xb
+    }
+
+    #[test]
+    fn width_quantization() {
+        let p = PwmBased::paper();
+        assert_eq!(p.width_for(0.0), 0.0);
+        assert_eq!(p.width_for(1.0), 1.0);
+        assert_eq!(p.width_for(1.7), 1.0, "clamped");
+        let w = p.width_for(0.5);
+        assert!((w - 0.5).abs() <= 0.5 / 512.0);
+    }
+
+    #[test]
+    fn high_resolution_tracks_ideal() {
+        let p = PwmBased::new(1 << 16, 16).unwrap();
+        let xb = xbar();
+        let a = [0.21, 0.84, 0.47, 0.66];
+        let got = p.mvm(&xb, &a).unwrap();
+        let ideal = ideal_mvm(&xb, &a).unwrap();
+        for (g, i) in got.iter().zip(&ideal) {
+            assert!((g - i).abs() / i < 1e-3, "{g} vs {i}");
+        }
+    }
+
+    #[test]
+    fn coarse_adc_dominates_error() {
+        let fine = PwmBased::new(512, 14).unwrap();
+        let coarse = PwmBased::new(512, 2).unwrap();
+        let xb = xbar();
+        let a = [0.33; 4];
+        let ideal = ideal_mvm(&xb, &a).unwrap();
+        let err = |outs: &[f64]| {
+            outs.iter()
+                .zip(&ideal)
+                .map(|(g, i)| (g - i).abs())
+                .sum::<f64>()
+        };
+        let e_fine = err(&fine.mvm(&xb, &a).unwrap());
+        let e_coarse = err(&coarse.mvm(&xb, &a).unwrap());
+        assert!(e_coarse > e_fine, "coarse {e_coarse} vs fine {e_fine}");
+    }
+
+    #[test]
+    fn metadata_and_design_point() {
+        let p = PwmBased::paper();
+        assert_eq!(p.width_steps(), 512);
+        assert_eq!(p.adc_bits(), 8);
+        assert_eq!(p.data_format(), DataFormat::Pwm);
+        assert!(p.name().contains("PWM"));
+        // PWM is the efficiency tail of Table II.
+        let lib = CostLibrary::paper();
+        assert!(p.design_point().power_efficiency() < lib.rate.power_efficiency());
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert!(PwmBased::new(0, 8).is_err());
+        assert!(PwmBased::new(512, 0).is_err());
+        assert!(PwmBased::new(512, 17).is_err());
+        assert!(PwmBased::new(1 << 17, 8).is_err());
+        let p = PwmBased::paper();
+        assert!(p.mvm(&xbar(), &[0.5]).is_err());
+    }
+}

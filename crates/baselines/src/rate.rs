@@ -1,0 +1,240 @@
+//! The rate-coding comparison design (\[11\] Liu DAC'15, \[13\] Yan VLSI'19).
+//!
+//! A value `a ∈ \[0, 1\]` is carried by the number of spikes emitted within
+//! a fixed window of `window_spikes` slots: `k = round(a · N)`. Each
+//! spike delivers one unit of charge through its cell, so the
+//! reconstructed input is `k / N` — the quantization error the paper
+//! identifies as the format's weakness ("the rate-coding based designs
+//! suffer from quantization errors and thus usually prolong the computing
+//! period"). Optionally the spike trains can be drawn stochastically
+//! (Bernoulli per slot), adding sampling noise on top.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use resipe_reram::crossbar::Crossbar;
+
+use crate::components::{CostLibrary, DataFormat, DesignPoint};
+use crate::error::BaselineError;
+use crate::PimEngine;
+
+/// How spike trains are generated from values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SpikeGeneration {
+    /// Deterministic: `k = round(a·N)` spikes.
+    #[default]
+    Deterministic,
+    /// Stochastic: each of the N slots fires with probability `a`
+    /// (seeded per engine).
+    Stochastic,
+}
+
+/// The rate-coding engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateCoding {
+    window_spikes: usize,
+    generation: SpikeGeneration,
+    seed: u64,
+    design_point: DesignPoint,
+}
+
+impl RateCoding {
+    /// The paper's comparison point: a 64-slot window (6-bit rate
+    /// resolution over the 2× longer computing period), deterministic
+    /// generation.
+    pub fn paper() -> RateCoding {
+        RateCoding::new(64).expect("paper window is valid")
+    }
+
+    /// Creates a rate-coding engine with an explicit window length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidParameter`] if the window is zero
+    /// or absurdly long (> 2¹⁶ slots).
+    pub fn new(window_spikes: usize) -> Result<RateCoding, BaselineError> {
+        if window_spikes == 0 || window_spikes > 1 << 16 {
+            return Err(BaselineError::InvalidParameter {
+                reason: format!("window must be in 1..=65536 slots, got {window_spikes}"),
+            });
+        }
+        Ok(RateCoding {
+            window_spikes,
+            generation: SpikeGeneration::Deterministic,
+            seed: 0,
+            design_point: CostLibrary::paper().rate,
+        })
+    }
+
+    /// Switches to stochastic spike generation with the given seed.
+    pub fn with_stochastic(mut self, seed: u64) -> RateCoding {
+        self.generation = SpikeGeneration::Stochastic;
+        self.seed = seed;
+        self
+    }
+
+    /// The window length in spike slots.
+    pub fn window_spikes(&self) -> usize {
+        self.window_spikes
+    }
+
+    /// The spike-generation mode.
+    pub fn generation(&self) -> SpikeGeneration {
+        self.generation
+    }
+
+    /// Number of spikes emitted for value `a` — deterministic mode.
+    pub fn spikes_for(&self, a: f64) -> usize {
+        (a.clamp(0.0, 1.0) * self.window_spikes as f64).round() as usize
+    }
+
+    /// Worst-case rate-quantization error (half a slot).
+    pub fn max_quantization_error(&self) -> f64 {
+        0.5 / self.window_spikes as f64
+    }
+}
+
+impl PimEngine for RateCoding {
+    fn name(&self) -> &str {
+        &self.design_point.name
+    }
+
+    fn data_format(&self) -> DataFormat {
+        DataFormat::RateCoding
+    }
+
+    fn mvm(&self, crossbar: &Crossbar, inputs: &[f64]) -> Result<Vec<f64>, BaselineError> {
+        crate::check_inputs(crossbar, inputs)?;
+        let n = self.window_spikes as f64;
+        let reconstructed: Vec<f64> = match self.generation {
+            SpikeGeneration::Deterministic => inputs
+                .iter()
+                .map(|&a| self.spikes_for(a) as f64 / n)
+                .collect(),
+            SpikeGeneration::Stochastic => {
+                let mut rng = StdRng::seed_from_u64(self.seed);
+                inputs
+                    .iter()
+                    .map(|&a| {
+                        let p = a.clamp(0.0, 1.0);
+                        let fired = (0..self.window_spikes)
+                            .filter(|_| rng.gen::<f64>() < p)
+                            .count();
+                        fired as f64 / n
+                    })
+                    .collect()
+            }
+        };
+        (0..crossbar.cols())
+            .map(|col| {
+                let mut acc = 0.0;
+                for (row, &a) in reconstructed.iter().enumerate() {
+                    acc += a * crossbar.effective_conductance(row, col)?.0;
+                }
+                Ok(acc)
+            })
+            .collect()
+    }
+
+    fn design_point(&self) -> DesignPoint {
+        self.design_point.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal_mvm;
+    use resipe_reram::device::ResistanceWindow;
+
+    fn xbar() -> Crossbar {
+        let mut xb = Crossbar::new(8, 2, ResistanceWindow::RECOMMENDED);
+        xb.program_matrix(&[
+            0.1, 0.9, 0.2, 0.8, 0.3, 0.7, 0.4, 0.6, 0.5, 0.5, 0.6, 0.4, 0.7, 0.3, 0.8, 0.2,
+        ])
+        .unwrap();
+        xb
+    }
+
+    #[test]
+    fn spike_counts() {
+        let r = RateCoding::paper();
+        assert_eq!(r.window_spikes(), 64);
+        assert_eq!(r.spikes_for(0.0), 0);
+        assert_eq!(r.spikes_for(1.0), 64);
+        assert_eq!(r.spikes_for(0.5), 32);
+        assert_eq!(r.spikes_for(2.0), 64, "clamped");
+        assert!((r.max_quantization_error() - 1.0 / 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_error_bounded() {
+        let r = RateCoding::paper();
+        let xb = xbar();
+        let a = [0.13, 0.77, 0.41, 0.99, 0.02, 0.55, 0.68, 0.31];
+        let got = r.mvm(&xb, &a).unwrap();
+        let ideal = ideal_mvm(&xb, &a).unwrap();
+        // Per-input error <= half slot; total bounded by rows · g_max ·
+        // half-slot.
+        let g_max = 1.0 / (50e3 + 1e3);
+        let bound = 8.0 * g_max * r.max_quantization_error() + 1e-15;
+        for (g, i) in got.iter().zip(&ideal) {
+            assert!((g - i).abs() <= bound, "err {}", (g - i).abs());
+        }
+    }
+
+    #[test]
+    fn longer_window_reduces_error() {
+        let xb = xbar();
+        let a = [0.37, 0.61, 0.18, 0.93, 0.44, 0.72, 0.05, 0.88];
+        let ideal = ideal_mvm(&xb, &a).unwrap();
+        let err = |window: usize| {
+            let r = RateCoding::new(window).unwrap();
+            let got = r.mvm(&xb, &a).unwrap();
+            got.iter()
+                .zip(&ideal)
+                .map(|(g, i)| (g - i).abs())
+                .sum::<f64>()
+        };
+        // The paper's trade-off: longer computing period -> less error.
+        assert!(
+            err(256) < err(8),
+            "256-slot {} vs 8-slot {}",
+            err(256),
+            err(8)
+        );
+    }
+
+    #[test]
+    fn stochastic_mode_has_sampling_noise() {
+        let xb = xbar();
+        let a = [0.5; 8];
+        let det = RateCoding::paper().mvm(&xb, &a).unwrap();
+        let sto = RateCoding::paper().with_stochastic(1).mvm(&xb, &a).unwrap();
+        assert_ne!(det, sto);
+        let r = RateCoding::paper().with_stochastic(1);
+        assert_eq!(r.generation(), SpikeGeneration::Stochastic);
+        // Same seed is reproducible.
+        let again = RateCoding::paper().with_stochastic(1).mvm(&xb, &a).unwrap();
+        assert_eq!(sto, again);
+    }
+
+    #[test]
+    fn metadata() {
+        let r = RateCoding::paper();
+        assert_eq!(r.data_format(), DataFormat::RateCoding);
+        assert!(r.name().contains("Rate"));
+        // Table II: rate design burns ~3× ReSiPE's power.
+        let lib = CostLibrary::paper();
+        assert!(r.design_point().power.0 > 2.9 * lib.resipe.power.0);
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert!(RateCoding::new(0).is_err());
+        assert!(RateCoding::new(1 << 17).is_err());
+        let r = RateCoding::paper();
+        assert!(r.mvm(&xbar(), &[0.5; 3]).is_err());
+    }
+}

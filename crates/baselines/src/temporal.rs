@@ -1,0 +1,192 @@
+//! The temporal-coding design (paper ref \[16\], Prezioso et al.).
+//!
+//! Temporal coding carries values in the *relative* timing of spikes and
+//! evaluates them through neuron-like leaky integration. The paper keeps
+//! it out of Table II ("temporal coding is often specially designed for
+//! training ... we purposely exclude temporal coding paradigms here") but
+//! lists it in Table I; this functional model completes the format
+//! lineup and demonstrates why it was excluded: emulating neural dynamics
+//! takes many slices ("long latency to accurately emulate neural-alike
+//! dynamics").
+//!
+//! Model: value `a ∈ \[0, 1\]` maps to a first-spike latency
+//! `t = (1 − a) · T` (stronger input fires earlier); synapse `G`
+//! integrates onto a leaky membrane from its spike until the window end,
+//! contributing `G · τ_m (1 − e^(−a·T/τ_m)) / T`. With `τ_m → ∞` the
+//! model converges to the exact dot product; finite leak compresses
+//! strong inputs — the format's own non-linearity.
+
+use serde::{Deserialize, Serialize};
+
+use resipe_analog::units::{Seconds, SquareMicrometers, Watts};
+use resipe_reram::crossbar::Crossbar;
+
+use crate::components::{CostLibrary, DataFormat, DesignPoint};
+use crate::error::BaselineError;
+use crate::PimEngine;
+
+/// The temporal-coding engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemporalCoding {
+    /// Evaluation window.
+    window: Seconds,
+    /// Membrane leak time constant.
+    tau_m: Seconds,
+    design_point: DesignPoint,
+}
+
+impl TemporalCoding {
+    /// A representative operating point: a 2 µs window (ten ReSiPE
+    /// slices, the "slow" of Table I) and a 4 µs membrane constant.
+    pub fn paper() -> TemporalCoding {
+        TemporalCoding::new(Seconds(2e-6), Seconds(4e-6)).expect("valid defaults")
+    }
+
+    /// Creates a temporal-coding engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidParameter`] unless both times are
+    /// positive and finite.
+    pub fn new(window: Seconds, tau_m: Seconds) -> Result<TemporalCoding, BaselineError> {
+        for (v, name) in [(window.0, "window"), (tau_m.0, "tau_m")] {
+            if !(v > 0.0) || !v.is_finite() {
+                return Err(BaselineError::InvalidParameter {
+                    reason: format!("{name} must be positive and finite, got {v}"),
+                });
+            }
+        }
+        // Not part of Table II: the design point is representative only.
+        let lib = CostLibrary::paper();
+        let design_point = DesignPoint {
+            name: "Temporal-coding [16] (not in Table II)".to_owned(),
+            format: DataFormat::TemporalCoding,
+            power: Watts(lib.resipe.power.0 * 0.6),
+            latency: window,
+            efficiency_ops_j: lib.resipe.efficiency_ops_j / 8.0,
+            area: SquareMicrometers(lib.resipe.area.0 * 1.8),
+        };
+        Ok(TemporalCoding {
+            window,
+            tau_m,
+            design_point,
+        })
+    }
+
+    /// The evaluation window.
+    pub fn window(&self) -> Seconds {
+        self.window
+    }
+
+    /// The membrane leak constant.
+    pub fn tau_m(&self) -> Seconds {
+        self.tau_m
+    }
+
+    /// The leaky-integration weight of a value: the effective `ã(a)` this
+    /// format computes with (equals `a` as `τ_m → ∞`).
+    pub fn leak_weight(&self, a: f64) -> f64 {
+        let a = a.clamp(0.0, 1.0);
+        let ratio = self.window.0 / self.tau_m.0;
+        (1.0 - (-a * ratio).exp()) / ratio
+    }
+}
+
+impl PimEngine for TemporalCoding {
+    fn name(&self) -> &str {
+        &self.design_point.name
+    }
+
+    fn data_format(&self) -> DataFormat {
+        DataFormat::TemporalCoding
+    }
+
+    fn mvm(&self, crossbar: &Crossbar, inputs: &[f64]) -> Result<Vec<f64>, BaselineError> {
+        crate::check_inputs(crossbar, inputs)?;
+        let weights: Vec<f64> = inputs.iter().map(|&a| self.leak_weight(a)).collect();
+        (0..crossbar.cols())
+            .map(|col| {
+                let mut acc = 0.0;
+                for (row, &w) in weights.iter().enumerate() {
+                    acc += w * crossbar.effective_conductance(row, col)?.0;
+                }
+                Ok(acc)
+            })
+            .collect()
+    }
+
+    fn design_point(&self) -> DesignPoint {
+        self.design_point.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal_mvm;
+    use resipe_reram::device::ResistanceWindow;
+
+    fn xbar() -> Crossbar {
+        let mut xb = Crossbar::new(4, 2, ResistanceWindow::RECOMMENDED);
+        xb.program_matrix(&[0.9, 0.1, 0.4, 0.6, 0.2, 0.8, 0.7, 0.3])
+            .unwrap();
+        xb
+    }
+
+    #[test]
+    fn slow_leak_converges_to_ideal() {
+        // τ_m ≫ window: leaky integration becomes exact.
+        let t = TemporalCoding::new(Seconds(2e-6), Seconds(2e-3)).unwrap();
+        let xb = xbar();
+        let a = [0.2, 0.8, 0.5, 0.9];
+        let got = t.mvm(&xb, &a).unwrap();
+        let ideal = ideal_mvm(&xb, &a).unwrap();
+        for (g, i) in got.iter().zip(&ideal) {
+            assert!((g - i).abs() / i < 1e-3, "{g} vs {i}");
+        }
+    }
+
+    #[test]
+    fn fast_leak_compresses_strong_inputs() {
+        let t = TemporalCoding::new(Seconds(2e-6), Seconds(1e-6)).unwrap();
+        // Leak weight is concave: below a for large a, slope ~1 near 0.
+        assert!(t.leak_weight(1.0) < 1.0);
+        assert!(t.leak_weight(0.01) > 0.009);
+        // Monotone.
+        let mut prev = -1.0;
+        for i in 0..=10 {
+            let w = t.leak_weight(i as f64 / 10.0);
+            assert!(w > prev);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn latency_is_many_slices() {
+        // Table I calls this format "slow": the window spans ten ReSiPE
+        // slices at the default point.
+        let t = TemporalCoding::paper();
+        assert!(t.window().0 >= 10.0 * 100e-9);
+        assert_eq!(t.data_format(), DataFormat::TemporalCoding);
+        assert!(t.name().contains("not in Table II"));
+    }
+
+    #[test]
+    fn design_point_is_representative_not_tabulated() {
+        let t = TemporalCoding::paper();
+        let lib = CostLibrary::paper();
+        // Lower power than ReSiPE (the paper credits temporal coding with
+        // large power reductions) but far worse efficiency due to latency.
+        assert!(t.design_point().power.0 < lib.resipe.power.0);
+        assert!(t.design_point().power_efficiency() < lib.resipe.power_efficiency());
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert!(TemporalCoding::new(Seconds(0.0), Seconds(1e-6)).is_err());
+        assert!(TemporalCoding::new(Seconds(1e-6), Seconds(f64::NAN)).is_err());
+        let t = TemporalCoding::paper();
+        assert!(t.mvm(&xbar(), &[0.5; 3]).is_err());
+        assert!(t.mvm(&xbar(), &[f64::INFINITY; 4]).is_err());
+    }
+}

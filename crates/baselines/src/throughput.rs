@@ -1,0 +1,202 @@
+//! The Fig. 6 latency–area–throughput trade-off model.
+//!
+//! The paper: "to compete with level-based designs in terms of throughput,
+//! we may increase the ReSiPE numbers to improve the parallelism. ...
+//! Under the same area budget, ReSiPE provides much higher throughput than
+//! other designs." Engines are replicated to fill an area budget; total
+//! throughput is `floor(budget / area) × throughput_per_engine`.
+
+use serde::{Deserialize, Serialize};
+
+use resipe_analog::units::SquareMicrometers;
+
+use crate::components::{CostLibrary, DesignPoint};
+use crate::error::BaselineError;
+
+/// Throughput of one design under one area budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputPoint {
+    /// Design name.
+    pub name: String,
+    /// The area budget.
+    pub budget: SquareMicrometers,
+    /// Number of engines that fit.
+    pub engines: usize,
+    /// Aggregate throughput in GOPS.
+    pub total_gops: f64,
+    /// The per-engine MVM latency in ns (unchanged by replication).
+    pub latency_ns: f64,
+}
+
+/// Sweeps area budgets for every Table II design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputModel {
+    library: CostLibrary,
+}
+
+impl ThroughputModel {
+    /// Builds the model at the paper's operating point.
+    pub fn paper() -> ThroughputModel {
+        ThroughputModel {
+            library: CostLibrary::paper(),
+        }
+    }
+
+    /// Builds the model from an explicit cost library.
+    pub fn from_library(library: CostLibrary) -> ThroughputModel {
+        ThroughputModel { library }
+    }
+
+    /// Throughput of one design under one budget.
+    pub fn point(&self, design: &DesignPoint, budget: SquareMicrometers) -> ThroughputPoint {
+        let engines = (budget.0 / design.area.0).floor() as usize;
+        ThroughputPoint {
+            name: design.name.clone(),
+            budget,
+            engines,
+            total_gops: engines as f64 * design.throughput_ops() / 1e9,
+            latency_ns: design.latency.as_nanos(),
+        }
+    }
+
+    /// Sweeps a list of budgets across all four designs; each inner vec is
+    /// one design's series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidParameter`] if a budget is not
+    /// positive and finite.
+    pub fn sweep(
+        &self,
+        budgets: &[SquareMicrometers],
+    ) -> Result<Vec<Vec<ThroughputPoint>>, BaselineError> {
+        for b in budgets {
+            if !(b.0 > 0.0) || !b.0.is_finite() {
+                return Err(BaselineError::InvalidParameter {
+                    reason: format!("area budget must be positive and finite, got {b}"),
+                });
+            }
+        }
+        Ok(self
+            .library
+            .all()
+            .iter()
+            .map(|d| budgets.iter().map(|&b| self.point(d, b)).collect())
+            .collect())
+    }
+
+    /// The area a design needs to reach a target throughput — the Fig. 6
+    /// iso-throughput reading.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidParameter`] if the target is not
+    /// positive and finite.
+    pub fn area_for_target(
+        &self,
+        design: &DesignPoint,
+        target_gops: f64,
+    ) -> Result<SquareMicrometers, BaselineError> {
+        if !(target_gops > 0.0) || !target_gops.is_finite() {
+            return Err(BaselineError::InvalidParameter {
+                reason: format!("target must be positive and finite, got {target_gops}"),
+            });
+        }
+        let engines = (target_gops * 1e9 / design.throughput_ops()).ceil();
+        Ok(SquareMicrometers(engines * design.area.0))
+    }
+
+    /// The underlying cost library.
+    pub fn library(&self) -> &CostLibrary {
+        &self.library
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resipe_wins_under_equal_budget() {
+        let m = ThroughputModel::paper();
+        let budget = SquareMicrometers(100_000.0);
+        let lib = m.library().clone();
+        let resipe = m.point(&lib.resipe, budget);
+        for d in [&lib.level, &lib.rate, &lib.pwm] {
+            let other = m.point(d, budget);
+            assert!(
+                resipe.total_gops > other.total_gops,
+                "ReSiPE {} GOPS vs {} {} GOPS",
+                resipe.total_gops,
+                other.name,
+                other.total_gops
+            );
+        }
+    }
+
+    #[test]
+    fn engines_scale_with_budget() {
+        let m = ThroughputModel::paper();
+        let lib = m.library().clone();
+        let small = m.point(&lib.resipe, SquareMicrometers(10_000.0));
+        let large = m.point(&lib.resipe, SquareMicrometers(100_000.0));
+        assert!(large.engines >= 10 * small.engines / 2);
+        assert!(large.total_gops > small.total_gops);
+    }
+
+    #[test]
+    fn budget_below_one_engine_gives_zero() {
+        let m = ThroughputModel::paper();
+        let lib = m.library().clone();
+        let p = m.point(&lib.level, SquareMicrometers(100.0));
+        assert_eq!(p.engines, 0);
+        assert_eq!(p.total_gops, 0.0);
+    }
+
+    #[test]
+    fn sweep_shapes() {
+        let m = ThroughputModel::paper();
+        let budgets: Vec<SquareMicrometers> = (1..=5)
+            .map(|i| SquareMicrometers(i as f64 * 20_000.0))
+            .collect();
+        let series = m.sweep(&budgets).unwrap();
+        assert_eq!(series.len(), 4);
+        for s in &series {
+            assert_eq!(s.len(), 5);
+            // Monotone non-decreasing in budget.
+            for w in s.windows(2) {
+                assert!(w[1].total_gops >= w[0].total_gops);
+            }
+        }
+        assert!(m.sweep(&[SquareMicrometers(-1.0)]).is_err());
+    }
+
+    #[test]
+    fn area_for_target_round_trip() {
+        let m = ThroughputModel::paper();
+        let lib = m.library().clone();
+        let target = 50.0; // GOPS
+        let area = m.area_for_target(&lib.resipe, target).unwrap();
+        let achieved = m.point(&lib.resipe, area);
+        assert!(achieved.total_gops >= target * 0.999, "{achieved:?}");
+        assert!(m.area_for_target(&lib.resipe, 0.0).is_err());
+    }
+
+    #[test]
+    fn resipe_needs_least_area_for_target() {
+        let m = ThroughputModel::paper();
+        let lib = m.library().clone();
+        let target = 100.0;
+        let a_resipe = m.area_for_target(&lib.resipe, target).unwrap();
+        for d in [&lib.level, &lib.rate, &lib.pwm] {
+            let a = m.area_for_target(d, target).unwrap();
+            assert!(
+                a_resipe.0 < a.0,
+                "ReSiPE {} µm² vs {} {} µm²",
+                a_resipe.0,
+                d.name,
+                a.0
+            );
+        }
+    }
+}

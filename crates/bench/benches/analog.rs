@@ -1,0 +1,53 @@
+//! Criterion bench: MNA transient simulation cost (the Fig. 3 substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use resipe::circuit::AnalogMac;
+use resipe::config::ResipeConfig;
+use resipe_analog::netlist::{Netlist, Node};
+use resipe_analog::transient::{Transient, TransientConfig};
+use resipe_analog::units::{Farads, Ohms, Seconds, Siemens, Volts};
+
+fn bench_rc_ladder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transient_rc_ladder");
+    for &stages in &[4usize, 16, 64] {
+        let mut net = Netlist::new();
+        let vdd = net.node("vdd");
+        net.voltage_source(Node::GROUND, vdd, Volts(1.0));
+        let mut prev = vdd;
+        for i in 0..stages {
+            let n = net.node(&format!("n{i}"));
+            net.resistor(prev, n, Ohms(1e3));
+            net.capacitor(n, Node::GROUND, Farads(1e-12));
+            prev = n;
+        }
+        let cfg = TransientConfig::new(Seconds(1e-7))
+            .with_step(Seconds(1e-10))
+            .with_capture_every(10);
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, _| {
+            b.iter(|| {
+                Transient::new(std::hint::black_box(&net), cfg.clone())
+                    .expect("valid config")
+                    .run()
+                    .expect("converges")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_analog_mac(c: &mut Criterion) {
+    let cfg = ResipeConfig::paper();
+    let g = [Siemens(100e-6), Siemens(50e-6)];
+    let mac = AnalogMac::new(cfg, &g).expect("valid circuit");
+    let t_in = [Seconds(30e-9), Seconds(60e-9)];
+    c.bench_function("analog_mac_two_slices_100ps", |b| {
+        b.iter(|| {
+            mac.run(std::hint::black_box(&t_in), Seconds(100e-12))
+                .expect("converges")
+        })
+    });
+}
+
+criterion_group!(benches, bench_rc_ladder, bench_analog_mac);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench: the four PIM engines on the same 32×32 MVM — the
+//! functional cost of each data format's quantization path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use resipe::config::ResipeConfig;
+use resipe::engine::ResipeEngine;
+use resipe_analog::units::Seconds;
+use resipe_baselines::{LevelBased, PimEngine, PwmBased, RateCoding};
+use resipe_reram::crossbar::Crossbar;
+use resipe_reram::device::ResistanceWindow;
+
+fn workload() -> (Crossbar, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut xb = Crossbar::new(32, 32, ResistanceWindow::RECOMMENDED);
+    let fractions: Vec<f64> = (0..32 * 32).map(|_| rng.gen_range(0.0..1.0)).collect();
+    xb.program_matrix(&fractions).expect("programs");
+    let inputs: Vec<f64> = (0..32).map(|_| rng.gen_range(0.0..1.0)).collect();
+    (xb, inputs)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let (xb, inputs) = workload();
+    let mut group = c.benchmark_group("pim_engines_32x32");
+
+    let level = LevelBased::paper();
+    group.bench_function("level_based", |b| {
+        b.iter(|| {
+            level
+                .mvm(&xb, std::hint::black_box(&inputs))
+                .expect("valid")
+        })
+    });
+
+    let rate = RateCoding::paper();
+    group.bench_function("rate_coding", |b| {
+        b.iter(|| rate.mvm(&xb, std::hint::black_box(&inputs)).expect("valid"))
+    });
+
+    let pwm = PwmBased::paper();
+    group.bench_function("pwm", |b| {
+        b.iter(|| pwm.mvm(&xb, std::hint::black_box(&inputs)).expect("valid"))
+    });
+
+    let resipe = ResipeEngine::new(ResipeConfig::paper());
+    let t_in: Vec<Seconds> = inputs.iter().map(|&a| Seconds(a * 80e-9)).collect();
+    group.bench_function("resipe_exact", |b| {
+        b.iter(|| resipe.mvm(&xb, std::hint::black_box(&t_in)).expect("valid"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: single-spiking encode/decode throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use resipe::config::ResipeConfig;
+use resipe::gd::GlobalDecoder;
+use resipe::spike::SpikeCodec;
+use resipe_analog::units::Seconds;
+
+fn bench_codec(c: &mut Criterion) {
+    let codec = SpikeCodec::new(ResipeConfig::paper()).expect("valid");
+    let mut rng = StdRng::seed_from_u64(1);
+    let values: Vec<f64> = (0..1024).map(|_| rng.gen_range(0.0..1.0)).collect();
+    c.bench_function("spike_encode_1024", |b| {
+        b.iter(|| {
+            codec
+                .encode_all(std::hint::black_box(&values))
+                .expect("valid")
+        })
+    });
+    let spikes = codec.encode_all(&values).expect("valid");
+    c.bench_function("spike_decode_1024", |b| {
+        b.iter(|| codec.decode_all(std::hint::black_box(&spikes)))
+    });
+}
+
+fn bench_ramp(c: &mut Criterion) {
+    let gd = GlobalDecoder::new(ResipeConfig::paper()).expect("valid");
+    let mut rng = StdRng::seed_from_u64(2);
+    let times: Vec<Seconds> = (0..1024)
+        .map(|_| Seconds(rng.gen_range(0.0..100e-9)))
+        .collect();
+    c.bench_function("gd_ramp_sample_1024", |b| {
+        b.iter(|| {
+            times
+                .iter()
+                .map(|&t| gd.ramp_voltage(std::hint::black_box(t)).expect("in slice"))
+                .fold(0.0, |acc, v| acc + v.0)
+        })
+    });
+}
+
+criterion_group!(benches, bench_codec, bench_ramp);
+criterion_main!(benches);

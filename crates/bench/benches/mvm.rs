@@ -1,0 +1,58 @@
+//! Criterion bench: the behavioural single-spiking MVM hot path across
+//! crossbar sizes (the kernel behind every Fig. 7 evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use resipe::config::ResipeConfig;
+use resipe::engine::ResipeEngine;
+use resipe::mapping::{SpikeEncoding, TileMapper};
+use resipe_analog::units::Seconds;
+
+fn bench_mvm_matrix(c: &mut Criterion) {
+    let engine = ResipeEngine::new(ResipeConfig::paper());
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("mvm_matrix");
+    for &size in &[8usize, 16, 32, 64] {
+        let g: Vec<f64> = (0..size * size)
+            .map(|_| rng.gen_range(1e-6..20e-6))
+            .collect();
+        let t_in: Vec<Seconds> = (0..size)
+            .map(|_| Seconds(rng.gen_range(0.0..80e-9)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                engine
+                    .mvm_matrix(std::hint::black_box(&g), size, size, &t_in)
+                    .expect("valid mvm")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mapped_forward(c: &mut Criterion) {
+    let engine = ResipeEngine::new(ResipeConfig::paper());
+    let mut rng = StdRng::seed_from_u64(2);
+    let weights: Vec<f64> = (0..256 * 32).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mapped = TileMapper::paper().map(&weights, 256, 32).expect("maps");
+    let a: Vec<f64> = (0..256).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let mut group = c.benchmark_group("mapped_forward_256x32");
+    for (name, enc) in [
+        ("linear_time", SpikeEncoding::LinearTime),
+        ("pass_through", SpikeEncoding::PassThrough),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                mapped
+                    .forward(&engine, std::hint::black_box(&a), enc)
+                    .expect("valid forward")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mvm_matrix, bench_mapped_forward);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench: neural-network substrate forward/backward cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use resipe_nn::data::synth_digits;
+use resipe_nn::layers::{Conv2d, Dense};
+use resipe_nn::models;
+use resipe_nn::tensor::Tensor;
+
+fn bench_dense_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut dense = Dense::new(784, 128, &mut rng);
+    let x = Tensor::full(&[32, 784], 0.5);
+    c.bench_function("dense_784x128_batch32", |b| {
+        b.iter(|| dense.forward(std::hint::black_box(&x)).expect("valid"))
+    });
+}
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut conv = Conv2d::new(8, 16, 3, 1, &mut rng);
+    let x = Tensor::full(&[4, 8, 16, 16], 0.5);
+    c.bench_function("conv_8to16_k3_16x16_batch4", |b| {
+        b.iter(|| conv.forward(std::hint::black_box(&x)).expect("valid"))
+    });
+}
+
+fn bench_lenet_inference(c: &mut Criterion) {
+    let mut net = models::lenet(1).expect("builds");
+    let data = synth_digits(16, 1).expect("dataset");
+    let (x, _) = data.full_batch().expect("batch");
+    c.bench_function("lenet_forward_batch16", |b| {
+        b.iter(|| net.forward(std::hint::black_box(&x)).expect("valid"))
+    });
+}
+
+fn bench_digit_generation(c: &mut Criterion) {
+    c.bench_function("synth_digits_100", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            synth_digits(100, std::hint::black_box(seed)).expect("dataset")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dense_forward,
+    bench_conv_forward,
+    bench_lenet_inference,
+    bench_digit_generation
+);
+criterion_main!(benches);

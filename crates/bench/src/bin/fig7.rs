@@ -1,0 +1,187 @@
+//! Regenerates **Fig. 7** of the ReSiPE paper: classification accuracy of
+//! the six benchmark networks mapped onto the engine, under the circuit
+//! non-linearity (σ = 0) and ReRAM process variation with
+//! σ ∈ {0, 5, 10, 15, 20} %.
+//!
+//! ```text
+//! cargo run --release -p resipe-bench --bin fig7 \
+//!     [--quick] [--models mlp1,mlp2,lenet,alexnet,vgg16,vgg19] \
+//!     [--train N] [--test N] [--epochs N] [--trials N] \
+//!     [--encoding default|linear-only|pass-through] [--window-sweep] [--csv]
+//! ```
+//!
+//! Expected shape (paper Sec. IV-C): the σ = 0 drop (non-linearity only)
+//! stays below ~2.5 %; a 20 % device variation costs 1–15 %; deeper
+//! models are more sensitive to variation.
+
+use resipe::config::ResipeConfig;
+use resipe::inference::{CompileOptions, EncodingPolicy, HardwareNetwork};
+use resipe_analog::units::Seconds;
+use resipe_bench::Args;
+use resipe_nn::data::{synth_digits, synth_objects, Dataset};
+use resipe_nn::metrics::accuracy;
+use resipe_nn::models::ModelKind;
+use resipe_nn::network::Network;
+use resipe_nn::train::{Sgd, TrainConfig};
+use resipe_reram::variation::VariationModel;
+
+fn parse_models(args: &Args, quick: bool) -> Vec<ModelKind> {
+    if let Some(list) = args.value_of("models") {
+        list.split(',')
+            .filter_map(|name| match name.trim() {
+                "mlp1" => Some(ModelKind::Mlp1),
+                "mlp2" => Some(ModelKind::Mlp2),
+                "lenet" => Some(ModelKind::Cnn1Lenet),
+                "alexnet" => Some(ModelKind::Cnn2Alexnet),
+                "vgg16" => Some(ModelKind::Cnn3Vgg16),
+                "vgg19" => Some(ModelKind::Cnn4Vgg19),
+                other => {
+                    eprintln!("warning: unknown model '{other}' skipped");
+                    None
+                }
+            })
+            .collect()
+    } else if quick {
+        vec![ModelKind::Mlp1, ModelKind::Mlp2]
+    } else {
+        ModelKind::ALL.to_vec()
+    }
+}
+
+fn train_model(kind: ModelKind, train: &Dataset, epochs: usize) -> Network {
+    let mut net = kind.build(0xf167 + kind as u64).expect("model builds");
+    // Plain MLPs tolerate a hot learning rate; the conv stacks need a
+    // gentler one to avoid dead-ReLU collapse, and the deep VGG stacks a
+    // gentler one still (plus a few extra epochs).
+    let (lr, epochs) = match kind {
+        ModelKind::Mlp1 | ModelKind::Mlp2 => (0.08, epochs),
+        ModelKind::Cnn1Lenet | ModelKind::Cnn2Alexnet => (0.02, epochs),
+        ModelKind::Cnn3Vgg16 => (0.005, epochs.max(15)),
+        ModelKind::Cnn4Vgg19 => (0.004, epochs.max(25)),
+    };
+    let report = Sgd::new(
+        TrainConfig::new(epochs)
+            .with_learning_rate(lr)
+            .with_batch_size(32),
+    )
+    .fit(&mut net, train)
+    .expect("training converges");
+    eprintln!(
+        "  trained {} ({} params): loss {:.3}, train acc {:.1}%",
+        kind,
+        net.param_count(),
+        report.final_loss(),
+        report.final_accuracy() * 100.0
+    );
+    net
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let models = parse_models(&args, quick);
+    let n_train = args.usize_of("train", if quick { 300 } else { 800 });
+    let n_test = args.usize_of("test", if quick { 60 } else { 120 });
+    let epochs = args.usize_of("epochs", if quick { 4 } else { 10 });
+    let trials = args.usize_of("trials", if quick { 2 } else { 3 });
+    let encoding = match args.value_of("encoding") {
+        Some("linear-only") => EncodingPolicy::AllLinearTime,
+        Some("pass-through") => EncodingPolicy::AllPassThrough,
+        _ => EncodingPolicy::FirstLinearThenPassThrough,
+    };
+
+    println!("Fig. 7 — accuracy under non-linearity and process variation");
+    println!(
+        "models: {:?}, train {n_train}, test {n_test}, epochs {epochs}, \
+         {trials} PV trial(s)/sigma, encoding {encoding:?}\n",
+        models.iter().map(|m| m.paper_name()).collect::<Vec<_>>()
+    );
+
+    let digits_train = synth_digits(n_train, 1).expect("dataset");
+    let digits_test = synth_digits(n_test, 2).expect("dataset");
+    let objects_train = synth_objects(n_train, 3).expect("dataset");
+    let objects_test = synth_objects(n_test, 4).expect("dataset");
+
+    let sigmas = VariationModel::PAPER_SIGMAS;
+    if args.has("csv") {
+        println!("model,ideal,sigma,hardware_accuracy");
+    } else {
+        print!("{:<20} {:>7}", "model", "ideal");
+        for s in sigmas {
+            print!(" {:>8}", format!("s={:.0}%", s * 100.0));
+        }
+        println!(" {:>9} {:>9}", "drop(s=0)", "drop(20%)");
+    }
+
+    for kind in models {
+        let (train, test) = if kind.uses_digits() {
+            (&digits_train, &digits_test)
+        } else {
+            (&objects_train, &objects_test)
+        };
+        let mut net = train_model(kind, train, epochs);
+        let ideal = accuracy(&mut net, test).expect("ideal eval");
+        let (calib, _) = train
+            .batch(&(0..64.min(train.len())).collect::<Vec<_>>())
+            .expect("calibration batch");
+
+        let mut per_sigma = Vec::new();
+        for &sigma in &sigmas {
+            let model = VariationModel::device_to_device(sigma).expect("valid sigma");
+            let mut sum = 0.0;
+            let n_trials = if sigma == 0.0 { 1 } else { trials };
+            for trial in 0..n_trials {
+                let opts = CompileOptions::paper()
+                    .with_variation(model)
+                    .with_seed(1000 * trial as u64 + 7)
+                    .with_encoding(encoding);
+                let hw = HardwareNetwork::compile(&net, &calib, &opts).expect("compiles");
+                sum += hw.accuracy(test).expect("hardware eval");
+            }
+            per_sigma.push(sum / n_trials as f32);
+        }
+
+        if args.has("csv") {
+            for (s, acc) in sigmas.iter().zip(&per_sigma) {
+                println!("{},{:.4},{:.2},{:.4}", kind.paper_name(), ideal, s, acc);
+            }
+        } else {
+            print!("{:<20} {:>6.1}%", kind.paper_name(), ideal * 100.0);
+            for acc in &per_sigma {
+                print!(" {:>7.1}%", acc * 100.0);
+            }
+            println!(
+                " {:>8.1}% {:>8.1}%",
+                (ideal - per_sigma[0]) * 100.0,
+                (ideal - per_sigma[sigmas.len() - 1]) * 100.0
+            );
+        }
+    }
+
+    if args.has("window-sweep") {
+        println!("\nEncode-window ablation (MLP-1, sigma = 0): drop vs t_max");
+        let mut net = train_model(ModelKind::Mlp1, &digits_train, epochs);
+        let ideal = accuracy(&mut net, &digits_test).expect("ideal eval");
+        let (calib, _) = digits_train
+            .batch(&(0..64.min(digits_train.len())).collect::<Vec<_>>())
+            .expect("calibration batch");
+        println!("{:>12} {:>10} {:>10}", "t_max (ns)", "hw acc", "drop");
+        for tmax in [80.0, 40.0, 20.0, 10.0, 5.0] {
+            let cfg = ResipeConfig::paper().with_t_max(Seconds(tmax * 1e-9));
+            let opts = CompileOptions::paper().with_config(cfg);
+            let hw = HardwareNetwork::compile(&net, &calib, &opts).expect("compiles");
+            let acc = hw.accuracy(&digits_test).expect("hardware eval");
+            println!(
+                "{:>12.0} {:>9.1}% {:>9.1}%",
+                tmax,
+                acc * 100.0,
+                (ideal - acc) * 100.0
+            );
+        }
+        println!(
+            "\nThe ramp's high gain near t = 0 (slope t_max/tau_gd) amplifies small\n\
+             inputs; narrowing the encode window trades timing resolution for\n\
+             linearity. The compile default (20 ns) lands at the paper's < 2.5% drop."
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates **Table I** of the ReSiPE paper (DAC 2020): the
+//! qualitative comparison of data formats in ReRAM PIM designs.
+//!
+//! ```text
+//! cargo run -p resipe-bench --bin table1
+//! ```
+
+use resipe_baselines::comparison::data_format_table;
+
+fn main() {
+    println!("Table I — data formats in ReRAM PIM designs");
+    println!("(paper: Li, Yan, Li, \"ReSiPE\", DAC 2020)\n");
+    print!("{}", data_format_table());
+    println!();
+    println!("Notes:");
+    println!(" - level-based designs occupy the array for the whole computation;");
+    println!(" - rate coding is the only format whose input and output scales differ");
+    println!("   (spike counts in, accumulated charge out);");
+    println!(" - ReSiPE applies non-zero voltage only during the 1 ns computation stage.");
+}

@@ -1,0 +1,90 @@
+//! Regenerates **Table II** of the ReSiPE paper: power, power efficiency,
+//! latency and area of ReSiPE vs. the level-based \[14,17\], PWM \[15\] and
+//! rate-coding \[11,13\] designs, plus the Sec. IV-B headline claims and the
+//! COG power breakdown.
+//!
+//! ```text
+//! cargo run -p resipe-bench --bin table2 [--ccog-sweep]
+//! ```
+//!
+//! `--ccog-sweep` adds the MIM-capacitor scaling ablation the paper
+//! points to ("future technology scaling that enables smaller MIM
+//! capacitors in COG clusters could induce further energy reduction").
+
+use resipe::config::ResipeConfig;
+use resipe::power::{EnergyModel, PeripheralCosts};
+use resipe_analog::units::Farads;
+use resipe_baselines::comparison::ComparisonTable;
+use resipe_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let table = ComparisonTable::paper();
+
+    println!("Table II — PIM design comparison (32x32 array, 65 nm)\n");
+    print!("{}", table.render());
+
+    let h = table.headline();
+    println!("\nHeadline claims (measured vs. paper):");
+    println!(
+        "  power efficiency vs level-based : {:>6.2}x   (paper: 1.97x)",
+        h.eff_vs_level
+    );
+    println!(
+        "  power efficiency vs rate-coding : {:>6.2}x   (paper: 2.41x)",
+        h.eff_vs_rate
+    );
+    println!(
+        "  power efficiency vs PWM         : {:>6.2}x   (paper: 49.76x)",
+        h.eff_vs_pwm
+    );
+    println!(
+        "  power reduction vs rate-coding  : {:>6.1}%   (paper: 67.1%)",
+        h.power_reduction_vs_rate * 100.0
+    );
+    println!(
+        "  latency reduction vs rate-coding: {:>6.1}%   (paper: 50%)",
+        h.latency_reduction_vs_rate * 100.0
+    );
+    println!(
+        "  latency reduction vs PWM        : {:>6.1}%   (paper: 68.8%)",
+        h.latency_reduction_vs_pwm * 100.0
+    );
+    println!(
+        "  area saving vs rate-coding      : {:>6.1}%   (paper: 14.2%)",
+        h.area_saving_vs_rate * 100.0
+    );
+    println!(
+        "  area saving vs level-based      : {:>6.1}%   (paper: 85.3%)",
+        h.area_saving_vs_level * 100.0
+    );
+
+    let breakdown = EnergyModel::paper().mvm_energy();
+    println!("\nReSiPE per-MVM energy breakdown:");
+    println!("  COG cluster : {:>8.3} pJ", breakdown.cog.as_pico());
+    println!("  global dec. : {:>8.3} pJ", breakdown.gd.as_pico());
+    println!("  crossbar    : {:>8.3} pJ", breakdown.crossbar.as_pico());
+    println!(
+        "  COG share   : {:>8.2} %   (paper: 98.1%)",
+        breakdown.cog_fraction() * 100.0
+    );
+
+    if args.has("ccog-sweep") {
+        println!("\nMIM-capacitor scaling ablation (C_cog sweep):");
+        println!(
+            "{:>12} {:>12} {:>12}",
+            "C_cog (fF)", "MVM (pJ)", "power (mW)"
+        );
+        for ff in [100.0, 75.0, 50.0, 25.0, 10.0] {
+            let cfg = ResipeConfig::paper().with_c_cog(Farads::from_femto(ff));
+            let model =
+                EnergyModel::new(cfg, 32, 32, PeripheralCosts::paper()).expect("valid sweep point");
+            println!(
+                "{:>12.0} {:>12.3} {:>12.3}",
+                ff,
+                model.mvm_energy().total().as_pico(),
+                model.power().as_milli()
+            );
+        }
+    }
+}

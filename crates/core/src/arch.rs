@@ -1,0 +1,349 @@
+//! Architecture-level ReSiPE: many engines, whole networks.
+//!
+//! The paper generalizes the MAC circuit "to MVM operation at the
+//! architectural level" (Sec. III-C) and sketches replication for
+//! throughput (Fig. 6). This module provides the first-order accelerator
+//! model on top of that: given a trained network and a pool of 32×32
+//! ReSiPE engines, it derives
+//!
+//! * the **tile footprint** of every weight layer (row tiles of 32
+//!   wordlines × column tiles of 16 logical outputs, since each logical
+//!   output needs a differential pair of bitlines);
+//! * the **MVM issue count** per inference (convolutions issue one MVM
+//!   per output pixel per tile, dense layers one per tile);
+//! * **latency** under engine time-multiplexing (each engine completes
+//!   one MVM per two slices);
+//! * **energy** per inference from the per-MVM [`crate::power`] model;
+//! * **area** from the per-engine footprint.
+//!
+//! The model is deliberately weight-stationary and contention-free: a
+//! layer's tiles are resident when enough engines exist, otherwise
+//! engines are time-multiplexed round-robin — the same simplification
+//! Fig. 6 makes when it replicates engines to fill an area budget.
+
+use serde::{Deserialize, Serialize};
+
+use resipe_analog::units::{Joules, Seconds, SquareMicrometers, Watts};
+use resipe_nn::layers::Layer;
+use resipe_nn::network::Network;
+
+use crate::config::ResipeConfig;
+use crate::error::ResipeError;
+use crate::mapping::PAPER_TILE_ROWS;
+use crate::power::{EnergyModel, PeripheralCosts};
+
+/// Logical output columns per 32-wide array: each output needs a
+/// differential bitline pair.
+pub const LOGICAL_COLS_PER_TILE: usize = PAPER_TILE_ROWS / 2;
+
+/// A pool of identical ReSiPE engines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Accelerator {
+    engines: usize,
+    config: ResipeConfig,
+    energy: EnergyModel,
+    engine_area: SquareMicrometers,
+}
+
+impl Accelerator {
+    /// Per-engine die area at 65 nm (kept in sync with the Table II cost
+    /// library).
+    pub const ENGINE_AREA: SquareMicrometers = SquareMicrometers(5_900.0);
+
+    /// Creates an accelerator with `engines` 32×32 ReSiPE engines at the
+    /// paper's operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::InvalidConfig`] if `engines` is zero.
+    pub fn new(engines: usize) -> Result<Accelerator, ResipeError> {
+        Accelerator::with_config(engines, ResipeConfig::paper())
+    }
+
+    /// Creates an accelerator with an explicit engine configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::InvalidConfig`] if `engines` is zero or the
+    /// configuration is invalid.
+    pub fn with_config(engines: usize, config: ResipeConfig) -> Result<Accelerator, ResipeError> {
+        if engines == 0 {
+            return Err(ResipeError::InvalidConfig {
+                reason: "accelerator needs at least one engine".into(),
+            });
+        }
+        let energy = EnergyModel::new(
+            config,
+            PAPER_TILE_ROWS,
+            PAPER_TILE_ROWS,
+            PeripheralCosts::paper(),
+        )?;
+        Ok(Accelerator {
+            engines,
+            config,
+            energy,
+            engine_area: Accelerator::ENGINE_AREA,
+        })
+    }
+
+    /// The number of engines.
+    pub fn engines(&self) -> usize {
+        self.engines
+    }
+
+    /// Total die area of the engine pool.
+    pub fn area(&self) -> SquareMicrometers {
+        SquareMicrometers(self.engines as f64 * self.engine_area.0)
+    }
+
+    /// Plans one network on this accelerator.
+    ///
+    /// `input_side` is the spatial side of the (square) input images,
+    /// e.g. 28 for the digit task — needed to size convolution output
+    /// maps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::UnsupportedLayer`] if the network contains a
+    /// layer kind the mapper cannot lower, or
+    /// [`ResipeError::InvalidConfig`] for a zero input size.
+    pub fn plan(&self, net: &Network, input_side: usize) -> Result<InferencePlan, ResipeError> {
+        if input_side == 0 {
+            return Err(ResipeError::InvalidConfig {
+                reason: "input side must be nonzero".into(),
+            });
+        }
+        let mut side = input_side;
+        let mut layers = Vec::new();
+        for layer in net.layers() {
+            match layer {
+                Layer::Dense(d) => {
+                    let row_tiles = d.in_features().div_ceil(PAPER_TILE_ROWS);
+                    let col_tiles = d.out_features().div_ceil(LOGICAL_COLS_PER_TILE);
+                    let tiles = row_tiles * col_tiles;
+                    layers.push(LayerProfile {
+                        name: format!("dense({}x{})", d.in_features(), d.out_features()),
+                        tiles,
+                        mvms_per_inference: tiles,
+                    });
+                }
+                Layer::Conv2d(c) => {
+                    let out_side = c.output_side(side);
+                    let fan_in = c.in_channels() * c.kernel_size() * c.kernel_size();
+                    let row_tiles = fan_in.div_ceil(PAPER_TILE_ROWS);
+                    let col_tiles = c.out_channels().div_ceil(LOGICAL_COLS_PER_TILE);
+                    let tiles = row_tiles * col_tiles;
+                    layers.push(LayerProfile {
+                        name: format!(
+                            "conv({}-{}, k{}, {}x{})",
+                            c.in_channels(),
+                            c.out_channels(),
+                            c.kernel_size(),
+                            out_side,
+                            out_side
+                        ),
+                        tiles,
+                        mvms_per_inference: tiles * out_side * out_side,
+                    });
+                    side = out_side;
+                }
+                Layer::MaxPool2d(p) => {
+                    side /= p.size();
+                }
+                Layer::AvgPool2d(p) => {
+                    side /= p.size();
+                }
+                Layer::Relu(_) | Layer::Flatten(_) => {}
+            }
+        }
+        Ok(InferencePlan {
+            engines: self.engines,
+            mvm_period: Seconds(2.0 * self.config.slice().0 + self.config.dt().0),
+            mvm_energy: self.energy.mvm_energy().total(),
+            layers,
+        })
+    }
+}
+
+/// One weight layer's hardware footprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Human-readable layer description.
+    pub name: String,
+    /// Number of 32×32 crossbar tiles holding the layer's weights.
+    pub tiles: usize,
+    /// MVMs issued per inference (convolutions issue one per output
+    /// pixel per tile).
+    pub mvms_per_inference: usize,
+}
+
+/// A network planned onto an accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferencePlan {
+    engines: usize,
+    mvm_period: Seconds,
+    mvm_energy: Joules,
+    layers: Vec<LayerProfile>,
+}
+
+impl InferencePlan {
+    /// The per-layer profiles.
+    pub fn layers(&self) -> &[LayerProfile] {
+        &self.layers
+    }
+
+    /// Total crossbar tiles needed to hold all weights resident.
+    pub fn total_tiles(&self) -> usize {
+        self.layers.iter().map(|l| l.tiles).sum()
+    }
+
+    /// Total MVMs issued per inference.
+    pub fn total_mvms(&self) -> usize {
+        self.layers.iter().map(|l| l.mvms_per_inference).sum()
+    }
+
+    /// `true` if the engine pool can hold every tile resident
+    /// (weight-stationary operation, no reprogramming between layers).
+    pub fn weights_resident(&self) -> bool {
+        self.engines >= self.total_tiles()
+    }
+
+    /// Single-inference latency under round-robin time multiplexing:
+    /// each layer needs `ceil(mvms / engines)` MVM rounds, layers run in
+    /// sequence (data dependence).
+    pub fn latency(&self) -> Seconds {
+        let rounds: usize = self
+            .layers
+            .iter()
+            .map(|l| l.mvms_per_inference.div_ceil(self.engines))
+            .sum();
+        Seconds(rounds as f64 * self.mvm_period.0)
+    }
+
+    /// Steady-state throughput in inferences per second, engine-bound:
+    /// `engines / (total_mvms · mvm_period)`.
+    pub fn throughput(&self) -> f64 {
+        self.engines as f64 / (self.total_mvms() as f64 * self.mvm_period.0)
+    }
+
+    /// Crossbar/periphery energy per inference.
+    pub fn energy_per_inference(&self) -> Joules {
+        Joules(self.total_mvms() as f64 * self.mvm_energy.0)
+    }
+
+    /// Average power at full utilization.
+    pub fn power(&self) -> Watts {
+        Joules(self.energy_per_inference().0 * self.throughput()) / Seconds(1.0)
+    }
+
+    /// A multi-line summary table.
+    pub fn render(&self) -> String {
+        let mut s = format!("{:<28} {:>8} {:>14}\n", "layer", "tiles", "MVMs/inference");
+        for l in &self.layers {
+            s.push_str(&format!(
+                "{:<28} {:>8} {:>14}\n",
+                l.name, l.tiles, l.mvms_per_inference
+            ));
+        }
+        s.push_str(&format!(
+            "total: {} tiles, {} MVMs; {} engines -> latency {:.2} us, \
+             {:.1} inf/s, {:.2} nJ/inference\n",
+            self.total_tiles(),
+            self.total_mvms(),
+            self.engines,
+            self.latency().0 * 1e6,
+            self.throughput(),
+            self.energy_per_inference().0 * 1e9
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resipe_nn::models;
+
+    #[test]
+    fn mlp1_plan_counts() {
+        let acc = Accelerator::new(16).unwrap();
+        let net = models::mlp1(1).unwrap();
+        let plan = acc.plan(&net, 28).unwrap();
+        // 784 rows / 32 = 25 row tiles; 10 outputs / 16 = 1 col tile.
+        assert_eq!(plan.total_tiles(), 25);
+        assert_eq!(plan.total_mvms(), 25);
+        assert!(!plan.weights_resident(), "16 engines < 25 tiles");
+        // 25 MVMs on 16 engines: 2 rounds of 201 ns.
+        assert!((plan.latency().as_nanos() - 402.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lenet_plan_includes_conv_pixels() {
+        let acc = Accelerator::new(64).unwrap();
+        let net = models::lenet(1).unwrap();
+        let plan = acc.plan(&net, 28).unwrap();
+        // First conv: fan_in 25 -> 1 row tile; 6 out ch -> 1 col tile;
+        // 28x28 output pixels -> 784 MVMs.
+        assert_eq!(plan.layers()[0].tiles, 1);
+        assert_eq!(plan.layers()[0].mvms_per_inference, 784);
+        // Second conv: fan_in 150 -> 5 row tiles, 16 ch -> 1 col tile,
+        // 10x10 pixels -> 500 MVMs.
+        assert_eq!(plan.layers()[1].tiles, 5);
+        assert_eq!(plan.layers()[1].mvms_per_inference, 500);
+        // Three dense layers follow.
+        assert_eq!(plan.layers().len(), 5);
+        assert!(plan.total_mvms() > 1300);
+    }
+
+    #[test]
+    fn more_engines_cut_latency_and_raise_throughput() {
+        let net = models::mlp2(1).unwrap();
+        let small = Accelerator::new(4).unwrap().plan(&net, 28).unwrap();
+        let large = Accelerator::new(64).unwrap().plan(&net, 28).unwrap();
+        assert!(large.latency().0 < small.latency().0);
+        assert!(large.throughput() > small.throughput());
+        // Energy per inference is engine-count independent.
+        assert_eq!(small.energy_per_inference(), large.energy_per_inference());
+    }
+
+    #[test]
+    fn area_scales_with_engines() {
+        let a = Accelerator::new(10).unwrap();
+        assert_eq!(a.engines(), 10);
+        assert!((a.area().0 - 59_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residency_threshold() {
+        let net = models::mlp1(1).unwrap();
+        let plan = Accelerator::new(25).unwrap().plan(&net, 28).unwrap();
+        assert!(plan.weights_resident());
+    }
+
+    #[test]
+    fn render_contains_totals() {
+        let net = models::mlp2(1).unwrap();
+        let plan = Accelerator::new(8).unwrap().plan(&net, 28).unwrap();
+        let text = plan.render();
+        assert!(text.contains("total:"));
+        assert!(text.contains("dense(784x128)"));
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(Accelerator::new(0).is_err());
+        let acc = Accelerator::new(1).unwrap();
+        let net = models::mlp1(1).unwrap();
+        assert!(acc.plan(&net, 0).is_err());
+    }
+
+    #[test]
+    fn power_is_positive_and_bounded() {
+        let net = models::mlp2(1).unwrap();
+        let plan = Accelerator::new(32).unwrap().plan(&net, 28).unwrap();
+        let p = plan.power();
+        // 32 engines at ~0.48 mW each when fully busy.
+        assert!(p.0 > 0.0);
+        assert!(p.as_milli() < 32.0, "power {} mW", p.as_milli());
+    }
+}

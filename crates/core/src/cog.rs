@@ -1,0 +1,187 @@
+//! The Column Output Generator (COG): bitline voltage → output spike.
+//!
+//! One COG serves each bitline (Sec. III-C). During the Δt computation
+//! stage it samples the bitline capacitor voltage
+//!
+//! `V_out = V_eq (1 − e^(−Δt / R_eq C_cog))`          (paper Eq. 3)
+//!
+//! where `V_eq = Σ V_i G_i / Σ G_i` and `R_eq = 1/Σ G_i` (Eq. 2) are the
+//! Thevenin equivalent of all wordline drivers seen through the column's
+//! ReRAM cells. During S2 it compares the re-ramped `V(C_gd)` against
+//! `V_out` and fires the output spike at the crossing (Eq. 4).
+
+use serde::{Deserialize, Serialize};
+
+use resipe_analog::units::{Siemens, Volts};
+
+use crate::config::ResipeConfig;
+use crate::error::ResipeError;
+use crate::gd::GlobalDecoder;
+use crate::spike::SpikeTime;
+
+/// The computation-stage + S2 model of one bitline's output generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColumnOutputGenerator {
+    config: ResipeConfig,
+}
+
+/// Result of one column's computation stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColumnSample {
+    /// The Thevenin equivalent source voltage `V_eq` (Eq. 2).
+    pub v_eq: Volts,
+    /// The sampled capacitor voltage `V_out` (Eq. 3).
+    pub v_out: Volts,
+    /// The charging exponent `Δt / (R_eq C_cog)` — values ≫ 1 mean the
+    /// charging saturated (the Fig. 5 high-conductance regime).
+    pub charge_exponent: f64,
+}
+
+impl ColumnOutputGenerator {
+    /// Creates a COG model for an engine configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::InvalidConfig`] if the configuration is
+    /// invalid.
+    pub fn new(config: ResipeConfig) -> Result<ColumnOutputGenerator, ResipeError> {
+        config.validate()?;
+        Ok(ColumnOutputGenerator { config })
+    }
+
+    /// Executes the computation stage for one column: wordline voltages
+    /// `v_in` drive the column cells `g` in parallel onto `C_cog`
+    /// (Eqs. 2–3, exact exponential).
+    ///
+    /// Columns whose total conductance is zero (every cell fully off and
+    /// no leakage path) sample 0 V.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::DimensionMismatch`] if the slices differ in
+    /// length or are empty, or [`ResipeError::InvalidConfig`] if any
+    /// conductance is negative.
+    pub fn sample(&self, v_in: &[Volts], g: &[Siemens]) -> Result<ColumnSample, ResipeError> {
+        if v_in.len() != g.len() || v_in.is_empty() {
+            return Err(ResipeError::DimensionMismatch {
+                expected: v_in.len().max(1),
+                got: g.len(),
+            });
+        }
+        let mut g_total = 0.0;
+        let mut weighted = 0.0;
+        for (v, gi) in v_in.iter().zip(g) {
+            if gi.0 < 0.0 || !gi.0.is_finite() {
+                return Err(ResipeError::InvalidConfig {
+                    reason: format!("negative or non-finite conductance {gi}"),
+                });
+            }
+            g_total += gi.0;
+            weighted += v.0 * gi.0;
+        }
+        if g_total == 0.0 {
+            return Ok(ColumnSample {
+                v_eq: Volts(0.0),
+                v_out: Volts(0.0),
+                charge_exponent: 0.0,
+            });
+        }
+        let v_eq = weighted / g_total;
+        let exponent = self.config.dt().0 * g_total / self.config.c_cog().0;
+        let v_out = v_eq * (1.0 - (-exponent).exp());
+        Ok(ColumnSample {
+            v_eq: Volts(v_eq),
+            v_out: Volts(v_out),
+            charge_exponent: exponent,
+        })
+    }
+
+    /// The S2 spike generation: finds when the GD ramp crosses `v_out`.
+    /// Saturated outputs (ramp never reaches `v_out` within the slice) are
+    /// clamped to the end of the slice, mirroring a spike that never fires
+    /// and is read as full scale.
+    pub fn spike_for(&self, gd: &GlobalDecoder, v_out: Volts) -> (SpikeTime, bool) {
+        match gd.crossing_time(v_out) {
+            Some(t) => (SpikeTime(t), false),
+            None => (SpikeTime(self.config.slice()), true),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resipe_analog::units::Seconds;
+
+    fn cog() -> ColumnOutputGenerator {
+        ColumnOutputGenerator::new(ResipeConfig::paper()).expect("valid config")
+    }
+
+    #[test]
+    fn equal_inputs_give_v_eq() {
+        let c = cog();
+        let s = c
+            .sample(&[Volts(0.5), Volts(0.5)], &[Siemens(1e-4), Siemens(1e-4)])
+            .unwrap();
+        assert!((s.v_eq.0 - 0.5).abs() < 1e-12);
+        // V_out <= V_eq always.
+        assert!(s.v_out.0 <= s.v_eq.0);
+    }
+
+    #[test]
+    fn weighted_average() {
+        let c = cog();
+        let s = c
+            .sample(&[Volts(1.0), Volts(0.0)], &[Siemens(3e-4), Siemens(1e-4)])
+            .unwrap();
+        assert!((s.v_eq.0 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_exponent_matches_paper_magnitudes() {
+        // ΣG = 1.6 mS, Δt = 1 ns, C_cog = 100 fF -> exponent 16 (well
+        // saturated); ΣG = 0.32 mS -> exponent 3.2.
+        let c = cog();
+        let s = c.sample(&[Volts(0.5)], &[Siemens(1.6e-3)]).unwrap();
+        assert!((s.charge_exponent - 16.0).abs() < 1e-9);
+        let s = c.sample(&[Volts(0.5)], &[Siemens(0.32e-3)]).unwrap();
+        assert!((s.charge_exponent - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_conductance_charges_closer_to_v_eq() {
+        let c = cog();
+        let low = c.sample(&[Volts(0.8)], &[Siemens(1e-5)]).unwrap();
+        let high = c.sample(&[Volts(0.8)], &[Siemens(1e-3)]).unwrap();
+        assert!(high.v_out.0 > low.v_out.0);
+        assert!(high.v_out.0 / high.v_eq.0 > 0.99);
+    }
+
+    #[test]
+    fn zero_conductance_column_is_silent() {
+        let c = cog();
+        let s = c.sample(&[Volts(1.0)], &[Siemens(0.0)]).unwrap();
+        assert_eq!(s.v_out, Volts(0.0));
+        assert_eq!(s.charge_exponent, 0.0);
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let c = cog();
+        assert!(c.sample(&[Volts(1.0)], &[]).is_err());
+        assert!(c.sample(&[], &[]).is_err());
+        assert!(c.sample(&[Volts(1.0)], &[Siemens(-1.0)]).is_err());
+    }
+
+    #[test]
+    fn spike_for_normal_and_saturated() {
+        let c = cog();
+        let gd = GlobalDecoder::new(ResipeConfig::paper()).unwrap();
+        let (spike, saturated) = c.spike_for(&gd, Volts(0.5));
+        assert!(!saturated);
+        assert!(spike.time().0 > 0.0 && spike.time().0 < 100e-9);
+        let (spike, saturated) = c.spike_for(&gd, Volts(1.5));
+        assert!(saturated);
+        assert_eq!(spike.time(), Seconds(100e-9));
+    }
+}

@@ -1,0 +1,288 @@
+//! Engine configuration.
+//!
+//! All circuit parameters of Sec. III-D / IV-A of the paper, with the
+//! published values as defaults:
+//!
+//! | Parameter | Paper value | Field |
+//! |---|---|---|
+//! | Supply `V_s` | 1 V | `vs` |
+//! | Ramp resistor `R_gd` | 100 kΩ | `r_gd` |
+//! | Ramp capacitor `C_gd` | 100 fF | `c_gd` |
+//! | Output capacitor `C_cog` | 100 fF | `c_cog` |
+//! | Slice length | 100 ns | `slice` |
+//! | Computation stage Δt | 1 ns | `dt` |
+//! | Spike pulse width | 1 ns | `pulse_width` |
+//! | Encode range | 10–80 ns (Fig. 5) | `t_max` |
+
+use serde::{Deserialize, Serialize};
+
+use resipe_analog::units::{Farads, Ohms, Seconds, Volts};
+
+use crate::error::ResipeError;
+
+/// The full parameter set of a ReSiPE engine.
+///
+/// Construct via [`ResipeConfig::paper`] and customize with the `with_*`
+/// builder methods:
+///
+/// ```
+/// use resipe::config::ResipeConfig;
+/// use resipe_analog::units::Seconds;
+///
+/// # fn main() -> Result<(), resipe::ResipeError> {
+/// let cfg = ResipeConfig::paper()
+///     .with_slice(Seconds::from_nanos(50.0))
+///     .with_t_max(Seconds::from_nanos(40.0));
+/// cfg.validate()?;
+/// assert_eq!(cfg.slice(), Seconds::from_nanos(50.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResipeConfig {
+    vs: Volts,
+    r_gd: Ohms,
+    c_gd: Farads,
+    c_cog: Farads,
+    slice: Seconds,
+    dt: Seconds,
+    pulse_width: Seconds,
+    t_max: Seconds,
+}
+
+impl ResipeConfig {
+    /// The paper's published parameter set (Sec. III-D / IV-A).
+    pub fn paper() -> ResipeConfig {
+        ResipeConfig {
+            vs: Volts(1.0),
+            r_gd: Ohms(100e3),
+            c_gd: Farads(100e-15),
+            c_cog: Farads(100e-15),
+            slice: Seconds(100e-9),
+            dt: Seconds(1e-9),
+            pulse_width: Seconds(1e-9),
+            t_max: Seconds(80e-9),
+        }
+    }
+
+    /// Sets the supply voltage.
+    pub fn with_vs(mut self, vs: Volts) -> ResipeConfig {
+        self.vs = vs;
+        self
+    }
+
+    /// Sets the ramp resistor `R_gd`.
+    pub fn with_r_gd(mut self, r: Ohms) -> ResipeConfig {
+        self.r_gd = r;
+        self
+    }
+
+    /// Sets the ramp capacitor `C_gd`.
+    pub fn with_c_gd(mut self, c: Farads) -> ResipeConfig {
+        self.c_gd = c;
+        self
+    }
+
+    /// Sets the column output capacitor `C_cog`.
+    pub fn with_c_cog(mut self, c: Farads) -> ResipeConfig {
+        self.c_cog = c;
+        self
+    }
+
+    /// Sets the slice length.
+    pub fn with_slice(mut self, slice: Seconds) -> ResipeConfig {
+        self.slice = slice;
+        self
+    }
+
+    /// Sets the computation-stage duration Δt.
+    pub fn with_dt(mut self, dt: Seconds) -> ResipeConfig {
+        self.dt = dt;
+        self
+    }
+
+    /// Sets the spike pulse width.
+    pub fn with_pulse_width(mut self, w: Seconds) -> ResipeConfig {
+        self.pulse_width = w;
+        self
+    }
+
+    /// Sets the largest spike time used to encode the value 1.0.
+    pub fn with_t_max(mut self, t: Seconds) -> ResipeConfig {
+        self.t_max = t;
+        self
+    }
+
+    /// Supply voltage `V_s`.
+    pub fn vs(&self) -> Volts {
+        self.vs
+    }
+
+    /// Ramp resistor `R_gd`.
+    pub fn r_gd(&self) -> Ohms {
+        self.r_gd
+    }
+
+    /// Ramp capacitor `C_gd`.
+    pub fn c_gd(&self) -> Farads {
+        self.c_gd
+    }
+
+    /// Column output capacitor `C_cog`.
+    pub fn c_cog(&self) -> Farads {
+        self.c_cog
+    }
+
+    /// Slice length.
+    pub fn slice(&self) -> Seconds {
+        self.slice
+    }
+
+    /// Computation-stage duration Δt.
+    pub fn dt(&self) -> Seconds {
+        self.dt
+    }
+
+    /// Spike pulse width.
+    pub fn pulse_width(&self) -> Seconds {
+        self.pulse_width
+    }
+
+    /// Largest encode time (value 1.0 maps to this spike time).
+    pub fn t_max(&self) -> Seconds {
+        self.t_max
+    }
+
+    /// The ramp time constant `τ_gd = R_gd · C_gd` (10 ns for the paper's
+    /// values).
+    pub fn tau_gd(&self) -> Seconds {
+        self.r_gd * self.c_gd
+    }
+
+    /// The linear MAC gain `Δt / C_cog` of Eq. 5 (units of ohms; 10 kΩ for
+    /// the paper's values).
+    pub fn gain(&self) -> Ohms {
+        self.dt / self.c_cog
+    }
+
+    /// Latency of one complete MVM: two slices plus the computation stage.
+    pub fn mvm_latency(&self) -> Seconds {
+        Seconds(2.0 * self.slice.0 + self.dt.0)
+    }
+
+    /// Checks every field for physical validity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::InvalidConfig`] describing the first invalid
+    /// field.
+    pub fn validate(&self) -> Result<(), ResipeError> {
+        let positive = [
+            (self.vs.0, "vs"),
+            (self.r_gd.0, "r_gd"),
+            (self.c_gd.0, "c_gd"),
+            (self.c_cog.0, "c_cog"),
+            (self.slice.0, "slice"),
+            (self.dt.0, "dt"),
+            (self.pulse_width.0, "pulse_width"),
+            (self.t_max.0, "t_max"),
+        ];
+        for (v, name) in positive {
+            if !(v > 0.0) || !v.is_finite() {
+                return Err(ResipeError::InvalidConfig {
+                    reason: format!("{name} must be positive and finite, got {v}"),
+                });
+            }
+        }
+        if self.dt.0 >= self.slice.0 {
+            return Err(ResipeError::InvalidConfig {
+                reason: format!(
+                    "computation stage ({}) must be shorter than the slice ({})",
+                    self.dt, self.slice
+                ),
+            });
+        }
+        if self.t_max.0 > self.slice.0 {
+            return Err(ResipeError::InvalidConfig {
+                reason: format!(
+                    "encode range t_max ({}) exceeds the slice ({})",
+                    self.t_max, self.slice
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for ResipeConfig {
+    /// The paper's parameter set.
+    fn default() -> ResipeConfig {
+        ResipeConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let cfg = ResipeConfig::paper();
+        assert_eq!(cfg.vs(), Volts(1.0));
+        assert_eq!(cfg.r_gd(), Ohms(100e3));
+        assert_eq!(cfg.c_gd(), Farads(100e-15));
+        assert_eq!(cfg.c_cog(), Farads(100e-15));
+        assert_eq!(cfg.slice(), Seconds(100e-9));
+        assert_eq!(cfg.dt(), Seconds(1e-9));
+        assert!(cfg.validate().is_ok());
+        assert_eq!(ResipeConfig::default(), cfg);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let cfg = ResipeConfig::paper();
+        assert!((cfg.tau_gd().as_nanos() - 10.0).abs() < 1e-9);
+        assert!((cfg.gain().0 - 10e3).abs() < 1e-6);
+        assert!((cfg.mvm_latency().as_nanos() - 201.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let cfg = ResipeConfig::paper()
+            .with_vs(Volts(0.8))
+            .with_r_gd(Ohms(50e3))
+            .with_c_gd(Farads(200e-15))
+            .with_c_cog(Farads(50e-15))
+            .with_dt(Seconds(2e-9))
+            .with_pulse_width(Seconds(0.5e-9))
+            .with_t_max(Seconds(60e-9));
+        assert_eq!(cfg.vs(), Volts(0.8));
+        assert_eq!(cfg.r_gd(), Ohms(50e3));
+        assert_eq!(cfg.c_gd(), Farads(200e-15));
+        assert_eq!(cfg.c_cog(), Farads(50e-15));
+        assert_eq!(cfg.dt(), Seconds(2e-9));
+        assert_eq!(cfg.pulse_width(), Seconds(0.5e-9));
+        assert_eq!(cfg.t_max(), Seconds(60e-9));
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(ResipeConfig::paper()
+            .with_vs(Volts(0.0))
+            .validate()
+            .is_err());
+        assert!(ResipeConfig::paper()
+            .with_dt(Seconds(200e-9))
+            .validate()
+            .is_err());
+        assert!(ResipeConfig::paper()
+            .with_t_max(Seconds(150e-9))
+            .validate()
+            .is_err());
+        assert!(ResipeConfig::paper()
+            .with_r_gd(Ohms(f64::NAN))
+            .validate()
+            .is_err());
+    }
+}

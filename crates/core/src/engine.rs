@@ -1,0 +1,448 @@
+//! The ReSiPE engine: single-spiking MAC and MVM.
+//!
+//! [`ResipeEngine`] chains the S1 → computation → S2 stages of the paper
+//! into closed form. Two evaluation paths exist:
+//!
+//! * [`ResipeEngine::mac`] / [`ResipeEngine::mvm`] — the **exact** physics
+//!   (exponential ramps and charging, Eqs. 1–4), which is what the silicon
+//!   produces and what all accuracy results use;
+//! * [`ResipeEngine::mac_linear`] / [`ResipeEngine::mvm_linear`] — the
+//!   **ideal** linear MAC of Eq. 5/6, `t_out = (Δt/C_cog) Σ t_in G`, used
+//!   as the reference when quantifying non-linearity (Fig. 5).
+//!
+//! The exact path is validated against the MNA transient simulator in
+//! [`crate::circuit`].
+
+use serde::{Deserialize, Serialize};
+
+use resipe_analog::units::{Seconds, Siemens, Volts};
+use resipe_reram::crossbar::Crossbar;
+
+use crate::cog::ColumnOutputGenerator;
+use crate::config::ResipeConfig;
+use crate::error::ResipeError;
+use crate::gd::{GlobalDecoder, RampModel};
+use crate::spike::SpikeTime;
+
+/// The outcome of one single-spiking MAC (one bitline of one MVM).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MacResult {
+    /// The output spike time within S2.
+    pub t_out: Seconds,
+    /// The sampled bitline voltage `V_out` that produced the spike.
+    pub v_out: Volts,
+    /// `true` if the GD ramp never reached `V_out` within the slice (the
+    /// output clamped to the slice end).
+    pub saturated: bool,
+}
+
+impl MacResult {
+    /// The output as a [`SpikeTime`].
+    pub fn spike(&self) -> SpikeTime {
+        SpikeTime(self.t_out)
+    }
+}
+
+/// A ReSiPE processing engine for a fixed circuit configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResipeEngine {
+    config: ResipeConfig,
+    gd: GlobalDecoder,
+    cog: ColumnOutputGenerator,
+}
+
+impl ResipeEngine {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`ResipeEngine::try_new`] for fallible construction.
+    pub fn new(config: ResipeConfig) -> ResipeEngine {
+        ResipeEngine::try_new(config).expect("invalid ReSiPE configuration")
+    }
+
+    /// Creates an engine, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::InvalidConfig`] for invalid parameters.
+    pub fn try_new(config: ResipeConfig) -> Result<ResipeEngine, ResipeError> {
+        Ok(ResipeEngine {
+            config,
+            gd: GlobalDecoder::new(config)?,
+            cog: ColumnOutputGenerator::new(config)?,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ResipeConfig {
+        &self.config
+    }
+
+    /// Switches the GD ramp model (exact vs. linearized) — for ablation.
+    pub fn with_ramp_model(mut self, model: RampModel) -> ResipeEngine {
+        self.gd = self.gd.with_model(model);
+        self
+    }
+
+    fn check_times(&self, t_in: &[Seconds]) -> Result<(), ResipeError> {
+        for t in t_in {
+            if t.0 < 0.0 || t.0 > self.config.slice().0 || !t.0.is_finite() {
+                return Err(ResipeError::SpikeOutOfSlice {
+                    time: t.0,
+                    slice: self.config.slice().0,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// One exact single-spiking MAC: input spike times `t_in` through
+    /// cell conductances `g`, producing the output spike time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::DimensionMismatch`] for mismatched or empty
+    /// inputs, or [`ResipeError::SpikeOutOfSlice`] for out-of-slice times.
+    pub fn mac(&self, t_in: &[Seconds], g: &[Siemens]) -> Result<MacResult, ResipeError> {
+        if t_in.len() != g.len() || t_in.is_empty() {
+            return Err(ResipeError::DimensionMismatch {
+                expected: t_in.len().max(1),
+                got: g.len(),
+            });
+        }
+        self.check_times(t_in)?;
+        // S1: sample the ramp at each arrival time.
+        let v_in: Vec<Volts> = t_in
+            .iter()
+            .map(|&t| self.gd.ramp_voltage(t))
+            .collect::<Result<_, _>>()?;
+        // Computation stage.
+        let sample = self.cog.sample(&v_in, g)?;
+        // S2: decode via the same ramp.
+        let (spike, saturated) = self.cog.spike_for(&self.gd, sample.v_out);
+        Ok(MacResult {
+            t_out: spike.time(),
+            v_out: sample.v_out,
+            saturated,
+        })
+    }
+
+    /// The ideal linear MAC of Eq. 5: `t_out = (Δt/C_cog) Σ t_in,i G_i`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ResipeEngine::mac`].
+    pub fn mac_linear(&self, t_in: &[Seconds], g: &[Siemens]) -> Result<Seconds, ResipeError> {
+        if t_in.len() != g.len() || t_in.is_empty() {
+            return Err(ResipeError::DimensionMismatch {
+                expected: t_in.len().max(1),
+                got: g.len(),
+            });
+        }
+        self.check_times(t_in)?;
+        let dot: f64 = t_in.iter().zip(g).map(|(t, gi)| t.0 * gi.0).sum();
+        Ok(Seconds(self.config.gain().0 * dot))
+    }
+
+    /// One exact MVM over a programmed crossbar: every bitline's spike.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::DimensionMismatch`] unless
+    /// `t_in.len() == crossbar.rows()`.
+    pub fn mvm(
+        &self,
+        crossbar: &Crossbar,
+        t_in: &[Seconds],
+    ) -> Result<Vec<MacResult>, ResipeError> {
+        if t_in.len() != crossbar.rows() {
+            return Err(ResipeError::DimensionMismatch {
+                expected: crossbar.rows(),
+                got: t_in.len(),
+            });
+        }
+        (0..crossbar.cols())
+            .map(|col| {
+                let g = crossbar.column_conductances(col)?;
+                self.mac(t_in, &g)
+            })
+            .collect()
+    }
+
+    /// The ideal linear MVM of Eq. 6 over a crossbar.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ResipeEngine::mvm`].
+    pub fn mvm_linear(
+        &self,
+        crossbar: &Crossbar,
+        t_in: &[Seconds],
+    ) -> Result<Vec<Seconds>, ResipeError> {
+        if t_in.len() != crossbar.rows() {
+            return Err(ResipeError::DimensionMismatch {
+                expected: crossbar.rows(),
+                got: t_in.len(),
+            });
+        }
+        (0..crossbar.cols())
+            .map(|col| {
+                let g = crossbar.column_conductances(col)?;
+                self.mac_linear(t_in, &g)
+            })
+            .collect()
+    }
+
+    /// Fast exact MVM over a raw conductance matrix (row-major
+    /// `rows × cols`, effective conductances in siemens). This is the hot
+    /// path of the network-inference code: the S1 samples are computed
+    /// once and reused across all columns, exactly as the shared GD does
+    /// in hardware.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::DimensionMismatch`] for shape mismatches or
+    /// [`ResipeError::SpikeOutOfSlice`] for out-of-slice times.
+    pub fn mvm_matrix(
+        &self,
+        g_matrix: &[f64],
+        rows: usize,
+        cols: usize,
+        t_in: &[Seconds],
+    ) -> Result<Vec<MacResult>, ResipeError> {
+        if t_in.len() != rows || g_matrix.len() != rows * cols {
+            return Err(ResipeError::DimensionMismatch {
+                expected: rows,
+                got: t_in.len(),
+            });
+        }
+        self.check_times(t_in)?;
+        let tau = self.config.tau_gd().0;
+        let vs = self.config.vs().0;
+        // Shared S1 ramp samples.
+        let v_in: Vec<f64> = t_in
+            .iter()
+            .map(|t| vs * (1.0 - (-t.0 / tau).exp()))
+            .collect();
+        let dt_over_c = self.config.dt().0 / self.config.c_cog().0;
+        let slice = self.config.slice().0;
+        let mut out = Vec::with_capacity(cols);
+        for col in 0..cols {
+            let mut g_total = 0.0;
+            let mut weighted = 0.0;
+            for row in 0..rows {
+                let g = g_matrix[row * cols + col];
+                g_total += g;
+                weighted += v_in[row] * g;
+            }
+            let v_out = if g_total == 0.0 {
+                0.0
+            } else {
+                (weighted / g_total) * (1.0 - (-dt_over_c * g_total).exp())
+            };
+            // Invert the ramp (Eq. 4).
+            let (t_out, saturated) = if v_out >= vs {
+                (slice, true)
+            } else {
+                let t = -tau * (1.0 - v_out / vs).ln();
+                if t > slice {
+                    (slice, true)
+                } else {
+                    (t, false)
+                }
+            };
+            out.push(MacResult {
+                t_out: Seconds(t_out),
+                v_out: Volts(v_out),
+                saturated,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resipe_reram::device::ResistanceWindow;
+
+    fn engine() -> ResipeEngine {
+        ResipeEngine::new(ResipeConfig::paper())
+    }
+
+    #[test]
+    fn single_input_identity_like() {
+        // With one input and a strongly-saturating conductance, V_out ≈
+        // V_in, and the S1/S2 calibration cancellation makes t_out ≈ t_in.
+        let e = engine();
+        let t_in = Seconds(40e-9);
+        let mac = e.mac(&[t_in], &[Siemens(1.6e-3)]).unwrap();
+        assert!(!mac.saturated);
+        assert!(
+            (mac.t_out.0 - t_in.0).abs() < 0.5e-9,
+            "t_out {} ns",
+            mac.t_out.as_nanos()
+        );
+    }
+
+    #[test]
+    fn exact_tracks_linear_at_small_signals() {
+        // Eq. 5 is the doubly-linearized limit: it needs BOTH RC stages in
+        // their linear regions — t_in ≪ τ_gd = 10 ns AND
+        // Δt·ΣG/C_cog ≪ 1 (ΣG ≪ 0.1 mS for the paper's values).
+        let e = engine();
+        let t_in = [Seconds(1e-9), Seconds(2e-9)];
+        let g = [Siemens(4e-6), Siemens(6e-6)];
+        let exact = e.mac(&t_in, &g).unwrap().t_out;
+        let linear = e.mac_linear(&t_in, &g).unwrap();
+        let rel = (exact.0 - linear.0).abs() / linear.0;
+        assert!(rel < 0.2, "relative error {rel}");
+    }
+
+    #[test]
+    fn exact_saturates_below_linear_at_high_conductance() {
+        // The Fig. 5 effect: for ΣG > 1.6 mS the exact t_out falls below
+        // the linear prediction; relative shortfall grows with ΣG.
+        let e = engine();
+        let t_in = [Seconds(60e-9); 2];
+        let shortfall = |g_each: f64| {
+            let g = [Siemens(g_each); 2];
+            let exact = e.mac(&t_in, &g).unwrap().t_out.0;
+            let linear = e.mac_linear(&t_in, &g).unwrap().0;
+            (linear - exact) / linear
+        };
+        let low = shortfall(0.16e-3); // ΣG = 0.32 mS
+        let high = shortfall(1.6e-3); // ΣG = 3.2 mS
+        assert!(high > low, "shortfall {high} vs {low}");
+    }
+
+    #[test]
+    fn monotonic_in_input_time() {
+        let e = engine();
+        let g = [Siemens(1e-4), Siemens(2e-4)];
+        let mut prev = -1.0;
+        for t_ns in [0.0, 10.0, 20.0, 40.0, 60.0, 80.0] {
+            let mac = e.mac(&[Seconds(t_ns * 1e-9), Seconds(30e-9)], &g).unwrap();
+            assert!(mac.t_out.0 > prev, "monotonic at t={t_ns} ns");
+            prev = mac.t_out.0;
+        }
+    }
+
+    #[test]
+    fn zero_inputs_fire_at_zero() {
+        let e = engine();
+        let mac = e
+            .mac(&[Seconds(0.0), Seconds(0.0)], &[Siemens(1e-4); 2])
+            .unwrap();
+        assert!(mac.t_out.0.abs() < 1e-15);
+        assert_eq!(mac.v_out, Volts(0.0));
+    }
+
+    #[test]
+    fn mvm_matches_per_column_mac() {
+        let e = engine();
+        let mut xb = Crossbar::new(4, 3, ResistanceWindow::WIDE);
+        for r in 0..4 {
+            for c in 0..3 {
+                xb.program_fraction(r, c, ((r + c) as f64 / 6.0).min(1.0))
+                    .unwrap();
+            }
+        }
+        let t_in: Vec<Seconds> = (0..4).map(|i| Seconds(10e-9 * (i + 1) as f64)).collect();
+        let mvm = e.mvm(&xb, &t_in).unwrap();
+        assert_eq!(mvm.len(), 3);
+        for (col, result) in mvm.iter().enumerate() {
+            let g = xb.column_conductances(col).unwrap();
+            let mac = e.mac(&t_in, &g).unwrap();
+            assert_eq!(mac.t_out, result.t_out, "column {col}");
+        }
+    }
+
+    #[test]
+    fn mvm_matrix_matches_mvm() {
+        let e = engine();
+        let mut xb = resipe_reram::Crossbar::with_access_resistance(
+            3,
+            2,
+            ResistanceWindow::WIDE,
+            resipe_analog::units::Ohms(1e3),
+        );
+        xb.program_matrix(&[0.1, 0.9, 0.5, 0.3, 1.0, 0.0]).unwrap();
+        let t_in = [Seconds(10e-9), Seconds(40e-9), Seconds(70e-9)];
+        let via_crossbar = e.mvm(&xb, &t_in).unwrap();
+        // Flatten effective conductances row-major.
+        let mut g_flat = vec![0.0; 6];
+        for r in 0..3 {
+            for c in 0..2 {
+                g_flat[r * 2 + c] = xb.effective_conductance(r, c).unwrap().0;
+            }
+        }
+        let via_matrix = e.mvm_matrix(&g_flat, 3, 2, &t_in).unwrap();
+        for (a, b) in via_crossbar.iter().zip(&via_matrix) {
+            assert!((a.t_out.0 - b.t_out.0).abs() < 1e-18);
+            assert!((a.v_out.0 - b.v_out.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn dimension_and_range_validation() {
+        let e = engine();
+        assert!(e.mac(&[Seconds(1e-9)], &[]).is_err());
+        assert!(e.mac(&[], &[]).is_err());
+        assert!(e.mac(&[Seconds(200e-9)], &[Siemens(1e-4)]).is_err());
+        assert!(e.mac(&[Seconds(-1e-9)], &[Siemens(1e-4)]).is_err());
+        assert!(e.mvm_matrix(&[1e-4; 4], 2, 2, &[Seconds(1e-9)]).is_err());
+        assert!(e.mvm_matrix(&[1e-4; 3], 2, 2, &[Seconds(1e-9); 2]).is_err());
+    }
+
+    #[test]
+    fn linear_gain_is_dt_over_ccog() {
+        let e = engine();
+        // t_out = 10 kΩ · (20 ns · 50 µS) = 10e3 · 1e-12 = 10 ns.
+        let t = e.mac_linear(&[Seconds(20e-9)], &[Siemens(50e-6)]).unwrap();
+        assert!((t.as_nanos() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturation_flag_set_when_ramp_cannot_reach() {
+        // Force a huge V_out by using a tiny C_cog (strong charging) and
+        // late arrivals -> V_out near V_s, crossing after slice end.
+        let cfg = ResipeConfig::paper();
+        let e = ResipeEngine::new(cfg);
+        let mac = e.mac(&[Seconds(99e-9)], &[Siemens(3.2e-3)]).unwrap();
+        // V(99 ns) = 1 − e^(−9.9) ≈ 0.99995; crossing needs t ≈ 99 ns,
+        // still within slice — not saturated.
+        assert!(!mac.saturated);
+        // But a config with t_max == slice and input at the very end plus
+        // full charge can clamp:
+        let e2 = ResipeEngine::new(
+            ResipeConfig::paper()
+                .with_slice(Seconds(50e-9))
+                .with_t_max(Seconds(50e-9)),
+        );
+        let mac2 = e2.mac(&[Seconds(50e-9)], &[Siemens(3.2e-3)]).unwrap();
+        // The charging factor (1 − e^−32) ≈ 1, so V_out ≈ V_in and the
+        // crossing is at ≈ 50 ns = slice end; allow either flag but the
+        // clamp must hold.
+        assert!(mac2.t_out.0 <= 50e-9 + 1e-15);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_config() {
+        let bad = ResipeConfig::paper().with_dt(Seconds(1e-6));
+        assert!(ResipeEngine::try_new(bad).is_err());
+    }
+
+    #[test]
+    fn linear_ramp_model_changes_result() {
+        let e_exact = engine();
+        let e_linear = engine().with_ramp_model(RampModel::Linear);
+        let t_in = [Seconds(50e-9), Seconds(70e-9)];
+        let g = [Siemens(2e-4), Siemens(1e-4)];
+        let exact = e_exact.mac(&t_in, &g).unwrap();
+        let linear = e_linear.mac(&t_in, &g).unwrap();
+        assert_ne!(exact.t_out, linear.t_out);
+    }
+}

@@ -1,0 +1,129 @@
+//! Error types for the ReSiPE engine.
+
+use std::error::Error;
+use std::fmt;
+
+use resipe_analog::AnalogError;
+use resipe_nn::NnError;
+use resipe_reram::ReramError;
+
+/// Errors produced by the ReSiPE engine and its mapping/inference layers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ResipeError {
+    /// An engine configuration value was invalid.
+    InvalidConfig {
+        /// Description of the invalid field.
+        reason: String,
+    },
+    /// A spike time lay outside the slice.
+    SpikeOutOfSlice {
+        /// The offending time in seconds.
+        time: f64,
+        /// The slice length in seconds.
+        slice: f64,
+    },
+    /// Input vectors disagreed in length with the crossbar or each other.
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        got: usize,
+    },
+    /// An error bubbled up from the analog substrate.
+    Analog(AnalogError),
+    /// An error bubbled up from the ReRAM substrate.
+    Reram(ReramError),
+    /// An error bubbled up from the neural-network substrate.
+    Nn(NnError),
+    /// A network contained a layer the hardware mapper does not support.
+    UnsupportedLayer {
+        /// Description of the layer.
+        layer: String,
+    },
+}
+
+impl fmt::Display for ResipeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResipeError::InvalidConfig { reason } => {
+                write!(f, "invalid engine configuration: {reason}")
+            }
+            ResipeError::SpikeOutOfSlice { time, slice } => write!(
+                f,
+                "spike time {} ns outside slice of {} ns",
+                time * 1e9,
+                slice * 1e9
+            ),
+            ResipeError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            ResipeError::Analog(e) => write!(f, "analog substrate: {e}"),
+            ResipeError::Reram(e) => write!(f, "reram substrate: {e}"),
+            ResipeError::Nn(e) => write!(f, "nn substrate: {e}"),
+            ResipeError::UnsupportedLayer { layer } => {
+                write!(f, "unsupported layer for hardware mapping: {layer}")
+            }
+        }
+    }
+}
+
+impl Error for ResipeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ResipeError::Analog(e) => Some(e),
+            ResipeError::Reram(e) => Some(e),
+            ResipeError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AnalogError> for ResipeError {
+    fn from(e: AnalogError) -> ResipeError {
+        ResipeError::Analog(e)
+    }
+}
+
+impl From<ReramError> for ResipeError {
+    fn from(e: ReramError) -> ResipeError {
+        ResipeError::Reram(e)
+    }
+}
+
+impl From<NnError> for ResipeError {
+    fn from(e: NnError) -> ResipeError {
+        ResipeError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ResipeError::SpikeOutOfSlice {
+            time: 150e-9,
+            slice: 100e-9,
+        };
+        assert!(e.to_string().contains("150 ns"));
+        assert!(e.source().is_none());
+
+        let e: ResipeError = AnalogError::SingularMatrix { step: 1 }.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("analog"));
+
+        let e: ResipeError = ReramError::InvalidFraction { value: 2.0 }.into();
+        assert!(e.to_string().contains("reram"));
+
+        let e: ResipeError = NnError::Diverged { epoch: 0 }.into();
+        assert!(e.to_string().contains("nn"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ResipeError>();
+    }
+}

@@ -1,0 +1,216 @@
+//! The Global Decoder (GD): spike timing → wordline voltage.
+//!
+//! One GD serves a crossbar (Sec. III-C). It charges a reference capacitor
+//! `C_gd` through `R_gd` from `V_s`; when a wordline's input spike arrives
+//! at `t_in`, a sample-and-hold captures the instantaneous ramp voltage
+//!
+//! `V_in = V_s (1 − e^(−t_in / R_gd C_gd))`            (paper Eq. 1)
+//!
+//! The same ramp is reused in S2 to decode output voltages back to times
+//! (Eq. 4) — this shared curve is what largely cancels the exponential
+//! non-linearity (Sec. III-D).
+
+use serde::{Deserialize, Serialize};
+
+use resipe_analog::units::{Seconds, Volts};
+
+use crate::config::ResipeConfig;
+use crate::error::ResipeError;
+use crate::spike::SpikeTime;
+
+/// Which charging-curve model to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RampModel {
+    /// The exact exponential `V_s (1 − e^(−t/τ))` — what the silicon does.
+    #[default]
+    Exact,
+    /// The linearized `V_s · t / τ` approximation of Eqs. 1/4 — valid only
+    /// for `t ≪ τ`, used to quantify the non-linearity error.
+    Linear,
+}
+
+/// The Global Decoder of one ReSiPE engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GlobalDecoder {
+    config: ResipeConfig,
+    model: RampModel,
+}
+
+impl GlobalDecoder {
+    /// Creates a GD with the exact exponential ramp.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::InvalidConfig`] if the configuration is
+    /// invalid.
+    pub fn new(config: ResipeConfig) -> Result<GlobalDecoder, ResipeError> {
+        config.validate()?;
+        Ok(GlobalDecoder {
+            config,
+            model: RampModel::Exact,
+        })
+    }
+
+    /// Switches the ramp model (exact vs. linearized).
+    pub fn with_model(mut self, model: RampModel) -> GlobalDecoder {
+        self.model = model;
+        self
+    }
+
+    /// The active ramp model.
+    pub fn model(&self) -> RampModel {
+        self.model
+    }
+
+    /// The ramp voltage at time `t` after the slice start (Eq. 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::SpikeOutOfSlice`] for negative or
+    /// beyond-slice times.
+    pub fn ramp_voltage(&self, t: Seconds) -> Result<Volts, ResipeError> {
+        // Allow one ULP-scale overshoot at the slice boundary so times
+        // computed as `i · step` round-trip cleanly.
+        let limit = self.config.slice().0 * (1.0 + 1e-9);
+        if t.0 < 0.0 || t.0 > limit || !t.0.is_finite() {
+            return Err(ResipeError::SpikeOutOfSlice {
+                time: t.0,
+                slice: self.config.slice().0,
+            });
+        }
+        let tau = self.config.tau_gd().0;
+        let vs = self.config.vs().0;
+        Ok(match self.model {
+            RampModel::Exact => Volts(vs * (1.0 - (-t.0 / tau).exp())),
+            RampModel::Linear => Volts(vs * t.0 / tau),
+        })
+    }
+
+    /// Samples the ramp at a spike's arrival time — the S1 sample-and-hold
+    /// operation producing the wordline voltage.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GlobalDecoder::ramp_voltage`].
+    pub fn sample(&self, spike: SpikeTime) -> Result<Volts, ResipeError> {
+        self.ramp_voltage(spike.time())
+    }
+
+    /// Inverts the ramp: the time at which the ramp reaches voltage `v`
+    /// (the S2 comparator crossing, Eq. 4). Returns `None` if the ramp
+    /// never reaches `v` within the slice — a **saturated** output whose
+    /// spike would fall outside S2.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `v` is negative.
+    pub fn crossing_time(&self, v: Volts) -> Option<Seconds> {
+        debug_assert!(v.0 >= 0.0, "comparator threshold must be non-negative");
+        let tau = self.config.tau_gd().0;
+        let vs = self.config.vs().0;
+        let t = match self.model {
+            RampModel::Exact => {
+                if v.0 >= vs {
+                    return None; // exponential ramp asymptotes below V_s
+                }
+                -tau * (1.0 - v.0 / vs).ln()
+            }
+            RampModel::Linear => v.0 * tau / vs,
+        };
+        (t <= self.config.slice().0).then_some(Seconds(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gd() -> GlobalDecoder {
+        GlobalDecoder::new(ResipeConfig::paper()).expect("valid config")
+    }
+
+    #[test]
+    fn ramp_starts_at_zero() {
+        assert_eq!(gd().ramp_voltage(Seconds(0.0)).unwrap(), Volts(0.0));
+    }
+
+    #[test]
+    fn ramp_matches_exponential() {
+        // τ = 10 ns; at t = 10 ns, V = 1 − 1/e.
+        let v = gd().ramp_voltage(Seconds(10e-9)).unwrap();
+        let expected = 1.0 - (-1.0f64).exp();
+        assert!((v.0 - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ramp_is_monotonic_and_bounded() {
+        let g = gd();
+        let mut prev = -1.0;
+        for i in 0..=100 {
+            let t = Seconds(i as f64 * 1e-9);
+            let v = g.ramp_voltage(t).unwrap().0;
+            assert!(v > prev, "monotonic at {t}");
+            assert!(v < 1.0, "bounded by V_s at {t}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn crossing_inverts_ramp() {
+        let g = gd();
+        for t_ns in [1.0, 5.0, 20.0, 50.0, 80.0] {
+            let t = Seconds(t_ns * 1e-9);
+            let v = g.ramp_voltage(t).unwrap();
+            let back = g.crossing_time(v).expect("within slice");
+            assert!((back.0 - t.0).abs() < 1e-18, "t={t_ns} ns");
+        }
+    }
+
+    #[test]
+    fn crossing_saturates_above_vs() {
+        let g = gd();
+        assert!(g.crossing_time(Volts(1.0)).is_none());
+        assert!(g.crossing_time(Volts(1.5)).is_none());
+        // A voltage reachable only after the slice also saturates:
+        // V(100 ns) = 1 − e^(−10) ≈ 0.9999546.
+        assert!(g.crossing_time(Volts(0.99996)).is_none());
+    }
+
+    #[test]
+    fn linear_model_overestimates_voltage() {
+        let exact = gd();
+        let linear = gd().with_model(RampModel::Linear);
+        assert_eq!(linear.model(), RampModel::Linear);
+        let t = Seconds(20e-9);
+        let ve = exact.ramp_voltage(t).unwrap();
+        let vl = linear.ramp_voltage(t).unwrap();
+        assert!(vl.0 > ve.0, "linear {vl} vs exact {ve}");
+        // Linear ramp at t = 2τ reads 2 V_s.
+        assert!((vl.0 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_crossing_is_proportional() {
+        let linear = gd().with_model(RampModel::Linear);
+        let t = linear.crossing_time(Volts(0.5)).expect("within slice");
+        assert!((t.0 - 5e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn out_of_slice_rejected() {
+        let g = gd();
+        assert!(g.ramp_voltage(Seconds(-1e-9)).is_err());
+        assert!(g.ramp_voltage(Seconds(101e-9)).is_err());
+        assert!(g.ramp_voltage(Seconds(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn sample_equals_ramp_voltage() {
+        let g = gd();
+        let s = SpikeTime(Seconds(30e-9));
+        assert_eq!(
+            g.sample(s).unwrap(),
+            g.ramp_voltage(Seconds(30e-9)).unwrap()
+        );
+    }
+}

@@ -1,0 +1,669 @@
+//! Running trained networks on the simulated ReSiPE hardware.
+//!
+//! [`HardwareNetwork::compile`] lowers a trained [`resipe_nn::Network`]
+//! onto the engine:
+//!
+//! * every `Dense` layer's `[in, out]` weight matrix and every `Conv2d`
+//!   layer's `[fan_in, out_ch]` kernel matrix (via the same im2col
+//!   lowering the software path uses) becomes a tiled differential
+//!   crossbar pair ([`crate::mapping::MappedWeights`]);
+//! * a calibration batch run through the *ideal* network fixes each
+//!   weight layer's input scale, so activations can be normalized into
+//!   the `\[0, 1\]` spike-encoding range;
+//! * biases, ReLU, pooling and flatten run digitally, as they would in
+//!   the engine's peripheral logic;
+//! * an optional [`VariationModel`] perturbs every programmed cell —
+//!   one Monte-Carlo instance per compile.
+//!
+//! This is the machinery behind the paper's Fig. 7 accuracy study.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use resipe_nn::data::Dataset;
+use resipe_nn::layers::{im2col, Layer};
+use resipe_nn::network::Network;
+use resipe_nn::tensor::Tensor;
+use resipe_reram::variation::VariationModel;
+
+use crate::config::ResipeConfig;
+use crate::engine::ResipeEngine;
+use crate::error::ResipeError;
+use crate::mapping::{MappedWeights, SpikeEncoding, TileMapper};
+
+/// How activations are spike-encoded at each hardware layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EncodingPolicy {
+    /// The physical pipeline: raw inputs enter in the paper's linear-time
+    /// format (with its concave distortion), while inter-layer spikes are
+    /// pass-through — their timing already sits on the ramp curve, so the
+    /// held voltage is exact (the calibration cancellation of Sec. III-D).
+    #[default]
+    FirstLinearThenPassThrough,
+    /// Every layer re-encodes linearly in time — an ablation exaggerating
+    /// the non-linearity (as if each layer re-digitized its inputs).
+    AllLinearTime,
+    /// Every layer uses the exact pass-through encoding — isolates the
+    /// process-variation contribution (no circuit non-linearity at all).
+    AllPassThrough,
+}
+
+impl EncodingPolicy {
+    fn encoding_for(self, weight_layer_index: usize) -> SpikeEncoding {
+        match self {
+            EncodingPolicy::FirstLinearThenPassThrough => {
+                if weight_layer_index == 0 {
+                    SpikeEncoding::LinearTime
+                } else {
+                    SpikeEncoding::PassThrough
+                }
+            }
+            EncodingPolicy::AllLinearTime => SpikeEncoding::LinearTime,
+            EncodingPolicy::AllPassThrough => SpikeEncoding::PassThrough,
+        }
+    }
+}
+
+/// Options controlling hardware compilation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompileOptions {
+    /// Engine circuit configuration.
+    pub config: ResipeConfig,
+    /// Weight-to-conductance lowering options.
+    pub mapper: TileMapper,
+    /// Process variation to apply to the programmed cells.
+    pub variation: VariationModel,
+    /// Monte-Carlo seed for the variation draw.
+    pub seed: u64,
+    /// Per-layer spike-encoding policy.
+    pub encoding: EncodingPolicy,
+    /// Standard deviation of the static per-column COG comparator input
+    /// offsets (volts); 0 disables them.
+    pub comparator_sigma: f64,
+    /// Optional spike-time quantization grid (pulse-width resolution
+    /// limit); `None` models ideal continuous timing.
+    pub time_quantization: Option<resipe_analog::units::Seconds>,
+}
+
+impl CompileOptions {
+    /// The paper's setup with no variation (isolates the circuit
+    /// non-linearity — Fig. 7's σ = 0 bar).
+    ///
+    /// The encode window is reduced to `t_max` = 20 ns (from the raw
+    /// engine's 80 ns characterization range): the ramp's slope near t = 0
+    /// amplifies small inputs by `t_max/τ_gd`, so wide windows distort
+    /// first-layer activations heavily. At 20 ns the measured σ = 0
+    /// accuracy drop lands at the paper's "< 2.5 %" claim; the
+    /// `fig7 --window-sweep` ablation regenerates the full trade-off.
+    pub fn paper() -> CompileOptions {
+        CompileOptions {
+            config: ResipeConfig::paper().with_t_max(resipe_analog::units::Seconds(20e-9)),
+            mapper: TileMapper::paper(),
+            variation: VariationModel::IDEAL,
+            seed: 0,
+            encoding: EncodingPolicy::default(),
+            comparator_sigma: 0.0,
+            time_quantization: None,
+        }
+    }
+
+    /// Sets the static COG comparator offset sigma (volts).
+    pub fn with_comparator_sigma(mut self, sigma: f64) -> CompileOptions {
+        self.comparator_sigma = sigma;
+        self
+    }
+
+    /// Quantizes observed spike times to the given grid.
+    pub fn with_time_quantization(
+        mut self,
+        quantum: resipe_analog::units::Seconds,
+    ) -> CompileOptions {
+        self.time_quantization = Some(quantum);
+        self
+    }
+
+    /// Sets the per-layer spike-encoding policy.
+    pub fn with_encoding(mut self, encoding: EncodingPolicy) -> CompileOptions {
+        self.encoding = encoding;
+        self
+    }
+
+    /// Sets the process-variation model.
+    pub fn with_variation(mut self, variation: VariationModel) -> CompileOptions {
+        self.variation = variation;
+        self
+    }
+
+    /// Sets the Monte-Carlo seed.
+    pub fn with_seed(mut self, seed: u64) -> CompileOptions {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the engine configuration.
+    pub fn with_config(mut self, config: ResipeConfig) -> CompileOptions {
+        self.config = config;
+        self
+    }
+
+    /// Sets the tile mapper.
+    pub fn with_mapper(mut self, mapper: TileMapper) -> CompileOptions {
+        self.mapper = mapper;
+        self
+    }
+}
+
+/// Applies the compile-time readout non-idealities to a mapped layer.
+fn apply_readout_nonidealities(
+    mut mapped: MappedWeights,
+    options: &CompileOptions,
+    rng: &mut StdRng,
+) -> MappedWeights {
+    if options.comparator_sigma > 0.0 {
+        mapped = mapped.with_comparator_offsets(options.comparator_sigma, rng);
+    }
+    if let Some(q) = options.time_quantization {
+        mapped = mapped.with_time_quantization(q);
+    }
+    mapped
+}
+
+/// A layer lowered onto the hardware (or executed digitally).
+#[derive(Debug, Clone)]
+enum HwLayer {
+    /// A dense layer on crossbars.
+    Dense {
+        mapped: MappedWeights,
+        bias: Vec<f64>,
+        input_scale: f64,
+        encoding: SpikeEncoding,
+    },
+    /// A convolution on crossbars via im2col.
+    Conv {
+        mapped: MappedWeights,
+        bias: Vec<f64>,
+        input_scale: f64,
+        encoding: SpikeEncoding,
+        kernel: usize,
+        padding: usize,
+        out_channels: usize,
+    },
+    /// Digital ReLU (free in the spike domain — a negative differential
+    /// simply never fires).
+    Relu,
+    /// Digital max pooling.
+    MaxPool(usize),
+    /// Digital average pooling.
+    AvgPool(usize),
+    /// Digital flatten.
+    Flatten,
+}
+
+/// A trained network compiled onto the simulated ReSiPE hardware.
+#[derive(Debug, Clone)]
+pub struct HardwareNetwork {
+    engine: ResipeEngine,
+    layers: Vec<HwLayer>,
+    name: String,
+    /// Physical crossbar MVMs issued since construction (or the last
+    /// [`HardwareNetwork::reset_mvm_count`]) — the basis of measured
+    /// energy reports.
+    mvm_count: std::cell::Cell<u64>,
+}
+
+impl HardwareNetwork {
+    /// Compiles a trained network.
+    ///
+    /// `calibration` is a representative input batch (e.g. a slice of the
+    /// training set) used to fix per-layer activation scales via the
+    /// ideal network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::UnsupportedLayer`] for layer kinds the
+    /// mapper cannot lower, or propagated substrate errors.
+    pub fn compile(
+        net: &Network,
+        calibration: &Tensor,
+        options: &CompileOptions,
+    ) -> Result<HardwareNetwork, ResipeError> {
+        let engine = ResipeEngine::try_new(options.config)?;
+        let mut rng = StdRng::seed_from_u64(options.seed ^ 0x4e5e_11a7_0000_0001);
+
+        // Pass the calibration batch through an ideal copy, recording the
+        // max-abs input to each weight layer.
+        let mut ideal = net.clone();
+        let mut scales = Vec::new();
+        {
+            let mut x = calibration.clone();
+            for layer in ideal.layers_mut() {
+                if layer.has_weights() {
+                    scales.push(f64::from(x.max_abs()).max(f64::MIN_POSITIVE));
+                }
+                x = layer.forward(&x)?;
+            }
+        }
+
+        let mut layers = Vec::with_capacity(net.len());
+        let mut scale_iter = scales.into_iter();
+        let mut weight_layer_index = 0usize;
+        for layer in net.layers() {
+            let hw = match layer {
+                Layer::Dense(d) => {
+                    let w = d.weights();
+                    let (rows, cols) = (w.shape()[0], w.shape()[1]);
+                    let weights: Vec<f64> = w.data().iter().map(|&v| v as f64).collect();
+                    let mapped = options.mapper.map(&weights, rows, cols)?;
+                    let mapped = apply_readout_nonidealities(
+                        mapped.perturbed(&options.variation, &mut rng),
+                        options,
+                        &mut rng,
+                    );
+                    let encoding = options.encoding.encoding_for(weight_layer_index);
+                    weight_layer_index += 1;
+                    HwLayer::Dense {
+                        mapped,
+                        bias: d.bias().data().iter().map(|&v| v as f64).collect(),
+                        input_scale: scale_iter.next().expect("one scale per weight layer"),
+                        encoding,
+                    }
+                }
+                Layer::Conv2d(c) => {
+                    // Kernel matrix is [out_ch, fan_in]; the crossbar wants
+                    // inputs on rows -> transpose to [fan_in, out_ch].
+                    let w = c.weights();
+                    let (out_ch, fan_in) = (w.shape()[0], w.shape()[1]);
+                    let mut weights = vec![0.0f64; fan_in * out_ch];
+                    for oc in 0..out_ch {
+                        for k in 0..fan_in {
+                            weights[k * out_ch + oc] = w.get(&[oc, k]) as f64;
+                        }
+                    }
+                    let mapped = options.mapper.map(&weights, fan_in, out_ch)?;
+                    let mapped = apply_readout_nonidealities(
+                        mapped.perturbed(&options.variation, &mut rng),
+                        options,
+                        &mut rng,
+                    );
+                    let encoding = options.encoding.encoding_for(weight_layer_index);
+                    weight_layer_index += 1;
+                    HwLayer::Conv {
+                        mapped,
+                        bias: c.bias().data().iter().map(|&v| v as f64).collect(),
+                        input_scale: scale_iter.next().expect("one scale per weight layer"),
+                        encoding,
+                        kernel: c.kernel_size(),
+                        padding: c.padding(),
+                        out_channels: c.out_channels(),
+                    }
+                }
+                Layer::Relu(_) => HwLayer::Relu,
+                Layer::MaxPool2d(p) => HwLayer::MaxPool(p.size()),
+                Layer::AvgPool2d(p) => HwLayer::AvgPool(p.size()),
+                Layer::Flatten(_) => HwLayer::Flatten,
+            };
+            layers.push(hw);
+        }
+        Ok(HardwareNetwork {
+            engine,
+            layers,
+            name: net.name().to_owned(),
+            mvm_count: std::cell::Cell::new(0),
+        })
+    }
+
+    /// The compiled network's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total physical crossbar MVMs issued per single-sample forward pass
+    /// through the dense layers (convolutions add one per output pixel per
+    /// tile pair).
+    pub fn dense_mvms_per_sample(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                HwLayer::Dense { mapped, .. } => mapped.mvms_per_forward(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of weight-bearing layers mapped onto crossbars.
+    pub fn crossbar_layer_count(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| matches!(l, HwLayer::Dense { .. } | HwLayer::Conv { .. }))
+            .count()
+    }
+
+    /// Forward pass of a batch through the hardware.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for incompatible inputs.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, ResipeError> {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = self.forward_layer(layer, &x)?;
+        }
+        Ok(x)
+    }
+
+    fn forward_layer(&self, layer: &HwLayer, x: &Tensor) -> Result<Tensor, ResipeError> {
+        match layer {
+            HwLayer::Dense {
+                mapped,
+                bias,
+                input_scale,
+                encoding,
+            } => {
+                let s = x.shape();
+                if s.len() != 2 || s[1] != mapped.rows() {
+                    return Err(ResipeError::DimensionMismatch {
+                        expected: mapped.rows(),
+                        got: s.last().copied().unwrap_or(0),
+                    });
+                }
+                let n = s[0];
+                let mut out = Tensor::zeros(&[n, mapped.cols()]);
+                for i in 0..n {
+                    let a: Vec<f64> = x
+                        .row(i)
+                        .iter()
+                        .map(|&v| (v as f64 / input_scale).clamp(0.0, 1.0))
+                        .collect();
+                    let y = mapped.forward(&self.engine, &a, *encoding)?;
+                    self.mvm_count
+                        .set(self.mvm_count.get() + mapped.mvms_per_forward() as u64);
+                    for (j, &yj) in y.iter().enumerate() {
+                        out.set(&[i, j], (yj * input_scale + bias[j]) as f32);
+                    }
+                }
+                Ok(out)
+            }
+            HwLayer::Conv {
+                mapped,
+                bias,
+                input_scale,
+                encoding,
+                kernel,
+                padding,
+                out_channels,
+            } => {
+                let s = x.shape();
+                if s.len() != 4 {
+                    return Err(ResipeError::DimensionMismatch {
+                        expected: 4,
+                        got: s.len(),
+                    });
+                }
+                let (n, h, w) = (s[0], s[2], s[3]);
+                let h_out = h + 2 * padding + 1 - kernel;
+                let w_out = w + 2 * padding + 1 - kernel;
+                let mut out = Tensor::zeros(&[n, *out_channels, h_out, w_out]);
+                for b in 0..n {
+                    let cols = im2col(x, b, *kernel, *padding)?;
+                    let fan_in = cols.shape()[0];
+                    for pix in 0..h_out * w_out {
+                        let a: Vec<f64> = (0..fan_in)
+                            .map(|r| (cols.get(&[r, pix]) as f64 / input_scale).clamp(0.0, 1.0))
+                            .collect();
+                        let y = mapped.forward(&self.engine, &a, *encoding)?;
+                        self.mvm_count
+                            .set(self.mvm_count.get() + mapped.mvms_per_forward() as u64);
+                        let (oi, oj) = (pix / w_out, pix % w_out);
+                        for (oc, &yc) in y.iter().enumerate() {
+                            out.set(&[b, oc, oi, oj], (yc * input_scale + bias[oc]) as f32);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            HwLayer::Relu => Ok(x.map(|v| v.max(0.0))),
+            HwLayer::MaxPool(size) => {
+                let mut pool = resipe_nn::layers::MaxPool2d::new(*size);
+                Ok(pool.forward(x)?)
+            }
+            HwLayer::AvgPool(size) => {
+                let mut pool = resipe_nn::layers::AvgPool2d::new(*size);
+                Ok(pool.forward(x)?)
+            }
+            HwLayer::Flatten => {
+                let mut fl = resipe_nn::layers::Flatten::new();
+                Ok(fl.forward(x)?)
+            }
+        }
+    }
+
+    /// Physical crossbar MVMs issued since construction or the last
+    /// [`HardwareNetwork::reset_mvm_count`].
+    pub fn mvm_count(&self) -> u64 {
+        self.mvm_count.get()
+    }
+
+    /// Resets the MVM counter (e.g. before measuring one batch).
+    pub fn reset_mvm_count(&self) {
+        self.mvm_count.set(0);
+    }
+
+    /// Measured crossbar/periphery energy of the MVMs issued so far,
+    /// using the given per-engine energy model.
+    pub fn measured_energy(
+        &self,
+        model: &crate::power::EnergyModel,
+    ) -> resipe_analog::units::Joules {
+        resipe_analog::units::Joules(self.mvm_count.get() as f64 * model.mvm_energy().total().0)
+    }
+
+    /// Argmax predictions over a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors.
+    pub fn predictions(&self, data: &Dataset) -> Result<Vec<usize>, ResipeError> {
+        const EVAL_BATCH: usize = 16;
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let mut preds = Vec::with_capacity(data.len());
+        for chunk in indices.chunks(EVAL_BATCH) {
+            let (x, _) = data.batch(chunk)?;
+            let logits = self.forward(&x)?;
+            preds.extend(logits.argmax_rows());
+        }
+        Ok(preds)
+    }
+
+    /// Classification accuracy over a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors.
+    pub fn accuracy(&self, data: &Dataset) -> Result<f32, ResipeError> {
+        let preds = self.predictions(data)?;
+        Ok(resipe_nn::metrics::accuracy_of(&preds, data.labels())?)
+    }
+}
+
+/// Convenience for the Fig. 7 experiment: ideal vs. hardware accuracy of
+/// one trained network under one variation setting.
+///
+/// Returns `(ideal_accuracy, hardware_accuracy)`.
+///
+/// # Errors
+///
+/// Propagates compile or evaluation errors.
+pub fn accuracy_under_variation(
+    net: &Network,
+    test: &Dataset,
+    calibration: &Tensor,
+    options: &CompileOptions,
+) -> Result<(f32, f32), ResipeError> {
+    let mut ideal = net.clone();
+    let ideal_acc = resipe_nn::metrics::accuracy(&mut ideal, test)?;
+    let hw = HardwareNetwork::compile(net, calibration, options)?;
+    let hw_acc = hw.accuracy(test)?;
+    Ok((ideal_acc, hw_acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resipe_nn::data::synth_digits;
+    use resipe_nn::models;
+    use resipe_nn::train::{Sgd, TrainConfig};
+
+    fn trained_mlp() -> (Network, Dataset, Dataset) {
+        let train = synth_digits(200, 1).unwrap();
+        let test = synth_digits(60, 2).unwrap();
+        let mut net = models::mlp1(7).unwrap();
+        Sgd::new(TrainConfig::new(4).with_learning_rate(0.1))
+            .fit(&mut net, &train)
+            .unwrap();
+        (net, train, test)
+    }
+
+    #[test]
+    fn compiled_mlp_retains_most_accuracy() {
+        let (net, train, test) = trained_mlp();
+        let (calib, _) = train.batch(&(0..32).collect::<Vec<_>>()).unwrap();
+        let opts = CompileOptions::paper();
+        let (ideal, hw) = accuracy_under_variation(&net, &test, &calib, &opts).unwrap();
+        assert!(ideal > 0.5, "ideal accuracy {ideal}");
+        // σ = 0: only the circuit non-linearity; the paper reports < 2.5 %
+        // drop. Allow a modest margin for the small synthetic test set.
+        assert!(
+            hw >= ideal - 0.10,
+            "hardware accuracy {hw} vs ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn variation_degrades_accuracy_on_average() {
+        let (net, train, test) = trained_mlp();
+        let (calib, _) = train.batch(&(0..32).collect::<Vec<_>>()).unwrap();
+        let clean = HardwareNetwork::compile(&net, &calib, &CompileOptions::paper())
+            .unwrap()
+            .accuracy(&test)
+            .unwrap();
+        // Average a few seeds at a heavy 30 % sigma.
+        let model = VariationModel::device_to_device(0.30).unwrap();
+        let mut sum = 0.0;
+        for seed in 0..3 {
+            let opts = CompileOptions::paper()
+                .with_variation(model)
+                .with_seed(seed);
+            let hw = HardwareNetwork::compile(&net, &calib, &opts).unwrap();
+            sum += hw.accuracy(&test).unwrap();
+        }
+        let noisy = sum / 3.0;
+        assert!(
+            noisy <= clean + 0.02,
+            "noisy accuracy {noisy} vs clean {clean}"
+        );
+    }
+
+    #[test]
+    fn conv_network_compiles_and_runs() {
+        // A small conv net end-to-end on hardware.
+        let train = synth_digits(60, 3).unwrap();
+        let mut net = models::lenet(11).unwrap();
+        Sgd::new(TrainConfig::new(1).with_learning_rate(0.05))
+            .fit(&mut net, &train)
+            .unwrap();
+        let (calib, _) = train.batch(&[0, 1, 2, 3]).unwrap();
+        let hw = HardwareNetwork::compile(&net, &calib, &CompileOptions::paper()).unwrap();
+        assert_eq!(hw.crossbar_layer_count(), 5);
+        let (x, _) = train.batch(&[0, 1]).unwrap();
+        let y = hw.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn hardware_logits_track_ideal_logits() {
+        let (net, train, _) = trained_mlp();
+        let (calib, _) = train.batch(&(0..16).collect::<Vec<_>>()).unwrap();
+        let hw = HardwareNetwork::compile(&net, &calib, &CompileOptions::paper()).unwrap();
+        let (x, _) = train.batch(&[0, 5, 10]).unwrap();
+        let mut ideal = net.clone();
+        let y_ideal = ideal.forward(&x).unwrap();
+        let y_hw = hw.forward(&x).unwrap();
+        let scale = y_ideal.max_abs().max(1e-6);
+        let mae = resipe_nn::metrics::mean_absolute_error(&y_ideal, &y_hw).unwrap();
+        assert!(mae / scale < 0.25, "normalized logit error {}", mae / scale);
+    }
+
+    #[test]
+    fn compile_is_deterministic_per_seed() {
+        let (net, train, test) = trained_mlp();
+        let (calib, _) = train.batch(&[0, 1, 2, 3]).unwrap();
+        let model = VariationModel::device_to_device(0.10).unwrap();
+        let acc = |seed| {
+            let opts = CompileOptions::paper()
+                .with_variation(model)
+                .with_seed(seed);
+            HardwareNetwork::compile(&net, &calib, &opts)
+                .unwrap()
+                .accuracy(&test)
+                .unwrap()
+        };
+        assert_eq!(acc(5), acc(5));
+    }
+
+    #[test]
+    fn mvm_counter_and_measured_energy() {
+        let (net, train, _) = trained_mlp();
+        let (calib, _) = train.batch(&[0, 1]).unwrap();
+        let hw = HardwareNetwork::compile(&net, &calib, &CompileOptions::paper()).unwrap();
+        assert_eq!(hw.mvm_count(), 0);
+        let (x, _) = train.batch(&[0, 1, 2]).unwrap();
+        hw.forward(&x).unwrap();
+        // MLP-1: 784 rows -> 25 tiles x 2 arrays = 50 MVMs per sample.
+        assert_eq!(hw.mvm_count(), 3 * 50);
+        let model = crate::power::EnergyModel::paper();
+        let e = hw.measured_energy(&model);
+        let expected = 150.0 * model.mvm_energy().total().0;
+        assert!((e.0 - expected).abs() < 1e-18);
+        hw.reset_mvm_count();
+        assert_eq!(hw.mvm_count(), 0);
+    }
+
+    #[test]
+    fn readout_nonidealities_change_outputs() {
+        let (net, train, _) = trained_mlp();
+        let (calib, _) = train.batch(&[0, 1, 2, 3]).unwrap();
+        let (x, _) = train.batch(&[0, 1]).unwrap();
+        let clean = HardwareNetwork::compile(&net, &calib, &CompileOptions::paper())
+            .unwrap()
+            .forward(&x)
+            .unwrap();
+        let offset = HardwareNetwork::compile(
+            &net,
+            &calib,
+            &CompileOptions::paper().with_comparator_sigma(0.02),
+        )
+        .unwrap()
+        .forward(&x)
+        .unwrap();
+        assert_ne!(clean, offset, "comparator offsets must move the logits");
+        let quantized = HardwareNetwork::compile(
+            &net,
+            &calib,
+            &CompileOptions::paper().with_time_quantization(resipe_analog::units::Seconds(5e-9)),
+        )
+        .unwrap()
+        .forward(&x)
+        .unwrap();
+        assert_ne!(clean, quantized, "coarse timing must move the logits");
+    }
+
+    #[test]
+    fn name_and_counters() {
+        let (net, train, _) = trained_mlp();
+        let (calib, _) = train.batch(&[0]).unwrap();
+        let hw = HardwareNetwork::compile(&net, &calib, &CompileOptions::paper()).unwrap();
+        assert_eq!(hw.name(), "MLP-1");
+        // 784 rows / 32 per tile = 25 tiles × 2 arrays.
+        assert_eq!(hw.dense_mvms_per_sample(), 50);
+    }
+}

@@ -1,0 +1,805 @@
+//! Mapping weight matrices onto tiled differential crossbar pairs.
+//!
+//! A logical weight matrix `W: [rows, cols]` becomes:
+//!
+//! * a **differential pair** of conductance arrays (`G⁺`, `G⁻`) since
+//!   crossbars only realize non-negative conductances — positive weights
+//!   program `G⁺`, negative weights `G⁻`, and the peripheral subtracts the
+//!   two decoded column results;
+//! * a stack of **row tiles** of at most `max_rows` (the paper's array has
+//!   32 wordlines), whose partial results are accumulated digitally —
+//!   standard practice for PIM designs whose layers exceed the array size.
+//!
+//! # The decode model and the calibration cancellation
+//!
+//! With the paper's parameters the column charging `V_out = V_eq (1 −
+//! e^(−Δt ΣG / C_cog))` operates far from its linear region, so the naive
+//! Eq. 5 time-domain decode would be wildly mis-scaled. The faithful model
+//! follows from an observation the paper makes qualitatively ("C_gd is
+//! used for calibration in both S1 and S2, which partially cancels out the
+//! effect"): because S2 inverts exactly the ramp S1 samples,
+//! **voltages propagate exactly** through the spike domain —
+//! `f(t_out) = V_out` with `f(t) = V_s (1 − e^(−t/τ))`. The column
+//! transfer is exactly linear in the held voltages:
+//!
+//! `V_out_j = k_j · Σ_i V_i G_ij`, with the known per-column constant
+//! `k_j = (1 − e^(−Δt ΣG_j / C_cog)) / ΣG_j`.
+//!
+//! The peripheral therefore decodes `Σ V_i G_ij = f(t_out_j) / k_j` using
+//! the *nominal* (design-time) `ΣG_j`; under process variation the true
+//! `ΣG_j` differs, which is part of the accuracy loss Fig. 7 measures.
+//!
+//! The residual circuit non-linearity is confined to how values enter the
+//! voltage domain, captured by [`SpikeEncoding`]:
+//!
+//! * [`SpikeEncoding::LinearTime`] — the paper's raw format `t = a·t_max`:
+//!   the held voltage is the concave `f(a·t_max)`, distorting the
+//!   activations (the σ = 0 accuracy drop of Fig. 7);
+//! * [`SpikeEncoding::PassThrough`] — a spike produced by a previous
+//!   ReSiPE stage: its time already sits on the ramp curve, so the voltage
+//!   it samples is exactly proportional to the value it carries.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use resipe_analog::units::{Ohms, Seconds, Siemens};
+use resipe_reram::device::ResistanceWindow;
+use resipe_reram::quantize::Quantizer;
+use resipe_reram::variation::VariationModel;
+
+use crate::config::ResipeConfig;
+use crate::engine::ResipeEngine;
+use crate::error::ResipeError;
+
+/// Maximum wordlines per tile — the paper's 32×32 array.
+pub const PAPER_TILE_ROWS: usize = 32;
+
+/// How a normalized activation `a ∈ \[0, 1\]` becomes an input spike time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SpikeEncoding {
+    /// Raw single-spiking format: `t = a · t_max` (paper Sec. III-A). The
+    /// sampled voltage `f(a·t_max)` is a concave distortion of `a`.
+    #[default]
+    LinearTime,
+    /// Spike produced by an upstream ReSiPE stage: `t = f⁻¹(a · V_ref)`,
+    /// so the sampled voltage is exactly `a · V_ref` (`V_ref = f(t_max)`).
+    PassThrough,
+}
+
+/// The concave activation distortion of the raw time encoding:
+/// `ã(a) = f(a·t_max) / f(t_max)`.
+///
+/// This is *the* non-linearity of Fig. 7's σ = 0 case once the calibration
+/// cancellation is accounted for.
+///
+/// # Panics
+///
+/// Panics in debug builds if `a` is outside `\[0, 1\]`.
+pub fn linear_time_distortion(config: &ResipeConfig, a: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&a), "activation {a} outside [0, 1]");
+    let tau = config.tau_gd().0;
+    let t_max = config.t_max().0;
+    let v_ref = 1.0 - (-t_max / tau).exp();
+    (1.0 - (-a * t_max / tau).exp()) / v_ref
+}
+
+/// Configures how weights are lowered onto crossbars.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TileMapper {
+    window: ResistanceWindow,
+    access_resistance: Ohms,
+    max_rows: usize,
+    quantizer: Option<Quantizer>,
+}
+
+impl TileMapper {
+    /// The paper's setup: recommended 50 kΩ–1 MΩ window, 1 kΩ access
+    /// transistor, 32-row tiles, analog (unquantized) programming.
+    pub fn paper() -> TileMapper {
+        TileMapper {
+            window: ResistanceWindow::RECOMMENDED,
+            access_resistance: resipe_reram::crossbar::DEFAULT_ACCESS_RESISTANCE,
+            max_rows: PAPER_TILE_ROWS,
+            quantizer: None,
+        }
+    }
+
+    /// Sets the cell resistance window.
+    pub fn with_window(mut self, window: ResistanceWindow) -> TileMapper {
+        self.window = window;
+        self
+    }
+
+    /// Sets the access-transistor series resistance.
+    pub fn with_access_resistance(mut self, r: Ohms) -> TileMapper {
+        self.access_resistance = r;
+        self
+    }
+
+    /// Sets the maximum wordlines per tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero.
+    pub fn with_max_rows(mut self, rows: usize) -> TileMapper {
+        assert!(rows > 0, "tile rows must be nonzero");
+        self.max_rows = rows;
+        self
+    }
+
+    /// Quantizes programmed conductances to a multi-level cell.
+    pub fn with_quantizer(mut self, q: Quantizer) -> TileMapper {
+        self.quantizer = Some(q);
+        self
+    }
+
+    /// The cell resistance window.
+    pub fn window(&self) -> ResistanceWindow {
+        self.window
+    }
+
+    /// Maps a row-major weight matrix into tiled differential conductance
+    /// arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::DimensionMismatch`] for a shape mismatch or
+    /// [`ResipeError::Reram`] for non-finite weights.
+    pub fn map(
+        &self,
+        weights: &[f64],
+        rows: usize,
+        cols: usize,
+    ) -> Result<MappedWeights, ResipeError> {
+        if weights.len() != rows * cols || rows == 0 || cols == 0 {
+            return Err(ResipeError::DimensionMismatch {
+                expected: rows * cols,
+                got: weights.len(),
+            });
+        }
+        let w_absmax = weights
+            .iter()
+            .try_fold(0.0_f64, |acc, &w| {
+                if !w.is_finite() {
+                    Err(ResipeError::Reram(
+                        resipe_reram::ReramError::InvalidFraction { value: w },
+                    ))
+                } else {
+                    Ok(acc.max(w.abs()))
+                }
+            })?
+            .max(f64::MIN_POSITIVE);
+
+        let g_min = self.window.g_min().0;
+        let g_max = self.window.g_max().0;
+        let delta_g = g_max - g_min;
+        let r_acc = self.access_resistance.0;
+
+        let mut tiles = Vec::new();
+        let mut row_start = 0;
+        while row_start < rows {
+            let tile_rows = (rows - row_start).min(self.max_rows);
+            let mut cell_plus = Vec::with_capacity(tile_rows * cols);
+            let mut cell_minus = Vec::with_capacity(tile_rows * cols);
+            for r in 0..tile_rows {
+                for c in 0..cols {
+                    let w = weights[(row_start + r) * cols + c];
+                    let mut fp = w.max(0.0) / w_absmax;
+                    let mut fm = (-w).max(0.0) / w_absmax;
+                    if let Some(q) = self.quantizer {
+                        fp = q.quantize(fp).expect("fraction in range");
+                        fm = q.quantize(fm).expect("fraction in range");
+                    }
+                    cell_plus.push(g_min + fp * delta_g);
+                    cell_minus.push(g_min + fm * delta_g);
+                }
+            }
+            tiles.push(Tile::new(tile_rows, cols, cell_plus, cell_minus, r_acc));
+            row_start += tile_rows;
+        }
+
+        // End-to-end effective conductance swing, used as the decode scale.
+        let eff = |g_cell: f64| 1.0 / (1.0 / g_cell + r_acc);
+        let delta_g_eff = eff(g_max) - eff(g_min);
+
+        Ok(MappedWeights {
+            rows,
+            cols,
+            tiles,
+            weight_scale: w_absmax,
+            delta_g_eff: Siemens(delta_g_eff),
+            window: self.window,
+            access_resistance: self.access_resistance,
+            time_quantum: None,
+        })
+    }
+}
+
+impl Default for TileMapper {
+    fn default() -> TileMapper {
+        TileMapper::paper()
+    }
+}
+
+/// One crossbar tile of a differential pair: nominal cell conductances,
+/// the derived effective (access-transistor-inclusive) conductances, and
+/// the design-time column sums the peripheral decodes with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tile {
+    rows: usize,
+    cols: usize,
+    cell_plus: Vec<f64>,
+    cell_minus: Vec<f64>,
+    eff_plus: Vec<f64>,
+    eff_minus: Vec<f64>,
+    /// Nominal per-column effective conductance sums (decode constants,
+    /// fixed at programming time — NOT updated by process variation).
+    gsum_plus: Vec<f64>,
+    gsum_minus: Vec<f64>,
+    /// Static comparator input offsets per column (volts), drawn once per
+    /// compiled instance — the COG's dominant analog mismatch.
+    offset_plus: Vec<f64>,
+    offset_minus: Vec<f64>,
+    access_resistance: f64,
+}
+
+impl Tile {
+    fn new(
+        rows: usize,
+        cols: usize,
+        cell_plus: Vec<f64>,
+        cell_minus: Vec<f64>,
+        access_resistance: f64,
+    ) -> Tile {
+        let eff = |g: &f64| 1.0 / (1.0 / *g + access_resistance);
+        let eff_plus: Vec<f64> = cell_plus.iter().map(eff).collect();
+        let eff_minus: Vec<f64> = cell_minus.iter().map(eff).collect();
+        let col_sums = |m: &[f64]| -> Vec<f64> {
+            let mut sums = vec![0.0; cols];
+            for r in 0..rows {
+                for (c, s) in sums.iter_mut().enumerate() {
+                    *s += m[r * cols + c];
+                }
+            }
+            sums
+        };
+        let gsum_plus = col_sums(&eff_plus);
+        let gsum_minus = col_sums(&eff_minus);
+        Tile {
+            rows,
+            cols,
+            cell_plus,
+            cell_minus,
+            eff_plus,
+            eff_minus,
+            gsum_plus,
+            gsum_minus,
+            offset_plus: vec![0.0; cols],
+            offset_minus: vec![0.0; cols],
+            access_resistance,
+        }
+    }
+
+    /// Wordlines in this tile.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Bitlines (logical columns) in this tile.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The effective positive-array conductances, row-major.
+    pub fn eff_plus(&self) -> &[f64] {
+        &self.eff_plus
+    }
+
+    /// The effective negative-array conductances, row-major.
+    pub fn eff_minus(&self) -> &[f64] {
+        &self.eff_minus
+    }
+}
+
+/// A weight matrix lowered onto tiled differential crossbar pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappedWeights {
+    rows: usize,
+    cols: usize,
+    tiles: Vec<Tile>,
+    weight_scale: f64,
+    delta_g_eff: Siemens,
+    window: ResistanceWindow,
+    access_resistance: Ohms,
+    /// Optional spike-time quantization grid (the pulse-width limit on
+    /// timing resolution); `None` models ideal continuous timing.
+    time_quantum: Option<f64>,
+}
+
+impl MappedWeights {
+    /// Logical input dimension.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical output dimension.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The row tiles.
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// Number of physical crossbar MVMs per logical forward pass
+    /// (tiles × 2 for the differential pair).
+    pub fn mvms_per_forward(&self) -> usize {
+        self.tiles.len() * 2
+    }
+
+    /// The `max |w|` normalization constant.
+    pub fn weight_scale(&self) -> f64 {
+        self.weight_scale
+    }
+
+    /// Quantizes every observed output spike time to a `quantum` grid —
+    /// the pulse-width limit on timing resolution (the paper's 1 ns pulse
+    /// over a 100 ns slice resolves ~100 levels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is not positive and finite.
+    pub fn with_time_quantization(mut self, quantum: Seconds) -> MappedWeights {
+        assert!(
+            quantum.0 > 0.0 && quantum.0.is_finite(),
+            "time quantum must be positive and finite"
+        );
+        self.time_quantum = Some(quantum.0);
+        self
+    }
+
+    /// Draws static per-column comparator input offsets with standard
+    /// deviation `sigma_volts` — the COG's dominant analog mismatch,
+    /// fixed per fabricated instance. The digital decode does not know
+    /// the offsets, so they reach the output as systematic error.
+    pub fn with_comparator_offsets<R: Rng + ?Sized>(
+        mut self,
+        sigma_volts: f64,
+        rng: &mut R,
+    ) -> MappedWeights {
+        assert!(
+            sigma_volts >= 0.0 && sigma_volts.is_finite(),
+            "offset sigma must be non-negative and finite"
+        );
+        use resipe_reram::variation::standard_normal;
+        for tile in &mut self.tiles {
+            for offs in [&mut tile.offset_plus, &mut tile.offset_minus] {
+                for o in offs.iter_mut() {
+                    *o = sigma_volts * standard_normal(rng);
+                }
+            }
+        }
+        self
+    }
+
+    /// Executes one logical MVM on the engine: normalized activations
+    /// `a ∈ \[0, 1\]` in, dot products `y_j ≈ Σ_i a_i w_ij` out.
+    ///
+    /// Activations outside `\[0, 1\]` are clamped (the spike encoder cannot
+    /// represent them), mirroring the hardware's input range limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::DimensionMismatch`] unless
+    /// `activations.len() == rows`.
+    pub fn forward(
+        &self,
+        engine: &ResipeEngine,
+        activations: &[f64],
+        encoding: SpikeEncoding,
+    ) -> Result<Vec<f64>, ResipeError> {
+        if activations.len() != self.rows {
+            return Err(ResipeError::DimensionMismatch {
+                expected: self.rows,
+                got: activations.len(),
+            });
+        }
+        let cfg = engine.config();
+        let tau = cfg.tau_gd().0;
+        let vs = cfg.vs().0;
+        let t_max = cfg.t_max().0;
+        let v_ref = vs * (1.0 - (-t_max / tau).exp());
+        let dt_over_c = cfg.dt().0 / cfg.c_cog().0;
+
+        // Encode activations into spike times.
+        let encode = |a: f64| -> Seconds {
+            let a = a.clamp(0.0, 1.0);
+            match encoding {
+                SpikeEncoding::LinearTime => Seconds(a * t_max),
+                // t = f⁻¹(a·V_ref) so the sampled voltage is a·V_ref.
+                SpikeEncoding::PassThrough => Seconds(-tau * (1.0 - a * v_ref / vs).ln()),
+            }
+        };
+
+        let mut acc = vec![0.0f64; self.cols];
+        let mut row_start = 0;
+        for tile in &self.tiles {
+            let t_in: Vec<Seconds> = activations[row_start..row_start + tile.rows]
+                .iter()
+                .map(|&a| encode(a))
+                .collect();
+            let plus = engine.mvm_matrix(&tile.eff_plus, tile.rows, tile.cols, &t_in)?;
+            let minus = engine.mvm_matrix(&tile.eff_minus, tile.rows, tile.cols, &t_in)?;
+            let slice = engine.config().slice().0;
+            for j in 0..tile.cols {
+                // The comparator fires when the ramp crosses V_out plus
+                // its (unknown to the decode) input offset; the observed
+                // time is then optionally quantized to the pulse-width
+                // grid. Reconstruct the voltage from that observed time
+                // and divide out the known nominal column constant k_j.
+                let decode_column = |v_out: f64, offset: f64, gsum_nom: f64| -> f64 {
+                    let v_eff = (v_out + offset).clamp(0.0, vs * (1.0 - 1e-12));
+                    let mut t_obs = -tau * (1.0 - v_eff / vs).ln();
+                    if let Some(q) = self.time_quantum {
+                        t_obs = (t_obs / q).round() * q;
+                    }
+                    let t_obs = t_obs.min(slice);
+                    let v_hat = vs * (1.0 - (-t_obs / tau).exp());
+                    let k = (1.0 - (-dt_over_c * gsum_nom).exp()) / gsum_nom;
+                    v_hat / k
+                };
+                let d_plus = decode_column(plus[j].v_out.0, tile.offset_plus[j], tile.gsum_plus[j]);
+                let d_minus =
+                    decode_column(minus[j].v_out.0, tile.offset_minus[j], tile.gsum_minus[j]);
+                acc[j] += d_plus - d_minus;
+            }
+            row_start += tile.rows;
+        }
+        // Σ V_i ΔG_ij / V_ref · w_scale / Δg_eff ≈ Σ a_i w_ij.
+        let scale = self.weight_scale / (v_ref * self.delta_g_eff.0);
+        for y in &mut acc {
+            *y *= scale;
+        }
+        Ok(acc)
+    }
+
+    /// The ideal dot products using the *reconstructed* weights (what a
+    /// perfect linear engine would compute on the programmed
+    /// conductances) — the reference for non-linearity measurements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::DimensionMismatch`] unless
+    /// `activations.len() == rows`.
+    pub fn forward_ideal(&self, activations: &[f64]) -> Result<Vec<f64>, ResipeError> {
+        if activations.len() != self.rows {
+            return Err(ResipeError::DimensionMismatch {
+                expected: self.rows,
+                got: activations.len(),
+            });
+        }
+        let mut acc = vec![0.0f64; self.cols];
+        let scale = self.weight_scale / self.delta_g_eff.0;
+        let mut row_start = 0;
+        for tile in &self.tiles {
+            for r in 0..tile.rows {
+                let a = activations[row_start + r].clamp(0.0, 1.0);
+                if a == 0.0 {
+                    continue;
+                }
+                for (j, y) in acc.iter_mut().enumerate() {
+                    let dg = tile.eff_plus[r * tile.cols + j] - tile.eff_minus[r * tile.cols + j];
+                    *y += a * dg * scale;
+                }
+            }
+            row_start += tile.rows;
+        }
+        Ok(acc)
+    }
+
+    /// Draws a Monte-Carlo process-variation instance: every cell's
+    /// nominal conductance is independently perturbed and the effective
+    /// conductances recomputed. The decode constants stay at their
+    /// design-time values — the peripheral does not know the actual
+    /// perturbed conductances, which is how PV reaches the output.
+    pub fn perturbed<R: Rng + ?Sized>(&self, model: &VariationModel, rng: &mut R) -> MappedWeights {
+        let mut out = self.clone();
+        for tile in &mut out.tiles {
+            let r_acc = tile.access_resistance;
+            for cells in [&mut tile.cell_plus, &mut tile.cell_minus] {
+                for g in cells.iter_mut() {
+                    *g = model.perturb(Siemens(*g), self.window, rng).0;
+                }
+            }
+            tile.eff_plus = tile
+                .cell_plus
+                .iter()
+                .map(|g| 1.0 / (1.0 / g + r_acc))
+                .collect();
+            tile.eff_minus = tile
+                .cell_minus
+                .iter()
+                .map(|g| 1.0 / (1.0 / g + r_acc))
+                .collect();
+            // gsum_plus/gsum_minus intentionally NOT recomputed.
+        }
+        out
+    }
+
+    /// Reconstructs the logical weight at `(row, col)` from the programmed
+    /// conductances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn reconstruct_weight(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        let mut row_start = 0;
+        for tile in &self.tiles {
+            if row < row_start + tile.rows {
+                let r = row - row_start;
+                let dg = tile.eff_plus[r * tile.cols + col] - tile.eff_minus[r * tile.cols + col];
+                return dg * self.weight_scale / self.delta_g_eff.0;
+            }
+            row_start += tile.rows;
+        }
+        unreachable!("tiles cover all rows");
+    }
+}
+
+/// Convenience: build a [`ResipeEngine`] + [`TileMapper`] pair from one
+/// configuration (the common case in examples and benches).
+pub fn paper_stack(config: ResipeConfig) -> Result<(ResipeEngine, TileMapper), ResipeError> {
+    Ok((ResipeEngine::try_new(config)?, TileMapper::paper()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine() -> ResipeEngine {
+        ResipeEngine::new(ResipeConfig::paper())
+    }
+
+    #[test]
+    fn small_matrix_round_trip() {
+        let weights = vec![0.5, -1.0, 0.25, 0.0, 0.75, -0.5];
+        let mapped = TileMapper::paper().map(&weights, 3, 2).unwrap();
+        assert_eq!(mapped.rows(), 3);
+        assert_eq!(mapped.cols(), 2);
+        assert_eq!(mapped.tiles().len(), 1);
+        for r in 0..3 {
+            for c in 0..2 {
+                let w = mapped.reconstruct_weight(r, c);
+                let expected = weights[r * 2 + c];
+                // Access-resistance concavity introduces a small error.
+                assert!((w - expected).abs() < 0.05, "({r},{c}): {w} vs {expected}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiling_splits_rows() {
+        let mapper = TileMapper::paper().with_max_rows(8);
+        let mapped = mapper.map(&vec![0.1; 20 * 3], 20, 3).unwrap();
+        let tile_rows: Vec<usize> = mapped.tiles().iter().map(Tile::rows).collect();
+        assert_eq!(tile_rows, vec![8, 8, 4]);
+        assert_eq!(mapped.mvms_per_forward(), 6);
+    }
+
+    #[test]
+    fn forward_ideal_matches_dot_product() {
+        let weights = vec![0.5, -0.5, 1.0, 0.25];
+        let mapped = TileMapper::paper()
+            .with_access_resistance(Ohms(1e-6))
+            .map(&weights, 2, 2)
+            .unwrap();
+        let a = [0.8, 0.4];
+        let y = mapped.forward_ideal(&a).unwrap();
+        let expected = [0.8 * 0.5 + 0.4 * 1.0, 0.8 * -0.5 + 0.4 * 0.25];
+        for (got, exp) in y.iter().zip(&expected) {
+            assert!((got - exp).abs() < 1e-6, "{got} vs {exp}");
+        }
+    }
+
+    #[test]
+    fn pass_through_forward_is_nearly_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let weights: Vec<f64> = (0..32 * 4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mapped = TileMapper::paper().map(&weights, 32, 4).unwrap();
+        let a: Vec<f64> = (0..32).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let hw = mapped
+            .forward(&engine(), &a, SpikeEncoding::PassThrough)
+            .unwrap();
+        let ideal = mapped.forward_ideal(&a).unwrap();
+        let ref_mag = ideal.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-9);
+        for (h, i) in hw.iter().zip(&ideal) {
+            assert!(
+                (h - i).abs() / ref_mag < 5e-3,
+                "hw {h} vs ideal {i} (ref {ref_mag})"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_time_forward_matches_distorted_ideal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let weights: Vec<f64> = (0..32 * 4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mapped = TileMapper::paper().map(&weights, 32, 4).unwrap();
+        let a: Vec<f64> = (0..32).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let cfg = ResipeConfig::paper();
+        let distorted: Vec<f64> = a.iter().map(|&x| linear_time_distortion(&cfg, x)).collect();
+        let hw = mapped
+            .forward(&engine(), &a, SpikeEncoding::LinearTime)
+            .unwrap();
+        let ideal_distorted = mapped.forward_ideal(&distorted).unwrap();
+        let ref_mag = ideal_distorted
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+            .max(1e-9);
+        for (h, i) in hw.iter().zip(&ideal_distorted) {
+            assert!(
+                (h - i).abs() / ref_mag < 5e-3,
+                "hw {h} vs distorted ideal {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn distortion_is_concave_and_normalized() {
+        let cfg = ResipeConfig::paper();
+        assert!(linear_time_distortion(&cfg, 0.0).abs() < 1e-12);
+        assert!((linear_time_distortion(&cfg, 1.0) - 1.0).abs() < 1e-12);
+        // Concavity: midpoint above the chord.
+        let mid = linear_time_distortion(&cfg, 0.5);
+        assert!(mid > 0.5, "ã(0.5) = {mid}");
+        // Monotone.
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let v = linear_time_distortion(&cfg, i as f64 / 20.0);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn all_zero_activations_give_zero() {
+        let mapped = TileMapper::paper().map(&[0.5, -0.5], 2, 1).unwrap();
+        for enc in [SpikeEncoding::LinearTime, SpikeEncoding::PassThrough] {
+            let y = mapped.forward(&engine(), &[0.0, 0.0], enc).unwrap();
+            assert!(y[0].abs() < 1e-9, "got {} for {enc:?}", y[0]);
+        }
+    }
+
+    #[test]
+    fn perturbed_changes_effective_conductances() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mapped = TileMapper::paper()
+            .map(&[0.5, -0.5, 0.1, 0.9], 2, 2)
+            .unwrap();
+        let model = VariationModel::device_to_device(0.2).unwrap();
+        let noisy = mapped.perturbed(&model, &mut rng);
+        assert_ne!(noisy, mapped);
+        // Ideal variation keeps it identical.
+        let same = mapped.perturbed(&VariationModel::IDEAL, &mut rng);
+        assert_eq!(same, mapped);
+    }
+
+    #[test]
+    fn perturbation_shifts_hardware_output() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights: Vec<f64> = (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mapped = TileMapper::paper().map(&weights, 16, 1).unwrap();
+        let a: Vec<f64> = (0..16).map(|_| rng.gen_range(0.2..0.9)).collect();
+        let e = engine();
+        let clean = mapped.forward(&e, &a, SpikeEncoding::PassThrough).unwrap()[0];
+        let model = VariationModel::device_to_device(0.2).unwrap();
+        let noisy = mapped.perturbed(&model, &mut rng);
+        let shifted = noisy.forward(&e, &a, SpikeEncoding::PassThrough).unwrap()[0];
+        assert!((clean - shifted).abs() > 1e-6, "PV must move the output");
+    }
+
+    #[test]
+    fn quantized_mapping_changes_weights() {
+        let q = Quantizer::new(2).unwrap();
+        let analog = TileMapper::paper().map(&[0.4, -0.6], 2, 1).unwrap();
+        let quantized = TileMapper::paper()
+            .with_quantizer(q)
+            .map(&[0.4, -0.6], 2, 1)
+            .unwrap();
+        assert_ne!(analog, quantized);
+        // Binary cell: 0.4/0.6 -> fraction 2/3 -> rounds to 1.0 -> weight
+        // reconstructs near ±0.6.
+        let w0 = quantized.reconstruct_weight(0, 0);
+        assert!((w0 - 0.6).abs() < 0.05, "w0 {w0}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mapper = TileMapper::paper();
+        assert!(mapper.map(&[0.0; 5], 2, 2).is_err());
+        assert!(mapper.map(&[f64::NAN, 0.0], 2, 1).is_err());
+        let mapped = mapper.map(&[0.5; 4], 2, 2).unwrap();
+        assert!(mapped
+            .forward(&engine(), &[0.1], SpikeEncoding::LinearTime)
+            .is_err());
+        assert!(mapped.forward_ideal(&[0.1, 0.2, 0.3]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_activations_clamp() {
+        let mapped = TileMapper::paper().map(&[1.0], 1, 1).unwrap();
+        let e = engine();
+        let over = mapped
+            .forward(&e, &[1.5], SpikeEncoding::LinearTime)
+            .unwrap();
+        let at_one = mapped
+            .forward(&e, &[1.0], SpikeEncoding::LinearTime)
+            .unwrap();
+        assert!((over[0] - at_one[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_quantization_coarsens_output() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let weights: Vec<f64> = (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mapped = TileMapper::paper().map(&weights, 16, 1).unwrap();
+        let a: Vec<f64> = (0..16).map(|_| rng.gen_range(0.1..0.9)).collect();
+        let e = engine();
+        let exact = mapped.forward(&e, &a, SpikeEncoding::PassThrough).unwrap()[0];
+        // A very coarse 10 ns grid must visibly move the output; a 1 fs
+        // grid must not.
+        let coarse = mapped
+            .clone()
+            .with_time_quantization(Seconds(10e-9))
+            .forward(&e, &a, SpikeEncoding::PassThrough)
+            .unwrap()[0];
+        let fine = mapped
+            .clone()
+            .with_time_quantization(Seconds(1e-15))
+            .forward(&e, &a, SpikeEncoding::PassThrough)
+            .unwrap()[0];
+        assert!((exact - fine).abs() < 1e-6, "fine grid {fine} vs {exact}");
+        assert!((exact - coarse).abs() > 1e-4, "coarse grid had no effect");
+    }
+
+    #[test]
+    fn comparator_offsets_shift_output() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let weights = vec![0.5, -0.25, 0.75, 0.1];
+        let mapped = TileMapper::paper().map(&weights, 4, 1).unwrap();
+        let a = [0.5, 0.5, 0.5, 0.5];
+        let e = engine();
+        let clean = mapped.forward(&e, &a, SpikeEncoding::PassThrough).unwrap()[0];
+        let offset = mapped
+            .clone()
+            .with_comparator_offsets(0.02, &mut rng)
+            .forward(&e, &a, SpikeEncoding::PassThrough)
+            .unwrap()[0];
+        assert!((clean - offset).abs() > 1e-6, "offsets had no effect");
+        // Zero sigma leaves the output untouched.
+        let zero = mapped
+            .clone()
+            .with_comparator_offsets(0.0, &mut rng)
+            .forward(&e, &a, SpikeEncoding::PassThrough)
+            .unwrap()[0];
+        assert!((clean - zero).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_time_quantum_panics() {
+        let mapped = TileMapper::paper().map(&[1.0], 1, 1).unwrap();
+        let _ = mapped.with_time_quantization(Seconds(0.0));
+    }
+
+    #[test]
+    fn paper_stack_builds() {
+        let (e, m) = paper_stack(ResipeConfig::paper()).unwrap();
+        assert_eq!(e.config().slice(), ResipeConfig::paper().slice());
+        assert_eq!(m.window(), ResistanceWindow::RECOMMENDED);
+    }
+}

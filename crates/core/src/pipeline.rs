@@ -1,0 +1,127 @@
+//! Multi-layer pipelining and latency accounting.
+//!
+//! The single-spiking data format makes S2 of layer *n* double as S1 of
+//! layer *n + 1* (paper Fig. 1): "the operation across different layers can
+//! be realized in the pipeline form". This module quantifies that:
+//!
+//! * sequentially, an L-layer network needs `L · (2·slice + Δt)`;
+//! * pipelined, each additional layer adds only one slice, so the first
+//!   result arrives after `(L + 1) · slice + L · Δt` and — in steady
+//!   state — a new inference completes every two slices.
+
+use serde::{Deserialize, Serialize};
+
+use resipe_analog::units::Seconds;
+
+use crate::config::ResipeConfig;
+use crate::error::ResipeError;
+
+/// Latency summary of an L-layer single-spiking pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineLatency {
+    /// Number of layers.
+    pub layers: usize,
+    /// End-to-end latency of one inference without pipelining.
+    pub sequential: Seconds,
+    /// End-to-end latency of the first inference with layer pipelining.
+    pub pipelined: Seconds,
+    /// Steady-state initiation interval (one result per this period).
+    pub initiation_interval: Seconds,
+}
+
+impl PipelineLatency {
+    /// Computes the latency summary for an `layers`-deep network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::InvalidConfig`] for an invalid configuration
+    /// or zero layers.
+    pub fn for_network(
+        config: &ResipeConfig,
+        layers: usize,
+    ) -> Result<PipelineLatency, ResipeError> {
+        config.validate()?;
+        if layers == 0 {
+            return Err(ResipeError::InvalidConfig {
+                reason: "pipeline needs at least one layer".into(),
+            });
+        }
+        let slice = config.slice().0;
+        let dt = config.dt().0;
+        let sequential = Seconds(layers as f64 * (2.0 * slice + dt));
+        // S2 of layer n is S1 of layer n+1: L+1 slices total plus the L
+        // computation stages.
+        let pipelined = Seconds((layers as f64 + 1.0) * slice + layers as f64 * dt);
+        // In steady state each engine alternates S1/S2: one new inference
+        // every two slices.
+        let initiation_interval = Seconds(2.0 * slice + dt);
+        Ok(PipelineLatency {
+            layers,
+            sequential,
+            pipelined,
+            initiation_interval,
+        })
+    }
+
+    /// Latency speedup of pipelining over sequential execution.
+    pub fn speedup(&self) -> f64 {
+        self.sequential.0 / self.pipelined.0
+    }
+
+    /// Steady-state inference throughput (inferences per second).
+    pub fn steady_state_rate(&self) -> f64 {
+        1.0 / self.initiation_interval.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_layer_matches_mvm_latency() {
+        let cfg = ResipeConfig::paper();
+        let lat = PipelineLatency::for_network(&cfg, 1).unwrap();
+        assert!((lat.sequential.as_nanos() - 201.0).abs() < 1e-9);
+        assert!((lat.pipelined.as_nanos() - 201.0).abs() < 1e-9);
+        assert!((lat.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deep_network_pipelining_approaches_2x() {
+        let cfg = ResipeConfig::paper();
+        let lat = PipelineLatency::for_network(&cfg, 16).unwrap();
+        // Sequential: 16 · 201 ns = 3216 ns; pipelined: 17·100 + 16·1 =
+        // 1716 ns.
+        assert!((lat.sequential.as_nanos() - 3216.0).abs() < 1e-6);
+        assert!((lat.pipelined.as_nanos() - 1716.0).abs() < 1e-6);
+        assert!(lat.speedup() > 1.8 && lat.speedup() < 2.0);
+    }
+
+    #[test]
+    fn speedup_monotonic_in_depth() {
+        let cfg = ResipeConfig::paper();
+        let mut prev = 0.0;
+        for layers in [1, 2, 4, 8, 32] {
+            let s = PipelineLatency::for_network(&cfg, layers)
+                .unwrap()
+                .speedup();
+            assert!(s >= prev, "speedup at {layers} layers");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn steady_state_rate() {
+        let cfg = ResipeConfig::paper();
+        let lat = PipelineLatency::for_network(&cfg, 4).unwrap();
+        // One inference per 201 ns ≈ 4.975 M inferences/s.
+        let rate = lat.steady_state_rate() / 1e6;
+        assert!((rate - 4.975).abs() < 0.01, "{rate} M/s");
+    }
+
+    #[test]
+    fn zero_layers_rejected() {
+        assert!(PipelineLatency::for_network(&ResipeConfig::paper(), 0).is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! The single-spiking data format.
+//!
+//! A datum is one spike whose **arrival time** within a slice carries the
+//! value: value 0.0 fires at t = 0, value 1.0 fires at `t_max`
+//! (Sec. III-A). Spike width and shape carry no information — the paper
+//! lists this as the format's first advantage.
+
+use serde::{Deserialize, Serialize};
+
+use resipe_analog::units::Seconds;
+
+use crate::config::ResipeConfig;
+use crate::error::ResipeError;
+
+/// The arrival time of a single spike, measured from the start of its
+/// slice.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SpikeTime(pub Seconds);
+
+impl SpikeTime {
+    /// A spike at the very start of the slice (value 0).
+    pub const ZERO: SpikeTime = SpikeTime(Seconds(0.0));
+
+    /// The arrival time.
+    pub fn time(self) -> Seconds {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SpikeTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "spike@{:.3} ns", self.0.as_nanos())
+    }
+}
+
+/// Encoder/decoder between normalized values and spike times.
+///
+/// ```
+/// use resipe::config::ResipeConfig;
+/// use resipe::spike::SpikeCodec;
+///
+/// # fn main() -> Result<(), resipe::ResipeError> {
+/// let codec = SpikeCodec::new(ResipeConfig::paper())?;
+/// let spike = codec.encode(0.5)?;
+/// assert!((spike.time().as_nanos() - 40.0).abs() < 1e-9); // t_max = 80 ns
+/// assert!((codec.decode(spike) - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpikeCodec {
+    config: ResipeConfig,
+}
+
+impl SpikeCodec {
+    /// Creates a codec for an engine configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::InvalidConfig`] if the configuration is
+    /// invalid.
+    pub fn new(config: ResipeConfig) -> Result<SpikeCodec, ResipeError> {
+        config.validate()?;
+        Ok(SpikeCodec { config })
+    }
+
+    /// The configuration this codec encodes for.
+    pub fn config(&self) -> &ResipeConfig {
+        &self.config
+    }
+
+    /// Encodes a normalized value in `\[0, 1\]` as a spike time
+    /// `t = value · t_max`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::SpikeOutOfSlice`] if the value is outside
+    /// `\[0, 1\]` or not finite.
+    pub fn encode(&self, value: f64) -> Result<SpikeTime, ResipeError> {
+        if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+            return Err(ResipeError::SpikeOutOfSlice {
+                time: value * self.config.t_max().0,
+                slice: self.config.slice().0,
+            });
+        }
+        Ok(SpikeTime(Seconds(value * self.config.t_max().0)))
+    }
+
+    /// Encodes a slice of normalized values.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first encode error.
+    pub fn encode_all(&self, values: &[f64]) -> Result<Vec<SpikeTime>, ResipeError> {
+        values.iter().map(|&v| self.encode(v)).collect()
+    }
+
+    /// Decodes a spike time back to a normalized value `t / t_max`.
+    /// Times beyond `t_max` (a saturated output) decode to values > 1.
+    pub fn decode(&self, spike: SpikeTime) -> f64 {
+        spike.0 .0 / self.config.t_max().0
+    }
+
+    /// Decodes a slice of spike times.
+    pub fn decode_all(&self, spikes: &[SpikeTime]) -> Vec<f64> {
+        spikes.iter().map(|&s| self.decode(s)).collect()
+    }
+
+    /// The number of distinguishable values given the spike pulse width —
+    /// the effective precision of the format (`t_max / pulse_width`
+    /// levels).
+    pub fn resolvable_levels(&self) -> usize {
+        (self.config.t_max().0 / self.config.pulse_width().0).floor() as usize
+    }
+
+    /// Effective bits of precision: `log2(resolvable_levels)`.
+    pub fn effective_bits(&self) -> f64 {
+        (self.resolvable_levels() as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codec() -> SpikeCodec {
+        SpikeCodec::new(ResipeConfig::paper()).expect("paper config valid")
+    }
+
+    #[test]
+    fn encode_endpoints() {
+        let c = codec();
+        assert_eq!(c.encode(0.0).unwrap(), SpikeTime::ZERO);
+        let one = c.encode(1.0).unwrap();
+        assert!((one.time().as_nanos() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = codec();
+        for v in [0.0, 0.1, 0.33, 0.5, 0.99, 1.0] {
+            let back = c.decode(c.encode(v).unwrap());
+            assert!((back - v).abs() < 1e-12, "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn encode_all_and_decode_all() {
+        let c = codec();
+        let spikes = c.encode_all(&[0.0, 0.5, 1.0]).unwrap();
+        let values = c.decode_all(&spikes);
+        assert_eq!(values.len(), 3);
+        assert!((values[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let c = codec();
+        assert!(matches!(
+            c.encode(-0.1),
+            Err(ResipeError::SpikeOutOfSlice { .. })
+        ));
+        assert!(c.encode(1.5).is_err());
+        assert!(c.encode(f64::NAN).is_err());
+        assert!(c.encode_all(&[0.5, 2.0]).is_err());
+    }
+
+    #[test]
+    fn saturated_decode_exceeds_one() {
+        let c = codec();
+        let v = c.decode(SpikeTime(Seconds(100e-9)));
+        assert!(v > 1.0);
+    }
+
+    #[test]
+    fn precision_from_pulse_width() {
+        let c = codec();
+        // 80 ns range / 1 ns pulse = 80 levels ≈ 6.3 bits.
+        assert_eq!(c.resolvable_levels(), 80);
+        assert!((c.effective_bits() - 80f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = SpikeTime(Seconds(40e-9));
+        assert_eq!(format!("{s}"), "spike@40.000 ns");
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for the neural-network substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, training or evaluating networks.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Tensor shapes were incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of what was expected.
+        expected: String,
+        /// The shape actually provided.
+        got: Vec<usize>,
+    },
+    /// A layer or model hyper-parameter was invalid.
+    InvalidParameter {
+        /// Description of the offending parameter.
+        reason: String,
+    },
+    /// A dataset was empty or its inputs/labels disagreed in length.
+    InvalidDataset {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// Training diverged (loss became NaN/inf).
+    Diverged {
+        /// The epoch at which divergence was detected.
+        epoch: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got:?}")
+            }
+            NnError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
+            }
+            NnError::InvalidDataset { reason } => {
+                write!(f, "invalid dataset: {reason}")
+            }
+            NnError::Diverged { epoch } => {
+                write!(f, "training diverged at epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NnError::ShapeMismatch {
+            expected: "[N, 784]".into(),
+            got: vec![3, 10],
+        };
+        assert!(e.to_string().contains("[3, 10]"));
+        assert!(NnError::Diverged { epoch: 2 }
+            .to_string()
+            .contains("epoch 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,271 @@
+//! Saving and loading trained networks.
+//!
+//! A small self-describing line-oriented text format, so pretrained
+//! models can be produced once and mapped onto the simulated hardware in
+//! later runs (the paper's "pretrained networks are mapped to the
+//! circuitry implementation" workflow):
+//!
+//! ```text
+//! resipe-nn v1
+//! network MLP-2
+//! layer dense 784 128
+//! weights 0.013 -0.42 ...
+//! bias 0 0 ...
+//! layer relu
+//! ...
+//! end
+//! ```
+//!
+//! Floats are written with Rust's shortest-round-trip formatting, so a
+//! save/load cycle reproduces the network bit-exactly.
+
+use std::io::{BufRead, Write};
+
+use crate::error::NnError;
+use crate::layers::{AvgPool2d, Conv2d, Dense, Flatten, Layer, MaxPool2d, Relu};
+use crate::network::Network;
+use crate::tensor::Tensor;
+
+const MAGIC: &str = "resipe-nn v1";
+
+/// Serializes a network to a writer.
+///
+/// A mutable reference can be passed for `w` (e.g. `&mut file`).
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn save<W: Write>(net: &Network, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "{MAGIC}")?;
+    writeln!(w, "network {}", net.name())?;
+    for layer in net.layers() {
+        match layer {
+            Layer::Dense(d) => {
+                writeln!(w, "layer dense {} {}", d.in_features(), d.out_features())?;
+                write_floats(&mut w, "weights", d.weights().data())?;
+                write_floats(&mut w, "bias", d.bias().data())?;
+            }
+            Layer::Conv2d(c) => {
+                writeln!(
+                    w,
+                    "layer conv2d {} {} {} {}",
+                    c.in_channels(),
+                    c.out_channels(),
+                    c.kernel_size(),
+                    c.padding()
+                )?;
+                write_floats(&mut w, "weights", c.weights().data())?;
+                write_floats(&mut w, "bias", c.bias().data())?;
+            }
+            Layer::MaxPool2d(p) => writeln!(w, "layer maxpool2d {}", p.size())?,
+            Layer::AvgPool2d(p) => writeln!(w, "layer avgpool2d {}", p.size())?,
+            Layer::Relu(_) => writeln!(w, "layer relu")?,
+            Layer::Flatten(_) => writeln!(w, "layer flatten")?,
+        }
+    }
+    writeln!(w, "end")
+}
+
+fn write_floats<W: Write>(w: &mut W, tag: &str, values: &[f32]) -> std::io::Result<()> {
+    write!(w, "{tag}")?;
+    for v in values {
+        write!(w, " {v}")?;
+    }
+    writeln!(w)
+}
+
+/// Deserializes a network from a reader.
+///
+/// A mutable reference can be passed for `r` (e.g. `&mut file`).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidParameter`] for malformed input (wrong
+/// magic, unknown layer kinds, truncated data, unparsable numbers).
+pub fn load<R: BufRead>(r: R) -> Result<Network, NnError> {
+    let malformed = |reason: &str| NnError::InvalidParameter {
+        reason: format!("model file: {reason}"),
+    };
+    let mut lines = r.lines().map(|l| l.map_err(|e| malformed(&e.to_string())));
+    let mut next_line = move || -> Result<Option<String>, NnError> {
+        match lines.next() {
+            Some(Ok(l)) => Ok(Some(l)),
+            Some(Err(e)) => Err(e),
+            None => Ok(None),
+        }
+    };
+
+    let magic = next_line()?.ok_or_else(|| malformed("empty file"))?;
+    if magic.trim() != MAGIC {
+        return Err(malformed(&format!("bad magic '{magic}'")));
+    }
+    let header = next_line()?.ok_or_else(|| malformed("missing network header"))?;
+    let name = header
+        .strip_prefix("network ")
+        .ok_or_else(|| malformed("missing 'network' header"))?
+        .to_owned();
+
+    let mut net = Network::new(&name);
+    loop {
+        let line = next_line()?.ok_or_else(|| malformed("missing 'end'"))?;
+        let line = line.trim();
+        if line == "end" {
+            break;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("layer") {
+            return Err(malformed(&format!("expected 'layer ...', got '{line}'")));
+        }
+        let kind = parts
+            .next()
+            .ok_or_else(|| malformed("missing layer kind"))?;
+        let mut dims = || -> Result<usize, NnError> {
+            parts
+                .next()
+                .ok_or_else(|| malformed("missing layer dimension"))?
+                .parse()
+                .map_err(|_| malformed("unparsable layer dimension"))
+        };
+        match kind {
+            "dense" => {
+                let (inf, outf) = (dims()?, dims()?);
+                let weights = read_floats(&mut next_line, "weights", inf * outf)?;
+                let bias = read_floats(&mut next_line, "bias", outf)?;
+                let dense = Dense::from_parameters(
+                    Tensor::from_vec(weights, &[inf, outf])?,
+                    Tensor::from_vec(bias, &[outf])?,
+                )?;
+                net.push(dense);
+            }
+            "conv2d" => {
+                let (ic, oc, k, pad) = (dims()?, dims()?, dims()?, dims()?);
+                let fan_in = ic * k * k;
+                let weights = read_floats(&mut next_line, "weights", oc * fan_in)?;
+                let bias = read_floats(&mut next_line, "bias", oc)?;
+                let conv = Conv2d::from_parameters(
+                    ic,
+                    oc,
+                    k,
+                    pad,
+                    Tensor::from_vec(weights, &[oc, fan_in])?,
+                    Tensor::from_vec(bias, &[oc])?,
+                )?;
+                net.push(conv);
+            }
+            "maxpool2d" => {
+                net.push(MaxPool2d::new(dims()?));
+            }
+            "avgpool2d" => {
+                net.push(AvgPool2d::new(dims()?));
+            }
+            "relu" => {
+                net.push(Relu::new());
+            }
+            "flatten" => {
+                net.push(Flatten::new());
+            }
+            other => return Err(malformed(&format!("unknown layer kind '{other}'"))),
+        }
+    }
+    Ok(net)
+}
+
+fn read_floats(
+    next_line: &mut impl FnMut() -> Result<Option<String>, NnError>,
+    tag: &str,
+    expected: usize,
+) -> Result<Vec<f32>, NnError> {
+    let malformed = |reason: String| NnError::InvalidParameter {
+        reason: format!("model file: {reason}"),
+    };
+    let line = next_line()?.ok_or_else(|| malformed(format!("missing '{tag}' line")))?;
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some(tag) {
+        return Err(malformed(format!("expected '{tag}' line, got '{line}'")));
+    }
+    let values: Vec<f32> = parts
+        .map(|p| p.parse().map_err(|_| malformed(format!("bad float '{p}'"))))
+        .collect::<Result<_, _>>()?;
+    if values.len() != expected {
+        return Err(malformed(format!(
+            "'{tag}' has {} values, expected {expected}",
+            values.len()
+        )));
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synth_digits;
+    use crate::models;
+    use crate::train::{Sgd, TrainConfig};
+
+    fn round_trip(net: &Network) -> Network {
+        let mut buf = Vec::new();
+        save(net, &mut buf).expect("writes to memory");
+        load(std::io::Cursor::new(buf)).expect("parses back")
+    }
+
+    #[test]
+    fn mlp_round_trips_bit_exactly() {
+        let net = models::mlp2(9).unwrap();
+        let back = round_trip(&net);
+        assert_eq!(back.name(), net.name());
+        assert_eq!(back, net);
+    }
+
+    #[test]
+    fn lenet_round_trips_bit_exactly() {
+        let net = models::lenet(3).unwrap();
+        let back = round_trip(&net);
+        assert_eq!(back, net);
+    }
+
+    #[test]
+    fn trained_network_round_trips_predictions() {
+        let data = synth_digits(64, 1).unwrap();
+        let mut net = models::mlp1(4).unwrap();
+        Sgd::new(TrainConfig::new(2).with_learning_rate(0.1))
+            .fit(&mut net, &data)
+            .unwrap();
+        let mut back = round_trip(&net);
+        let (x, _) = data.batch(&[0, 1, 2]).unwrap();
+        let a = net.forward(&x).unwrap();
+        let b = back.forward(&x).unwrap();
+        assert_eq!(a, b, "loaded model must reproduce logits bit-exactly");
+    }
+
+    #[test]
+    fn malformed_files_rejected() {
+        assert!(load(std::io::Cursor::new(b"".to_vec())).is_err());
+        assert!(load(std::io::Cursor::new(b"wrong magic\n".to_vec())).is_err());
+        assert!(load(std::io::Cursor::new(
+            b"resipe-nn v1\nnetwork x\nlayer bogus\nend\n".to_vec()
+        ))
+        .is_err());
+        assert!(load(std::io::Cursor::new(
+            b"resipe-nn v1\nnetwork x\nlayer dense 2 2\nweights 1 2 3\nbias 0 0\nend\n".to_vec()
+        ))
+        .is_err());
+        // Missing end marker.
+        assert!(load(std::io::Cursor::new(
+            b"resipe-nn v1\nnetwork x\nlayer relu\n".to_vec()
+        ))
+        .is_err());
+        // Unparsable float.
+        assert!(load(std::io::Cursor::new(
+            b"resipe-nn v1\nnetwork x\nlayer dense 1 1\nweights abc\nbias 0\nend\n".to_vec()
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn empty_network_round_trips() {
+        let net = Network::new("empty");
+        let back = round_trip(&net);
+        assert!(back.is_empty());
+        assert_eq!(back.name(), "empty");
+    }
+}

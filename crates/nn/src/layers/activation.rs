@@ -1,0 +1,154 @@
+//! Parameterless layers: ReLU and Flatten.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+use crate::tensor::Tensor;
+
+/// Rectified linear activation `y = max(0, x)`.
+///
+/// ReLU is also the activation the single-spiking data format realizes for
+/// free: negative differential results simply never fire a spike within the
+/// slice, clamping them to zero.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Relu {
+    #[serde(skip)]
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Relu {
+        Relu::default()
+    }
+
+    /// Forward pass: clamps negatives to zero, caches the pass-through
+    /// mask.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; returns `Result` for uniformity with other layers.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        self.mask = Some(input.data().iter().map(|&v| v > 0.0).collect());
+        Ok(input.map(|v| v.max(0.0)))
+    }
+
+    /// Backward pass: zeroes gradients where the input was non-positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `grad` does not match the
+    /// cached forward size or no forward pass was cached.
+    pub fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let mask = self.mask.take().ok_or(NnError::ShapeMismatch {
+            expected: "a cached forward pass".into(),
+            got: vec![],
+        })?;
+        if mask.len() != grad.len() {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{} elements", mask.len()),
+                got: grad.shape().to_vec(),
+            });
+        }
+        let data = grad
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad.shape())
+    }
+}
+
+/// Flattens `[N, ...]` into `[N, features]`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Flatten {
+    #[serde(skip)]
+    input_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Flatten {
+        Flatten::default()
+    }
+
+    /// Forward pass: reshapes to `[N, features]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the input has rank < 2.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let s = input.shape();
+        if s.len() < 2 {
+            return Err(NnError::ShapeMismatch {
+                expected: "rank >= 2".into(),
+                got: s.to_vec(),
+            });
+        }
+        self.input_shape = Some(s.to_vec());
+        let features: usize = s[1..].iter().product();
+        input.reshape(&[s[0], features])
+    }
+
+    /// Backward pass: restores the original shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if no forward pass was cached or
+    /// the gradient size differs.
+    pub fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let shape = self.input_shape.take().ok_or(NnError::ShapeMismatch {
+            expected: "a cached forward pass".into(),
+            got: vec![],
+        })?;
+        grad.reshape(&shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        let y = relu.forward(&x).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_gradient_masks() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 0.0], &[3]).unwrap();
+        relu.forward(&x).unwrap();
+        let g = Tensor::from_vec(vec![10.0, 10.0, 10.0], &[3]).unwrap();
+        let dx = relu.backward(&g).unwrap();
+        assert_eq!(dx.data(), &[0.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_backward_requires_forward() {
+        let mut relu = Relu::new();
+        assert!(relu.backward(&Tensor::zeros(&[2])).is_err());
+        relu.forward(&Tensor::zeros(&[2])).unwrap();
+        assert!(relu.backward(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut fl = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 4]);
+        let y = fl.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[2, 48]);
+        let dx = fl.backward(&Tensor::zeros(&[2, 48])).unwrap();
+        assert_eq!(dx.shape(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn flatten_rejects_rank1() {
+        let mut fl = Flatten::new();
+        assert!(fl.forward(&Tensor::zeros(&[4])).is_err());
+    }
+}

@@ -1,0 +1,339 @@
+//! Fully connected layer.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+use crate::tensor::Tensor;
+
+/// A fully connected layer `y = x W + b` with `W: [in, out]`.
+///
+/// This is the layer the ReSiPE engine maps directly onto crossbar columns:
+/// `W` becomes the differential conductance pair and `x` the input spike
+/// times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+    weights: Tensor,
+    bias: Tensor,
+    grad_weights: Tensor,
+    grad_bias: Tensor,
+    vel_weights: Tensor,
+    vel_bias: Tensor,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-initialized weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Dense {
+        assert!(
+            in_features > 0 && out_features > 0,
+            "dense dimensions must be nonzero"
+        );
+        let std = (2.0 / in_features as f32).sqrt();
+        let weights = Tensor::from_vec(
+            (0..in_features * out_features)
+                .map(|_| {
+                    // Box–Muller normal, scaled to He initialization.
+                    let u1: f32 = rng.gen_range(f32::MIN_POSITIVE..1.0);
+                    let u2: f32 = rng.gen();
+                    std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+                })
+                .collect(),
+            &[in_features, out_features],
+        )
+        .expect("shape matches");
+        Dense {
+            in_features,
+            out_features,
+            weights,
+            bias: Tensor::zeros(&[out_features]),
+            grad_weights: Tensor::zeros(&[in_features, out_features]),
+            grad_bias: Tensor::zeros(&[out_features]),
+            vel_weights: Tensor::zeros(&[in_features, out_features]),
+            vel_bias: Tensor::zeros(&[out_features]),
+            cached_input: None,
+        }
+    }
+
+    /// Creates a dense layer with explicit weights and bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `weights` is not
+    /// `[in, out]` or `bias` is not `[out]`.
+    pub fn from_parameters(weights: Tensor, bias: Tensor) -> Result<Dense, NnError> {
+        if weights.shape().len() != 2 {
+            return Err(NnError::ShapeMismatch {
+                expected: "rank-2 weights".into(),
+                got: weights.shape().to_vec(),
+            });
+        }
+        let (in_f, out_f) = (weights.shape()[0], weights.shape()[1]);
+        if bias.shape() != [out_f] {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("bias [{out_f}]"),
+                got: bias.shape().to_vec(),
+            });
+        }
+        Ok(Dense {
+            in_features: in_f,
+            out_features: out_f,
+            grad_weights: Tensor::zeros(&[in_f, out_f]),
+            grad_bias: Tensor::zeros(&[out_f]),
+            vel_weights: Tensor::zeros(&[in_f, out_f]),
+            vel_bias: Tensor::zeros(&[out_f]),
+            weights,
+            bias,
+            cached_input: None,
+        })
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The weight matrix `[in, out]`.
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+
+    /// The bias vector `[out]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.in_features * self.out_features + self.out_features
+    }
+
+    /// Forward pass over a batch `[N, in] -> [N, out]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] unless the input is `[N, in]`.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if input.shape().len() != 2 || input.shape()[1] != self.in_features {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("[N, {}]", self.in_features),
+                got: input.shape().to_vec(),
+            });
+        }
+        let mut out = input.matmul(&self.weights)?;
+        let n = input.shape()[0];
+        for i in 0..n {
+            for j in 0..self.out_features {
+                let v = out.get(&[i, j]) + self.bias.get(&[j]);
+                out.set(&[i, j], v);
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    /// Backward pass: accumulates weight/bias gradients, returns `dL/dx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `grad` is not `[N, out]` or no
+    /// forward pass preceded this call.
+    pub fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let input = self.cached_input.take().ok_or(NnError::ShapeMismatch {
+            expected: "a cached forward pass".into(),
+            got: vec![],
+        })?;
+        if grad.shape() != [input.shape()[0], self.out_features] {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("[{}, {}]", input.shape()[0], self.out_features),
+                got: grad.shape().to_vec(),
+            });
+        }
+        // dW += xᵀ · g
+        let gw = input.transpose()?.matmul(grad)?;
+        self.grad_weights = self.grad_weights.zip(&gw, |a, b| a + b)?;
+        // db += column sums of g
+        let n = grad.shape()[0];
+        for j in 0..self.out_features {
+            let mut s = self.grad_bias.get(&[j]);
+            for i in 0..n {
+                s += grad.get(&[i, j]);
+            }
+            self.grad_bias.set(&[j], s);
+        }
+        // dx = g · Wᵀ
+        grad.matmul(&self.weights.transpose()?)
+    }
+
+    /// SGD-with-momentum update; clears gradients.
+    pub fn sgd_step(&mut self, learning_rate: f32, momentum: f32) {
+        sgd_update(
+            self.weights.data_mut(),
+            self.grad_weights.data_mut(),
+            self.vel_weights.data_mut(),
+            learning_rate,
+            momentum,
+        );
+        sgd_update(
+            self.bias.data_mut(),
+            self.grad_bias.data_mut(),
+            self.vel_bias.data_mut(),
+            learning_rate,
+            momentum,
+        );
+    }
+}
+
+/// Shared SGD-with-momentum kernel: `v = m·v − lr·g; w += v; g = 0`.
+pub(crate) fn sgd_update(
+    weights: &mut [f32],
+    grads: &mut [f32],
+    velocity: &mut [f32],
+    learning_rate: f32,
+    momentum: f32,
+) {
+    for ((w, g), v) in weights.iter_mut().zip(grads.iter_mut()).zip(velocity) {
+        *v = momentum * *v - learning_rate * *g;
+        *w += *v;
+        *g = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixed_dense() -> Dense {
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![0.5, -0.5, 0.0], &[3]).unwrap();
+        Dense::from_parameters(w, b).unwrap()
+    }
+
+    #[test]
+    fn forward_known_values() {
+        let mut d = fixed_dense();
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
+        let y = d.forward(&x).unwrap();
+        // [1+4, 2+5, 3+6] + bias
+        assert_eq!(y.data(), &[5.5, 6.5, 9.0]);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut d = Dense::new(3, 2, &mut rng);
+        let x = Tensor::from_vec(vec![0.3, -0.7, 0.2, 0.1, 0.9, -0.4], &[2, 3]).unwrap();
+        // Loss = sum of outputs; dL/dy = 1.
+        let y = d.forward(&x).unwrap();
+        let base_loss = y.sum();
+        let ones = Tensor::full(&[2, 2], 1.0);
+        let dx = d.backward(&ones).unwrap();
+
+        // Finite difference on the input.
+        let eps = 1e-3_f32;
+        for i in 0..2 {
+            for j in 0..3 {
+                let mut xp = x.clone();
+                xp.set(&[i, j], x.get(&[i, j]) + eps);
+                let yp = d.forward(&xp).unwrap();
+                let fd = (yp.sum() - base_loss) / eps;
+                let an = dx.get(&[i, j]);
+                assert!(
+                    (fd - an).abs() < 1e-2,
+                    "dx[{i},{j}] finite diff {fd} vs analytic {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weight_gradient_accumulates_input_outer_product() {
+        let mut d = fixed_dense();
+        let x = Tensor::from_vec(vec![2.0, -1.0], &[1, 2]).unwrap();
+        d.forward(&x).unwrap();
+        let g = Tensor::from_vec(vec![1.0, 0.0, -1.0], &[1, 3]).unwrap();
+        d.backward(&g).unwrap();
+        // dW = xᵀ g
+        assert_eq!(d.grad_weights.get(&[0, 0]), 2.0);
+        assert_eq!(d.grad_weights.get(&[0, 2]), -2.0);
+        assert_eq!(d.grad_weights.get(&[1, 0]), -1.0);
+        assert_eq!(d.grad_bias.data(), &[1.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn sgd_step_moves_weights_and_clears_grads() {
+        let mut d = fixed_dense();
+        let x = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]).unwrap();
+        d.forward(&x).unwrap();
+        let g = Tensor::from_vec(vec![1.0, 1.0, 1.0], &[1, 3]).unwrap();
+        d.backward(&g).unwrap();
+        let w_before = d.weights.get(&[0, 0]);
+        d.sgd_step(0.1, 0.0);
+        assert!((d.weights.get(&[0, 0]) - (w_before - 0.1)).abs() < 1e-6);
+        assert_eq!(d.grad_weights.get(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let mut w = vec![0.0_f32];
+        let mut v = vec![0.0_f32];
+        // Two identical gradient steps with momentum 0.9.
+        let mut g = vec![1.0_f32];
+        sgd_update(&mut w, &mut g, &mut v, 0.1, 0.9);
+        let first_step = -w[0];
+        let mut g = vec![1.0_f32];
+        sgd_update(&mut w, &mut g, &mut v, 0.1, 0.9);
+        let second_step = -w[0] - first_step;
+        assert!(second_step > first_step, "momentum grows step size");
+    }
+
+    #[test]
+    fn shape_validation() {
+        let mut d = fixed_dense();
+        assert!(d.forward(&Tensor::zeros(&[1, 3])).is_err());
+        assert!(d.forward(&Tensor::zeros(&[2])).is_err());
+        // Backward without forward:
+        assert!(d.backward(&Tensor::zeros(&[1, 3])).is_err());
+        // Backward with wrong grad shape:
+        d.forward(&Tensor::zeros(&[1, 2])).unwrap();
+        assert!(d.backward(&Tensor::zeros(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn from_parameters_validation() {
+        let w = Tensor::zeros(&[2, 3]);
+        assert!(Dense::from_parameters(w.clone(), Tensor::zeros(&[2])).is_err());
+        assert!(Dense::from_parameters(Tensor::zeros(&[6]), Tensor::zeros(&[3])).is_err());
+        assert!(Dense::from_parameters(w, Tensor::zeros(&[3])).is_ok());
+    }
+
+    #[test]
+    fn he_init_statistics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = Dense::new(100, 50, &mut rng);
+        let data = d.weights().data();
+        let mean: f32 = data.iter().sum::<f32>() / data.len() as f32;
+        let var: f32 =
+            data.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / data.len() as f32;
+        let expected_var = 2.0 / 100.0;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!(
+            (var - expected_var).abs() / expected_var < 0.2,
+            "var {var} vs {expected_var}"
+        );
+    }
+}

@@ -1,0 +1,307 @@
+//! Pooling layers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+use crate::tensor::Tensor;
+
+/// Max pooling with square window and stride equal to the window size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaxPool2d {
+    size: usize,
+    #[serde(skip)]
+    cache: Option<PoolCache>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct PoolCache {
+    input_shape: [usize; 4],
+    /// Flat input index of the winning element for each output element.
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with the given window/stride size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> MaxPool2d {
+        assert!(size > 0, "pool size must be nonzero");
+        MaxPool2d { size, cache: None }
+    }
+
+    /// The window (and stride) size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Forward pass `[N, C, H, W] -> [N, C, H/size, W/size]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] unless the input is rank 4 and
+    /// both spatial dimensions are divisible by the pool size.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let s = input.shape();
+        if s.len() != 4 || !s[2].is_multiple_of(self.size) || !s[3].is_multiple_of(self.size) {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("[N, C, H, W] with H, W divisible by {}", self.size),
+                got: s.to_vec(),
+            });
+        }
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let (ho, wo) = (h / self.size, w / self.size);
+        let mut out = Tensor::zeros(&[n, c, ho, wo]);
+        let mut argmax = vec![0usize; n * c * ho * wo];
+        let mut out_idx = 0;
+        for b in 0..n {
+            for ch in 0..c {
+                for oi in 0..ho {
+                    for oj in 0..wo {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_flat = 0;
+                        for ki in 0..self.size {
+                            for kj in 0..self.size {
+                                let ii = oi * self.size + ki;
+                                let jj = oj * self.size + kj;
+                                let v = input.get(&[b, ch, ii, jj]);
+                                if v > best {
+                                    best = v;
+                                    best_flat = ((b * c + ch) * h + ii) * w + jj;
+                                }
+                            }
+                        }
+                        out.set(&[b, ch, oi, oj], best);
+                        argmax[out_idx] = best_flat;
+                        out_idx += 1;
+                    }
+                }
+            }
+        }
+        self.cache = Some(PoolCache {
+            input_shape: [n, c, h, w],
+            argmax,
+        });
+        Ok(out)
+    }
+
+    /// Backward pass: routes each output gradient to its argmax position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `grad` does not match the
+    /// forward output or no forward pass was cached.
+    pub fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let cache = self.cache.take().ok_or(NnError::ShapeMismatch {
+            expected: "a cached forward pass".into(),
+            got: vec![],
+        })?;
+        let [n, c, h, w] = cache.input_shape;
+        let (ho, wo) = (h / self.size, w / self.size);
+        if grad.shape() != [n, c, ho, wo] {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("[{n}, {c}, {ho}, {wo}]"),
+                got: grad.shape().to_vec(),
+            });
+        }
+        let mut out = Tensor::zeros(&[n, c, h, w]);
+        for (out_idx, &flat) in cache.argmax.iter().enumerate() {
+            out.data_mut()[flat] += grad.data()[out_idx];
+        }
+        Ok(out)
+    }
+}
+
+/// Average pooling with square window and stride equal to the window size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AvgPool2d {
+    size: usize,
+    #[serde(skip)]
+    input_shape: Option<[usize; 4]>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with the given window/stride size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> AvgPool2d {
+        assert!(size > 0, "pool size must be nonzero");
+        AvgPool2d {
+            size,
+            input_shape: None,
+        }
+    }
+
+    /// The window (and stride) size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Forward pass `[N, C, H, W] -> [N, C, H/size, W/size]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] unless the input is rank 4 and
+    /// divisible by the pool size.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let s = input.shape();
+        if s.len() != 4 || !s[2].is_multiple_of(self.size) || !s[3].is_multiple_of(self.size) {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("[N, C, H, W] with H, W divisible by {}", self.size),
+                got: s.to_vec(),
+            });
+        }
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let (ho, wo) = (h / self.size, w / self.size);
+        let norm = (self.size * self.size) as f32;
+        let mut out = Tensor::zeros(&[n, c, ho, wo]);
+        for b in 0..n {
+            for ch in 0..c {
+                for oi in 0..ho {
+                    for oj in 0..wo {
+                        let mut sum = 0.0;
+                        for ki in 0..self.size {
+                            for kj in 0..self.size {
+                                sum +=
+                                    input.get(&[b, ch, oi * self.size + ki, oj * self.size + kj]);
+                            }
+                        }
+                        out.set(&[b, ch, oi, oj], sum / norm);
+                    }
+                }
+            }
+        }
+        self.input_shape = Some([n, c, h, w]);
+        Ok(out)
+    }
+
+    /// Backward pass: spreads each output gradient uniformly over its
+    /// window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `grad` does not match the
+    /// forward output or no forward pass was cached.
+    pub fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let [n, c, h, w] = self.input_shape.take().ok_or(NnError::ShapeMismatch {
+            expected: "a cached forward pass".into(),
+            got: vec![],
+        })?;
+        let (ho, wo) = (h / self.size, w / self.size);
+        if grad.shape() != [n, c, ho, wo] {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("[{n}, {c}, {ho}, {wo}]"),
+                got: grad.shape().to_vec(),
+            });
+        }
+        let norm = (self.size * self.size) as f32;
+        let mut out = Tensor::zeros(&[n, c, h, w]);
+        for b in 0..n {
+            for ch in 0..c {
+                for oi in 0..ho {
+                    for oj in 0..wo {
+                        let g = grad.get(&[b, ch, oi, oj]) / norm;
+                        for ki in 0..self.size {
+                            for kj in 0..self.size {
+                                let idx = [b, ch, oi * self.size + ki, oj * self.size + kj];
+                                let cur = out.get(&idx);
+                                out.set(&idx, cur + g);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_forward_picks_max() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, -2.0, 0.5, 0.0, //
+                -3.0, -4.0, 0.0, 0.25,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = pool.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 8.0, -1.0, 0.5]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        pool.forward(&x).unwrap();
+        let g = Tensor::full(&[1, 1, 1, 1], 10.0);
+        let dx = pool.backward(&g).unwrap();
+        assert_eq!(dx.data(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn avgpool_forward_averages() {
+        let mut pool = AvgPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let y = pool.forward(&x).unwrap();
+        assert_eq!(y.data(), &[2.5]);
+    }
+
+    #[test]
+    fn avgpool_backward_spreads_uniformly() {
+        let mut pool = AvgPool2d::new(2);
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        pool.forward(&x).unwrap();
+        let dx = pool.backward(&Tensor::full(&[1, 1, 1, 1], 4.0)).unwrap();
+        assert_eq!(dx.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn indivisible_spatial_size_rejected() {
+        let mut pool = MaxPool2d::new(2);
+        assert!(pool.forward(&Tensor::zeros(&[1, 1, 3, 4])).is_err());
+        let mut pool = AvgPool2d::new(3);
+        assert!(pool.forward(&Tensor::zeros(&[1, 1, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn backward_without_forward_rejected() {
+        let mut pool = MaxPool2d::new(2);
+        assert!(pool.backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
+        let mut pool = AvgPool2d::new(2);
+        assert!(pool.backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
+    }
+
+    #[test]
+    fn multi_channel_pooling_independent() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            vec![
+                // channel 0
+                1.0, 0.0, 0.0, 0.0, //
+                0.0, 0.0, 0.0, 0.0, //
+                // channel 1
+                0.0, 0.0, 0.0, 0.0, //
+                0.0, 9.0, 0.0, 0.0,
+            ],
+            &[1, 2, 2, 4],
+        )
+        .unwrap();
+        let y = pool.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 2, 1, 2]);
+        assert_eq!(y.get(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(y.get(&[0, 1, 0, 0]), 9.0);
+    }
+}

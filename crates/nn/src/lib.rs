@@ -1,0 +1,62 @@
+//! # resipe-nn
+//!
+//! A from-scratch neural-network substrate for the ReSiPE reproduction
+//! (DAC 2020). The paper evaluates classification accuracy of six
+//! pretrained networks mapped onto the ReSiPE engine (Fig. 7); this crate
+//! provides everything needed to *produce* those pretrained networks
+//! without external ML frameworks or datasets:
+//!
+//! * [`tensor`] — a minimal dense `f32` tensor;
+//! * [`layers`] — dense, 2-D convolution, pooling, ReLU and flatten layers
+//!   with full backpropagation;
+//! * [`network`] — sequential composition, forward/backward;
+//! * [`train`] — mini-batch SGD with momentum and cross-entropy loss;
+//! * [`data`] — procedural synthetic stand-ins for MNIST
+//!   ([`data::synth_digits`]) and CIFAR-10 ([`data::synth_objects`]);
+//! * [`models`] — the six architectures of the paper: MLP-1, MLP-2,
+//!   LeNet (CNN-1), and width-scaled AlexNet/VGG16/VGG19 (CNN-2/3/4);
+//! * [`metrics`] — classification accuracy.
+//!
+//! Layers are an enum (not trait objects) so downstream crates — the
+//! ReSiPE engine in particular — can pattern-match on layer kinds and
+//! re-execute the matrix products on simulated crossbar hardware.
+//!
+//! # Example
+//!
+//! Train a small MLP on the synthetic digit task:
+//!
+//! ```
+//! use resipe_nn::data::synth_digits;
+//! use resipe_nn::models;
+//! use resipe_nn::train::{Sgd, TrainConfig};
+//! use resipe_nn::metrics::accuracy;
+//!
+//! # fn main() -> Result<(), resipe_nn::NnError> {
+//! let train = synth_digits(256, 1)?;
+//! let test = synth_digits(64, 2)?;
+//! let mut net = models::mlp1(7)?;
+//! let cfg = TrainConfig::new(3).with_learning_rate(0.1).with_batch_size(32);
+//! Sgd::new(cfg).fit(&mut net, &train)?;
+//! let acc = accuracy(&mut net, &test)?;
+//! assert!(acc > 0.2, "better than chance, got {acc}");
+//! # Ok(())
+//! # }
+//! ```
+
+// `!(x > 0.0)` deliberately rejects NaN alongside non-positive values
+// when validating physical parameters; the clippy lint would obscure that.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod data;
+pub mod error;
+pub mod io;
+pub mod layers;
+pub mod metrics;
+pub mod models;
+pub mod network;
+pub mod tensor;
+pub mod train;
+
+pub use error::NnError;
+pub use network::Network;
+pub use tensor::Tensor;

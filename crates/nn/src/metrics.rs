@@ -1,0 +1,151 @@
+//! Classification metrics.
+
+use crate::data::Dataset;
+use crate::error::NnError;
+use crate::network::Network;
+use crate::tensor::Tensor;
+
+/// Fraction of samples whose argmax prediction matches the label.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] if the lengths differ or the
+/// prediction tensor is empty.
+pub fn accuracy_of(predictions: &[usize], labels: &[usize]) -> Result<f32, NnError> {
+    if predictions.len() != labels.len() || predictions.is_empty() {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("{} non-empty predictions", labels.len()),
+            got: vec![predictions.len()],
+        });
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    Ok(correct as f32 / labels.len() as f32)
+}
+
+/// Evaluates a network's classification accuracy on a dataset, batching
+/// internally.
+///
+/// # Errors
+///
+/// Propagates shape errors from incompatible network/dataset pairs.
+pub fn accuracy(net: &mut Network, data: &Dataset) -> Result<f32, NnError> {
+    let preds = predictions(net, data)?;
+    accuracy_of(&preds, data.labels())
+}
+
+/// Argmax predictions of a network over a whole dataset.
+///
+/// # Errors
+///
+/// Propagates shape errors from incompatible network/dataset pairs.
+pub fn predictions(net: &mut Network, data: &Dataset) -> Result<Vec<usize>, NnError> {
+    const EVAL_BATCH: usize = 64;
+    let mut preds = Vec::with_capacity(data.len());
+    let indices: Vec<usize> = (0..data.len()).collect();
+    for chunk in indices.chunks(EVAL_BATCH) {
+        let (x, _) = data.batch(chunk)?;
+        let logits = net.forward(&x)?;
+        preds.extend(logits.argmax_rows());
+    }
+    Ok(preds)
+}
+
+/// A `C × C` confusion matrix: `matrix[true][predicted]` counts.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] if lengths differ or any entry is
+/// out of class range.
+pub fn confusion_matrix(
+    predictions: &[usize],
+    labels: &[usize],
+    num_classes: usize,
+) -> Result<Vec<Vec<usize>>, NnError> {
+    if predictions.len() != labels.len() {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("{} predictions", labels.len()),
+            got: vec![predictions.len()],
+        });
+    }
+    let mut m = vec![vec![0usize; num_classes]; num_classes];
+    for (&p, &l) in predictions.iter().zip(labels) {
+        if p >= num_classes || l >= num_classes {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("classes < {num_classes}"),
+                got: vec![p.max(l)],
+            });
+        }
+        m[l][p] += 1;
+    }
+    Ok(m)
+}
+
+/// Mean absolute error between two equal-length value slices — used to
+/// compare ideal and hardware-perturbed layer outputs.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] if the lengths differ or are zero.
+pub fn mean_absolute_error(a: &Tensor, b: &Tensor) -> Result<f32, NnError> {
+    if a.shape() != b.shape() || a.is_empty() {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("{:?}", a.shape()),
+            got: b.shape().to_vec(),
+        });
+    }
+    let sum: f32 = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| (x - y).abs())
+        .sum();
+    Ok(sum / a.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synth_digits;
+    use crate::models;
+
+    #[test]
+    fn accuracy_of_basics() {
+        assert_eq!(accuracy_of(&[1, 2, 3], &[1, 2, 0]).unwrap(), 2.0 / 3.0);
+        assert_eq!(accuracy_of(&[0], &[0]).unwrap(), 1.0);
+        assert!(accuracy_of(&[], &[]).is_err());
+        assert!(accuracy_of(&[1], &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn untrained_model_near_chance() {
+        let data = synth_digits(100, 1).unwrap();
+        let mut net = models::mlp1(99).unwrap();
+        let acc = accuracy(&mut net, &data).unwrap();
+        assert!(acc < 0.5, "untrained accuracy {acc} suspiciously high");
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let m = confusion_matrix(&[0, 1, 1, 2], &[0, 1, 2, 2], 3).unwrap();
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[2][1], 1);
+        assert_eq!(m[2][2], 1);
+        let total: usize = m.iter().flatten().sum();
+        assert_eq!(total, 4);
+        assert!(confusion_matrix(&[5], &[0], 3).is_err());
+        assert!(confusion_matrix(&[0, 1], &[0], 3).is_err());
+    }
+
+    #[test]
+    fn mae_basics() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![0.0, 4.0], &[2]).unwrap();
+        assert_eq!(mean_absolute_error(&a, &b).unwrap(), 1.5);
+        assert!(mean_absolute_error(&a, &Tensor::zeros(&[3])).is_err());
+    }
+}

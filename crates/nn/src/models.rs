@@ -1,0 +1,304 @@
+//! The six benchmark architectures of the paper (Sec. IV-C).
+//!
+//! | Paper name | Here | Task | Notes |
+//! |---|---|---|---|
+//! | MLP-1 | [`mlp1`] | digits | 1-layer perceptron, full size |
+//! | MLP-2 | [`mlp2`] | digits | 2-layer perceptron, full size |
+//! | CNN-1 | [`lenet`] | digits | 4-layer LeNet, full size |
+//! | CNN-2 | [`alexnet_s`] | objects | AlexNet topology, width-scaled |
+//! | CNN-3 | [`vgg16_s`] | objects | VGG16 topology, width-scaled |
+//! | CNN-4 | [`vgg19_s`] | objects | VGG19 topology, width-scaled |
+//!
+//! The `_s` models keep the original layer *structure* (conv counts per
+//! block, pooling schedule, three-FC-layer head) but shrink channel widths
+//! so they train on the synthetic datasets in CI time. Depth drives the
+//! paper's Fig. 7 observation that "the impact of PVs is more significant
+//! in more complex neural network models", and depth is preserved exactly.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::NnError;
+use crate::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
+use crate::network::Network;
+
+/// The six paper model identifiers, in Fig. 7 order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// MLP-1: 1-layer perceptron on the digit task.
+    Mlp1,
+    /// MLP-2: 2-layer perceptron on the digit task.
+    Mlp2,
+    /// CNN-1: LeNet on the digit task.
+    Cnn1Lenet,
+    /// CNN-2: width-scaled AlexNet on the object task.
+    Cnn2Alexnet,
+    /// CNN-3: width-scaled VGG16 on the object task.
+    Cnn3Vgg16,
+    /// CNN-4: width-scaled VGG19 on the object task.
+    Cnn4Vgg19,
+}
+
+impl ModelKind {
+    /// All six models in the paper's Fig. 7 order.
+    pub const ALL: [ModelKind; 6] = [
+        ModelKind::Mlp1,
+        ModelKind::Mlp2,
+        ModelKind::Cnn1Lenet,
+        ModelKind::Cnn2Alexnet,
+        ModelKind::Cnn3Vgg16,
+        ModelKind::Cnn4Vgg19,
+    ];
+
+    /// The paper's display name.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            ModelKind::Mlp1 => "MLP-1",
+            ModelKind::Mlp2 => "MLP-2",
+            ModelKind::Cnn1Lenet => "CNN-1 (LeNet)",
+            ModelKind::Cnn2Alexnet => "CNN-2 (AlexNet-S)",
+            ModelKind::Cnn3Vgg16 => "CNN-3 (VGG16-S)",
+            ModelKind::Cnn4Vgg19 => "CNN-4 (VGG19-S)",
+        }
+    }
+
+    /// `true` if the model runs on the digit (MNIST stand-in) task.
+    pub fn uses_digits(self) -> bool {
+        matches!(
+            self,
+            ModelKind::Mlp1 | ModelKind::Mlp2 | ModelKind::Cnn1Lenet
+        )
+    }
+
+    /// Builds the model with the given initialization seed.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in models; `Result` keeps the signature
+    /// uniform with custom builders.
+    pub fn build(self, seed: u64) -> Result<Network, NnError> {
+        match self {
+            ModelKind::Mlp1 => mlp1(seed),
+            ModelKind::Mlp2 => mlp2(seed),
+            ModelKind::Cnn1Lenet => lenet(seed),
+            ModelKind::Cnn2Alexnet => alexnet_s(seed),
+            ModelKind::Cnn3Vgg16 => vgg16_s(seed),
+            ModelKind::Cnn4Vgg19 => vgg19_s(seed),
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// MLP-1: a single dense layer 784 → 10 (the paper's "1-layer perceptron
+/// network on MNIST").
+///
+/// # Errors
+///
+/// Never fails; `Result` kept for uniformity.
+pub fn mlp1(seed: u64) -> Result<Network, NnError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new("MLP-1");
+    net.push(Flatten::new());
+    net.push(Dense::new(784, 10, &mut rng));
+    Ok(net)
+}
+
+/// MLP-2: 784 → 128 → 10 with ReLU (the paper's "2-layer perceptron").
+///
+/// # Errors
+///
+/// Never fails; `Result` kept for uniformity.
+pub fn mlp2(seed: u64) -> Result<Network, NnError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new("MLP-2");
+    net.push(Flatten::new());
+    net.push(Dense::new(784, 128, &mut rng));
+    net.push(Relu::new());
+    net.push(Dense::new(128, 10, &mut rng));
+    Ok(net)
+}
+
+/// CNN-1: LeNet for 28×28×1 inputs ("4-layer LeNet on MNIST"): two conv
+/// stages and two hidden dense layers.
+///
+/// # Errors
+///
+/// Never fails; `Result` kept for uniformity.
+pub fn lenet(seed: u64) -> Result<Network, NnError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new("CNN-1 (LeNet)");
+    net.push(Conv2d::new(1, 6, 5, 2, &mut rng)); // 28 -> 28
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2)); // 28 -> 14
+    net.push(Conv2d::new(6, 16, 5, 0, &mut rng)); // 14 -> 10
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2)); // 10 -> 5
+    net.push(Flatten::new());
+    net.push(Dense::new(16 * 5 * 5, 120, &mut rng));
+    net.push(Relu::new());
+    net.push(Dense::new(120, 84, &mut rng));
+    net.push(Relu::new());
+    net.push(Dense::new(84, 10, &mut rng));
+    Ok(net)
+}
+
+/// CNN-2: width-scaled AlexNet for 32×32×3 inputs — five convolutions in
+/// the original 2-2-1 pooling schedule plus a three-layer dense head.
+///
+/// # Errors
+///
+/// Never fails; `Result` kept for uniformity.
+pub fn alexnet_s(seed: u64) -> Result<Network, NnError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new("CNN-2 (AlexNet-S)");
+    net.push(Conv2d::new(3, 16, 3, 1, &mut rng)); // 32
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2)); // 16
+    net.push(Conv2d::new(16, 32, 3, 1, &mut rng));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2)); // 8
+    net.push(Conv2d::new(32, 48, 3, 1, &mut rng));
+    net.push(Relu::new());
+    net.push(Conv2d::new(48, 48, 3, 1, &mut rng));
+    net.push(Relu::new());
+    net.push(Conv2d::new(48, 32, 3, 1, &mut rng));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2)); // 4
+    net.push(Flatten::new());
+    net.push(Dense::new(32 * 4 * 4, 128, &mut rng));
+    net.push(Relu::new());
+    net.push(Dense::new(128, 64, &mut rng));
+    net.push(Relu::new());
+    net.push(Dense::new(64, 10, &mut rng));
+    Ok(net)
+}
+
+/// Builds a width-scaled VGG-style network from per-block conv counts.
+fn vgg(name: &str, block_convs: &[usize], widths: &[usize], seed: u64) -> Network {
+    assert_eq!(block_convs.len(), widths.len(), "one width per block");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new(name);
+    let mut in_ch = 3;
+    for (&convs, &width) in block_convs.iter().zip(widths) {
+        for _ in 0..convs {
+            net.push(Conv2d::new(in_ch, width, 3, 1, &mut rng));
+            net.push(Relu::new());
+            in_ch = width;
+        }
+        net.push(MaxPool2d::new(2));
+    }
+    // After 5 blocks, 32 -> 1 spatial.
+    net.push(Flatten::new());
+    let features = in_ch;
+    net.push(Dense::new(features, 64, &mut rng));
+    net.push(Relu::new());
+    net.push(Dense::new(64, 64, &mut rng));
+    net.push(Relu::new());
+    net.push(Dense::new(64, 10, &mut rng));
+    net
+}
+
+/// CNN-3: width-scaled VGG16 — the original 2-2-3-3-3 conv blocks (13
+/// convolutions) and three dense layers.
+///
+/// # Errors
+///
+/// Never fails; `Result` kept for uniformity.
+pub fn vgg16_s(seed: u64) -> Result<Network, NnError> {
+    Ok(vgg(
+        "CNN-3 (VGG16-S)",
+        &[2, 2, 3, 3, 3],
+        &[8, 16, 32, 48, 48],
+        seed,
+    ))
+}
+
+/// CNN-4: width-scaled VGG19 — the original 2-2-4-4-4 conv blocks (16
+/// convolutions) and three dense layers.
+///
+/// # Errors
+///
+/// Never fails; `Result` kept for uniformity.
+pub fn vgg19_s(seed: u64) -> Result<Network, NnError> {
+    Ok(vgg(
+        "CNN-4 (VGG19-S)",
+        &[2, 2, 4, 4, 4],
+        &[8, 16, 32, 48, 48],
+        seed,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn digit_models_accept_digit_shapes() {
+        for kind in [ModelKind::Mlp1, ModelKind::Mlp2, ModelKind::Cnn1Lenet] {
+            let mut net = kind.build(1).unwrap();
+            let y = net.forward(&Tensor::zeros(&[2, 1, 28, 28])).unwrap();
+            assert_eq!(y.shape(), &[2, 10], "{kind}");
+            assert!(kind.uses_digits());
+        }
+    }
+
+    #[test]
+    fn object_models_accept_object_shapes() {
+        for kind in [
+            ModelKind::Cnn2Alexnet,
+            ModelKind::Cnn3Vgg16,
+            ModelKind::Cnn4Vgg19,
+        ] {
+            let mut net = kind.build(1).unwrap();
+            let y = net.forward(&Tensor::zeros(&[1, 3, 32, 32])).unwrap();
+            assert_eq!(y.shape(), &[1, 10], "{kind}");
+            assert!(!kind.uses_digits());
+        }
+    }
+
+    #[test]
+    fn depth_ordering_matches_paper() {
+        // Deeper models in Fig. 7 order: VGG19 > VGG16 > AlexNet in weight
+        // layers; LeNet > MLP-2 > MLP-1.
+        let layers = |k: ModelKind| k.build(1).unwrap().weight_layer_count();
+        assert_eq!(layers(ModelKind::Mlp1), 1);
+        assert_eq!(layers(ModelKind::Mlp2), 2);
+        assert_eq!(layers(ModelKind::Cnn1Lenet), 5);
+        assert_eq!(layers(ModelKind::Cnn2Alexnet), 8);
+        assert_eq!(layers(ModelKind::Cnn3Vgg16), 16); // 13 conv + 3 fc
+        assert_eq!(layers(ModelKind::Cnn4Vgg19), 19); // 16 conv + 3 fc
+    }
+
+    #[test]
+    fn vgg16_paper_structure() {
+        let net = vgg16_s(1).unwrap();
+        // 13 convs + 13 relus + 5 pools + flatten + 3 dense + 2 relus
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l, crate::layers::Layer::Conv2d(_)))
+            .count();
+        assert_eq!(convs, 13);
+    }
+
+    #[test]
+    fn seeded_builds_are_deterministic() {
+        let a = mlp2(5).unwrap();
+        let b = mlp2(5).unwrap();
+        assert_eq!(a, b);
+        let c = mlp2(6).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_kinds_listed_once() {
+        assert_eq!(ModelKind::ALL.len(), 6);
+        assert_eq!(format!("{}", ModelKind::Cnn3Vgg16), "CNN-3 (VGG16-S)");
+    }
+}

@@ -1,0 +1,190 @@
+//! Sequential network composition.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// A feed-forward network: an ordered list of [`Layer`]s.
+///
+/// ```
+/// use resipe_nn::layers::{Dense, Flatten, Layer, Relu};
+/// use resipe_nn::network::Network;
+/// use resipe_nn::Tensor;
+///
+/// # fn main() -> Result<(), resipe_nn::NnError> {
+/// let mut rng = rand::thread_rng();
+/// let mut net = Network::new("tiny-mlp");
+/// net.push(Flatten::new());
+/// net.push(Dense::new(4, 2, &mut rng));
+/// net.push(Relu::new());
+/// let y = net.forward(&Tensor::zeros(&[1, 1, 2, 2]))?;
+/// assert_eq!(y.shape(), &[1, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Creates an empty network with a display name.
+    pub fn new(name: &str) -> Network {
+        Network {
+            name: name.to_owned(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// The network's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a layer.
+    pub fn push<L: Into<Layer>>(&mut self, layer: L) -> &mut Network {
+        self.layers.push(layer.into());
+        self
+    }
+
+    /// The layers, in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (used by the hardware-mapping code to
+    /// swap weights in/out).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total trainable parameters across all layers.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Number of weight-bearing (crossbar-mappable) layers.
+    pub fn weight_layer_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.has_weights()).count()
+    }
+
+    /// Forward pass through all layers, caching state for backprop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer shape error.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Backward pass from the output gradient; accumulates parameter
+    /// gradients in each layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors (including a backward without
+    /// forward).
+    pub fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let mut g = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// One SGD step over every layer; clears gradients.
+    pub fn sgd_step(&mut self, learning_rate: f32, momentum: f32) {
+        for layer in &mut self.layers {
+            layer.sgd_step(learning_rate, momentum);
+        }
+    }
+
+    /// A multi-line architecture summary.
+    pub fn describe(&self) -> String {
+        let mut s = format!("{} ({} params)\n", self.name, self.param_count());
+        for (i, layer) in self.layers.iter().enumerate() {
+            s.push_str(&format!("  {i}: {}\n", layer.describe()));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Flatten, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net() -> Network {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Network::new("t");
+        net.push(Flatten::new());
+        net.push(Dense::new(4, 3, &mut rng));
+        net.push(Relu::new());
+        net.push(Dense::new(3, 2, &mut rng));
+        net
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut net = tiny_net();
+        let y = net.forward(&Tensor::zeros(&[5, 1, 2, 2])).unwrap();
+        assert_eq!(y.shape(), &[5, 2]);
+    }
+
+    #[test]
+    fn backward_returns_input_gradient() {
+        let mut net = tiny_net();
+        let x = Tensor::full(&[2, 1, 2, 2], 0.5);
+        let y = net.forward(&x).unwrap();
+        let g = Tensor::full(y.shape(), 1.0);
+        let dx = net.backward(&g).unwrap();
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let net = tiny_net();
+        assert_eq!(net.param_count(), (4 * 3 + 3) + (3 * 2 + 2));
+        assert_eq!(net.weight_layer_count(), 2);
+        assert_eq!(net.len(), 4);
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn describe_lists_layers() {
+        let net = tiny_net();
+        let d = net.describe();
+        assert!(d.contains("dense(4x3)"));
+        assert!(d.contains("relu"));
+    }
+
+    #[test]
+    fn training_step_changes_output() {
+        let mut net = tiny_net();
+        let x = Tensor::full(&[1, 1, 2, 2], 1.0);
+        let y0 = net.forward(&x).unwrap();
+        net.backward(&Tensor::full(&[1, 2], 1.0)).unwrap();
+        net.sgd_step(0.5, 0.0);
+        let y1 = net.forward(&x).unwrap();
+        assert_ne!(y0, y1);
+    }
+}

@@ -1,0 +1,395 @@
+//! A minimal dense `f32` tensor.
+//!
+//! Deliberately small: row-major storage, shape bookkeeping, and the few
+//! operations the layer implementations need (element access, matrix
+//! multiply, map/zip). No broadcasting, no autograd — gradients are coded
+//! by hand in each layer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+
+/// A dense row-major tensor of `f32`.
+///
+/// ```
+/// use resipe_nn::Tensor;
+///
+/// # fn main() -> Result<(), resipe_nn::NnError> {
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// assert_eq!(t.get(&[1, 0]), 3.0);
+/// assert_eq!(t.shape(), &[2, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn zeros(shape: &[usize]) -> Tensor {
+        assert!(
+            !shape.is_empty() && shape.iter().all(|&d| d > 0),
+            "tensor shape must be non-empty with positive dimensions, got {shape:?}"
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Tensor::zeros`].
+    pub fn full(shape: &[usize], value: f32) -> Tensor {
+        let mut t = Tensor::zeros(shape);
+        t.data.fill(value);
+        t
+    }
+
+    /// Builds a tensor from a flat vector and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the vector length does not
+    /// match the product of the dimensions.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Tensor, NnError> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected || shape.is_empty() {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{expected} elements for shape {shape:?}"),
+                got: vec![data.len()],
+            });
+        }
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data,
+        })
+    }
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor has no elements (never true for valid tensors).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The flat data slice (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the flat data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    fn flat_index(&self, idx: &[usize]) -> usize {
+        assert_eq!(
+            idx.len(),
+            self.shape.len(),
+            "index rank {} does not match tensor rank {}",
+            idx.len(),
+            self.shape.len()
+        );
+        let mut flat = 0;
+        for (i, (&ix, &dim)) in idx.iter().zip(&self.shape).enumerate() {
+            assert!(
+                ix < dim,
+                "index {ix} out of bounds for axis {i} (size {dim})"
+            );
+            flat = flat * dim + ix;
+        }
+        flat
+    }
+
+    /// Element access by multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn get(&self, idx: &[usize]) -> f32 {
+        self.data[self.flat_index(idx)]
+    }
+
+    /// Element assignment by multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        let flat = self.flat_index(idx);
+        self.data[flat] = value;
+    }
+
+    /// Returns a reshaped view (same data, new shape).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the element count differs.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Tensor, NnError> {
+        Tensor::from_vec(self.data.clone(), shape)
+    }
+
+    /// Applies a function to every element, returning a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise combination of two like-shaped tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the shapes differ.
+    pub fn zip<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, f: F) -> Result<Tensor, NnError> {
+        if self.shape != other.shape {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{:?}", self.shape),
+                got: other.shape.clone(),
+            });
+        }
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Matrix multiply: `self` is `[m, k]`, `rhs` is `[k, n]`, result is
+    /// `[m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] unless both tensors are rank 2
+    /// with compatible inner dimensions.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor, NnError> {
+        if self.shape.len() != 2 || rhs.shape.len() != 2 || self.shape[1] != rhs.shape[0] {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("[m, k] x [k, n], lhs {:?}", self.shape),
+                got: rhs.shape.clone(),
+            });
+        }
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let n = rhs.shape[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &rhs.data[p * n..(p + 1) * n];
+                let dst = &mut out.data[i * n..(i + 1) * n];
+                for (d, &b) in dst.iter_mut().zip(row) {
+                    *d += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the tensor is not rank 2.
+    pub fn transpose(&self) -> Result<Tensor, NnError> {
+        if self.shape.len() != 2 {
+            return Err(NnError::ShapeMismatch {
+                expected: "rank-2 tensor".into(),
+                got: self.shape.clone(),
+            });
+        }
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = Tensor::zeros(&[n, m]);
+        for i in 0..m {
+            for j in 0..n {
+                out.data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// One row of a rank-2 tensor as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or the row is out of range.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert_eq!(self.shape.len(), 2, "row() requires a rank-2 tensor");
+        let n = self.shape[1];
+        assert!(i < self.shape[0], "row index out of range");
+        &self.data[i * n..(i + 1) * n]
+    }
+
+    /// Index of the maximum element in each row of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.shape.len(), 2, "argmax_rows() requires rank 2");
+        (0..self.shape[0])
+            .map(|i| {
+                let row = self.row(i);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN in logits"))
+                    .map(|(idx, _)| idx)
+                    .expect("non-empty row")
+            })
+            .collect()
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Maximum absolute value (0 for all-zero tensors).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0, |acc, &v| acc.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(t.get(&[0, 0]), 1.0);
+        assert_eq!(t.get(&[1, 2]), 6.0);
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let mut t = Tensor::zeros(&[2, 2, 2]);
+        t.set(&[1, 0, 1], 7.5);
+        assert_eq!(t.get(&[1, 0, 1]), 7.5);
+        assert_eq!(t.get(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn from_vec_shape_checked() {
+        assert!(Tensor::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+        assert!(Tensor::from_vec(vec![], &[]).is_err());
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let eye =
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0], &[3, 3]).unwrap();
+        assert_eq!(a.matmul(&eye).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_shape_checked() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(a.matmul(&b).is_err());
+        let c = Tensor::zeros(&[2, 3, 1]);
+        assert!(c.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let t = a.transpose().unwrap();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.get(&[2, 1]), 6.0);
+        assert_eq!(t.transpose().unwrap(), a);
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let a = Tensor::from_vec(vec![1.0, -2.0], &[2]).unwrap();
+        let b = a.map(|v| v * 2.0);
+        assert_eq!(b.data(), &[2.0, -4.0]);
+        let c = a.zip(&b, |x, y| x + y).unwrap();
+        assert_eq!(c.data(), &[3.0, -6.0]);
+        assert!(a.zip(&Tensor::zeros(&[3]), |x, _| x).is_err());
+    }
+
+    #[test]
+    fn argmax_rows() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.7, 0.2, 0.1], &[2, 3]).unwrap();
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = a.reshape(&[4]).unwrap();
+        assert_eq!(b.data(), a.data());
+        assert!(a.reshape(&[3]).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -3.0, 2.0], &[3]).unwrap();
+        assert_eq!(t.sum(), 0.0);
+        assert_eq!(t.max_abs(), 3.0);
+        assert_eq!(Tensor::zeros(&[2]).max_abs(), 0.0);
+    }
+
+    #[test]
+    fn full_fills() {
+        let t = Tensor::full(&[2, 2], 3.0);
+        assert!(t.data().iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t.get(&[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn wrong_rank_index_panics() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t.get(&[0]);
+    }
+}

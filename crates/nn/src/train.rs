@@ -1,0 +1,426 @@
+//! Mini-batch SGD training with softmax cross-entropy loss.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::data::Dataset;
+use crate::error::NnError;
+use crate::network::Network;
+use crate::tensor::Tensor;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    epochs: usize,
+    learning_rate: f32,
+    batch_size: usize,
+    momentum: f32,
+    shuffle_seed: u64,
+    lr_decay: f32,
+}
+
+impl TrainConfig {
+    /// Creates a configuration for the given number of epochs with
+    /// defaults: learning rate 0.05, batch size 32, momentum 0.9.
+    pub fn new(epochs: usize) -> TrainConfig {
+        TrainConfig {
+            epochs,
+            learning_rate: 0.05,
+            batch_size: 32,
+            momentum: 0.9,
+            shuffle_seed: 0,
+            lr_decay: 1.0,
+        }
+    }
+
+    /// Multiplies the learning rate by `decay` after every epoch
+    /// (1.0 = constant rate).
+    pub fn with_lr_decay(mut self, decay: f32) -> TrainConfig {
+        self.lr_decay = decay;
+        self
+    }
+
+    /// Sets the learning rate.
+    pub fn with_learning_rate(mut self, lr: f32) -> TrainConfig {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Sets the mini-batch size.
+    pub fn with_batch_size(mut self, n: usize) -> TrainConfig {
+        self.batch_size = n;
+        self
+    }
+
+    /// Sets the momentum coefficient.
+    pub fn with_momentum(mut self, m: f32) -> TrainConfig {
+        self.momentum = m;
+        self
+    }
+
+    /// Sets the shuffling seed (training is deterministic per seed).
+    pub fn with_shuffle_seed(mut self, seed: u64) -> TrainConfig {
+        self.shuffle_seed = seed;
+        self
+    }
+
+    /// The number of epochs.
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    fn validate(&self) -> Result<(), NnError> {
+        if self.epochs == 0 {
+            return Err(NnError::InvalidParameter {
+                reason: "epochs must be at least 1".into(),
+            });
+        }
+        if !(self.learning_rate > 0.0) || !self.learning_rate.is_finite() {
+            return Err(NnError::InvalidParameter {
+                reason: format!("learning rate must be positive, got {}", self.learning_rate),
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(NnError::InvalidParameter {
+                reason: "batch size must be at least 1".into(),
+            });
+        }
+        if !(0.0..1.0).contains(&self.momentum) {
+            return Err(NnError::InvalidParameter {
+                reason: format!("momentum must be in [0, 1), got {}", self.momentum),
+            });
+        }
+        if !(self.lr_decay > 0.0 && self.lr_decay <= 1.0) {
+            return Err(NnError::InvalidParameter {
+                reason: format!("lr decay must be in (0, 1], got {}", self.lr_decay),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Training accuracy per epoch (on the training set itself).
+    pub epoch_accuracies: Vec<f32>,
+    /// Held-out validation accuracy per epoch, when a validation set was
+    /// supplied to [`Sgd::fit_validated`].
+    pub epoch_val_accuracies: Vec<f32>,
+}
+
+impl TrainReport {
+    /// The final epoch's mean loss.
+    pub fn final_loss(&self) -> f32 {
+        self.epoch_losses.last().copied().unwrap_or(f32::NAN)
+    }
+
+    /// The final epoch's training accuracy.
+    pub fn final_accuracy(&self) -> f32 {
+        self.epoch_accuracies.last().copied().unwrap_or(0.0)
+    }
+
+    /// The best held-out validation accuracy seen, if validation ran.
+    pub fn best_val_accuracy(&self) -> Option<f32> {
+        self.epoch_val_accuracies
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+    }
+}
+
+/// The SGD trainer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sgd {
+    cfg: TrainConfig,
+}
+
+impl Sgd {
+    /// Creates a trainer from a configuration.
+    pub fn new(cfg: TrainConfig) -> Sgd {
+        Sgd { cfg }
+    }
+
+    /// Trains `net` on `data`, returning per-epoch loss/accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParameter`] for bad hyper-parameters,
+    /// [`NnError::Diverged`] if the loss becomes non-finite, or shape
+    /// errors from incompatible network/dataset combinations.
+    pub fn fit(&self, net: &mut Network, data: &Dataset) -> Result<TrainReport, NnError> {
+        self.fit_impl(net, data, None)
+    }
+
+    /// Trains `net` on `train`, evaluating held-out accuracy on `val`
+    /// after every epoch (recorded in
+    /// [`TrainReport::epoch_val_accuracies`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Sgd::fit`].
+    pub fn fit_validated(
+        &self,
+        net: &mut Network,
+        train: &Dataset,
+        val: &Dataset,
+    ) -> Result<TrainReport, NnError> {
+        self.fit_impl(net, train, Some(val))
+    }
+
+    fn fit_impl(
+        &self,
+        net: &mut Network,
+        data: &Dataset,
+        val: Option<&Dataset>,
+    ) -> Result<TrainReport, NnError> {
+        self.cfg.validate()?;
+        // Offset so the shuffle stream never collides with dataset seeds.
+        let mut rng = StdRng::seed_from_u64(self.cfg.shuffle_seed ^ 0x7aa1_9e0f_55aa_1234);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut epoch_losses = Vec::with_capacity(self.cfg.epochs);
+        let mut epoch_accuracies = Vec::with_capacity(self.cfg.epochs);
+        let mut epoch_val_accuracies = Vec::new();
+        let mut lr = self.cfg.learning_rate;
+
+        for epoch in 0..self.cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut loss_sum = 0.0;
+            let mut correct = 0usize;
+            for chunk in order.chunks(self.cfg.batch_size) {
+                let (x, labels) = data.batch(chunk)?;
+                let logits = net.forward(&x)?;
+                let (loss, grad) = softmax_cross_entropy(&logits, &labels)?;
+                loss_sum += loss * chunk.len() as f32;
+                correct += logits
+                    .argmax_rows()
+                    .iter()
+                    .zip(&labels)
+                    .filter(|(p, l)| p == l)
+                    .count();
+                net.backward(&grad)?;
+                net.sgd_step(lr, self.cfg.momentum);
+            }
+            lr *= self.cfg.lr_decay;
+            let mean_loss = loss_sum / data.len() as f32;
+            if !mean_loss.is_finite() {
+                return Err(NnError::Diverged { epoch });
+            }
+            epoch_losses.push(mean_loss);
+            epoch_accuracies.push(correct as f32 / data.len() as f32);
+            if let Some(val) = val {
+                epoch_val_accuracies.push(crate::metrics::accuracy(net, val)?);
+            }
+        }
+        Ok(TrainReport {
+            epoch_losses,
+            epoch_accuracies,
+            epoch_val_accuracies,
+        })
+    }
+}
+
+/// Softmax cross-entropy loss over a batch of logits.
+///
+/// Returns `(mean_loss, dL/dlogits)` where the gradient is already divided
+/// by the batch size.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] unless `logits` is `[N, C]` with one
+/// label per row, each in `0..C`.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor), NnError> {
+    let s = logits.shape();
+    if s.len() != 2 || s[0] != labels.len() {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("[{}, C] logits", labels.len()),
+            got: s.to_vec(),
+        });
+    }
+    let (n, c) = (s[0], s[1]);
+    for &l in labels {
+        if l >= c {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("labels < {c}"),
+                got: vec![l],
+            });
+        }
+    }
+    let mut grad = Tensor::zeros(&[n, c]);
+    let mut loss = 0.0f32;
+    for (i, &label) in labels.iter().enumerate().take(n) {
+        let row = logits.row(i);
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let p_label = exps[label] / sum;
+        loss -= p_label.max(1e-12).ln();
+        for (j, &e) in exps.iter().enumerate() {
+            let softmax = e / sum;
+            let target = if j == label { 1.0 } else { 0.0 };
+            grad.set(&[i, j], (softmax - target) / n as f32);
+        }
+    }
+    Ok((loss / n as f32, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synth_digits;
+    use crate::layers::{Dense, Flatten, Relu};
+    use rand::rngs::StdRng as TestRng;
+    use rand::SeedableRng;
+
+    fn mlp() -> Network {
+        let mut rng = TestRng::seed_from_u64(42);
+        let mut net = Network::new("test-mlp");
+        net.push(Flatten::new());
+        net.push(Dense::new(784, 32, &mut rng));
+        net.push(Relu::new());
+        net.push(Dense::new(32, 10, &mut rng));
+        net
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let data = synth_digits(200, 1).unwrap();
+        let mut net = mlp();
+        let report = Sgd::new(TrainConfig::new(4).with_learning_rate(0.1))
+            .fit(&mut net, &data)
+            .unwrap();
+        assert_eq!(report.epoch_losses.len(), 4);
+        assert!(
+            report.final_loss() < report.epoch_losses[0] * 0.8,
+            "losses: {:?}",
+            report.epoch_losses
+        );
+        assert!(
+            report.final_accuracy() > 0.5,
+            "acc {}",
+            report.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let data = synth_digits(64, 1).unwrap();
+        let run = |seed| {
+            let mut net = mlp();
+            Sgd::new(
+                TrainConfig::new(2)
+                    .with_shuffle_seed(seed)
+                    .with_learning_rate(0.05),
+            )
+            .fit(&mut net, &data)
+            .unwrap()
+            .final_loss()
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn softmax_ce_uniform_logits() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 3]).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+        // Gradient rows sum to zero.
+        for i in 0..2 {
+            let s: f32 = grad.row(i).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+        // Correct-class entries are negative.
+        assert!(grad.get(&[0, 0]) < 0.0);
+        assert!(grad.get(&[1, 3]) < 0.0);
+    }
+
+    #[test]
+    fn softmax_ce_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.2, -0.5, 1.0, 0.3, 0.8, -0.2], &[2, 3]).unwrap();
+        let labels = [2usize, 0usize];
+        let (base, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            for j in 0..3 {
+                let mut lp = logits.clone();
+                lp.set(&[i, j], logits.get(&[i, j]) + eps);
+                let (lplus, _) = softmax_cross_entropy(&lp, &labels).unwrap();
+                let fd = (lplus - base) / eps;
+                let an = grad.get(&[i, j]);
+                assert!((fd - an).abs() < 1e-3, "({i},{j}) fd {fd} vs an {an}");
+            }
+        }
+    }
+
+    #[test]
+    fn validated_fit_records_val_accuracy() {
+        let train = synth_digits(160, 1).unwrap();
+        let (train, val) = train.split_at(128).unwrap();
+        let mut net = mlp();
+        let report = Sgd::new(TrainConfig::new(3).with_learning_rate(0.1))
+            .fit_validated(&mut net, &train, &val)
+            .unwrap();
+        assert_eq!(report.epoch_val_accuracies.len(), 3);
+        let best = report.best_val_accuracy().unwrap();
+        assert!(best > 0.2, "best val acc {best}");
+        // Plain fit leaves the validation record empty.
+        let plain = Sgd::new(TrainConfig::new(1).with_learning_rate(0.1))
+            .fit(&mut net, &train)
+            .unwrap();
+        assert!(plain.epoch_val_accuracies.is_empty());
+        assert!(plain.best_val_accuracy().is_none());
+    }
+
+    #[test]
+    fn lr_decay_changes_trajectory() {
+        let data = synth_digits(128, 1).unwrap();
+        let run = |decay: f32| {
+            let mut net = mlp();
+            Sgd::new(
+                TrainConfig::new(3)
+                    .with_learning_rate(0.1)
+                    .with_lr_decay(decay),
+            )
+            .fit(&mut net, &data)
+            .unwrap()
+            .final_loss()
+        };
+        assert_ne!(run(1.0), run(0.3), "decay must alter training");
+        // Invalid decays rejected.
+        let mut net = mlp();
+        assert!(Sgd::new(TrainConfig::new(1).with_lr_decay(0.0))
+            .fit(&mut net, &data)
+            .is_err());
+        assert!(Sgd::new(TrainConfig::new(1).with_lr_decay(1.5))
+            .fit(&mut net, &data)
+            .is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let data = synth_digits(8, 1).unwrap();
+        let mut net = mlp();
+        for cfg in [
+            TrainConfig::new(0),
+            TrainConfig::new(1).with_learning_rate(0.0),
+            TrainConfig::new(1).with_learning_rate(f32::NAN),
+            TrainConfig::new(1).with_batch_size(0),
+            TrainConfig::new(1).with_momentum(1.0),
+        ] {
+            assert!(Sgd::new(cfg).fit(&mut net, &data).is_err(), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn label_out_of_range_rejected() {
+        let logits = Tensor::zeros(&[1, 3]);
+        assert!(softmax_cross_entropy(&logits, &[3]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 1]).is_err());
+    }
+}

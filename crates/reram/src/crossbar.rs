@@ -1,0 +1,455 @@
+//! The 1T1R crossbar array.
+//!
+//! An M×N array of [`ReramCell`]s in the one-transistor-one-ReRAM
+//! configuration the paper simulates (Sec. III-D / IV-A, ref \[14\]): each
+//! cell sits in series with its access transistor, whose on-resistance adds
+//! to the cell resistance during reads. The paper's evaluation array is
+//! 32×32.
+//!
+//! The crossbar exposes the two read quantities every engine in this
+//! reproduction needs:
+//!
+//! * per-column conductance sums (`Σ_i G_ij`) — the ReSiPE computation
+//!   stage charges `C_cog` through this parallel combination (Eq. 2);
+//! * per-column weighted currents (`Σ_i V_i · G_ij`) — the level-based
+//!   baseline senses these with an ADC.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use resipe_analog::units::{Amps, Ohms, Siemens, Volts};
+
+use crate::device::{ReramCell, ResistanceWindow};
+use crate::error::ReramError;
+use crate::variation::VariationModel;
+
+/// Default access-transistor on-resistance for the 1T1R structure at 65 nm.
+///
+/// Small relative to the ≥10 kΩ cell resistances, but included because it
+/// bounds the maximum effective column conductance.
+pub const DEFAULT_ACCESS_RESISTANCE: Ohms = Ohms(1e3);
+
+/// An M×N 1T1R ReRAM crossbar.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Crossbar {
+    rows: usize,
+    cols: usize,
+    cells: Vec<ReramCell>,
+    window: ResistanceWindow,
+    access_resistance: Ohms,
+}
+
+impl Crossbar {
+    /// Creates a crossbar with every cell in its HRS state and the default
+    /// access-transistor resistance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize, window: ResistanceWindow) -> Crossbar {
+        Crossbar::with_access_resistance(rows, cols, window, DEFAULT_ACCESS_RESISTANCE)
+    }
+
+    /// Creates a crossbar with an explicit access-transistor resistance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or the access resistance is
+    /// negative or not finite.
+    pub fn with_access_resistance(
+        rows: usize,
+        cols: usize,
+        window: ResistanceWindow,
+        access_resistance: Ohms,
+    ) -> Crossbar {
+        assert!(rows > 0 && cols > 0, "crossbar dimensions must be nonzero");
+        assert!(
+            access_resistance.0 >= 0.0 && access_resistance.0.is_finite(),
+            "access resistance must be non-negative and finite"
+        );
+        Crossbar {
+            rows,
+            cols,
+            cells: vec![ReramCell::new(window); rows * cols],
+            window,
+            access_resistance,
+        }
+    }
+
+    /// Number of wordlines (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of bitlines (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The resistance window of the cells.
+    pub fn window(&self) -> ResistanceWindow {
+        self.window
+    }
+
+    /// The series access-transistor resistance.
+    pub fn access_resistance(&self) -> Ohms {
+        self.access_resistance
+    }
+
+    fn index(&self, row: usize, col: usize) -> Result<usize, ReramError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(ReramError::CellOutOfBounds {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        Ok(row * self.cols + col)
+    }
+
+    /// Immutable access to a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::CellOutOfBounds`] for indices outside the
+    /// array.
+    pub fn cell(&self, row: usize, col: usize) -> Result<&ReramCell, ReramError> {
+        let idx = self.index(row, col)?;
+        Ok(&self.cells[idx])
+    }
+
+    /// Programs one cell to a fraction of its conductance range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::CellOutOfBounds`] or
+    /// [`ReramError::InvalidFraction`].
+    pub fn program_fraction(
+        &mut self,
+        row: usize,
+        col: usize,
+        fraction: f64,
+    ) -> Result<(), ReramError> {
+        let idx = self.index(row, col)?;
+        self.cells[idx].program_fraction(fraction)
+    }
+
+    /// Programs one cell to an explicit conductance (clamped to window).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::CellOutOfBounds`].
+    pub fn program_conductance(
+        &mut self,
+        row: usize,
+        col: usize,
+        g: Siemens,
+    ) -> Result<(), ReramError> {
+        let idx = self.index(row, col)?;
+        self.cells[idx].program_conductance(g);
+        Ok(())
+    }
+
+    /// Programs the whole array from a row-major matrix of fractions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::DimensionMismatch`] if `fractions.len()` is not
+    /// `rows × cols`, or [`ReramError::InvalidFraction`] for out-of-range
+    /// entries.
+    pub fn program_matrix(&mut self, fractions: &[f64]) -> Result<(), ReramError> {
+        if fractions.len() != self.rows * self.cols {
+            return Err(ReramError::DimensionMismatch {
+                expected: (self.rows, self.cols),
+                got: (fractions.len() / self.cols.max(1), self.cols),
+            });
+        }
+        // Validate all entries before mutating anything.
+        for &f in fractions {
+            if !(0.0..=1.0).contains(&f) || !f.is_finite() {
+                return Err(ReramError::InvalidFraction { value: f });
+            }
+        }
+        for (cell, &f) in self.cells.iter_mut().zip(fractions) {
+            cell.program_fraction(f).expect("validated above");
+        }
+        Ok(())
+    }
+
+    /// The effective conductance of a cell including its access transistor:
+    /// `1 / (R_cell + R_access)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::CellOutOfBounds`].
+    pub fn effective_conductance(&self, row: usize, col: usize) -> Result<Siemens, ReramError> {
+        let cell = self.cell(row, col)?;
+        Ok(Ohms(cell.resistance().0 + self.access_resistance.0).recip())
+    }
+
+    /// Sum of effective conductances along a bitline: `Σ_i G_ij` (Eq. 2's
+    /// `1 / R_eq`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::CellOutOfBounds`] if `col` is out of range.
+    pub fn column_conductance(&self, col: usize) -> Result<Siemens, ReramError> {
+        if col >= self.cols {
+            return Err(ReramError::CellOutOfBounds {
+                row: 0,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let mut total = 0.0;
+        for row in 0..self.rows {
+            total += self.effective_conductance(row, col)?.0;
+        }
+        Ok(Siemens(total))
+    }
+
+    /// The conductance-weighted sum `Σ_i V_i · G_ij` of a column — the
+    /// bitline current a level-based design senses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::DimensionMismatch`] if `voltages.len() != rows`
+    /// or [`ReramError::CellOutOfBounds`] if `col` is out of range.
+    pub fn column_current(&self, col: usize, voltages: &[Volts]) -> Result<Amps, ReramError> {
+        if voltages.len() != self.rows {
+            return Err(ReramError::DimensionMismatch {
+                expected: (self.rows, 1),
+                got: (voltages.len(), 1),
+            });
+        }
+        let mut total = 0.0;
+        for (row, v) in voltages.iter().enumerate() {
+            total += v.0 * self.effective_conductance(row, col)?.0;
+        }
+        Ok(Amps(total))
+    }
+
+    /// All effective conductances of one column, in row order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::CellOutOfBounds`] if `col` is out of range.
+    pub fn column_conductances(&self, col: usize) -> Result<Vec<Siemens>, ReramError> {
+        (0..self.rows)
+            .map(|row| self.effective_conductance(row, col))
+            .collect()
+    }
+
+    /// Programs the whole array from a fraction matrix through the
+    /// write–verify loop of [`crate::program::Programmer`] instead of the
+    /// instantaneous ideal write, returning per-cell reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::DimensionMismatch`] on a shape mismatch or
+    /// [`ReramError::InvalidFraction`] for out-of-range entries.
+    pub fn program_matrix_verified<R: Rng + ?Sized>(
+        &mut self,
+        fractions: &[f64],
+        programmer: &crate::program::Programmer,
+        rng: &mut R,
+    ) -> Result<Vec<crate::program::ProgramReport>, ReramError> {
+        if fractions.len() != self.rows * self.cols {
+            return Err(ReramError::DimensionMismatch {
+                expected: (self.rows, self.cols),
+                got: (fractions.len() / self.cols.max(1), self.cols),
+            });
+        }
+        let targets: Vec<Siemens> = fractions
+            .iter()
+            .map(|&f| self.window.conductance_for_fraction(f))
+            .collect::<Result<_, _>>()?;
+        programmer.program_all(&mut self.cells, &targets, rng)
+    }
+
+    /// Draws a Monte-Carlo instance of this crossbar with every cell's
+    /// conductance independently perturbed by `model`.
+    pub fn perturbed<R: Rng + ?Sized>(&self, model: &VariationModel, rng: &mut R) -> Crossbar {
+        let mut out = self.clone();
+        for cell in &mut out.cells {
+            let g = model.perturb(cell.conductance(), self.window, rng);
+            cell.program_conductance(g);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn all_lrs(rows: usize, cols: usize) -> Crossbar {
+        let mut xb =
+            Crossbar::with_access_resistance(rows, cols, ResistanceWindow::WIDE, Ohms(0.0));
+        xb.program_matrix(&vec![1.0; rows * cols]).unwrap();
+        xb
+    }
+
+    #[test]
+    fn paper_array_dimensions() {
+        let xb = Crossbar::new(32, 32, ResistanceWindow::WIDE);
+        assert_eq!(xb.rows(), 32);
+        assert_eq!(xb.cols(), 32);
+        assert_eq!(xb.access_resistance(), DEFAULT_ACCESS_RESISTANCE);
+    }
+
+    #[test]
+    fn fresh_cells_are_hrs() {
+        let xb = Crossbar::new(4, 4, ResistanceWindow::WIDE);
+        let g = xb.effective_conductance(0, 0).unwrap();
+        // 1 / (1 MΩ + 1 kΩ)
+        assert!((g.0 - 1.0 / 1.001e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_column_conductance_wide_window() {
+        // 32 LRS cells at 10 kΩ (no access R) give 3.2 mS — the paper's
+        // stated maximum total G in Fig. 5.
+        let xb = all_lrs(32, 1);
+        let g = xb.column_conductance(0).unwrap();
+        assert!((g.as_milli() - 3.2).abs() < 1e-9, "got {} mS", g.as_milli());
+    }
+
+    #[test]
+    fn recommended_window_bounds_column_conductance() {
+        // 32 LRS cells at 50 kΩ give 0.64 mS < the paper's 1.6 mS linearity
+        // bound.
+        let mut xb =
+            Crossbar::with_access_resistance(32, 1, ResistanceWindow::RECOMMENDED, Ohms(0.0));
+        xb.program_matrix(&vec![1.0; 32]).unwrap();
+        let g = xb.column_conductance(0).unwrap();
+        assert!(g.as_milli() <= 1.6, "got {} mS", g.as_milli());
+    }
+
+    #[test]
+    fn column_current_weighted_sum() {
+        let mut xb = Crossbar::with_access_resistance(2, 1, ResistanceWindow::WIDE, Ohms(0.0));
+        xb.program_conductance(0, 0, Siemens(1e-4)).unwrap();
+        xb.program_conductance(1, 0, Siemens(5e-5)).unwrap();
+        let i = xb.column_current(0, &[Volts(1.0), Volts(0.5)]).unwrap();
+        assert!((i.0 - (1e-4 + 0.5 * 5e-5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn access_resistance_lowers_conductance() {
+        let mut with_acc =
+            Crossbar::with_access_resistance(1, 1, ResistanceWindow::WIDE, Ohms(10e3));
+        with_acc.program_fraction(0, 0, 1.0).unwrap();
+        let g = with_acc.effective_conductance(0, 0).unwrap();
+        // 1 / (10 kΩ + 10 kΩ)
+        assert!((g.0 - 5e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_bounds_errors() {
+        let xb = Crossbar::new(2, 2, ResistanceWindow::WIDE);
+        assert!(matches!(
+            xb.cell(2, 0),
+            Err(ReramError::CellOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            xb.column_conductance(5),
+            Err(ReramError::CellOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            xb.column_conductances(2),
+            Err(ReramError::CellOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn program_matrix_shape_checked() {
+        let mut xb = Crossbar::new(2, 2, ResistanceWindow::WIDE);
+        assert!(matches!(
+            xb.program_matrix(&[0.0; 3]),
+            Err(ReramError::DimensionMismatch { .. })
+        ));
+        // Invalid entry leaves array untouched.
+        let before = xb.clone();
+        assert!(xb.program_matrix(&[0.0, 0.5, 2.0, 0.1]).is_err());
+        assert_eq!(xb, before);
+    }
+
+    #[test]
+    fn column_current_shape_checked() {
+        let xb = Crossbar::new(2, 2, ResistanceWindow::WIDE);
+        assert!(matches!(
+            xb.column_current(0, &[Volts(1.0)]),
+            Err(ReramError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn perturbed_ideal_is_identity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xb = all_lrs(4, 4);
+        let out = xb.perturbed(&VariationModel::IDEAL, &mut rng);
+        assert_eq!(out, xb);
+    }
+
+    #[test]
+    fn perturbed_changes_cells_in_window() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let xb = all_lrs(8, 8);
+        let model = VariationModel::device_to_device(0.2).unwrap();
+        let out = xb.perturbed(&model, &mut rng);
+        assert_ne!(out, xb);
+        for r in 0..8 {
+            for c in 0..8 {
+                let g = out.cell(r, c).unwrap().conductance();
+                assert!(xb.window().contains(g));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_panics() {
+        let _ = Crossbar::new(0, 4, ResistanceWindow::WIDE);
+    }
+
+    #[test]
+    fn verified_programming_lands_in_window() {
+        use crate::program::{ProgramConfig, Programmer};
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut xb = Crossbar::new(4, 4, ResistanceWindow::RECOMMENDED);
+        let fractions: Vec<f64> = (0..16).map(|i| i as f64 / 15.0).collect();
+        let programmer = Programmer::new(ProgramConfig::typical());
+        let reports = xb
+            .program_matrix_verified(&fractions, &programmer, &mut rng)
+            .unwrap();
+        assert_eq!(reports.len(), 16);
+        assert!(reports.iter().all(|r| r.converged));
+        // Residual errors stay inside the verify window.
+        let w = xb.window();
+        for (i, &f) in fractions.iter().enumerate() {
+            let target = w.conductance_for_fraction(f).unwrap();
+            let got = xb.cell(i / 4, i % 4).unwrap().conductance();
+            let err = (got.0 - target.0).abs() / w.g_max().0;
+            assert!(err <= 0.011, "cell {i}: err {err}");
+        }
+    }
+
+    #[test]
+    fn verified_programming_shape_checked() {
+        use crate::program::{ProgramConfig, Programmer};
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut xb = Crossbar::new(2, 2, ResistanceWindow::RECOMMENDED);
+        let programmer = Programmer::new(ProgramConfig::typical());
+        assert!(xb
+            .program_matrix_verified(&[0.5; 3], &programmer, &mut rng)
+            .is_err());
+        assert!(xb
+            .program_matrix_verified(&[2.0; 4], &programmer, &mut rng)
+            .is_err());
+    }
+}

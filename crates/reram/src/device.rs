@@ -1,0 +1,263 @@
+//! Single ReRAM cell model.
+//!
+//! A cell stores an analog conductance inside a bounded resistance window.
+//! The paper uses two windows:
+//!
+//! * `ResistanceWindow::WIDE` — LRS = 10 kΩ, HRS = 1 MΩ, the initial setting
+//!   of Sec. III-D, which allows 32-cell column conductances up to 3.2 mS
+//!   and exhibits the saturation non-linearity of Fig. 5;
+//! * `ResistanceWindow::RECOMMENDED` — LRS = 50 kΩ, HRS = 1 MΩ, the setting
+//!   recommended at the end of Sec. III-D, which bounds the total column
+//!   conductance by 32 / 50 kΩ ≈ 0.64 mS... but the paper's own bound is
+//!   stated for the **utilized** cells (ΣG ≤ 1.6 mS); both windows are
+//!   provided so the Fig. 5 ablation can sweep them.
+
+use serde::{Deserialize, Serialize};
+
+use resipe_analog::units::{Ohms, Siemens};
+
+use crate::error::ReramError;
+
+/// The allowed `[LRS, HRS]` resistance range of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResistanceWindow {
+    lrs: Ohms,
+    hrs: Ohms,
+}
+
+impl ResistanceWindow {
+    /// The paper's initial window: LRS = 10 kΩ, HRS = 1 MΩ (Sec. III-D).
+    pub const WIDE: ResistanceWindow = ResistanceWindow {
+        lrs: Ohms(10e3),
+        hrs: Ohms(1e6),
+    };
+
+    /// The paper's recommended window: LRS = 50 kΩ, HRS = 1 MΩ, chosen so
+    /// the total column conductance stays ≤ 1.6 mS (Sec. III-D, refs
+    /// \[18, 19\]).
+    pub const RECOMMENDED: ResistanceWindow = ResistanceWindow {
+        lrs: Ohms(50e3),
+        hrs: Ohms(1e6),
+    };
+
+    /// Creates a window from explicit bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidWindow`] unless `0 < lrs < hrs` and both
+    /// are finite.
+    pub fn new(lrs: Ohms, hrs: Ohms) -> Result<ResistanceWindow, ReramError> {
+        if !(lrs.0 > 0.0) || !lrs.0.is_finite() || !hrs.0.is_finite() {
+            return Err(ReramError::InvalidWindow {
+                reason: format!("bounds must be positive and finite, got {lrs} / {hrs}"),
+            });
+        }
+        if lrs.0 >= hrs.0 {
+            return Err(ReramError::InvalidWindow {
+                reason: format!("LRS ({lrs}) must be smaller than HRS ({hrs})"),
+            });
+        }
+        Ok(ResistanceWindow { lrs, hrs })
+    }
+
+    /// The low-resistance state (maximum conductance).
+    pub fn lrs(self) -> Ohms {
+        self.lrs
+    }
+
+    /// The high-resistance state (minimum conductance).
+    pub fn hrs(self) -> Ohms {
+        self.hrs
+    }
+
+    /// Maximum cell conductance `1 / LRS`.
+    pub fn g_max(self) -> Siemens {
+        self.lrs.recip()
+    }
+
+    /// Minimum cell conductance `1 / HRS`.
+    pub fn g_min(self) -> Siemens {
+        self.hrs.recip()
+    }
+
+    /// Linearly interpolates a conductance for a programming fraction in
+    /// `\[0, 1\]` (0 → `g_min`, 1 → `g_max`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidFraction`] if `fraction` is outside
+    /// `\[0, 1\]` or not finite.
+    pub fn conductance_for_fraction(self, fraction: f64) -> Result<Siemens, ReramError> {
+        if !(0.0..=1.0).contains(&fraction) || !fraction.is_finite() {
+            return Err(ReramError::InvalidFraction { value: fraction });
+        }
+        let g_min = self.g_min().0;
+        let g_max = self.g_max().0;
+        Ok(Siemens(g_min + fraction * (g_max - g_min)))
+    }
+
+    /// The fraction corresponding to a conductance, clamped to `\[0, 1\]`.
+    pub fn fraction_for_conductance(self, g: Siemens) -> f64 {
+        let g_min = self.g_min().0;
+        let g_max = self.g_max().0;
+        ((g.0 - g_min) / (g_max - g_min)).clamp(0.0, 1.0)
+    }
+
+    /// Clamps a conductance into the window.
+    pub fn clamp(self, g: Siemens) -> Siemens {
+        Siemens(g.0.clamp(self.g_min().0, self.g_max().0))
+    }
+
+    /// `true` if the conductance lies inside the window (inclusive).
+    pub fn contains(self, g: Siemens) -> bool {
+        g.0 >= self.g_min().0 && g.0 <= self.g_max().0
+    }
+}
+
+impl Default for ResistanceWindow {
+    /// The paper's recommended window (50 kΩ – 1 MΩ).
+    fn default() -> ResistanceWindow {
+        ResistanceWindow::RECOMMENDED
+    }
+}
+
+/// A single resistive memory cell.
+///
+/// The cell stores a nominal conductance; process variation is applied when
+/// a Monte-Carlo instance of the array is drawn (see
+/// [`crate::variation::VariationModel`]), not inside the cell itself, so
+/// the nominal value stays available for re-sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReramCell {
+    conductance: Siemens,
+    window: ResistanceWindow,
+}
+
+impl ReramCell {
+    /// Creates a cell in its high-resistance (minimum conductance) state.
+    pub fn new(window: ResistanceWindow) -> ReramCell {
+        ReramCell {
+            conductance: window.g_min(),
+            window,
+        }
+    }
+
+    /// Programs the cell to a fraction of its conductance range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidFraction`] if `fraction` ∉ `\[0, 1\]`.
+    pub fn program_fraction(&mut self, fraction: f64) -> Result<(), ReramError> {
+        self.conductance = self.window.conductance_for_fraction(fraction)?;
+        Ok(())
+    }
+
+    /// Programs the cell to an explicit conductance, clamped to the window.
+    pub fn program_conductance(&mut self, g: Siemens) {
+        self.conductance = self.window.clamp(g);
+    }
+
+    /// The cell's nominal conductance.
+    pub fn conductance(&self) -> Siemens {
+        self.conductance
+    }
+
+    /// The cell's nominal resistance.
+    pub fn resistance(&self) -> Ohms {
+        self.conductance.recip()
+    }
+
+    /// The resistance window this cell was built with.
+    pub fn window(&self) -> ResistanceWindow {
+        self.window
+    }
+
+    /// The current programming fraction (0 = HRS, 1 = LRS).
+    pub fn fraction(&self) -> f64 {
+        self.window.fraction_for_conductance(self.conductance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_windows() {
+        assert_eq!(ResistanceWindow::WIDE.lrs(), Ohms(10e3));
+        assert_eq!(ResistanceWindow::WIDE.hrs(), Ohms(1e6));
+        assert_eq!(ResistanceWindow::RECOMMENDED.lrs(), Ohms(50e3));
+        assert_eq!(ResistanceWindow::default(), ResistanceWindow::RECOMMENDED);
+    }
+
+    #[test]
+    fn fraction_endpoints() {
+        let w = ResistanceWindow::WIDE;
+        let g0 = w.conductance_for_fraction(0.0).unwrap();
+        let g1 = w.conductance_for_fraction(1.0).unwrap();
+        assert!((g0.0 - 1e-6).abs() < 1e-12, "g_min = 1/HRS");
+        assert!((g1.0 - 1e-4).abs() < 1e-10, "g_max = 1/LRS");
+    }
+
+    #[test]
+    fn fraction_round_trip() {
+        let w = ResistanceWindow::RECOMMENDED;
+        for f in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let g = w.conductance_for_fraction(f).unwrap();
+            let back = w.fraction_for_conductance(g);
+            assert!((back - f).abs() < 1e-12, "fraction {f} -> {back}");
+        }
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        let w = ResistanceWindow::WIDE;
+        assert!(matches!(
+            w.conductance_for_fraction(-0.1),
+            Err(ReramError::InvalidFraction { .. })
+        ));
+        assert!(matches!(
+            w.conductance_for_fraction(1.1),
+            Err(ReramError::InvalidFraction { .. })
+        ));
+        assert!(matches!(
+            w.conductance_for_fraction(f64::NAN),
+            Err(ReramError::InvalidFraction { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_window_rejected() {
+        assert!(ResistanceWindow::new(Ohms(1e6), Ohms(10e3)).is_err());
+        assert!(ResistanceWindow::new(Ohms(0.0), Ohms(10e3)).is_err());
+        assert!(ResistanceWindow::new(Ohms(1e3), Ohms(1e3)).is_err());
+        assert!(ResistanceWindow::new(Ohms(1e3), Ohms(f64::INFINITY)).is_err());
+    }
+
+    #[test]
+    fn clamp_and_contains() {
+        let w = ResistanceWindow::WIDE;
+        assert!(w.contains(Siemens(5e-5)));
+        assert!(!w.contains(Siemens(2e-4)));
+        assert_eq!(w.clamp(Siemens(2e-4)), w.g_max());
+        assert_eq!(w.clamp(Siemens(1e-9)), w.g_min());
+    }
+
+    #[test]
+    fn cell_starts_at_hrs() {
+        let cell = ReramCell::new(ResistanceWindow::WIDE);
+        assert_eq!(cell.conductance(), ResistanceWindow::WIDE.g_min());
+        assert!((cell.resistance().0 - 1e6).abs() < 1e-3);
+        assert!(cell.fraction() < 1e-12);
+    }
+
+    #[test]
+    fn cell_programming() {
+        let mut cell = ReramCell::new(ResistanceWindow::WIDE);
+        cell.program_fraction(1.0).unwrap();
+        assert!((cell.resistance().0 - 10e3).abs() < 1e-3);
+        assert!((cell.fraction() - 1.0).abs() < 1e-12);
+        cell.program_conductance(Siemens(1.0)); // out of window, clamps
+        assert_eq!(cell.conductance(), ResistanceWindow::WIDE.g_max());
+    }
+}

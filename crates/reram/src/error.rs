@@ -1,0 +1,104 @@
+//! Error types for the ReRAM substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or using ReRAM structures.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ReramError {
+    /// A cell index was outside the crossbar dimensions.
+    CellOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Requested column.
+        col: usize,
+        /// Crossbar rows.
+        rows: usize,
+        /// Crossbar columns.
+        cols: usize,
+    },
+    /// A programming fraction was outside `\[0, 1\]`.
+    InvalidFraction {
+        /// The offending value.
+        value: f64,
+    },
+    /// A resistance window had `lrs >= hrs` or non-positive bounds.
+    InvalidWindow {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A matrix supplied for programming did not match the array shape.
+    DimensionMismatch {
+        /// What was expected.
+        expected: (usize, usize),
+        /// What was provided.
+        got: (usize, usize),
+    },
+    /// A variation parameter was invalid (negative sigma, probability > 1).
+    InvalidVariation {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ReramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReramError::CellOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "cell ({row}, {col}) is outside the {rows}x{cols} crossbar"
+            ),
+            ReramError::InvalidFraction { value } => {
+                write!(f, "programming fraction {value} is outside [0, 1]")
+            }
+            ReramError::InvalidWindow { reason } => {
+                write!(f, "invalid resistance window: {reason}")
+            }
+            ReramError::DimensionMismatch { expected, got } => write!(
+                f,
+                "matrix shape {}x{} does not match expected {}x{}",
+                got.0, got.1, expected.0, expected.1
+            ),
+            ReramError::InvalidVariation { reason } => {
+                write!(f, "invalid variation model: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ReramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ReramError::CellOutOfBounds {
+            row: 40,
+            col: 2,
+            rows: 32,
+            cols: 32,
+        };
+        assert!(e.to_string().contains("(40, 2)"));
+        let e = ReramError::InvalidFraction { value: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+        let e = ReramError::DimensionMismatch {
+            expected: (32, 32),
+            got: (16, 32),
+        };
+        assert!(e.to_string().contains("16x32"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ReramError>();
+    }
+}

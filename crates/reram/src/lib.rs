@@ -1,0 +1,51 @@
+//! # resipe-reram
+//!
+//! ReRAM device and crossbar models for the ReSiPE reproduction
+//! (DAC 2020). This crate provides everything below the engine level:
+//!
+//! * [`device`] — a single resistive cell with a bounded resistance window
+//!   (the paper uses LRS = 10 kΩ / HRS = 1 MΩ initially, then recommends a
+//!   50 kΩ–1 MΩ window to keep column conductance under 1.6 mS);
+//! * [`quantize`] — multi-level-cell conductance quantization;
+//! * [`variation`] — normally-distributed process variation (σ ∈ 0–20 % as
+//!   in the paper's Fig. 7), cycle-to-cycle noise, and stuck-at faults;
+//! * [`crossbar`] — an M×N 1T1R array with access-transistor series
+//!   resistance, programming, and column conductance queries;
+//! * [`mapping`] — weight-matrix → conductance mapping (linear and
+//!   differential-pair schemes).
+//!
+//! # Example
+//!
+//! ```
+//! use resipe_reram::crossbar::Crossbar;
+//! use resipe_reram::device::ResistanceWindow;
+//!
+//! # fn main() -> Result<(), resipe_reram::ReramError> {
+//! let window = ResistanceWindow::RECOMMENDED; // 50 kΩ – 1 MΩ
+//! let mut xbar = Crossbar::new(32, 32, window);
+//! xbar.program_fraction(0, 0, 1.0)?; // strongest conductance
+//! let g = xbar.effective_conductance(0, 0)?;
+//! assert!(g.0 > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+// `!(x > 0.0)` deliberately rejects NaN alongside non-positive values
+// when validating physical parameters; the clippy lint would obscure that.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod crossbar;
+pub mod device;
+pub mod error;
+pub mod mapping;
+pub mod program;
+pub mod quantize;
+pub mod variation;
+
+pub use crossbar::Crossbar;
+pub use device::{ReramCell, ResistanceWindow};
+pub use error::ReramError;
+pub use mapping::{DifferentialMapping, MappedMatrix};
+pub use program::{ProgramConfig, ProgramReport, Programmer};
+pub use quantize::Quantizer;
+pub use variation::VariationModel;

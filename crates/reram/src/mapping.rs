@@ -1,0 +1,354 @@
+//! Weight-matrix → conductance mapping.
+//!
+//! A crossbar can only realize non-negative conductances inside its window,
+//! while trained weights are signed. This module provides the standard
+//! **differential-pair** scheme used throughout the reproduction: every
+//! logical column `j` becomes a pair of physical columns `(j⁺, j⁻)`;
+//! positive weights program `j⁺`, negative weights program `j⁻`, and the
+//! engine subtracts the two column results. The mapping records the scale
+//! needed to convert column outputs back to weight units.
+//!
+//! A simpler non-negative [`map_nonnegative`] path is provided for matrices
+//! that are already non-negative (e.g. after ReLU-aware folding).
+
+use serde::{Deserialize, Serialize};
+
+use resipe_analog::units::Ohms;
+
+use crate::crossbar::Crossbar;
+use crate::device::ResistanceWindow;
+use crate::error::ReramError;
+use crate::quantize::Quantizer;
+
+/// The differential-pair mapping scheme.
+///
+/// Stateless: construct once, call [`DifferentialMapping::map`] per weight
+/// matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DifferentialMapping {
+    /// Optional conductance quantizer applied to each fraction.
+    quantizer: Option<Quantizer>,
+}
+
+impl DifferentialMapping {
+    /// Creates the mapping with full-analog (unquantized) conductances.
+    pub fn new() -> DifferentialMapping {
+        DifferentialMapping::default()
+    }
+
+    /// Quantizes programmed fractions to the given multi-level cell.
+    pub fn with_quantizer(mut self, quantizer: Quantizer) -> DifferentialMapping {
+        self.quantizer = Some(quantizer);
+        self
+    }
+
+    /// Maps a row-major `rows × cols` weight matrix to differential
+    /// conductance fractions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::DimensionMismatch`] if `weights.len()` is not
+    /// `rows × cols`, or [`ReramError::InvalidFraction`] if any weight is
+    /// not finite.
+    pub fn map(
+        &self,
+        weights: &[f64],
+        rows: usize,
+        cols: usize,
+    ) -> Result<MappedMatrix, ReramError> {
+        if weights.len() != rows * cols {
+            return Err(ReramError::DimensionMismatch {
+                expected: (rows, cols),
+                got: (weights.len() / cols.max(1), cols),
+            });
+        }
+        for &w in weights {
+            if !w.is_finite() {
+                return Err(ReramError::InvalidFraction { value: w });
+            }
+        }
+        let w_absmax = weights
+            .iter()
+            .fold(0.0_f64, |acc, &w| acc.max(w.abs()))
+            .max(f64::MIN_POSITIVE); // all-zero matrices map to fraction 0
+
+        let mut plus = Vec::with_capacity(weights.len());
+        let mut minus = Vec::with_capacity(weights.len());
+        for &w in weights {
+            let mut fp = (w.max(0.0)) / w_absmax;
+            let mut fm = (-w).max(0.0) / w_absmax;
+            if let Some(q) = self.quantizer {
+                fp = q.quantize(fp).expect("fraction in range");
+                fm = q.quantize(fm).expect("fraction in range");
+            }
+            plus.push(fp);
+            minus.push(fm);
+        }
+        Ok(MappedMatrix {
+            rows,
+            cols,
+            plus,
+            minus,
+            weight_scale: w_absmax,
+        })
+    }
+
+    /// Maps a weight matrix with an explicit normalization scale instead
+    /// of the matrix's own `max |w|` — used when several tiles of a larger
+    /// matrix must share one scale. Weights whose magnitude exceeds
+    /// `scale` clip to full conductance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::DimensionMismatch`] on a shape mismatch,
+    /// [`ReramError::InvalidFraction`] for non-finite weights, or
+    /// [`ReramError::InvalidVariation`] for a non-positive scale.
+    pub fn map_with_scale(
+        &self,
+        weights: &[f64],
+        rows: usize,
+        cols: usize,
+        scale: f64,
+    ) -> Result<MappedMatrix, ReramError> {
+        if !(scale > 0.0) || !scale.is_finite() {
+            return Err(ReramError::InvalidVariation {
+                reason: format!("normalization scale must be positive, got {scale}"),
+            });
+        }
+        if weights.len() != rows * cols {
+            return Err(ReramError::DimensionMismatch {
+                expected: (rows, cols),
+                got: (weights.len() / cols.max(1), cols),
+            });
+        }
+        let mut plus = Vec::with_capacity(weights.len());
+        let mut minus = Vec::with_capacity(weights.len());
+        for &w in weights {
+            if !w.is_finite() {
+                return Err(ReramError::InvalidFraction { value: w });
+            }
+            let mut fp = (w.max(0.0) / scale).min(1.0);
+            let mut fm = ((-w).max(0.0) / scale).min(1.0);
+            if let Some(q) = self.quantizer {
+                fp = q.quantize(fp).expect("fraction in range");
+                fm = q.quantize(fm).expect("fraction in range");
+            }
+            plus.push(fp);
+            minus.push(fm);
+        }
+        Ok(MappedMatrix {
+            rows,
+            cols,
+            plus,
+            minus,
+            weight_scale: scale,
+        })
+    }
+}
+
+/// A weight matrix mapped to differential conductance fractions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappedMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row-major fractions for the positive columns.
+    plus: Vec<f64>,
+    /// Row-major fractions for the negative columns.
+    minus: Vec<f64>,
+    /// The `max |w|` used for normalization.
+    weight_scale: f64,
+}
+
+impl MappedMatrix {
+    /// Number of logical rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of logical columns (each becomes two physical columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The positive-column fractions, row-major.
+    pub fn plus_fractions(&self) -> &[f64] {
+        &self.plus
+    }
+
+    /// The negative-column fractions, row-major.
+    pub fn minus_fractions(&self) -> &[f64] {
+        &self.minus
+    }
+
+    /// The `max |w|` normalization constant.
+    pub fn weight_scale(&self) -> f64 {
+        self.weight_scale
+    }
+
+    /// The factor converting a differential conductance `(G⁺ − G⁻)` back to
+    /// weight units: `w = decode_scale · (G⁺ − G⁻)` (in siemens).
+    pub fn decode_scale(&self, window: ResistanceWindow) -> f64 {
+        let delta_g = window.g_max().0 - window.g_min().0;
+        self.weight_scale / delta_g
+    }
+
+    /// Programs a pair of crossbars (positive, negative) from this mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::DimensionMismatch`] if the shape exceeds
+    /// the provided dimensions.
+    pub fn to_crossbars(
+        &self,
+        window: ResistanceWindow,
+        access_resistance: Ohms,
+    ) -> Result<(Crossbar, Crossbar), ReramError> {
+        let mut pos =
+            Crossbar::with_access_resistance(self.rows, self.cols, window, access_resistance);
+        let mut neg =
+            Crossbar::with_access_resistance(self.rows, self.cols, window, access_resistance);
+        pos.program_matrix(&self.plus)?;
+        neg.program_matrix(&self.minus)?;
+        Ok((pos, neg))
+    }
+
+    /// Reconstructs the logical weight at `(row, col)` from the stored
+    /// fractions — used to verify mapping round trips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn reconstruct_weight(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        let idx = row * self.cols + col;
+        (self.plus[idx] - self.minus[idx]) * self.weight_scale
+    }
+}
+
+/// Maps a non-negative row-major matrix directly to fractions of a single
+/// crossbar, normalizing by the maximum entry.
+///
+/// # Errors
+///
+/// Returns [`ReramError::InvalidFraction`] if any entry is negative or not
+/// finite, or [`ReramError::DimensionMismatch`] on a shape mismatch.
+pub fn map_nonnegative(
+    weights: &[f64],
+    rows: usize,
+    cols: usize,
+) -> Result<(Vec<f64>, f64), ReramError> {
+    if weights.len() != rows * cols {
+        return Err(ReramError::DimensionMismatch {
+            expected: (rows, cols),
+            got: (weights.len() / cols.max(1), cols),
+        });
+    }
+    for &w in weights {
+        if w < 0.0 || !w.is_finite() {
+            return Err(ReramError::InvalidFraction { value: w });
+        }
+    }
+    let w_max = weights
+        .iter()
+        .fold(0.0_f64, |acc, &w| acc.max(w))
+        .max(f64::MIN_POSITIVE);
+    Ok((weights.iter().map(|&w| w / w_max).collect(), w_max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn differential_round_trip() {
+        let weights = vec![0.5, -1.0, 0.0, 0.25, -0.75, 1.0];
+        let mapped = DifferentialMapping::new().map(&weights, 2, 3).unwrap();
+        for r in 0..2 {
+            for c in 0..3 {
+                let w = mapped.reconstruct_weight(r, c);
+                let expected = weights[r * 3 + c];
+                assert!((w - expected).abs() < 1e-12, "({r},{c}): {w} vs {expected}");
+            }
+        }
+        assert_eq!(mapped.weight_scale(), 1.0);
+    }
+
+    #[test]
+    fn one_side_is_always_zero() {
+        let weights = vec![0.5, -0.5];
+        let mapped = DifferentialMapping::new().map(&weights, 1, 2).unwrap();
+        assert_eq!(mapped.minus_fractions()[0], 0.0);
+        assert_eq!(mapped.plus_fractions()[1], 0.0);
+    }
+
+    #[test]
+    fn all_zero_matrix_maps_cleanly() {
+        let mapped = DifferentialMapping::new().map(&[0.0; 4], 2, 2).unwrap();
+        assert!(mapped.plus_fractions().iter().all(|&f| f == 0.0));
+        assert!(mapped.minus_fractions().iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    fn quantized_mapping_hits_levels() {
+        let q = Quantizer::new(2).unwrap(); // binary cell
+        let weights = vec![0.4, -0.9, 0.6, 0.1];
+        let mapped = DifferentialMapping::new()
+            .with_quantizer(q)
+            .map(&weights, 2, 2)
+            .unwrap();
+        for f in mapped
+            .plus_fractions()
+            .iter()
+            .chain(mapped.minus_fractions())
+        {
+            assert!(*f == 0.0 || *f == 1.0, "binary fraction {f}");
+        }
+    }
+
+    #[test]
+    fn decode_scale_matches_window() {
+        let weights = vec![2.0, -4.0];
+        let mapped = DifferentialMapping::new().map(&weights, 1, 2).unwrap();
+        let w = ResistanceWindow::WIDE;
+        let delta_g = w.g_max().0 - w.g_min().0;
+        assert!((mapped.decode_scale(w) - 4.0 / delta_g).abs() < 1e-9);
+    }
+
+    #[test]
+    fn to_crossbars_programs_cells() {
+        let weights = vec![1.0, -1.0, 0.5, 0.0];
+        let mapped = DifferentialMapping::new().map(&weights, 2, 2).unwrap();
+        let (pos, neg) = mapped
+            .to_crossbars(ResistanceWindow::WIDE, Ohms(0.0))
+            .unwrap();
+        // w=1.0 -> plus fraction 1.0 -> LRS conductance.
+        assert!((pos.cell(0, 0).unwrap().conductance().0 - 1e-4).abs() < 1e-10);
+        // w=-1.0 -> minus fraction 1.0 in the negative array.
+        assert!((neg.cell(0, 1).unwrap().conductance().0 - 1e-4).abs() < 1e-10);
+        // w=0 -> both at g_min.
+        assert!((pos.cell(1, 1).unwrap().conductance().0 - 1e-6).abs() < 1e-12);
+        assert!((neg.cell(1, 1).unwrap().conductance().0 - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_and_nan_rejected() {
+        let m = DifferentialMapping::new();
+        assert!(matches!(
+            m.map(&[1.0; 3], 2, 2),
+            Err(ReramError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            m.map(&[1.0, f64::NAN], 1, 2),
+            Err(ReramError::InvalidFraction { .. })
+        ));
+    }
+
+    #[test]
+    fn nonnegative_mapping() {
+        let (fracs, scale) = map_nonnegative(&[0.0, 1.0, 2.0, 4.0], 2, 2).unwrap();
+        assert_eq!(scale, 4.0);
+        assert_eq!(fracs, vec![0.0, 0.25, 0.5, 1.0]);
+        assert!(map_nonnegative(&[-1.0], 1, 1).is_err());
+        assert!(map_nonnegative(&[1.0; 3], 2, 2).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Multi-level-cell conductance quantization.
+//!
+//! Real ReRAM cells can only be programmed to a limited number of
+//! distinguishable conductance levels (refs \[18, 19\] of the paper report
+//! multilevel capability). The engine's accuracy evaluation optionally
+//! quantizes mapped weights through a [`Quantizer`] before applying process
+//! variation, which is how rate-coding designs' quantization error is also
+//! modelled.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ReramError;
+
+/// Uniform quantizer over the programming-fraction range `\[0, 1\]`.
+///
+/// ```
+/// use resipe_reram::quantize::Quantizer;
+///
+/// # fn main() -> Result<(), resipe_reram::ReramError> {
+/// let q = Quantizer::new(4)?; // 2-bit cell: fractions {0, 1/3, 2/3, 1}
+/// assert_eq!(q.quantize(0.4)?, 1.0 / 3.0);
+/// assert_eq!(q.quantize(0.6)?, 2.0 / 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Quantizer {
+    levels: usize,
+}
+
+impl Quantizer {
+    /// Creates a quantizer with the given number of levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidVariation`] if `levels < 2`.
+    pub fn new(levels: usize) -> Result<Quantizer, ReramError> {
+        if levels < 2 {
+            return Err(ReramError::InvalidVariation {
+                reason: format!("quantizer needs at least 2 levels, got {levels}"),
+            });
+        }
+        Ok(Quantizer { levels })
+    }
+
+    /// Creates a quantizer with `2^bits` levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidVariation`] if `bits` is 0 or would
+    /// overflow.
+    pub fn from_bits(bits: u32) -> Result<Quantizer, ReramError> {
+        if bits == 0 || bits > 16 {
+            return Err(ReramError::InvalidVariation {
+                reason: format!("cell bit width must be in 1..=16, got {bits}"),
+            });
+        }
+        Quantizer::new(1usize << bits)
+    }
+
+    /// The number of levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Rounds a fraction to the nearest representable level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidFraction`] if `fraction` ∉ `\[0, 1\]`.
+    pub fn quantize(&self, fraction: f64) -> Result<f64, ReramError> {
+        if !(0.0..=1.0).contains(&fraction) || !fraction.is_finite() {
+            return Err(ReramError::InvalidFraction { value: fraction });
+        }
+        let steps = (self.levels - 1) as f64;
+        Ok((fraction * steps).round() / steps)
+    }
+
+    /// The level index (0-based) nearest to a fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidFraction`] if `fraction` ∉ `\[0, 1\]`.
+    pub fn level_index(&self, fraction: f64) -> Result<usize, ReramError> {
+        if !(0.0..=1.0).contains(&fraction) || !fraction.is_finite() {
+            return Err(ReramError::InvalidFraction { value: fraction });
+        }
+        Ok((fraction * (self.levels - 1) as f64).round() as usize)
+    }
+
+    /// The fraction of a level index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= levels`.
+    pub fn fraction_of(&self, index: usize) -> f64 {
+        assert!(index < self.levels, "level index out of range");
+        index as f64 / (self.levels - 1) as f64
+    }
+
+    /// Worst-case quantization error in fraction units (half a step).
+    pub fn max_error(&self) -> f64 {
+        0.5 / (self.levels - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_cell() {
+        let q = Quantizer::new(2).unwrap();
+        assert_eq!(q.quantize(0.49).unwrap(), 0.0);
+        assert_eq!(q.quantize(0.51).unwrap(), 1.0);
+        assert_eq!(q.max_error(), 0.5);
+    }
+
+    #[test]
+    fn from_bits() {
+        let q = Quantizer::from_bits(3).unwrap();
+        assert_eq!(q.levels(), 8);
+        assert!(Quantizer::from_bits(0).is_err());
+        assert!(Quantizer::from_bits(17).is_err());
+    }
+
+    #[test]
+    fn endpoints_exactly_representable() {
+        for levels in [2, 3, 4, 16, 256] {
+            let q = Quantizer::new(levels).unwrap();
+            assert_eq!(q.quantize(0.0).unwrap(), 0.0);
+            assert_eq!(q.quantize(1.0).unwrap(), 1.0);
+        }
+    }
+
+    #[test]
+    fn error_bounded_by_half_step() {
+        let q = Quantizer::new(16).unwrap();
+        for i in 0..=100 {
+            let f = i as f64 / 100.0;
+            let e = (q.quantize(f).unwrap() - f).abs();
+            assert!(e <= q.max_error() + 1e-12, "f={f}, err={e}");
+        }
+    }
+
+    #[test]
+    fn level_index_round_trip() {
+        let q = Quantizer::new(8).unwrap();
+        for idx in 0..8 {
+            let f = q.fraction_of(idx);
+            assert_eq!(q.level_index(f).unwrap(), idx);
+        }
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(Quantizer::new(1).is_err());
+        let q = Quantizer::new(4).unwrap();
+        assert!(q.quantize(-0.1).is_err());
+        assert!(q.quantize(1.1).is_err());
+        assert!(q.level_index(f64::NAN).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fraction_of_out_of_range_panics() {
+        let q = Quantizer::new(4).unwrap();
+        let _ = q.fraction_of(4);
+    }
+}

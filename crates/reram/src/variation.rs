@@ -1,0 +1,262 @@
+//! Process-variation and fault models.
+//!
+//! The paper's Fig. 7 evaluates accuracy under device-to-device process
+//! variation (PV) that "follows the normal distribution according to
+//! \[21, 22\]" with standard deviations σ ∈ {0, 5 %, 10 %, 15 %, 20 %} of the
+//! nominal conductance. [`VariationModel`] reproduces that, plus two
+//! extensions commonly needed for robustness studies: cycle-to-cycle read
+//! noise and stuck-at faults.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use resipe_analog::units::Siemens;
+
+use crate::device::ResistanceWindow;
+use crate::error::ReramError;
+
+/// Statistical non-ideality model applied to nominal conductances.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationModel {
+    /// Device-to-device relative standard deviation (e.g. 0.10 for 10 %).
+    sigma: f64,
+    /// Cycle-to-cycle relative standard deviation applied per read.
+    cycle_sigma: f64,
+    /// Probability a cell is stuck at LRS (maximum conductance).
+    stuck_at_lrs: f64,
+    /// Probability a cell is stuck at HRS (minimum conductance).
+    stuck_at_hrs: f64,
+}
+
+impl VariationModel {
+    /// No variation at all (the σ = 0 case of Fig. 7, which isolates the
+    /// circuit non-linearity).
+    pub const IDEAL: VariationModel = VariationModel {
+        sigma: 0.0,
+        cycle_sigma: 0.0,
+        stuck_at_lrs: 0.0,
+        stuck_at_hrs: 0.0,
+    };
+
+    /// The paper's Fig. 7 sweep: σ ∈ {0, 5 %, 10 %, 15 %, 20 %}.
+    pub const PAPER_SIGMAS: [f64; 5] = [0.0, 0.05, 0.10, 0.15, 0.20];
+
+    /// Creates a pure device-to-device variation model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidVariation`] if `sigma` is negative or
+    /// not finite.
+    pub fn device_to_device(sigma: f64) -> Result<VariationModel, ReramError> {
+        if sigma < 0.0 || !sigma.is_finite() {
+            return Err(ReramError::InvalidVariation {
+                reason: format!("sigma must be non-negative and finite, got {sigma}"),
+            });
+        }
+        Ok(VariationModel {
+            sigma,
+            ..VariationModel::IDEAL
+        })
+    }
+
+    /// Adds cycle-to-cycle read noise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidVariation`] if the value is negative or
+    /// not finite.
+    pub fn with_cycle_to_cycle(mut self, sigma: f64) -> Result<VariationModel, ReramError> {
+        if sigma < 0.0 || !sigma.is_finite() {
+            return Err(ReramError::InvalidVariation {
+                reason: format!("cycle sigma must be non-negative and finite, got {sigma}"),
+            });
+        }
+        self.cycle_sigma = sigma;
+        Ok(self)
+    }
+
+    /// Adds stuck-at fault probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidVariation`] if either probability is
+    /// outside `\[0, 1\]` or their sum exceeds 1.
+    pub fn with_stuck_at(mut self, p_lrs: f64, p_hrs: f64) -> Result<VariationModel, ReramError> {
+        for p in [p_lrs, p_hrs] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(ReramError::InvalidVariation {
+                    reason: format!("stuck-at probability {p} outside [0, 1]"),
+                });
+            }
+        }
+        if p_lrs + p_hrs > 1.0 {
+            return Err(ReramError::InvalidVariation {
+                reason: format!("stuck-at probabilities sum to {} > 1", p_lrs + p_hrs),
+            });
+        }
+        self.stuck_at_lrs = p_lrs;
+        self.stuck_at_hrs = p_hrs;
+        Ok(self)
+    }
+
+    /// The device-to-device relative standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The cycle-to-cycle relative standard deviation.
+    pub fn cycle_sigma(&self) -> f64 {
+        self.cycle_sigma
+    }
+
+    /// `true` if this model introduces no randomness.
+    pub fn is_ideal(&self) -> bool {
+        self.sigma == 0.0
+            && self.cycle_sigma == 0.0
+            && self.stuck_at_lrs == 0.0
+            && self.stuck_at_hrs == 0.0
+    }
+
+    /// Draws a perturbed conductance for one cell, clamped to `window`.
+    ///
+    /// The multiplicative factor is `N(1, σ²)` per the paper's normal PV
+    /// model; stuck-at faults override the value entirely.
+    pub fn perturb<R: Rng + ?Sized>(
+        &self,
+        nominal: Siemens,
+        window: ResistanceWindow,
+        rng: &mut R,
+    ) -> Siemens {
+        let roll: f64 = rng.gen();
+        if roll < self.stuck_at_lrs {
+            return window.g_max();
+        }
+        if roll < self.stuck_at_lrs + self.stuck_at_hrs {
+            return window.g_min();
+        }
+        let mut g = nominal.0;
+        if self.sigma > 0.0 {
+            g *= 1.0 + self.sigma * standard_normal(rng);
+        }
+        if self.cycle_sigma > 0.0 {
+            g *= 1.0 + self.cycle_sigma * standard_normal(rng);
+        }
+        window.clamp(Siemens(g.max(0.0)))
+    }
+}
+
+impl Default for VariationModel {
+    fn default() -> VariationModel {
+        VariationModel::IDEAL
+    }
+}
+
+/// Standard normal sample via the Box–Muller transform.
+///
+/// Implemented locally (rather than via `rand_distr`) to stay within the
+/// allowed dependency set.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = ResistanceWindow::WIDE;
+        let g = Siemens(5e-5);
+        let out = VariationModel::IDEAL.perturb(g, w, &mut rng);
+        assert_eq!(out, g);
+        assert!(VariationModel::IDEAL.is_ideal());
+    }
+
+    #[test]
+    fn sigma_statistics() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let model = VariationModel::device_to_device(0.10).unwrap();
+        let w = ResistanceWindow::WIDE;
+        let nominal = Siemens(5e-5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| model.perturb(nominal, w, &mut rng).0 / nominal.0)
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean ratio {mean}");
+        assert!((var.sqrt() - 0.10).abs() < 0.01, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn perturbation_stays_in_window() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = VariationModel::device_to_device(0.5).unwrap();
+        let w = ResistanceWindow::RECOMMENDED;
+        for _ in 0..1000 {
+            let g = model.perturb(w.g_max(), w, &mut rng);
+            assert!(w.contains(g), "got {g}");
+        }
+    }
+
+    #[test]
+    fn stuck_at_rates() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = ResistanceWindow::WIDE;
+        let model = VariationModel::IDEAL.with_stuck_at(0.3, 0.3).unwrap();
+        let nominal = Siemens(5e-5);
+        let n = 10_000;
+        let mut lrs = 0;
+        let mut hrs = 0;
+        for _ in 0..n {
+            let g = model.perturb(nominal, w, &mut rng);
+            if g == w.g_max() {
+                lrs += 1;
+            } else if g == w.g_min() {
+                hrs += 1;
+            }
+        }
+        let p_lrs = lrs as f64 / n as f64;
+        let p_hrs = hrs as f64 / n as f64;
+        assert!((p_lrs - 0.3).abs() < 0.03, "p_lrs {p_lrs}");
+        assert!((p_hrs - 0.3).abs() < 0.03, "p_hrs {p_hrs}");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(VariationModel::device_to_device(-0.1).is_err());
+        assert!(VariationModel::device_to_device(f64::NAN).is_err());
+        assert!(VariationModel::IDEAL.with_cycle_to_cycle(-1.0).is_err());
+        assert!(VariationModel::IDEAL.with_stuck_at(0.7, 0.7).is_err());
+        assert!(VariationModel::IDEAL.with_stuck_at(-0.1, 0.0).is_err());
+    }
+
+    #[test]
+    fn paper_sigma_sweep_well_formed() {
+        assert_eq!(VariationModel::PAPER_SIGMAS.len(), 5);
+        for s in VariationModel::PAPER_SIGMAS {
+            assert!(VariationModel::device_to_device(s).is_ok());
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

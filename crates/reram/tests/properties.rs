@@ -1,0 +1,108 @@
+//! Property-based tests for the ReRAM substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use resipe_analog::units::{Ohms, Siemens};
+use resipe_reram::crossbar::Crossbar;
+use resipe_reram::device::{ReramCell, ResistanceWindow};
+use resipe_reram::mapping::DifferentialMapping;
+use resipe_reram::program::{ProgramConfig, Programmer};
+use resipe_reram::quantize::Quantizer;
+use resipe_reram::variation::VariationModel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fraction → conductance → fraction is the identity on \[0, 1\].
+    #[test]
+    fn window_fraction_round_trip(
+        f in 0.0..=1.0f64,
+        lrs_kohm in 5.0..200.0f64,
+    ) {
+        let w = ResistanceWindow::new(Ohms(lrs_kohm * 1e3), Ohms(1e6))
+            .expect("valid window");
+        let g = w.conductance_for_fraction(f).expect("in range");
+        prop_assert!((w.fraction_for_conductance(g) - f).abs() < 1e-9);
+        prop_assert!(w.contains(g));
+    }
+
+    /// Quantization is idempotent and error-bounded.
+    #[test]
+    fn quantizer_idempotent(f in 0.0..=1.0f64, levels in 2usize..64) {
+        let q = Quantizer::new(levels).expect("valid");
+        let once = q.quantize(f).expect("in range");
+        let twice = q.quantize(once).expect("in range");
+        prop_assert_eq!(once, twice);
+        prop_assert!((once - f).abs() <= q.max_error() + 1e-12);
+    }
+
+    /// Differential mapping reconstructs any weight matrix exactly (no
+    /// access resistance).
+    #[test]
+    fn differential_mapping_exact(
+        ws in proptest::collection::vec(-10.0..10.0f64, 6),
+    ) {
+        let mapped = DifferentialMapping::new().map(&ws, 2, 3).expect("maps");
+        for r in 0..2 {
+            for c in 0..3 {
+                let back = mapped.reconstruct_weight(r, c);
+                prop_assert!((back - ws[r * 3 + c]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Perturbed conductances always stay inside the window.
+    #[test]
+    fn perturbation_stays_in_window(
+        sigma in 0.0..0.6f64,
+        frac in 0.0..=1.0f64,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = ResistanceWindow::RECOMMENDED;
+        let model = VariationModel::device_to_device(sigma).expect("valid");
+        let nominal = w.conductance_for_fraction(frac).expect("in range");
+        for _ in 0..16 {
+            let g = model.perturb(nominal, w, &mut rng);
+            prop_assert!(w.contains(g), "escaped window: {g}");
+        }
+    }
+
+    /// Write–verify programming converges into its tolerance for any
+    /// target (generous pulse budget).
+    #[test]
+    fn programming_converges(frac in 0.0..=1.0f64, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = ResistanceWindow::RECOMMENDED;
+        let mut cell = ReramCell::new(w);
+        let target = w.conductance_for_fraction(frac).expect("in range");
+        let cfg = ProgramConfig::typical()
+            .with_max_pulses(256)
+            .expect("valid");
+        let report = Programmer::new(cfg)
+            .program(&mut cell, target, &mut rng)
+            .expect("valid target");
+        prop_assert!(report.converged, "{report:?}");
+        prop_assert!(report.final_error.abs() <= 0.01 + 1e-12);
+    }
+
+    /// Column conductance equals the sum of effective cell conductances.
+    #[test]
+    fn column_sum_consistency(
+        fracs in proptest::collection::vec(0.0..=1.0f64, 8),
+    ) {
+        let mut xb = Crossbar::new(8, 1, ResistanceWindow::RECOMMENDED);
+        xb.program_matrix(&fracs).expect("programs");
+        let total = xb.column_conductance(0).expect("in range");
+        let manual: f64 = (0..8)
+            .map(|r| xb.effective_conductance(r, 0).expect("in range").0)
+            .sum();
+        prop_assert!((total.0 - manual).abs() < 1e-15);
+        // Bounded by rows / (LRS + R_acc).
+        let bound = 8.0 / (50e3 + 1e3);
+        prop_assert!(total.0 <= bound + 1e-12);
+        let _ = Siemens(total.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Architecture-level planning: deploy the paper's six networks onto
+//! pools of ReSiPE engines and report tiles, latency, throughput, energy
+//! and area — the accelerator view behind Fig. 6's replication argument.
+//!
+//! ```text
+//! cargo run --release --example accelerator
+//! ```
+
+use resipe_suite::core::arch::Accelerator;
+use resipe_suite::nn::models::ModelKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("ReSiPE accelerator planning (32x32 engines, paper operating point)\n");
+
+    // Per-model footprint on a mid-sized 64-engine pool.
+    let acc = Accelerator::new(64)?;
+    println!(
+        "engine pool: {} engines, {:.0} um^2 total\n",
+        acc.engines(),
+        acc.area().0
+    );
+    println!(
+        "{:<20} {:>7} {:>10} {:>12} {:>12} {:>12}",
+        "model", "tiles", "MVMs/inf", "latency(us)", "inf/s", "nJ/inf"
+    );
+    for kind in ModelKind::ALL {
+        let net = kind.build(1)?;
+        let side = if kind.uses_digits() { 28 } else { 32 };
+        let plan = acc.plan(&net, side)?;
+        println!(
+            "{:<20} {:>7} {:>10} {:>12.2} {:>12.0} {:>12.2}",
+            kind.paper_name(),
+            plan.total_tiles(),
+            plan.total_mvms(),
+            plan.latency().0 * 1e6,
+            plan.throughput(),
+            plan.energy_per_inference().0 * 1e9
+        );
+    }
+
+    // Scaling study: LeNet latency vs engine count.
+    println!("\nLeNet latency vs engine count:");
+    let net = ModelKind::Cnn1Lenet.build(1)?;
+    println!(
+        "{:>10} {:>14} {:>12} {:>14}",
+        "engines", "latency (us)", "inf/s", "area (um^2)"
+    );
+    for engines in [1, 4, 16, 64, 256, 1024] {
+        let acc = Accelerator::new(engines)?;
+        let plan = acc.plan(&net, 28)?;
+        println!(
+            "{engines:>10} {:>14.2} {:>12.0} {:>14.0}",
+            plan.latency().0 * 1e6,
+            plan.throughput(),
+            acc.area().0
+        );
+    }
+    println!(
+        "\nLatency floors once every layer's per-round MVMs fit the pool; past\n\
+         that point extra engines only buy batch throughput — the replication\n\
+         trade-off Fig. 6 sketches."
+    );
+
+    // Layer detail for one model.
+    let plan = Accelerator::new(64)?.plan(&ModelKind::Cnn1Lenet.build(1)?, 28)?;
+    println!("\nLeNet layer detail (64 engines):\n{}", plan.render());
+    Ok(())
+}

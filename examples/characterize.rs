@@ -1,0 +1,101 @@
+//! Characterize a column: the Fig. 5 experiment at example scale, plus a
+//! side-by-side of all four PIM engines (ReSiPE and the three baselines)
+//! on the same crossbar — the functional comparison behind Table II.
+//!
+//! ```text
+//! cargo run --release --example characterize
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use resipe_suite::analog::units::Seconds;
+use resipe_suite::baselines::{ideal_mvm, LevelBased, PimEngine, PwmBased, RateCoding};
+use resipe_suite::core::config::ResipeConfig;
+use resipe_suite::core::engine::ResipeEngine;
+use resipe_suite::core::mapping::{SpikeEncoding, TileMapper};
+use resipe_suite::reram::crossbar::Crossbar;
+use resipe_suite::reram::device::ResistanceWindow;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // A random 32x32 crossbar in the recommended window.
+    let mut xbar = Crossbar::new(32, 32, ResistanceWindow::RECOMMENDED);
+    let fractions: Vec<f64> = (0..32 * 32).map(|_| rng.gen_range(0.0..1.0)).collect();
+    xbar.program_matrix(&fractions)?;
+    let inputs: Vec<f64> = (0..32).map(|_| rng.gen_range(0.0..1.0)).collect();
+
+    // 1. Characterize one column: exact vs linear transfer.
+    println!("1) column transfer: exact single-spiking vs ideal Eq. 6");
+    let engine = ResipeEngine::new(ResipeConfig::paper());
+    let t_in: Vec<Seconds> = inputs.iter().map(|&a| Seconds(a * 20e-9)).collect();
+    let exact = engine.mvm(&xbar, &t_in)?;
+    let linear = engine.mvm_linear(&xbar, &t_in)?;
+    println!(
+        "{:>6} {:>14} {:>14} {:>12}",
+        "col", "t_out (ns)", "Eq.6 (ns)", "ratio"
+    );
+    for col in (0..32).step_by(8) {
+        println!(
+            "{col:>6} {:>14.3} {:>14.3} {:>12.3}",
+            exact[col].t_out.as_nanos(),
+            linear[col].as_nanos(),
+            exact[col].t_out.0 / linear[col].0
+        );
+    }
+    println!("   (ratios < 1 are the C_cog saturation of Fig. 5)\n");
+
+    // 2. All four engines on the same normalized MVM.
+    println!("2) functional MVM error of each design vs the exact dot product");
+    let reference = ideal_mvm(&xbar, &inputs)?;
+    let norm: f64 = reference.iter().map(|v| v * v).sum::<f64>().sqrt();
+
+    let report = |name: &str, outputs: &[f64]| {
+        let err: f64 = outputs
+            .iter()
+            .zip(&reference)
+            .map(|(o, r)| (o - r) * (o - r))
+            .sum::<f64>()
+            .sqrt()
+            / norm;
+        println!("   {name:<24} rms error {:.3}%", err * 100.0);
+    };
+
+    report(
+        "level-based [14,17]",
+        &LevelBased::paper().mvm(&xbar, &inputs)?,
+    );
+    report(
+        "rate-coding [11,13]",
+        &RateCoding::paper().mvm(&xbar, &inputs)?,
+    );
+    report("PWM [15]", &PwmBased::paper().mvm(&xbar, &inputs)?);
+
+    // ReSiPE via the mapping layer (pass-through encoding isolates the
+    // crossbar path; linear-time shows the raw-input distortion).
+    let weights: Vec<f64> = fractions.clone();
+    let mapped = TileMapper::paper().map(&weights, 32, 32)?;
+    let ideal_mapped = mapped.forward_ideal(&inputs)?;
+    let norm_m: f64 = ideal_mapped.iter().map(|v| v * v).sum::<f64>().sqrt();
+    for (label, enc) in [
+        ("ReSiPE (pass-through)", SpikeEncoding::PassThrough),
+        ("ReSiPE (linear-time)", SpikeEncoding::LinearTime),
+    ] {
+        let out = mapped.forward(&engine, &inputs, enc)?;
+        let err: f64 = out
+            .iter()
+            .zip(&ideal_mapped)
+            .map(|(o, r)| (o - r) * (o - r))
+            .sum::<f64>()
+            .sqrt()
+            / norm_m;
+        println!("   {label:<24} rms error {:.3}%", err * 100.0);
+    }
+    println!(
+        "\n   The pass-through path is near-exact (the S1/S2 calibration\n   \
+         cancellation); linear-time shows the raw encode distortion; the\n   \
+         baselines show their quantization floors."
+    );
+    Ok(())
+}

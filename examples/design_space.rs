@@ -1,0 +1,85 @@
+//! Design-space exploration: how the ReSiPE circuit parameters move the
+//! power / latency / linearity trade-offs.
+//!
+//! Sweeps the three knobs the paper discusses — the resistance window
+//! (Sec. III-D), the COG capacitor (Sec. IV-B's MIM-scaling remark), and
+//! the slice length — and prints their effect on column linearity, MVM
+//! energy, and pipeline throughput.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use resipe_suite::analog::units::{Farads, Ohms, Seconds, Siemens};
+use resipe_suite::core::config::ResipeConfig;
+use resipe_suite::core::engine::ResipeEngine;
+use resipe_suite::core::pipeline::PipelineLatency;
+use resipe_suite::core::power::{EnergyModel, PeripheralCosts};
+use resipe_suite::reram::device::ResistanceWindow;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Resistance window vs. column linearity (Sec. III-D). ---
+    println!("1) resistance window vs. worst-case column non-linearity (32 cells)");
+    println!(
+        "{:>24} {:>12} {:>16}",
+        "window", "max SG (mS)", "worst shortfall"
+    );
+    let engine = ResipeEngine::new(ResipeConfig::paper());
+    for (name, lrs) in [("10 kOhm - 1 MOhm", 10e3), ("50 kOhm - 1 MOhm", 50e3)] {
+        let window = ResistanceWindow::new(Ohms(lrs), Ohms(1e6))?;
+        let g_cell = window.g_max();
+        let g_total = Siemens(32.0 * g_cell.0);
+        // Worst case: every cell at LRS, one mid-range input pattern.
+        let t_in = vec![Seconds(40e-9); 32];
+        let g = vec![g_cell; 32];
+        let exact = engine.mac(&t_in, &g)?.t_out;
+        let linear = engine.mac_linear(&t_in, &g)?;
+        let shortfall = 1.0 - exact.0 / linear.0.max(1e-30);
+        println!(
+            "{name:>24} {:>12.2} {:>15.1}%",
+            g_total.as_milli(),
+            shortfall * 100.0
+        );
+    }
+    println!("   (the paper's SG <= 1.6 mS bound motivates the 50 kOhm window)\n");
+
+    // --- 2. C_cog scaling vs. energy (Sec. IV-B). ---
+    println!("2) COG MIM-capacitor scaling vs. per-MVM energy");
+    println!(
+        "{:>12} {:>12} {:>12} {:>10}",
+        "C_cog (fF)", "MVM (pJ)", "power (mW)", "COG (%)"
+    );
+    for ff in [100.0, 50.0, 25.0, 10.0] {
+        let cfg = ResipeConfig::paper().with_c_cog(Farads::from_femto(ff));
+        let model = EnergyModel::new(cfg, 32, 32, PeripheralCosts::paper())?;
+        let e = model.mvm_energy();
+        println!(
+            "{ff:>12.0} {:>12.3} {:>12.3} {:>10.2}",
+            e.total().as_pico(),
+            model.power().as_milli(),
+            e.cog_fraction() * 100.0
+        );
+    }
+    println!();
+
+    // --- 3. Slice length vs. pipeline throughput. ---
+    println!("3) slice length vs. 16-layer pipeline latency and rate");
+    println!(
+        "{:>12} {:>16} {:>16} {:>14}",
+        "slice (ns)", "pipelined (ns)", "sequential (ns)", "rate (M inf/s)"
+    );
+    for slice_ns in [100.0, 50.0, 25.0] {
+        let cfg = ResipeConfig::paper()
+            .with_slice(Seconds(slice_ns * 1e-9))
+            .with_t_max(Seconds(slice_ns * 0.2 * 1e-9));
+        let lat = PipelineLatency::for_network(&cfg, 16)?;
+        println!(
+            "{slice_ns:>12.0} {:>16.0} {:>16.0} {:>14.2}",
+            lat.pipelined.as_nanos(),
+            lat.sequential.as_nanos(),
+            lat.steady_state_rate() / 1e6
+        );
+    }
+    println!("   (shorter slices trade timing resolution for rate; paper Sec. V\n    flags multi-layer pipelining as the future-work lever)");
+    Ok(())
+}

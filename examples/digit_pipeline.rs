@@ -1,0 +1,78 @@
+//! Train a digit classifier in software, then run it on the simulated
+//! ReSiPE hardware — the full Fig. 7 pipeline for one model, including a
+//! process-variation Monte-Carlo sweep.
+//!
+//! ```text
+//! cargo run --release --example digit_pipeline
+//! ```
+
+use resipe_suite::core::inference::{CompileOptions, HardwareNetwork};
+use resipe_suite::nn::data::synth_digits;
+use resipe_suite::nn::metrics::accuracy;
+use resipe_suite::nn::models;
+use resipe_suite::nn::train::{Sgd, TrainConfig};
+use resipe_suite::reram::variation::VariationModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train MLP-2 on the synthetic digit task (the MNIST stand-in).
+    let train = synth_digits(800, 1)?;
+    let test = synth_digits(200, 2)?;
+    let mut net = models::mlp2(42)?;
+    println!(
+        "training {} ({} parameters)...",
+        net.name(),
+        net.param_count()
+    );
+    let report = Sgd::new(
+        TrainConfig::new(8)
+            .with_learning_rate(0.08)
+            .with_batch_size(32),
+    )
+    .fit(&mut net, &train)?;
+    println!(
+        "  final loss {:.3}, train accuracy {:.1}%",
+        report.final_loss(),
+        report.final_accuracy() * 100.0
+    );
+    let ideal = accuracy(&mut net, &test)?;
+    println!("  ideal test accuracy: {:.1}%\n", ideal * 100.0);
+
+    // 2. Compile onto ReSiPE: weights -> differential crossbar tiles,
+    //    activations -> single spikes.
+    let (calibration, _) = train.batch(&(0..64).collect::<Vec<_>>())?;
+    let hw = HardwareNetwork::compile(&net, &calibration, &CompileOptions::paper())?;
+    println!(
+        "compiled onto {} crossbar-mapped layers ({} MVMs per sample in the dense path)",
+        hw.crossbar_layer_count(),
+        hw.dense_mvms_per_sample()
+    );
+    let hw_acc = hw.accuracy(&test)?;
+    println!(
+        "hardware accuracy (sigma = 0, non-linearity only): {:.1}%  (drop {:.1}%)\n",
+        hw_acc * 100.0,
+        (ideal - hw_acc) * 100.0
+    );
+
+    // 3. Process-variation Monte-Carlo (the Fig. 7 sweep).
+    println!("process-variation sweep (3 Monte-Carlo trials per sigma):");
+    for sigma in VariationModel::PAPER_SIGMAS {
+        let model = VariationModel::device_to_device(sigma)?;
+        let mut sum = 0.0;
+        let trials = if sigma == 0.0 { 1 } else { 3 };
+        for seed in 0..trials {
+            let opts = CompileOptions::paper()
+                .with_variation(model)
+                .with_seed(seed);
+            let hw = HardwareNetwork::compile(&net, &calibration, &opts)?;
+            sum += hw.accuracy(&test)?;
+        }
+        let mean = sum / trials as f32;
+        println!(
+            "  sigma = {:>4.0}% : {:.1}%  (drop {:.1}%)",
+            sigma * 100.0,
+            mean * 100.0,
+            (ideal - mean) * 100.0
+        );
+    }
+    Ok(())
+}

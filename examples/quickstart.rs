@@ -1,0 +1,54 @@
+//! Quickstart: one single-spiking MAC, end to end.
+//!
+//! Builds the paper's engine, feeds two spikes through two ReRAM cells,
+//! and cross-checks the closed-form result against (a) the ideal linear
+//! MAC of Eq. 5 and (b) the full RC-netlist transient simulation.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use resipe_suite::analog::units::{Seconds, Siemens};
+use resipe_suite::core::circuit::AnalogMac;
+use resipe_suite::core::config::ResipeConfig;
+use resipe_suite::core::engine::ResipeEngine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's published circuit parameters: V_s = 1 V, R_gd = 100 kΩ,
+    // C_gd = C_cog = 100 fF, slice = 100 ns, Δt = 1 ns.
+    let config = ResipeConfig::paper();
+    println!("ReSiPE engine @ paper operating point");
+    println!("  tau_gd       = {:.1} ns", config.tau_gd().as_nanos());
+    println!("  MAC gain     = {:.0} Ohm (dt/C_cog)", config.gain().0);
+    println!(
+        "  MVM latency  = {:.0} ns\n",
+        config.mvm_latency().as_nanos()
+    );
+
+    // Two inputs: spikes at 25 ns and 55 ns through 80 µS and 40 µS cells.
+    let t_in = [Seconds::from_nanos(25.0), Seconds::from_nanos(55.0)];
+    let g = [Siemens(80e-6), Siemens(40e-6)];
+
+    let engine = ResipeEngine::new(config);
+    let mac = engine.mac(&t_in, &g)?;
+    let linear = engine.mac_linear(&t_in, &g)?;
+    println!("closed-form single-spiking MAC:");
+    println!("  V_out        = {:.4} V", mac.v_out.0);
+    println!("  t_out        = {:.3} ns", mac.t_out.as_nanos());
+    println!("  Eq.5 linear  = {:.3} ns (reference)", linear.as_nanos());
+    println!("  saturated    = {}\n", mac.saturated);
+
+    // The same MAC as an RC netlist on the MNA transient simulator (the
+    // Cadence Virtuoso stand-in).
+    let analog = AnalogMac::new(config, &g)?.run(&t_in, Seconds(50e-12))?;
+    println!("RC-netlist transient (MNA, 50 ps step):");
+    println!("  V_out        = {:.4} V", analog.v_out.0);
+    println!("  t_out        = {:.3} ns", analog.t_out.as_nanos());
+    println!(
+        "  source energy= {:.3} pJ over both slices",
+        analog.source_energy.as_pico()
+    );
+    let rel = (analog.t_out.0 - mac.t_out.0).abs() / mac.t_out.0;
+    println!("  vs closed-form: {:.2} % relative difference", rel * 100.0);
+    Ok(())
+}

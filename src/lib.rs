@@ -1,0 +1,34 @@
+//! # resipe-suite
+//!
+//! Top-level facade of the ReSiPE (DAC 2020) reproduction. Re-exports the
+//! workspace crates under one roof and hosts the runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! * [`core`] — the ReSiPE engine itself (single-spiking format, GD/COG,
+//!   exact-physics MVM, hardware mapping, power model);
+//! * [`analog`] — the MNA transient circuit simulator;
+//! * [`reram`] — ReRAM device, variation and 1T1R crossbar models;
+//! * [`nn`] — the from-scratch neural-network substrate;
+//! * [`baselines`] — the Table II comparison designs and cost models.
+//!
+//! ```
+//! use resipe_suite::core::config::ResipeConfig;
+//! use resipe_suite::core::engine::ResipeEngine;
+//! use resipe_suite::analog::units::{Seconds, Siemens};
+//!
+//! # fn main() -> Result<(), resipe_suite::core::ResipeError> {
+//! let engine = ResipeEngine::new(ResipeConfig::paper());
+//! let mac = engine.mac(
+//!     &[Seconds::from_nanos(20.0)],
+//!     &[Siemens(100e-6)],
+//! )?;
+//! assert!(mac.t_out.0 > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use resipe as core;
+pub use resipe_analog as analog;
+pub use resipe_baselines as baselines;
+pub use resipe_nn as nn;
+pub use resipe_reram as reram;

@@ -1,0 +1,107 @@
+//! Integration test: the closed-form engine against the MNA netlist
+//! simulation across a grid of operating points — the reproduction's
+//! equivalent of validating the analytical model against Virtuoso.
+
+use resipe_suite::analog::units::{Seconds, Siemens};
+use resipe_suite::core::circuit::AnalogMac;
+use resipe_suite::core::config::ResipeConfig;
+use resipe_suite::core::engine::ResipeEngine;
+
+const STEP: Seconds = Seconds(25e-12);
+
+fn check(t_in: &[Seconds], g: &[Siemens], tol_rel: f64) {
+    let cfg = ResipeConfig::paper();
+    let engine = ResipeEngine::new(cfg).mac(t_in, g).expect("engine mac");
+    let analog = AnalogMac::new(cfg, g)
+        .expect("circuit builds")
+        .run(t_in, STEP)
+        .expect("transient converges");
+    assert_eq!(engine.saturated, analog.saturated, "saturation agreement");
+    let dv = (engine.v_out.0 - analog.v_out.0).abs();
+    assert!(
+        dv < 0.01,
+        "v_out engine {} vs analog {} (inputs {t_in:?})",
+        engine.v_out,
+        analog.v_out
+    );
+    if !engine.saturated {
+        let rel = (engine.t_out.0 - analog.t_out.0).abs() / engine.t_out.0.max(1e-10);
+        assert!(
+            rel < tol_rel,
+            "t_out engine {} ns vs analog {} ns (rel {rel})",
+            engine.t_out.as_nanos(),
+            analog.t_out.as_nanos()
+        );
+    }
+}
+
+#[test]
+fn two_input_grid() {
+    for &(t1, t2) in &[(10.0, 70.0), (30.0, 30.0), (5.0, 45.0)] {
+        for &(g1, g2) in &[(20e-6, 80e-6), (100e-6, 100e-6), (5e-6, 300e-6)] {
+            check(
+                &[Seconds(t1 * 1e-9), Seconds(t2 * 1e-9)],
+                &[Siemens(g1), Siemens(g2)],
+                0.05,
+            );
+        }
+    }
+}
+
+#[test]
+fn four_input_column() {
+    check(
+        &[
+            Seconds(12e-9),
+            Seconds(34e-9),
+            Seconds(56e-9),
+            Seconds(78e-9),
+        ],
+        &[
+            Siemens(50e-6),
+            Siemens(150e-6),
+            Siemens(20e-6),
+            Siemens(90e-6),
+        ],
+        0.03,
+    );
+}
+
+#[test]
+fn high_conductance_saturating_column() {
+    // ΣG = 3.2 mS, the top of the Fig. 5 range: deep C_cog saturation.
+    check(
+        &[Seconds(40e-9), Seconds(60e-9)],
+        &[Siemens(1.6e-3), Siemens(1.6e-3)],
+        0.05,
+    );
+}
+
+#[test]
+fn early_spikes_small_conductance() {
+    // The doubly-linear regime where Eq. 5 itself is accurate.
+    check(
+        &[Seconds(2e-9), Seconds(4e-9)],
+        &[Siemens(5e-6), Siemens(8e-6)],
+        0.05,
+    );
+}
+
+#[test]
+fn zero_time_input_fires_immediately() {
+    let cfg = ResipeConfig::paper();
+    let g = [Siemens(100e-6)];
+    let engine = ResipeEngine::new(cfg)
+        .mac(&[Seconds(0.0)], &g)
+        .expect("engine mac");
+    assert!(engine.t_out.as_nanos() < 0.1);
+    let analog = AnalogMac::new(cfg, &g)
+        .expect("circuit builds")
+        .run(&[Seconds(0.0)], STEP)
+        .expect("transient converges");
+    assert!(
+        analog.t_out.as_nanos() < 1.0,
+        "analog {}",
+        analog.t_out.as_nanos()
+    );
+}

@@ -1,0 +1,127 @@
+//! Integration test: the full train → compile → evaluate pipeline across
+//! crates, including the Fig. 7 ordering properties.
+
+use resipe_suite::core::inference::{
+    accuracy_under_variation, CompileOptions, EncodingPolicy, HardwareNetwork,
+};
+use resipe_suite::nn::data::synth_digits;
+use resipe_suite::nn::models;
+use resipe_suite::nn::network::Network;
+use resipe_suite::nn::train::{Sgd, TrainConfig};
+use resipe_suite::reram::variation::VariationModel;
+
+fn trained_mlp2() -> Network {
+    let train = synth_digits(400, 11).expect("dataset");
+    let mut net = models::mlp2(3).expect("builds");
+    Sgd::new(
+        TrainConfig::new(6)
+            .with_learning_rate(0.08)
+            .with_batch_size(32),
+    )
+    .fit(&mut net, &train)
+    .expect("training converges");
+    net
+}
+
+#[test]
+fn sigma_zero_drop_is_small() {
+    // Fig. 7: the non-linearity-only drop is < 2.5 % in the paper; allow
+    // extra slack for the small synthetic test set.
+    let net = trained_mlp2();
+    let train = synth_digits(400, 11).expect("dataset");
+    let test = synth_digits(150, 12).expect("dataset");
+    let (calib, _) = train.batch(&(0..64).collect::<Vec<_>>()).expect("batch");
+    let (ideal, hw) = accuracy_under_variation(&net, &test, &calib, &CompileOptions::paper())
+        .expect("pipeline runs");
+    assert!(ideal > 0.7, "ideal {ideal}");
+    assert!(
+        ideal - hw < 0.05,
+        "sigma=0 drop {} exceeds budget (ideal {ideal}, hw {hw})",
+        ideal - hw
+    );
+}
+
+#[test]
+fn heavy_variation_costs_accuracy() {
+    // Fig. 7: sigma = 20 % costs 1–15 %; at an exaggerated 40 % the drop
+    // must be clearly visible even on a small test set.
+    let net = trained_mlp2();
+    let train = synth_digits(400, 11).expect("dataset");
+    let test = synth_digits(150, 12).expect("dataset");
+    let (calib, _) = train.batch(&(0..64).collect::<Vec<_>>()).expect("batch");
+
+    let clean = HardwareNetwork::compile(&net, &calib, &CompileOptions::paper())
+        .expect("compiles")
+        .accuracy(&test)
+        .expect("evaluates");
+
+    let sigma40 = VariationModel::device_to_device(0.40).expect("valid");
+    let mut sum = 0.0;
+    for seed in 0..4 {
+        let opts = CompileOptions::paper()
+            .with_variation(sigma40)
+            .with_seed(seed);
+        sum += HardwareNetwork::compile(&net, &calib, &opts)
+            .expect("compiles")
+            .accuracy(&test)
+            .expect("evaluates");
+    }
+    let noisy = sum / 4.0;
+    assert!(
+        noisy < clean - 0.02,
+        "40% variation should cost accuracy: clean {clean}, noisy {noisy}"
+    );
+}
+
+#[test]
+fn pass_through_encoding_beats_all_linear() {
+    // The encoding-policy ablation: re-encoding every layer in raw
+    // linear-time format accumulates distortion that the physical
+    // pass-through pipeline avoids.
+    let net = trained_mlp2();
+    let train = synth_digits(400, 11).expect("dataset");
+    let test = synth_digits(150, 12).expect("dataset");
+    let (calib, _) = train.batch(&(0..64).collect::<Vec<_>>()).expect("batch");
+
+    let acc = |policy: EncodingPolicy| {
+        let opts = CompileOptions::paper().with_encoding(policy);
+        HardwareNetwork::compile(&net, &calib, &opts)
+            .expect("compiles")
+            .accuracy(&test)
+            .expect("evaluates")
+    };
+    let pass = acc(EncodingPolicy::AllPassThrough);
+    let default = acc(EncodingPolicy::FirstLinearThenPassThrough);
+    let linear = acc(EncodingPolicy::AllLinearTime);
+    assert!(
+        pass + 1e-6 >= default,
+        "pass-through {pass} vs default {default}"
+    );
+    assert!(
+        default + 0.03 >= linear,
+        "default {default} should not trail all-linear {linear} badly"
+    );
+}
+
+#[test]
+fn lenet_hardware_tracks_ideal() {
+    use resipe_suite::nn::metrics::accuracy;
+    let train = synth_digits(400, 21).expect("dataset");
+    let test = synth_digits(80, 22).expect("dataset");
+    let mut net = models::lenet(5).expect("builds");
+    Sgd::new(
+        TrainConfig::new(8)
+            .with_learning_rate(0.02)
+            .with_batch_size(32),
+    )
+    .fit(&mut net, &train)
+    .expect("training converges");
+    let ideal = accuracy(&mut net, &test).expect("ideal eval");
+    let (calib, _) = train.batch(&(0..16).collect::<Vec<_>>()).expect("batch");
+    let hw = HardwareNetwork::compile(&net, &calib, &CompileOptions::paper()).expect("compiles");
+    let acc = hw.accuracy(&test).expect("evaluates");
+    // The conv path must track the ideal network closely at sigma = 0,
+    // whatever absolute accuracy the short training run reaches.
+    assert!(ideal - acc < 0.08, "LeNet hardware {acc} vs ideal {ideal}");
+    assert!(acc > 0.25, "hardware accuracy {acc} at chance level");
+}

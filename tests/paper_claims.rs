@@ -1,0 +1,110 @@
+//! Integration test: every quantitative claim of the paper's evaluation
+//! section, recomputed end-to-end through the public APIs. This is the
+//! "does the reproduction still reproduce" gate.
+
+use resipe_suite::analog::units::{Seconds, Siemens, SquareMicrometers};
+use resipe_suite::baselines::comparison::ComparisonTable;
+use resipe_suite::baselines::throughput::ThroughputModel;
+use resipe_suite::core::config::ResipeConfig;
+use resipe_suite::core::engine::ResipeEngine;
+use resipe_suite::core::pipeline::PipelineLatency;
+use resipe_suite::core::power::EnergyModel;
+
+/// Sec. IV-B.1: 1.97× / 2.41× / 49.76× power efficiency; 67.1 % power
+/// reduction vs rate-coding.
+#[test]
+fn table2_power_claims() {
+    let h = ComparisonTable::paper().headline();
+    assert!((h.eff_vs_level - 1.97).abs() / 1.97 < 0.01);
+    assert!((h.eff_vs_rate - 2.41).abs() / 2.41 < 0.01);
+    assert!((h.eff_vs_pwm - 49.76).abs() / 49.76 < 0.01);
+    assert!((h.power_reduction_vs_rate - 0.671).abs() < 0.005);
+}
+
+/// Sec. IV-B.2: latency −50 % vs rate-coding, −68.8 % vs PWM.
+#[test]
+fn table2_latency_claims() {
+    let h = ComparisonTable::paper().headline();
+    assert!((h.latency_reduction_vs_rate - 0.50).abs() < 0.01);
+    assert!((h.latency_reduction_vs_pwm - 0.688).abs() < 0.005);
+}
+
+/// Sec. IV-B.3: area −14.2 % vs rate-coding, −85.3 % vs level-based.
+#[test]
+fn table2_area_claims() {
+    let h = ComparisonTable::paper().headline();
+    assert!((h.area_saving_vs_rate - 0.142).abs() < 0.005);
+    assert!((h.area_saving_vs_level - 0.853).abs() < 0.005);
+}
+
+/// Sec. IV-B.1: "the COG cluster contributes to 98.1 % of the entire
+/// power consumption".
+#[test]
+fn cog_power_share() {
+    let frac = EnergyModel::paper().mvm_energy().cog_fraction();
+    assert!((frac - 0.981).abs() < 0.005, "COG share {frac}");
+}
+
+/// Fig. 6: under the same area budget ReSiPE provides the highest
+/// throughput of all four designs.
+#[test]
+fn fig6_resipe_dominates_under_budget() {
+    let m = ThroughputModel::paper();
+    let lib = m.library().clone();
+    for budget in [50_000.0, 200_000.0, 1_000_000.0] {
+        let b = SquareMicrometers(budget);
+        let resipe = m.point(&lib.resipe, b).total_gops;
+        for d in [&lib.level, &lib.rate, &lib.pwm] {
+            assert!(
+                resipe > m.point(d, b).total_gops,
+                "budget {budget}: ReSiPE {resipe} vs {}",
+                d.name
+            );
+        }
+    }
+}
+
+/// Sec. III-D / Fig. 5: columns with ΣG above 1.6 mS fall measurably
+/// below the linear fit, and the shortfall grows with ΣG.
+#[test]
+fn fig5_saturation_ordering() {
+    let engine = ResipeEngine::new(ResipeConfig::paper());
+    let t_in = vec![Seconds(45e-9); 32];
+    let shortfall = |g_total_ms: f64| {
+        let g = vec![Siemens(g_total_ms * 1e-3 / 32.0); 32];
+        let exact = engine.mac(&t_in, &g).expect("valid").t_out.0;
+        let linear = engine.mac_linear(&t_in, &g).expect("valid").0;
+        1.0 - exact / linear
+    };
+    let s_low = shortfall(0.32);
+    let s_mid = shortfall(1.6);
+    let s_25 = shortfall(2.5);
+    let s_hi = shortfall(3.2);
+    assert!(
+        s_low < s_mid && s_mid < s_25 && s_25 < s_hi,
+        "shortfalls must grow with conductance: {s_low} {s_mid} {s_25} {s_hi}"
+    );
+}
+
+/// Sec. V: multi-layer pipelining shortens per-inference latency — each
+/// extra layer costs one slice instead of two.
+#[test]
+fn pipeline_claim() {
+    let cfg = ResipeConfig::paper();
+    let lat = PipelineLatency::for_network(&cfg, 8).expect("valid");
+    assert!(lat.speedup() > 1.7, "8-layer speedup {}", lat.speedup());
+    // Marginal cost of one more layer in the pipeline: one slice + Δt.
+    let lat9 = PipelineLatency::for_network(&cfg, 9).expect("valid");
+    let marginal = lat9.pipelined.0 - lat.pipelined.0;
+    assert!((marginal - 101e-9).abs() < 1e-12, "marginal {marginal}");
+}
+
+/// Sec. IV-A: calibration at 1 GHz — slice 100 ns, computation stage 1 ns.
+#[test]
+fn operating_point_constants() {
+    let cfg = ResipeConfig::paper();
+    assert_eq!(cfg.slice(), Seconds(100e-9));
+    assert_eq!(cfg.dt(), Seconds(1e-9));
+    assert_eq!(cfg.pulse_width(), Seconds(1e-9));
+    assert!((cfg.tau_gd().as_nanos() - 10.0).abs() < 1e-9);
+}

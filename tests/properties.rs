@@ -1,0 +1,128 @@
+//! Property-based tests (proptest) on the cross-crate invariants of the
+//! reproduction: the engine's transfer function, the mapping round trip,
+//! and the spike codec.
+
+use proptest::prelude::*;
+
+use resipe_suite::analog::units::{Seconds, Siemens};
+use resipe_suite::core::config::ResipeConfig;
+use resipe_suite::core::engine::ResipeEngine;
+use resipe_suite::core::mapping::{SpikeEncoding, TileMapper};
+use resipe_suite::core::spike::SpikeCodec;
+
+fn engine() -> ResipeEngine {
+    ResipeEngine::new(ResipeConfig::paper())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The MAC output always lies within the slice and never goes
+    /// negative, for any in-range inputs and conductances.
+    #[test]
+    fn mac_output_within_slice(
+        t1 in 0.0..100.0f64,
+        t2 in 0.0..100.0f64,
+        g1 in 1e-7..2e-3f64,
+        g2 in 1e-7..2e-3f64,
+    ) {
+        let mac = engine()
+            .mac(
+                &[Seconds(t1 * 1e-9), Seconds(t2 * 1e-9)],
+                &[Siemens(g1), Siemens(g2)],
+            )
+            .expect("valid inputs");
+        prop_assert!(mac.t_out.0 >= 0.0);
+        prop_assert!(mac.t_out.0 <= 100e-9 + 1e-15);
+        prop_assert!(mac.v_out.0 >= 0.0 && mac.v_out.0 < 1.0);
+    }
+
+    /// The exact output never exceeds the Eq. 5 linear prediction scaled
+    /// by the slice (C_cog charging can only undershoot its target).
+    #[test]
+    fn exact_never_exceeds_quasi_mean_bound(
+        t in 1.0..80.0f64,
+        g in 1e-6..1e-4f64,
+        n in 1usize..16,
+    ) {
+        let t_in = vec![Seconds(t * 1e-9); n];
+        let g_vec = vec![Siemens(g); n];
+        let mac = engine().mac(&t_in, &g_vec).expect("valid inputs");
+        // With identical inputs the quasi-arithmetic mean is exact:
+        // t_out <= t_in always (charging factor <= 1).
+        prop_assert!(
+            mac.t_out.0 <= t * 1e-9 + 1e-15,
+            "t_out {} ns vs t_in {} ns", mac.t_out.0 * 1e9, t
+        );
+    }
+
+    /// Monotonicity: delaying any input spike never makes the output
+    /// spike earlier.
+    #[test]
+    fn mac_monotone_in_each_input(
+        base in 5.0..40.0f64,
+        delta in 0.0..40.0f64,
+        g1 in 1e-6..5e-4f64,
+        g2 in 1e-6..5e-4f64,
+    ) {
+        let e = engine();
+        let g = [Siemens(g1), Siemens(g2)];
+        let a = e.mac(&[Seconds(base * 1e-9), Seconds(20e-9)], &g).expect("valid");
+        let b = e
+            .mac(&[Seconds((base + delta) * 1e-9), Seconds(20e-9)], &g)
+            .expect("valid");
+        prop_assert!(b.t_out.0 >= a.t_out.0 - 1e-15);
+    }
+
+    /// Spike codec round trip is exact for in-range values.
+    #[test]
+    fn codec_round_trip(v in 0.0..=1.0f64) {
+        let codec = SpikeCodec::new(ResipeConfig::paper()).expect("valid");
+        let spike = codec.encode(v).expect("in range");
+        prop_assert!((codec.decode(spike) - v).abs() < 1e-12);
+    }
+
+    /// The differential mapping reconstructs weights to within the
+    /// access-resistance concavity bound.
+    #[test]
+    fn mapping_round_trip(
+        w1 in -1.0..1.0f64,
+        w2 in -1.0..1.0f64,
+        w3 in -1.0..1.0f64,
+        w4 in -1.0..1.0f64,
+    ) {
+        let weights = [w1, w2, w3, w4];
+        let mapped = TileMapper::paper().map(&weights, 2, 2).expect("maps");
+        for r in 0..2 {
+            for c in 0..2 {
+                let back = mapped.reconstruct_weight(r, c);
+                let expected = weights[r * 2 + c];
+                prop_assert!(
+                    (back - expected).abs() < 0.05 * mapped.weight_scale().max(1e-6) + 1e-9,
+                    "({r},{c}): {back} vs {expected}"
+                );
+            }
+        }
+    }
+
+    /// The pass-through hardware forward tracks the ideal dot product for
+    /// any activation vector.
+    #[test]
+    fn pass_through_tracks_ideal(
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let weights: Vec<f64> = (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mapped = TileMapper::paper().map(&weights, 8, 2).expect("maps");
+        let a: Vec<f64> = (0..8).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let hw = mapped
+            .forward(&engine(), &a, SpikeEncoding::PassThrough)
+            .expect("runs");
+        let ideal = mapped.forward_ideal(&a).expect("runs");
+        let scale = ideal.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-9);
+        for (h, i) in hw.iter().zip(&ideal) {
+            prop_assert!((h - i).abs() / scale < 0.02, "hw {h} vs ideal {i}");
+        }
+    }
+}
