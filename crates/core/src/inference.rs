@@ -20,16 +20,19 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use resipe_analog::units::Seconds;
 use resipe_nn::data::Dataset;
 use resipe_nn::layers::{im2col, Layer};
 use resipe_nn::network::Network;
 use resipe_nn::tensor::Tensor;
+use resipe_reram::faults::RetentionDrift;
 use resipe_reram::variation::VariationModel;
 
 use crate::config::ResipeConfig;
 use crate::engine::ResipeEngine;
 use crate::error::ResipeError;
 use crate::mapping::{MappedWeights, SpikeEncoding, TileMapper};
+use crate::repair::{repair_layer, HealthReport, RepairPolicy};
 
 /// How activations are spike-encoded at each hardware layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -64,6 +67,40 @@ impl EncodingPolicy {
     }
 }
 
+/// Hard-fault injection applied at compile time — the persistent damage
+/// of an aged or defective part, as opposed to the statistical PV draw of
+/// [`VariationModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjection {
+    /// Target fraction of stuck cells per array.
+    pub rate: f64,
+    /// Maximum cells per spatially-clustered defect.
+    pub cluster_size: usize,
+    /// Seed for the fault-map draw (independent of the PV seed).
+    pub seed: u64,
+    /// Optional retention drift applied after fault injection: the drift
+    /// model and the storage time elapsed since programming.
+    pub drift: Option<(RetentionDrift, Seconds)>,
+}
+
+impl FaultInjection {
+    /// Clustered stuck-at faults at `rate`, no retention drift.
+    pub fn clustered(rate: f64, cluster_size: usize, seed: u64) -> FaultInjection {
+        FaultInjection {
+            rate,
+            cluster_size,
+            seed,
+            drift: None,
+        }
+    }
+
+    /// Adds retention drift on top of the stuck-at faults.
+    pub fn with_drift(mut self, drift: RetentionDrift, elapsed: Seconds) -> FaultInjection {
+        self.drift = Some((drift, elapsed));
+        self
+    }
+}
+
 /// Options controlling hardware compilation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompileOptions {
@@ -83,6 +120,11 @@ pub struct CompileOptions {
     /// Optional spike-time quantization grid (pulse-width resolution
     /// limit); `None` models ideal continuous timing.
     pub time_quantization: Option<resipe_analog::units::Seconds>,
+    /// Optional hard-fault injection (stuck-at maps + retention drift).
+    pub faults: Option<FaultInjection>,
+    /// Optional online repair: BIST every tile after programming and run
+    /// the repair ladder, surfacing a [`HealthReport`].
+    pub repair: Option<RepairPolicy>,
 }
 
 impl CompileOptions {
@@ -104,7 +146,21 @@ impl CompileOptions {
             encoding: EncodingPolicy::default(),
             comparator_sigma: 0.0,
             time_quantization: None,
+            faults: None,
+            repair: None,
         }
+    }
+
+    /// Injects hard faults at compile time.
+    pub fn with_faults(mut self, faults: FaultInjection) -> CompileOptions {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Enables the online repair ladder.
+    pub fn with_repair(mut self, policy: RepairPolicy) -> CompileOptions {
+        self.repair = Some(policy);
+        self
     }
 
     /// Sets the static COG comparator offset sigma (volts).
@@ -153,19 +209,38 @@ impl CompileOptions {
     }
 }
 
-/// Applies the compile-time readout non-idealities to a mapped layer.
-fn apply_readout_nonidealities(
-    mut mapped: MappedWeights,
+/// Lowers one mapped weight layer through the full non-ideality chain:
+/// process variation → hard faults → retention drift → repair ladder →
+/// readout non-idealities. Repair outcomes are appended to `health`.
+fn lower_mapped(
+    engine: &ResipeEngine,
+    mapped: MappedWeights,
     options: &CompileOptions,
+    weight_layer_index: usize,
     rng: &mut StdRng,
-) -> MappedWeights {
+    health: &mut HealthReport,
+) -> Result<MappedWeights, ResipeError> {
+    let mut mapped = mapped.perturbed(&options.variation, rng);
+    if let Some(fi) = options.faults {
+        let seed = fi
+            .seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(weight_layer_index as u64 + 1));
+        mapped = mapped.with_faults(fi.rate, fi.cluster_size, seed)?;
+        if let Some((drift, elapsed)) = fi.drift {
+            mapped = mapped.with_retention_drift(&drift, elapsed)?;
+        }
+    }
+    if let Some(policy) = options.repair {
+        let tiles = repair_layer(engine, &mut mapped, weight_layer_index, &policy, rng)?;
+        health.tiles.extend(tiles);
+    }
     if options.comparator_sigma > 0.0 {
         mapped = mapped.with_comparator_offsets(options.comparator_sigma, rng);
     }
     if let Some(q) = options.time_quantization {
         mapped = mapped.with_time_quantization(q);
     }
-    mapped
+    Ok(mapped)
 }
 
 /// A layer lowered onto the hardware (or executed digitally).
@@ -209,6 +284,9 @@ pub struct HardwareNetwork {
     /// [`HardwareNetwork::reset_mvm_count`]) — the basis of measured
     /// energy reports.
     mvm_count: std::cell::Cell<u64>,
+    /// Per-tile health collected by the repair ladder at compile time
+    /// (empty when no repair policy was set).
+    health: HealthReport,
 }
 
 impl HardwareNetwork {
@@ -247,6 +325,7 @@ impl HardwareNetwork {
         let mut layers = Vec::with_capacity(net.len());
         let mut scale_iter = scales.into_iter();
         let mut weight_layer_index = 0usize;
+        let mut health = HealthReport::default();
         for layer in net.layers() {
             let hw = match layer {
                 Layer::Dense(d) => {
@@ -254,11 +333,14 @@ impl HardwareNetwork {
                     let (rows, cols) = (w.shape()[0], w.shape()[1]);
                     let weights: Vec<f64> = w.data().iter().map(|&v| v as f64).collect();
                     let mapped = options.mapper.map(&weights, rows, cols)?;
-                    let mapped = apply_readout_nonidealities(
-                        mapped.perturbed(&options.variation, &mut rng),
+                    let mapped = lower_mapped(
+                        &engine,
+                        mapped,
                         options,
+                        weight_layer_index,
                         &mut rng,
-                    );
+                        &mut health,
+                    )?;
                     let encoding = options.encoding.encoding_for(weight_layer_index);
                     weight_layer_index += 1;
                     HwLayer::Dense {
@@ -280,11 +362,14 @@ impl HardwareNetwork {
                         }
                     }
                     let mapped = options.mapper.map(&weights, fan_in, out_ch)?;
-                    let mapped = apply_readout_nonidealities(
-                        mapped.perturbed(&options.variation, &mut rng),
+                    let mapped = lower_mapped(
+                        &engine,
+                        mapped,
                         options,
+                        weight_layer_index,
                         &mut rng,
-                    );
+                        &mut health,
+                    )?;
                     let encoding = options.encoding.encoding_for(weight_layer_index);
                     weight_layer_index += 1;
                     HwLayer::Conv {
@@ -309,12 +394,33 @@ impl HardwareNetwork {
             layers,
             name: net.name().to_owned(),
             mvm_count: std::cell::Cell::new(0),
+            health,
         })
     }
 
     /// The compiled network's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Per-tile health collected by the repair ladder at compile time.
+    /// Empty unless [`CompileOptions::with_repair`] was set.
+    pub fn health_report(&self) -> &HealthReport {
+        &self.health
+    }
+
+    /// Classification accuracy together with the tile health report —
+    /// the graceful-degradation interface: a damaged part still answers,
+    /// and the caller can see how damaged it is.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors.
+    pub fn accuracy_with_health(
+        &self,
+        data: &Dataset,
+    ) -> Result<(f32, &HealthReport), ResipeError> {
+        Ok((self.accuracy(data)?, &self.health))
     }
 
     /// Total physical crossbar MVMs issued per single-sample forward pass
@@ -655,6 +761,94 @@ mod tests {
         .forward(&x)
         .unwrap();
         assert_ne!(clean, quantized, "coarse timing must move the logits");
+    }
+
+    #[test]
+    fn fault_injection_reports_degradation_without_failing() {
+        use crate::repair::TileStatus;
+        let (net, train, test) = trained_mlp();
+        let (calib, _) = train.batch(&(0..16).collect::<Vec<_>>()).unwrap();
+        // 10 % stuck cells, detection only: the part must keep answering
+        // and the damage must be visible in the health report.
+        let opts = CompileOptions::paper()
+            .with_faults(FaultInjection::clustered(0.10, 8, 42))
+            .with_repair(crate::repair::RepairPolicy::detect_only());
+        let hw = HardwareNetwork::compile(&net, &calib, &opts).unwrap();
+        let (acc, health) = hw.accuracy_with_health(&test).unwrap();
+        assert!(acc.is_finite() && (0.0..=1.0).contains(&acc));
+        assert!(!health.tiles.is_empty());
+        assert!(
+            health
+                .tiles
+                .iter()
+                .any(|t| t.status == TileStatus::Degraded),
+            "10 % faults must leave degraded tiles"
+        );
+        assert_eq!(health.total_repair_pulses(), 0, "detect-only never writes");
+    }
+
+    #[test]
+    fn repair_reduces_fault_damage() {
+        let (net, train, test) = trained_mlp();
+        let (calib, _) = train.batch(&(0..16).collect::<Vec<_>>()).unwrap();
+        let mut degraded_no = 0usize;
+        let mut degraded_rep = 0usize;
+        let mut acc_no = 0.0f32;
+        let mut acc_rep = 0.0f32;
+        let mut energy = 0.0f64;
+        for seed in [9, 10, 11] {
+            let base = CompileOptions::paper()
+                .with_mapper(TileMapper::paper().with_spare_cols(4))
+                .with_faults(FaultInjection::clustered(0.01, 6, seed));
+            let no_repair = HardwareNetwork::compile(
+                &net,
+                &calib,
+                &base.with_repair(crate::repair::RepairPolicy::detect_only()),
+            )
+            .unwrap();
+            let repaired = HardwareNetwork::compile(
+                &net,
+                &calib,
+                &base.with_repair(crate::repair::RepairPolicy::full()),
+            )
+            .unwrap();
+            degraded_no += no_repair.health_report().degraded_tiles();
+            degraded_rep += repaired.health_report().degraded_tiles();
+            energy += repaired.health_report().total_repair_energy().0;
+            acc_no += no_repair.accuracy(&test).unwrap();
+            acc_rep += repaired.accuracy(&test).unwrap();
+        }
+        assert!(degraded_no > 0, "1 % clustered faults must trip some tiles");
+        assert!(
+            degraded_rep < degraded_no,
+            "full ladder must fix tiles: {degraded_rep} vs {degraded_no} degraded"
+        );
+        assert!(energy > 0.0, "repair must account its programming energy");
+        // Averaged over seeds, the repaired part must not classify worse
+        // (small test set → allow one sample of slack per seed).
+        assert!(
+            acc_rep >= acc_no - 0.05,
+            "repair regressed accuracy: {acc_rep} vs {acc_no} (summed over 3 seeds)"
+        );
+    }
+
+    #[test]
+    fn retention_drift_is_applied_at_compile() {
+        let (net, train, _) = trained_mlp();
+        let (calib, _) = train.batch(&[0, 1, 2, 3]).unwrap();
+        let (x, _) = train.batch(&[0, 1]).unwrap();
+        let clean = HardwareNetwork::compile(&net, &calib, &CompileOptions::paper())
+            .unwrap()
+            .forward(&x)
+            .unwrap();
+        let drift = RetentionDrift::new(Seconds(1e7)).unwrap();
+        let opts = CompileOptions::paper()
+            .with_faults(FaultInjection::clustered(0.0, 1, 0).with_drift(drift, Seconds(1e7)));
+        let drifted = HardwareNetwork::compile(&net, &calib, &opts)
+            .unwrap()
+            .forward(&x)
+            .unwrap();
+        assert_ne!(clean, drifted, "a full τ of drift must move the logits");
     }
 
     #[test]

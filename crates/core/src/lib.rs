@@ -65,6 +65,7 @@ pub mod mapping;
 pub mod parasitics;
 pub mod pipeline;
 pub mod power;
+pub mod repair;
 pub mod spike;
 
 pub use config::ResipeConfig;

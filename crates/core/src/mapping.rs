@@ -44,6 +44,7 @@ use serde::{Deserialize, Serialize};
 
 use resipe_analog::units::{Ohms, Seconds, Siemens};
 use resipe_reram::device::ResistanceWindow;
+use resipe_reram::faults::{FaultMap, RetentionDrift};
 use resipe_reram::quantize::Quantizer;
 use resipe_reram::variation::VariationModel;
 
@@ -90,17 +91,20 @@ pub struct TileMapper {
     access_resistance: Ohms,
     max_rows: usize,
     quantizer: Option<Quantizer>,
+    spare_cols: usize,
 }
 
 impl TileMapper {
     /// The paper's setup: recommended 50 kΩ–1 MΩ window, 1 kΩ access
-    /// transistor, 32-row tiles, analog (unquantized) programming.
+    /// transistor, 32-row tiles, analog (unquantized) programming, no
+    /// spare columns.
     pub fn paper() -> TileMapper {
         TileMapper {
             window: ResistanceWindow::RECOMMENDED,
             access_resistance: resipe_reram::crossbar::DEFAULT_ACCESS_RESISTANCE,
             max_rows: PAPER_TILE_ROWS,
             quantizer: None,
+            spare_cols: 0,
         }
     }
 
@@ -131,6 +135,19 @@ impl TileMapper {
     pub fn with_quantizer(mut self, q: Quantizer) -> TileMapper {
         self.quantizer = Some(q);
         self
+    }
+
+    /// Reserves `n` spare bitlines per tile for column-remap repair. The
+    /// spares are programmed to zero weight at compile time and only
+    /// activated when the repair ladder remaps a failing column onto one.
+    pub fn with_spare_cols(mut self, n: usize) -> TileMapper {
+        self.spare_cols = n;
+        self
+    }
+
+    /// Spare bitlines reserved per tile.
+    pub fn spare_cols(&self) -> usize {
+        self.spare_cols
     }
 
     /// The cell resistance window.
@@ -175,14 +192,21 @@ impl TileMapper {
         let delta_g = g_max - g_min;
         let r_acc = self.access_resistance.0;
 
+        let phys_cols = cols + self.spare_cols;
         let mut tiles = Vec::new();
         let mut row_start = 0;
         while row_start < rows {
             let tile_rows = (rows - row_start).min(self.max_rows);
-            let mut cell_plus = Vec::with_capacity(tile_rows * cols);
-            let mut cell_minus = Vec::with_capacity(tile_rows * cols);
+            let mut cell_plus = Vec::with_capacity(tile_rows * phys_cols);
+            let mut cell_minus = Vec::with_capacity(tile_rows * phys_cols);
             for r in 0..tile_rows {
-                for c in 0..cols {
+                for c in 0..phys_cols {
+                    if c >= cols {
+                        // Spare bitline: zero weight until a remap claims it.
+                        cell_plus.push(g_min);
+                        cell_minus.push(g_min);
+                        continue;
+                    }
                     let w = weights[(row_start + r) * cols + c];
                     let mut fp = w.max(0.0) / w_absmax;
                     let mut fm = (-w).max(0.0) / w_absmax;
@@ -194,7 +218,9 @@ impl TileMapper {
                     cell_minus.push(g_min + fm * delta_g);
                 }
             }
-            tiles.push(Tile::new(tile_rows, cols, cell_plus, cell_minus, r_acc));
+            tiles.push(Tile::new(
+                tile_rows, cols, phys_cols, cell_plus, cell_minus, r_acc,
+            ));
             row_start += tile_rows;
         }
 
@@ -226,58 +252,76 @@ impl Default for TileMapper {
 /// the design-time column sums the peripheral decodes with.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tile {
-    rows: usize,
-    cols: usize,
-    cell_plus: Vec<f64>,
-    cell_minus: Vec<f64>,
-    eff_plus: Vec<f64>,
-    eff_minus: Vec<f64>,
-    /// Nominal per-column effective conductance sums (decode constants,
-    /// fixed at programming time — NOT updated by process variation).
-    gsum_plus: Vec<f64>,
-    gsum_minus: Vec<f64>,
-    /// Static comparator input offsets per column (volts), drawn once per
-    /// compiled instance — the COG's dominant analog mismatch.
-    offset_plus: Vec<f64>,
-    offset_minus: Vec<f64>,
-    access_resistance: f64,
+    pub(crate) rows: usize,
+    /// Logical (weight-matrix) columns.
+    pub(crate) cols: usize,
+    /// Physical bitlines: logical columns plus reserved spares.
+    pub(crate) phys_cols: usize,
+    pub(crate) cell_plus: Vec<f64>,
+    pub(crate) cell_minus: Vec<f64>,
+    pub(crate) eff_plus: Vec<f64>,
+    pub(crate) eff_minus: Vec<f64>,
+    /// Nominal per-physical-column effective conductance sums (decode
+    /// constants, fixed from the design targets — NOT updated by process
+    /// variation; refreshed only when repair rewrites the targets).
+    pub(crate) gsum_plus: Vec<f64>,
+    pub(crate) gsum_minus: Vec<f64>,
+    /// Static comparator input offsets per physical column (volts), drawn
+    /// once per compiled instance — the COG's dominant analog mismatch.
+    pub(crate) offset_plus: Vec<f64>,
+    pub(crate) offset_minus: Vec<f64>,
+    pub(crate) access_resistance: f64,
+    /// Design-time target cell conductances — what write–verify repair
+    /// programs toward and what BIST expects to observe.
+    pub(crate) target_plus: Vec<f64>,
+    pub(crate) target_minus: Vec<f64>,
+    /// Persistent stuck-at faults of the two physical arrays.
+    pub(crate) fault_plus: FaultMap,
+    pub(crate) fault_minus: FaultMap,
+    /// Logical column → physical bitline (changed by spare remapping).
+    pub(crate) col_map: Vec<usize>,
+    /// Physical wordline → logical tile row driving it (changed by
+    /// fault-aware row permutation).
+    pub(crate) row_source: Vec<usize>,
+    /// Spare bitlines consumed by remaps.
+    pub(crate) spares_used: usize,
 }
 
 impl Tile {
     fn new(
         rows: usize,
         cols: usize,
+        phys_cols: usize,
         cell_plus: Vec<f64>,
         cell_minus: Vec<f64>,
         access_resistance: f64,
     ) -> Tile {
-        let eff = |g: &f64| 1.0 / (1.0 / *g + access_resistance);
-        let eff_plus: Vec<f64> = cell_plus.iter().map(eff).collect();
-        let eff_minus: Vec<f64> = cell_minus.iter().map(eff).collect();
-        let col_sums = |m: &[f64]| -> Vec<f64> {
-            let mut sums = vec![0.0; cols];
-            for r in 0..rows {
-                for (c, s) in sums.iter_mut().enumerate() {
-                    *s += m[r * cols + c];
-                }
-            }
-            sums
-        };
-        let gsum_plus = col_sums(&eff_plus);
-        let gsum_minus = col_sums(&eff_minus);
-        Tile {
+        let target_plus = cell_plus.clone();
+        let target_minus = cell_minus.clone();
+        let mut tile = Tile {
             rows,
             cols,
+            phys_cols,
             cell_plus,
             cell_minus,
-            eff_plus,
-            eff_minus,
-            gsum_plus,
-            gsum_minus,
-            offset_plus: vec![0.0; cols],
-            offset_minus: vec![0.0; cols],
+            eff_plus: Vec::new(),
+            eff_minus: Vec::new(),
+            gsum_plus: Vec::new(),
+            gsum_minus: Vec::new(),
+            offset_plus: vec![0.0; phys_cols],
+            offset_minus: vec![0.0; phys_cols],
             access_resistance,
-        }
+            target_plus,
+            target_minus,
+            fault_plus: FaultMap::healthy(rows, phys_cols),
+            fault_minus: FaultMap::healthy(rows, phys_cols),
+            col_map: (0..cols).collect(),
+            row_source: (0..rows).collect(),
+            spares_used: 0,
+        };
+        tile.recompute_eff();
+        tile.recompute_design_gsums();
+        tile
     }
 
     /// Wordlines in this tile.
@@ -285,19 +329,98 @@ impl Tile {
         self.rows
     }
 
-    /// Bitlines (logical columns) in this tile.
+    /// Logical (weight-matrix) columns in this tile.
     pub fn cols(&self) -> usize {
         self.cols
     }
 
-    /// The effective positive-array conductances, row-major.
+    /// Physical bitlines (logical columns + spares).
+    pub fn physical_cols(&self) -> usize {
+        self.phys_cols
+    }
+
+    /// Spare bitlines reserved in this tile.
+    pub fn spare_cols(&self) -> usize {
+        self.phys_cols - self.cols
+    }
+
+    /// Spare bitlines already consumed by remaps.
+    pub fn spares_used(&self) -> usize {
+        self.spares_used
+    }
+
+    /// The logical-column → physical-bitline routing.
+    pub fn col_map(&self) -> &[usize] {
+        &self.col_map
+    }
+
+    /// `true` once the repair ladder has applied a row permutation.
+    pub fn is_permuted(&self) -> bool {
+        self.row_source.iter().enumerate().any(|(p, &l)| p != l)
+    }
+
+    /// The stuck-at map of the positive array.
+    pub fn fault_plus(&self) -> &FaultMap {
+        &self.fault_plus
+    }
+
+    /// The stuck-at map of the negative array.
+    pub fn fault_minus(&self) -> &FaultMap {
+        &self.fault_minus
+    }
+
+    /// The effective positive-array conductances, row-major over physical
+    /// bitlines.
     pub fn eff_plus(&self) -> &[f64] {
         &self.eff_plus
     }
 
-    /// The effective negative-array conductances, row-major.
+    /// The effective negative-array conductances, row-major over physical
+    /// bitlines.
     pub fn eff_minus(&self) -> &[f64] {
         &self.eff_minus
+    }
+
+    /// Recomputes the effective conductances from the cell conductances.
+    pub(crate) fn recompute_eff(&mut self) {
+        let r_acc = self.access_resistance;
+        let eff = |g: &f64| 1.0 / (1.0 / *g + r_acc);
+        self.eff_plus = self.cell_plus.iter().map(eff).collect();
+        self.eff_minus = self.cell_minus.iter().map(eff).collect();
+    }
+
+    /// Recomputes the nominal decode constants from the design targets
+    /// (the peripheral always decodes with the *intended* column sums).
+    pub(crate) fn recompute_design_gsums(&mut self) {
+        let r_acc = self.access_resistance;
+        let eff = |g: f64| 1.0 / (1.0 / g + r_acc);
+        let col_sums = |m: &[f64]| -> Vec<f64> {
+            let mut sums = vec![0.0; self.phys_cols];
+            for r in 0..self.rows {
+                for (c, s) in sums.iter_mut().enumerate() {
+                    *s += eff(m[r * self.phys_cols + c]);
+                }
+            }
+            sums
+        };
+        self.gsum_plus = col_sums(&self.target_plus);
+        self.gsum_minus = col_sums(&self.target_minus);
+    }
+
+    /// Pins stuck cells to their fault conductance and refreshes the
+    /// effective conductances. Idempotent.
+    pub(crate) fn pin_faults(&mut self, window: ResistanceWindow) {
+        for (cells, map) in [
+            (&mut self.cell_plus, &self.fault_plus),
+            (&mut self.cell_minus, &self.fault_minus),
+        ] {
+            for (r, c, fault) in map.stuck_cells() {
+                if let Some(g) = fault.stuck_conductance(window) {
+                    cells[r * self.phys_cols + c] = g.0;
+                }
+            }
+        }
+        self.recompute_eff();
     }
 }
 
@@ -425,14 +548,17 @@ impl MappedWeights {
         let mut acc = vec![0.0f64; self.cols];
         let mut row_start = 0;
         for tile in &self.tiles {
-            let t_in: Vec<Seconds> = activations[row_start..row_start + tile.rows]
+            // Each physical wordline is driven by the logical tile row the
+            // (possibly repair-permuted) routing assigns to it.
+            let t_in: Vec<Seconds> = tile
+                .row_source
                 .iter()
-                .map(|&a| encode(a))
+                .map(|&l| encode(activations[row_start + l]))
                 .collect();
-            let plus = engine.mvm_matrix(&tile.eff_plus, tile.rows, tile.cols, &t_in)?;
-            let minus = engine.mvm_matrix(&tile.eff_minus, tile.rows, tile.cols, &t_in)?;
+            let plus = engine.mvm_matrix(&tile.eff_plus, tile.rows, tile.phys_cols, &t_in)?;
+            let minus = engine.mvm_matrix(&tile.eff_minus, tile.rows, tile.phys_cols, &t_in)?;
             let slice = engine.config().slice().0;
-            for j in 0..tile.cols {
+            for (j, out) in acc.iter_mut().enumerate().take(tile.cols) {
                 // The comparator fires when the ramp crosses V_out plus
                 // its (unknown to the decode) input offset; the observed
                 // time is then optionally quantized to the pulse-width
@@ -449,10 +575,15 @@ impl MappedWeights {
                     let k = (1.0 - (-dt_over_c * gsum_nom).exp()) / gsum_nom;
                     v_hat / k
                 };
-                let d_plus = decode_column(plus[j].v_out.0, tile.offset_plus[j], tile.gsum_plus[j]);
-                let d_minus =
-                    decode_column(minus[j].v_out.0, tile.offset_minus[j], tile.gsum_minus[j]);
-                acc[j] += d_plus - d_minus;
+                let pc = tile.col_map[j];
+                let d_plus =
+                    decode_column(plus[pc].v_out.0, tile.offset_plus[pc], tile.gsum_plus[pc]);
+                let d_minus = decode_column(
+                    minus[pc].v_out.0,
+                    tile.offset_minus[pc],
+                    tile.gsum_minus[pc],
+                );
+                *out += d_plus - d_minus;
             }
             row_start += tile.rows;
         }
@@ -483,13 +614,15 @@ impl MappedWeights {
         let scale = self.weight_scale / self.delta_g_eff.0;
         let mut row_start = 0;
         for tile in &self.tiles {
-            for r in 0..tile.rows {
-                let a = activations[row_start + r].clamp(0.0, 1.0);
+            for (p, &l) in tile.row_source.iter().enumerate() {
+                let a = activations[row_start + l].clamp(0.0, 1.0);
                 if a == 0.0 {
                     continue;
                 }
                 for (j, y) in acc.iter_mut().enumerate() {
-                    let dg = tile.eff_plus[r * tile.cols + j] - tile.eff_minus[r * tile.cols + j];
+                    let pc = tile.col_map[j];
+                    let dg = tile.eff_plus[p * tile.phys_cols + pc]
+                        - tile.eff_minus[p * tile.phys_cols + pc];
                     *y += a * dg * scale;
                 }
             }
@@ -506,25 +639,135 @@ impl MappedWeights {
     pub fn perturbed<R: Rng + ?Sized>(&self, model: &VariationModel, rng: &mut R) -> MappedWeights {
         let mut out = self.clone();
         for tile in &mut out.tiles {
-            let r_acc = tile.access_resistance;
             for cells in [&mut tile.cell_plus, &mut tile.cell_minus] {
                 for g in cells.iter_mut() {
                     *g = model.perturb(Siemens(*g), self.window, rng).0;
                 }
             }
-            tile.eff_plus = tile
-                .cell_plus
-                .iter()
-                .map(|g| 1.0 / (1.0 / g + r_acc))
-                .collect();
-            tile.eff_minus = tile
-                .cell_minus
-                .iter()
-                .map(|g| 1.0 / (1.0 / g + r_acc))
-                .collect();
+            // Stuck cells ignore programming noise; re-pin them (this also
+            // recomputes the effective conductances).
+            tile.pin_faults(self.window);
             // gsum_plus/gsum_minus intentionally NOT recomputed.
         }
         out
+    }
+
+    /// Injects seeded spatially-clustered stuck-at faults into every tile
+    /// (independent maps for the positive and negative arrays) and pins
+    /// the affected cells. Decode constants stay at their design values —
+    /// the peripheral does not know which cells are stuck.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::Reram`] if the fault parameters are invalid.
+    pub fn with_faults(
+        mut self,
+        rate: f64,
+        cluster_size: usize,
+        seed: u64,
+    ) -> Result<MappedWeights, ResipeError> {
+        for (i, tile) in self.tiles.iter_mut().enumerate() {
+            let base = seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
+            tile.fault_plus =
+                FaultMap::clustered(tile.rows, tile.phys_cols, rate, cluster_size, base)?;
+            tile.fault_minus =
+                FaultMap::clustered(tile.rows, tile.phys_cols, rate, cluster_size, base ^ 0x5a5a)?;
+            tile.pin_faults(self.window);
+        }
+        Ok(self)
+    }
+
+    /// Installs explicit fault maps on one tile (targeted fault injection
+    /// for campaigns and tests) and pins the affected cells. Both maps
+    /// must match the tile's physical geometry
+    /// (`rows × physical_cols`). Decode constants stay at their design
+    /// values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::InvalidConfig`] if `tile_index` is out of
+    /// range or either map's geometry does not match the tile.
+    pub fn with_fault_maps(
+        mut self,
+        tile_index: usize,
+        plus: FaultMap,
+        minus: FaultMap,
+    ) -> Result<MappedWeights, ResipeError> {
+        let window = self.window;
+        let n_tiles = self.tiles.len();
+        let tile = self
+            .tiles
+            .get_mut(tile_index)
+            .ok_or_else(|| ResipeError::InvalidConfig {
+                reason: format!("tile index {tile_index} out of range ({n_tiles} tiles)"),
+            })?;
+        for map in [&plus, &minus] {
+            if map.rows() != tile.rows || map.cols() != tile.phys_cols {
+                return Err(ResipeError::InvalidConfig {
+                    reason: format!(
+                        "fault map {}x{} does not match tile geometry {}x{}",
+                        map.rows(),
+                        map.cols(),
+                        tile.rows,
+                        tile.phys_cols
+                    ),
+                });
+            }
+        }
+        tile.fault_plus = plus;
+        tile.fault_minus = minus;
+        tile.pin_faults(window);
+        Ok(self)
+    }
+
+    /// Applies retention drift: every cell conductance relaxes toward the
+    /// HRS floor with time constant `drift.tau()`, after which stuck cells
+    /// are re-pinned. Decode constants stay at their design values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::Reram`] if `elapsed` is negative or not
+    /// finite.
+    pub fn with_retention_drift(
+        mut self,
+        drift: &RetentionDrift,
+        elapsed: Seconds,
+    ) -> Result<MappedWeights, ResipeError> {
+        let window = self.window;
+        for tile in &mut self.tiles {
+            for cells in [&mut tile.cell_plus, &mut tile.cell_minus] {
+                for g in cells.iter_mut() {
+                    *g = drift.relaxed(Siemens(*g), window, elapsed)?.0;
+                }
+            }
+            tile.pin_faults(window);
+        }
+        Ok(self)
+    }
+
+    /// The cell resistance window the weights were mapped with.
+    pub fn window(&self) -> ResistanceWindow {
+        self.window
+    }
+
+    /// Fraction of cells (across both arrays of every tile) that are
+    /// stuck.
+    pub fn fault_rate(&self) -> f64 {
+        let mut stuck = 0usize;
+        let mut total = 0usize;
+        for tile in &self.tiles {
+            stuck += tile.fault_plus.fault_count() + tile.fault_minus.fault_count();
+            total += 2 * tile.rows * tile.phys_cols;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            stuck as f64 / total as f64
+        }
+    }
+
+    pub(crate) fn tiles_mut(&mut self) -> &mut [Tile] {
+        &mut self.tiles
     }
 
     /// Reconstructs the logical weight at `(row, col)` from the programmed
@@ -538,8 +781,15 @@ impl MappedWeights {
         let mut row_start = 0;
         for tile in &self.tiles {
             if row < row_start + tile.rows {
-                let r = row - row_start;
-                let dg = tile.eff_plus[r * tile.cols + col] - tile.eff_minus[r * tile.cols + col];
+                let l = row - row_start;
+                let p = tile
+                    .row_source
+                    .iter()
+                    .position(|&src| src == l)
+                    .expect("row routing is a permutation");
+                let pc = tile.col_map[col];
+                let idx = p * tile.phys_cols + pc;
+                let dg = tile.eff_plus[idx] - tile.eff_minus[idx];
                 return dg * self.weight_scale / self.delta_g_eff.0;
             }
             row_start += tile.rows;

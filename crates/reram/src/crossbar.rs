@@ -269,6 +269,78 @@ impl Crossbar {
         programmer.program_all(&mut self.cells, &targets, rng)
     }
 
+    /// Like [`Crossbar::program_matrix_verified`], but threading the
+    /// write–verify loop through a [`crate::faults::FaultState`].
+    ///
+    /// Stuck cells (from the stuck-at map or prior endurance wear-out)
+    /// stay pinned at their stuck conductance: the verify read never
+    /// passes, so the programmer burns its full pulse budget against them
+    /// and reports `converged = false` — unless the stuck value already
+    /// sits inside the verify window, in which case the write is a free
+    /// no-op. Healthy cells program normally and age their endurance
+    /// counter by one write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::DimensionMismatch`] if the fraction matrix or
+    /// the fault state does not match the array shape, or
+    /// [`ReramError::InvalidFraction`] for out-of-range entries.
+    pub fn program_matrix_verified_faulty<R: Rng + ?Sized>(
+        &mut self,
+        fractions: &[f64],
+        programmer: &crate::program::Programmer,
+        state: &mut crate::faults::FaultState,
+        rng: &mut R,
+    ) -> Result<Vec<crate::program::ProgramReport>, ReramError> {
+        if fractions.len() != self.rows * self.cols {
+            return Err(ReramError::DimensionMismatch {
+                expected: (self.rows, self.cols),
+                got: (fractions.len() / self.cols.max(1), self.cols),
+            });
+        }
+        if state.map().rows() != self.rows || state.map().cols() != self.cols {
+            return Err(ReramError::DimensionMismatch {
+                expected: (self.rows, self.cols),
+                got: (state.map().rows(), state.map().cols()),
+            });
+        }
+        let config = programmer.config();
+        let g_max = self.window.g_max().0;
+        let mut reports = Vec::with_capacity(fractions.len());
+        for (idx, &f) in fractions.iter().enumerate() {
+            let target = self.window.conductance_for_fraction(f)?;
+            let (row, col) = (idx / self.cols, idx % self.cols);
+            let fault = state.map().fault(row, col);
+            if let Some(stuck) = fault.stuck_conductance(self.window) {
+                self.cells[idx].program_conductance(stuck);
+                let error = (stuck.0 - target.0) / g_max;
+                let converged = error.abs() <= config.tolerance();
+                let pulses = if converged { 0 } else { config.max_pulses() };
+                reports.push(crate::program::ProgramReport {
+                    pulses,
+                    converged,
+                    final_error: error,
+                    energy: config.pulse_energy() * pulses as f64,
+                });
+            } else {
+                reports.push(programmer.program(&mut self.cells[idx], target, rng)?);
+                state.record_write(row, col);
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Pins every stuck cell per `map` (see
+    /// [`crate::faults::FaultMap::pin_cells`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::DimensionMismatch`] if the map does not match
+    /// the array shape.
+    pub fn apply_faults(&mut self, map: &crate::faults::FaultMap) -> Result<(), ReramError> {
+        map.pin_cells(&mut self.cells)
+    }
+
     /// Draws a Monte-Carlo instance of this crossbar with every cell's
     /// conductance independently perturbed by `model`.
     pub fn perturbed<R: Rng + ?Sized>(&self, model: &VariationModel, rng: &mut R) -> Crossbar {

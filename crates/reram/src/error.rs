@@ -40,6 +40,12 @@ pub enum ReramError {
         /// Description of the problem.
         reason: String,
     },
+    /// A fault-model parameter was invalid (rate outside `[0, 1]`,
+    /// non-positive time constant, zero endurance limit).
+    InvalidFault {
+        /// Description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ReramError {
@@ -67,6 +73,9 @@ impl fmt::Display for ReramError {
             ),
             ReramError::InvalidVariation { reason } => {
                 write!(f, "invalid variation model: {reason}")
+            }
+            ReramError::InvalidFault { reason } => {
+                write!(f, "invalid fault model: {reason}")
             }
         }
     }

@@ -1,0 +1,727 @@
+//! Hard-fault models: stuck-at maps, retention drift, and endurance wear.
+//!
+//! [`crate::variation`] draws *statistical* non-idealities (normal PV,
+//! cycle-to-cycle noise, i.i.d. stuck-at probabilities) each time a
+//! crossbar is instantiated. This module models the *persistent* fault
+//! mechanisms a deployed ReRAM array accumulates, which is what online
+//! fault detection and repair work against:
+//!
+//! * [`FaultMap`] — a seeded map of stuck-at-LRS / stuck-at-HRS cells.
+//!   Manufacturing defects cluster spatially (a bad via or forming step
+//!   kills a patch of neighbouring cells, not isolated ones), so the
+//!   generator grows clusters by random walk rather than sprinkling
+//!   faults i.i.d.;
+//! * [`RetentionDrift`] — conductance relaxation toward HRS over time
+//!   (oxygen-vacancy filaments dissolve), modelled as exponential decay
+//!   of the programmed conductance above `G_min`;
+//! * [`FaultState`] — a [`FaultMap`] plus per-cell write counters and an
+//!   optional endurance limit. Once a cell has been rewritten that many
+//!   times it fails stuck (modelled as stuck-at-LRS, the common
+//!   oxide-breakdown endurance failure mode) and later writes bounce off.
+//!
+//! [`Crossbar::program_matrix_verified_faulty`] threads a [`FaultState`]
+//! through the write–verify loop: stuck cells burn the full pulse budget
+//! without moving (the verify read never passes), healthy cells program
+//! normally and age their endurance counter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use resipe_analog::units::{Seconds, Siemens};
+
+use crate::crossbar::Crossbar;
+use crate::device::{ReramCell, ResistanceWindow};
+use crate::error::ReramError;
+
+/// The fault condition of one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellFault {
+    /// The cell programs and reads normally.
+    Healthy,
+    /// Stuck at the low-resistance state (maximum conductance).
+    StuckLrs,
+    /// Stuck at the high-resistance state (minimum conductance).
+    StuckHrs,
+}
+
+impl CellFault {
+    /// `true` for either stuck-at polarity.
+    pub fn is_stuck(&self) -> bool {
+        !matches!(self, CellFault::Healthy)
+    }
+
+    /// The conductance a stuck cell is pinned to, `None` when healthy.
+    pub fn stuck_conductance(&self, window: ResistanceWindow) -> Option<Siemens> {
+        match self {
+            CellFault::Healthy => None,
+            CellFault::StuckLrs => Some(window.g_max()),
+            CellFault::StuckHrs => Some(window.g_min()),
+        }
+    }
+}
+
+/// A persistent per-cell stuck-at fault map for one `rows × cols` array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultMap {
+    rows: usize,
+    cols: usize,
+    faults: Vec<CellFault>,
+}
+
+impl FaultMap {
+    /// A map with every cell healthy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn healthy(rows: usize, cols: usize) -> FaultMap {
+        assert!(rows > 0 && cols > 0, "fault map dimensions must be nonzero");
+        FaultMap {
+            rows,
+            cols,
+            faults: vec![CellFault::Healthy; rows * cols],
+        }
+    }
+
+    /// Generates a spatially-clustered stuck-at map.
+    ///
+    /// `rate` is the target fraction of faulty cells; `cluster_size` the
+    /// maximum cells per defect cluster (each cluster draws a size in
+    /// `1..=cluster_size` and a single stuck polarity, then grows by
+    /// random walk from a random seed cell). Deterministic for a given
+    /// `(dimensions, rate, cluster_size, seed)` tuple.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidFault`] if `rate` is not finite or
+    /// outside `[0, 1]`, or if `cluster_size` is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn clustered(
+        rows: usize,
+        cols: usize,
+        rate: f64,
+        cluster_size: usize,
+        seed: u64,
+    ) -> Result<FaultMap, ReramError> {
+        if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+            return Err(ReramError::InvalidFault {
+                reason: format!("fault rate must be finite and in [0, 1], got {rate}"),
+            });
+        }
+        if cluster_size == 0 {
+            return Err(ReramError::InvalidFault {
+                reason: "cluster size must be at least 1".into(),
+            });
+        }
+        let mut map = FaultMap::healthy(rows, cols);
+        let total = rows * cols;
+        let target = (rate * total as f64).round() as usize;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfa17_5eed);
+        let mut placed = 0;
+        // Random-walk cluster growth; bounded so near-full maps cannot
+        // spin forever hunting for the last healthy cells.
+        let mut attempts = 0;
+        let max_attempts = 16 * total + 64;
+        while placed < target && attempts < max_attempts {
+            attempts += 1;
+            let polarity = if rng.gen_bool(0.5) {
+                CellFault::StuckLrs
+            } else {
+                CellFault::StuckHrs
+            };
+            let want = rng.gen_range(1..=cluster_size).min(target - placed);
+            let mut r = rng.gen_range(0..rows);
+            let mut c = rng.gen_range(0..cols);
+            let mut grown = 0;
+            let mut steps = 0;
+            while grown < want && steps < 8 * want {
+                steps += 1;
+                let idx = r * cols + c;
+                if map.faults[idx] == CellFault::Healthy {
+                    map.faults[idx] = polarity;
+                    grown += 1;
+                    placed += 1;
+                }
+                match rng.gen_range(0..4u32) {
+                    0 => r = (r + 1).min(rows - 1),
+                    1 => r = r.saturating_sub(1),
+                    2 => c = (c + 1).min(cols - 1),
+                    _ => c = c.saturating_sub(1),
+                }
+            }
+        }
+        // Deterministic fill if the walk stalled (only near rate ≈ 1).
+        if placed < target {
+            for f in &mut map.faults {
+                if placed == target {
+                    break;
+                }
+                if *f == CellFault::Healthy {
+                    *f = CellFault::StuckLrs;
+                    placed += 1;
+                }
+            }
+        }
+        Ok(map)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The fault condition of one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is outside the map.
+    pub fn fault(&self, row: usize, col: usize) -> CellFault {
+        assert!(
+            row < self.rows && col < self.cols,
+            "fault index ({row}, {col}) outside {}x{} map",
+            self.rows,
+            self.cols
+        );
+        self.faults[row * self.cols + col]
+    }
+
+    /// Overwrites the fault condition of one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is outside the map.
+    pub fn set(&mut self, row: usize, col: usize, fault: CellFault) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "fault index ({row}, {col}) outside {}x{} map",
+            self.rows,
+            self.cols
+        );
+        self.faults[row * self.cols + col] = fault;
+    }
+
+    /// Total stuck cells.
+    pub fn fault_count(&self) -> usize {
+        self.faults.iter().filter(|f| f.is_stuck()).count()
+    }
+
+    /// Fraction of cells stuck.
+    pub fn fault_rate(&self) -> f64 {
+        self.fault_count() as f64 / self.faults.len() as f64
+    }
+
+    /// `true` when no cell is stuck.
+    pub fn is_healthy(&self) -> bool {
+        self.fault_count() == 0
+    }
+
+    /// Stuck cells in one column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is outside the map.
+    pub fn column_fault_count(&self, col: usize) -> usize {
+        (0..self.rows)
+            .filter(|&r| self.fault(r, col).is_stuck())
+            .count()
+    }
+
+    /// `true` when every cell of `col` is stuck.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is outside the map.
+    pub fn column_fully_stuck(&self, col: usize) -> bool {
+        self.column_fault_count(col) == self.rows
+    }
+
+    /// Iterates `(row, col, fault)` over every stuck cell.
+    pub fn stuck_cells(&self) -> impl Iterator<Item = (usize, usize, CellFault)> + '_ {
+        self.faults
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, f)| f.is_stuck().then_some((i / self.cols, i % self.cols, *f)))
+    }
+
+    /// Pins every stuck cell of `cells` (row-major, `rows × cols`) to its
+    /// stuck conductance. Idempotent; re-apply after drift or programming
+    /// to keep stuck cells stuck.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::DimensionMismatch`] if `cells.len()` is not
+    /// `rows × cols`.
+    pub fn pin_cells(&self, cells: &mut [ReramCell]) -> Result<(), ReramError> {
+        if cells.len() != self.rows * self.cols {
+            return Err(ReramError::DimensionMismatch {
+                expected: (self.rows, self.cols),
+                got: (cells.len() / self.cols.max(1), self.cols),
+            });
+        }
+        for (cell, fault) in cells.iter_mut().zip(&self.faults) {
+            if let Some(g) = fault.stuck_conductance(cell.window()) {
+                cell.program_conductance(g);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Exponential conductance relaxation toward HRS.
+///
+/// Retention loss in filamentary ReRAM shows the programmed conductance
+/// decaying toward the high-resistance state as the filament dissolves.
+/// This models `G(t) = G_min + (G(0) − G_min) · e^(−t/τ)` with a single
+/// time constant `τ`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionDrift {
+    tau: Seconds,
+}
+
+impl RetentionDrift {
+    /// Creates a drift model with time constant `tau`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidFault`] if `tau` is not positive and
+    /// finite.
+    pub fn new(tau: Seconds) -> Result<RetentionDrift, ReramError> {
+        if !(tau.0 > 0.0) || !tau.0.is_finite() {
+            return Err(ReramError::InvalidFault {
+                reason: format!("retention time constant must be positive and finite, got {tau}"),
+            });
+        }
+        Ok(RetentionDrift { tau })
+    }
+
+    /// The relaxation time constant.
+    pub fn tau(&self) -> Seconds {
+        self.tau
+    }
+
+    /// The surviving fraction of the above-HRS conductance after
+    /// `elapsed`: `e^(−t/τ)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidFault`] if `elapsed` is negative or
+    /// not finite.
+    pub fn retention_factor(&self, elapsed: Seconds) -> Result<f64, ReramError> {
+        if elapsed.0 < 0.0 || !elapsed.0.is_finite() {
+            return Err(ReramError::InvalidFault {
+                reason: format!("elapsed time must be non-negative and finite, got {elapsed}"),
+            });
+        }
+        Ok((-elapsed.0 / self.tau.0).exp())
+    }
+
+    /// The conductance `g` relaxed for `elapsed`, clamped to `window`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidFault`] if `elapsed` is invalid.
+    pub fn relaxed(
+        &self,
+        g: Siemens,
+        window: ResistanceWindow,
+        elapsed: Seconds,
+    ) -> Result<Siemens, ReramError> {
+        let factor = self.retention_factor(elapsed)?;
+        let g_min = window.g_min().0;
+        Ok(window.clamp(Siemens(g_min + (g.0 - g_min) * factor)))
+    }
+
+    /// Relaxes every cell of `cells` in place for `elapsed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidFault`] if `elapsed` is invalid.
+    pub fn apply_to_cells(
+        &self,
+        cells: &mut [ReramCell],
+        elapsed: Seconds,
+    ) -> Result<(), ReramError> {
+        let factor = self.retention_factor(elapsed)?;
+        for cell in cells {
+            let g_min = cell.window().g_min().0;
+            let g = g_min + (cell.conductance().0 - g_min) * factor;
+            cell.program_conductance(Siemens(g));
+        }
+        Ok(())
+    }
+
+    /// Relaxes every cell of a crossbar in place for `elapsed`.
+    ///
+    /// Stuck cells drift too; re-apply the array's [`FaultMap`] afterwards
+    /// if stuck cells must stay pinned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidFault`] if `elapsed` is invalid.
+    pub fn apply(&self, crossbar: &mut Crossbar, elapsed: Seconds) -> Result<(), ReramError> {
+        let factor = self.retention_factor(elapsed)?;
+        let g_min = crossbar.window().g_min().0;
+        for row in 0..crossbar.rows() {
+            for col in 0..crossbar.cols() {
+                let g = crossbar.cell(row, col)?.conductance().0;
+                crossbar.program_conductance(row, col, Siemens(g_min + (g - g_min) * factor))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Mutable fault state of one array: a stuck-at map plus endurance wear.
+///
+/// Write–verify programming through
+/// [`Crossbar::program_matrix_verified_faulty`] consults and ages this
+/// state: stuck cells reject writes, and each successful rewrite of a
+/// healthy cell increments its counter until the optional endurance limit
+/// is reached, at which point the cell fails stuck-at-LRS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultState {
+    map: FaultMap,
+    writes: Vec<u64>,
+    endurance_limit: Option<u64>,
+}
+
+impl FaultState {
+    /// Wraps a fault map with zeroed write counters and no endurance
+    /// limit.
+    pub fn new(map: FaultMap) -> FaultState {
+        let cells = map.rows() * map.cols();
+        FaultState {
+            map,
+            writes: vec![0; cells],
+            endurance_limit: None,
+        }
+    }
+
+    /// A fully-healthy state for a `rows × cols` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn healthy(rows: usize, cols: usize) -> FaultState {
+        FaultState::new(FaultMap::healthy(rows, cols))
+    }
+
+    /// Caps per-cell rewrites: the `max_writes`-th write to a cell is its
+    /// last successful one; the cell then fails stuck-at-LRS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidFault`] if `max_writes` is zero.
+    pub fn with_endurance_limit(mut self, max_writes: u64) -> Result<FaultState, ReramError> {
+        if max_writes == 0 {
+            return Err(ReramError::InvalidFault {
+                reason: "endurance limit must be at least 1 write".into(),
+            });
+        }
+        self.endurance_limit = Some(max_writes);
+        Ok(self)
+    }
+
+    /// The current stuck-at map (including endurance failures).
+    pub fn map(&self) -> &FaultMap {
+        &self.map
+    }
+
+    /// The endurance limit, if any.
+    pub fn endurance_limit(&self) -> Option<u64> {
+        self.endurance_limit
+    }
+
+    /// Writes recorded against one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is outside the array.
+    pub fn writes(&self, row: usize, col: usize) -> u64 {
+        assert!(
+            row < self.map.rows() && col < self.map.cols(),
+            "write-counter index ({row}, {col}) outside {}x{} array",
+            self.map.rows(),
+            self.map.cols()
+        );
+        self.writes[row * self.map.cols() + col]
+    }
+
+    /// Records one write against a cell; once the endurance limit is
+    /// reached the cell is marked stuck-at-LRS in the map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is outside the array.
+    pub fn record_write(&mut self, row: usize, col: usize) {
+        let cols = self.map.cols();
+        assert!(
+            row < self.map.rows() && col < cols,
+            "write-counter index ({row}, {col}) outside {}x{} array",
+            self.map.rows(),
+            cols
+        );
+        let count = &mut self.writes[row * cols + col];
+        *count += 1;
+        if let Some(limit) = self.endurance_limit {
+            if *count >= limit && self.map.fault(row, col) == CellFault::Healthy {
+                self.map.set(row, col, CellFault::StuckLrs);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::ResistanceWindow;
+    use crate::program::{ProgramConfig, Programmer};
+
+    #[test]
+    fn healthy_map_reports_no_faults() {
+        let map = FaultMap::healthy(8, 8);
+        assert_eq!(map.fault_count(), 0);
+        assert!(map.is_healthy());
+        assert_eq!(map.fault_rate(), 0.0);
+        assert_eq!(map.stuck_cells().count(), 0);
+        assert!(!map.column_fully_stuck(0));
+    }
+
+    #[test]
+    fn clustered_map_hits_target_rate() {
+        for rate in [0.0, 0.01, 0.05, 0.1, 0.5] {
+            let map = FaultMap::clustered(32, 32, rate, 4, 7).unwrap();
+            let target = (rate * 1024.0).round() as usize;
+            assert_eq!(map.fault_count(), target, "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn clustered_map_is_deterministic() {
+        let a = FaultMap::clustered(32, 32, 0.1, 4, 99).unwrap();
+        let b = FaultMap::clustered(32, 32, 0.1, 4, 99).unwrap();
+        let c = FaultMap::clustered(32, 32, 0.1, 4, 100).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clustered_faults_are_spatially_correlated() {
+        // With cluster growth, a stuck cell's 4-neighbourhood should be
+        // stuck far more often than the base rate.
+        let map = FaultMap::clustered(32, 32, 0.05, 6, 3).unwrap();
+        let mut stuck_neighbours = 0;
+        let mut neighbours = 0;
+        for (r, c, _) in map.stuck_cells() {
+            for (nr, nc) in [
+                (r.wrapping_sub(1), c),
+                (r + 1, c),
+                (r, c.wrapping_sub(1)),
+                (r, c + 1),
+            ] {
+                if nr < 32 && nc < 32 {
+                    neighbours += 1;
+                    if map.fault(nr, nc).is_stuck() {
+                        stuck_neighbours += 1;
+                    }
+                }
+            }
+        }
+        let neighbour_rate = stuck_neighbours as f64 / neighbours as f64;
+        assert!(
+            neighbour_rate > 3.0 * map.fault_rate(),
+            "neighbour rate {neighbour_rate} vs base {}",
+            map.fault_rate()
+        );
+    }
+
+    #[test]
+    fn full_rate_saturates_map() {
+        let map = FaultMap::clustered(8, 8, 1.0, 4, 1).unwrap();
+        assert_eq!(map.fault_count(), 64);
+        for col in 0..8 {
+            assert!(map.column_fully_stuck(col));
+        }
+    }
+
+    #[test]
+    fn clustered_rejects_bad_parameters() {
+        for bad in [-0.1, 1.1, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                FaultMap::clustered(8, 8, bad, 4, 0),
+                Err(ReramError::InvalidFault { .. })
+            ));
+        }
+        assert!(FaultMap::clustered(8, 8, 0.1, 0, 0).is_err());
+    }
+
+    #[test]
+    fn pin_cells_forces_stuck_values() {
+        let window = ResistanceWindow::RECOMMENDED;
+        let mut map = FaultMap::healthy(2, 2);
+        map.set(0, 0, CellFault::StuckLrs);
+        map.set(1, 1, CellFault::StuckHrs);
+        let mut cells = vec![ReramCell::new(window); 4];
+        for cell in &mut cells {
+            cell.program_fraction(0.5).unwrap();
+        }
+        map.pin_cells(&mut cells).unwrap();
+        assert_eq!(cells[0].conductance(), window.g_max());
+        assert_eq!(cells[3].conductance(), window.g_min());
+        let mid = window.conductance_for_fraction(0.5).unwrap();
+        assert_eq!(cells[1].conductance(), mid);
+        assert_eq!(cells[2].conductance(), mid);
+    }
+
+    #[test]
+    fn pin_cells_shape_checked() {
+        let map = FaultMap::healthy(2, 2);
+        let mut cells = vec![ReramCell::new(ResistanceWindow::RECOMMENDED); 3];
+        assert!(matches!(
+            map.pin_cells(&mut cells),
+            Err(ReramError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn drift_decays_toward_hrs() {
+        let window = ResistanceWindow::RECOMMENDED;
+        let drift = RetentionDrift::new(Seconds(100.0)).unwrap();
+        let g0 = window.g_max();
+        let g1 = drift.relaxed(g0, window, Seconds(50.0)).unwrap();
+        let g2 = drift.relaxed(g0, window, Seconds(200.0)).unwrap();
+        assert!(g1.0 < g0.0, "drift must lose conductance");
+        assert!(g2.0 < g1.0, "longer horizon drifts further");
+        assert!(g2.0 >= window.g_min().0);
+        // One time constant leaves e^-1 of the dynamic range.
+        let g_tau = drift.relaxed(g0, window, Seconds(100.0)).unwrap();
+        let expected = window.g_min().0 + (g0.0 - window.g_min().0) * (-1.0f64).exp();
+        assert!((g_tau.0 - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_zero_elapsed_is_identity() {
+        let window = ResistanceWindow::RECOMMENDED;
+        let drift = RetentionDrift::new(Seconds(10.0)).unwrap();
+        let g = window.conductance_for_fraction(0.7).unwrap();
+        assert_eq!(drift.relaxed(g, window, Seconds(0.0)).unwrap(), g);
+    }
+
+    #[test]
+    fn drift_applies_to_crossbar() {
+        let mut xb = Crossbar::new(4, 4, ResistanceWindow::RECOMMENDED);
+        xb.program_matrix(&[1.0; 16]).unwrap();
+        let drift = RetentionDrift::new(Seconds(1.0)).unwrap();
+        drift.apply(&mut xb, Seconds(3.0)).unwrap();
+        let w = xb.window();
+        for r in 0..4 {
+            for c in 0..4 {
+                let g = xb.cell(r, c).unwrap().conductance();
+                assert!(g.0 < w.g_max().0);
+                assert!(g.0 >= w.g_min().0);
+            }
+        }
+    }
+
+    #[test]
+    fn drift_rejects_bad_parameters() {
+        assert!(RetentionDrift::new(Seconds(0.0)).is_err());
+        assert!(RetentionDrift::new(Seconds(-1.0)).is_err());
+        assert!(RetentionDrift::new(Seconds(f64::NAN)).is_err());
+        let drift = RetentionDrift::new(Seconds(1.0)).unwrap();
+        assert!(drift.retention_factor(Seconds(-1.0)).is_err());
+        assert!(drift.retention_factor(Seconds(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn endurance_limit_wears_cells_out() {
+        let mut state = FaultState::healthy(2, 2).with_endurance_limit(3).unwrap();
+        assert_eq!(state.writes(0, 0), 0);
+        state.record_write(0, 0);
+        state.record_write(0, 0);
+        assert_eq!(state.map().fault(0, 0), CellFault::Healthy);
+        state.record_write(0, 0);
+        assert_eq!(state.writes(0, 0), 3);
+        assert_eq!(state.map().fault(0, 0), CellFault::StuckLrs);
+        // Other cells unaffected.
+        assert_eq!(state.map().fault(1, 1), CellFault::Healthy);
+    }
+
+    #[test]
+    fn endurance_limit_rejects_zero() {
+        assert!(FaultState::healthy(2, 2).with_endurance_limit(0).is_err());
+    }
+
+    #[test]
+    fn faulty_programming_pins_stuck_cells_and_burns_budget() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let window = ResistanceWindow::RECOMMENDED;
+        let mut xb = Crossbar::new(2, 2, window);
+        let mut map = FaultMap::healthy(2, 2);
+        map.set(0, 0, CellFault::StuckHrs);
+        let mut state = FaultState::new(map);
+        let programmer = Programmer::new(ProgramConfig::typical());
+        let reports = xb
+            .program_matrix_verified_faulty(&[0.8; 4], &programmer, &mut state, &mut rng)
+            .unwrap();
+        // The stuck cell never converges and exhausts its pulse budget.
+        assert!(!reports[0].converged);
+        assert_eq!(reports[0].pulses, 64);
+        assert!(reports[0].energy.0 > 0.0);
+        assert_eq!(xb.cell(0, 0).unwrap().conductance(), window.g_min());
+        // Healthy cells land on target.
+        for report in &reports[1..] {
+            assert!(report.converged, "{report:?}");
+        }
+    }
+
+    #[test]
+    fn faulty_programming_counts_writes_until_wearout() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let window = ResistanceWindow::RECOMMENDED;
+        let mut xb = Crossbar::new(1, 1, window);
+        let mut state = FaultState::healthy(1, 1).with_endurance_limit(2).unwrap();
+        let programmer = Programmer::new(ProgramConfig::typical());
+        for _ in 0..2 {
+            let reports = xb
+                .program_matrix_verified_faulty(&[0.6], &programmer, &mut state, &mut rng)
+                .unwrap();
+            assert!(reports[0].converged);
+        }
+        // Third rewrite bounces off the worn cell, now stuck at LRS.
+        assert_eq!(state.map().fault(0, 0), CellFault::StuckLrs);
+        let reports = xb
+            .program_matrix_verified_faulty(&[0.6], &programmer, &mut state, &mut rng)
+            .unwrap();
+        assert!(!reports[0].converged);
+        assert_eq!(xb.cell(0, 0).unwrap().conductance(), window.g_max());
+    }
+
+    #[test]
+    fn faulty_programming_on_healthy_state_matches_plain_verified() {
+        let window = ResistanceWindow::RECOMMENDED;
+        let fractions: Vec<f64> = (0..16).map(|i| i as f64 / 15.0).collect();
+        let programmer = Programmer::new(ProgramConfig::typical());
+        let mut plain = Crossbar::new(4, 4, window);
+        let mut rng = StdRng::seed_from_u64(23);
+        plain
+            .program_matrix_verified(&fractions, &programmer, &mut rng)
+            .unwrap();
+        let mut faulty = Crossbar::new(4, 4, window);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut state = FaultState::healthy(4, 4);
+        faulty
+            .program_matrix_verified_faulty(&fractions, &programmer, &mut state, &mut rng)
+            .unwrap();
+        assert_eq!(plain, faulty);
+    }
+}

@@ -9,6 +9,9 @@
 //! * [`quantize`] — multi-level-cell conductance quantization;
 //! * [`variation`] — normally-distributed process variation (σ ∈ 0–20 % as
 //!   in the paper's Fig. 7), cycle-to-cycle noise, and stuck-at faults;
+//! * [`faults`] — persistent hard faults: seeded spatially-clustered
+//!   stuck-at maps, retention drift toward HRS, and per-cell endurance
+//!   wear-out, for fault-injection and repair studies;
 //! * [`crossbar`] — an M×N 1T1R array with access-transistor series
 //!   resistance, programming, and column conductance queries;
 //! * [`mapping`] — weight-matrix → conductance mapping (linear and
@@ -37,6 +40,7 @@
 pub mod crossbar;
 pub mod device;
 pub mod error;
+pub mod faults;
 pub mod mapping;
 pub mod program;
 pub mod quantize;
@@ -45,6 +49,7 @@ pub mod variation;
 pub use crossbar::Crossbar;
 pub use device::{ReramCell, ResistanceWindow};
 pub use error::ReramError;
+pub use faults::{CellFault, FaultMap, FaultState, RetentionDrift};
 pub use mapping::{DifferentialMapping, MappedMatrix};
 pub use program::{ProgramConfig, ProgramReport, Programmer};
 pub use quantize::Quantizer;

@@ -126,6 +126,16 @@ impl ProgramConfig {
     pub fn max_pulses(&self) -> usize {
         self.max_pulses
     }
+
+    /// The energy of one programming pulse.
+    pub fn pulse_energy(&self) -> Joules {
+        self.pulse_energy
+    }
+
+    /// The programming pulse amplitude.
+    pub fn pulse_voltage(&self) -> Volts {
+        self.pulse_voltage
+    }
 }
 
 impl Default for ProgramConfig {
@@ -157,6 +167,11 @@ impl Programmer {
     /// Creates a programmer.
     pub fn new(config: ProgramConfig) -> Programmer {
         Programmer { config }
+    }
+
+    /// The programming-loop parameters.
+    pub fn config(&self) -> &ProgramConfig {
+        &self.config
     }
 
     /// Programs `cell` toward `target` using SET/RESET pulses with verify

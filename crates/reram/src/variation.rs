@@ -41,6 +41,24 @@ impl VariationModel {
     /// The paper's Fig. 7 sweep: σ ∈ {0, 5 %, 10 %, 15 %, 20 %}.
     pub const PAPER_SIGMAS: [f64; 5] = [0.0, 0.05, 0.10, 0.15, 0.20];
 
+    /// Creates a fully-specified model, validating every parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidVariation`] if either sigma is
+    /// negative or non-finite, either stuck-at probability is non-finite
+    /// or outside `[0, 1]`, or the probabilities sum past 1.
+    pub fn new(
+        sigma: f64,
+        cycle_sigma: f64,
+        stuck_at_lrs: f64,
+        stuck_at_hrs: f64,
+    ) -> Result<VariationModel, ReramError> {
+        VariationModel::device_to_device(sigma)?
+            .with_cycle_to_cycle(cycle_sigma)?
+            .with_stuck_at(stuck_at_lrs, stuck_at_hrs)
+    }
+
     /// Creates a pure device-to-device variation model.
     ///
     /// # Errors
@@ -83,9 +101,9 @@ impl VariationModel {
     /// outside `\[0, 1\]` or their sum exceeds 1.
     pub fn with_stuck_at(mut self, p_lrs: f64, p_hrs: f64) -> Result<VariationModel, ReramError> {
         for p in [p_lrs, p_hrs] {
-            if !(0.0..=1.0).contains(&p) {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
                 return Err(ReramError::InvalidVariation {
-                    reason: format!("stuck-at probability {p} outside [0, 1]"),
+                    reason: format!("stuck-at probability {p} must be finite and in [0, 1]"),
                 });
             }
         }
@@ -236,9 +254,36 @@ mod tests {
     fn invalid_parameters_rejected() {
         assert!(VariationModel::device_to_device(-0.1).is_err());
         assert!(VariationModel::device_to_device(f64::NAN).is_err());
+        assert!(VariationModel::device_to_device(f64::INFINITY).is_err());
         assert!(VariationModel::IDEAL.with_cycle_to_cycle(-1.0).is_err());
+        assert!(VariationModel::IDEAL.with_cycle_to_cycle(f64::NAN).is_err());
         assert!(VariationModel::IDEAL.with_stuck_at(0.7, 0.7).is_err());
         assert!(VariationModel::IDEAL.with_stuck_at(-0.1, 0.0).is_err());
+        assert!(VariationModel::IDEAL.with_stuck_at(f64::NAN, 0.0).is_err());
+        assert!(VariationModel::IDEAL.with_stuck_at(0.0, f64::NAN).is_err());
+        assert!(VariationModel::IDEAL
+            .with_stuck_at(f64::INFINITY, 0.0)
+            .is_err());
+        assert!(VariationModel::IDEAL
+            .with_stuck_at(1.0 + 1e-9, 0.0)
+            .is_err());
+    }
+
+    #[test]
+    fn full_constructor_validates_everything() {
+        let m = VariationModel::new(0.1, 0.02, 0.01, 0.02).unwrap();
+        assert_eq!(m.sigma(), 0.1);
+        assert_eq!(m.cycle_sigma(), 0.02);
+        assert!(!m.is_ideal());
+        assert_eq!(
+            VariationModel::new(0.0, 0.0, 0.0, 0.0).unwrap(),
+            VariationModel::IDEAL
+        );
+        assert!(VariationModel::new(-0.1, 0.0, 0.0, 0.0).is_err());
+        assert!(VariationModel::new(0.0, -0.1, 0.0, 0.0).is_err());
+        assert!(VariationModel::new(0.0, 0.0, 0.6, 0.6).is_err());
+        assert!(VariationModel::new(0.0, 0.0, f64::NAN, 0.0).is_err());
+        assert!(VariationModel::new(f64::INFINITY, 0.0, 0.0, 0.0).is_err());
     }
 
     #[test]

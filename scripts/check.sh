@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, the full test suite, and the
+# fault-injection smoke check. Run from anywhere; exits non-zero on the
+# first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q (workspace)"
+cargo test -q --workspace
+
+echo "==> fault_sweep --smoke"
+cargo run --release -q -p resipe-bench --bin fault_sweep -- --smoke
+
+echo "check: all gates passed"

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analog-d9fee0a2c8c87389.d: crates/bench/benches/analog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalog-d9fee0a2c8c87389.rmeta: crates/bench/benches/analog.rs Cargo.toml
+
+crates/bench/benches/analog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/encode-d4bfb4db3bc78d62.d: crates/bench/benches/encode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libencode-d4bfb4db3bc78d62.rmeta: crates/bench/benches/encode.rs Cargo.toml
+
+crates/bench/benches/encode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_vs_circuit-fd2e4e9ce67b62d6.d: tests/engine_vs_circuit.rs
+
+/root/repo/target/debug/deps/engine_vs_circuit-fd2e4e9ce67b62d6: tests/engine_vs_circuit.rs
+
+tests/engine_vs_circuit.rs:

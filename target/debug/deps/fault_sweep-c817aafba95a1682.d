@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-c817aafba95a1682.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/debug/deps/fault_sweep-c817aafba95a1682: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-acc6fad8d069689b.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-acc6fad8d069689b: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-759c6397ce834758.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-759c6397ce834758: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

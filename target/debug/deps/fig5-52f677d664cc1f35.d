@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-52f677d664cc1f35.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-52f677d664cc1f35: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

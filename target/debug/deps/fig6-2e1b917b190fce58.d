@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-2e1b917b190fce58.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-2e1b917b190fce58: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-b6f0d80d2b12c1d1.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-b6f0d80d2b12c1d1: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/format_accuracy-8f2b16e7852dd437.d: crates/bench/src/bin/format_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libformat_accuracy-8f2b16e7852dd437.rmeta: crates/bench/src/bin/format_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/format_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/format_accuracy-cf3603fad9c76b1a.d: crates/bench/src/bin/format_accuracy.rs
+
+/root/repo/target/debug/deps/format_accuracy-cf3603fad9c76b1a: crates/bench/src/bin/format_accuracy.rs
+
+crates/bench/src/bin/format_accuracy.rs:

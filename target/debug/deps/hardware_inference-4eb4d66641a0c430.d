@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hardware_inference-4eb4d66641a0c430.d: tests/hardware_inference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhardware_inference-4eb4d66641a0c430.rmeta: tests/hardware_inference.rs Cargo.toml
+
+tests/hardware_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

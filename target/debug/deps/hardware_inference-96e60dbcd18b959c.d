@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hardware_inference-96e60dbcd18b959c.d: tests/hardware_inference.rs
+
+/root/repo/target/debug/deps/hardware_inference-96e60dbcd18b959c: tests/hardware_inference.rs
+
+tests/hardware_inference.rs:

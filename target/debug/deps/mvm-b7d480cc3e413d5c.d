@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mvm-b7d480cc3e413d5c.d: crates/bench/benches/mvm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmvm-b7d480cc3e413d5c.rmeta: crates/bench/benches/mvm.rs Cargo.toml
+
+crates/bench/benches/mvm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

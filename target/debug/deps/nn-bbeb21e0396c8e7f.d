@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nn-bbeb21e0396c8e7f.d: crates/bench/benches/nn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnn-bbeb21e0396c8e7f.rmeta: crates/bench/benches/nn.rs Cargo.toml
+
+crates/bench/benches/nn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-fb16cfc026ad4f24.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-fb16cfc026ad4f24: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-406c839725a6c29d.d: crates/analog/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-406c839725a6c29d: crates/analog/tests/properties.rs
+
+crates/analog/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-4c7b2038a4cab47f.d: crates/analog/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-4c7b2038a4cab47f.rmeta: crates/analog/tests/properties.rs Cargo.toml
+
+crates/analog/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

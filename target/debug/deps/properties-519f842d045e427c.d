@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-519f842d045e427c.d: crates/reram/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-519f842d045e427c: crates/reram/tests/properties.rs
+
+crates/reram/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-540547a6f1c7a58f.d: crates/reram/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-540547a6f1c7a58f.rmeta: crates/reram/tests/properties.rs Cargo.toml
+
+crates/reram/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6ea9e3ba0994898a.d: crates/nn/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6ea9e3ba0994898a: crates/nn/tests/properties.rs
+
+crates/nn/tests/properties.rs:

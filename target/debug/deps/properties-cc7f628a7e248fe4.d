@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-cc7f628a7e248fe4.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-cc7f628a7e248fe4: tests/properties.rs
+
+tests/properties.rs:

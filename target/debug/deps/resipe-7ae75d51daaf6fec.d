@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/resipe-7ae75d51daaf6fec.d: crates/core/src/lib.rs crates/core/src/arch.rs crates/core/src/circuit.rs crates/core/src/cog.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/gd.rs crates/core/src/inference.rs crates/core/src/mapping.rs crates/core/src/parasitics.rs crates/core/src/pipeline.rs crates/core/src/power.rs crates/core/src/repair.rs crates/core/src/spike.rs
+
+/root/repo/target/debug/deps/libresipe-7ae75d51daaf6fec.rlib: crates/core/src/lib.rs crates/core/src/arch.rs crates/core/src/circuit.rs crates/core/src/cog.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/gd.rs crates/core/src/inference.rs crates/core/src/mapping.rs crates/core/src/parasitics.rs crates/core/src/pipeline.rs crates/core/src/power.rs crates/core/src/repair.rs crates/core/src/spike.rs
+
+/root/repo/target/debug/deps/libresipe-7ae75d51daaf6fec.rmeta: crates/core/src/lib.rs crates/core/src/arch.rs crates/core/src/circuit.rs crates/core/src/cog.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/gd.rs crates/core/src/inference.rs crates/core/src/mapping.rs crates/core/src/parasitics.rs crates/core/src/pipeline.rs crates/core/src/power.rs crates/core/src/repair.rs crates/core/src/spike.rs
+
+crates/core/src/lib.rs:
+crates/core/src/arch.rs:
+crates/core/src/circuit.rs:
+crates/core/src/cog.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/gd.rs:
+crates/core/src/inference.rs:
+crates/core/src/mapping.rs:
+crates/core/src/parasitics.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/power.rs:
+crates/core/src/repair.rs:
+crates/core/src/spike.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/resipe-f7ca3518bc0a1926.d: crates/core/src/lib.rs crates/core/src/arch.rs crates/core/src/circuit.rs crates/core/src/cog.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/gd.rs crates/core/src/inference.rs crates/core/src/mapping.rs crates/core/src/parasitics.rs crates/core/src/pipeline.rs crates/core/src/power.rs crates/core/src/repair.rs crates/core/src/spike.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresipe-f7ca3518bc0a1926.rmeta: crates/core/src/lib.rs crates/core/src/arch.rs crates/core/src/circuit.rs crates/core/src/cog.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/gd.rs crates/core/src/inference.rs crates/core/src/mapping.rs crates/core/src/parasitics.rs crates/core/src/pipeline.rs crates/core/src/power.rs crates/core/src/repair.rs crates/core/src/spike.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/arch.rs:
+crates/core/src/circuit.rs:
+crates/core/src/cog.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/gd.rs:
+crates/core/src/inference.rs:
+crates/core/src/mapping.rs:
+crates/core/src/parasitics.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/power.rs:
+crates/core/src/repair.rs:
+crates/core/src/spike.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/resipe_analog-8b86ceeb9b46622d.d: crates/analog/src/lib.rs crates/analog/src/error.rs crates/analog/src/linalg.rs crates/analog/src/netlist.rs crates/analog/src/transient.rs crates/analog/src/units.rs crates/analog/src/waveform.rs
+
+/root/repo/target/debug/deps/resipe_analog-8b86ceeb9b46622d: crates/analog/src/lib.rs crates/analog/src/error.rs crates/analog/src/linalg.rs crates/analog/src/netlist.rs crates/analog/src/transient.rs crates/analog/src/units.rs crates/analog/src/waveform.rs
+
+crates/analog/src/lib.rs:
+crates/analog/src/error.rs:
+crates/analog/src/linalg.rs:
+crates/analog/src/netlist.rs:
+crates/analog/src/transient.rs:
+crates/analog/src/units.rs:
+crates/analog/src/waveform.rs:

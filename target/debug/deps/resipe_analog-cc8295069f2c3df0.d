@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/resipe_analog-cc8295069f2c3df0.d: crates/analog/src/lib.rs crates/analog/src/error.rs crates/analog/src/linalg.rs crates/analog/src/netlist.rs crates/analog/src/transient.rs crates/analog/src/units.rs crates/analog/src/waveform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresipe_analog-cc8295069f2c3df0.rmeta: crates/analog/src/lib.rs crates/analog/src/error.rs crates/analog/src/linalg.rs crates/analog/src/netlist.rs crates/analog/src/transient.rs crates/analog/src/units.rs crates/analog/src/waveform.rs Cargo.toml
+
+crates/analog/src/lib.rs:
+crates/analog/src/error.rs:
+crates/analog/src/linalg.rs:
+crates/analog/src/netlist.rs:
+crates/analog/src/transient.rs:
+crates/analog/src/units.rs:
+crates/analog/src/waveform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/resipe_analog-ea1424bc3706a6e3.d: crates/analog/src/lib.rs crates/analog/src/error.rs crates/analog/src/linalg.rs crates/analog/src/netlist.rs crates/analog/src/transient.rs crates/analog/src/units.rs crates/analog/src/waveform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresipe_analog-ea1424bc3706a6e3.rmeta: crates/analog/src/lib.rs crates/analog/src/error.rs crates/analog/src/linalg.rs crates/analog/src/netlist.rs crates/analog/src/transient.rs crates/analog/src/units.rs crates/analog/src/waveform.rs Cargo.toml
+
+crates/analog/src/lib.rs:
+crates/analog/src/error.rs:
+crates/analog/src/linalg.rs:
+crates/analog/src/netlist.rs:
+crates/analog/src/transient.rs:
+crates/analog/src/units.rs:
+crates/analog/src/waveform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/resipe_analog-f9c390a807b62cb7.d: crates/analog/src/lib.rs crates/analog/src/error.rs crates/analog/src/linalg.rs crates/analog/src/netlist.rs crates/analog/src/transient.rs crates/analog/src/units.rs crates/analog/src/waveform.rs
+
+/root/repo/target/debug/deps/libresipe_analog-f9c390a807b62cb7.rlib: crates/analog/src/lib.rs crates/analog/src/error.rs crates/analog/src/linalg.rs crates/analog/src/netlist.rs crates/analog/src/transient.rs crates/analog/src/units.rs crates/analog/src/waveform.rs
+
+/root/repo/target/debug/deps/libresipe_analog-f9c390a807b62cb7.rmeta: crates/analog/src/lib.rs crates/analog/src/error.rs crates/analog/src/linalg.rs crates/analog/src/netlist.rs crates/analog/src/transient.rs crates/analog/src/units.rs crates/analog/src/waveform.rs
+
+crates/analog/src/lib.rs:
+crates/analog/src/error.rs:
+crates/analog/src/linalg.rs:
+crates/analog/src/netlist.rs:
+crates/analog/src/transient.rs:
+crates/analog/src/units.rs:
+crates/analog/src/waveform.rs:

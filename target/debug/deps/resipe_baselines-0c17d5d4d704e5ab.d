@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/resipe_baselines-0c17d5d4d704e5ab.d: crates/baselines/src/lib.rs crates/baselines/src/comparison.rs crates/baselines/src/components.rs crates/baselines/src/error.rs crates/baselines/src/inference.rs crates/baselines/src/level.rs crates/baselines/src/pwm.rs crates/baselines/src/rate.rs crates/baselines/src/temporal.rs crates/baselines/src/throughput.rs
+
+/root/repo/target/debug/deps/resipe_baselines-0c17d5d4d704e5ab: crates/baselines/src/lib.rs crates/baselines/src/comparison.rs crates/baselines/src/components.rs crates/baselines/src/error.rs crates/baselines/src/inference.rs crates/baselines/src/level.rs crates/baselines/src/pwm.rs crates/baselines/src/rate.rs crates/baselines/src/temporal.rs crates/baselines/src/throughput.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/comparison.rs:
+crates/baselines/src/components.rs:
+crates/baselines/src/error.rs:
+crates/baselines/src/inference.rs:
+crates/baselines/src/level.rs:
+crates/baselines/src/pwm.rs:
+crates/baselines/src/rate.rs:
+crates/baselines/src/temporal.rs:
+crates/baselines/src/throughput.rs:

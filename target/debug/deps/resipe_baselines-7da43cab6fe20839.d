@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/resipe_baselines-7da43cab6fe20839.d: crates/baselines/src/lib.rs crates/baselines/src/comparison.rs crates/baselines/src/components.rs crates/baselines/src/error.rs crates/baselines/src/inference.rs crates/baselines/src/level.rs crates/baselines/src/pwm.rs crates/baselines/src/rate.rs crates/baselines/src/temporal.rs crates/baselines/src/throughput.rs
+
+/root/repo/target/debug/deps/libresipe_baselines-7da43cab6fe20839.rlib: crates/baselines/src/lib.rs crates/baselines/src/comparison.rs crates/baselines/src/components.rs crates/baselines/src/error.rs crates/baselines/src/inference.rs crates/baselines/src/level.rs crates/baselines/src/pwm.rs crates/baselines/src/rate.rs crates/baselines/src/temporal.rs crates/baselines/src/throughput.rs
+
+/root/repo/target/debug/deps/libresipe_baselines-7da43cab6fe20839.rmeta: crates/baselines/src/lib.rs crates/baselines/src/comparison.rs crates/baselines/src/components.rs crates/baselines/src/error.rs crates/baselines/src/inference.rs crates/baselines/src/level.rs crates/baselines/src/pwm.rs crates/baselines/src/rate.rs crates/baselines/src/temporal.rs crates/baselines/src/throughput.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/comparison.rs:
+crates/baselines/src/components.rs:
+crates/baselines/src/error.rs:
+crates/baselines/src/inference.rs:
+crates/baselines/src/level.rs:
+crates/baselines/src/pwm.rs:
+crates/baselines/src/rate.rs:
+crates/baselines/src/temporal.rs:
+crates/baselines/src/throughput.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/resipe_baselines-e85c0dc52a270681.d: crates/baselines/src/lib.rs crates/baselines/src/comparison.rs crates/baselines/src/components.rs crates/baselines/src/error.rs crates/baselines/src/inference.rs crates/baselines/src/level.rs crates/baselines/src/pwm.rs crates/baselines/src/rate.rs crates/baselines/src/temporal.rs crates/baselines/src/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresipe_baselines-e85c0dc52a270681.rmeta: crates/baselines/src/lib.rs crates/baselines/src/comparison.rs crates/baselines/src/components.rs crates/baselines/src/error.rs crates/baselines/src/inference.rs crates/baselines/src/level.rs crates/baselines/src/pwm.rs crates/baselines/src/rate.rs crates/baselines/src/temporal.rs crates/baselines/src/throughput.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/comparison.rs:
+crates/baselines/src/components.rs:
+crates/baselines/src/error.rs:
+crates/baselines/src/inference.rs:
+crates/baselines/src/level.rs:
+crates/baselines/src/pwm.rs:
+crates/baselines/src/rate.rs:
+crates/baselines/src/temporal.rs:
+crates/baselines/src/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/resipe_bench-31fec7b6b2861dd1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libresipe_bench-31fec7b6b2861dd1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libresipe_bench-31fec7b6b2861dd1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resipe_bench-6e383dbc0e18d66b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresipe_bench-6e383dbc0e18d66b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resipe_bench-c08b54b3d9b8cec7.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresipe_bench-c08b54b3d9b8cec7.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resipe_bench-ccbf779463ac7eb8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/resipe_bench-ccbf779463ac7eb8: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

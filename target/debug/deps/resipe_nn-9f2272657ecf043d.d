@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/resipe_nn-9f2272657ecf043d.d: crates/nn/src/lib.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/io.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/conv.rs crates/nn/src/layers/dense.rs crates/nn/src/layers/pool.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/network.rs crates/nn/src/tensor.rs crates/nn/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresipe_nn-9f2272657ecf043d.rmeta: crates/nn/src/lib.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/io.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/conv.rs crates/nn/src/layers/dense.rs crates/nn/src/layers/pool.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/network.rs crates/nn/src/tensor.rs crates/nn/src/train.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/data.rs:
+crates/nn/src/error.rs:
+crates/nn/src/io.rs:
+crates/nn/src/layers/mod.rs:
+crates/nn/src/layers/activation.rs:
+crates/nn/src/layers/conv.rs:
+crates/nn/src/layers/dense.rs:
+crates/nn/src/layers/pool.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/models.rs:
+crates/nn/src/network.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

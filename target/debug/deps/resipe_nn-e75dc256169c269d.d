@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/resipe_nn-e75dc256169c269d.d: crates/nn/src/lib.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/io.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/conv.rs crates/nn/src/layers/dense.rs crates/nn/src/layers/pool.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/network.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/libresipe_nn-e75dc256169c269d.rlib: crates/nn/src/lib.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/io.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/conv.rs crates/nn/src/layers/dense.rs crates/nn/src/layers/pool.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/network.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/libresipe_nn-e75dc256169c269d.rmeta: crates/nn/src/lib.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/io.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/conv.rs crates/nn/src/layers/dense.rs crates/nn/src/layers/pool.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/network.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/data.rs:
+crates/nn/src/error.rs:
+crates/nn/src/io.rs:
+crates/nn/src/layers/mod.rs:
+crates/nn/src/layers/activation.rs:
+crates/nn/src/layers/conv.rs:
+crates/nn/src/layers/dense.rs:
+crates/nn/src/layers/pool.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/models.rs:
+crates/nn/src/network.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/train.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/resipe_reram-106e743bfebb24b9.d: crates/reram/src/lib.rs crates/reram/src/crossbar.rs crates/reram/src/device.rs crates/reram/src/error.rs crates/reram/src/faults.rs crates/reram/src/mapping.rs crates/reram/src/program.rs crates/reram/src/quantize.rs crates/reram/src/variation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresipe_reram-106e743bfebb24b9.rmeta: crates/reram/src/lib.rs crates/reram/src/crossbar.rs crates/reram/src/device.rs crates/reram/src/error.rs crates/reram/src/faults.rs crates/reram/src/mapping.rs crates/reram/src/program.rs crates/reram/src/quantize.rs crates/reram/src/variation.rs Cargo.toml
+
+crates/reram/src/lib.rs:
+crates/reram/src/crossbar.rs:
+crates/reram/src/device.rs:
+crates/reram/src/error.rs:
+crates/reram/src/faults.rs:
+crates/reram/src/mapping.rs:
+crates/reram/src/program.rs:
+crates/reram/src/quantize.rs:
+crates/reram/src/variation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/resipe_reram-5d9e16ea39244d41.d: crates/reram/src/lib.rs crates/reram/src/crossbar.rs crates/reram/src/device.rs crates/reram/src/error.rs crates/reram/src/faults.rs crates/reram/src/mapping.rs crates/reram/src/program.rs crates/reram/src/quantize.rs crates/reram/src/variation.rs
+
+/root/repo/target/debug/deps/resipe_reram-5d9e16ea39244d41: crates/reram/src/lib.rs crates/reram/src/crossbar.rs crates/reram/src/device.rs crates/reram/src/error.rs crates/reram/src/faults.rs crates/reram/src/mapping.rs crates/reram/src/program.rs crates/reram/src/quantize.rs crates/reram/src/variation.rs
+
+crates/reram/src/lib.rs:
+crates/reram/src/crossbar.rs:
+crates/reram/src/device.rs:
+crates/reram/src/error.rs:
+crates/reram/src/faults.rs:
+crates/reram/src/mapping.rs:
+crates/reram/src/program.rs:
+crates/reram/src/quantize.rs:
+crates/reram/src/variation.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/resipe_reram-7cfaacd7f7896b20.d: crates/reram/src/lib.rs crates/reram/src/crossbar.rs crates/reram/src/device.rs crates/reram/src/error.rs crates/reram/src/faults.rs crates/reram/src/mapping.rs crates/reram/src/program.rs crates/reram/src/quantize.rs crates/reram/src/variation.rs
+
+/root/repo/target/debug/deps/libresipe_reram-7cfaacd7f7896b20.rlib: crates/reram/src/lib.rs crates/reram/src/crossbar.rs crates/reram/src/device.rs crates/reram/src/error.rs crates/reram/src/faults.rs crates/reram/src/mapping.rs crates/reram/src/program.rs crates/reram/src/quantize.rs crates/reram/src/variation.rs
+
+/root/repo/target/debug/deps/libresipe_reram-7cfaacd7f7896b20.rmeta: crates/reram/src/lib.rs crates/reram/src/crossbar.rs crates/reram/src/device.rs crates/reram/src/error.rs crates/reram/src/faults.rs crates/reram/src/mapping.rs crates/reram/src/program.rs crates/reram/src/quantize.rs crates/reram/src/variation.rs
+
+crates/reram/src/lib.rs:
+crates/reram/src/crossbar.rs:
+crates/reram/src/device.rs:
+crates/reram/src/error.rs:
+crates/reram/src/faults.rs:
+crates/reram/src/mapping.rs:
+crates/reram/src/program.rs:
+crates/reram/src/quantize.rs:
+crates/reram/src/variation.rs:

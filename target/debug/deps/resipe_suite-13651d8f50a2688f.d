@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resipe_suite-13651d8f50a2688f.d: src/lib.rs
+
+/root/repo/target/debug/deps/resipe_suite-13651d8f50a2688f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resipe_suite-2075085ffb1b383d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresipe_suite-2075085ffb1b383d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/resipe_suite-82c94bc0cf8d484a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libresipe_suite-82c94bc0cf8d484a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libresipe_suite-82c94bc0cf8d484a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-3b5ba8adc5edaaf3.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-3b5ba8adc5edaaf3: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/accelerator-4f3697c61f75def1.d: examples/accelerator.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaccelerator-4f3697c61f75def1.rmeta: examples/accelerator.rs Cargo.toml
+
+examples/accelerator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

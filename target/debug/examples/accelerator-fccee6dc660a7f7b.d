@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accelerator-fccee6dc660a7f7b.d: examples/accelerator.rs
+
+/root/repo/target/debug/examples/accelerator-fccee6dc660a7f7b: examples/accelerator.rs
+
+examples/accelerator.rs:

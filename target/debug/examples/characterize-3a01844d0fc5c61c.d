@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/characterize-3a01844d0fc5c61c.d: examples/characterize.rs
+
+/root/repo/target/debug/examples/characterize-3a01844d0fc5c61c: examples/characterize.rs
+
+examples/characterize.rs:

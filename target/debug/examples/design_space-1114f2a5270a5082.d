@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-1114f2a5270a5082.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-1114f2a5270a5082: examples/design_space.rs
+
+examples/design_space.rs:

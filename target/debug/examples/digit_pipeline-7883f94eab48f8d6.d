@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/digit_pipeline-7883f94eab48f8d6.d: examples/digit_pipeline.rs
+
+/root/repo/target/debug/examples/digit_pipeline-7883f94eab48f8d6: examples/digit_pipeline.rs
+
+examples/digit_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/digit_pipeline-dedea8b4339b73ea.d: examples/digit_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdigit_pipeline-dedea8b4339b73ea.rmeta: examples/digit_pipeline.rs Cargo.toml
+
+examples/digit_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

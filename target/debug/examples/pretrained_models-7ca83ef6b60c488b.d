@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pretrained_models-7ca83ef6b60c488b.d: examples/pretrained_models.rs
+
+/root/repo/target/debug/examples/pretrained_models-7ca83ef6b60c488b: examples/pretrained_models.rs
+
+examples/pretrained_models.rs:

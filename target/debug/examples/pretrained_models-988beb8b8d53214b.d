@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pretrained_models-988beb8b8d53214b.d: examples/pretrained_models.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpretrained_models-988beb8b8d53214b.rmeta: examples/pretrained_models.rs Cargo.toml
+
+examples/pretrained_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

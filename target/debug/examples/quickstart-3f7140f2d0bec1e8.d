@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3f7140f2d0bec1e8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3f7140f2d0bec1e8: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_sweep-f93ebb47bbe49e87.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/release/deps/fault_sweep-f93ebb47bbe49e87: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

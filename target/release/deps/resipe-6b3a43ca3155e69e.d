@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/resipe-6b3a43ca3155e69e.d: crates/core/src/lib.rs crates/core/src/arch.rs crates/core/src/circuit.rs crates/core/src/cog.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/gd.rs crates/core/src/inference.rs crates/core/src/mapping.rs crates/core/src/parasitics.rs crates/core/src/pipeline.rs crates/core/src/power.rs crates/core/src/repair.rs crates/core/src/spike.rs
+
+/root/repo/target/release/deps/libresipe-6b3a43ca3155e69e.rlib: crates/core/src/lib.rs crates/core/src/arch.rs crates/core/src/circuit.rs crates/core/src/cog.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/gd.rs crates/core/src/inference.rs crates/core/src/mapping.rs crates/core/src/parasitics.rs crates/core/src/pipeline.rs crates/core/src/power.rs crates/core/src/repair.rs crates/core/src/spike.rs
+
+/root/repo/target/release/deps/libresipe-6b3a43ca3155e69e.rmeta: crates/core/src/lib.rs crates/core/src/arch.rs crates/core/src/circuit.rs crates/core/src/cog.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/gd.rs crates/core/src/inference.rs crates/core/src/mapping.rs crates/core/src/parasitics.rs crates/core/src/pipeline.rs crates/core/src/power.rs crates/core/src/repair.rs crates/core/src/spike.rs
+
+crates/core/src/lib.rs:
+crates/core/src/arch.rs:
+crates/core/src/circuit.rs:
+crates/core/src/cog.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/gd.rs:
+crates/core/src/inference.rs:
+crates/core/src/mapping.rs:
+crates/core/src/parasitics.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/power.rs:
+crates/core/src/repair.rs:
+crates/core/src/spike.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/resipe_analog-2f73a55e0472735d.d: crates/analog/src/lib.rs crates/analog/src/error.rs crates/analog/src/linalg.rs crates/analog/src/netlist.rs crates/analog/src/transient.rs crates/analog/src/units.rs crates/analog/src/waveform.rs
+
+/root/repo/target/release/deps/libresipe_analog-2f73a55e0472735d.rlib: crates/analog/src/lib.rs crates/analog/src/error.rs crates/analog/src/linalg.rs crates/analog/src/netlist.rs crates/analog/src/transient.rs crates/analog/src/units.rs crates/analog/src/waveform.rs
+
+/root/repo/target/release/deps/libresipe_analog-2f73a55e0472735d.rmeta: crates/analog/src/lib.rs crates/analog/src/error.rs crates/analog/src/linalg.rs crates/analog/src/netlist.rs crates/analog/src/transient.rs crates/analog/src/units.rs crates/analog/src/waveform.rs
+
+crates/analog/src/lib.rs:
+crates/analog/src/error.rs:
+crates/analog/src/linalg.rs:
+crates/analog/src/netlist.rs:
+crates/analog/src/transient.rs:
+crates/analog/src/units.rs:
+crates/analog/src/waveform.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/resipe_baselines-9595d3fcf38b864d.d: crates/baselines/src/lib.rs crates/baselines/src/comparison.rs crates/baselines/src/components.rs crates/baselines/src/error.rs crates/baselines/src/inference.rs crates/baselines/src/level.rs crates/baselines/src/pwm.rs crates/baselines/src/rate.rs crates/baselines/src/temporal.rs crates/baselines/src/throughput.rs
+
+/root/repo/target/release/deps/libresipe_baselines-9595d3fcf38b864d.rlib: crates/baselines/src/lib.rs crates/baselines/src/comparison.rs crates/baselines/src/components.rs crates/baselines/src/error.rs crates/baselines/src/inference.rs crates/baselines/src/level.rs crates/baselines/src/pwm.rs crates/baselines/src/rate.rs crates/baselines/src/temporal.rs crates/baselines/src/throughput.rs
+
+/root/repo/target/release/deps/libresipe_baselines-9595d3fcf38b864d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/comparison.rs crates/baselines/src/components.rs crates/baselines/src/error.rs crates/baselines/src/inference.rs crates/baselines/src/level.rs crates/baselines/src/pwm.rs crates/baselines/src/rate.rs crates/baselines/src/temporal.rs crates/baselines/src/throughput.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/comparison.rs:
+crates/baselines/src/components.rs:
+crates/baselines/src/error.rs:
+crates/baselines/src/inference.rs:
+crates/baselines/src/level.rs:
+crates/baselines/src/pwm.rs:
+crates/baselines/src/rate.rs:
+crates/baselines/src/temporal.rs:
+crates/baselines/src/throughput.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/resipe_bench-6d446e0b456030ab.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libresipe_bench-6d446e0b456030ab.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libresipe_bench-6d446e0b456030ab.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

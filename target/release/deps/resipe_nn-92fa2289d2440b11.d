@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/resipe_nn-92fa2289d2440b11.d: crates/nn/src/lib.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/io.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/conv.rs crates/nn/src/layers/dense.rs crates/nn/src/layers/pool.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/network.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/libresipe_nn-92fa2289d2440b11.rlib: crates/nn/src/lib.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/io.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/conv.rs crates/nn/src/layers/dense.rs crates/nn/src/layers/pool.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/network.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/libresipe_nn-92fa2289d2440b11.rmeta: crates/nn/src/lib.rs crates/nn/src/data.rs crates/nn/src/error.rs crates/nn/src/io.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/conv.rs crates/nn/src/layers/dense.rs crates/nn/src/layers/pool.rs crates/nn/src/metrics.rs crates/nn/src/models.rs crates/nn/src/network.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/data.rs:
+crates/nn/src/error.rs:
+crates/nn/src/io.rs:
+crates/nn/src/layers/mod.rs:
+crates/nn/src/layers/activation.rs:
+crates/nn/src/layers/conv.rs:
+crates/nn/src/layers/dense.rs:
+crates/nn/src/layers/pool.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/models.rs:
+crates/nn/src/network.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/train.rs:

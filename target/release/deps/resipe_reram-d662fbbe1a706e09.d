@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/resipe_reram-d662fbbe1a706e09.d: crates/reram/src/lib.rs crates/reram/src/crossbar.rs crates/reram/src/device.rs crates/reram/src/error.rs crates/reram/src/faults.rs crates/reram/src/mapping.rs crates/reram/src/program.rs crates/reram/src/quantize.rs crates/reram/src/variation.rs
+
+/root/repo/target/release/deps/libresipe_reram-d662fbbe1a706e09.rlib: crates/reram/src/lib.rs crates/reram/src/crossbar.rs crates/reram/src/device.rs crates/reram/src/error.rs crates/reram/src/faults.rs crates/reram/src/mapping.rs crates/reram/src/program.rs crates/reram/src/quantize.rs crates/reram/src/variation.rs
+
+/root/repo/target/release/deps/libresipe_reram-d662fbbe1a706e09.rmeta: crates/reram/src/lib.rs crates/reram/src/crossbar.rs crates/reram/src/device.rs crates/reram/src/error.rs crates/reram/src/faults.rs crates/reram/src/mapping.rs crates/reram/src/program.rs crates/reram/src/quantize.rs crates/reram/src/variation.rs
+
+crates/reram/src/lib.rs:
+crates/reram/src/crossbar.rs:
+crates/reram/src/device.rs:
+crates/reram/src/error.rs:
+crates/reram/src/faults.rs:
+crates/reram/src/mapping.rs:
+crates/reram/src/program.rs:
+crates/reram/src/quantize.rs:
+crates/reram/src/variation.rs:

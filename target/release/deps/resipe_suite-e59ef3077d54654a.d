@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/resipe_suite-e59ef3077d54654a.d: src/lib.rs
+
+/root/repo/target/release/deps/libresipe_suite-e59ef3077d54654a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libresipe_suite-e59ef3077d54654a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -8,7 +8,11 @@ use resipe_suite::analog::units::{Seconds, Siemens};
 use resipe_suite::core::config::ResipeConfig;
 use resipe_suite::core::engine::ResipeEngine;
 use resipe_suite::core::mapping::{SpikeEncoding, TileMapper};
+use resipe_suite::core::repair::{repair_tile, run_bist, BistConfig, RepairPolicy, TileStatus};
 use resipe_suite::core::spike::SpikeCodec;
+use resipe_suite::reram::device::{ReramCell, ResistanceWindow};
+use resipe_suite::reram::faults::{CellFault, FaultMap};
+use resipe_suite::reram::program::{ProgramConfig, Programmer};
 
 fn engine() -> ResipeEngine {
     ResipeEngine::new(ResipeConfig::paper())
@@ -124,5 +128,112 @@ proptest! {
         for (h, i) in hw.iter().zip(&ideal) {
             prop_assert!((h - i).abs() / scale < 0.02, "hw {h} vs ideal {i}");
         }
+    }
+
+    /// Write–verify programming converges within the pulse budget for any
+    /// reachable target, from any starting state.
+    #[test]
+    fn write_verify_converges_within_budget(
+        target_frac in 0.0..=1.0f64,
+        start_frac in 0.0..=1.0f64,
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let window = ResistanceWindow::RECOMMENDED;
+        let mut cell = ReramCell::new(window);
+        cell.program_fraction(start_frac).expect("in range");
+        let config = ProgramConfig::typical();
+        let target = window
+            .conductance_for_fraction(target_frac)
+            .expect("in range");
+        let report = Programmer::new(config)
+            .program(&mut cell, target, &mut rng)
+            .expect("reachable target");
+        prop_assert!(
+            report.converged,
+            "did not converge in {} pulses (final error {})",
+            report.pulses,
+            report.final_error
+        );
+        prop_assert!(report.pulses <= config.max_pulses());
+        let err = ((cell.conductance().0 - target.0) / window.g_max().0).abs();
+        prop_assert!(err <= config.tolerance() + 1e-12, "residual error {err}");
+    }
+
+    /// Repair is idempotent on a healthy tile: the full ladder detects
+    /// nothing, burns no programming pulses, and leaves the mapping
+    /// bit-identical.
+    #[test]
+    fn repair_is_idempotent_on_healthy_tile(seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let weights: Vec<f64> = (0..24).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut mapped = TileMapper::paper()
+            .with_spare_cols(2)
+            .map(&weights, 6, 4)
+            .expect("maps");
+        let before = mapped.clone();
+        let health = repair_tile(
+            &engine(),
+            &mut mapped,
+            0,
+            0,
+            &RepairPolicy::full(),
+            &mut rng,
+        )
+        .expect("repair runs");
+        prop_assert_eq!(health.status, TileStatus::Healthy);
+        prop_assert_eq!(health.repair_pulses, 0);
+        prop_assert!(mapped == before, "healthy-tile repair mutated the mapping");
+    }
+
+    /// A fully-stuck column is never silently used: after the repair
+    /// ladder runs, every logical column either passes BIST (it was
+    /// remapped to a spare, reprogrammed around, or happened to be stuck
+    /// at its own target) or the tile is flagged `Degraded`.
+    #[test]
+    fn fully_stuck_column_never_silently_used(
+        seed in 0u64..300,
+        col in 0usize..4,
+        stuck_lrs in any::<bool>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let weights: Vec<f64> = (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mapped = TileMapper::paper()
+            .with_spare_cols(1)
+            .map(&weights, 8, 4)
+            .expect("maps");
+        let (rows, phys) = {
+            let tile = &mapped.tiles()[0];
+            (tile.rows(), tile.physical_cols())
+        };
+        let fault = if stuck_lrs { CellFault::StuckLrs } else { CellFault::StuckHrs };
+        let mut plus = FaultMap::healthy(rows, phys);
+        for r in 0..rows {
+            plus.set(r, col, fault);
+        }
+        let mut mapped = mapped
+            .with_fault_maps(0, plus, FaultMap::healthy(rows, phys))
+            .expect("geometry matches");
+        let health = repair_tile(
+            &engine(),
+            &mut mapped,
+            0,
+            0,
+            &RepairPolicy::full(),
+            &mut rng,
+        )
+        .expect("repair runs");
+        let tile = &mapped.tiles()[0];
+        let bist = run_bist(&engine(), tile, mapped.window(), &BistConfig::default())
+            .expect("bist runs");
+        prop_assert!(
+            health.status == TileStatus::Degraded || bist.all_pass(),
+            "tile reported {:?} but BIST still fails cols {:?}",
+            health.status,
+            bist.failing_cols()
+        );
     }
 }

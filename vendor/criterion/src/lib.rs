@@ -1,0 +1,147 @@
+//! Offline in-tree stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group` / `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple wall-clock timer
+//! (median of a few batches) instead of criterion's full statistical
+//! machinery. Good enough to detect order-of-magnitude regressions and
+//! to keep `cargo bench` compiling offline.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Warm-up iterations before timing.
+const WARMUP_ITERS: u64 = 3;
+/// Timed batches; the median is reported.
+const BATCHES: usize = 5;
+/// Minimum iterations per timed batch.
+const MIN_BATCH_ITERS: u64 = 1;
+/// Target wall-clock per batch.
+const TARGET_BATCH_SECS: f64 = 0.05;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runs closures under the timer.
+pub struct Bencher {
+    label: String,
+}
+
+impl Bencher {
+    /// Times `routine`, printing a `label ... ns/iter` line.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        // Calibrate a batch size aiming at TARGET_BATCH_SECS.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((TARGET_BATCH_SECS / once) as u64).max(MIN_BATCH_ITERS);
+        let mut samples = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        println!("bench: {:<48} {:>14.1} ns/iter", self.label, median * 1e9);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher {
+            label: format!("{}/{}", self.name, id),
+        };
+        f(&mut b);
+    }
+
+    /// Benchmarks a closure with an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            label: format!("{}/{}", self.name, id),
+        };
+        f(&mut b, input);
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level bench driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Benchmarks a standalone closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher {
+            label: name.to_owned(),
+        };
+        f(&mut b);
+    }
+}
+
+/// Re-export for benches that import `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles bench functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,68 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Length specification for [`vec`]: a fixed size or a half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty vec size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end() + 1,
+        }
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = if self.size.min + 1 >= self.size.max {
+            self.size.min
+        } else {
+            rng.gen_range(self.size.min..self.size.max)
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A strategy producing `Vec`s whose elements come from `element` and
+/// whose length comes from `size` (a `usize` or a range).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

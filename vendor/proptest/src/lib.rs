@@ -1,0 +1,151 @@
+//! Offline in-tree stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! tests use: the [`proptest!`] macro with `#![proptest_config(...)]`,
+//! range and [`collection::vec`] strategies, [`any`], and the
+//! `prop_assert!` family. Cases are generated from a deterministic
+//! per-test seed (hash of the test name), so failures are reproducible;
+//! there is **no shrinking** — a failing case panics with the sampled
+//! values available via the assertion message.
+
+pub mod collection;
+pub mod strategy;
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` imports.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Per-block configuration (only `cases` is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+#[doc(hidden)]
+pub use rand::rngs::StdRng as TestRng;
+
+/// Deterministic per-test RNG: seeded from a hash of the test name so
+/// every `cargo test` run replays the same cases.
+#[doc(hidden)]
+pub fn test_rng(name: &str) -> TestRng {
+    use rand::SeedableRng;
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut hasher);
+    TestRng::seed_from_u64(hasher.finish())
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::prelude::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::prelude::ProptestConfig = $cfg;
+            let ( $( $arg, )* ) = ( $( $strat, )* );
+            let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let ( $( $arg, )* ) = (
+                    $( $crate::strategy::Strategy::sample(&$arg, &mut __rng), )*
+                );
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    (($cfg:expr)) => {};
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in 0.0..1.0f64,
+            y in -3.0..=3.0f32,
+            n in 1usize..10,
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((-3.0..=3.0).contains(&y));
+            prop_assert!((1..10).contains(&n));
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_strategy_lengths(
+            fixed in crate::collection::vec(0.0..1.0f64, 5),
+            ranged in crate::collection::vec(0u64..100, 2..8),
+        ) {
+            prop_assert_eq!(fixed.len(), 5);
+            prop_assert!((2..8).contains(&ranged.len()));
+            prop_assert!(fixed.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_per_name() {
+        use rand::RngCore;
+        let a = crate::test_rng("some::test").next_u64();
+        let b = crate::test_rng("some::test").next_u64();
+        assert_eq!(a, b);
+    }
+}

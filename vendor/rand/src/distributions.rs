@@ -1,0 +1,144 @@
+//! Standard and uniform-range sampling for the types the workspace draws.
+
+use crate::RngCore;
+
+/// Types with a "standard" distribution (`rng.gen::<T>()`).
+pub trait StandardSample: Sized {
+    /// Draws one value from the standard distribution.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        // 24 uniform mantissa bits -> [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types that can be drawn uniformly from a bounded interval.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`).
+    fn sample_interval<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+macro_rules! float_uniform {
+    ($t:ty) => {
+        impl SampleUniform for $t {
+            fn sample_interval<R: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                if inclusive {
+                    assert!(lo <= hi, "cannot sample empty range");
+                } else {
+                    assert!(lo < hi, "cannot sample empty range");
+                }
+                let u: $t = StandardSample::sample_standard(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    };
+}
+
+float_uniform!(f64);
+float_uniform!(f32);
+
+macro_rules! int_uniform {
+    ($t:ty) => {
+        impl SampleUniform for $t {
+            fn sample_interval<R: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                let span = if inclusive {
+                    assert!(lo <= hi, "cannot sample empty range");
+                    (hi as i128 - lo as i128) as u128 + 1
+                } else {
+                    assert!(lo < hi, "cannot sample empty range");
+                    (hi as i128 - lo as i128) as u128
+                };
+                // Modulo draw: the tiny bias is irrelevant for simulation
+                // and test workloads.
+                let draw = rng.next_u64() as u128 % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    };
+}
+
+int_uniform!(u8);
+int_uniform!(u16);
+int_uniform!(u32);
+int_uniform!(u64);
+int_uniform!(usize);
+int_uniform!(i8);
+int_uniform!(i16);
+int_uniform!(i32);
+int_uniform!(i64);
+int_uniform!(isize);
+
+/// Ranges that can be sampled uniformly (`rng.gen_range(range)`).
+///
+/// Implemented generically (like the real `rand`) so type inference can
+/// flow from the range literal to the sampled value and back.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_interval(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_interval(*self.start(), *self.end(), true, rng)
+    }
+}

@@ -1,0 +1,125 @@
+//! Offline in-tree stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no network access and no
+//! crates.io cache, so the real `rand` cannot be fetched. This crate
+//! implements the **exact API subset the workspace uses** (rand 0.8
+//! naming): [`Rng`], [`SeedableRng`], [`rngs::StdRng`], [`thread_rng`],
+//! and [`seq::SliceRandom::shuffle`].
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256++ seeded via
+//! SplitMix64 — statistically strong enough for every Monte-Carlo and
+//! property test in the workspace, and fully deterministic per seed (the
+//! repository's reproducibility tests rely on that). It is **not** the
+//! same stream as the real `rand`'s StdRng, which is fine: no test pins
+//! exact draw values, only per-seed determinism and distribution moments.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+pub use rngs::thread_rng;
+
+/// The raw 64-bit generator interface (object-safe).
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (the workspace only uses [`SeedableRng::seed_from_u64`]).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the "standard" distribution for its type:
+    /// uniform `[0, 1)` for floats, uniform bits for integers, a fair coin
+    /// for `bool`.
+    fn gen<T: distributions::StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a range (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: distributions::SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    use super::RngCore;
+
+    #[test]
+    fn unit_float_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let f: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let mean = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-2.0..3.0f64);
+            assert!((-2.0..3.0).contains(&v));
+            let v = rng.gen_range(5usize..9);
+            assert!((5..9).contains(&v));
+            let v = rng.gen_range(0u64..=4);
+            assert!(v <= 4);
+        }
+    }
+
+    #[test]
+    fn dyn_rng_core_usable() {
+        // The workspace calls generic helpers with `R: Rng + ?Sized`.
+        fn draw(rng: &mut (impl Rng + ?Sized)) -> f64 {
+            rng.gen()
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let dynref: &mut dyn RngCore = &mut rng;
+        assert!((0.0..1.0).contains(&draw(dynref)));
+    }
+}

@@ -1,0 +1,76 @@
+//! Concrete generators: the seedable [`StdRng`] and the ambient
+//! [`ThreadRng`].
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ — small, fast, and statistically solid for simulation use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        let mut state = seed;
+        let s = [
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+        ];
+        StdRng { s }
+    }
+}
+
+/// A non-deterministically seeded generator, one per call site.
+///
+/// Unlike the real `rand`, this is not thread-local state — each
+/// [`thread_rng`] call returns a fresh generator seeded from the wall
+/// clock and a process-wide counter. The workspace only uses it for
+/// weight initialization in doc examples and unit tests, where the only
+/// requirement is "some entropy".
+#[derive(Debug, Clone)]
+pub struct ThreadRng(StdRng);
+
+impl RngCore for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Returns an ambient, non-deterministically seeded generator.
+pub fn thread_rng() -> ThreadRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5eed);
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    ThreadRng(StdRng::seed_from_u64(nanos ^ unique.rotate_left(32)))
+}

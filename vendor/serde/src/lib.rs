@@ -1,0 +1,20 @@
+//! Offline in-tree stand-in for `serde`.
+//!
+//! The build environment has no network access, so the real `serde`
+//! cannot be fetched. The workspace only *derives* `Serialize` /
+//! `Deserialize` (no serializer is ever instantiated — the JSON the
+//! bench binaries emit is hand-formatted), so marker traits with blanket
+//! impls plus no-op derive macros preserve the entire API surface in
+//! use. If a future PR needs real serialization, replace this stub with
+//! the vendored real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

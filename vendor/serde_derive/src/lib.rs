@@ -1,0 +1,24 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde
+//! stand-in.
+//!
+//! The sibling `serde` stub blanket-implements its marker traits for all
+//! types, so these derives have nothing to generate — they exist purely
+//! so `#[derive(Serialize, Deserialize)]` attributes across the
+//! workspace keep resolving without the real `serde_derive`.
+
+use proc_macro::TokenStream;
+
+/// Derives the (blanket-implemented) `Serialize` marker — emits nothing.
+///
+/// Registers `#[serde(...)]` as a helper attribute so field annotations
+/// like `#[serde(skip)]` keep parsing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives the (blanket-implemented) `Deserialize` marker — emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
