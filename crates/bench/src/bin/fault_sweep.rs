@@ -21,7 +21,10 @@
 //! at 10 % the part must report degraded tiles while still answering.
 //! The process exits non-zero if either check fails.
 
-use resipe::inference::{CompileOptions, FaultInjection, HardwareNetwork};
+use std::cell::RefCell;
+
+use resipe::cache::CompileCache;
+use resipe::inference::{CompileOptions, FaultInjection};
 use resipe::mapping::TileMapper;
 use resipe::repair::RepairPolicy;
 use resipe_analog::units::Seconds;
@@ -74,6 +77,9 @@ struct Campaign<'a> {
     test: &'a Dataset,
     calib: &'a Tensor,
     base: &'a CompileOptions,
+    /// Shared compile cache: arms with identical fingerprints (e.g.
+    /// duplicated entries in `--rates`) compile once.
+    cache: RefCell<CompileCache>,
     cluster: usize,
     seeds: usize,
     spare_capacity: usize,
@@ -101,7 +107,10 @@ impl Campaign<'_> {
                 faults = faults.with_drift(model, elapsed);
             }
             let opts = self.base.with_faults(faults).with_repair(policy);
-            let hw = HardwareNetwork::compile(self.net, self.calib, &opts)
+            let hw = self
+                .cache
+                .borrow_mut()
+                .get_or_compile(self.net, self.calib, &opts)
                 .expect("compiles under faults");
             let (acc, health) = hw
                 .accuracy_with_health(self.test)
@@ -248,7 +257,10 @@ fn main() {
         .expect("calibration batch");
 
     let base = CompileOptions::paper().with_mapper(TileMapper::paper().with_spare_cols(spares));
-    let baseline_hw = HardwareNetwork::compile(&net, &calib, &base).expect("baseline compiles");
+    let mut cache = CompileCache::new(16);
+    let baseline_hw = cache
+        .get_or_compile(&net, &calib, &base)
+        .expect("baseline compiles");
     let baseline = baseline_hw.accuracy(&test).expect("baseline eval") as f64;
     // Spare capacity = spares × tiles; tiles = dense MVMs / 2.
     let spare_capacity = spares * baseline_hw.dense_mvms_per_sample() / 2;
@@ -258,6 +270,7 @@ fn main() {
         test: &test,
         calib: &calib,
         base: &base,
+        cache: RefCell::new(cache),
         cluster,
         seeds,
         spare_capacity,
@@ -287,6 +300,14 @@ fn main() {
         emit_json(baseline, &arms);
     } else {
         emit_table(baseline, &arms);
+    }
+    {
+        let cache = campaign.cache.borrow();
+        eprintln!(
+            "compile cache: {} hit(s), {} miss(es)",
+            cache.hits(),
+            cache.misses()
+        );
     }
 
     if smoke {

@@ -1,0 +1,455 @@
+//! Amortized batched execution of mapped layers.
+//!
+//! [`BatchPlan`] precomputes everything in a [`MappedWeights`] forward
+//! pass that does not depend on the input sample — per-column crossbar
+//! conductance sums, capacitor charge factors, the nominal decode
+//! constants, and a column-major copy of the effective conductances —
+//! and then replays the *exact* per-sample floating-point operation
+//! sequence of [`MappedWeights::forward`] against those hoisted values.
+//!
+//! Because every hoisted quantity is computed by the same expression on
+//! the same inputs (in the same order) as the per-sample path, and a
+//! value computed once is bit-equal to the same value recomputed, the
+//! plan's outputs are **bit-identical** to the sequential path. What the
+//! plan removes is pure redundancy:
+//!
+//! * column sums and charge factors, recomputed per sample by
+//!   [`crate::engine::ResipeEngine::mvm_matrix`], are computed once per
+//!   batch;
+//! * the output spike time `t_out` that `mvm_matrix` derives for every
+//!   physical bitline is skipped — the decode reconstructs its own
+//!   observed time from `V_out` and never reads it;
+//! * spare (unrouted) bitlines are not evaluated;
+//! * the S1 ramp samples are shared between the positive and negative
+//!   arrays of the differential pair instead of being recomputed per
+//!   array;
+//! * a **zero activation encodes to exactly `+0.0`** in both encodings
+//!   (`exp(±0.0) == 1.0` and `ln(1.0) == +0.0` are exact in IEEE 754,
+//!   so the whole `encode → ramp-sample` chain collapses to `+0.0`),
+//!   so its `ln`/`exp` pair is skipped outright;
+//! * wordlines held at `V = 0` are skipped inside the weighted
+//!   accumulation (their products are exactly `+0.0`, so skipping them
+//!   cannot change the sum's bits);
+//! * the decode of a column observing `V_out = +0.0` is a pure function
+//!   of that column's hoisted `(offset, k)` constants, so its value is
+//!   computed once at plan-build time and reused whenever the sampled
+//!   voltage is exactly zero.
+//!
+//! This is what makes the batched inference path faster even on a single
+//! core; on multicore hosts [`crate::inference::HardwareNetwork::forward_batch`]
+//! additionally fans samples out across the rayon pool.
+
+use resipe_analog::units::Seconds;
+
+use crate::engine::ResipeEngine;
+use crate::error::ResipeError;
+use crate::mapping::{MappedWeights, SpikeEncoding, Tile};
+
+/// Sample-independent constants of one crossbar tile pair.
+#[derive(Debug, Clone)]
+struct TilePlan {
+    /// First logical input row of this tile.
+    row_start: usize,
+    /// Wordlines in this tile.
+    rows: usize,
+    /// Logical columns decoded from this tile.
+    cols: usize,
+    /// Physical wordline → logical tile row driving it.
+    row_source: Vec<usize>,
+    /// Effective conductances, column-major `[cols × rows]`, routed
+    /// through the logical→physical column map (spares dropped).
+    g_plus: Vec<f64>,
+    g_minus: Vec<f64>,
+    /// Actual per-logical-column conductance sums (row-order partial
+    /// sums, exactly as `mvm_matrix` accumulates them).
+    g_total_plus: Vec<f64>,
+    g_total_minus: Vec<f64>,
+    /// Hoisted charge factors `1 − e^(−Δt/C · ΣG)` per logical column.
+    charge_plus: Vec<f64>,
+    charge_minus: Vec<f64>,
+    /// Hoisted nominal decode constants `k_j` per logical column.
+    k_plus: Vec<f64>,
+    k_minus: Vec<f64>,
+    /// Static comparator offsets per logical column.
+    offset_plus: Vec<f64>,
+    offset_minus: Vec<f64>,
+    /// Hoisted decode of `V_out = +0.0` per logical column.
+    d0_plus: Vec<f64>,
+    d0_minus: Vec<f64>,
+}
+
+impl TilePlan {
+    fn new(tile: &Tile, row_start: usize, dt_over_c: f64) -> TilePlan {
+        let rows = tile.rows();
+        let cols = tile.cols();
+        let phys_cols = tile.physical_cols();
+        let mut plan = TilePlan {
+            row_start,
+            rows,
+            cols,
+            row_source: tile.row_source.clone(),
+            g_plus: Vec::with_capacity(cols * rows),
+            g_minus: Vec::with_capacity(cols * rows),
+            g_total_plus: Vec::with_capacity(cols),
+            g_total_minus: Vec::with_capacity(cols),
+            charge_plus: Vec::with_capacity(cols),
+            charge_minus: Vec::with_capacity(cols),
+            k_plus: Vec::with_capacity(cols),
+            k_minus: Vec::with_capacity(cols),
+            offset_plus: Vec::with_capacity(cols),
+            offset_minus: Vec::with_capacity(cols),
+            d0_plus: Vec::new(),
+            d0_minus: Vec::new(),
+        };
+        for j in 0..cols {
+            let pc = tile.col_map()[j];
+            for (eff, g_col, g_total, charge, k, offs, gsum, offsets) in [
+                (
+                    tile.eff_plus(),
+                    &mut plan.g_plus,
+                    &mut plan.g_total_plus,
+                    &mut plan.charge_plus,
+                    &mut plan.k_plus,
+                    &mut plan.offset_plus,
+                    &tile.gsum_plus,
+                    &tile.offset_plus,
+                ),
+                (
+                    tile.eff_minus(),
+                    &mut plan.g_minus,
+                    &mut plan.g_total_minus,
+                    &mut plan.charge_minus,
+                    &mut plan.k_minus,
+                    &mut plan.offset_minus,
+                    &tile.gsum_minus,
+                    &tile.offset_minus,
+                ),
+            ] {
+                // Column sum in row order — the exact accumulation order
+                // of `mvm_matrix`, so the hoisted sum is bit-equal to the
+                // per-sample recomputation it replaces.
+                let mut total = 0.0f64;
+                for r in 0..rows {
+                    let g = eff[r * phys_cols + pc];
+                    g_col.push(g);
+                    total += g;
+                }
+                g_total.push(total);
+                charge.push(1.0 - (-dt_over_c * total).exp());
+                let gsum_nom = gsum[pc];
+                k.push((1.0 - (-dt_over_c * gsum_nom).exp()) / gsum_nom);
+                offs.push(offsets[pc]);
+            }
+        }
+        plan
+    }
+}
+
+/// Reusable per-worker buffers for [`BatchPlan::forward_one`].
+///
+/// Create one per thread with [`BatchPlan::scratch`] and reuse it across
+/// samples to keep the hot loop allocation-free.
+#[derive(Debug, Default, Clone)]
+pub struct BatchScratch {
+    /// Held S1 wordline voltages of the current tile.
+    v_in: Vec<f64>,
+    /// Indices of wordlines with a non-zero held voltage.
+    nonzero: Vec<u32>,
+}
+
+/// A sample-independent execution plan for one mapped weight layer.
+///
+/// See the [module docs](crate::batch) for the amortization/determinism
+/// contract. Build once per layer per batch with [`BatchPlan::new`], then
+/// call [`BatchPlan::forward_one`] per sample (from any number of
+/// threads, each with its own [`BatchScratch`]).
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    rows: usize,
+    cols: usize,
+    encoding: SpikeEncoding,
+    tau: f64,
+    vs: f64,
+    t_max: f64,
+    v_ref: f64,
+    slice: f64,
+    /// Upper comparator clamp `V_s (1 − 1e−12)` of the decode.
+    v_clamp: f64,
+    time_quantum: Option<f64>,
+    /// Final digital rescale `w_scale / (V_ref Δg_eff)`.
+    scale: f64,
+    tiles: Vec<TilePlan>,
+    max_tile_rows: usize,
+}
+
+impl BatchPlan {
+    /// Builds the plan for one mapped layer on one engine.
+    pub fn new(
+        engine: &ResipeEngine,
+        mapped: &MappedWeights,
+        encoding: SpikeEncoding,
+    ) -> BatchPlan {
+        let cfg = engine.config();
+        let tau = cfg.tau_gd().0;
+        let vs = cfg.vs().0;
+        let t_max = cfg.t_max().0;
+        let v_ref = vs * (1.0 - (-t_max / tau).exp());
+        let dt_over_c = cfg.dt().0 / cfg.c_cog().0;
+        let mut tiles = Vec::with_capacity(mapped.tiles().len());
+        let mut row_start = 0usize;
+        for tile in mapped.tiles() {
+            tiles.push(TilePlan::new(tile, row_start, dt_over_c));
+            row_start += tile.rows();
+        }
+        let mut plan = BatchPlan {
+            rows: mapped.rows(),
+            cols: mapped.cols(),
+            encoding,
+            tau,
+            vs,
+            t_max,
+            v_ref,
+            slice: cfg.slice().0,
+            v_clamp: vs * (1.0 - 1e-12),
+            time_quantum: mapped.time_quantum(),
+            scale: mapped.weight_scale() / (v_ref * mapped.delta_g_eff().0),
+            max_tile_rows: mapped.tiles().iter().map(Tile::rows).max().unwrap_or(0),
+            tiles,
+        };
+        for ti in 0..plan.tiles.len() {
+            let d0_plus: Vec<f64> = (0..plan.tiles[ti].cols)
+                .map(|j| {
+                    plan.decode_column(0.0, plan.tiles[ti].offset_plus[j], plan.tiles[ti].k_plus[j])
+                })
+                .collect();
+            let d0_minus: Vec<f64> = (0..plan.tiles[ti].cols)
+                .map(|j| {
+                    plan.decode_column(
+                        0.0,
+                        plan.tiles[ti].offset_minus[j],
+                        plan.tiles[ti].k_minus[j],
+                    )
+                })
+                .collect();
+            plan.tiles[ti].d0_plus = d0_plus;
+            plan.tiles[ti].d0_minus = d0_minus;
+        }
+        plan
+    }
+
+    /// Allocates a scratch buffer sized for this plan.
+    pub fn scratch(&self) -> BatchScratch {
+        BatchScratch {
+            v_in: Vec::with_capacity(self.max_tile_rows),
+            nonzero: Vec::with_capacity(self.max_tile_rows),
+        }
+    }
+
+    /// Logical input dimension.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical output dimension.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Executes one logical MVM — bit-identical to
+    /// [`MappedWeights::forward`] on the same activations and encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::DimensionMismatch`] unless
+    /// `activations.len() == rows`.
+    pub fn forward_one(
+        &self,
+        activations: &[f64],
+        scratch: &mut BatchScratch,
+    ) -> Result<Vec<f64>, ResipeError> {
+        if activations.len() != self.rows {
+            return Err(ResipeError::DimensionMismatch {
+                expected: self.rows,
+                got: activations.len(),
+            });
+        }
+        let mut acc = vec![0.0f64; self.cols];
+        for tile in &self.tiles {
+            scratch.v_in.clear();
+            scratch.nonzero.clear();
+            // S1: encode each driven wordline's activation into a spike
+            // time and sample the shared GD ramp — once per tile, shared
+            // by both arrays of the differential pair.
+            for (p, &l) in tile.row_source.iter().enumerate() {
+                let a = activations[tile.row_start + l].clamp(0.0, 1.0);
+                if a == 0.0 {
+                    // encode(±0.0) is exactly +0.0 in both encodings:
+                    // `0.0 * x == ±0.0`, `ln(1.0) == +0.0`, `exp(±0.0)
+                    // == 1.0` and `1.0 - 1.0 == +0.0` are all IEEE-exact,
+                    // so the ln/exp pair can be skipped without changing
+                    // a bit.
+                    scratch.v_in.push(0.0);
+                    continue;
+                }
+                let t = match self.encoding {
+                    SpikeEncoding::LinearTime => a * self.t_max,
+                    SpikeEncoding::PassThrough => {
+                        Seconds(-self.tau * (1.0 - a * self.v_ref / self.vs).ln()).0
+                    }
+                };
+                let v = self.vs * (1.0 - (-t / self.tau).exp());
+                scratch.v_in.push(v);
+                if v != 0.0 {
+                    scratch.nonzero.push(p as u32);
+                }
+            }
+            for (j, slot) in acc.iter_mut().enumerate().take(tile.cols) {
+                let col = j * tile.rows..(j + 1) * tile.rows;
+                // One pass over the held wordlines accumulates both
+                // arrays' weighted sums; each accumulator still adds its
+                // products in row order, so the bits are unchanged.
+                let gp = &tile.g_plus[col.clone()];
+                let gm = &tile.g_minus[col];
+                let mut wp = 0.0f64;
+                let mut wm = 0.0f64;
+                for &p in &scratch.nonzero {
+                    let v = scratch.v_in[p as usize];
+                    wp += v * gp[p as usize];
+                    wm += v * gm[p as usize];
+                }
+                let vp = Self::v_out(wp, tile.g_total_plus[j], tile.charge_plus[j]);
+                let vm = Self::v_out(wm, tile.g_total_minus[j], tile.charge_minus[j]);
+                // A column observing exactly V_out = 0.0 decodes to a
+                // sample-independent value hoisted at plan-build time
+                // (decode is a pure function of (v_out, offset, k)).
+                let d_plus = if vp == 0.0 {
+                    tile.d0_plus[j]
+                } else {
+                    self.decode_column(vp, tile.offset_plus[j], tile.k_plus[j])
+                };
+                let d_minus = if vm == 0.0 {
+                    tile.d0_minus[j]
+                } else {
+                    self.decode_column(vm, tile.offset_minus[j], tile.k_minus[j])
+                };
+                *slot += d_plus - d_minus;
+            }
+        }
+        for y in &mut acc {
+            *y *= self.scale;
+        }
+        Ok(acc)
+    }
+
+    /// The sampled bitline voltage of one column from its accumulated
+    /// weighted sum: `V_eq` times the hoisted charge factor. Zero-voltage
+    /// wordlines contribute exactly `+0.0` to the weighted sum, so the
+    /// caller skips them without changing a single bit of the
+    /// accumulation.
+    fn v_out(weighted: f64, g_total: f64, charge: f64) -> f64 {
+        if g_total == 0.0 {
+            0.0
+        } else {
+            (weighted / g_total) * charge
+        }
+    }
+
+    /// The digital decode of one observed bitline voltage — the same
+    /// operation sequence as the sequential path, with the nominal
+    /// column constant `k_j` hoisted.
+    fn decode_column(&self, v_out: f64, offset: f64, k: f64) -> f64 {
+        let v_eff = (v_out + offset).clamp(0.0, self.v_clamp);
+        let mut t_obs = -self.tau * (1.0 - v_eff / self.vs).ln();
+        if let Some(q) = self.time_quantum {
+            t_obs = (t_obs / q).round() * q;
+        }
+        let t_obs = t_obs.min(self.slice);
+        let v_hat = self.vs * (1.0 - (-t_obs / self.tau).exp());
+        v_hat / k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ResipeConfig;
+    use crate::mapping::TileMapper;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn engine() -> ResipeEngine {
+        ResipeEngine::new(ResipeConfig::paper())
+    }
+
+    fn exact_eq(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "column {i}: {x:e} vs {y:e} differ in bits"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_matches_sequential_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let weights: Vec<f64> = (0..64 * 5).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mapped = TileMapper::paper().map(&weights, 64, 5).unwrap();
+        let e = engine();
+        for encoding in [SpikeEncoding::LinearTime, SpikeEncoding::PassThrough] {
+            let plan = BatchPlan::new(&e, &mapped, encoding);
+            let mut scratch = plan.scratch();
+            for _ in 0..5 {
+                let a: Vec<f64> = (0..64).map(|_| rng.gen_range(0.0..1.0)).collect();
+                let seq = mapped.forward(&e, &a, encoding).unwrap();
+                let bat = plan.forward_one(&a, &mut scratch).unwrap();
+                exact_eq(&seq, &bat);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_matches_under_nonidealities() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let weights: Vec<f64> = (0..48 * 3).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let model = resipe_reram::VariationModel::device_to_device(0.15).unwrap();
+        let mapped = TileMapper::paper()
+            .with_spare_cols(2)
+            .map(&weights, 48, 3)
+            .unwrap()
+            .with_faults(0.02, 4, 99)
+            .unwrap()
+            .perturbed(&model, 7)
+            .with_comparator_offsets(0.01, 21)
+            .with_time_quantization(Seconds(1e-9));
+        let e = engine();
+        let plan = BatchPlan::new(&e, &mapped, SpikeEncoding::PassThrough);
+        let mut scratch = plan.scratch();
+        for _ in 0..5 {
+            // Sparse activations exercise the zero-skip path.
+            let a: Vec<f64> = (0..48)
+                .map(|_| {
+                    if rng.gen_range(0.0..1.0) < 0.5 {
+                        0.0
+                    } else {
+                        rng.gen_range(0.0..1.0)
+                    }
+                })
+                .collect();
+            let seq = mapped.forward(&e, &a, SpikeEncoding::PassThrough).unwrap();
+            let bat = plan.forward_one(&a, &mut scratch).unwrap();
+            exact_eq(&seq, &bat);
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mapped = TileMapper::paper().map(&[0.5, -0.5], 2, 1).unwrap();
+        let e = engine();
+        let plan = BatchPlan::new(&e, &mapped, SpikeEncoding::LinearTime);
+        let mut scratch = plan.scratch();
+        assert!(plan.forward_one(&[0.1], &mut scratch).is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! LRU cache of compiled hardware networks.
+//!
+//! Compiling a [`crate::inference::HardwareNetwork`] is expensive: the
+//! calibration batch runs through the ideal network, every weight matrix
+//! is tiled onto differential crossbar pairs, and the full non-ideality
+//! chain (variation, faults, repair, readout) is applied per tile.
+//! Parameter sweeps — `fault_sweep` arms, `fig7` trials, repeated
+//! benchmark configurations — often request the *same* compile many
+//! times. [`CompileCache`] memoizes compiles behind a fingerprint of
+//! `(model, calibration batch, CompileOptions)` with least-recently-used
+//! eviction, so a repeated request costs one clone instead of a compile.
+//!
+//! Correctness rests on compiles being deterministic: the per-tile seed
+//! substreams (see [`crate::seeds`]) make a compiled instance a pure
+//! function of exactly the fingerprinted inputs, so a cache hit is
+//! observationally identical to a fresh compile (up to the MVM counter,
+//! which starts at zero on every returned clone).
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use resipe_nn::layers::Layer;
+use resipe_nn::network::Network;
+use resipe_nn::tensor::Tensor;
+
+use crate::error::ResipeError;
+use crate::inference::{CompileOptions, HardwareNetwork};
+
+/// An LRU cache of compiled networks keyed by
+/// `(model, calibration, options)` fingerprint.
+#[derive(Debug)]
+pub struct CompileCache {
+    capacity: usize,
+    /// Entries ordered least-recently-used first.
+    entries: Vec<(u64, HardwareNetwork)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CompileCache {
+    /// Creates a cache holding at most `capacity` compiled networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> CompileCache {
+        assert!(capacity > 0, "cache capacity must be at least 1");
+        CompileCache {
+            capacity,
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The fingerprint a compile request is keyed by: the network's name,
+    /// every layer's configuration and exact parameter bits, the exact
+    /// calibration batch (it fixes the activation scales), and the full
+    /// [`CompileOptions`] (via its lossless `Debug` form — `f64`'s `Debug`
+    /// is the shortest round-trip representation).
+    pub fn fingerprint(net: &Network, calibration: &Tensor, options: &CompileOptions) -> u64 {
+        let mut h = DefaultHasher::new();
+        net.name().hash(&mut h);
+        for layer in net.layers() {
+            std::mem::discriminant(layer).hash(&mut h);
+            match layer {
+                Layer::Dense(d) => {
+                    hash_tensor(d.weights(), &mut h);
+                    hash_tensor(d.bias(), &mut h);
+                }
+                Layer::Conv2d(c) => {
+                    hash_tensor(c.weights(), &mut h);
+                    hash_tensor(c.bias(), &mut h);
+                    c.kernel_size().hash(&mut h);
+                    c.padding().hash(&mut h);
+                    c.out_channels().hash(&mut h);
+                }
+                Layer::MaxPool2d(p) => p.size().hash(&mut h),
+                Layer::AvgPool2d(p) => p.size().hash(&mut h),
+                Layer::Relu(_) | Layer::Flatten(_) => {}
+            }
+        }
+        hash_tensor(calibration, &mut h);
+        format!("{options:?}").hash(&mut h);
+        h.finish()
+    }
+
+    /// Returns the compiled network for this request, compiling on a
+    /// miss and cloning from the cache on a hit. The returned instance
+    /// always has a fresh (zero) MVM counter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HardwareNetwork::compile`] errors (these are not
+    /// cached).
+    pub fn get_or_compile(
+        &mut self,
+        net: &Network,
+        calibration: &Tensor,
+        options: &CompileOptions,
+    ) -> Result<HardwareNetwork, ResipeError> {
+        let key = CompileCache::fingerprint(net, calibration, options);
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.hits += 1;
+            // Move to most-recently-used.
+            let entry = self.entries.remove(pos);
+            self.entries.push(entry);
+            return Ok(self.entries.last().expect("just pushed").1.clone());
+        }
+        self.misses += 1;
+        let hw = HardwareNetwork::compile(net, calibration, options)?;
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, hw.clone()));
+        Ok(hw)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (fresh compiles) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Compiled networks currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops all entries (statistics are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+fn hash_tensor(t: &Tensor, h: &mut DefaultHasher) {
+    t.shape().hash(h);
+    for v in t.data() {
+        v.to_bits().hash(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resipe_nn::data::synth_digits;
+    use resipe_nn::models;
+    use resipe_nn::train::{Sgd, TrainConfig};
+
+    fn setup() -> (Network, Tensor) {
+        let train = synth_digits(80, 1).unwrap();
+        let mut net = models::mlp1(7).unwrap();
+        Sgd::new(TrainConfig::new(1).with_learning_rate(0.1))
+            .fit(&mut net, &train)
+            .unwrap();
+        let (calib, _) = train.batch(&[0, 1, 2, 3]).unwrap();
+        (net, calib)
+    }
+
+    #[test]
+    fn hit_returns_identical_network() {
+        let (net, calib) = setup();
+        let opts = CompileOptions::paper()
+            .with_variation(resipe_reram::VariationModel::device_to_device(0.1).unwrap())
+            .with_seed(3);
+        let mut cache = CompileCache::new(4);
+        let a = cache.get_or_compile(&net, &calib, &opts).unwrap();
+        let b = cache.get_or_compile(&net, &calib, &opts).unwrap();
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        let (x, _) = synth_digits(8, 5).unwrap().batch(&[0, 1, 2]).unwrap();
+        assert_eq!(
+            a.forward(&x).unwrap(),
+            b.forward(&x).unwrap(),
+            "cached clone must behave identically"
+        );
+        assert_eq!(b.mvm_count(), 3 * 50, "clone counts its own MVMs");
+    }
+
+    #[test]
+    fn distinct_options_miss() {
+        let (net, calib) = setup();
+        let mut cache = CompileCache::new(4);
+        for seed in 0..3 {
+            cache
+                .get_or_compile(&net, &calib, &CompileOptions::paper().with_seed(seed))
+                .unwrap();
+        }
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let (net, calib) = setup();
+        let mut cache = CompileCache::new(2);
+        let o = |seed| CompileOptions::paper().with_seed(seed);
+        cache.get_or_compile(&net, &calib, &o(0)).unwrap();
+        cache.get_or_compile(&net, &calib, &o(1)).unwrap();
+        // Touch seed 0 so seed 1 is the LRU entry, then insert seed 2.
+        cache.get_or_compile(&net, &calib, &o(0)).unwrap();
+        cache.get_or_compile(&net, &calib, &o(2)).unwrap();
+        assert_eq!(cache.len(), 2);
+        // Seed 0 survives (hit), seed 1 was evicted (miss).
+        let hits_before = cache.hits();
+        cache.get_or_compile(&net, &calib, &o(0)).unwrap();
+        assert_eq!(cache.hits(), hits_before + 1);
+        let misses_before = cache.misses();
+        cache.get_or_compile(&net, &calib, &o(1)).unwrap();
+        assert_eq!(cache.misses(), misses_before + 1);
+    }
+
+    #[test]
+    fn calibration_is_part_of_the_key() {
+        let (net, calib) = setup();
+        let other = {
+            let train = synth_digits(80, 1).unwrap();
+            let (c, _) = train.batch(&[4, 5, 6, 7]).unwrap();
+            c
+        };
+        let opts = CompileOptions::paper();
+        let mut cache = CompileCache::new(4);
+        cache.get_or_compile(&net, &calib, &opts).unwrap();
+        cache.get_or_compile(&net, &other, &opts).unwrap();
+        assert_eq!(cache.misses(), 2, "different calibration must re-compile");
+    }
+}

@@ -148,6 +148,10 @@ impl ResipeEngine {
 
     /// One exact MVM over a programmed crossbar: every bitline's spike.
     ///
+    /// Bitlines are independent (they share only the read-only wordline
+    /// voltages), so the columns evaluate in parallel on the rayon pool;
+    /// results keep column order, bit-identical for any thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`ResipeError::DimensionMismatch`] unless
@@ -157,6 +161,7 @@ impl ResipeEngine {
         crossbar: &Crossbar,
         t_in: &[Seconds],
     ) -> Result<Vec<MacResult>, ResipeError> {
+        use rayon::prelude::*;
         if t_in.len() != crossbar.rows() {
             return Err(ResipeError::DimensionMismatch {
                 expected: crossbar.rows(),
@@ -164,6 +169,7 @@ impl ResipeEngine {
             });
         }
         (0..crossbar.cols())
+            .into_par_iter()
             .map(|col| {
                 let g = crossbar.column_conductances(col)?;
                 self.mac(t_in, &g)

@@ -17,8 +17,7 @@
 //!
 //! This is the machinery behind the paper's Fig. 7 accuracy study.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use resipe_analog::units::Seconds;
 use resipe_nn::data::Dataset;
@@ -28,11 +27,13 @@ use resipe_nn::tensor::Tensor;
 use resipe_reram::faults::RetentionDrift;
 use resipe_reram::variation::VariationModel;
 
+use crate::batch::BatchPlan;
 use crate::config::ResipeConfig;
 use crate::engine::ResipeEngine;
 use crate::error::ResipeError;
 use crate::mapping::{MappedWeights, SpikeEncoding, TileMapper};
 use crate::repair::{repair_layer, HealthReport, RepairPolicy};
+use crate::seeds;
 
 /// How activations are spike-encoded at each hardware layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -212,15 +213,20 @@ impl CompileOptions {
 /// Lowers one mapped weight layer through the full non-ideality chain:
 /// process variation → hard faults → retention drift → repair ladder →
 /// readout non-idealities. Repair outcomes are appended to `health`.
+///
+/// `layer_seed` is this layer's substream of the compile seed; each
+/// stochastic stage draws from its own fixed substream of it, so every
+/// draw is a pure function of `(compile seed, layer, stage, tile)` and
+/// never of the order layers or tiles are visited in.
 fn lower_mapped(
     engine: &ResipeEngine,
     mapped: MappedWeights,
     options: &CompileOptions,
     weight_layer_index: usize,
-    rng: &mut StdRng,
+    layer_seed: u64,
     health: &mut HealthReport,
 ) -> Result<MappedWeights, ResipeError> {
-    let mut mapped = mapped.perturbed(&options.variation, rng);
+    let mut mapped = mapped.perturbed(&options.variation, seeds::substream(layer_seed, 0));
     if let Some(fi) = options.faults {
         let seed = fi
             .seed
@@ -231,11 +237,18 @@ fn lower_mapped(
         }
     }
     if let Some(policy) = options.repair {
-        let tiles = repair_layer(engine, &mut mapped, weight_layer_index, &policy, rng)?;
+        let tiles = repair_layer(
+            engine,
+            &mut mapped,
+            weight_layer_index,
+            &policy,
+            seeds::substream(layer_seed, 1),
+        )?;
         health.tiles.extend(tiles);
     }
     if options.comparator_sigma > 0.0 {
-        mapped = mapped.with_comparator_offsets(options.comparator_sigma, rng);
+        mapped = mapped
+            .with_comparator_offsets(options.comparator_sigma, seeds::substream(layer_seed, 2));
     }
     if let Some(q) = options.time_quantization {
         mapped = mapped.with_time_quantization(q);
@@ -275,18 +288,34 @@ enum HwLayer {
 }
 
 /// A trained network compiled onto the simulated ReSiPE hardware.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct HardwareNetwork {
     engine: ResipeEngine,
     layers: Vec<HwLayer>,
     name: String,
     /// Physical crossbar MVMs issued since construction (or the last
     /// [`HardwareNetwork::reset_mvm_count`]) — the basis of measured
-    /// energy reports.
-    mvm_count: std::cell::Cell<u64>,
+    /// energy reports. Atomic so parallel batched forwards count
+    /// correctly.
+    mvm_count: AtomicU64,
     /// Per-tile health collected by the repair ladder at compile time
     /// (empty when no repair policy was set).
     health: HealthReport,
+}
+
+impl Clone for HardwareNetwork {
+    fn clone(&self) -> HardwareNetwork {
+        HardwareNetwork {
+            engine: self.engine,
+            layers: self.layers.clone(),
+            name: self.name.clone(),
+            // The MVM counter is a measurement artifact of *this*
+            // instance, not part of the compiled network — clones start
+            // counting from zero.
+            mvm_count: AtomicU64::new(0),
+            health: self.health.clone(),
+        }
+    }
 }
 
 impl HardwareNetwork {
@@ -295,6 +324,36 @@ impl HardwareNetwork {
     /// `calibration` is a representative input batch (e.g. a slice of the
     /// training set) used to fix per-layer activation scales via the
     /// ideal network.
+    ///
+    /// # Examples
+    ///
+    /// The full train → compile → evaluate flow on the synthetic digit
+    /// task (the `quickstart` binary in miniature):
+    ///
+    /// ```
+    /// use resipe::inference::{CompileOptions, HardwareNetwork};
+    /// use resipe_nn::data::synth_digits;
+    /// use resipe_nn::models;
+    /// use resipe_nn::train::{Sgd, TrainConfig};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// // Train a small MLP in software.
+    /// let train = synth_digits(200, 1)?;
+    /// let test = synth_digits(60, 2)?;
+    /// let mut net = models::mlp1(7)?;
+    /// Sgd::new(TrainConfig::new(4).with_learning_rate(0.1)).fit(&mut net, &train)?;
+    ///
+    /// // Compile it onto the simulated ReSiPE hardware, calibrating the
+    /// // spike-encoding range on a slice of the training set.
+    /// let (calibration, _) = train.batch(&(0..32).collect::<Vec<_>>())?;
+    /// let hw = HardwareNetwork::compile(&net, &calibration, &CompileOptions::paper())?;
+    ///
+    /// // Evaluate on the engine's exact circuit physics.
+    /// let accuracy = hw.accuracy(&test)?;
+    /// assert!(accuracy > 0.5, "hardware accuracy {accuracy}");
+    /// # Ok(())
+    /// # }
+    /// ```
     ///
     /// # Errors
     ///
@@ -306,7 +365,10 @@ impl HardwareNetwork {
         options: &CompileOptions,
     ) -> Result<HardwareNetwork, ResipeError> {
         let engine = ResipeEngine::try_new(options.config)?;
-        let mut rng = StdRng::seed_from_u64(options.seed ^ 0x4e5e_11a7_0000_0001);
+        // Every weight layer gets its own substream of the compile seed;
+        // within a layer, every stage and tile substream again. No
+        // stochastic draw depends on visit order.
+        let base_seed = options.seed ^ 0x4e5e_11a7_0000_0001;
 
         // Pass the calibration batch through an ideal copy, recording the
         // max-abs input to each weight layer.
@@ -338,7 +400,7 @@ impl HardwareNetwork {
                         mapped,
                         options,
                         weight_layer_index,
-                        &mut rng,
+                        seeds::substream(base_seed, weight_layer_index as u64),
                         &mut health,
                     )?;
                     let encoding = options.encoding.encoding_for(weight_layer_index);
@@ -367,7 +429,7 @@ impl HardwareNetwork {
                         mapped,
                         options,
                         weight_layer_index,
-                        &mut rng,
+                        seeds::substream(base_seed, weight_layer_index as u64),
                         &mut health,
                     )?;
                     let encoding = options.encoding.encoding_for(weight_layer_index);
@@ -393,7 +455,7 @@ impl HardwareNetwork {
             engine,
             layers,
             name: net.name().to_owned(),
-            mvm_count: std::cell::Cell::new(0),
+            mvm_count: AtomicU64::new(0),
             health,
         })
     }
@@ -457,6 +519,139 @@ impl HardwareNetwork {
         Ok(x)
     }
 
+    /// Data-parallel batched forward pass.
+    ///
+    /// Produces **bit-identical** outputs to [`HardwareNetwork::forward`]
+    /// for any thread count: the per-sample floating-point operation
+    /// sequence is preserved exactly; the batch only amortizes the
+    /// sample-independent per-column work (crossbar column sums, charge
+    /// factors and decode constants are computed once per layer instead
+    /// of once per sample) and fans independent samples out across the
+    /// rayon pool. The MVM counter advances by the same total as the
+    /// per-sample path.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for incompatible inputs.
+    pub fn forward_batch(&self, input: &Tensor) -> Result<Tensor, ResipeError> {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = self.forward_layer_batched(layer, &x)?;
+        }
+        Ok(x)
+    }
+
+    fn forward_layer_batched(&self, layer: &HwLayer, x: &Tensor) -> Result<Tensor, ResipeError> {
+        use rayon::prelude::*;
+        match layer {
+            HwLayer::Dense {
+                mapped,
+                bias,
+                input_scale,
+                encoding,
+            } => {
+                let s = x.shape();
+                if s.len() != 2 || s[1] != mapped.rows() {
+                    return Err(ResipeError::DimensionMismatch {
+                        expected: mapped.rows(),
+                        got: s.last().copied().unwrap_or(0),
+                    });
+                }
+                let n = s[0];
+                let plan = BatchPlan::new(&self.engine, mapped, *encoding);
+                // Samples are independent; chunk them over the pool so
+                // each worker reuses one scratch allocation, and stitch
+                // the chunks back in sample order.
+                let threads = rayon::current_num_threads().max(1);
+                let chunk_len = n.div_ceil(threads).max(1);
+                let starts: Vec<usize> = (0..n).step_by(chunk_len).collect();
+                let chunks: Vec<Result<Vec<Vec<f64>>, ResipeError>> = starts
+                    .par_iter()
+                    .map(|&start| {
+                        let end = (start + chunk_len).min(n);
+                        let mut scratch = plan.scratch();
+                        let mut ys = Vec::with_capacity(end - start);
+                        for i in start..end {
+                            let a: Vec<f64> = x
+                                .row(i)
+                                .iter()
+                                .map(|&v| (v as f64 / input_scale).clamp(0.0, 1.0))
+                                .collect();
+                            ys.push(plan.forward_one(&a, &mut scratch)?);
+                        }
+                        Ok(ys)
+                    })
+                    .collect();
+                self.mvm_count
+                    .fetch_add((n * mapped.mvms_per_forward()) as u64, Ordering::Relaxed);
+                let mut out = Tensor::zeros(&[n, mapped.cols()]);
+                let mut i = 0usize;
+                for chunk in chunks {
+                    for y in chunk? {
+                        for (j, &yj) in y.iter().enumerate() {
+                            out.set(&[i, j], (yj * input_scale + bias[j]) as f32);
+                        }
+                        i += 1;
+                    }
+                }
+                Ok(out)
+            }
+            HwLayer::Conv {
+                mapped,
+                bias,
+                input_scale,
+                encoding,
+                kernel,
+                padding,
+                out_channels,
+            } => {
+                let s = x.shape();
+                if s.len() != 4 {
+                    return Err(ResipeError::DimensionMismatch {
+                        expected: 4,
+                        got: s.len(),
+                    });
+                }
+                let (n, h, w) = (s[0], s[2], s[3]);
+                let h_out = h + 2 * padding + 1 - kernel;
+                let w_out = w + 2 * padding + 1 - kernel;
+                let n_pix = h_out * w_out;
+                let plan = BatchPlan::new(&self.engine, mapped, *encoding);
+                let per_sample: Vec<Result<Vec<Vec<f64>>, ResipeError>> = (0..n)
+                    .into_par_iter()
+                    .map(|b| {
+                        let cols = im2col(x, b, *kernel, *padding)?;
+                        let fan_in = cols.shape()[0];
+                        let mut scratch = plan.scratch();
+                        let mut pix_out = Vec::with_capacity(n_pix);
+                        for pix in 0..n_pix {
+                            let a: Vec<f64> = (0..fan_in)
+                                .map(|r| (cols.get(&[r, pix]) as f64 / input_scale).clamp(0.0, 1.0))
+                                .collect();
+                            pix_out.push(plan.forward_one(&a, &mut scratch)?);
+                        }
+                        Ok(pix_out)
+                    })
+                    .collect();
+                self.mvm_count.fetch_add(
+                    (n * n_pix * mapped.mvms_per_forward()) as u64,
+                    Ordering::Relaxed,
+                );
+                let mut out = Tensor::zeros(&[n, *out_channels, h_out, w_out]);
+                for (b, sample) in per_sample.into_iter().enumerate() {
+                    for (pix, y) in sample?.into_iter().enumerate() {
+                        let (oi, oj) = (pix / w_out, pix % w_out);
+                        for (oc, &yc) in y.iter().enumerate() {
+                            out.set(&[b, oc, oi, oj], (yc * input_scale + bias[oc]) as f32);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            digital => self.forward_layer(digital, x),
+        }
+    }
+
     fn forward_layer(&self, layer: &HwLayer, x: &Tensor) -> Result<Tensor, ResipeError> {
         match layer {
             HwLayer::Dense {
@@ -482,7 +677,7 @@ impl HardwareNetwork {
                         .collect();
                     let y = mapped.forward(&self.engine, &a, *encoding)?;
                     self.mvm_count
-                        .set(self.mvm_count.get() + mapped.mvms_per_forward() as u64);
+                        .fetch_add(mapped.mvms_per_forward() as u64, Ordering::Relaxed);
                     for (j, &yj) in y.iter().enumerate() {
                         out.set(&[i, j], (yj * input_scale + bias[j]) as f32);
                     }
@@ -518,7 +713,7 @@ impl HardwareNetwork {
                             .collect();
                         let y = mapped.forward(&self.engine, &a, *encoding)?;
                         self.mvm_count
-                            .set(self.mvm_count.get() + mapped.mvms_per_forward() as u64);
+                            .fetch_add(mapped.mvms_per_forward() as u64, Ordering::Relaxed);
                         let (oi, oj) = (pix / w_out, pix % w_out);
                         for (oc, &yc) in y.iter().enumerate() {
                             out.set(&[b, oc, oi, oj], (yc * input_scale + bias[oc]) as f32);
@@ -546,12 +741,12 @@ impl HardwareNetwork {
     /// Physical crossbar MVMs issued since construction or the last
     /// [`HardwareNetwork::reset_mvm_count`].
     pub fn mvm_count(&self) -> u64 {
-        self.mvm_count.get()
+        self.mvm_count.load(Ordering::Relaxed)
     }
 
     /// Resets the MVM counter (e.g. before measuring one batch).
     pub fn reset_mvm_count(&self) {
-        self.mvm_count.set(0);
+        self.mvm_count.store(0, Ordering::Relaxed);
     }
 
     /// Measured crossbar/periphery energy of the MVMs issued so far,
@@ -560,7 +755,7 @@ impl HardwareNetwork {
         &self,
         model: &crate::power::EnergyModel,
     ) -> resipe_analog::units::Joules {
-        resipe_analog::units::Joules(self.mvm_count.get() as f64 * model.mvm_energy().total().0)
+        resipe_analog::units::Joules(self.mvm_count() as f64 * model.mvm_energy().total().0)
     }
 
     /// Argmax predictions over a dataset.

@@ -52,8 +52,11 @@
 // `!(x > 0.0)` deliberately rejects NaN alongside non-positive values
 // when validating physical parameters; the clippy lint would obscure that.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
 
 pub mod arch;
+pub mod batch;
+pub mod cache;
 pub mod circuit;
 pub mod cog;
 pub mod config;
@@ -66,6 +69,7 @@ pub mod parasitics;
 pub mod pipeline;
 pub mod power;
 pub mod repair;
+pub mod seeds;
 pub mod spike;
 
 pub use config::ResipeConfig;

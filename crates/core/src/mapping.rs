@@ -39,7 +39,8 @@
 //!   ReSiPE stage: its time already sits on the ramp curve, so the voltage
 //!   it samples is exactly proportional to the value it carries.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use resipe_analog::units::{Ohms, Seconds, Siemens};
@@ -486,20 +487,21 @@ impl MappedWeights {
     /// deviation `sigma_volts` — the COG's dominant analog mismatch,
     /// fixed per fabricated instance. The digital decode does not know
     /// the offsets, so they reach the output as systematic error.
-    pub fn with_comparator_offsets<R: Rng + ?Sized>(
-        mut self,
-        sigma_volts: f64,
-        rng: &mut R,
-    ) -> MappedWeights {
+    ///
+    /// Each tile draws from its own [`crate::seeds::substream`] of
+    /// `base_seed`, so the offsets of any tile are independent of how
+    /// many tiles precede it (the per-tile determinism contract).
+    pub fn with_comparator_offsets(mut self, sigma_volts: f64, base_seed: u64) -> MappedWeights {
         assert!(
             sigma_volts >= 0.0 && sigma_volts.is_finite(),
             "offset sigma must be non-negative and finite"
         );
         use resipe_reram::variation::standard_normal;
-        for tile in &mut self.tiles {
+        for (ti, tile) in self.tiles.iter_mut().enumerate() {
+            let mut rng = StdRng::seed_from_u64(crate::seeds::substream(base_seed, ti as u64));
             for offs in [&mut tile.offset_plus, &mut tile.offset_minus] {
                 for o in offs.iter_mut() {
-                    *o = sigma_volts * standard_normal(rng);
+                    *o = sigma_volts * standard_normal(&mut rng);
                 }
             }
         }
@@ -533,7 +535,6 @@ impl MappedWeights {
         let vs = cfg.vs().0;
         let t_max = cfg.t_max().0;
         let v_ref = vs * (1.0 - (-t_max / tau).exp());
-        let dt_over_c = cfg.dt().0 / cfg.c_cog().0;
 
         // Encode activations into spike times.
         let encode = |a: f64| -> Seconds {
@@ -545,9 +546,63 @@ impl MappedWeights {
             }
         };
 
+        // Tiles are independent up to the final digital accumulation, so
+        // they evaluate in parallel (one MVM pair per tile); the partial
+        // results are then summed **in tile order**, giving bit-identical
+        // output to the serial loop for any thread count.
+        use rayon::prelude::*;
+        let tile_offsets: Vec<usize> = self
+            .tiles
+            .iter()
+            .scan(0usize, |start, t| {
+                let s = *start;
+                *start += t.rows;
+                Some(s)
+            })
+            .collect();
+        let partials: Vec<Result<Vec<f64>, ResipeError>> = (0..self.tiles.len())
+            .into_par_iter()
+            .map(|ti| {
+                self.tile_partial(
+                    engine,
+                    &self.tiles[ti],
+                    tile_offsets[ti],
+                    activations,
+                    &encode,
+                )
+            })
+            .collect();
         let mut acc = vec![0.0f64; self.cols];
-        let mut row_start = 0;
-        for tile in &self.tiles {
+        for partial in partials {
+            let partial = partial?;
+            for (out, p) in acc.iter_mut().zip(&partial) {
+                *out += p;
+            }
+        }
+        // Σ V_i ΔG_ij / V_ref · w_scale / Δg_eff ≈ Σ a_i w_ij.
+        let scale = self.weight_scale / (v_ref * self.delta_g_eff.0);
+        for y in &mut acc {
+            *y *= scale;
+        }
+        Ok(acc)
+    }
+
+    /// One tile's contribution to [`MappedWeights::forward`]: the decoded
+    /// differential column values (before the global weight rescale).
+    fn tile_partial(
+        &self,
+        engine: &ResipeEngine,
+        tile: &Tile,
+        row_start: usize,
+        activations: &[f64],
+        encode: &(dyn Fn(f64) -> Seconds + Sync),
+    ) -> Result<Vec<f64>, ResipeError> {
+        let cfg = engine.config();
+        let tau = cfg.tau_gd().0;
+        let vs = cfg.vs().0;
+        let dt_over_c = cfg.dt().0 / cfg.c_cog().0;
+        let mut acc = vec![0.0f64; self.cols];
+        {
             // Each physical wordline is driven by the logical tile row the
             // (possibly repair-permuted) routing assigns to it.
             let t_in: Vec<Seconds> = tile
@@ -585,12 +640,6 @@ impl MappedWeights {
                 );
                 *out += d_plus - d_minus;
             }
-            row_start += tile.rows;
-        }
-        // Σ V_i ΔG_ij / V_ref · w_scale / Δg_eff ≈ Σ a_i w_ij.
-        let scale = self.weight_scale / (v_ref * self.delta_g_eff.0);
-        for y in &mut acc {
-            *y *= scale;
         }
         Ok(acc)
     }
@@ -636,19 +685,33 @@ impl MappedWeights {
     /// conductances recomputed. The decode constants stay at their
     /// design-time values — the peripheral does not know the actual
     /// perturbed conductances, which is how PV reaches the output.
-    pub fn perturbed<R: Rng + ?Sized>(&self, model: &VariationModel, rng: &mut R) -> MappedWeights {
+    ///
+    /// Each tile draws from its own [`crate::seeds::substream`] of
+    /// `base_seed`, which makes the instance a pure function of
+    /// `(base_seed, tile index)` rather than of tile visit order — so the
+    /// tiles can be perturbed in parallel with a bit-identical result.
+    pub fn perturbed(&self, model: &VariationModel, base_seed: u64) -> MappedWeights {
+        use rayon::prelude::*;
         let mut out = self.clone();
-        for tile in &mut out.tiles {
-            for cells in [&mut tile.cell_plus, &mut tile.cell_minus] {
-                for g in cells.iter_mut() {
-                    *g = model.perturb(Siemens(*g), self.window, rng).0;
+        let window = self.window;
+        let tiles: Vec<Tile> = (0..self.tiles.len())
+            .into_par_iter()
+            .map(|ti| {
+                let mut tile = self.tiles[ti].clone();
+                let mut rng = StdRng::seed_from_u64(crate::seeds::substream(base_seed, ti as u64));
+                for cells in [&mut tile.cell_plus, &mut tile.cell_minus] {
+                    for g in cells.iter_mut() {
+                        *g = model.perturb(Siemens(*g), window, &mut rng).0;
+                    }
                 }
-            }
-            // Stuck cells ignore programming noise; re-pin them (this also
-            // recomputes the effective conductances).
-            tile.pin_faults(self.window);
-            // gsum_plus/gsum_minus intentionally NOT recomputed.
-        }
+                // Stuck cells ignore programming noise; re-pin them (this
+                // also recomputes the effective conductances).
+                tile.pin_faults(window);
+                // gsum_plus/gsum_minus intentionally NOT recomputed.
+                tile
+            })
+            .collect();
+        out.tiles = tiles;
         out
     }
 
@@ -770,6 +833,16 @@ impl MappedWeights {
         &mut self.tiles
     }
 
+    /// The effective conductance swing used as the decode scale.
+    pub(crate) fn delta_g_eff(&self) -> Siemens {
+        self.delta_g_eff
+    }
+
+    /// The optional spike-time quantization grid (seconds).
+    pub(crate) fn time_quantum(&self) -> Option<f64> {
+        self.time_quantum
+    }
+
     /// Reconstructs the logical weight at `(row, col)` from the programmed
     /// conductances.
     ///
@@ -808,7 +881,7 @@ pub fn paper_stack(config: ResipeConfig) -> Result<(ResipeEngine, TileMapper), R
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
     fn engine() -> ResipeEngine {
         ResipeEngine::new(ResipeConfig::paper())
@@ -926,15 +999,17 @@ mod tests {
 
     #[test]
     fn perturbed_changes_effective_conductances() {
-        let mut rng = StdRng::seed_from_u64(2);
         let mapped = TileMapper::paper()
             .map(&[0.5, -0.5, 0.1, 0.9], 2, 2)
             .unwrap();
         let model = VariationModel::device_to_device(0.2).unwrap();
-        let noisy = mapped.perturbed(&model, &mut rng);
+        let noisy = mapped.perturbed(&model, 2);
         assert_ne!(noisy, mapped);
+        // Same seed, same instance (per-tile substreams are pure functions
+        // of the base seed).
+        assert_eq!(noisy, mapped.perturbed(&model, 2));
         // Ideal variation keeps it identical.
-        let same = mapped.perturbed(&VariationModel::IDEAL, &mut rng);
+        let same = mapped.perturbed(&VariationModel::IDEAL, 2);
         assert_eq!(same, mapped);
     }
 
@@ -947,7 +1022,7 @@ mod tests {
         let e = engine();
         let clean = mapped.forward(&e, &a, SpikeEncoding::PassThrough).unwrap()[0];
         let model = VariationModel::device_to_device(0.2).unwrap();
-        let noisy = mapped.perturbed(&model, &mut rng);
+        let noisy = mapped.perturbed(&model, 3);
         let shifted = noisy.forward(&e, &a, SpikeEncoding::PassThrough).unwrap()[0];
         assert!((clean - shifted).abs() > 1e-6, "PV must move the output");
     }
@@ -1018,7 +1093,6 @@ mod tests {
 
     #[test]
     fn comparator_offsets_shift_output() {
-        let mut rng = StdRng::seed_from_u64(6);
         let weights = vec![0.5, -0.25, 0.75, 0.1];
         let mapped = TileMapper::paper().map(&weights, 4, 1).unwrap();
         let a = [0.5, 0.5, 0.5, 0.5];
@@ -1026,14 +1100,14 @@ mod tests {
         let clean = mapped.forward(&e, &a, SpikeEncoding::PassThrough).unwrap()[0];
         let offset = mapped
             .clone()
-            .with_comparator_offsets(0.02, &mut rng)
+            .with_comparator_offsets(0.02, 6)
             .forward(&e, &a, SpikeEncoding::PassThrough)
             .unwrap()[0];
         assert!((clean - offset).abs() > 1e-6, "offsets had no effect");
         // Zero sigma leaves the output untouched.
         let zero = mapped
             .clone()
-            .with_comparator_offsets(0.0, &mut rng)
+            .with_comparator_offsets(0.0, 7)
             .forward(&e, &a, SpikeEncoding::PassThrough)
             .unwrap()[0];
         assert!((clean - zero).abs() < 1e-12);

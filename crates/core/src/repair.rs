@@ -604,19 +604,29 @@ pub fn repair_tile<R: Rng + ?Sized>(
 /// Runs the repair ladder on every tile of one mapped layer, appending a
 /// [`TileHealth`] per tile.
 ///
+/// Each tile programs with write noise drawn from its own
+/// [`crate::seeds::substream`] of `base_seed`, so the repair outcome of a
+/// tile is a pure function of `(base_seed, tile index)` — independent of
+/// how many tiles precede it (the per-tile determinism contract).
+///
 /// # Errors
 ///
 /// Propagates engine errors from the BIST passes.
-pub fn repair_layer<R: Rng + ?Sized>(
+pub fn repair_layer(
     engine: &ResipeEngine,
     mapped: &mut MappedWeights,
     layer: usize,
     policy: &RepairPolicy,
-    rng: &mut R,
+    base_seed: u64,
 ) -> Result<Vec<TileHealth>, ResipeError> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     let n = mapped.tiles().len();
     (0..n)
-        .map(|i| repair_tile(engine, mapped, i, layer, policy, rng))
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(crate::seeds::substream(base_seed, i as u64));
+            repair_tile(engine, mapped, i, layer, policy, &mut rng)
+        })
         .collect()
 }
 
@@ -655,12 +665,11 @@ mod tests {
 
     #[test]
     fn moderate_pv_does_not_trip_bist() {
-        let mut rng = StdRng::seed_from_u64(2);
         let mapped = TileMapper::paper()
             .map(&test_weights(32, 6, 2), 32, 6)
             .unwrap();
         let model = resipe_reram::VariationModel::device_to_device(0.10).unwrap();
-        let noisy = mapped.perturbed(&model, &mut rng);
+        let noisy = mapped.perturbed(&model, 2);
         let report = run_bist(
             &engine(),
             &noisy.tiles()[0],
@@ -767,15 +776,13 @@ mod tests {
 
     #[test]
     fn heavy_faults_degrade_without_panicking() {
-        let mut rng = StdRng::seed_from_u64(7);
         let mut mapped = TileMapper::paper()
             .with_spare_cols(1)
             .map(&test_weights(32, 6, 7), 32, 6)
             .unwrap()
             .with_faults(0.25, 10, 7)
             .unwrap();
-        let healths =
-            repair_layer(&engine(), &mut mapped, 0, &RepairPolicy::full(), &mut rng).unwrap();
+        let healths = repair_layer(&engine(), &mut mapped, 0, &RepairPolicy::full(), 7).unwrap();
         assert!(healths
             .iter()
             .any(|h| h.status == TileStatus::Degraded || h.status == TileStatus::Repaired));

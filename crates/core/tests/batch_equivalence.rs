@@ -1,0 +1,144 @@
+//! The batched/sequential determinism contract, end to end.
+//!
+//! `HardwareNetwork::forward_batch` must produce **bit-identical**
+//! outputs to per-sample `forward` — for any thread count, under every
+//! compile-time non-ideality — and the atomic MVM counter must advance
+//! by the same total on both paths.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use resipe::inference::{CompileOptions, FaultInjection, HardwareNetwork};
+use resipe::mapping::TileMapper;
+use resipe_nn::data::synth_digits;
+use resipe_nn::layers::Dense;
+use resipe_nn::models;
+use resipe_nn::network::Network;
+use resipe_nn::tensor::Tensor;
+use resipe_nn::train::{Sgd, TrainConfig};
+use resipe_reram::variation::VariationModel;
+
+/// Asserts bit-for-bit equality of two tensors (f32 `==` would also
+/// accept `-0.0 == 0.0`; the contract is stricter).
+fn assert_bit_identical(a: &Tensor, b: &Tensor) {
+    assert_eq!(a.shape(), b.shape());
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "element {i}: {x:e} vs {y:e} differ in bits"
+        );
+    }
+}
+
+fn trained_mlp() -> (Network, Tensor, Tensor) {
+    let train = synth_digits(120, 1).unwrap();
+    let mut net = models::mlp1(7).unwrap();
+    Sgd::new(TrainConfig::new(2).with_learning_rate(0.1))
+        .fit(&mut net, &train)
+        .unwrap();
+    let (calib, _) = train.batch(&(0..16).collect::<Vec<_>>()).unwrap();
+    let (x, _) = train.batch(&(0..12).collect::<Vec<_>>()).unwrap();
+    (net, calib, x)
+}
+
+#[test]
+fn batched_matches_sequential_clean() {
+    let (net, calib, x) = trained_mlp();
+    let hw = HardwareNetwork::compile(&net, &calib, &CompileOptions::paper()).unwrap();
+    let seq = hw.forward(&x).unwrap();
+    let bat = hw.forward_batch(&x).unwrap();
+    assert_bit_identical(&seq, &bat);
+}
+
+#[test]
+fn batched_matches_sequential_under_nonidealities() {
+    let (net, calib, x) = trained_mlp();
+    // The full non-ideality chain: process variation, clustered hard
+    // faults, repair with spares, comparator offsets, time quantization.
+    let opts = CompileOptions::paper()
+        .with_mapper(TileMapper::paper().with_spare_cols(2))
+        .with_variation(VariationModel::device_to_device(0.15).unwrap())
+        .with_seed(42)
+        .with_faults(FaultInjection::clustered(0.01, 4, 17))
+        .with_repair(resipe::repair::RepairPolicy::full())
+        .with_comparator_sigma(0.01)
+        .with_time_quantization(resipe_analog::units::Seconds(1e-9));
+    let hw = HardwareNetwork::compile(&net, &calib, &opts).unwrap();
+    let seq = hw.forward(&x).unwrap();
+    let bat = hw.forward_batch(&x).unwrap();
+    assert_bit_identical(&seq, &bat);
+}
+
+#[test]
+fn batched_matches_sequential_across_thread_counts() {
+    let (net, calib, x) = trained_mlp();
+    let opts = CompileOptions::paper()
+        .with_variation(VariationModel::device_to_device(0.10).unwrap())
+        .with_seed(5);
+    let hw = HardwareNetwork::compile(&net, &calib, &opts).unwrap();
+    let reference = hw.forward(&x).unwrap();
+    for threads in [1, 2, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let bat = pool.install(|| hw.forward_batch(&x)).unwrap();
+        assert_bit_identical(&reference, &bat);
+    }
+}
+
+#[test]
+fn batched_matches_sequential_conv() {
+    let train = synth_digits(40, 3).unwrap();
+    let mut net = models::lenet(11).unwrap();
+    Sgd::new(TrainConfig::new(1).with_learning_rate(0.05))
+        .fit(&mut net, &train)
+        .unwrap();
+    let (calib, _) = train.batch(&[0, 1, 2, 3]).unwrap();
+    let (x, _) = train.batch(&[0, 1, 2]).unwrap();
+    let opts = CompileOptions::paper()
+        .with_variation(VariationModel::device_to_device(0.05).unwrap())
+        .with_seed(3);
+    let hw = HardwareNetwork::compile(&net, &calib, &opts).unwrap();
+    let seq = hw.forward(&x).unwrap();
+    let bat = hw.forward_batch(&x).unwrap();
+    assert_bit_identical(&seq, &bat);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The atomic MVM counter advances by exactly the same total on the
+    /// sequential and batched paths, for arbitrary small dense networks
+    /// and batch sizes.
+    #[test]
+    fn mvm_counter_totals_match(
+        in_features in 1usize..40,
+        out_features in 1usize..6,
+        batch in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Network::new("prop");
+        net.push(Dense::new(in_features, out_features, &mut rng));
+        let calib = Tensor::from_vec(
+            (0..2 * in_features).map(|_| rng.gen_range(0.0..1.0f32)).collect(),
+            &[2, in_features],
+        ).expect("shape");
+        let x = Tensor::from_vec(
+            (0..batch * in_features).map(|_| rng.gen_range(0.0..1.0f32)).collect(),
+            &[batch, in_features],
+        ).expect("shape");
+        let hw = HardwareNetwork::compile(&net, &calib, &CompileOptions::paper())
+            .expect("compile");
+        hw.forward(&x).expect("forward");
+        let sequential = hw.mvm_count();
+        hw.reset_mvm_count();
+        hw.forward_batch(&x).expect("forward_batch");
+        let batched = hw.mvm_count();
+        prop_assert_eq!(sequential, batched);
+        prop_assert_eq!(batched as usize, batch * hw.dense_mvms_per_sample());
+    }
+}

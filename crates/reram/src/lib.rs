@@ -36,6 +36,7 @@
 // `!(x > 0.0)` deliberately rejects NaN alongside non-positive values
 // when validating physical parameters; the clippy lint would obscure that.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
 
 pub mod crossbar;
 pub mod device;

@@ -1,0 +1,429 @@
+//! Offline in-tree stand-in for `rayon`.
+//!
+//! Provides the API subset the workspace uses — [`ThreadPoolBuilder`] /
+//! [`ThreadPool::install`], [`current_num_threads`], `into_par_iter()` on
+//! `Range<usize>`, `par_iter()` on slices, and the `map` / `for_each` /
+//! `collect` combinators — backed by plain scoped OS threads instead of
+//! rayon's work-stealing deque.
+//!
+//! Semantics guaranteed by this stand-in (and relied on by the
+//! determinism contract of `resipe::inference::HardwareNetwork`):
+//!
+//! * **Order preservation** — `collect()` places item *i*'s result at
+//!   index *i*, exactly as serial iteration would, regardless of thread
+//!   count or scheduling.
+//! * **Serial fallback** — with one thread, one item, or inside an
+//!   already-parallel region (no nested fan-out, unlike real rayon, to
+//!   avoid oversubscribing plain OS threads) the closure runs inline on
+//!   the calling thread.
+//! * **Thread-count control** — [`ThreadPool::install`] scopes a
+//!   thread-count override to the given closure (thread-local, so
+//!   concurrent pools do not interfere); [`current_num_threads`] reads
+//!   the override, then the `RAYON_NUM_THREADS` environment variable,
+//!   then [`std::thread::available_parallelism`].
+//!
+//! Work is split into at most `current_num_threads()` contiguous chunks,
+//! one scoped thread per chunk — the right shape for the coarse-grained
+//! per-sample fan-out this workspace does, though it would be a poor fit
+//! for irregular task trees (which real rayon handles by stealing).
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Depth of parallel regions on this thread (workers run serially).
+    static PAR_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of threads parallel iterators will fan out to.
+///
+/// Resolution order: the innermost [`ThreadPool::install`] override, the
+/// `RAYON_NUM_THREADS` environment variable, then the machine's available
+/// parallelism (1 if that cannot be determined).
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_THREADS.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Error building a [`ThreadPool`] (kept for API compatibility; this
+/// stand-in cannot actually fail to build).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] with an explicit thread count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (automatic) thread count.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the thread count; 0 means automatic.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this stand-in; the `Result` mirrors rayon's API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical thread pool: a thread-count that [`ThreadPool::install`]
+/// scopes onto parallel iterators run inside its closure. Threads are
+/// spawned per parallel call (scoped), not kept alive between calls.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool's thread count installed for any parallel
+    /// iterators it executes.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|t| t.replace(Some(self.num_threads)));
+        let result = op();
+        POOL_THREADS.with(|t| t.set(prev));
+        result
+    }
+}
+
+/// Runs `f(i)` for every index in `0..len`, fanning contiguous index
+/// chunks across scoped threads, and returns the results in index order.
+///
+/// The chunk division depends only on the logical thread count (so
+/// per-chunk state such as scratch buffers is deterministic), while the
+/// number of OS threads actually spawned is additionally capped at the
+/// machine's available parallelism — requesting more workers than cores
+/// cannot compute faster, it only adds spawn and scheduling overhead.
+/// Workers deal chunks from a shared atomic index; each chunk's results
+/// land in that chunk's own slot, so scheduling cannot affect output
+/// order.
+fn run_indexed<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = current_num_threads();
+    let nested = PAR_DEPTH.with(Cell::get) > 0;
+    if threads <= 1 || len <= 1 || nested {
+        return (0..len).map(f).collect();
+    }
+    let chunks = threads.min(len);
+    let chunk_len = len.div_ceil(chunks);
+    let workers = chunks.min(std::thread::available_parallelism().map_or(1, usize::from));
+    let mut parts: Vec<Option<Vec<T>>> = Vec::new();
+    parts.resize_with(chunks, || None);
+    if workers <= 1 {
+        // One worker: run the chunks inline (still marking the region as
+        // parallel so nested fan-out stays serial, like a real worker).
+        PAR_DEPTH.with(|d| d.set(d.get() + 1));
+        for (c, slot) in parts.iter_mut().enumerate() {
+            let start = c * chunk_len;
+            let end = ((c + 1) * chunk_len).min(len);
+            *slot = Some((start..end).map(&f).collect());
+        }
+        PAR_DEPTH.with(|d| d.set(d.get() - 1));
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots = std::sync::Mutex::new(&mut parts);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let f = &f;
+                let next = &next;
+                let slots = &slots;
+                scope.spawn(move || {
+                    PAR_DEPTH.with(|d| d.set(d.get() + 1));
+                    loop {
+                        let c = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if c >= chunks {
+                            break;
+                        }
+                        let start = c * chunk_len;
+                        let end = ((c + 1) * chunk_len).min(len);
+                        let out: Vec<T> = (start..end).map(f).collect();
+                        slots.lock().expect("worker poisoned the slot lock")[c] = Some(out);
+                    }
+                    PAR_DEPTH.with(|d| d.set(d.get() - 1));
+                });
+            }
+        });
+    }
+    let mut out = Vec::with_capacity(len);
+    for p in parts {
+        out.extend(p.expect("every chunk must have been produced"));
+    }
+    out
+}
+
+/// A parallel iterator: eager, order-preserving, chunked over scoped
+/// threads.
+pub trait ParallelIterator: Sized + Send + Sync {
+    /// The item type produced.
+    type Item: Send;
+
+    /// Number of items.
+    fn par_len(&self) -> usize;
+
+    /// Produces item `i` (each index is produced exactly once).
+    fn par_get(&self, i: usize) -> Self::Item;
+
+    /// Maps every item through `f` in parallel.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync + Send>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Runs `f` on every item in parallel (no result).
+    fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F) {
+        run_indexed(self.par_len(), |i| f(self.par_get(i)));
+    }
+
+    /// Collects the items, preserving index order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Conversion into a [`ParallelIterator`] (rayon's `into_par_iter`).
+pub trait IntoParallelIterator {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iteration by reference (rayon's `par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type (a reference).
+    type Item: Send + 'a;
+    /// Returns a parallel iterator over references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// A parallel iterator over `Range<usize>`.
+#[derive(Debug, Clone)]
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+
+    fn par_len(&self) -> usize {
+        self.range.len()
+    }
+
+    fn par_get(&self, i: usize) -> usize {
+        self.range.start + i
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// A parallel iterator over slice references.
+#[derive(Debug)]
+pub struct ParSlice<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn par_get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParSlice<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParSlice<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+/// The result of [`ParallelIterator::map`].
+#[derive(Debug)]
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn par_get(&self, i: usize) -> R {
+        (self.f)(self.base.par_get(i))
+    }
+}
+
+/// Collecting from a parallel iterator (rayon's `FromParallelIterator`).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds `Self` from the iterator, preserving item order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Vec<T> {
+        run_indexed(iter.par_len(), |i| iter.par_get(i))
+    }
+}
+
+impl<T: Send, E: Send> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_iter<I: ParallelIterator<Item = Result<T, E>>>(iter: I) -> Result<Vec<T>, E> {
+        run_indexed(iter.par_len(), |i| iter.par_get(i))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Everything needed to use the parallel iterator API, mirroring
+/// `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_par_iter() {
+        let data = vec![1u64, 2, 3, 4, 5];
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn result_collect_propagates_err() {
+        let ok: Result<Vec<usize>, String> =
+            (0..10).into_par_iter().map(Ok::<usize, String>).collect();
+        assert_eq!(ok.unwrap().len(), 10);
+        let err: Result<Vec<usize>, String> = (0..10)
+            .into_par_iter()
+            .map(|i| {
+                if i == 7 {
+                    Err("boom".to_owned())
+                } else {
+                    Ok(i)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        (0..100).into_par_iter().for_each(|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn pool_install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn order_is_independent_of_thread_count() {
+        let serial: Vec<usize> = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| (0..257).into_par_iter().map(|i| i * i).collect());
+        let wide: Vec<usize> = ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap()
+            .install(|| (0..257).into_par_iter().map(|i| i * i).collect());
+        assert_eq!(serial, wide);
+    }
+}
