@@ -1,0 +1,182 @@
+//! End-to-end telemetry profile: per-stage wall-clock and energy
+//! attribution for the compile → run pipeline (`BENCH_profile.json` at
+//! the repo root).
+//!
+//! Compiles MLP-1 twice through the [`CompileCache`] with an enabled
+//! [`Telemetry`] recorder (one miss, one hit), runs a batch through the
+//! unified `HardwareNetwork::run` API in planned mode, and reports the
+//! full snapshot: span hierarchy, stage timings, counters, spike-time /
+//! saturation histograms, and the per-stage energy attribution — which
+//! must sum to the `HardwareNetwork::measured_energy` total within
+//! 1 % (it is exact by construction; the assertion guards the
+//! attribution against drifting from the MVM counter).
+//!
+//! ```text
+//! cargo run --release --bin profile              # full measurement
+//! cargo run --release --bin profile -- --smoke   # CI-sized
+//! cargo run --release --bin profile -- --samples 256
+//! ```
+
+use resipe::cache::CompileCache;
+use resipe::inference::{CompileOptions, FaultInjection, RunOptions};
+use resipe::mapping::TileMapper;
+use resipe::power::EnergyModel;
+use resipe::telemetry::Telemetry;
+use resipe_bench::Args;
+use resipe_nn::data::synth_digits;
+use resipe_nn::models;
+use resipe_nn::train::{Sgd, TrainConfig};
+use resipe_reram::variation::VariationModel;
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6e}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.has("smoke");
+    let n_train = args.usize_of("train", if smoke { 200 } else { 600 });
+    let epochs = args.usize_of("epochs", if smoke { 2 } else { 6 });
+    let n_samples = args.usize_of("samples", if smoke { 32 } else { 128 });
+    let out_path = args
+        .value_of("out")
+        .unwrap_or("BENCH_profile.json")
+        .to_owned();
+
+    eprintln!("training MLP-1 on {n_train} synthetic digits ({epochs} epochs)...");
+    let train = synth_digits(n_train, 1).expect("dataset");
+    let mut net = models::mlp1(7).expect("model");
+    Sgd::new(TrainConfig::new(epochs).with_learning_rate(0.1))
+        .fit(&mut net, &train)
+        .expect("training");
+    let (calib, _) = train.batch(&(0..32).collect::<Vec<_>>()).expect("calib");
+
+    // Compile with the full non-ideality chain so the repair, remap and
+    // offset-reject counters have something to report, through the LRU
+    // cache so the hit/miss counters exercise too.
+    let telemetry = Telemetry::enabled();
+    let opts = CompileOptions::paper()
+        .with_mapper(TileMapper::paper().with_spare_cols(2))
+        .with_variation(VariationModel::device_to_device(0.10).expect("variation"))
+        .with_seed(7)
+        .with_faults(FaultInjection::clustered(0.005, 4, 11))
+        .with_repair(resipe::repair::RepairPolicy::full())
+        .with_comparator_sigma(0.005)
+        .build()
+        .expect("options validate");
+    let mut cache = CompileCache::new(4).with_telemetry(telemetry.clone());
+    eprintln!("compiling {} (fresh, then cached)...", net.name());
+    let hw = cache.get_or_compile(&net, &calib, &opts).expect("compile");
+    drop(hw);
+    let hw = cache.get_or_compile(&net, &calib, &opts).expect("cached");
+    assert_eq!(cache.hits(), 1, "repeat compile must hit the cache");
+
+    let indices: Vec<usize> = (0..n_samples).map(|i| i % train.len()).collect();
+    let (x, _) = train.batch(&indices).expect("batch");
+
+    // Profile both execution modes through the unified API; the planned
+    // run must be bit-identical to the per-sample reference.
+    eprintln!("running {n_samples} samples (per-sample, then planned)...");
+    let seq = hw
+        .run(&x, &RunOptions::per_sample())
+        .expect("per-sample run");
+    let planned = hw.run(&x, &RunOptions::planned()).expect("planned run");
+    let bit_identical = seq
+        .outputs
+        .data()
+        .iter()
+        .zip(planned.outputs.data())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(bit_identical, "planned run diverged from per-sample run");
+
+    // The final snapshot covers the compiles and both runs.
+    let snap = telemetry.snapshot();
+    assert_eq!(
+        snap.counters.mvms,
+        hw.mvm_count(),
+        "telemetry MVM counter must track the hardware counter exactly"
+    );
+
+    // Energy attribution: the per-stage split must sum to the measured
+    // total within 1 % (exact up to float rounding, by construction).
+    let model = EnergyModel::paper();
+    let stage = snap.attributed_energy(&model);
+    let attributed = stage.total().0;
+    let measured = hw.measured_energy(&model).0;
+    let rel_err = if measured > 0.0 {
+        (attributed - measured).abs() / measured
+    } else {
+        0.0
+    };
+    assert!(
+        rel_err <= 0.01,
+        "stage energy attribution ({attributed:e} J) diverged from \
+         measured total ({measured:e} J) by {:.3}%",
+        rel_err * 100.0
+    );
+
+    let (s1_ns, xb_ns, s2_ns) = snap.stage_nanos();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"model\": \"{}\",\n", hw.name()));
+    json.push_str(&format!("  \"samples\": {n_samples},\n"));
+    json.push_str(&format!(
+        "  \"mvms_per_sample\": {},\n",
+        hw.dense_mvms_per_sample()
+    ));
+    json.push_str(&format!("  \"bit_identical\": {bit_identical},\n"));
+    json.push_str(&format!(
+        "  \"stage_nanos\": {{\"s1_encode\": {s1_ns}, \"crossbar\": {xb_ns}, \
+         \"s2_decode\": {s2_ns}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"energy\": {{\"s1_encode_j\": {}, \"crossbar_j\": {}, \"s2_decode_j\": {}, \
+         \"attributed_total_j\": {}, \"measured_total_j\": {}, \"relative_error\": {}}},\n",
+        json_num(stage.s1_encode.0),
+        json_num(stage.crossbar.0),
+        json_num(stage.s2_decode.0),
+        json_num(attributed),
+        json_num(measured),
+        json_num(rel_err)
+    ));
+    json.push_str(&format!(
+        "  \"saturation\": {{\"t_out_top_bin_fraction\": {}, \"v_out_top_bin_fraction\": {}}},\n",
+        json_num(snap.t_out.saturation_fraction()),
+        json_num(snap.v_out.saturation_fraction())
+    ));
+    // The full snapshot (counters, spans, layers, histograms), indented
+    // into place.
+    json.push_str("  \"telemetry\": ");
+    json.push_str(&snap.to_json().replace('\n', "\n  "));
+    json.push_str("\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_profile.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+
+    let total_ns = (s1_ns + xb_ns + s2_ns).max(1) as f64;
+    eprintln!(
+        "stage wall-clock: s1_encode {:.1}%  crossbar {:.1}%  s2_decode {:.1}%",
+        100.0 * s1_ns as f64 / total_ns,
+        100.0 * xb_ns as f64 / total_ns,
+        100.0 * s2_ns as f64 / total_ns
+    );
+    eprintln!(
+        "energy: attributed {:.3e} J vs measured {:.3e} J (rel err {:.2e})",
+        attributed, measured, rel_err
+    );
+    eprintln!(
+        "counters: {} MVMs, {} zero-skips, {} spare remaps, {} repair pulses, \
+         cache {}h/{}m",
+        snap.counters.mvms,
+        snap.counters.zero_activation_skips,
+        snap.counters.spare_remaps,
+        snap.counters.repair_pulses,
+        snap.counters.compile_cache_hits,
+        snap.counters.compile_cache_misses
+    );
+}

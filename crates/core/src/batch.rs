@@ -39,11 +39,14 @@
 //! core; on multicore hosts [`crate::inference::HardwareNetwork::forward_batch`]
 //! additionally fans samples out across the rayon pool.
 
+use std::time::Instant;
+
 use resipe_analog::units::Seconds;
 
 use crate::engine::ResipeEngine;
 use crate::error::ResipeError;
 use crate::mapping::{MappedWeights, SpikeEncoding, Tile};
+use crate::telemetry::{LayerProbe, SampleStats};
 
 /// Sample-independent constants of one crossbar tile pair.
 #[derive(Debug, Clone)]
@@ -155,6 +158,10 @@ pub struct BatchScratch {
     v_in: Vec<f64>,
     /// Indices of wordlines with a non-zero held voltage.
     nonzero: Vec<u32>,
+    /// Sampled `(V_out⁺, V_out⁻)` per column of the current tile —
+    /// used only by the probed path, which splits the column loop into
+    /// a crossbar pass and a decode pass to time them separately.
+    v_cols: Vec<(f64, f64)>,
 }
 
 /// A sample-independent execution plan for one mapped weight layer.
@@ -242,6 +249,7 @@ impl BatchPlan {
         BatchScratch {
             v_in: Vec::with_capacity(self.max_tile_rows),
             nonzero: Vec::with_capacity(self.max_tile_rows),
+            v_cols: Vec::with_capacity(self.cols),
         }
     }
 
@@ -358,15 +366,158 @@ impl BatchPlan {
     /// operation sequence as the sequential path, with the nominal
     /// column constant `k_j` hoisted.
     fn decode_column(&self, v_out: f64, offset: f64, k: f64) -> f64 {
-        let v_eff = (v_out + offset).clamp(0.0, self.v_clamp);
+        self.decode_column_traced(v_out, offset, k).0
+    }
+
+    /// [`BatchPlan::decode_column`] plus the observation telemetry needs:
+    /// the effective comparator voltage, the observed spike time, and
+    /// whether the range clamp or the slice-end saturation engaged.
+    /// Identical floating-point sequence — the trace only reads values
+    /// the decode computes anyway.
+    fn decode_column_traced(&self, v_out: f64, offset: f64, k: f64) -> (f64, DecodeTrace) {
+        let raw = v_out + offset;
+        let v_eff = raw.clamp(0.0, self.v_clamp);
         let mut t_obs = -self.tau * (1.0 - v_eff / self.vs).ln();
         if let Some(q) = self.time_quantum {
             t_obs = (t_obs / q).round() * q;
         }
+        let saturated = t_obs > self.slice;
         let t_obs = t_obs.min(self.slice);
         let v_hat = self.vs * (1.0 - (-t_obs / self.tau).exp());
-        v_hat / k
+        (
+            v_hat / k,
+            DecodeTrace {
+                v_eff,
+                t_obs,
+                offset_clamped: raw != v_eff,
+                saturated,
+            },
+        )
     }
+
+    /// [`BatchPlan::forward_one`] with an optional telemetry probe.
+    ///
+    /// With `None` this *is* `forward_one`. With a probe, the per-tile
+    /// column loop is split into a crossbar pass (weighted sums and
+    /// sampled `V_out`, staged in the scratch buffer) and a decode pass,
+    /// so S1 encode, the computation stage and S2 decode can be timed
+    /// separately — and the decode records the `t_out`/`V_out`
+    /// histograms, zero-activation skips, comparator-offset rejects and
+    /// slice-end saturations. Every column still sees the exact
+    /// floating-point operation sequence of the unprobed path on the
+    /// same inputs (columns are independent; staging an intermediate in
+    /// memory does not change its bits), so probed outputs remain
+    /// **bit-identical**.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::DimensionMismatch`] unless
+    /// `activations.len() == rows`.
+    pub fn forward_one_probed(
+        &self,
+        activations: &[f64],
+        scratch: &mut BatchScratch,
+        probe: Option<&LayerProbe>,
+    ) -> Result<Vec<f64>, ResipeError> {
+        let Some(probe) = probe else {
+            return self.forward_one(activations, scratch);
+        };
+        if activations.len() != self.rows {
+            return Err(ResipeError::DimensionMismatch {
+                expected: self.rows,
+                got: activations.len(),
+            });
+        }
+        let mut stats = SampleStats {
+            mvms: 2 * self.tiles.len() as u64,
+            ..SampleStats::default()
+        };
+        let mut acc = vec![0.0f64; self.cols];
+        for tile in &self.tiles {
+            let t0 = Instant::now();
+            scratch.v_in.clear();
+            scratch.nonzero.clear();
+            for (p, &l) in tile.row_source.iter().enumerate() {
+                let a = activations[tile.row_start + l].clamp(0.0, 1.0);
+                if a == 0.0 {
+                    scratch.v_in.push(0.0);
+                    stats.zero_activation_skips += 1;
+                    continue;
+                }
+                let t = match self.encoding {
+                    SpikeEncoding::LinearTime => a * self.t_max,
+                    SpikeEncoding::PassThrough => {
+                        Seconds(-self.tau * (1.0 - a * self.v_ref / self.vs).ln()).0
+                    }
+                };
+                let v = self.vs * (1.0 - (-t / self.tau).exp());
+                scratch.v_in.push(v);
+                if v != 0.0 {
+                    scratch.nonzero.push(p as u32);
+                }
+            }
+            let t1 = Instant::now();
+            scratch.v_cols.clear();
+            for j in 0..tile.cols {
+                let col = j * tile.rows..(j + 1) * tile.rows;
+                let gp = &tile.g_plus[col.clone()];
+                let gm = &tile.g_minus[col];
+                let mut wp = 0.0f64;
+                let mut wm = 0.0f64;
+                for &p in &scratch.nonzero {
+                    let v = scratch.v_in[p as usize];
+                    wp += v * gp[p as usize];
+                    wm += v * gm[p as usize];
+                }
+                scratch.v_cols.push((
+                    Self::v_out(wp, tile.g_total_plus[j], tile.charge_plus[j]),
+                    Self::v_out(wm, tile.g_total_minus[j], tile.charge_minus[j]),
+                ));
+            }
+            let t2 = Instant::now();
+            for (j, slot) in acc.iter_mut().enumerate().take(tile.cols) {
+                let (vp, vm) = scratch.v_cols[j];
+                // The zero-voltage fast path of `forward_one` reuses a
+                // value hoisted from this same pure function, so always
+                // decoding here returns the same bits — and lets the
+                // probe observe every column.
+                let (d_plus, tr_p) =
+                    self.decode_column_traced(vp, tile.offset_plus[j], tile.k_plus[j]);
+                let (d_minus, tr_m) =
+                    self.decode_column_traced(vm, tile.offset_minus[j], tile.k_minus[j]);
+                for tr in [&tr_p, &tr_m] {
+                    probe.record_decode(tr.v_eff, tr.t_obs);
+                    stats.comparator_offset_rejects += u64::from(tr.offset_clamped);
+                    stats.saturated_decodes += u64::from(tr.saturated);
+                }
+                *slot += d_plus - d_minus;
+            }
+            let t3 = Instant::now();
+            stats.s1_encode_nanos += (t1 - t0).as_nanos() as u64;
+            stats.crossbar_nanos += (t2 - t1).as_nanos() as u64;
+            stats.s2_decode_nanos += (t3 - t2).as_nanos() as u64;
+        }
+        let t_scale = Instant::now();
+        for y in &mut acc {
+            *y *= self.scale;
+        }
+        stats.s2_decode_nanos += t_scale.elapsed().as_nanos() as u64;
+        probe.record_sample(stats);
+        Ok(acc)
+    }
+}
+
+/// Observation sidecar of one traced column decode.
+#[derive(Debug, Clone, Copy)]
+struct DecodeTrace {
+    /// Effective comparator voltage after offset and range clamp.
+    v_eff: f64,
+    /// Observed (possibly quantized, slice-limited) spike time.
+    t_obs: f64,
+    /// `true` when the clamp changed `v_out + offset`.
+    offset_clamped: bool,
+    /// `true` when the spike time saturated at the slice end.
+    saturated: bool,
 }
 
 #[cfg(test)]
@@ -442,6 +593,52 @@ mod tests {
             let bat = plan.forward_one(&a, &mut scratch).unwrap();
             exact_eq(&seq, &bat);
         }
+    }
+
+    #[test]
+    fn probed_path_is_bit_identical_and_records() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let weights: Vec<f64> = (0..48 * 4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mapped = TileMapper::paper()
+            .map(&weights, 48, 4)
+            .unwrap()
+            .with_comparator_offsets(0.01, 5);
+        let e = engine();
+        let plan = BatchPlan::new(&e, &mapped, SpikeEncoding::PassThrough);
+        let telemetry = crate::telemetry::Telemetry::enabled();
+        let cfg = e.config();
+        let probe = telemetry
+            .layer_probe(0, cfg.slice().0, cfg.vs().0)
+            .expect("enabled probe");
+        let mut scratch = plan.scratch();
+        let mut samples = 0u64;
+        for _ in 0..4 {
+            let a: Vec<f64> = (0..48)
+                .map(|_| {
+                    if rng.gen_range(0.0..1.0) < 0.4 {
+                        0.0
+                    } else {
+                        rng.gen_range(0.0..1.0)
+                    }
+                })
+                .collect();
+            let plain = plan.forward_one(&a, &mut scratch).unwrap();
+            let probed = plan
+                .forward_one_probed(&a, &mut scratch, Some(&probe))
+                .unwrap();
+            exact_eq(&plain, &probed);
+            samples += 1;
+        }
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.layers.len(), 1);
+        let l = snap.layers[0];
+        assert_eq!(l.calls, samples);
+        assert_eq!(l.mvms, samples * mapped.mvms_per_forward() as u64);
+        assert!(l.zero_activation_skips > 0, "sparse inputs must skip");
+        // Every decoded column lands in both histograms (2 arrays/col).
+        let decodes = samples * 2 * 4 * plan.tiles.len() as u64;
+        assert_eq!(snap.t_out.total(), decodes);
+        assert_eq!(snap.v_out.total(), decodes);
     }
 
     #[test]

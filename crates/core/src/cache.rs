@@ -25,6 +25,7 @@ use resipe_nn::tensor::Tensor;
 
 use crate::error::ResipeError;
 use crate::inference::{CompileOptions, HardwareNetwork};
+use crate::telemetry::{Counter, Telemetry};
 
 /// An LRU cache of compiled networks keyed by
 /// `(model, calibration, options)` fingerprint.
@@ -35,6 +36,9 @@ pub struct CompileCache {
     entries: Vec<(u64, HardwareNetwork)>,
     hits: u64,
     misses: u64,
+    /// Recorder hit/miss counters and compile spans report into;
+    /// networks compiled through the cache carry this handle.
+    telemetry: Telemetry,
 }
 
 impl CompileCache {
@@ -50,7 +54,17 @@ impl CompileCache {
             entries: Vec::new(),
             hits: 0,
             misses: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry recorder: hits and misses advance the
+    /// `compile_cache_*` counters, fresh compiles record their span
+    /// hierarchy, and every returned network (cached or fresh) carries
+    /// the handle so its runs report into the same sink.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> CompileCache {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The fingerprint a compile request is keyed by: the network's name,
@@ -102,13 +116,20 @@ impl CompileCache {
         let key = CompileCache::fingerprint(net, calibration, options);
         if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
             self.hits += 1;
+            self.telemetry.add(Counter::CompileCacheHits, 1);
             // Move to most-recently-used.
             let entry = self.entries.remove(pos);
             self.entries.push(entry);
             return Ok(self.entries.last().expect("just pushed").1.clone());
         }
         self.misses += 1;
-        let hw = HardwareNetwork::compile(net, calibration, options)?;
+        self.telemetry.add(Counter::CompileCacheMisses, 1);
+        let hw = HardwareNetwork::compile_with_telemetry(
+            net,
+            calibration,
+            options,
+            self.telemetry.clone(),
+        )?;
         if self.entries.len() == self.capacity {
             self.entries.remove(0);
         }
@@ -218,6 +239,23 @@ mod tests {
         let misses_before = cache.misses();
         cache.get_or_compile(&net, &calib, &o(1)).unwrap();
         assert_eq!(cache.misses(), misses_before + 1);
+    }
+
+    #[test]
+    fn telemetry_counts_hits_and_misses() {
+        let (net, calib) = setup();
+        let telemetry = Telemetry::enabled();
+        let mut cache = CompileCache::new(4).with_telemetry(telemetry.clone());
+        let opts = CompileOptions::paper();
+        let a = cache.get_or_compile(&net, &calib, &opts).unwrap();
+        let b = cache.get_or_compile(&net, &calib, &opts).unwrap();
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counters.compile_cache_misses, 1);
+        assert_eq!(snap.counters.compile_cache_hits, 1);
+        assert!(snap.span("compile").is_some(), "fresh compile records span");
+        // Both the fresh and the cached network report into the sink.
+        assert!(a.telemetry().is_enabled());
+        assert!(b.telemetry().is_enabled());
     }
 
     #[test]

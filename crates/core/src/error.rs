@@ -41,6 +41,12 @@ pub enum ResipeError {
         /// Description of the layer.
         layer: String,
     },
+    /// A [`crate::inference::CompileOptions`] combination was invalid
+    /// (caught by validation before compilation starts).
+    InvalidOptions {
+        /// Description of the invalid combination.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ResipeError {
@@ -63,6 +69,9 @@ impl fmt::Display for ResipeError {
             ResipeError::Nn(e) => write!(f, "nn substrate: {e}"),
             ResipeError::UnsupportedLayer { layer } => {
                 write!(f, "unsupported layer for hardware mapping: {layer}")
+            }
+            ResipeError::InvalidOptions { reason } => {
+                write!(f, "invalid compile options: {reason}")
             }
         }
     }
@@ -119,6 +128,12 @@ mod tests {
 
         let e: ResipeError = NnError::Diverged { epoch: 0 }.into();
         assert!(e.to_string().contains("nn"));
+
+        let e = ResipeError::InvalidOptions {
+            reason: "fault rate -0.1 outside [0, 1]".into(),
+        };
+        assert!(e.to_string().contains("invalid compile options"));
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -32,8 +32,9 @@ use crate::config::ResipeConfig;
 use crate::engine::ResipeEngine;
 use crate::error::ResipeError;
 use crate::mapping::{MappedWeights, SpikeEncoding, TileMapper};
-use crate::repair::{repair_layer, HealthReport, RepairPolicy};
+use crate::repair::{repair_layer_with, HealthReport, RepairPolicy};
 use crate::seeds;
+use crate::telemetry::{Telemetry, TelemetrySnapshot};
 
 /// How activations are spike-encoded at each hardware layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -208,6 +209,70 @@ impl CompileOptions {
         self.mapper = mapper;
         self
     }
+
+    /// Checks the options for invalid combinations.
+    ///
+    /// [`HardwareNetwork::compile`] calls this first, so a bad request
+    /// fails fast with a [`ResipeError::InvalidOptions`] naming the
+    /// offending field instead of panicking deep inside the mapping
+    /// pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::InvalidOptions`] when any field is out of
+    /// range: a zero-row tile mapper, a fault rate outside `[0, 1]` or a
+    /// zero cluster size, retention drift without positive elapsed time,
+    /// a negative or non-finite comparator sigma, or a non-positive
+    /// time-quantization grid. Engine-configuration problems surface as
+    /// [`ResipeError::InvalidConfig`] via
+    /// [`crate::config::ResipeConfig::validate`].
+    pub fn validate(&self) -> Result<(), ResipeError> {
+        let invalid = |reason: String| Err(ResipeError::InvalidOptions { reason });
+        self.config.validate()?;
+        if self.mapper.max_rows() == 0 {
+            return invalid("tile mapper max_rows must be nonzero".into());
+        }
+        if let Some(f) = self.faults {
+            if !f.rate.is_finite() || !(0.0..=1.0).contains(&f.rate) {
+                return invalid(format!("fault rate {} outside [0, 1]", f.rate));
+            }
+            if f.cluster_size == 0 {
+                return invalid("fault cluster size must be nonzero".into());
+            }
+            if let Some((_, elapsed)) = f.drift {
+                if !(elapsed.0 > 0.0) {
+                    return invalid(format!(
+                        "retention drift requires positive elapsed time, got {} s",
+                        elapsed.0
+                    ));
+                }
+            }
+        }
+        if !self.comparator_sigma.is_finite() || self.comparator_sigma < 0.0 {
+            return invalid(format!(
+                "comparator sigma {} must be finite and non-negative",
+                self.comparator_sigma
+            ));
+        }
+        if let Some(q) = self.time_quantization {
+            if !(q.0 > 0.0) {
+                return invalid(format!("time quantization {} s must be positive", q.0));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates and returns the options — the builder-style terminal,
+    /// for pipelines that want an explicit checked value:
+    /// `CompileOptions::paper().with_seed(3).build()?`.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileOptions::validate`].
+    pub fn build(self) -> Result<CompileOptions, ResipeError> {
+        self.validate()?;
+        Ok(self)
+    }
 }
 
 /// Lowers one mapped weight layer through the full non-ideality chain:
@@ -225,24 +290,30 @@ fn lower_mapped(
     weight_layer_index: usize,
     layer_seed: u64,
     health: &mut HealthReport,
+    telemetry: &Telemetry,
 ) -> Result<MappedWeights, ResipeError> {
-    let mut mapped = mapped.perturbed(&options.variation, seeds::substream(layer_seed, 0));
-    if let Some(fi) = options.faults {
-        let seed = fi
-            .seed
-            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(weight_layer_index as u64 + 1));
-        mapped = mapped.with_faults(fi.rate, fi.cluster_size, seed)?;
-        if let Some((drift, elapsed)) = fi.drift {
-            mapped = mapped.with_retention_drift(&drift, elapsed)?;
+    let mut mapped = {
+        let _program = telemetry.span_with(|| format!("compile/layer{weight_layer_index}/program"));
+        let mut mapped = mapped.perturbed(&options.variation, seeds::substream(layer_seed, 0));
+        if let Some(fi) = options.faults {
+            let seed = fi
+                .seed
+                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(weight_layer_index as u64 + 1));
+            mapped = mapped.with_faults(fi.rate, fi.cluster_size, seed)?;
+            if let Some((drift, elapsed)) = fi.drift {
+                mapped = mapped.with_retention_drift(&drift, elapsed)?;
+            }
         }
-    }
+        mapped
+    };
     if let Some(policy) = options.repair {
-        let tiles = repair_layer(
+        let tiles = repair_layer_with(
             engine,
             &mut mapped,
             weight_layer_index,
             &policy,
             seeds::substream(layer_seed, 1),
+            telemetry,
         )?;
         health.tiles.extend(tiles);
     }
@@ -287,6 +358,59 @@ enum HwLayer {
     Flatten,
 }
 
+/// How [`HardwareNetwork::run`] executes the hardware layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecutionMode {
+    /// The amortized [`BatchPlan`] path: sample-independent constants are
+    /// hoisted once per layer and samples fan out across the rayon pool.
+    /// Bit-identical to [`ExecutionMode::PerSample`] by construction.
+    #[default]
+    Planned,
+    /// The reference path: every sample replays the full per-MVM
+    /// operation sequence through [`MappedWeights::forward`].
+    PerSample,
+}
+
+/// Options for [`HardwareNetwork::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RunOptions {
+    /// Execution strategy (default [`ExecutionMode::Planned`]).
+    pub mode: ExecutionMode,
+}
+
+impl RunOptions {
+    /// The default amortized-plan execution.
+    pub fn planned() -> RunOptions {
+        RunOptions {
+            mode: ExecutionMode::Planned,
+        }
+    }
+
+    /// The per-sample reference execution.
+    pub fn per_sample() -> RunOptions {
+        RunOptions {
+            mode: ExecutionMode::PerSample,
+        }
+    }
+
+    /// Sets the execution mode.
+    pub fn with_mode(mut self, mode: ExecutionMode) -> RunOptions {
+        self.mode = mode;
+        self
+    }
+}
+
+/// Outputs of one [`HardwareNetwork::run`] call, together with the
+/// telemetry accumulated so far on the network's handle.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The network outputs (same value as the legacy `forward` APIs).
+    pub outputs: Tensor,
+    /// Snapshot of the network's [`Telemetry`] sink taken after the run
+    /// (the empty default snapshot when telemetry is disabled).
+    pub telemetry: TelemetrySnapshot,
+}
+
 /// A trained network compiled onto the simulated ReSiPE hardware.
 #[derive(Debug)]
 pub struct HardwareNetwork {
@@ -301,6 +425,10 @@ pub struct HardwareNetwork {
     /// Per-tile health collected by the repair ladder at compile time
     /// (empty when no repair policy was set).
     health: HealthReport,
+    /// Recorder every compile and run reports into. Disabled (a no-op
+    /// handle) unless set via [`HardwareNetwork::compile_with_telemetry`]
+    /// or [`HardwareNetwork::set_telemetry`].
+    telemetry: Telemetry,
 }
 
 impl Clone for HardwareNetwork {
@@ -314,6 +442,10 @@ impl Clone for HardwareNetwork {
             // counting from zero.
             mvm_count: AtomicU64::new(0),
             health: self.health.clone(),
+            // The telemetry handle is a reference to an *external*
+            // recorder, not per-instance state — clones keep reporting
+            // into the same sink.
+            telemetry: self.telemetry.clone(),
         }
     }
 }
@@ -331,7 +463,7 @@ impl HardwareNetwork {
     /// task (the `quickstart` binary in miniature):
     ///
     /// ```
-    /// use resipe::inference::{CompileOptions, HardwareNetwork};
+    /// use resipe::prelude::*;
     /// use resipe_nn::data::synth_digits;
     /// use resipe_nn::models;
     /// use resipe_nn::train::{Sgd, TrainConfig};
@@ -357,13 +489,36 @@ impl HardwareNetwork {
     ///
     /// # Errors
     ///
-    /// Returns [`ResipeError::UnsupportedLayer`] for layer kinds the
-    /// mapper cannot lower, or propagated substrate errors.
+    /// Returns [`ResipeError::InvalidOptions`] when
+    /// [`CompileOptions::validate`] rejects the request,
+    /// [`ResipeError::UnsupportedLayer`] for layer kinds the mapper
+    /// cannot lower, or propagated substrate errors.
     pub fn compile(
         net: &Network,
         calibration: &Tensor,
         options: &CompileOptions,
     ) -> Result<HardwareNetwork, ResipeError> {
+        HardwareNetwork::compile_with_telemetry(net, calibration, options, Telemetry::disabled())
+    }
+
+    /// [`HardwareNetwork::compile`] with a telemetry recorder: the
+    /// compile records `compile → layer → tile → (program/repair)`
+    /// spans and repair counters into `telemetry`, and the returned
+    /// network keeps the handle, so subsequent runs report into the
+    /// same sink. Telemetry never changes a compiled bit — recording is
+    /// observation only (see [`crate::telemetry`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`HardwareNetwork::compile`].
+    pub fn compile_with_telemetry(
+        net: &Network,
+        calibration: &Tensor,
+        options: &CompileOptions,
+        telemetry: Telemetry,
+    ) -> Result<HardwareNetwork, ResipeError> {
+        options.validate()?;
+        let _compile_span = telemetry.span("compile");
         let engine = ResipeEngine::try_new(options.config)?;
         // Every weight layer gets its own substream of the compile seed;
         // within a layer, every stage and tile substream again. No
@@ -391,6 +546,8 @@ impl HardwareNetwork {
         for layer in net.layers() {
             let hw = match layer {
                 Layer::Dense(d) => {
+                    let _layer_span =
+                        telemetry.span_with(|| format!("compile/layer{weight_layer_index}"));
                     let w = d.weights();
                     let (rows, cols) = (w.shape()[0], w.shape()[1]);
                     let weights: Vec<f64> = w.data().iter().map(|&v| v as f64).collect();
@@ -402,6 +559,7 @@ impl HardwareNetwork {
                         weight_layer_index,
                         seeds::substream(base_seed, weight_layer_index as u64),
                         &mut health,
+                        &telemetry,
                     )?;
                     let encoding = options.encoding.encoding_for(weight_layer_index);
                     weight_layer_index += 1;
@@ -413,6 +571,8 @@ impl HardwareNetwork {
                     }
                 }
                 Layer::Conv2d(c) => {
+                    let _layer_span =
+                        telemetry.span_with(|| format!("compile/layer{weight_layer_index}"));
                     // Kernel matrix is [out_ch, fan_in]; the crossbar wants
                     // inputs on rows -> transpose to [fan_in, out_ch].
                     let w = c.weights();
@@ -431,6 +591,7 @@ impl HardwareNetwork {
                         weight_layer_index,
                         seeds::substream(base_seed, weight_layer_index as u64),
                         &mut health,
+                        &telemetry,
                     )?;
                     let encoding = options.encoding.encoding_for(weight_layer_index);
                     weight_layer_index += 1;
@@ -451,13 +612,26 @@ impl HardwareNetwork {
             };
             layers.push(hw);
         }
+        drop(_compile_span);
         Ok(HardwareNetwork {
             engine,
             layers,
             name: net.name().to_owned(),
             mvm_count: AtomicU64::new(0),
             health,
+            telemetry,
         })
+    }
+
+    /// The telemetry handle this network reports into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Replaces the telemetry handle (e.g. to start recording on a
+    /// network compiled without one). Recording never changes outputs.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The compiled network's name.
@@ -506,20 +680,59 @@ impl HardwareNetwork {
             .count()
     }
 
-    /// Forward pass of a batch through the hardware.
+    /// The unified inference entry point: one forward pass of `input`
+    /// under `options`, returning the outputs together with a telemetry
+    /// snapshot.
+    ///
+    /// Both execution modes produce **bit-identical** outputs — the
+    /// amortized [`ExecutionMode::Planned`] path replays the exact
+    /// per-sample floating-point operation sequence (see
+    /// [`crate::batch`]) — and enabling telemetry never changes a bit
+    /// either, so `run` subsumes the legacy [`HardwareNetwork::forward`]
+    /// / [`HardwareNetwork::forward_batch`] pair (both now delegate
+    /// here).
+    ///
+    /// When telemetry is enabled the run records the
+    /// `forward → layer → {s1_encode, crossbar, s2_decode}` span
+    /// hierarchy; stage-level timing, histograms and skip/reject
+    /// counters come from the planned path (the per-sample reference
+    /// path records layer spans and MVM counts only).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for incompatible inputs.
+    pub fn run(&self, input: &Tensor, options: &RunOptions) -> Result<RunResult, ResipeError> {
+        let outputs = {
+            let _forward_span = self.telemetry.span("forward");
+            let mut x = input.clone();
+            for (li, layer) in self.layers.iter().enumerate() {
+                let _layer_span = self.telemetry.span_with(|| format!("forward/layer{li}"));
+                x = match options.mode {
+                    ExecutionMode::PerSample => self.forward_layer(li, layer, &x)?,
+                    ExecutionMode::Planned => self.forward_layer_batched(li, layer, &x)?,
+                };
+            }
+            x
+        };
+        Ok(RunResult {
+            outputs,
+            telemetry: self.telemetry.snapshot(),
+        })
+    }
+
+    /// Forward pass of a batch through the hardware, one sample at a
+    /// time — a thin wrapper over [`HardwareNetwork::run`] in
+    /// [`ExecutionMode::PerSample`].
     ///
     /// # Errors
     ///
     /// Returns shape errors for incompatible inputs.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor, ResipeError> {
-        let mut x = input.clone();
-        for layer in &self.layers {
-            x = self.forward_layer(layer, &x)?;
-        }
-        Ok(x)
+        Ok(self.run(input, &RunOptions::per_sample())?.outputs)
     }
 
-    /// Data-parallel batched forward pass.
+    /// Data-parallel batched forward pass — a thin wrapper over
+    /// [`HardwareNetwork::run`] in [`ExecutionMode::Planned`].
     ///
     /// Produces **bit-identical** outputs to [`HardwareNetwork::forward`]
     /// for any thread count: the per-sample floating-point operation
@@ -534,14 +747,15 @@ impl HardwareNetwork {
     ///
     /// Returns shape errors for incompatible inputs.
     pub fn forward_batch(&self, input: &Tensor) -> Result<Tensor, ResipeError> {
-        let mut x = input.clone();
-        for layer in &self.layers {
-            x = self.forward_layer_batched(layer, &x)?;
-        }
-        Ok(x)
+        Ok(self.run(input, &RunOptions::planned())?.outputs)
     }
 
-    fn forward_layer_batched(&self, layer: &HwLayer, x: &Tensor) -> Result<Tensor, ResipeError> {
+    fn forward_layer_batched(
+        &self,
+        li: usize,
+        layer: &HwLayer,
+        x: &Tensor,
+    ) -> Result<Tensor, ResipeError> {
         use rayon::prelude::*;
         match layer {
             HwLayer::Dense {
@@ -559,6 +773,7 @@ impl HardwareNetwork {
                 }
                 let n = s[0];
                 let plan = BatchPlan::new(&self.engine, mapped, *encoding);
+                let probe = self.layer_probe(li);
                 // Samples are independent; chunk them over the pool so
                 // each worker reuses one scratch allocation, and stitch
                 // the chunks back in sample order.
@@ -577,7 +792,7 @@ impl HardwareNetwork {
                                 .iter()
                                 .map(|&v| (v as f64 / input_scale).clamp(0.0, 1.0))
                                 .collect();
-                            ys.push(plan.forward_one(&a, &mut scratch)?);
+                            ys.push(plan.forward_one_probed(&a, &mut scratch, probe.as_ref())?);
                         }
                         Ok(ys)
                     })
@@ -617,6 +832,7 @@ impl HardwareNetwork {
                 let w_out = w + 2 * padding + 1 - kernel;
                 let n_pix = h_out * w_out;
                 let plan = BatchPlan::new(&self.engine, mapped, *encoding);
+                let probe = self.layer_probe(li);
                 let per_sample: Vec<Result<Vec<Vec<f64>>, ResipeError>> = (0..n)
                     .into_par_iter()
                     .map(|b| {
@@ -628,7 +844,11 @@ impl HardwareNetwork {
                             let a: Vec<f64> = (0..fan_in)
                                 .map(|r| (cols.get(&[r, pix]) as f64 / input_scale).clamp(0.0, 1.0))
                                 .collect();
-                            pix_out.push(plan.forward_one(&a, &mut scratch)?);
+                            pix_out.push(plan.forward_one_probed(
+                                &a,
+                                &mut scratch,
+                                probe.as_ref(),
+                            )?);
                         }
                         Ok(pix_out)
                     })
@@ -648,11 +868,18 @@ impl HardwareNetwork {
                 }
                 Ok(out)
             }
-            digital => self.forward_layer(digital, x),
+            digital => self.forward_layer(li, digital, x),
         }
     }
 
-    fn forward_layer(&self, layer: &HwLayer, x: &Tensor) -> Result<Tensor, ResipeError> {
+    /// A telemetry probe for network layer `li`, normalizing histograms
+    /// by this engine's slice and supply voltage. `None` when disabled.
+    fn layer_probe(&self, li: usize) -> Option<crate::telemetry::LayerProbe> {
+        let cfg = self.engine.config();
+        self.telemetry.layer_probe(li, cfg.slice().0, cfg.vs().0)
+    }
+
+    fn forward_layer(&self, li: usize, layer: &HwLayer, x: &Tensor) -> Result<Tensor, ResipeError> {
         match layer {
             HwLayer::Dense {
                 mapped,
@@ -668,6 +895,7 @@ impl HardwareNetwork {
                     });
                 }
                 let n = s[0];
+                let probe = self.layer_probe(li);
                 let mut out = Tensor::zeros(&[n, mapped.cols()]);
                 for i in 0..n {
                     let a: Vec<f64> = x
@@ -678,6 +906,9 @@ impl HardwareNetwork {
                     let y = mapped.forward(&self.engine, &a, *encoding)?;
                     self.mvm_count
                         .fetch_add(mapped.mvms_per_forward() as u64, Ordering::Relaxed);
+                    if let Some(p) = &probe {
+                        p.record_mvms(mapped.mvms_per_forward() as u64);
+                    }
                     for (j, &yj) in y.iter().enumerate() {
                         out.set(&[i, j], (yj * input_scale + bias[j]) as f32);
                     }
@@ -703,6 +934,7 @@ impl HardwareNetwork {
                 let (n, h, w) = (s[0], s[2], s[3]);
                 let h_out = h + 2 * padding + 1 - kernel;
                 let w_out = w + 2 * padding + 1 - kernel;
+                let probe = self.layer_probe(li);
                 let mut out = Tensor::zeros(&[n, *out_channels, h_out, w_out]);
                 for b in 0..n {
                     let cols = im2col(x, b, *kernel, *padding)?;
@@ -714,6 +946,9 @@ impl HardwareNetwork {
                         let y = mapped.forward(&self.engine, &a, *encoding)?;
                         self.mvm_count
                             .fetch_add(mapped.mvms_per_forward() as u64, Ordering::Relaxed);
+                        if let Some(p) = &probe {
+                            p.record_mvms(mapped.mvms_per_forward() as u64);
+                        }
                         let (oi, oj) = (pix / w_out, pix % w_out);
                         for (oc, &yc) in y.iter().enumerate() {
                             out.set(&[b, oc, oi, oj], (yc * input_scale + bias[oc]) as f32);

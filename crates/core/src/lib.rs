@@ -31,8 +31,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use resipe::config::ResipeConfig;
-//! use resipe::engine::ResipeEngine;
+//! use resipe::prelude::*;
 //! use resipe_analog::units::{Seconds, Siemens};
 //!
 //! # fn main() -> Result<(), resipe::ResipeError> {
@@ -68,9 +67,11 @@ pub mod mapping;
 pub mod parasitics;
 pub mod pipeline;
 pub mod power;
+pub mod prelude;
 pub mod repair;
 pub mod seeds;
 pub mod spike;
+pub mod telemetry;
 
 pub use config::ResipeConfig;
 pub use engine::{MacResult, ResipeEngine};

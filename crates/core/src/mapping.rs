@@ -126,10 +126,34 @@ impl TileMapper {
     /// # Panics
     ///
     /// Panics if `rows` is zero.
+    #[deprecated(
+        since = "0.1.0",
+        note = "panics on zero rows; use `try_with_max_rows` and handle the error"
+    )]
     pub fn with_max_rows(mut self, rows: usize) -> TileMapper {
         assert!(rows > 0, "tile rows must be nonzero");
         self.max_rows = rows;
         self
+    }
+
+    /// Sets the maximum wordlines per tile, rejecting zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::InvalidOptions`] if `rows` is zero.
+    pub fn try_with_max_rows(mut self, rows: usize) -> Result<TileMapper, ResipeError> {
+        if rows == 0 {
+            return Err(ResipeError::InvalidOptions {
+                reason: "tile mapper max_rows must be nonzero".into(),
+            });
+        }
+        self.max_rows = rows;
+        Ok(self)
+    }
+
+    /// Maximum wordlines per tile.
+    pub fn max_rows(&self) -> usize {
+        self.max_rows
     }
 
     /// Quantizes programmed conductances to a multi-level cell.
@@ -906,11 +930,21 @@ mod tests {
 
     #[test]
     fn tiling_splits_rows() {
-        let mapper = TileMapper::paper().with_max_rows(8);
+        let mapper = TileMapper::paper().try_with_max_rows(8).unwrap();
         let mapped = mapper.map(&vec![0.1; 20 * 3], 20, 3).unwrap();
         let tile_rows: Vec<usize> = mapped.tiles().iter().map(Tile::rows).collect();
         assert_eq!(tile_rows, vec![8, 8, 4]);
         assert_eq!(mapped.mvms_per_forward(), 6);
+    }
+
+    #[test]
+    fn zero_tile_rows_rejected_without_panic() {
+        let err = TileMapper::paper().try_with_max_rows(0).unwrap_err();
+        assert!(matches!(err, ResipeError::InvalidOptions { .. }), "{err}");
+        assert_eq!(
+            TileMapper::paper().try_with_max_rows(8).unwrap().max_rows(),
+            8
+        );
     }
 
     #[test]

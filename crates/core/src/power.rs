@@ -79,6 +79,34 @@ impl EnergyBreakdown {
     }
 }
 
+/// Energy of one MVM attributed to the three pipeline stages — the
+/// telemetry view of [`EnergyBreakdown`].
+///
+/// The component split follows the circuit's timeline: **S1 encode**
+/// takes the first `C_gd` ramp charge plus the per-wordline
+/// sample-and-hold; the **computation stage** takes the charge delivered
+/// through the cells during Δt; **S2 decode** takes the second ramp,
+/// the sequencing control, and the entire COG cluster (the comparators
+/// are armed, `C_cog` charges and spikes are generated during S2 — the
+/// paper's dominant 98.1 % term). The stage total equals
+/// [`EnergyBreakdown::total`] for the same model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageEnergy {
+    /// S1: first ramp charge + sample-and-hold.
+    pub s1_encode: Joules,
+    /// Computation stage: cell charge onto `C_cog` during Δt.
+    pub crossbar: Joules,
+    /// S2: second ramp + control + the COG cluster.
+    pub s2_decode: Joules,
+}
+
+impl StageEnergy {
+    /// Total energy per MVM across the three stages.
+    pub fn total(&self) -> Joules {
+        self.s1_encode + self.crossbar + self.s2_decode
+    }
+}
+
 /// The ReSiPE energy/power model for one engine instance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EnergyModel {
@@ -173,6 +201,28 @@ impl EnergyModel {
         EnergyBreakdown { cog, gd, crossbar }
     }
 
+    /// Energy of one complete MVM attributed to the S1 / computation /
+    /// S2 stages. The same circuit terms as [`EnergyModel::mvm_energy`],
+    /// regrouped by when they are spent; the stage total matches the
+    /// component total (see [`StageEnergy`]).
+    pub fn stage_energy(&self) -> StageEnergy {
+        let cfg = &self.config;
+        let vs = cfg.vs().0;
+        let v_eq = self.avg_v_eq.0;
+        let half_ramp = cfg.c_gd().0 * vs * vs;
+        let sh = self.rows as f64 * self.costs.sh_capacitance.0 * self.avg_v_in.0 * self.avg_v_in.0;
+        let comparator = self.costs.comparator_power.0 * cfg.slice().0;
+        let cog_cap = cfg.c_cog().0 * v_eq * v_eq;
+        let per_cog = comparator + cog_cap + self.costs.spike_energy.0;
+        StageEnergy {
+            s1_encode: Joules(half_ramp + sh),
+            crossbar: Joules(self.cols as f64 * cfg.c_cog().0 * v_eq * v_eq),
+            s2_decode: Joules(
+                half_ramp + self.costs.gd_control_energy.0 + self.cols as f64 * per_cog,
+            ),
+        }
+    }
+
     /// Average power: MVM energy over the two-slice latency.
     pub fn power(&self) -> Watts {
         self.mvm_energy().total() / self.config.mvm_latency()
@@ -264,6 +314,20 @@ mod tests {
         let e = EnergyModel::paper().mvm_energy();
         let sum = e.cog.0 + e.gd.0 + e.crossbar.0;
         assert!((e.total().0 - sum).abs() < 1e-24);
+    }
+
+    #[test]
+    fn stage_attribution_matches_component_total() {
+        let m = EnergyModel::paper();
+        let total = m.mvm_energy().total().0;
+        let staged = m.stage_energy().total().0;
+        assert!(
+            ((staged - total) / total).abs() < 1e-12,
+            "stage split {staged:e} vs component total {total:e}"
+        );
+        // S2 dominates: it carries the whole COG cluster (98.1 %).
+        let s2 = m.stage_energy().s2_decode.0;
+        assert!(s2 / total > 0.95, "S2 share {}", s2 / total);
     }
 
     #[test]

@@ -619,13 +619,50 @@ pub fn repair_layer(
     policy: &RepairPolicy,
     base_seed: u64,
 ) -> Result<Vec<TileHealth>, ResipeError> {
+    repair_layer_with(
+        engine,
+        mapped,
+        layer,
+        policy,
+        base_seed,
+        &crate::telemetry::Telemetry::disabled(),
+    )
+}
+
+/// [`repair_layer`] with a telemetry recorder: each tile's ladder run is
+/// timed under a `compile/layer{L}/tile{T}/repair` span, and the
+/// spare-remap, escalation (any rung past re-programming) and
+/// programming-pulse counters advance from the per-tile health.
+/// Recording never changes a repair outcome — the seed substreams are
+/// untouched.
+///
+/// # Errors
+///
+/// Propagates engine errors from the BIST passes.
+pub fn repair_layer_with(
+    engine: &ResipeEngine,
+    mapped: &mut MappedWeights,
+    layer: usize,
+    policy: &RepairPolicy,
+    base_seed: u64,
+    telemetry: &crate::telemetry::Telemetry,
+) -> Result<Vec<TileHealth>, ResipeError> {
+    use crate::telemetry::Counter;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     let n = mapped.tiles().len();
     (0..n)
         .map(|i| {
+            let _repair_span =
+                telemetry.span_with(|| format!("compile/layer{layer}/tile{i}/repair"));
             let mut rng = StdRng::seed_from_u64(crate::seeds::substream(base_seed, i as u64));
-            repair_tile(engine, mapped, i, layer, policy, &mut rng)
+            let health = repair_tile(engine, mapped, i, layer, policy, &mut rng)?;
+            telemetry.add(Counter::SpareRemaps, health.remapped_cols as u64);
+            telemetry.add(Counter::RepairPulses, health.repair_pulses);
+            if health.remapped_cols > 0 || health.permuted {
+                telemetry.add(Counter::RepairEscalations, 1);
+            }
+            Ok(health)
         })
         .collect()
 }

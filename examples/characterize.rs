@@ -11,9 +11,7 @@ use rand::{Rng, SeedableRng};
 
 use resipe_suite::analog::units::Seconds;
 use resipe_suite::baselines::{ideal_mvm, LevelBased, PimEngine, PwmBased, RateCoding};
-use resipe_suite::core::config::ResipeConfig;
-use resipe_suite::core::engine::ResipeEngine;
-use resipe_suite::core::mapping::{SpikeEncoding, TileMapper};
+use resipe_suite::prelude::*;
 use resipe_suite::reram::crossbar::Crossbar;
 use resipe_suite::reram::device::ResistanceWindow;
 

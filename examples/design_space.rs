@@ -11,10 +11,8 @@
 //! ```
 
 use resipe_suite::analog::units::{Farads, Ohms, Seconds, Siemens};
-use resipe_suite::core::config::ResipeConfig;
-use resipe_suite::core::engine::ResipeEngine;
 use resipe_suite::core::pipeline::PipelineLatency;
-use resipe_suite::core::power::{EnergyModel, PeripheralCosts};
+use resipe_suite::prelude::*;
 use resipe_suite::reram::device::ResistanceWindow;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

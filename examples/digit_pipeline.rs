@@ -6,11 +6,11 @@
 //! cargo run --release --example digit_pipeline
 //! ```
 
-use resipe_suite::core::inference::{CompileOptions, HardwareNetwork};
 use resipe_suite::nn::data::synth_digits;
 use resipe_suite::nn::metrics::accuracy;
 use resipe_suite::nn::models;
 use resipe_suite::nn::train::{Sgd, TrainConfig};
+use resipe_suite::prelude::*;
 use resipe_suite::reram::variation::VariationModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -9,14 +9,13 @@
 use std::io::BufReader;
 
 use resipe_suite::analog::units::{Ohms, Siemens, Volts};
-use resipe_suite::core::config::ResipeConfig;
-use resipe_suite::core::inference::{CompileOptions, HardwareNetwork};
 use resipe_suite::core::parasitics::ParasiticColumn;
 use resipe_suite::nn::data::synth_digits;
 use resipe_suite::nn::io::{load, save};
 use resipe_suite::nn::metrics::accuracy;
 use resipe_suite::nn::models;
 use resipe_suite::nn::train::{Sgd, TrainConfig};
+use resipe_suite::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Train and persist a model.

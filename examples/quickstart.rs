@@ -10,8 +10,7 @@
 
 use resipe_suite::analog::units::{Seconds, Siemens};
 use resipe_suite::core::circuit::AnalogMac;
-use resipe_suite::core::config::ResipeConfig;
-use resipe_suite::core::engine::ResipeEngine;
+use resipe_suite::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's published circuit parameters: V_s = 1 V, R_gd = 100 kΩ,

@@ -20,4 +20,18 @@ cargo test -q --workspace
 echo "==> fault_sweep --smoke"
 cargo run --release -q -p resipe-bench --bin fault_sweep -- --smoke
 
+echo "==> profile --smoke (schema check)"
+profile_out="$(mktemp)"
+cargo run --release -q -p resipe-bench --bin profile -- --smoke --out "$profile_out" >/dev/null
+for key in model samples mvms_per_sample bit_identical stage_nanos energy \
+    s1_encode_j crossbar_j s2_decode_j attributed_total_j measured_total_j \
+    relative_error saturation telemetry counters spans layers t_out v_out; do
+    if ! grep -q "\"$key\"" "$profile_out"; then
+        echo "check: BENCH_profile.json schema drift — missing key \"$key\"" >&2
+        rm -f "$profile_out"
+        exit 1
+    fi
+done
+rm -f "$profile_out"
+
 echo "check: all gates passed"

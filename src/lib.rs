@@ -11,9 +11,11 @@
 //! * [`nn`] — the from-scratch neural-network substrate;
 //! * [`baselines`] — the Table II comparison designs and cost models.
 //!
+//! Most programs only need the blessed surface, re-exported through
+//! [`prelude`]:
+//!
 //! ```
-//! use resipe_suite::core::config::ResipeConfig;
-//! use resipe_suite::core::engine::ResipeEngine;
+//! use resipe_suite::prelude::*;
 //! use resipe_suite::analog::units::{Seconds, Siemens};
 //!
 //! # fn main() -> Result<(), resipe_suite::core::ResipeError> {
@@ -28,6 +30,7 @@
 //! ```
 
 pub use resipe as core;
+pub use resipe::prelude;
 pub use resipe_analog as analog;
 pub use resipe_baselines as baselines;
 pub use resipe_nn as nn;
