@@ -1,0 +1,271 @@
+//! Serving throughput: batched micro-batching server vs. a sequential
+//! single-connection client (`BENCH_serve.json` at the repo root).
+//!
+//! The load generator runs two scenarios against the **same** compiled
+//! MLP-1 served over loopback TCP:
+//!
+//! - **sequential** — one client, one request at a time: every request
+//!   pays the full per-plan execution alone (batch size 1).
+//! - **batched** — many concurrent client threads: the server's
+//!   micro-batcher coalesces strangers' requests into one amortized
+//!   `Planned` execution, so the per-sample cost drops while outputs
+//!   stay bit-identical.
+//!
+//! Before measuring, every served output is checked **byte-equal** to a
+//! local per-sample `forward` oracle, and the report records that no
+//! request was lost or duplicated (`accepted == completed`, zero
+//! rejects/expiries during measurement runs).
+//!
+//! ```text
+//! cargo run --release --bin serve_bench              # full measurement
+//! cargo run --release --bin serve_bench -- --smoke   # CI-sized
+//! cargo run --release --bin serve_bench -- --clients 8 --requests 200
+//! ```
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use resipe::inference::{CompileOptions, HardwareNetwork};
+use resipe_bench::Args;
+use resipe_nn::data::synth_digits;
+use resipe_nn::models;
+use resipe_nn::tensor::Tensor;
+use resipe_nn::train::{Sgd, TrainConfig};
+use resipe_serve::{Client, Server, ServerConfig};
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// One measured scenario: wall-clock for `total` requests and the
+/// server-side batching shape over that window.
+struct Scenario {
+    elapsed_s: f64,
+    requests_per_sec: f64,
+    mean_batch: f64,
+    largest_batch: u64,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.has("smoke");
+    let n_train = args.usize_of("train", if smoke { 200 } else { 600 });
+    let epochs = args.usize_of("epochs", if smoke { 2 } else { 6 });
+    let clients = args.usize_of("clients", if smoke { 4 } else { 6 }).max(1);
+    let per_client = args
+        .usize_of("requests", if smoke { 24 } else { 120 })
+        .max(1);
+    let max_batch = args.usize_of("max-batch", 32).max(1);
+    let max_wait_us = args.usize_of("max-wait-us", 300) as u64;
+    let out_path = args
+        .value_of("out")
+        .unwrap_or("BENCH_serve.json")
+        .to_owned();
+
+    eprintln!("training MLP-1 on {n_train} synthetic digits ({epochs} epochs)...");
+    let train = synth_digits(n_train, 1).expect("dataset");
+    let mut net = models::mlp1(7).expect("model");
+    Sgd::new(TrainConfig::new(epochs).with_learning_rate(0.1))
+        .fit(&mut net, &train)
+        .expect("training");
+    let (calib, _) = train.batch(&(0..32).collect::<Vec<_>>()).expect("calib");
+    let hw = HardwareNetwork::compile(&net, &calib, &CompileOptions::paper()).expect("compile");
+    let oracle = hw.clone();
+
+    let sample_shape = train.sample_shape().to_vec();
+    let width: usize = sample_shape.iter().product();
+    let total = clients * per_client;
+    let indices: Vec<usize> = (0..total).map(|i| i % train.len()).collect();
+    let (corpus, _) = train.batch(&indices).expect("corpus");
+
+    let server = Server::spawn(
+        hw,
+        &sample_shape,
+        "127.0.0.1:0",
+        ServerConfig::default()
+            .with_max_batch(max_batch)
+            .with_max_wait(Duration::from_micros(max_wait_us))
+            .with_queue_capacity((2 * total).max(64)),
+    )
+    .expect("server spawn");
+    let addr = server.local_addr();
+
+    // ---- Correctness gate: served outputs byte-equal the local oracle.
+    eprintln!("verifying served outputs against the per-sample oracle...");
+    let reference = oracle.forward(&corpus).expect("oracle forward");
+    let out_width = reference.len() / total;
+    let verify_n = total.min(if smoke { 32 } else { 64 });
+    let mut bit_identical = true;
+    {
+        let mut client = Client::connect(addr).expect("verify client");
+        for idx in 0..verify_n {
+            let sample = Tensor::from_vec(
+                corpus.data()[idx * width..(idx + 1) * width].to_vec(),
+                &sample_shape,
+            )
+            .expect("sample");
+            let served = client.infer(&sample).expect("served infer");
+            let expected = &reference.data()[idx * out_width..(idx + 1) * out_width];
+            bit_identical &= served
+                .data()
+                .iter()
+                .zip(expected)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        }
+    }
+    assert!(bit_identical, "served outputs diverged from the oracle");
+
+    let baseline = server.stats();
+
+    // ---- Scenario 1: sequential single-connection client.
+    eprintln!("measuring sequential single-connection client ({total} requests)...");
+    let seq = {
+        let mut client = Client::connect(addr).expect("sequential client");
+        let start = Instant::now();
+        for idx in 0..total {
+            let sample = Tensor::from_vec(
+                corpus.data()[idx * width..(idx + 1) * width].to_vec(),
+                &sample_shape,
+            )
+            .expect("sample");
+            let _ = client.infer(&sample).expect("sequential infer");
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let after = server.stats();
+        let batches = after.batches - baseline.batches;
+        let samples = after.batched_samples - baseline.batched_samples;
+        Scenario {
+            elapsed_s: elapsed,
+            requests_per_sec: total as f64 / elapsed,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                samples as f64 / batches as f64
+            },
+            largest_batch: after.largest_batch,
+        }
+    };
+
+    let mid = server.stats();
+
+    // ---- Scenario 2: concurrent clients, micro-batched by the server.
+    eprintln!("measuring {clients} concurrent clients x {per_client} requests...");
+    let bat = {
+        let start = Instant::now();
+        let mut joins = Vec::new();
+        for c in 0..clients {
+            let corpus = corpus.clone();
+            let sample_shape = sample_shape.clone();
+            joins.push(thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client");
+                for r in 0..per_client {
+                    let idx = c * per_client + r;
+                    let sample = Tensor::from_vec(
+                        corpus.data()[idx * width..(idx + 1) * width].to_vec(),
+                        &sample_shape,
+                    )
+                    .expect("sample");
+                    let _ = client.infer(&sample).expect("batched infer");
+                }
+            }));
+        }
+        for j in joins {
+            j.join().expect("client thread");
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let after = server.stats();
+        let batches = after.batches - mid.batches;
+        let samples = after.batched_samples - mid.batched_samples;
+        Scenario {
+            elapsed_s: elapsed,
+            requests_per_sec: total as f64 / elapsed,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                samples as f64 / batches as f64
+            },
+            largest_batch: after.largest_batch,
+        }
+    };
+
+    let stats = server.stats();
+    let expected_total = (verify_n + 2 * total) as u64;
+    let lossless = stats.accepted == expected_total
+        && stats.completed == expected_total
+        && stats.rejected_busy == 0
+        && stats.expired == 0
+        && stats.engine_errors == 0;
+    assert!(
+        lossless,
+        "request accounting broke: {} accepted, {} completed of {expected_total}",
+        stats.accepted, stats.completed
+    );
+
+    let speedup = bat.requests_per_sec / seq.requests_per_sec;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"model\": \"MLP-1\",\n");
+    json.push_str(&format!("  \"clients\": {clients},\n"));
+    json.push_str(&format!("  \"requests_per_client\": {per_client},\n"));
+    json.push_str(&format!("  \"total_requests\": {total},\n"));
+    json.push_str(&format!("  \"max_batch\": {max_batch},\n"));
+    json.push_str(&format!("  \"max_wait_us\": {max_wait_us},\n"));
+    json.push_str(&format!("  \"bit_identical\": {bit_identical},\n"));
+    json.push_str(&format!("  \"lossless\": {lossless},\n"));
+    json.push_str(&format!(
+        "  \"sequential\": {{\"elapsed_s\": {}, \"requests_per_sec\": {}, \
+         \"mean_batch\": {}, \"largest_batch\": {}}},\n",
+        json_num(seq.elapsed_s),
+        json_num(seq.requests_per_sec),
+        json_num(seq.mean_batch),
+        seq.largest_batch
+    ));
+    json.push_str(&format!(
+        "  \"batched\": {{\"elapsed_s\": {}, \"requests_per_sec\": {}, \
+         \"mean_batch\": {}, \"largest_batch\": {}}},\n",
+        json_num(bat.elapsed_s),
+        json_num(bat.requests_per_sec),
+        json_num(bat.mean_batch),
+        bat.largest_batch
+    ));
+    json.push_str(&format!("  \"speedup\": {},\n", json_num(speedup)));
+    json.push_str(&format!(
+        "  \"latency\": {{\"count\": {}, \"p50_nanos\": {}, \"p95_nanos\": {}, \
+         \"p99_nanos\": {}, \"max_nanos\": {}}},\n",
+        stats.latency.count,
+        stats.latency.p50_nanos,
+        stats.latency.p95_nanos,
+        stats.latency.p99_nanos,
+        stats.latency.max_nanos
+    ));
+    json.push_str(&format!(
+        "  \"server\": {{\"accepted\": {}, \"completed\": {}, \"rejected_busy\": {}, \
+         \"expired\": {}, \"engine_errors\": {}, \"batches\": {}, \"batched_samples\": {}}}\n",
+        stats.accepted,
+        stats.completed,
+        stats.rejected_busy,
+        stats.expired,
+        stats.engine_errors,
+        stats.batches,
+        stats.batched_samples
+    ));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+
+    println!(
+        "sequential: {:>8.1} req/s  (mean batch {:.2})",
+        seq.requests_per_sec, seq.mean_batch
+    );
+    println!(
+        "batched   : {:>8.1} req/s  (mean batch {:.2}, largest {})  {:.2}x",
+        bat.requests_per_sec, bat.mean_batch, bat.largest_batch, speedup
+    );
+}

@@ -36,6 +36,7 @@ pub struct CompileCache {
     entries: Vec<(u64, HardwareNetwork)>,
     hits: u64,
     misses: u64,
+    evictions: u64,
     /// Recorder hit/miss counters and compile spans report into;
     /// networks compiled through the cache carry this handle.
     telemetry: Telemetry,
@@ -54,6 +55,7 @@ impl CompileCache {
             entries: Vec::new(),
             hits: 0,
             misses: 0,
+            evictions: 0,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -132,6 +134,8 @@ impl CompileCache {
         )?;
         if self.entries.len() == self.capacity {
             self.entries.remove(0);
+            self.evictions += 1;
+            self.telemetry.add(Counter::CompileCacheEvictions, 1);
         }
         self.entries.push((key, hw.clone()));
         Ok(hw)
@@ -145,6 +149,19 @@ impl CompileCache {
     /// Cache misses (fresh compiles) so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Compiled networks evicted under LRU pressure so far. Also
+    /// reported into the attached telemetry recorder's
+    /// `compile_cache_evictions` counter, so a serving layer's stats
+    /// endpoint can surface cache pressure without holding the cache.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Maximum compiled networks held at once.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Compiled networks currently held.
@@ -239,6 +256,24 @@ mod tests {
         let misses_before = cache.misses();
         cache.get_or_compile(&net, &calib, &o(1)).unwrap();
         assert_eq!(cache.misses(), misses_before + 1);
+    }
+
+    #[test]
+    fn eviction_counter_and_capacity() {
+        let (net, calib) = setup();
+        let telemetry = Telemetry::enabled();
+        let mut cache = CompileCache::new(2).with_telemetry(telemetry.clone());
+        assert_eq!(cache.capacity(), 2);
+        let o = |seed| CompileOptions::paper().with_seed(seed);
+        cache.get_or_compile(&net, &calib, &o(0)).unwrap();
+        cache.get_or_compile(&net, &calib, &o(1)).unwrap();
+        assert_eq!(cache.evictions(), 0, "filling to capacity evicts nothing");
+        cache.get_or_compile(&net, &calib, &o(2)).unwrap();
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), cache.capacity());
+        // Cache pressure is observable without holding the cache: the
+        // telemetry counter tracks the eviction count exactly.
+        assert_eq!(telemetry.snapshot().counters.compile_cache_evictions, 1);
     }
 
     #[test]

@@ -130,10 +130,9 @@ impl TileMapper {
         since = "0.1.0",
         note = "panics on zero rows; use `try_with_max_rows` and handle the error"
     )]
-    pub fn with_max_rows(mut self, rows: usize) -> TileMapper {
-        assert!(rows > 0, "tile rows must be nonzero");
-        self.max_rows = rows;
-        self
+    pub fn with_max_rows(self, rows: usize) -> TileMapper {
+        self.try_with_max_rows(rows)
+            .expect("tile rows must be nonzero")
     }
 
     /// Sets the maximum wordlines per tile, rejecting zero.
@@ -945,6 +944,14 @@ mod tests {
             TileMapper::paper().try_with_max_rows(8).unwrap().max_rows(),
             8
         );
+    }
+
+    /// The deprecated panicking shim delegates to `try_with_max_rows`;
+    /// this is the repo's single remaining `#[allow(deprecated)]` site.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_max_rows_delegates() {
+        assert_eq!(TileMapper::paper().with_max_rows(16).max_rows(), 16);
     }
 
     #[test]

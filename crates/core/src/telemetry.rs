@@ -74,6 +74,8 @@ pub(crate) enum Counter {
     CompileCacheHits,
     /// Compile-cache misses (fresh compiles).
     CompileCacheMisses,
+    /// Compiled networks evicted from the compile cache (LRU pressure).
+    CompileCacheEvictions,
     /// Decodes whose comparator offset pushed `V_eff` outside the valid
     /// comparator range (the clamp engaged).
     ComparatorOffsetRejects,
@@ -81,7 +83,7 @@ pub(crate) enum Counter {
     SaturatedDecodes,
 }
 
-const COUNTER_COUNT: usize = 9;
+const COUNTER_COUNT: usize = 10;
 
 /// One span's running aggregate.
 #[derive(Debug, Default, Clone)]
@@ -249,6 +251,7 @@ impl Telemetry {
             repair_pulses: c(Counter::RepairPulses),
             compile_cache_hits: c(Counter::CompileCacheHits),
             compile_cache_misses: c(Counter::CompileCacheMisses),
+            compile_cache_evictions: c(Counter::CompileCacheEvictions),
             comparator_offset_rejects: c(Counter::ComparatorOffsetRejects),
             saturated_decodes: c(Counter::SaturatedDecodes),
         };
@@ -428,6 +431,8 @@ pub struct CounterSnapshot {
     pub compile_cache_hits: u64,
     /// Compile-cache misses (fresh compiles).
     pub compile_cache_misses: u64,
+    /// Compiled networks evicted from the compile cache (LRU pressure).
+    pub compile_cache_evictions: u64,
     /// Decodes whose comparator offset engaged the range clamp.
     pub comparator_offset_rejects: u64,
     /// Decodes whose observed spike time saturated at the slice end.
@@ -552,6 +557,7 @@ impl TelemetrySnapshot {
             "  \"counters\": {{\"mvms\": {}, \"zero_activation_skips\": {}, \
              \"spare_remaps\": {}, \"repair_escalations\": {}, \"repair_pulses\": {}, \
              \"compile_cache_hits\": {}, \"compile_cache_misses\": {}, \
+             \"compile_cache_evictions\": {}, \
              \"comparator_offset_rejects\": {}, \"saturated_decodes\": {}}},\n",
             c.mvms,
             c.zero_activation_skips,
@@ -560,6 +566,7 @@ impl TelemetrySnapshot {
             c.repair_pulses,
             c.compile_cache_hits,
             c.compile_cache_misses,
+            c.compile_cache_evictions,
             c.comparator_offset_rejects,
             c.saturated_decodes
         ));
@@ -730,6 +737,7 @@ mod tests {
             "\"repair_pulses\"",
             "\"compile_cache_hits\"",
             "\"compile_cache_misses\"",
+            "\"compile_cache_evictions\"",
             "\"comparator_offset_rejects\"",
             "\"saturated_decodes\"",
             "\"spans\"",

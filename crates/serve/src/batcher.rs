@@ -1,0 +1,349 @@
+//! The dynamic micro-batcher: coalesces queued requests into one
+//! [`Planned`](resipe::inference::ExecutionMode::Planned) forward pass.
+//!
+//! Each worker thread loops: pop a weighted batch from the
+//! [`BoundedQueue`] (blocking for the first request, lingering up to
+//! `max_wait` for more, never exceeding `max_batch` samples), drop
+//! requests whose deadline already passed, stack the survivors into one
+//! `[n, sample…]` tensor **in FIFO order**, execute it through the
+//! [`BatchExecutor`], and route each request's output rows back to the
+//! issuing connection's reply channel.
+//!
+//! Because the planned batch path is bit-identical to the per-sample
+//! path (the PR 2 contract, re-asserted by this crate's integration
+//! tests), coalescing requests from *different* clients into one batch
+//! changes no output bit — only latency and throughput.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use resipe::inference::{HardwareNetwork, RunOptions};
+use resipe::ResipeError;
+use resipe_nn::tensor::Tensor;
+
+use crate::metrics::{LatencyHistogram, ServerCounters};
+use crate::protocol::{encode_tensor, Status};
+use crate::queue::BoundedQueue;
+
+/// Executes one coalesced batch. Implemented by [`NetworkExecutor`] for
+/// real hardware networks; tests substitute cheap mock executors.
+pub trait BatchExecutor: Send + Sync + 'static {
+    /// Runs `batch` (shape `[n, sample…]`) and returns outputs whose
+    /// first dimension is again `n`, row `i` belonging to input row `i`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures; the worker answers every request in
+    /// the batch with [`Status::EngineError`].
+    fn execute(&self, batch: &Tensor) -> Result<Tensor, ResipeError>;
+}
+
+/// The production executor: a compiled [`HardwareNetwork`] run in
+/// [`Planned`](resipe::inference::ExecutionMode::Planned) mode (the
+/// amortized batch plan, bit-identical to per-sample execution).
+#[derive(Debug)]
+pub struct NetworkExecutor {
+    hw: Arc<HardwareNetwork>,
+}
+
+impl NetworkExecutor {
+    /// Wraps a compiled network.
+    pub fn new(hw: HardwareNetwork) -> NetworkExecutor {
+        NetworkExecutor { hw: Arc::new(hw) }
+    }
+
+    /// The served network.
+    pub fn network(&self) -> &HardwareNetwork {
+        &self.hw
+    }
+}
+
+impl BatchExecutor for NetworkExecutor {
+    fn execute(&self, batch: &Tensor) -> Result<Tensor, ResipeError> {
+        Ok(self.hw.run(batch, &RunOptions::planned())?.outputs)
+    }
+}
+
+/// One admitted inference request, queued for a worker.
+#[derive(Debug)]
+pub(crate) struct PendingRequest {
+    /// Client-chosen correlation id, echoed in the reply.
+    pub id: u64,
+    /// Row-major sample data, `n × width` values.
+    pub samples: Vec<f32>,
+    /// Samples in this request (the request's queue weight).
+    pub n: usize,
+    /// Absolute expiry instant, if the client set a deadline.
+    pub deadline: Option<Instant>,
+    /// Admission time, for the latency histogram.
+    pub enqueued: Instant,
+    /// The issuing connection's reply channel.
+    pub reply: mpsc::Sender<Reply>,
+}
+
+/// A response routed back to a connection's writer thread.
+#[derive(Debug)]
+pub(crate) struct Reply {
+    pub status: Status,
+    pub id: u64,
+    pub payload: Vec<u8>,
+}
+
+/// Everything one batch worker needs; cloned per worker thread.
+#[derive(Clone)]
+pub(crate) struct WorkerContext {
+    pub queue: Arc<BoundedQueue<PendingRequest>>,
+    pub executor: Arc<dyn BatchExecutor>,
+    /// Per-sample tensor shape (without the batch dimension).
+    pub sample_shape: Vec<usize>,
+    pub max_batch: usize,
+    pub max_wait: Duration,
+    pub counters: Arc<ServerCounters>,
+    pub latency: Arc<LatencyHistogram>,
+    pub in_flight: Arc<AtomicU64>,
+}
+
+impl WorkerContext {
+    fn finish(&self, req: &PendingRequest, reply: Reply) {
+        // The client may have disconnected; routing failures are benign.
+        let _ = req.reply.send(reply);
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The worker loop: runs until the queue is closed **and** drained, so
+/// graceful shutdown answers every admitted request.
+pub(crate) fn worker_loop(ctx: WorkerContext) {
+    let width: usize = ctx.sample_shape.iter().product();
+    while let Some(batch) =
+        ctx.queue
+            .pop_batch(ctx.max_batch, ctx.max_wait, |r: &PendingRequest| r.n)
+    {
+        let now = Instant::now();
+        let (live, dead): (Vec<_>, Vec<_>) = batch
+            .into_iter()
+            .partition(|r| r.deadline.is_none_or(|d| d > now));
+        for req in dead {
+            ServerCounters::add(&ctx.counters.expired, 1);
+            ctx.finish(
+                &req,
+                Reply {
+                    status: Status::Expired,
+                    id: req.id,
+                    payload: b"deadline exceeded before execution".to_vec(),
+                },
+            );
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let total: usize = live.iter().map(|r| r.n).sum();
+        let mut data = Vec::with_capacity(total * width);
+        for req in &live {
+            data.extend_from_slice(&req.samples);
+        }
+        let mut shape = Vec::with_capacity(1 + ctx.sample_shape.len());
+        shape.push(total);
+        shape.extend_from_slice(&ctx.sample_shape);
+        let input = Tensor::from_vec(data, &shape).expect("admission validated sample shapes");
+        match ctx.executor.execute(&input) {
+            Ok(outputs) => {
+                let out_shape = outputs.shape().to_vec();
+                assert_eq!(
+                    out_shape.first().copied(),
+                    Some(total),
+                    "executor must return one output row per input row"
+                );
+                let row_len = outputs.len() / total;
+                ServerCounters::add(&ctx.counters.batches, 1);
+                ServerCounters::add(&ctx.counters.batched_samples, total as u64);
+                ctx.counters
+                    .largest_batch
+                    .fetch_max(total as u64, Ordering::Relaxed);
+                let done = Instant::now();
+                let mut row = 0usize;
+                for req in &live {
+                    let start = row * row_len;
+                    let end = start + req.n * row_len;
+                    row += req.n;
+                    let mut req_shape = out_shape.clone();
+                    req_shape[0] = req.n;
+                    let sub = Tensor::from_vec(outputs.data()[start..end].to_vec(), &req_shape)
+                        .expect("row slice matches shape");
+                    ctx.latency.record(done.duration_since(req.enqueued));
+                    ServerCounters::add(&ctx.counters.completed, 1);
+                    ctx.finish(
+                        req,
+                        Reply {
+                            status: Status::Ok,
+                            id: req.id,
+                            payload: encode_tensor(&sub),
+                        },
+                    );
+                }
+            }
+            Err(e) => {
+                let msg = e.to_string().into_bytes();
+                for req in &live {
+                    ServerCounters::add(&ctx.counters.engine_errors, 1);
+                    ctx.finish(
+                        req,
+                        Reply {
+                            status: Status::EngineError,
+                            id: req.id,
+                            payload: msg.clone(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    /// Echoes its input: output row `i` = input row `i`.
+    struct EchoExecutor;
+
+    impl BatchExecutor for EchoExecutor {
+        fn execute(&self, batch: &Tensor) -> Result<Tensor, ResipeError> {
+            Ok(batch.clone())
+        }
+    }
+
+    /// Always fails.
+    struct FailExecutor;
+
+    impl BatchExecutor for FailExecutor {
+        fn execute(&self, _batch: &Tensor) -> Result<Tensor, ResipeError> {
+            Err(ResipeError::InvalidOptions {
+                reason: "synthetic failure".into(),
+            })
+        }
+    }
+
+    fn context(executor: Arc<dyn BatchExecutor>, max_batch: usize) -> WorkerContext {
+        WorkerContext {
+            queue: Arc::new(BoundedQueue::new(64)),
+            executor,
+            sample_shape: vec![2],
+            max_batch,
+            max_wait: Duration::from_millis(1),
+            counters: Arc::new(ServerCounters::default()),
+            latency: Arc::new(LatencyHistogram::new()),
+            in_flight: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    fn request(
+        id: u64,
+        samples: Vec<f32>,
+        deadline: Option<Instant>,
+        reply: &mpsc::Sender<Reply>,
+    ) -> PendingRequest {
+        let n = samples.len() / 2;
+        PendingRequest {
+            id,
+            samples,
+            n,
+            deadline,
+            enqueued: Instant::now(),
+            reply: reply.clone(),
+        }
+    }
+
+    #[test]
+    fn echo_batch_routes_rows_back_per_request() {
+        let ctx = context(Arc::new(EchoExecutor), 8);
+        let (tx, rx) = mpsc::channel();
+        ctx.in_flight.store(2, Ordering::Relaxed);
+        ctx.queue
+            .try_push(request(1, vec![1.0, 2.0], None, &tx))
+            .unwrap();
+        ctx.queue
+            .try_push(request(2, vec![3.0, 4.0, 5.0, 6.0], None, &tx))
+            .unwrap();
+        ctx.queue.close();
+        worker_loop(ctx.clone());
+        let a = rx.recv().unwrap();
+        let b = rx.recv().unwrap();
+        assert_eq!((a.status, a.id), (Status::Ok, 1));
+        assert_eq!((b.status, b.id), (Status::Ok, 2));
+        let ta = crate::protocol::decode_tensor(&a.payload).unwrap();
+        assert_eq!(ta.shape(), &[1, 2]);
+        assert_eq!(ta.data(), &[1.0, 2.0]);
+        let tb = crate::protocol::decode_tensor(&b.payload).unwrap();
+        assert_eq!(tb.shape(), &[2, 2]);
+        assert_eq!(tb.data(), &[3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(ServerCounters::get(&ctx.counters.completed), 2);
+        assert_eq!(ServerCounters::get(&ctx.counters.batches), 1);
+        assert_eq!(ServerCounters::get(&ctx.counters.batched_samples), 3);
+        assert_eq!(ctx.in_flight.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn expired_requests_dropped_before_execution() {
+        let ctx = context(Arc::new(EchoExecutor), 8);
+        let (tx, rx) = mpsc::channel();
+        ctx.in_flight.store(2, Ordering::Relaxed);
+        let past = Instant::now() - Duration::from_millis(1);
+        ctx.queue
+            .try_push(request(1, vec![1.0, 2.0], Some(past), &tx))
+            .unwrap();
+        ctx.queue
+            .try_push(request(2, vec![3.0, 4.0], None, &tx))
+            .unwrap();
+        ctx.queue.close();
+        worker_loop(ctx.clone());
+        let replies: Vec<Reply> = rx.try_iter().collect();
+        assert_eq!(replies.len(), 2);
+        assert_eq!(replies[0].status, Status::Expired);
+        assert_eq!(replies[0].id, 1);
+        assert_eq!(replies[1].status, Status::Ok);
+        assert_eq!(ServerCounters::get(&ctx.counters.expired), 1);
+        assert_eq!(ServerCounters::get(&ctx.counters.completed), 1);
+    }
+
+    #[test]
+    fn executor_failure_answers_every_request() {
+        let ctx = context(Arc::new(FailExecutor), 8);
+        let (tx, rx) = mpsc::channel();
+        ctx.in_flight.store(2, Ordering::Relaxed);
+        for id in [1, 2] {
+            ctx.queue
+                .try_push(request(id, vec![0.0, 0.0], None, &tx))
+                .unwrap();
+        }
+        ctx.queue.close();
+        worker_loop(ctx.clone());
+        let replies: Vec<Reply> = rx.try_iter().collect();
+        assert_eq!(replies.len(), 2);
+        assert!(replies.iter().all(|r| r.status == Status::EngineError));
+        assert_eq!(ServerCounters::get(&ctx.counters.engine_errors), 2);
+        assert_eq!(ctx.in_flight.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn disconnected_client_does_not_stall_the_batch() {
+        let ctx = context(Arc::new(EchoExecutor), 8);
+        let (dead_tx, dead_rx) = mpsc::channel();
+        drop(dead_rx); // client went away
+        let (tx, rx) = mpsc::channel();
+        ctx.in_flight.store(2, Ordering::Relaxed);
+        ctx.queue
+            .try_push(request(1, vec![1.0, 2.0], None, &dead_tx))
+            .unwrap();
+        ctx.queue
+            .try_push(request(2, vec![3.0, 4.0], None, &tx))
+            .unwrap();
+        ctx.queue.close();
+        let worker = thread::spawn(move || worker_loop(ctx));
+        let ok = rx.recv().unwrap();
+        assert_eq!((ok.status, ok.id), (Status::Ok, 2));
+        worker.join().unwrap();
+    }
+}

@@ -1,0 +1,148 @@
+//! A blocking TCP client for the serving protocol.
+
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use resipe_nn::tensor::Tensor;
+
+use crate::error::ServeError;
+use crate::metrics::ServerStats;
+use crate::protocol::{
+    decode_tensor, read_response, write_request, Request, Response, Status, Verb,
+};
+
+/// A blocking client over one TCP connection.
+///
+/// Requests are issued synchronously — each call writes one frame and
+/// waits for the matching reply (ids are verified). For concurrent load,
+/// open one `Client` per thread; the server coalesces across
+/// connections, which is exactly where the batched-serving speedup
+/// comes from.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+    deadline_us: u32,
+}
+
+impl Client {
+    /// Connects to a [`Server`](crate::server::Server).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+            next_id: 1,
+            deadline_us: 0,
+        })
+    }
+
+    /// Sets a per-request relative deadline applied to subsequent
+    /// inference calls (`Duration::ZERO` clears it). The server drops
+    /// requests still queued when the deadline passes and answers
+    /// [`ServeError::Expired`].
+    pub fn with_deadline(mut self, deadline: Duration) -> Client {
+        self.deadline_us = deadline.as_micros().min(u128::from(u32::MAX)) as u32;
+        self
+    }
+
+    fn round_trip(&mut self, verb: Verb, tensor: Option<Tensor>) -> Result<Response, ServeError> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        let req = Request {
+            verb,
+            id,
+            deadline_us: match verb {
+                Verb::Infer | Verb::InferBatch => self.deadline_us,
+                _ => 0,
+            },
+            tensor,
+        };
+        write_request(&mut self.writer, &req)?;
+        let resp = read_response(&mut self.reader)?.ok_or_else(|| {
+            ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            ))
+        })?;
+        if resp.id != id {
+            return Err(ServeError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                resp.id
+            )));
+        }
+        match resp.status {
+            Status::Ok => Ok(resp),
+            Status::Busy => Err(ServeError::Busy),
+            Status::Expired => Err(ServeError::Expired),
+            Status::ShuttingDown => Err(ServeError::ShuttingDown),
+            Status::BadRequest => Err(ServeError::BadRequest(
+                String::from_utf8_lossy(&resp.payload).into_owned(),
+            )),
+            Status::EngineError => Err(ServeError::Engine(
+                String::from_utf8_lossy(&resp.payload).into_owned(),
+            )),
+        }
+    }
+
+    /// Runs one sample (shape = the server's per-sample shape) and
+    /// returns its output with the leading batch dimension stripped.
+    ///
+    /// # Errors
+    ///
+    /// Admission-control statuses map to their [`ServeError`] variants;
+    /// socket and protocol failures propagate.
+    pub fn infer(&mut self, sample: &Tensor) -> Result<Tensor, ServeError> {
+        let resp = self.round_trip(Verb::Infer, Some(sample.clone()))?;
+        let out = decode_tensor(&resp.payload)?;
+        let shape = out.shape();
+        if shape.first() != Some(&1) {
+            return Err(ServeError::Protocol(format!(
+                "single-sample reply has batch dimension {:?}",
+                shape.first()
+            )));
+        }
+        let inner: Vec<usize> = shape[1..].to_vec();
+        Tensor::from_vec(out.data().to_vec(), &inner).map_err(ServeError::from)
+    }
+
+    /// Runs a batch (first dimension = sample count); the reply keeps
+    /// the batch dimension.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::infer`].
+    pub fn infer_batch(&mut self, batch: &Tensor) -> Result<Tensor, ServeError> {
+        let resp = self.round_trip(Verb::InferBatch, Some(batch.clone()))?;
+        decode_tensor(&resp.payload)
+    }
+
+    /// Liveness probe; returns the measured round-trip time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol failures.
+    pub fn ping(&mut self) -> Result<Duration, ServeError> {
+        let start = Instant::now();
+        self.round_trip(Verb::Ping, None)?;
+        Ok(start.elapsed())
+    }
+
+    /// Fetches the server's health/metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol failures.
+    pub fn stats(&mut self) -> Result<ServerStats, ServeError> {
+        let resp = self.round_trip(Verb::Stats, None)?;
+        ServerStats::decode(&resp.payload)
+    }
+}

@@ -1,0 +1,69 @@
+//! `resipe-serve` — a TCP inference server for compiled ReSiPE networks.
+//!
+//! The crate turns a [`HardwareNetwork`](resipe::inference::HardwareNetwork)
+//! into a network service without any external dependencies: plain
+//! `std::net` sockets, `std::thread` workers, and a length-prefixed
+//! binary protocol ([`protocol`]).
+//!
+//! # Architecture
+//!
+//! - **Admission control** — every connection's requests flow through a
+//!   [`queue::BoundedQueue`]; when it is full the server answers
+//!   [`protocol::Status::Busy`] immediately instead of queueing
+//!   unboundedly, and requests whose deadline passes while queued are
+//!   dropped with [`protocol::Status::Expired`].
+//! - **Dynamic micro-batching** — [`batcher`] workers coalesce queued
+//!   requests (up to [`ServerConfig::max_batch`] samples, lingering at
+//!   most [`ServerConfig::max_wait`]) into one
+//!   [`Planned`](resipe::inference::ExecutionMode::Planned) execution.
+//!   Because the planned batch path is bit-identical to per-sample
+//!   execution, coalescing strangers' requests changes no output bit —
+//!   the integration tests assert byte equality under the full
+//!   non-ideality chain.
+//! - **Observability** — the `Stats` verb returns a [`ServerStats`]
+//!   snapshot: queue depth, in-flight count, reject/expiry counters,
+//!   p50/p95/p99 latency, and the engine's full
+//!   [`TelemetrySnapshot`](resipe::telemetry::TelemetrySnapshot) as
+//!   JSON (including compile-cache hit/miss/eviction pressure).
+//! - **Graceful shutdown** — [`Server::shutdown`] refuses new work,
+//!   drains and answers everything already admitted, then closes
+//!   connections.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use resipe::inference::{CompileOptions, HardwareNetwork};
+//! use resipe_nn::data::synth_digits;
+//! use resipe_nn::models;
+//! use resipe_nn::tensor::Tensor;
+//! use resipe_serve::{Client, Server, ServerConfig};
+//!
+//! let data = synth_digits(16, 1).unwrap();
+//! let (calib, _) = data.batch(&(0..16).collect::<Vec<_>>()).unwrap();
+//! let net = models::mlp1(7).unwrap();
+//! let hw = HardwareNetwork::compile(&net, &calib, &CompileOptions::paper()).unwrap();
+//! let server = Server::spawn(hw, &[1, 28, 28], "127.0.0.1:0", ServerConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let sample = Tensor::from_vec(vec![0.5; 784], &[1, 28, 28]).unwrap();
+//! let output = client.infer(&sample).unwrap();
+//! assert_eq!(output.shape(), &[10]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batcher;
+pub mod client;
+pub mod error;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use batcher::{BatchExecutor, NetworkExecutor};
+pub use client::Client;
+pub use error::ServeError;
+pub use metrics::{LatencyHistogram, LatencySnapshot, ServerStats};
+pub use protocol::{Request, Response, Status, Verb};
+pub use server::{Server, ServerConfig};

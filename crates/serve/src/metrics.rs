@@ -1,0 +1,400 @@
+//! Server-side counters, latency histograms, and the `STATS` snapshot.
+//!
+//! Everything on the hot path is lock-free: counters and histogram bins
+//! are relaxed atomics, mirroring the overhead contract of
+//! [`resipe::telemetry`]. The [`ServerStats`] snapshot is what the
+//! `Stats` protocol verb serializes — queue depth, in-flight count,
+//! admission-control counters, request-latency percentiles, and the
+//! engine's own [`resipe::telemetry::TelemetrySnapshot`] (as its stable
+//! JSON form, which carries the compile-cache hit/miss/eviction
+//! pressure counters among others).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::error::ServeError;
+use crate::protocol::{put_u32, put_u64, take_u32, take_u64};
+
+/// Log₂-spaced latency buckets: bucket `i` holds durations whose
+/// nanosecond count has bit length `i` (so ~1 µs lands near bucket 10,
+/// ~1 ms near bucket 20, ~1 s near bucket 30).
+pub const LATENCY_BUCKETS: usize = 64;
+
+/// A lock-free histogram of request latencies with percentile queries.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    bins: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            bins: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket(nanos: u64) -> usize {
+        ((u64::BITS - nanos.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Records one request latency.
+    pub fn record(&self, latency: Duration) {
+        let nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.bins[Self::bucket(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Copies the totals out as percentile estimates.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let bins: Vec<u64> = self
+            .bins
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = bins.iter().sum();
+        let max_nanos = self.max_nanos.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((count as f64) * q).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, &n) in bins.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    // Bucket i holds [2^(i-1), 2^i); report its midpoint,
+                    // clamped to the observed maximum.
+                    let mid = if i == 0 { 0 } else { (3u64 << (i - 1)) >> 1 };
+                    return mid.min(max_nanos);
+                }
+            }
+            max_nanos
+        };
+        LatencySnapshot {
+            count,
+            p50_nanos: quantile(0.50),
+            p95_nanos: quantile(0.95),
+            p99_nanos: quantile(0.99),
+            max_nanos,
+        }
+    }
+}
+
+/// Percentile estimates of the recorded request latencies. Bucket
+/// midpoints, so values carry ~±50 % bucket resolution — tail *shape*,
+/// not microsecond truth.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Latencies recorded.
+    pub count: u64,
+    /// Median, nanoseconds.
+    pub p50_nanos: u64,
+    /// 95th percentile, nanoseconds.
+    pub p95_nanos: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_nanos: u64,
+    /// Largest observed latency, nanoseconds.
+    pub max_nanos: u64,
+}
+
+/// Lock-free lifetime counters of one server.
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// Requests admitted into the queue.
+    pub accepted: AtomicU64,
+    /// Requests answered successfully.
+    pub completed: AtomicU64,
+    /// Requests refused because the queue was full.
+    pub rejected_busy: AtomicU64,
+    /// Requests dropped because their deadline passed before execution.
+    pub expired: AtomicU64,
+    /// Requests refused as malformed or mis-shaped.
+    pub bad_requests: AtomicU64,
+    /// Requests refused because the server was draining.
+    pub shutdown_rejects: AtomicU64,
+    /// Requests answered with an engine error.
+    pub engine_errors: AtomicU64,
+    /// Coalesced batches executed.
+    pub batches: AtomicU64,
+    /// Samples executed across all batches.
+    pub batched_samples: AtomicU64,
+    /// Largest single coalesced batch, in samples.
+    pub largest_batch: AtomicU64,
+}
+
+impl ServerCounters {
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// The `STATS` verb's payload: a point-in-time health/metrics snapshot.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Requests queued but not yet picked up by a worker.
+    pub queue_depth: u64,
+    /// The bounded queue's admission capacity, in requests.
+    pub queue_capacity: u64,
+    /// Requests admitted and not yet answered (queued or executing).
+    pub in_flight: u64,
+    /// Requests admitted into the queue, lifetime.
+    pub accepted: u64,
+    /// Requests answered successfully, lifetime.
+    pub completed: u64,
+    /// `Busy` rejections (queue full), lifetime.
+    pub rejected_busy: u64,
+    /// Deadline expiries, lifetime.
+    pub expired: u64,
+    /// Malformed/mis-shaped request rejections, lifetime.
+    pub bad_requests: u64,
+    /// Rejections while draining, lifetime.
+    pub shutdown_rejects: u64,
+    /// Engine-error responses, lifetime.
+    pub engine_errors: u64,
+    /// Coalesced batches executed, lifetime.
+    pub batches: u64,
+    /// Samples executed across all batches, lifetime.
+    pub batched_samples: u64,
+    /// Largest single coalesced batch, in samples.
+    pub largest_batch: u64,
+    /// Request-latency percentiles (admission → response enqueued).
+    pub latency: LatencySnapshot,
+    /// The engine's [`resipe::telemetry::TelemetrySnapshot`] in its
+    /// stable JSON form (`TelemetrySnapshot::to_json`): span hierarchy,
+    /// MVM/skip counters, compile-cache hit/miss/eviction pressure, and
+    /// the spike-time saturation histograms.
+    pub telemetry_json: String,
+}
+
+impl ServerStats {
+    /// Mean coalesced batch size in samples (0 when nothing ran).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_samples as f64 / self.batches as f64
+        }
+    }
+
+    /// Serializes the snapshot for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(18 * 8 + self.telemetry_json.len());
+        for v in [
+            self.queue_depth,
+            self.queue_capacity,
+            self.in_flight,
+            self.accepted,
+            self.completed,
+            self.rejected_busy,
+            self.expired,
+            self.bad_requests,
+            self.shutdown_rejects,
+            self.engine_errors,
+            self.batches,
+            self.batched_samples,
+            self.largest_batch,
+            self.latency.count,
+            self.latency.p50_nanos,
+            self.latency.p95_nanos,
+            self.latency.p99_nanos,
+            self.latency.max_nanos,
+        ] {
+            put_u64(&mut buf, v);
+        }
+        put_u32(&mut buf, self.telemetry_json.len() as u32);
+        buf.extend_from_slice(self.telemetry_json.as_bytes());
+        buf
+    }
+
+    /// Deserializes a snapshot from the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] for truncation or invalid UTF-8.
+    pub fn decode(bytes: &[u8]) -> Result<ServerStats, ServeError> {
+        let mut at = 0usize;
+        let mut next = || take_u64(bytes, &mut at);
+        let mut stats = ServerStats {
+            queue_depth: next()?,
+            queue_capacity: next()?,
+            in_flight: next()?,
+            accepted: next()?,
+            completed: next()?,
+            rejected_busy: next()?,
+            expired: next()?,
+            bad_requests: next()?,
+            shutdown_rejects: next()?,
+            engine_errors: next()?,
+            batches: next()?,
+            batched_samples: next()?,
+            largest_batch: next()?,
+            latency: LatencySnapshot::default(),
+            telemetry_json: String::new(),
+        };
+        stats.latency = LatencySnapshot {
+            count: next()?,
+            p50_nanos: next()?,
+            p95_nanos: next()?,
+            p99_nanos: next()?,
+            max_nanos: next()?,
+        };
+        let json_len = take_u32(bytes, &mut at)? as usize;
+        let end = at
+            .checked_add(json_len)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| ServeError::Protocol("truncated stats telemetry".into()))?;
+        stats.telemetry_json = String::from_utf8(bytes[at..end].to_vec())
+            .map_err(|e| ServeError::Protocol(format!("stats telemetry not UTF-8: {e}")))?;
+        if end != bytes.len() {
+            return Err(ServeError::Protocol("trailing bytes after stats".into()));
+        }
+        Ok(stats)
+    }
+
+    /// Stable-key JSON rendering (the `BENCH_serve.json` `"stats"`
+    /// fragment); the telemetry snapshot is embedded verbatim.
+    pub fn to_json(&self) -> String {
+        let l = &self.latency;
+        format!(
+            "{{\"queue_depth\": {}, \"queue_capacity\": {}, \"in_flight\": {}, \"accepted\": {}, \
+             \"completed\": {}, \"rejected_busy\": {}, \"expired\": {}, \
+             \"bad_requests\": {}, \"shutdown_rejects\": {}, \"engine_errors\": {}, \
+             \"batches\": {}, \"batched_samples\": {}, \"largest_batch\": {}, \
+             \"latency\": {{\"count\": {}, \"p50_nanos\": {}, \"p95_nanos\": {}, \
+             \"p99_nanos\": {}, \"max_nanos\": {}}}, \"telemetry\": {}}}",
+            self.queue_depth,
+            self.queue_capacity,
+            self.in_flight,
+            self.accepted,
+            self.completed,
+            self.rejected_busy,
+            self.expired,
+            self.bad_requests,
+            self.shutdown_rejects,
+            self.engine_errors,
+            self.batches,
+            self.batched_samples,
+            self.largest_batch,
+            l.count,
+            l.p50_nanos,
+            l.p95_nanos,
+            l.p99_nanos,
+            l.max_nanos,
+            if self.telemetry_json.is_empty() {
+                "null"
+            } else {
+                &self.telemetry_json
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_are_ordered_and_bounded() {
+        let h = LatencyHistogram::new();
+        for us in [50u64, 80, 100, 120, 150, 400, 900, 5000] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert!(s.p50_nanos <= s.p95_nanos);
+        assert!(s.p95_nanos <= s.p99_nanos);
+        assert!(s.p99_nanos <= s.max_nanos);
+        assert_eq!(s.max_nanos, 5_000_000);
+        // The median of this set is ~100–150 µs; bucket resolution is
+        // a factor of two, so accept the enclosing decade.
+        assert!(
+            (50_000..400_000).contains(&s.p50_nanos),
+            "p50 {} ns",
+            s.p50_nanos
+        );
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(
+            (s.count, s.p50_nanos, s.p99_nanos, s.max_nanos),
+            (0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn stats_wire_round_trip() {
+        let stats = ServerStats {
+            queue_depth: 3,
+            queue_capacity: 256,
+            in_flight: 5,
+            accepted: 100,
+            completed: 90,
+            rejected_busy: 7,
+            expired: 2,
+            bad_requests: 1,
+            shutdown_rejects: 0,
+            engine_errors: 0,
+            batches: 12,
+            batched_samples: 90,
+            largest_batch: 16,
+            latency: LatencySnapshot {
+                count: 90,
+                p50_nanos: 1_000,
+                p95_nanos: 5_000,
+                p99_nanos: 9_000,
+                max_nanos: 12_345,
+            },
+            telemetry_json: "{\"enabled\": false}".to_owned(),
+        };
+        let back = ServerStats::decode(&stats.encode()).unwrap();
+        assert_eq!(back, stats);
+        assert!((back.mean_batch_size() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_decode_rejects_truncation() {
+        let stats = ServerStats::default();
+        let wire = stats.encode();
+        assert!(ServerStats::decode(&wire[..wire.len() - 1]).is_err());
+        let mut extra = wire.clone();
+        extra.push(0);
+        assert!(ServerStats::decode(&extra).is_err());
+    }
+
+    #[test]
+    fn stats_json_has_stable_keys() {
+        let json = ServerStats::default().to_json();
+        for key in [
+            "\"queue_depth\"",
+            "\"queue_capacity\"",
+            "\"in_flight\"",
+            "\"rejected_busy\"",
+            "\"expired\"",
+            "\"batches\"",
+            "\"largest_batch\"",
+            "\"p50_nanos\"",
+            "\"p99_nanos\"",
+            "\"telemetry\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -1,0 +1,491 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message is one **frame**:
+//!
+//! ```text
+//! [u32 LE payload_len][payload bytes]
+//! ```
+//!
+//! A request payload is
+//!
+//! ```text
+//! [u8 verb][u64 LE id][u32 LE deadline_us][tensor?]
+//! ```
+//!
+//! where `id` is a client-chosen correlation token echoed verbatim in
+//! the response, `deadline_us` is a relative deadline in microseconds
+//! (`0` = none) measured from server admission, and the tensor is
+//! present for the inference verbs only. A response payload is
+//!
+//! ```text
+//! [u8 status][u64 LE id][body]
+//! ```
+//!
+//! with the body depending on `(verb, status)`: an encoded tensor for a
+//! successful inference, an encoded [`crate::metrics::ServerStats`] blob
+//! for a successful `Stats`, empty for `Ping`, and a UTF-8 diagnostic
+//! message for every non-[`Status::Ok`] status.
+//!
+//! Tensors travel as
+//!
+//! ```text
+//! [u8 ndim][u32 LE dim_0]..[u32 LE dim_{ndim-1}][f32 LE data…]
+//! ```
+//!
+//! `f32` little-endian bytes round-trip bit-exactly, so the serving
+//! path preserves the engine's bit-identity guarantee end to end.
+//! Frames larger than [`MAX_FRAME_BYTES`] are rejected on read — a
+//! malformed or hostile peer cannot make the server allocate
+//! unboundedly.
+
+use std::io::{self, Read, Write};
+
+use resipe_nn::tensor::Tensor;
+
+use crate::error::ServeError;
+
+/// Upper bound on one frame's payload (64 MiB) — an admission guard, not
+/// a tuning knob.
+pub const MAX_FRAME_BYTES: u32 = 1 << 26;
+
+/// Maximum tensor rank accepted on the wire.
+pub const MAX_TENSOR_RANK: usize = 8;
+
+/// Request verbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Verb {
+    /// Infer one sample; the tensor carries the per-sample shape.
+    Infer = 1,
+    /// Infer a batch; the tensor's first dimension is the batch size.
+    InferBatch = 2,
+    /// Liveness probe; empty body both ways.
+    Ping = 3,
+    /// Health/metrics snapshot: returns a serialized
+    /// [`crate::metrics::ServerStats`] (queue depth, in-flight count,
+    /// reject/expiry counters, latency percentiles and the engine's
+    /// telemetry snapshot).
+    Stats = 4,
+}
+
+impl Verb {
+    fn from_u8(v: u8) -> Option<Verb> {
+        match v {
+            1 => Some(Verb::Infer),
+            2 => Some(Verb::InferBatch),
+            3 => Some(Verb::Ping),
+            4 => Some(Verb::Stats),
+            _ => None,
+        }
+    }
+}
+
+/// Response status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Success; the body is the verb's payload.
+    Ok = 0,
+    /// Admission control rejected the request: the queue is full.
+    Busy = 1,
+    /// The request's deadline passed before execution.
+    Expired = 2,
+    /// The request was malformed or mis-shaped.
+    BadRequest = 3,
+    /// The server is draining and refuses new work.
+    ShuttingDown = 4,
+    /// The engine failed while executing the batch.
+    EngineError = 5,
+}
+
+impl Status {
+    fn from_u8(v: u8) -> Option<Status> {
+        match v {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Busy),
+            2 => Some(Status::Expired),
+            3 => Some(Status::BadRequest),
+            4 => Some(Status::ShuttingDown),
+            5 => Some(Status::EngineError),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// What the client asked for.
+    pub verb: Verb,
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Relative deadline in microseconds from admission; `0` = none.
+    pub deadline_us: u32,
+    /// Input tensor for the inference verbs.
+    pub tensor: Option<Tensor>,
+}
+
+/// A parsed response frame. The body stays raw bytes — its
+/// interpretation depends on the verb the client sent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Outcome code.
+    pub status: Status,
+    /// The request's correlation id, echoed.
+    pub id: u64,
+    /// Verb-dependent body (tensor, stats blob, or diagnostic text).
+    pub payload: Vec<u8>,
+}
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn take_u32(bytes: &[u8], at: &mut usize) -> Result<u32, ServeError> {
+    let end = at
+        .checked_add(4)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| ServeError::Protocol("truncated u32".into()))?;
+    let v = u32::from_le_bytes(bytes[*at..end].try_into().expect("4 bytes"));
+    *at = end;
+    Ok(v)
+}
+
+pub(crate) fn take_u64(bytes: &[u8], at: &mut usize) -> Result<u64, ServeError> {
+    let end = at
+        .checked_add(8)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| ServeError::Protocol("truncated u64".into()))?;
+    let v = u64::from_le_bytes(bytes[*at..end].try_into().expect("8 bytes"));
+    *at = end;
+    Ok(v)
+}
+
+/// Appends a tensor's wire form to `buf`.
+pub fn encode_tensor_into(buf: &mut Vec<u8>, t: &Tensor) {
+    debug_assert!(t.shape().len() <= MAX_TENSOR_RANK, "tensor rank too high");
+    buf.push(t.shape().len() as u8);
+    for &d in t.shape() {
+        put_u32(buf, d as u32);
+    }
+    buf.reserve(t.data().len() * 4);
+    for &v in t.data() {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Encodes a tensor as a standalone byte vector.
+pub fn encode_tensor(t: &Tensor) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(1 + t.shape().len() * 4 + t.data().len() * 4);
+    encode_tensor_into(&mut buf, t);
+    buf
+}
+
+/// Decodes a tensor from `bytes` starting at `*at`, advancing `*at`.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] for truncation, excessive rank, or
+/// an element count that disagrees with the dimensions.
+pub fn decode_tensor_from(bytes: &[u8], at: &mut usize) -> Result<Tensor, ServeError> {
+    let ndim = *bytes
+        .get(*at)
+        .ok_or_else(|| ServeError::Protocol("truncated tensor rank".into()))?
+        as usize;
+    *at += 1;
+    if ndim == 0 || ndim > MAX_TENSOR_RANK {
+        return Err(ServeError::Protocol(format!(
+            "tensor rank {ndim} outside [1, {MAX_TENSOR_RANK}]"
+        )));
+    }
+    let mut shape = Vec::with_capacity(ndim);
+    let mut elems: usize = 1;
+    for _ in 0..ndim {
+        let d = take_u32(bytes, at)? as usize;
+        elems = elems
+            .checked_mul(d)
+            .ok_or_else(|| ServeError::Protocol("tensor element count overflow".into()))?;
+        shape.push(d);
+    }
+    let byte_len = elems
+        .checked_mul(4)
+        .ok_or_else(|| ServeError::Protocol("tensor byte count overflow".into()))?;
+    let end = at
+        .checked_add(byte_len)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| ServeError::Protocol("truncated tensor data".into()))?;
+    let mut data = Vec::with_capacity(elems);
+    for chunk in bytes[*at..end].chunks_exact(4) {
+        data.push(f32::from_le_bytes(chunk.try_into().expect("4 bytes")));
+    }
+    *at = end;
+    Tensor::from_vec(data, &shape).map_err(|e| ServeError::Protocol(e.to_string()))
+}
+
+/// Decodes a tensor that fills `bytes` exactly.
+///
+/// # Errors
+///
+/// As [`decode_tensor_from`], plus trailing garbage after the tensor.
+pub fn decode_tensor(bytes: &[u8]) -> Result<Tensor, ServeError> {
+    let mut at = 0usize;
+    let t = decode_tensor_from(bytes, &mut at)?;
+    if at != bytes.len() {
+        return Err(ServeError::Protocol(format!(
+            "{} trailing bytes after tensor",
+            bytes.len() - at
+        )));
+    }
+    Ok(t)
+}
+
+fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES as usize, "frame too big");
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload. Returns `Ok(None)` on clean EOF at a frame
+/// boundary — the peer closed the connection between messages.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Io`] for a mid-frame disconnect or socket
+/// failure, and [`ServeError::Protocol`] for an oversized frame.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ServeError> {
+    let mut len_bytes = [0u8; 4];
+    // A clean EOF before any length byte is a normal close, not an error.
+    let mut filled = 0usize;
+    while filled < 4 {
+        let n = r.read(&mut len_bytes[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(ServeError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "disconnect inside frame header",
+            )));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(ServeError::Protocol(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Writes one request frame.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(16);
+    payload.push(req.verb as u8);
+    put_u64(&mut payload, req.id);
+    put_u32(&mut payload, req.deadline_us);
+    if let Some(t) = &req.tensor {
+        encode_tensor_into(&mut payload, t);
+    }
+    write_frame(w, &payload)
+}
+
+/// Parses a request payload (one frame, already read).
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] for an unknown verb, truncation, a
+/// malformed tensor, or an unexpected body.
+pub fn parse_request(payload: &[u8]) -> Result<Request, ServeError> {
+    let verb_byte = *payload
+        .first()
+        .ok_or_else(|| ServeError::Protocol("empty request frame".into()))?;
+    let verb = Verb::from_u8(verb_byte)
+        .ok_or_else(|| ServeError::Protocol(format!("unknown verb {verb_byte}")))?;
+    let mut at = 1usize;
+    let id = take_u64(payload, &mut at)?;
+    let deadline_us = take_u32(payload, &mut at)?;
+    let tensor = match verb {
+        Verb::Infer | Verb::InferBatch => Some(decode_tensor_from(payload, &mut at)?),
+        Verb::Ping | Verb::Stats => None,
+    };
+    if at != payload.len() {
+        return Err(ServeError::Protocol(format!(
+            "{} trailing bytes after request",
+            payload.len() - at
+        )));
+    }
+    Ok(Request {
+        verb,
+        id,
+        deadline_us,
+        tensor,
+    })
+}
+
+/// Reads and parses one request. `Ok(None)` on clean EOF.
+///
+/// # Errors
+///
+/// As [`read_frame`] and [`parse_request`].
+pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, ServeError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(payload) => parse_request(&payload).map(Some),
+    }
+}
+
+/// Writes one response frame.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_response(w: &mut impl Write, status: Status, id: u64, body: &[u8]) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(9 + body.len());
+    payload.push(status as u8);
+    put_u64(&mut payload, id);
+    payload.extend_from_slice(body);
+    write_frame(w, &payload)
+}
+
+/// Reads and parses one response. `Ok(None)` on clean EOF.
+///
+/// # Errors
+///
+/// As [`read_frame`], plus [`ServeError::Protocol`] for an unknown
+/// status byte or a truncated header.
+pub fn read_response(r: &mut impl Read) -> Result<Option<Response>, ServeError> {
+    let Some(payload) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let status_byte = *payload
+        .first()
+        .ok_or_else(|| ServeError::Protocol("empty response frame".into()))?;
+    let status = Status::from_u8(status_byte)
+        .ok_or_else(|| ServeError::Protocol(format!("unknown status {status_byte}")))?;
+    let mut at = 1usize;
+    let id = take_u64(&payload, &mut at)?;
+    Ok(Some(Response {
+        status,
+        id,
+        payload: payload[at..].to_vec(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor(shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        let data: Vec<f32> = (0..n).map(|i| (i as f32) * 0.25 - 1.0).collect();
+        Tensor::from_vec(data, shape).unwrap()
+    }
+
+    #[test]
+    fn tensor_round_trip_is_bit_exact() {
+        for shape in [&[3usize][..], &[2, 5], &[1, 2, 3, 4]] {
+            let t = tensor(shape);
+            let back = decode_tensor(&encode_tensor(&t)).unwrap();
+            assert_eq!(back.shape(), t.shape());
+            for (a, b) in t.data().iter().zip(back.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Signed zero and subnormals survive too.
+        let t = Tensor::from_vec(vec![-0.0, f32::MIN_POSITIVE / 2.0], &[2]).unwrap();
+        let back = decode_tensor(&encode_tensor(&t)).unwrap();
+        assert_eq!(back.data()[0].to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request {
+            verb: Verb::InferBatch,
+            id: 0xdead_beef_0042,
+            deadline_us: 1500,
+            tensor: Some(tensor(&[2, 4])),
+        };
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        let back = read_request(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(back, req);
+        // Verbs without a body round-trip too.
+        for verb in [Verb::Ping, Verb::Stats] {
+            let req = Request {
+                verb,
+                id: 7,
+                deadline_us: 0,
+                tensor: None,
+            };
+            let mut wire = Vec::new();
+            write_request(&mut wire, &req).unwrap();
+            assert_eq!(read_request(&mut wire.as_slice()).unwrap().unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, Status::Busy, 9, b"queue full").unwrap();
+        let back = read_response(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(back.status, Status::Busy);
+        assert_eq!(back.id, 9);
+        assert_eq!(back.payload, b"queue full");
+    }
+
+    #[test]
+    fn clean_eof_is_none_mid_frame_is_error() {
+        assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
+        let mut wire = Vec::new();
+        write_response(&mut wire, Status::Ok, 1, b"xyz").unwrap();
+        let truncated = &wire[..wire.len() - 1];
+        assert!(matches!(
+            read_response(&mut &truncated[..]),
+            Err(ServeError::Io(_))
+        ));
+        let header_cut = &wire[..2];
+        assert!(matches!(
+            read_frame(&mut &header_cut[..]),
+            Err(ServeError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let wire = (MAX_FRAME_BYTES + 1).to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut wire.as_slice()),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        assert!(parse_request(&[]).is_err());
+        assert!(parse_request(&[99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        // Rank 0 and excessive rank.
+        assert!(decode_tensor(&[0]).is_err());
+        assert!(decode_tensor(&[(MAX_TENSOR_RANK + 1) as u8]).is_err());
+        // Element count mismatch with data length.
+        let mut bytes = vec![1u8];
+        put_u32(&mut bytes, 3);
+        bytes.extend_from_slice(&1.0f32.to_le_bytes());
+        assert!(decode_tensor(&bytes).is_err());
+        // Trailing garbage.
+        let mut ok = encode_tensor(&tensor(&[2]));
+        ok.push(0);
+        assert!(decode_tensor(&ok).is_err());
+    }
+}

@@ -1,0 +1,484 @@
+//! The TCP inference server.
+//!
+//! Thread anatomy (all plain `std::thread`, no async runtime):
+//!
+//! ```text
+//! listener ──accept──▶ per-connection reader ──try_push──▶ BoundedQueue
+//!                      per-connection writer ◀──mpsc──┐        │
+//!                                                     │   pop_batch
+//!                                                     │        ▼
+//!                                                     └── batch workers
+//! ```
+//!
+//! Each connection gets a *reader* thread (parses frames, performs
+//! admission control, answers `PING`/`STATS` directly) and a *writer*
+//! thread (drains the connection's reply channel and writes response
+//! frames), so a slow client never blocks the batch workers — replies
+//! queue in the connection's channel, and batch workers only ever do a
+//! non-blocking channel send.
+//!
+//! Graceful shutdown ([`Server::shutdown`]) proceeds in strict order:
+//! stop accepting, close the queue (new pushes fail `ShuttingDown`),
+//! join the workers — which first **drain** every admitted request and
+//! answer it — then unblock connection readers and join them. No
+//! admitted request is ever dropped with no reply.
+
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use resipe::inference::HardwareNetwork;
+use resipe::telemetry::Telemetry;
+
+use crate::batcher::{
+    worker_loop, BatchExecutor, NetworkExecutor, PendingRequest, Reply, WorkerContext,
+};
+use crate::error::ServeError;
+use crate::metrics::{LatencyHistogram, ServerCounters, ServerStats};
+use crate::protocol::{parse_request, read_frame, write_response, Request, Status, Verb};
+use crate::queue::{BoundedQueue, PushError};
+
+/// Tuning knobs for a [`Server`]. Defaults suit the paper's MLP-1
+/// workload on a small host: coalesce up to 32 samples per plan
+/// execution, linger at most 300 µs for stragglers.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Largest sample count coalesced into one batch execution.
+    pub max_batch: usize,
+    /// Micro-batching linger window: how long an open batch waits for
+    /// more requests after its first one arrived.
+    pub max_wait: Duration,
+    /// Bounded queue capacity in *requests*; pushes beyond it answer
+    /// [`Status::Busy`].
+    pub queue_capacity: usize,
+    /// Batch worker threads draining the queue.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_batch: 32,
+            max_wait: Duration::from_micros(300),
+            queue_capacity: 256,
+            workers: 1,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the largest coalesced batch (samples).
+    pub fn with_max_batch(mut self, max_batch: usize) -> ServerConfig {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the micro-batching linger window.
+    pub fn with_max_wait(mut self, max_wait: Duration) -> ServerConfig {
+        self.max_wait = max_wait;
+        self
+    }
+
+    /// Sets the bounded queue capacity (requests).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> ServerConfig {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the number of batch worker threads.
+    pub fn with_workers(mut self, workers: usize) -> ServerConfig {
+        self.workers = workers;
+        self
+    }
+
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch == 0 {
+            return Err(ServeError::BadRequest("max_batch must be nonzero".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::BadRequest(
+                "queue_capacity must be nonzero".into(),
+            ));
+        }
+        if self.workers == 0 {
+            return Err(ServeError::BadRequest("workers must be nonzero".into()));
+        }
+        Ok(())
+    }
+}
+
+/// State shared by the listener, connection threads, and workers.
+struct Shared {
+    queue: Arc<BoundedQueue<PendingRequest>>,
+    counters: Arc<ServerCounters>,
+    latency: Arc<LatencyHistogram>,
+    in_flight: Arc<AtomicU64>,
+    shutting_down: AtomicBool,
+    telemetry: Telemetry,
+    sample_shape: Vec<usize>,
+    /// Live connection streams, for unblocking readers at shutdown.
+    conns: Mutex<Vec<TcpStream>>,
+    /// Joinable connection reader/writer threads.
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            accepted: ServerCounters::get(&self.counters.accepted),
+            completed: ServerCounters::get(&self.counters.completed),
+            rejected_busy: ServerCounters::get(&self.counters.rejected_busy),
+            expired: ServerCounters::get(&self.counters.expired),
+            bad_requests: ServerCounters::get(&self.counters.bad_requests),
+            shutdown_rejects: ServerCounters::get(&self.counters.shutdown_rejects),
+            engine_errors: ServerCounters::get(&self.counters.engine_errors),
+            batches: ServerCounters::get(&self.counters.batches),
+            batched_samples: ServerCounters::get(&self.counters.batched_samples),
+            largest_batch: ServerCounters::get(&self.counters.largest_batch),
+            queue_depth: self.queue.len() as u64,
+            queue_capacity: self.queue.capacity() as u64,
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
+            telemetry_json: self.telemetry.snapshot().to_json(),
+        }
+    }
+}
+
+/// A running inference server; dropping it shuts it down gracefully.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    listener_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Serves a compiled [`HardwareNetwork`] on `addr` (use port 0 for an
+    /// ephemeral port; read it back with [`Server::local_addr`]).
+    ///
+    /// `sample_shape` is the per-sample input shape *without* the batch
+    /// dimension (e.g. `[784]` for MLP-1); requests whose tensor shape
+    /// does not match are answered [`Status::BadRequest`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listener cannot bind or the config is invalid.
+    pub fn spawn<A: ToSocketAddrs>(
+        hw: HardwareNetwork,
+        sample_shape: &[usize],
+        addr: A,
+        config: ServerConfig,
+    ) -> Result<Server, ServeError> {
+        let telemetry = hw.telemetry().clone();
+        Server::spawn_with_executor(
+            Arc::new(NetworkExecutor::new(hw)),
+            telemetry,
+            sample_shape,
+            addr,
+            config,
+        )
+    }
+
+    /// Serves an arbitrary [`BatchExecutor`] — the seam the integration
+    /// tests use to substitute deterministic mock engines.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listener cannot bind or the config is invalid.
+    pub fn spawn_with_executor<A: ToSocketAddrs>(
+        executor: Arc<dyn BatchExecutor>,
+        telemetry: Telemetry,
+        sample_shape: &[usize],
+        addr: A,
+        config: ServerConfig,
+    ) -> Result<Server, ServeError> {
+        config.validate()?;
+        if sample_shape.is_empty() || sample_shape.contains(&0) {
+            return Err(ServeError::BadRequest(
+                "sample shape must be nonempty with nonzero dims".into(),
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Arc::new(BoundedQueue::new(config.queue_capacity)),
+            counters: Arc::new(ServerCounters::default()),
+            latency: Arc::new(LatencyHistogram::new()),
+            in_flight: Arc::new(AtomicU64::new(0)),
+            shutting_down: AtomicBool::new(false),
+            telemetry,
+            sample_shape: sample_shape.to_vec(),
+            conns: Mutex::new(Vec::new()),
+            conn_handles: Mutex::new(Vec::new()),
+        });
+
+        let mut worker_handles = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let ctx = WorkerContext {
+                queue: Arc::clone(&shared.queue),
+                executor: Arc::clone(&executor),
+                sample_shape: shared.sample_shape.clone(),
+                max_batch: config.max_batch,
+                max_wait: config.max_wait,
+                counters: Arc::clone(&shared.counters),
+                latency: Arc::clone(&shared.latency),
+                in_flight: Arc::clone(&shared.in_flight),
+            };
+            worker_handles.push(
+                thread::Builder::new()
+                    .name(format!("resipe-serve-worker-{i}"))
+                    .spawn(move || worker_loop(ctx))
+                    .map_err(ServeError::Io)?,
+            );
+        }
+
+        let accept_shared = Arc::clone(&shared);
+        let listener_handle = thread::Builder::new()
+            .name("resipe-serve-listener".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(ServeError::Io)?;
+
+        Ok(Server {
+            shared,
+            local_addr,
+            listener_handle: Some(listener_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A point-in-time snapshot of the server's counters, queue state,
+    /// latency histogram, and engine telemetry.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Gracefully shuts down: refuse new connections and admissions,
+    /// drain and answer every already-admitted request, then close all
+    /// connections. Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.listener_handle.take() {
+            let _ = h.join();
+        }
+        // Fail new admissions, then let workers drain what was admitted;
+        // every queued request is answered into its connection channel.
+        self.shared.queue.close();
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        // Unblock connection readers; writers exit once the last reply
+        // (sent by the drained workers above) has been flushed.
+        for stream in self.shared.conns.lock().expect("conns poisoned").iter() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut guard = self.shared.conn_handles.lock().expect("handles poisoned");
+            guard.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break; // wake-up connection or racing client — drop it
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        spawn_connection(stream, Arc::clone(&shared));
+    }
+}
+
+fn spawn_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    shared.conns.lock().expect("conns poisoned").push(stream);
+
+    let writer = thread::Builder::new()
+        .name("resipe-serve-conn-writer".into())
+        .spawn(move || writer_loop(write_half, reply_rx));
+    let reader_shared = Arc::clone(&shared);
+    let tx = reply_tx.clone();
+    let reader = thread::Builder::new()
+        .name("resipe-serve-conn-reader".into())
+        .spawn(move || {
+            reader_loop(read_half, reader_shared, tx);
+            // Dropping the last sender ends the writer's recv loop.
+            drop(reply_tx);
+        });
+    let mut handles = shared.conn_handles.lock().expect("handles poisoned");
+    if let Ok(h) = writer {
+        handles.push(h);
+    }
+    if let Ok(h) = reader {
+        handles.push(h);
+    }
+}
+
+fn writer_loop(mut stream: TcpStream, replies: mpsc::Receiver<Reply>) {
+    while let Ok(reply) = replies.recv() {
+        if write_response(&mut stream, reply.status, reply.id, &reply.payload).is_err() {
+            break; // client went away; drain silently
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+}
+
+fn reader_loop(stream: TcpStream, shared: Arc<Shared>, replies: mpsc::Sender<Reply>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break, // clean EOF at a frame boundary
+            Err(_) => break,   // torn frame or reset — nothing to answer
+        };
+        match parse_request(&frame) {
+            Ok(req) => {
+                if handle_request(req, &shared, &replies).is_err() {
+                    break; // reply channel gone — writer died
+                }
+            }
+            Err(e) => {
+                ServerCounters::add(&shared.counters.bad_requests, 1);
+                let sent = replies.send(Reply {
+                    status: Status::BadRequest,
+                    id: 0,
+                    payload: e.to_string().into_bytes(),
+                });
+                if sent.is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Admission control for one parsed request. Returns `Err` only when the
+/// reply channel is closed (connection writer gone).
+fn handle_request(
+    req: Request,
+    shared: &Arc<Shared>,
+    replies: &mpsc::Sender<Reply>,
+) -> Result<(), mpsc::SendError<Reply>> {
+    match req.verb {
+        Verb::Ping => replies.send(Reply {
+            status: Status::Ok,
+            id: req.id,
+            payload: Vec::new(),
+        }),
+        Verb::Stats => replies.send(Reply {
+            status: Status::Ok,
+            id: req.id,
+            payload: shared.stats().encode(),
+        }),
+        Verb::Infer | Verb::InferBatch => {
+            let Some(tensor) = req.tensor else {
+                ServerCounters::add(&shared.counters.bad_requests, 1);
+                return replies.send(Reply {
+                    status: Status::BadRequest,
+                    id: req.id,
+                    payload: b"inference request carries no tensor".to_vec(),
+                });
+            };
+            let (n, shape_ok) = match req.verb {
+                Verb::Infer => (1usize, tensor.shape() == &shared.sample_shape[..]),
+                _ => (
+                    tensor.shape().first().copied().unwrap_or(0),
+                    tensor.shape().len() == shared.sample_shape.len() + 1
+                        && tensor.shape()[1..] == shared.sample_shape[..]
+                        && !tensor.shape().is_empty()
+                        && tensor.shape()[0] > 0,
+                ),
+            };
+            if !shape_ok {
+                ServerCounters::add(&shared.counters.bad_requests, 1);
+                return replies.send(Reply {
+                    status: Status::BadRequest,
+                    id: req.id,
+                    payload: format!(
+                        "sample shape mismatch: served shape is {:?}, got {:?}",
+                        shared.sample_shape,
+                        tensor.shape()
+                    )
+                    .into_bytes(),
+                });
+            }
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                ServerCounters::add(&shared.counters.shutdown_rejects, 1);
+                return replies.send(Reply {
+                    status: Status::ShuttingDown,
+                    id: req.id,
+                    payload: Vec::new(),
+                });
+            }
+            let now = Instant::now();
+            let deadline = if req.deadline_us == 0 {
+                None
+            } else {
+                Some(now + Duration::from_micros(u64::from(req.deadline_us)))
+            };
+            let pending = PendingRequest {
+                id: req.id,
+                samples: tensor.data().to_vec(),
+                n,
+                deadline,
+                enqueued: now,
+                reply: replies.clone(),
+            };
+            // Count in-flight *before* the push so a concurrent stats
+            // reader never observes a queued request as unaccounted.
+            shared.in_flight.fetch_add(1, Ordering::Relaxed);
+            match shared.queue.try_push(pending) {
+                Ok(()) => {
+                    ServerCounters::add(&shared.counters.accepted, 1);
+                    Ok(())
+                }
+                Err(PushError::Full(_)) => {
+                    shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    ServerCounters::add(&shared.counters.rejected_busy, 1);
+                    replies.send(Reply {
+                        status: Status::Busy,
+                        id: req.id,
+                        payload: Vec::new(),
+                    })
+                }
+                Err(PushError::Closed(_)) => {
+                    shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    ServerCounters::add(&shared.counters.shutdown_rejects, 1);
+                    replies.send(Reply {
+                        status: Status::ShuttingDown,
+                        id: req.id,
+                        payload: Vec::new(),
+                    })
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Property tests of the micro-batcher invariants:
+//!
+//! - **no request is lost or duplicated** — every admitted request is
+//!   answered exactly once,
+//! - **FIFO within a batch** — a batch preserves admission order,
+//! - **batch size never exceeds `max_batch`** samples,
+//! - **responses route to the issuing client** — each client receives
+//!   replies only for ids it sent, carrying its own data.
+
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use resipe::ResipeError;
+use resipe_nn::tensor::Tensor;
+use resipe_serve::batcher::BatchExecutor;
+use resipe_serve::queue::BoundedQueue;
+
+// The worker internals under test are crate-private; exercise them
+// through the queue (pure-data invariants) and through a full in-process
+// server (routing invariants) in `server.rs` / `server_identity.rs`.
+// Here the queue itself carries the batching contract.
+
+/// An executor that records every batch's sample count and echoes input.
+struct RecordingEcho {
+    batch_sizes: Mutex<Vec<usize>>,
+}
+
+impl BatchExecutor for RecordingEcho {
+    fn execute(&self, batch: &Tensor) -> Result<Tensor, ResipeError> {
+        self.batch_sizes.lock().unwrap().push(batch.shape()[0]);
+        Ok(batch.clone())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Weighted `pop_batch` partitions the queued items exactly: nothing
+    /// lost, nothing duplicated, FIFO order preserved across batches,
+    /// and no batch exceeds the weight cap (except a lone oversized
+    /// item, which must come out as a singleton).
+    #[test]
+    fn pop_batch_partitions_fifo_without_loss(
+        weights in proptest::collection::vec(1usize..6, 1..40),
+        max_weight in 1usize..12,
+    ) {
+        let q = BoundedQueue::new(64);
+        for (i, &w) in weights.iter().enumerate() {
+            prop_assert!(q.try_push((i, w)).is_ok(), "capacity is ample");
+        }
+        q.close();
+        let mut drained: Vec<(usize, usize)> = Vec::new();
+        while let Some(batch) = q.pop_batch(max_weight, Duration::ZERO, |&(_, w)| w) {
+            let total: usize = batch.iter().map(|&(_, w)| w).sum();
+            prop_assert!(
+                total <= max_weight || batch.len() == 1,
+                "batch weight {total} exceeds cap {max_weight} with {} items",
+                batch.len()
+            );
+            drained.extend(batch);
+        }
+        // Exact FIFO partition: the concatenation of batches is the
+        // original sequence (hence nothing lost or duplicated).
+        let expected: Vec<(usize, usize)> =
+            weights.iter().copied().enumerate().collect();
+        prop_assert_eq!(drained, expected);
+    }
+
+    /// Concurrent producers: every pushed item comes out exactly once
+    /// (no loss, no duplication) even with pushes racing the draining
+    /// consumer and the linger window open.
+    #[test]
+    fn concurrent_producers_lose_nothing(
+        per_producer in 1usize..12,
+        producers in 1usize..4,
+    ) {
+        let q = Arc::new(BoundedQueue::new(256));
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let q = Arc::clone(&q);
+            handles.push(thread::spawn(move || {
+                for i in 0..per_producer {
+                    q.try_push(p * 1000 + i).expect("capacity is ample");
+                }
+            }));
+        }
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(batch) =
+                    q.pop_batch(8, Duration::from_micros(200), |_| 1)
+                {
+                    seen.extend(batch);
+                }
+                seen
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        q.close();
+        let mut seen = consumer.join().unwrap();
+        seen.sort_unstable();
+        let mut expected: Vec<usize> = (0..producers)
+            .flat_map(|p| (0..per_producer).map(move |i| p * 1000 + i))
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(seen, expected);
+    }
+}
+
+/// End-to-end batcher routing through a real server on loopback: many
+/// client threads with distinct payloads; each must get back exactly its
+/// own data, once per request, and no executed batch may exceed
+/// `max_batch`.
+#[test]
+fn batches_route_to_issuing_clients_and_respect_max_batch() {
+    use resipe::telemetry::Telemetry;
+    use resipe_serve::{Client, Server, ServerConfig};
+
+    const WIDTH: usize = 4;
+    const CLIENTS: usize = 4;
+    const REQUESTS: usize = 25;
+    const MAX_BATCH: usize = 5;
+
+    let executor = Arc::new(RecordingEcho {
+        batch_sizes: Mutex::new(Vec::new()),
+    });
+    let server = Server::spawn_with_executor(
+        Arc::clone(&executor) as Arc<dyn BatchExecutor>,
+        Telemetry::disabled(),
+        &[WIDTH],
+        "127.0.0.1:0",
+        ServerConfig::default()
+            .with_max_batch(MAX_BATCH)
+            .with_max_wait(Duration::from_micros(200))
+            .with_queue_capacity(512),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut joins = Vec::new();
+    for c in 0..CLIENTS {
+        joins.push(thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            for r in 0..REQUESTS {
+                // A payload unique to (client, request).
+                let tag = (c * REQUESTS + r) as f32;
+                let sample =
+                    Tensor::from_vec(vec![tag, tag + 0.25, tag + 0.5, tag + 0.75], &[WIDTH])
+                        .unwrap();
+                let out = client.infer(&sample).unwrap();
+                assert_eq!(out.shape(), &[WIDTH], "echo keeps the shape");
+                assert_eq!(
+                    out.data(),
+                    sample.data(),
+                    "client {c} request {r} got someone else's answer"
+                );
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.accepted, (CLIENTS * REQUESTS) as u64, "all admitted");
+    assert_eq!(stats.completed, (CLIENTS * REQUESTS) as u64, "all answered");
+    assert_eq!(stats.rejected_busy, 0);
+    assert_eq!(stats.expired, 0);
+    assert_eq!(
+        stats.batched_samples,
+        (CLIENTS * REQUESTS) as u64,
+        "every sample executed exactly once"
+    );
+    for &size in executor.batch_sizes.lock().unwrap().iter() {
+        assert!((1..=MAX_BATCH).contains(&size), "batch of {size} samples");
+    }
+    assert!(stats.largest_batch as usize <= MAX_BATCH);
+}
+
+/// `InferBatch` requests interleaved with single-sample requests still
+/// route correctly and never split a request across replies.
+#[test]
+fn mixed_batch_and_single_requests_round_trip() {
+    use resipe::telemetry::Telemetry;
+    use resipe_serve::{Client, Server, ServerConfig};
+
+    struct PlusOne;
+    impl BatchExecutor for PlusOne {
+        fn execute(&self, batch: &Tensor) -> Result<Tensor, ResipeError> {
+            let data: Vec<f32> = batch.data().iter().map(|v| v + 1.0).collect();
+            Ok(Tensor::from_vec(data, batch.shape()).unwrap())
+        }
+    }
+
+    let server = Server::spawn_with_executor(
+        Arc::new(PlusOne),
+        Telemetry::disabled(),
+        &[2],
+        "127.0.0.1:0",
+        ServerConfig::default().with_max_batch(3),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let single = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+    let out = client.infer(&single).unwrap();
+    assert_eq!(out.data(), &[2.0, 3.0]);
+
+    // A 5-sample request with max_batch 3: the oversized request still
+    // executes whole (singleton batch) and comes back intact.
+    let batch = Tensor::from_vec((0..10).map(|i| i as f32).collect::<Vec<_>>(), &[5, 2]).unwrap();
+    let out = client.infer_batch(&batch).unwrap();
+    assert_eq!(out.shape(), &[5, 2]);
+    let expected: Vec<f32> = (0..10).map(|i| i as f32 + 1.0).collect();
+    assert_eq!(out.data(), &expected[..]);
+}

@@ -1,0 +1,126 @@
+//! The serving bit-identity contract, end to end: outputs fetched over
+//! TCP from concurrent clients — coalesced into micro-batches with
+//! strangers' requests — are **byte-equal** to per-sample
+//! `HardwareNetwork::forward` on a local clone of the same compiled
+//! network, under the full non-ideality chain.
+
+use std::thread;
+use std::time::Duration;
+
+use resipe::inference::{CompileOptions, FaultInjection, HardwareNetwork};
+use resipe::mapping::TileMapper;
+use resipe_nn::data::synth_digits;
+use resipe_nn::models;
+use resipe_nn::tensor::Tensor;
+use resipe_nn::train::{Sgd, TrainConfig};
+use resipe_reram::variation::VariationModel;
+use resipe_serve::{Client, Server, ServerConfig};
+
+fn assert_bit_identical(a: &Tensor, b: &Tensor) {
+    assert_eq!(a.shape(), b.shape());
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "element {i}: {x:e} vs {y:e} differ in bits"
+        );
+    }
+}
+
+#[test]
+fn concurrent_served_outputs_match_local_per_sample_bitwise() {
+    // Train and compile MLP-1 with the full non-ideality chain engaged.
+    let train = synth_digits(80, 1).unwrap();
+    let mut net = models::mlp1(7).unwrap();
+    Sgd::new(TrainConfig::new(1).with_learning_rate(0.1))
+        .fit(&mut net, &train)
+        .unwrap();
+    let (calib, _) = train.batch(&(0..16).collect::<Vec<_>>()).unwrap();
+    let opts = CompileOptions::paper()
+        .with_mapper(TileMapper::paper().with_spare_cols(2))
+        .with_variation(VariationModel::device_to_device(0.10).unwrap())
+        .with_seed(42)
+        .with_faults(FaultInjection::clustered(0.01, 4, 17))
+        .with_repair(resipe::repair::RepairPolicy::full())
+        .with_comparator_sigma(0.01);
+    let hw = HardwareNetwork::compile(&net, &calib, &opts).unwrap();
+
+    // The local oracle shares the compiled state; `forward` is the
+    // per-sample reference path.
+    let oracle = hw.clone();
+
+    let sample_shape = train.sample_shape().to_vec();
+    let server = Server::spawn(
+        hw,
+        &sample_shape,
+        "127.0.0.1:0",
+        ServerConfig::default()
+            .with_max_batch(8)
+            .with_max_wait(Duration::from_micros(500)),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // A fixed corpus; each client walks a different stride so batches
+    // coalesce samples from different clients.
+    const CLIENTS: usize = 3;
+    const PER_CLIENT: usize = 12;
+    let (corpus, _) = train
+        .batch(&(0..CLIENTS * PER_CLIENT).collect::<Vec<_>>())
+        .unwrap();
+    let width: usize = sample_shape.iter().product();
+
+    let mut joins = Vec::new();
+    for c in 0..CLIENTS {
+        let corpus = corpus.clone();
+        let sample_shape = sample_shape.clone();
+        joins.push(thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let mut outputs = Vec::new();
+            for r in 0..PER_CLIENT {
+                let idx = c * PER_CLIENT + r;
+                let data = corpus.data()[idx * width..(idx + 1) * width].to_vec();
+                if r % 3 == 2 {
+                    // Exercise the batch verb too: a 1-sample batch.
+                    let mut shape = vec![1usize];
+                    shape.extend_from_slice(&sample_shape);
+                    let t = Tensor::from_vec(data, &shape).unwrap();
+                    let out = client.infer_batch(&t).unwrap();
+                    let inner = out.shape()[1..].to_vec();
+                    outputs.push((idx, Tensor::from_vec(out.data().to_vec(), &inner).unwrap()));
+                } else {
+                    let t = Tensor::from_vec(data, &sample_shape).unwrap();
+                    outputs.push((idx, client.infer(&t).unwrap()));
+                }
+            }
+            outputs
+        }));
+    }
+
+    // Per-sample reference outputs, computed locally.
+    let reference = oracle.forward(&corpus).unwrap();
+    let out_width = reference.len() / (CLIENTS * PER_CLIENT);
+
+    for j in joins {
+        for (idx, served) in j.join().unwrap() {
+            let expected = Tensor::from_vec(
+                reference.data()[idx * out_width..(idx + 1) * out_width].to_vec(),
+                &reference.shape()[1..],
+            )
+            .unwrap();
+            assert_bit_identical(&served, &expected);
+        }
+    }
+
+    // Nothing lost, duplicated, or degraded along the way.
+    let stats = server.stats();
+    assert_eq!(stats.accepted, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(stats.completed, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(stats.rejected_busy, 0);
+    assert_eq!(stats.expired, 0);
+    assert_eq!(stats.engine_errors, 0);
+    assert_eq!(stats.batched_samples, (CLIENTS * PER_CLIENT) as u64);
+    assert!(stats.largest_batch >= 1);
+    // The engine's telemetry rides along in the snapshot.
+    assert!(stats.telemetry_json.contains("mvms"));
+}

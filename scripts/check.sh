@@ -34,4 +34,29 @@ for key in model samples mvms_per_sample bit_identical stage_nanos energy \
 done
 rm -f "$profile_out"
 
+echo "==> serve_bench --smoke (schema check, loopback TCP)"
+serve_out="$(mktemp)"
+cargo run --release -q -p resipe-bench --bin serve_bench -- --smoke --out "$serve_out" >/dev/null
+for key in model clients requests_per_client total_requests max_batch max_wait_us \
+    bit_identical lossless sequential batched requests_per_sec mean_batch \
+    largest_batch speedup latency p50_nanos p99_nanos server accepted completed \
+    rejected_busy expired; do
+    if ! grep -q "\"$key\"" "$serve_out"; then
+        echo "check: BENCH_serve.json schema drift — missing key \"$key\"" >&2
+        rm -f "$serve_out"
+        exit 1
+    fi
+done
+if ! grep -q '"bit_identical": true' "$serve_out"; then
+    echo "check: serve_bench lost bit identity" >&2
+    rm -f "$serve_out"
+    exit 1
+fi
+if ! grep -q '"lossless": true' "$serve_out"; then
+    echo "check: serve_bench lost or duplicated requests" >&2
+    rm -f "$serve_out"
+    exit 1
+fi
+rm -f "$serve_out"
+
 echo "check: all gates passed"
