@@ -148,6 +148,22 @@ fn main() {
         json_num(snap.t_out.saturation_fraction()),
         json_num(snap.v_out.saturation_fraction())
     ));
+    // Cache-blocked kernel traffic: how many sample blocks the planned
+    // run issued and how much tile conductance data they streamed.
+    let kc = &snap.counters;
+    let mean_block = if kc.kernel_blocks > 0 {
+        kc.kernel_block_samples as f64 / kc.kernel_blocks as f64
+    } else {
+        0.0
+    };
+    json.push_str(&format!(
+        "  \"kernel\": {{\"blocks\": {}, \"block_samples\": {}, \
+         \"bytes_streamed\": {}, \"mean_samples_per_block\": {}}},\n",
+        kc.kernel_blocks,
+        kc.kernel_block_samples,
+        kc.kernel_bytes_streamed,
+        json_num(mean_block)
+    ));
     // The full snapshot (counters, spans, layers, histograms), indented
     // into place.
     json.push_str("  \"telemetry\": ");
@@ -178,5 +194,9 @@ fn main() {
         snap.counters.repair_pulses,
         snap.counters.compile_cache_hits,
         snap.counters.compile_cache_misses
+    );
+    eprintln!(
+        "kernel: {} blocks / {} samples (mean {:.1}/block), {} tile bytes streamed",
+        kc.kernel_blocks, kc.kernel_block_samples, mean_block, kc.kernel_bytes_streamed
     );
 }

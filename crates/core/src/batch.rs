@@ -104,11 +104,12 @@ impl TilePlan {
             d0_plus: Vec::new(),
             d0_minus: Vec::new(),
         };
+        let _ = phys_cols;
         for j in 0..cols {
             let pc = tile.col_map()[j];
-            for (eff, g_col, g_total, charge, k, offs, gsum, offsets) in [
+            for (eff_cm, g_col, g_total, charge, k, offs, gsum, offsets) in [
                 (
-                    tile.eff_plus(),
+                    tile.eff_plus_cm(),
                     &mut plan.g_plus,
                     &mut plan.g_total_plus,
                     &mut plan.charge_plus,
@@ -118,7 +119,7 @@ impl TilePlan {
                     &tile.offset_plus,
                 ),
                 (
-                    tile.eff_minus(),
+                    tile.eff_minus_cm(),
                     &mut plan.g_minus,
                     &mut plan.g_total_minus,
                     &mut plan.charge_minus,
@@ -130,13 +131,14 @@ impl TilePlan {
             ] {
                 // Column sum in row order — the exact accumulation order
                 // of `mvm_matrix`, so the hoisted sum is bit-equal to the
-                // per-sample recomputation it replaces.
+                // per-sample recomputation it replaces. The tile's SoA
+                // mirror already holds the column contiguously.
+                let col = &eff_cm[pc * rows..(pc + 1) * rows];
                 let mut total = 0.0f64;
-                for r in 0..rows {
-                    let g = eff[r * phys_cols + pc];
-                    g_col.push(g);
+                for &g in col {
                     total += g;
                 }
+                g_col.extend_from_slice(col);
                 g_total.push(total);
                 charge.push(1.0 - (-dt_over_c * total).exp());
                 let gsum_nom = gsum[pc];
@@ -162,6 +164,21 @@ pub struct BatchScratch {
     /// used only by the probed path, which splits the column loop into
     /// a crossbar pass and a decode pass to time them separately.
     v_cols: Vec<(f64, f64)>,
+    /// Held wordline voltages of every sample in the current block,
+    /// stride `tile.rows` per sample ([`BatchPlan::forward_block`]).
+    v_in_block: Vec<f64>,
+    /// Concatenated non-zero wordline indices of the block's samples.
+    nz_idx: Vec<u32>,
+    /// Prefix bounds into `nz_idx`: sample `b` of the block owns
+    /// `nz_idx[nz_bounds[b]..nz_bounds[b + 1]]`.
+    nz_bounds: Vec<usize>,
+    /// Staged `(V_out⁺, V_out⁻)` per (column, sample) of the probed
+    /// block path, indexed `j * samples + b`.
+    v_cols_block: Vec<(f64, f64)>,
+    /// Normalized-activation staging for a block of samples — borrowed
+    /// by `HardwareNetwork` between kernel invocations so the per-block
+    /// input copy reuses one allocation.
+    pub(crate) a_block: Vec<f64>,
 }
 
 /// A sample-independent execution plan for one mapped weight layer.
@@ -187,6 +204,10 @@ pub struct BatchPlan {
     scale: f64,
     tiles: Vec<TilePlan>,
     max_tile_rows: usize,
+    /// Conductance bytes read from the tile plans by one pass over all
+    /// tiles (both differential arrays) — the traffic one block of the
+    /// blocked kernel streams, versus once per *sample* unblocked.
+    tile_stream_bytes: u64,
 }
 
 impl BatchPlan {
@@ -221,8 +242,14 @@ impl BatchPlan {
             time_quantum: mapped.time_quantum(),
             scale: mapped.weight_scale() / (v_ref * mapped.delta_g_eff().0),
             max_tile_rows: mapped.tiles().iter().map(Tile::rows).max().unwrap_or(0),
+            tile_stream_bytes: 0,
             tiles,
         };
+        plan.tile_stream_bytes = plan
+            .tiles
+            .iter()
+            .map(|t| ((t.g_plus.len() + t.g_minus.len()) * std::mem::size_of::<f64>()) as u64)
+            .sum();
         for ti in 0..plan.tiles.len() {
             let d0_plus: Vec<f64> = (0..plan.tiles[ti].cols)
                 .map(|j| {
@@ -250,6 +277,7 @@ impl BatchPlan {
             v_in: Vec::with_capacity(self.max_tile_rows),
             nonzero: Vec::with_capacity(self.max_tile_rows),
             v_cols: Vec::with_capacity(self.cols),
+            ..BatchScratch::default()
         }
     }
 
@@ -261,6 +289,25 @@ impl BatchPlan {
     /// Logical output dimension.
     pub fn cols(&self) -> usize {
         self.cols
+    }
+
+    /// Conductance bytes streamed from the tile plans by one pass over
+    /// all tiles (both differential arrays). The blocked kernel pays
+    /// this once per *block*; the unblocked path pays it once per
+    /// *sample*.
+    pub fn tile_stream_bytes(&self) -> u64 {
+        self.tile_stream_bytes
+    }
+
+    /// Deterministic sample-block size for [`BatchPlan::forward_block`]:
+    /// as many samples as keep one block's per-sample working set
+    /// (held wordline voltages, non-zero index list, output row) inside
+    /// a 32 KiB L1 budget, clamped to `[1, 64]`. A pure function of the
+    /// layer shape — never of the host — so blocked execution partitions
+    /// work identically on every machine.
+    pub fn preferred_block(&self) -> usize {
+        let per_sample = 12 * self.max_tile_rows + 8 * self.cols;
+        (32 * 1024 / per_sample.max(1)).clamp(1, 64)
     }
 
     /// Executes one logical MVM — bit-identical to
@@ -505,6 +552,229 @@ impl BatchPlan {
         probe.record_sample(stats);
         Ok(acc)
     }
+
+    /// Encodes one tile's wordlines for every sample of a block into the
+    /// scratch staging buffers: held voltages at stride `tile.rows`, and
+    /// the per-sample non-zero index lists behind a shared prefix-bounds
+    /// array. Each sample sees the exact encode sequence of
+    /// [`BatchPlan::forward_one`]; only the buffer it lands in differs.
+    /// Returns the number of zero-activation skips taken.
+    fn encode_block(
+        &self,
+        tile: &TilePlan,
+        activations: &[f64],
+        samples: usize,
+        scratch: &mut BatchScratch,
+    ) -> u64 {
+        let mut skips = 0u64;
+        scratch.v_in_block.clear();
+        scratch.nz_idx.clear();
+        scratch.nz_bounds.clear();
+        scratch.nz_bounds.push(0);
+        for b in 0..samples {
+            let base = b * self.rows + tile.row_start;
+            for (p, &l) in tile.row_source.iter().enumerate() {
+                let a = activations[base + l].clamp(0.0, 1.0);
+                if a == 0.0 {
+                    scratch.v_in_block.push(0.0);
+                    skips += 1;
+                    continue;
+                }
+                let t = match self.encoding {
+                    SpikeEncoding::LinearTime => a * self.t_max,
+                    SpikeEncoding::PassThrough => {
+                        Seconds(-self.tau * (1.0 - a * self.v_ref / self.vs).ln()).0
+                    }
+                };
+                let v = self.vs * (1.0 - (-t / self.tau).exp());
+                scratch.v_in_block.push(v);
+                if v != 0.0 {
+                    scratch.nz_idx.push(p as u32);
+                }
+            }
+            scratch.nz_bounds.push(scratch.nz_idx.len());
+        }
+        skips
+    }
+
+    /// Executes `samples` logical MVMs in one pass over the tile data —
+    /// the cache-blocked kernel. `activations` holds the samples
+    /// back-to-back (`samples × rows`), `out` receives the outputs
+    /// back-to-back (`samples × cols`).
+    ///
+    /// Per tile, the S1 encode runs for every sample of the block first,
+    /// then each column's conductance pair is loaded **once** and swept
+    /// across all samples, so tile data is read from cache instead of
+    /// being re-streamed from memory per sample. For every sample the
+    /// per-(tile, column) contributions still accumulate in tile order
+    /// with the row-order weighted sums of `forward_one`, so the result
+    /// is **bit-identical** to calling [`BatchPlan::forward_one`] on
+    /// each sample — for any block size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::DimensionMismatch`] unless
+    /// `activations.len() == samples * rows` and
+    /// `out.len() == samples * cols`.
+    pub fn forward_block(
+        &self,
+        activations: &[f64],
+        samples: usize,
+        out: &mut [f64],
+        scratch: &mut BatchScratch,
+    ) -> Result<(), ResipeError> {
+        if activations.len() != samples * self.rows {
+            return Err(ResipeError::DimensionMismatch {
+                expected: samples * self.rows,
+                got: activations.len(),
+            });
+        }
+        if out.len() != samples * self.cols {
+            return Err(ResipeError::DimensionMismatch {
+                expected: samples * self.cols,
+                got: out.len(),
+            });
+        }
+        out.fill(0.0);
+        for tile in &self.tiles {
+            self.encode_block(tile, activations, samples, scratch);
+            for j in 0..tile.cols {
+                let col = j * tile.rows..(j + 1) * tile.rows;
+                let gp = &tile.g_plus[col.clone()];
+                let gm = &tile.g_minus[col];
+                for b in 0..samples {
+                    let v_in = &scratch.v_in_block[b * tile.rows..(b + 1) * tile.rows];
+                    let nz = &scratch.nz_idx[scratch.nz_bounds[b]..scratch.nz_bounds[b + 1]];
+                    let mut wp = 0.0f64;
+                    let mut wm = 0.0f64;
+                    for &p in nz {
+                        let v = v_in[p as usize];
+                        wp += v * gp[p as usize];
+                        wm += v * gm[p as usize];
+                    }
+                    let vp = Self::v_out(wp, tile.g_total_plus[j], tile.charge_plus[j]);
+                    let vm = Self::v_out(wm, tile.g_total_minus[j], tile.charge_minus[j]);
+                    let d_plus = if vp == 0.0 {
+                        tile.d0_plus[j]
+                    } else {
+                        self.decode_column(vp, tile.offset_plus[j], tile.k_plus[j])
+                    };
+                    let d_minus = if vm == 0.0 {
+                        tile.d0_minus[j]
+                    } else {
+                        self.decode_column(vm, tile.offset_minus[j], tile.k_minus[j])
+                    };
+                    out[b * self.cols + j] += d_plus - d_minus;
+                }
+            }
+        }
+        for y in out.iter_mut() {
+            *y *= self.scale;
+        }
+        Ok(())
+    }
+
+    /// [`BatchPlan::forward_block`] with an optional telemetry probe.
+    ///
+    /// With `None` this *is* `forward_block`. With a probe, the per-tile
+    /// work is split into a block encode pass, a crossbar pass staging
+    /// every `(column, sample)` voltage pair, and a decode pass, so the
+    /// three stages can be timed separately and every column decode is
+    /// observed — the same staging argument as
+    /// [`BatchPlan::forward_one_probed`] keeps the outputs
+    /// **bit-identical**. The probe's layer counters advance by the
+    /// whole block (`calls += samples`), and the global kernel counters
+    /// record one block of `samples` samples streaming
+    /// [`BatchPlan::tile_stream_bytes`] conductance bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::DimensionMismatch`] unless
+    /// `activations.len() == samples * rows` and
+    /// `out.len() == samples * cols`.
+    pub fn forward_block_probed(
+        &self,
+        activations: &[f64],
+        samples: usize,
+        out: &mut [f64],
+        scratch: &mut BatchScratch,
+        probe: Option<&LayerProbe>,
+    ) -> Result<(), ResipeError> {
+        let Some(probe) = probe else {
+            return self.forward_block(activations, samples, out, scratch);
+        };
+        if activations.len() != samples * self.rows {
+            return Err(ResipeError::DimensionMismatch {
+                expected: samples * self.rows,
+                got: activations.len(),
+            });
+        }
+        if out.len() != samples * self.cols {
+            return Err(ResipeError::DimensionMismatch {
+                expected: samples * self.cols,
+                got: out.len(),
+            });
+        }
+        let mut stats = SampleStats {
+            mvms: (samples * 2 * self.tiles.len()) as u64,
+            ..SampleStats::default()
+        };
+        out.fill(0.0);
+        for tile in &self.tiles {
+            let t0 = Instant::now();
+            stats.zero_activation_skips += self.encode_block(tile, activations, samples, scratch);
+            let t1 = Instant::now();
+            scratch.v_cols_block.clear();
+            for j in 0..tile.cols {
+                let col = j * tile.rows..(j + 1) * tile.rows;
+                let gp = &tile.g_plus[col.clone()];
+                let gm = &tile.g_minus[col];
+                for b in 0..samples {
+                    let v_in = &scratch.v_in_block[b * tile.rows..(b + 1) * tile.rows];
+                    let nz = &scratch.nz_idx[scratch.nz_bounds[b]..scratch.nz_bounds[b + 1]];
+                    let mut wp = 0.0f64;
+                    let mut wm = 0.0f64;
+                    for &p in nz {
+                        let v = v_in[p as usize];
+                        wp += v * gp[p as usize];
+                        wm += v * gm[p as usize];
+                    }
+                    scratch.v_cols_block.push((
+                        Self::v_out(wp, tile.g_total_plus[j], tile.charge_plus[j]),
+                        Self::v_out(wm, tile.g_total_minus[j], tile.charge_minus[j]),
+                    ));
+                }
+            }
+            let t2 = Instant::now();
+            for j in 0..tile.cols {
+                for b in 0..samples {
+                    let (vp, vm) = scratch.v_cols_block[j * samples + b];
+                    let (d_plus, tr_p) =
+                        self.decode_column_traced(vp, tile.offset_plus[j], tile.k_plus[j]);
+                    let (d_minus, tr_m) =
+                        self.decode_column_traced(vm, tile.offset_minus[j], tile.k_minus[j]);
+                    for tr in [&tr_p, &tr_m] {
+                        probe.record_decode(tr.v_eff, tr.t_obs);
+                        stats.comparator_offset_rejects += u64::from(tr.offset_clamped);
+                        stats.saturated_decodes += u64::from(tr.saturated);
+                    }
+                    out[b * self.cols + j] += d_plus - d_minus;
+                }
+            }
+            let t3 = Instant::now();
+            stats.s1_encode_nanos += (t1 - t0).as_nanos() as u64;
+            stats.crossbar_nanos += (t2 - t1).as_nanos() as u64;
+            stats.s2_decode_nanos += (t3 - t2).as_nanos() as u64;
+        }
+        let t_scale = Instant::now();
+        for y in out.iter_mut() {
+            *y *= self.scale;
+        }
+        stats.s2_decode_nanos += t_scale.elapsed().as_nanos() as u64;
+        probe.record_block(stats, samples as u64);
+        probe.record_kernel(samples as u64, self.tile_stream_bytes);
+        Ok(())
+    }
 }
 
 /// Observation sidecar of one traced column decode.
@@ -648,5 +918,101 @@ mod tests {
         let plan = BatchPlan::new(&e, &mapped, SpikeEncoding::LinearTime);
         let mut scratch = plan.scratch();
         assert!(plan.forward_one(&[0.1], &mut scratch).is_err());
+        let mut out = vec![0.0; 2];
+        assert!(plan
+            .forward_block(&[0.1; 3], 2, &mut out, &mut scratch)
+            .is_err());
+        assert!(plan
+            .forward_block(&[0.1; 4], 2, &mut out[..1], &mut scratch)
+            .is_err());
+    }
+
+    #[test]
+    fn block_kernel_matches_forward_one_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let weights: Vec<f64> = (0..80 * 6).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let model = resipe_reram::VariationModel::device_to_device(0.12).unwrap();
+        let mapped = TileMapper::paper()
+            .with_spare_cols(2)
+            .map(&weights, 80, 6)
+            .unwrap()
+            .with_faults(0.02, 4, 31)
+            .unwrap()
+            .perturbed(&model, 9)
+            .with_comparator_offsets(0.01, 17)
+            .with_time_quantization(Seconds(1e-9));
+        let e = engine();
+        for encoding in [SpikeEncoding::LinearTime, SpikeEncoding::PassThrough] {
+            let plan = BatchPlan::new(&e, &mapped, encoding);
+            let mut scratch = plan.scratch();
+            let n = 13usize;
+            let a: Vec<f64> = (0..n * 80)
+                .map(|_| {
+                    if rng.gen_range(0.0..1.0) < 0.4 {
+                        0.0
+                    } else {
+                        rng.gen_range(0.0..1.0)
+                    }
+                })
+                .collect();
+            let mut reference = Vec::with_capacity(n * 6);
+            for b in 0..n {
+                reference.extend(
+                    plan.forward_one(&a[b * 80..(b + 1) * 80], &mut scratch)
+                        .unwrap(),
+                );
+            }
+            for block in [1usize, 2, 3, 5, 8, 13, 64] {
+                let mut out = vec![f64::NAN; n * 6];
+                for start in (0..n).step_by(block) {
+                    let b = block.min(n - start);
+                    plan.forward_block(
+                        &a[start * 80..(start + b) * 80],
+                        b,
+                        &mut out[start * 6..(start + b) * 6],
+                        &mut scratch,
+                    )
+                    .unwrap();
+                }
+                exact_eq(&reference, &out);
+            }
+        }
+    }
+
+    #[test]
+    fn probed_block_is_bit_identical_and_counts_whole_block() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let weights: Vec<f64> = (0..48 * 4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mapped = TileMapper::paper()
+            .map(&weights, 48, 4)
+            .unwrap()
+            .with_comparator_offsets(0.01, 5);
+        let e = engine();
+        let plan = BatchPlan::new(&e, &mapped, SpikeEncoding::PassThrough);
+        let telemetry = crate::telemetry::Telemetry::enabled();
+        let cfg = e.config();
+        let probe = telemetry
+            .layer_probe(0, cfg.slice().0, cfg.vs().0)
+            .expect("enabled probe");
+        let mut scratch = plan.scratch();
+        let n = 7usize;
+        let a: Vec<f64> = (0..n * 48).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let mut plain = vec![0.0; n * 4];
+        plan.forward_block(&a, n, &mut plain, &mut scratch).unwrap();
+        let mut probed = vec![0.0; n * 4];
+        plan.forward_block_probed(&a, n, &mut probed, &mut scratch, Some(&probe))
+            .unwrap();
+        exact_eq(&plain, &probed);
+        let snap = telemetry.snapshot();
+        let l = snap.layers[0];
+        assert_eq!(l.calls, n as u64, "one block must count all its samples");
+        assert_eq!(l.mvms, (n * mapped.mvms_per_forward()) as u64);
+        assert_eq!(snap.counters.kernel_blocks, 1);
+        assert_eq!(snap.counters.kernel_block_samples, n as u64);
+        assert_eq!(
+            snap.counters.kernel_bytes_streamed,
+            plan.tile_stream_bytes()
+        );
+        assert!(plan.tile_stream_bytes() > 0);
     }
 }

@@ -148,9 +148,13 @@ impl ResipeEngine {
 
     /// One exact MVM over a programmed crossbar: every bitline's spike.
     ///
-    /// Bitlines are independent (they share only the read-only wordline
-    /// voltages), so the columns evaluate in parallel on the rayon pool;
-    /// results keep column order, bit-identical for any thread count.
+    /// The crossbar's effective conductances are gathered once into a
+    /// column-major buffer (a single allocation for the whole MVM, not
+    /// one `Vec` per column as `column_conductances` would produce) and
+    /// every column then runs [`ResipeEngine::mac`] on its contiguous
+    /// slice. Parallelism lives one level up, at the per-sample-block
+    /// fan-out of the inference path — a single MVM is far too small to
+    /// amortize a fork/join.
     ///
     /// # Errors
     ///
@@ -161,19 +165,16 @@ impl ResipeEngine {
         crossbar: &Crossbar,
         t_in: &[Seconds],
     ) -> Result<Vec<MacResult>, ResipeError> {
-        use rayon::prelude::*;
         if t_in.len() != crossbar.rows() {
             return Err(ResipeError::DimensionMismatch {
                 expected: crossbar.rows(),
                 got: t_in.len(),
             });
         }
+        let rows = crossbar.rows();
+        let g_cols = crossbar.effective_column_major()?;
         (0..crossbar.cols())
-            .into_par_iter()
-            .map(|col| {
-                let g = crossbar.column_conductances(col)?;
-                self.mac(t_in, &g)
-            })
+            .map(|col| self.mac(t_in, &g_cols[col * rows..(col + 1) * rows]))
             .collect()
     }
 
@@ -193,11 +194,10 @@ impl ResipeEngine {
                 got: t_in.len(),
             });
         }
+        let rows = crossbar.rows();
+        let g_cols = crossbar.effective_column_major()?;
         (0..crossbar.cols())
-            .map(|col| {
-                let g = crossbar.column_conductances(col)?;
-                self.mac_linear(t_in, &g)
-            })
+            .map(|col| self.mac_linear(t_in, &g_cols[col * rows..(col + 1) * rows]))
             .collect()
     }
 
@@ -225,15 +225,7 @@ impl ResipeEngine {
             });
         }
         self.check_times(t_in)?;
-        let tau = self.config.tau_gd().0;
-        let vs = self.config.vs().0;
-        // Shared S1 ramp samples.
-        let v_in: Vec<f64> = t_in
-            .iter()
-            .map(|t| vs * (1.0 - (-t.0 / tau).exp()))
-            .collect();
-        let dt_over_c = self.config.dt().0 / self.config.c_cog().0;
-        let slice = self.config.slice().0;
+        let v_in = self.ramp_samples(t_in);
         let mut out = Vec::with_capacity(cols);
         for col in 0..cols {
             let mut g_total = 0.0;
@@ -243,29 +235,88 @@ impl ResipeEngine {
                 g_total += g;
                 weighted += v_in[row] * g;
             }
-            let v_out = if g_total == 0.0 {
-                0.0
-            } else {
-                (weighted / g_total) * (1.0 - (-dt_over_c * g_total).exp())
-            };
-            // Invert the ramp (Eq. 4).
-            let (t_out, saturated) = if v_out >= vs {
-                (slice, true)
-            } else {
-                let t = -tau * (1.0 - v_out / vs).ln();
-                if t > slice {
-                    (slice, true)
-                } else {
-                    (t, false)
-                }
-            };
-            out.push(MacResult {
-                t_out: Seconds(t_out),
-                v_out: Volts(v_out),
-                saturated,
-            });
+            out.push(self.finish_column(g_total, weighted));
         }
         Ok(out)
+    }
+
+    /// [`ResipeEngine::mvm_matrix`] over a **column-major** conductance
+    /// matrix (`cols` contiguous columns of `rows` entries each) — the
+    /// SoA layout [`crate::mapping::Tile`] compiles. The inner loop reads
+    /// both operands at unit stride, so it auto-vectorizes; the per-column
+    /// accumulation still adds products in row order, making the result
+    /// **bit-identical** to the row-major kernel on the same values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::DimensionMismatch`] for shape mismatches or
+    /// [`ResipeError::SpikeOutOfSlice`] for out-of-slice times.
+    pub fn mvm_matrix_cm(
+        &self,
+        g_cols: &[f64],
+        rows: usize,
+        cols: usize,
+        t_in: &[Seconds],
+    ) -> Result<Vec<MacResult>, ResipeError> {
+        if t_in.len() != rows || g_cols.len() != rows * cols {
+            return Err(ResipeError::DimensionMismatch {
+                expected: rows,
+                got: t_in.len(),
+            });
+        }
+        self.check_times(t_in)?;
+        let v_in = self.ramp_samples(t_in);
+        let mut out = Vec::with_capacity(cols);
+        for col in 0..cols {
+            let g_col = &g_cols[col * rows..(col + 1) * rows];
+            let mut g_total = 0.0;
+            let mut weighted = 0.0;
+            for (row, &g) in g_col.iter().enumerate() {
+                g_total += g;
+                weighted += v_in[row] * g;
+            }
+            out.push(self.finish_column(g_total, weighted));
+        }
+        Ok(out)
+    }
+
+    /// Shared S1 ramp samples of one input spike train.
+    fn ramp_samples(&self, t_in: &[Seconds]) -> Vec<f64> {
+        let tau = self.config.tau_gd().0;
+        let vs = self.config.vs().0;
+        t_in.iter()
+            .map(|t| vs * (1.0 - (-t.0 / tau).exp()))
+            .collect()
+    }
+
+    /// The charge + ramp-inversion tail of one column (Eqs. 3–4), shared
+    /// verbatim by the row-major and column-major matrix kernels.
+    fn finish_column(&self, g_total: f64, weighted: f64) -> MacResult {
+        let tau = self.config.tau_gd().0;
+        let vs = self.config.vs().0;
+        let dt_over_c = self.config.dt().0 / self.config.c_cog().0;
+        let slice = self.config.slice().0;
+        let v_out = if g_total == 0.0 {
+            0.0
+        } else {
+            (weighted / g_total) * (1.0 - (-dt_over_c * g_total).exp())
+        };
+        // Invert the ramp (Eq. 4).
+        let (t_out, saturated) = if v_out >= vs {
+            (slice, true)
+        } else {
+            let t = -tau * (1.0 - v_out / vs).ln();
+            if t > slice {
+                (slice, true)
+            } else {
+                (t, false)
+            }
+        };
+        MacResult {
+            t_out: Seconds(t_out),
+            v_out: Volts(v_out),
+            saturated,
+        }
     }
 }
 
@@ -389,6 +440,35 @@ mod tests {
         for (a, b) in via_crossbar.iter().zip(&via_matrix) {
             assert!((a.t_out.0 - b.t_out.0).abs() < 1e-18);
             assert!((a.v_out.0 - b.v_out.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn mvm_matrix_cm_is_bit_identical_to_row_major() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let e = engine();
+        let mut rng = StdRng::seed_from_u64(23);
+        for &(rows, cols) in &[(1usize, 1usize), (3, 2), (32, 7), (17, 33)] {
+            let g_rm: Vec<f64> = (0..rows * cols)
+                .map(|_| rng.gen_range(1e-6..20e-6))
+                .collect();
+            let mut g_cm = vec![0.0; rows * cols];
+            for r in 0..rows {
+                for c in 0..cols {
+                    g_cm[c * rows + r] = g_rm[r * cols + c];
+                }
+            }
+            let t_in: Vec<Seconds> = (0..rows)
+                .map(|_| Seconds(rng.gen_range(0.0..80e-9)))
+                .collect();
+            let rm = e.mvm_matrix(&g_rm, rows, cols, &t_in).unwrap();
+            let cm = e.mvm_matrix_cm(&g_cm, rows, cols, &t_in).unwrap();
+            for (a, b) in rm.iter().zip(&cm) {
+                assert_eq!(a.t_out.0.to_bits(), b.t_out.0.to_bits());
+                assert_eq!(a.v_out.0.to_bits(), b.v_out.0.to_bits());
+                assert_eq!(a.saturated, b.saturated);
+            }
         }
     }
 

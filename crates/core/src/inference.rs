@@ -18,6 +18,7 @@
 //! This is the machinery behind the paper's Fig. 7 accuracy study.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use resipe_analog::units::Seconds;
 use resipe_nn::data::Dataset;
@@ -27,7 +28,7 @@ use resipe_nn::tensor::Tensor;
 use resipe_reram::faults::RetentionDrift;
 use resipe_reram::variation::VariationModel;
 
-use crate::batch::BatchPlan;
+use crate::batch::{BatchPlan, BatchScratch};
 use crate::config::ResipeConfig;
 use crate::engine::ResipeEngine;
 use crate::error::ResipeError;
@@ -376,6 +377,12 @@ pub enum ExecutionMode {
 pub struct RunOptions {
     /// Execution strategy (default [`ExecutionMode::Planned`]).
     pub mode: ExecutionMode,
+    /// Sample-block size of the planned path's cache-blocked kernel.
+    /// `None` (the default) derives it per layer from the tile cache
+    /// footprint ([`BatchPlan::preferred_block`]) and the pool width.
+    /// Block size never changes output bits — only how samples are
+    /// grouped per tile pass.
+    pub block: Option<usize>,
 }
 
 impl RunOptions {
@@ -383,6 +390,7 @@ impl RunOptions {
     pub fn planned() -> RunOptions {
         RunOptions {
             mode: ExecutionMode::Planned,
+            block: None,
         }
     }
 
@@ -390,12 +398,19 @@ impl RunOptions {
     pub fn per_sample() -> RunOptions {
         RunOptions {
             mode: ExecutionMode::PerSample,
+            block: None,
         }
     }
 
     /// Sets the execution mode.
     pub fn with_mode(mut self, mode: ExecutionMode) -> RunOptions {
         self.mode = mode;
+        self
+    }
+
+    /// Pins the planned path's sample-block size (clamped to ≥ 1).
+    pub fn with_block_size(mut self, block: usize) -> RunOptions {
+        self.block = Some(block.max(1));
         self
     }
 }
@@ -429,6 +444,15 @@ pub struct HardwareNetwork {
     /// handle) unless set via [`HardwareNetwork::compile_with_telemetry`]
     /// or [`HardwareNetwork::set_telemetry`].
     telemetry: Telemetry,
+    /// Lazily built, immutable [`BatchPlan`] per layer (digital layers
+    /// never initialize theirs). Plans are pure functions of the
+    /// compiled layer and the engine, so building once and reusing
+    /// forever changes no bits — it removes the serial per-call rebuild
+    /// that throttled short batches.
+    plans: Vec<OnceLock<Arc<BatchPlan>>>,
+    /// Recycled kernel scratch buffers — workers take one per chunk and
+    /// return it, so steady-state inference allocates only its outputs.
+    scratch_pool: Mutex<Vec<BatchScratch>>,
 }
 
 impl Clone for HardwareNetwork {
@@ -446,6 +470,10 @@ impl Clone for HardwareNetwork {
             // recorder, not per-instance state — clones keep reporting
             // into the same sink.
             telemetry: self.telemetry.clone(),
+            // Plans are deterministic per layer; a clone can share the
+            // already-built Arcs.
+            plans: self.plans.clone(),
+            scratch_pool: Mutex::new(Vec::new()),
         }
     }
 }
@@ -613,6 +641,7 @@ impl HardwareNetwork {
             layers.push(hw);
         }
         drop(_compile_span);
+        let plans = (0..layers.len()).map(|_| OnceLock::new()).collect();
         Ok(HardwareNetwork {
             engine,
             layers,
@@ -620,6 +649,8 @@ impl HardwareNetwork {
             mvm_count: AtomicU64::new(0),
             health,
             telemetry,
+            plans,
+            scratch_pool: Mutex::new(Vec::new()),
         })
     }
 
@@ -709,7 +740,7 @@ impl HardwareNetwork {
                 let _layer_span = self.telemetry.span_with(|| format!("forward/layer{li}"));
                 x = match options.mode {
                     ExecutionMode::PerSample => self.forward_layer(li, layer, &x)?,
-                    ExecutionMode::Planned => self.forward_layer_batched(li, layer, &x)?,
+                    ExecutionMode::Planned => self.forward_layer_batched(li, layer, &x, options)?,
                 };
             }
             x
@@ -750,11 +781,41 @@ impl HardwareNetwork {
         Ok(self.run(input, &RunOptions::planned())?.outputs)
     }
 
+    /// The cached [`BatchPlan`] of layer `li`, built on first use.
+    fn layer_plan(
+        &self,
+        li: usize,
+        mapped: &MappedWeights,
+        encoding: SpikeEncoding,
+    ) -> Arc<BatchPlan> {
+        Arc::clone(
+            self.plans[li].get_or_init(|| Arc::new(BatchPlan::new(&self.engine, mapped, encoding))),
+        )
+    }
+
+    /// Borrows a recycled kernel scratch buffer (or a fresh one).
+    fn take_scratch(&self) -> BatchScratch {
+        self.scratch_pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a scratch buffer to the pool for the next chunk.
+    fn put_scratch(&self, scratch: BatchScratch) {
+        let mut pool = self.scratch_pool.lock().expect("scratch pool poisoned");
+        if pool.len() < 64 {
+            pool.push(scratch);
+        }
+    }
+
     fn forward_layer_batched(
         &self,
         li: usize,
         layer: &HwLayer,
         x: &Tensor,
+        options: &RunOptions,
     ) -> Result<Tensor, ResipeError> {
         use rayon::prelude::*;
         match layer {
@@ -772,37 +833,57 @@ impl HardwareNetwork {
                     });
                 }
                 let n = s[0];
-                let plan = BatchPlan::new(&self.engine, mapped, *encoding);
+                let plan = self.layer_plan(li, mapped, *encoding);
                 let probe = self.layer_probe(li);
-                // Samples are independent; chunk them over the pool so
-                // each worker reuses one scratch allocation, and stitch
-                // the chunks back in sample order.
+                // Samples are independent; fan whole sample blocks out
+                // over the pool. The block is the parallel grain *and*
+                // the kernel's cache-residency unit: auto-sizing caps it
+                // at the layer's cache-derived preference but never
+                // leaves workers idle on small batches. Each worker
+                // borrows pooled scratch, so steady state allocates only
+                // the chunk outputs.
+                let rows = mapped.rows();
+                let cols = mapped.cols();
                 let threads = rayon::current_num_threads().max(1);
-                let chunk_len = n.div_ceil(threads).max(1);
-                let starts: Vec<usize> = (0..n).step_by(chunk_len).collect();
-                let chunks: Vec<Result<Vec<Vec<f64>>, ResipeError>> = starts
+                let block = options
+                    .block
+                    .unwrap_or_else(|| plan.preferred_block().min(n.div_ceil(threads)))
+                    .max(1);
+                let starts: Vec<usize> = (0..n).step_by(block).collect();
+                let chunks: Vec<Result<Vec<f64>, ResipeError>> = starts
                     .par_iter()
                     .map(|&start| {
-                        let end = (start + chunk_len).min(n);
-                        let mut scratch = plan.scratch();
-                        let mut ys = Vec::with_capacity(end - start);
-                        for i in start..end {
-                            let a: Vec<f64> = x
-                                .row(i)
-                                .iter()
-                                .map(|&v| (v as f64 / input_scale).clamp(0.0, 1.0))
-                                .collect();
-                            ys.push(plan.forward_one_probed(&a, &mut scratch, probe.as_ref())?);
+                        let b = block.min(n - start);
+                        let mut scratch = self.take_scratch();
+                        let mut a_block = std::mem::take(&mut scratch.a_block);
+                        a_block.clear();
+                        a_block.reserve(b * rows);
+                        for i in start..start + b {
+                            a_block.extend(
+                                x.row(i)
+                                    .iter()
+                                    .map(|&v| (v as f64 / input_scale).clamp(0.0, 1.0)),
+                            );
                         }
-                        Ok(ys)
+                        let mut ys = vec![0.0f64; b * cols];
+                        let r = plan.forward_block_probed(
+                            &a_block,
+                            b,
+                            &mut ys,
+                            &mut scratch,
+                            probe.as_ref(),
+                        );
+                        scratch.a_block = a_block;
+                        self.put_scratch(scratch);
+                        r.map(|()| ys)
                     })
                     .collect();
                 self.mvm_count
                     .fetch_add((n * mapped.mvms_per_forward()) as u64, Ordering::Relaxed);
-                let mut out = Tensor::zeros(&[n, mapped.cols()]);
+                let mut out = Tensor::zeros(&[n, cols]);
                 let mut i = 0usize;
                 for chunk in chunks {
-                    for y in chunk? {
+                    for y in chunk?.chunks_exact(cols) {
                         for (j, &yj) in y.iter().enumerate() {
                             out.set(&[i, j], (yj * input_scale + bias[j]) as f32);
                         }
@@ -831,26 +912,49 @@ impl HardwareNetwork {
                 let h_out = h + 2 * padding + 1 - kernel;
                 let w_out = w + 2 * padding + 1 - kernel;
                 let n_pix = h_out * w_out;
-                let plan = BatchPlan::new(&self.engine, mapped, *encoding);
+                let plan = self.layer_plan(li, mapped, *encoding);
                 let probe = self.layer_probe(li);
-                let per_sample: Vec<Result<Vec<Vec<f64>>, ResipeError>> = (0..n)
+                let n_cols = mapped.cols();
+                // Samples already fan out over the pool; within one
+                // sample the output pixels run through the blocked
+                // kernel, so the conv tile data is streamed once per
+                // pixel block instead of once per pixel.
+                let block = options
+                    .block
+                    .unwrap_or_else(|| plan.preferred_block())
+                    .max(1);
+                let per_sample: Vec<Result<Vec<f64>, ResipeError>> = (0..n)
                     .into_par_iter()
                     .map(|b| {
                         let cols = im2col(x, b, *kernel, *padding)?;
                         let fan_in = cols.shape()[0];
-                        let mut scratch = plan.scratch();
-                        let mut pix_out = Vec::with_capacity(n_pix);
-                        for pix in 0..n_pix {
-                            let a: Vec<f64> = (0..fan_in)
-                                .map(|r| (cols.get(&[r, pix]) as f64 / input_scale).clamp(0.0, 1.0))
-                                .collect();
-                            pix_out.push(plan.forward_one_probed(
-                                &a,
+                        let mut scratch = self.take_scratch();
+                        let mut a_block = std::mem::take(&mut scratch.a_block);
+                        let mut pix_out = vec![0.0f64; n_pix * n_cols];
+                        let mut result = Ok(());
+                        for start in (0..n_pix).step_by(block) {
+                            let bl = block.min(n_pix - start);
+                            a_block.clear();
+                            a_block.reserve(bl * fan_in);
+                            for pix in start..start + bl {
+                                a_block.extend((0..fan_in).map(|r| {
+                                    (cols.get(&[r, pix]) as f64 / input_scale).clamp(0.0, 1.0)
+                                }));
+                            }
+                            if let Err(e) = plan.forward_block_probed(
+                                &a_block,
+                                bl,
+                                &mut pix_out[start * n_cols..(start + bl) * n_cols],
                                 &mut scratch,
                                 probe.as_ref(),
-                            )?);
+                            ) {
+                                result = Err(e);
+                                break;
+                            }
                         }
-                        Ok(pix_out)
+                        scratch.a_block = a_block;
+                        self.put_scratch(scratch);
+                        result.map(|()| pix_out)
                     })
                     .collect();
                 self.mvm_count.fetch_add(
@@ -859,7 +963,7 @@ impl HardwareNetwork {
                 );
                 let mut out = Tensor::zeros(&[n, *out_channels, h_out, w_out]);
                 for (b, sample) in per_sample.into_iter().enumerate() {
-                    for (pix, y) in sample?.into_iter().enumerate() {
+                    for (pix, y) in sample?.chunks_exact(n_cols).enumerate() {
                         let (oi, oj) = (pix / w_out, pix % w_out);
                         for (oc, &yc) in y.iter().enumerate() {
                             out.set(&[b, oc, oi, oj], (yc * input_scale + bias[oc]) as f32);

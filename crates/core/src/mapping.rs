@@ -285,6 +285,13 @@ pub struct Tile {
     pub(crate) cell_minus: Vec<f64>,
     pub(crate) eff_plus: Vec<f64>,
     pub(crate) eff_minus: Vec<f64>,
+    /// Column-major (SoA) mirror of `eff_plus`/`eff_minus`:
+    /// `phys_cols` contiguous runs of `rows` entries, maintained by
+    /// [`Tile::recompute_eff`] alongside the row-major arrays. This is
+    /// the layout the inference hot path streams — each bitline's
+    /// conductances are one unit-stride slice.
+    pub(crate) eff_plus_cm: Vec<f64>,
+    pub(crate) eff_minus_cm: Vec<f64>,
     /// Nominal per-physical-column effective conductance sums (decode
     /// constants, fixed from the design targets — NOT updated by process
     /// variation; refreshed only when repair rewrites the targets).
@@ -330,6 +337,8 @@ impl Tile {
             cell_minus,
             eff_plus: Vec::new(),
             eff_minus: Vec::new(),
+            eff_plus_cm: Vec::new(),
+            eff_minus_cm: Vec::new(),
             gsum_plus: Vec::new(),
             gsum_minus: Vec::new(),
             offset_plus: vec![0.0; phys_cols],
@@ -405,12 +414,38 @@ impl Tile {
         &self.eff_minus
     }
 
-    /// Recomputes the effective conductances from the cell conductances.
+    /// The effective positive-array conductances, column-major: physical
+    /// bitline `c` is the contiguous slice `[c * rows .. (c + 1) * rows]`.
+    pub fn eff_plus_cm(&self) -> &[f64] {
+        &self.eff_plus_cm
+    }
+
+    /// The effective negative-array conductances, column-major (see
+    /// [`Tile::eff_plus_cm`]).
+    pub fn eff_minus_cm(&self) -> &[f64] {
+        &self.eff_minus_cm
+    }
+
+    /// Recomputes the effective conductances from the cell conductances —
+    /// the single maintenance point for both layouts: the column-major
+    /// mirror is a pure transpose of values already computed, so the two
+    /// layouts hold bit-equal entries.
     pub(crate) fn recompute_eff(&mut self) {
         let r_acc = self.access_resistance;
         let eff = |g: &f64| 1.0 / (1.0 / *g + r_acc);
         self.eff_plus = self.cell_plus.iter().map(eff).collect();
         self.eff_minus = self.cell_minus.iter().map(eff).collect();
+        let transpose = |rm: &[f64]| -> Vec<f64> {
+            let mut cm = vec![0.0; rm.len()];
+            for r in 0..self.rows {
+                for c in 0..self.phys_cols {
+                    cm[c * self.rows + r] = rm[r * self.phys_cols + c];
+                }
+            }
+            cm
+        };
+        self.eff_plus_cm = transpose(&self.eff_plus);
+        self.eff_minus_cm = transpose(&self.eff_minus);
     }
 
     /// Recomputes the nominal decode constants from the design targets
@@ -633,8 +668,11 @@ impl MappedWeights {
                 .iter()
                 .map(|&l| encode(activations[row_start + l]))
                 .collect();
-            let plus = engine.mvm_matrix(&tile.eff_plus, tile.rows, tile.phys_cols, &t_in)?;
-            let minus = engine.mvm_matrix(&tile.eff_minus, tile.rows, tile.phys_cols, &t_in)?;
+            // The SoA (column-major) kernel: contiguous per-bitline
+            // streams, bit-identical to the row-major `mvm_matrix`.
+            let plus = engine.mvm_matrix_cm(&tile.eff_plus_cm, tile.rows, tile.phys_cols, &t_in)?;
+            let minus =
+                engine.mvm_matrix_cm(&tile.eff_minus_cm, tile.rows, tile.phys_cols, &t_in)?;
             let slice = engine.config().slice().0;
             for (j, out) in acc.iter_mut().enumerate().take(tile.cols) {
                 // The comparator fires when the ramp crosses V_out plus

@@ -81,9 +81,17 @@ pub(crate) enum Counter {
     ComparatorOffsetRejects,
     /// Decodes whose observed spike time saturated at the slice end.
     SaturatedDecodes,
+    /// Sample blocks executed by the cache-blocked kernel.
+    KernelBlocks,
+    /// Samples evaluated inside those blocks (so
+    /// `kernel_block_samples / kernel_blocks` is the mean block size).
+    KernelBlockSamples,
+    /// Tile conductance bytes streamed by the blocked kernel — one
+    /// tile pass per block, versus one per sample unblocked.
+    KernelBytesStreamed,
 }
 
-const COUNTER_COUNT: usize = 10;
+const COUNTER_COUNT: usize = 13;
 
 /// One span's running aggregate.
 #[derive(Debug, Default, Clone)]
@@ -254,6 +262,9 @@ impl Telemetry {
             compile_cache_evictions: c(Counter::CompileCacheEvictions),
             comparator_offset_rejects: c(Counter::ComparatorOffsetRejects),
             saturated_decodes: c(Counter::SaturatedDecodes),
+            kernel_blocks: c(Counter::KernelBlocks),
+            kernel_block_samples: c(Counter::KernelBlockSamples),
+            kernel_bytes_streamed: c(Counter::KernelBytesStreamed),
         };
         let mut spans: Vec<SpanSnapshot> = sink
             .spans
@@ -397,6 +408,44 @@ impl LayerProbe {
         c[Counter::SaturatedDecodes as usize].fetch_add(s.saturated_decodes, Ordering::Relaxed);
     }
 
+    /// Folds one *block's* stage aggregates into the layer and global
+    /// counters. Identical to [`LayerProbe::record_sample`] except the
+    /// call counter advances by the block's `samples`, so per-layer
+    /// `calls` keeps meaning "samples seen" on the blocked path.
+    pub(crate) fn record_block(&self, s: SampleStats, samples: u64) {
+        self.stats.calls.fetch_add(samples, Ordering::Relaxed);
+        self.stats.mvms.fetch_add(s.mvms, Ordering::Relaxed);
+        self.stats
+            .zero_activation_skips
+            .fetch_add(s.zero_activation_skips, Ordering::Relaxed);
+        self.stats
+            .s1_encode_nanos
+            .fetch_add(s.s1_encode_nanos, Ordering::Relaxed);
+        self.stats
+            .crossbar_nanos
+            .fetch_add(s.crossbar_nanos, Ordering::Relaxed);
+        self.stats
+            .s2_decode_nanos
+            .fetch_add(s.s2_decode_nanos, Ordering::Relaxed);
+        let c = &self.sink.counters;
+        c[Counter::Mvms as usize].fetch_add(s.mvms, Ordering::Relaxed);
+        c[Counter::ZeroActivationSkips as usize]
+            .fetch_add(s.zero_activation_skips, Ordering::Relaxed);
+        c[Counter::ComparatorOffsetRejects as usize]
+            .fetch_add(s.comparator_offset_rejects, Ordering::Relaxed);
+        c[Counter::SaturatedDecodes as usize].fetch_add(s.saturated_decodes, Ordering::Relaxed);
+    }
+
+    /// Records one blocked-kernel invocation against the global kernel
+    /// counters: a block of `samples` samples that streamed `bytes` of
+    /// tile conductance data.
+    pub(crate) fn record_kernel(&self, samples: u64, bytes: u64) {
+        let c = &self.sink.counters;
+        c[Counter::KernelBlocks as usize].fetch_add(1, Ordering::Relaxed);
+        c[Counter::KernelBlockSamples as usize].fetch_add(samples, Ordering::Relaxed);
+        c[Counter::KernelBytesStreamed as usize].fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Records `n` MVMs against this layer (the per-sample sequential
     /// path, which has no stage-level timing).
     pub(crate) fn record_mvms(&self, n: u64) {
@@ -437,6 +486,12 @@ pub struct CounterSnapshot {
     pub comparator_offset_rejects: u64,
     /// Decodes whose observed spike time saturated at the slice end.
     pub saturated_decodes: u64,
+    /// Sample blocks executed by the cache-blocked kernel.
+    pub kernel_blocks: u64,
+    /// Samples evaluated inside those blocks.
+    pub kernel_block_samples: u64,
+    /// Tile conductance bytes streamed by the blocked kernel.
+    pub kernel_bytes_streamed: u64,
 }
 
 /// One aggregated span: every open/close of `path` summed.
@@ -558,7 +613,9 @@ impl TelemetrySnapshot {
              \"spare_remaps\": {}, \"repair_escalations\": {}, \"repair_pulses\": {}, \
              \"compile_cache_hits\": {}, \"compile_cache_misses\": {}, \
              \"compile_cache_evictions\": {}, \
-             \"comparator_offset_rejects\": {}, \"saturated_decodes\": {}}},\n",
+             \"comparator_offset_rejects\": {}, \"saturated_decodes\": {}, \
+             \"kernel_blocks\": {}, \"kernel_block_samples\": {}, \
+             \"kernel_bytes_streamed\": {}}},\n",
             c.mvms,
             c.zero_activation_skips,
             c.spare_remaps,
@@ -568,7 +625,10 @@ impl TelemetrySnapshot {
             c.compile_cache_misses,
             c.compile_cache_evictions,
             c.comparator_offset_rejects,
-            c.saturated_decodes
+            c.saturated_decodes,
+            c.kernel_blocks,
+            c.kernel_block_samples,
+            c.kernel_bytes_streamed
         ));
         s.push_str("  \"spans\": [\n");
         for (i, sp) in self.spans.iter().enumerate() {
@@ -696,6 +756,29 @@ mod tests {
     }
 
     #[test]
+    fn block_records_count_samples_and_kernel_traffic() {
+        let t = Telemetry::enabled();
+        let probe = t.layer_probe(0, 100e-9, 1.0).expect("enabled probe");
+        probe.record_block(
+            SampleStats {
+                mvms: 16,
+                zero_activation_skips: 3,
+                ..SampleStats::default()
+            },
+            8,
+        );
+        probe.record_kernel(8, 4096);
+        probe.record_kernel(5, 4096);
+        let snap = t.snapshot();
+        assert_eq!(snap.layers[0].calls, 8, "calls advance by the block");
+        assert_eq!(snap.layers[0].mvms, 16);
+        assert_eq!(snap.counters.zero_activation_skips, 3);
+        assert_eq!(snap.counters.kernel_blocks, 2);
+        assert_eq!(snap.counters.kernel_block_samples, 13);
+        assert_eq!(snap.counters.kernel_bytes_streamed, 8192);
+    }
+
+    #[test]
     fn histogram_edges_clamp() {
         let h = Histogram::new();
         h.record(-0.5);
@@ -740,6 +823,9 @@ mod tests {
             "\"compile_cache_evictions\"",
             "\"comparator_offset_rejects\"",
             "\"saturated_decodes\"",
+            "\"kernel_blocks\"",
+            "\"kernel_block_samples\"",
+            "\"kernel_bytes_streamed\"",
             "\"spans\"",
             "\"layers\"",
             "\"t_out\"",

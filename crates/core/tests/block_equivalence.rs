@@ -1,0 +1,161 @@
+//! Bit-identity of the cache-blocked kernel layer, end to end.
+//!
+//! The blocked planned path (`BatchPlan::forward_block` under
+//! `RunOptions::with_block_size`) re-orders *memory traffic* — tile
+//! conductances are streamed once per sample block instead of once per
+//! sample — but must never re-order a floating-point accumulation. These
+//! tests pin that contract across random layer shapes, batch sizes,
+//! block sizes, rayon thread counts, and the full non-ideality chain
+//! (process variation, hard faults, the repair ladder, comparator
+//! offsets and time quantization): the outputs must equal the
+//! per-sample reference path to the last bit.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use resipe::inference::{CompileOptions, FaultInjection, HardwareNetwork, RunOptions};
+use resipe::mapping::TileMapper;
+use resipe_analog::units::Seconds;
+use resipe_nn::layers::{Conv2d, Dense};
+use resipe_nn::network::Network;
+use resipe_nn::tensor::Tensor;
+use resipe_reram::variation::VariationModel;
+
+fn assert_bit_identical(a: &Tensor, b: &Tensor) {
+    assert_eq!(a.shape(), b.shape());
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "element {i}: {x:e} vs {y:e} differ in bits"
+        );
+    }
+}
+
+/// The full non-ideality chain — faults and repair included — so the
+/// blocked kernel's equivalence claim covers remapped spare columns,
+/// permuted wordlines and every readout non-ideality at once.
+fn nonideal_options(seed: u64) -> CompileOptions {
+    CompileOptions::paper()
+        .with_mapper(TileMapper::paper().with_spare_cols(2))
+        .with_variation(VariationModel::device_to_device(0.15).unwrap())
+        .with_seed(seed)
+        .with_faults(FaultInjection::clustered(0.02, 4, seed ^ 0x5eed))
+        .with_repair(resipe::repair::RepairPolicy::full())
+        .with_comparator_sigma(0.01)
+        .with_time_quantization(Seconds(1e-9))
+}
+
+/// Sparse activations in `[0, 1]` — exact zeros exercise the encode
+/// zero-skip path whose bit-exactness the kernel relies on.
+fn sparse_input(rng: &mut StdRng, shape: &[usize]) -> Tensor {
+    let len = shape.iter().product();
+    Tensor::from_vec(
+        (0..len)
+            .map(|_| {
+                if rng.gen_range(0.0..1.0) < 0.4 {
+                    0.0
+                } else {
+                    rng.gen_range(0.0..1.0f32)
+                }
+            })
+            .collect(),
+        shape,
+    )
+    .expect("shape")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For arbitrary dense layers under the full non-ideality chain, the
+    /// blocked planned path equals the per-sample reference path to the
+    /// bit — for any block size, any thread count, and the auto-sized
+    /// block — and the telemetry MVM counter stays pinned to the static
+    /// figure.
+    #[test]
+    fn blocked_planned_path_is_bit_identical_to_per_sample(
+        in_features in 1usize..60,
+        out_features in 1usize..8,
+        batch in 1usize..12,
+        block_idx in 0usize..7,
+        threads_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let block = [1usize, 2, 3, 5, 8, 32, 64][block_idx];
+        let threads = [1usize, 2, 4][threads_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Network::new("block-prop");
+        net.push(Dense::new(in_features, out_features, &mut rng));
+        let calib = sparse_input(&mut rng, &[2, in_features]);
+        let x = sparse_input(&mut rng, &[batch, in_features]);
+        let hw = HardwareNetwork::compile(&net, &calib, &nonideal_options(seed))
+            .expect("compile");
+        let reference = hw.run(&x, &RunOptions::per_sample()).expect("reference").outputs;
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let pinned = pool
+            .install(|| hw.run(&x, &RunOptions::planned().with_block_size(block)))
+            .expect("blocked run")
+            .outputs;
+        let auto = pool
+            .install(|| hw.run(&x, &RunOptions::planned()))
+            .expect("auto-blocked run")
+            .outputs;
+        for (a, b) in reference.data().iter().zip(pinned.data()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in reference.data().iter().zip(auto.data()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(
+            hw.mvm_count(),
+            3 * (batch * hw.dense_mvms_per_sample()) as u64,
+            "three runs must issue exactly three batches of MVMs"
+        );
+    }
+}
+
+/// A deeper network (two crossbar layers with an interleaved digital
+/// ReLU) stays bit-identical under blocking, including when the block
+/// does not divide the batch.
+#[test]
+fn two_layer_network_blocks_bit_identically() {
+    let mut rng = StdRng::seed_from_u64(91);
+    let mut net = Network::new("two-layer");
+    net.push(Dense::new(33, 9, &mut rng));
+    net.push(resipe_nn::layers::Relu::new());
+    net.push(Dense::new(9, 4, &mut rng));
+    let calib = sparse_input(&mut rng, &[4, 33]);
+    let x = sparse_input(&mut rng, &[11, 33]);
+    let hw = HardwareNetwork::compile(&net, &calib, &nonideal_options(7)).expect("compile");
+    let reference = hw.run(&x, &RunOptions::per_sample()).expect("reference");
+    for block in [1usize, 2, 4, 7, 64] {
+        let blocked = hw
+            .run(&x, &RunOptions::planned().with_block_size(block))
+            .expect("blocked");
+        assert_bit_identical(&reference.outputs, &blocked.outputs);
+    }
+}
+
+/// The convolution arm routes every output pixel through the blocked
+/// kernel; its planned path must match the per-sample reference too.
+#[test]
+fn conv_layer_blocks_bit_identically() {
+    let mut rng = StdRng::seed_from_u64(55);
+    let mut net = Network::new("conv-block");
+    net.push(Conv2d::new(1, 3, 3, 1, &mut rng));
+    let calib = sparse_input(&mut rng, &[2, 1, 6, 6]);
+    let x = sparse_input(&mut rng, &[3, 1, 6, 6]);
+    let hw = HardwareNetwork::compile(&net, &calib, &nonideal_options(3)).expect("compile");
+    let reference = hw.run(&x, &RunOptions::per_sample()).expect("reference");
+    for block in [1usize, 5, 32] {
+        let blocked = hw
+            .run(&x, &RunOptions::planned().with_block_size(block))
+            .expect("blocked");
+        assert_bit_identical(&reference.outputs, &blocked.outputs);
+    }
+}

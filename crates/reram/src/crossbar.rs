@@ -242,6 +242,25 @@ impl Crossbar {
             .collect()
     }
 
+    /// Every effective conductance of the array, gathered **column-major**
+    /// (`cols` contiguous runs of `rows` entries) in one allocation —
+    /// column `c` is the slice `[c * rows .. (c + 1) * rows]`, holding the
+    /// same values [`Crossbar::column_conductances`] returns for `c`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a well-formed crossbar; the `Result` mirrors the
+    /// per-cell accessor it aggregates.
+    pub fn effective_column_major(&self) -> Result<Vec<Siemens>, ReramError> {
+        let mut g = Vec::with_capacity(self.rows * self.cols);
+        for col in 0..self.cols {
+            for row in 0..self.rows {
+                g.push(self.effective_conductance(row, col)?);
+            }
+        }
+        Ok(g)
+    }
+
     /// Programs the whole array from a fraction matrix through the
     /// write–verify loop of [`crate::program::Programmer`] instead of the
     /// instantaneous ideal write, returning per-cell reports.

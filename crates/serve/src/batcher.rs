@@ -42,6 +42,12 @@ pub trait BatchExecutor: Send + Sync + 'static {
 /// The production executor: a compiled [`HardwareNetwork`] run in
 /// [`Planned`](resipe::inference::ExecutionMode::Planned) mode (the
 /// amortized batch plan, bit-identical to per-sample execution).
+///
+/// The network caches its per-layer [`BatchPlan`](resipe::batch::BatchPlan)s
+/// and recycles kernel scratch buffers internally, so a worker serving a
+/// stream of coalesced batches pays no per-batch plan rebuild and no
+/// per-sample allocations — each batch goes straight into the
+/// cache-blocked kernel.
 #[derive(Debug)]
 pub struct NetworkExecutor {
     hw: Arc<HardwareNetwork>,

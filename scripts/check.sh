@@ -2,8 +2,22 @@
 # Repo gate: formatting, lints, the full test suite, and the
 # fault-injection smoke check. Run from anywhere; exits non-zero on the
 # first failure.
+#
+# With --perf-smoke, additionally runs the throughput bench in gate
+# mode: it fails unless the batched path is bit-identical AND the
+# measured speedup clears the host-appropriate floor (4-thread >= 2x
+# over 1-thread on hosts with >= 4 CPUs; 1-thread batched >= 2x over
+# sequential on smaller hosts, where thread scaling is unobservable).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+perf_smoke=0
+for arg in "$@"; do
+    case "$arg" in
+        --perf-smoke) perf_smoke=1 ;;
+        *) echo "check: unknown argument '$arg' (supported: --perf-smoke)" >&2; exit 2 ;;
+    esac
+done
 
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
@@ -25,7 +39,9 @@ profile_out="$(mktemp)"
 cargo run --release -q -p resipe-bench --bin profile -- --smoke --out "$profile_out" >/dev/null
 for key in model samples mvms_per_sample bit_identical stage_nanos energy \
     s1_encode_j crossbar_j s2_decode_j attributed_total_j measured_total_j \
-    relative_error saturation telemetry counters spans layers t_out v_out; do
+    relative_error saturation kernel blocks block_samples bytes_streamed \
+    mean_samples_per_block kernel_blocks kernel_block_samples \
+    kernel_bytes_streamed telemetry counters spans layers t_out v_out; do
     if ! grep -q "\"$key\"" "$profile_out"; then
         echo "check: BENCH_profile.json schema drift — missing key \"$key\"" >&2
         rm -f "$profile_out"
@@ -58,5 +74,13 @@ if ! grep -q '"lossless": true' "$serve_out"; then
     exit 1
 fi
 rm -f "$serve_out"
+
+if [[ "$perf_smoke" -eq 1 ]]; then
+    echo "==> throughput --smoke --gate (perf gate)"
+    perf_out="$(mktemp)"
+    cargo run --release -q -p resipe-bench --bin throughput -- --smoke --gate \
+        --out "$perf_out" >/dev/null
+    rm -f "$perf_out"
+fi
 
 echo "check: all gates passed"
