@@ -16,21 +16,33 @@
 //! request was lost or duplicated (`accepted == completed`, zero
 //! rejects/expiries during measurement runs).
 //!
+//! A third scenario ages the served network **mid-load** and lets the
+//! attached background scrubber hot-repair it: the gate is 100 %
+//! availability — zero busy rejects, zero expiries, every request
+//! answered — while the `STATS` verb reports the repairs and epoch
+//! swaps that happened underneath the traffic.
+//!
 //! ```text
 //! cargo run --release --bin serve_bench              # full measurement
 //! cargo run --release --bin serve_bench -- --smoke   # CI-sized
 //! cargo run --release --bin serve_bench -- --clients 8 --requests 200
 //! ```
 
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
 use resipe::inference::{CompileOptions, HardwareNetwork};
+use resipe::repair::RepairPolicy;
+use resipe::scrub::ScrubConfig;
+use resipe_analog::units::Seconds;
 use resipe_bench::Args;
 use resipe_nn::data::synth_digits;
 use resipe_nn::models;
 use resipe_nn::tensor::Tensor;
 use resipe_nn::train::{Sgd, TrainConfig};
+use resipe_reram::aging::{AgingClock, AgingConfig};
+use resipe_reram::faults::RetentionDrift;
 use resipe_serve::{Client, Server, ServerConfig};
 
 fn json_num(v: f64) -> String {
@@ -82,6 +94,11 @@ fn main() {
     let indices: Vec<usize> = (0..total).map(|i| i % train.len()).collect();
     let (corpus, _) = train.batch(&indices).expect("corpus");
 
+    // BIST threshold sharp enough to see retention drift (0.05 swings);
+    // on the healthy network of scenarios 1–2 every scrub pass is quiet,
+    // so the measured scenarios and the oracle check are unaffected.
+    let mut scrub_policy = RepairPolicy::full();
+    scrub_policy.bist.cell_threshold = 0.05;
     let server = Server::spawn(
         hw,
         &sample_shape,
@@ -89,7 +106,13 @@ fn main() {
         ServerConfig::default()
             .with_max_batch(max_batch)
             .with_max_wait(Duration::from_micros(max_wait_us))
-            .with_queue_capacity((2 * total).max(64)),
+            .with_queue_capacity((2 * total).max(64))
+            .with_scrub(
+                ScrubConfig::new()
+                    .with_policy(scrub_policy)
+                    .with_interval(Duration::from_millis(5))
+                    .with_seed(7),
+            ),
     )
     .expect("server spawn");
     let addr = server.local_addr();
@@ -192,17 +215,77 @@ fn main() {
         }
     };
 
+    // ---- Scenario 3: hot repair under load. Age the served network
+    // mid-traffic; the background scrubber must detect, repair, and
+    // epoch-swap without a single request being rejected or lost.
+    eprintln!("measuring mid-load hot repair ({clients} clients x {per_client} requests)...");
+    let before_repair = server.stats();
+    {
+        let mut joins = Vec::new();
+        for c in 0..clients {
+            let corpus = corpus.clone();
+            let sample_shape = sample_shape.clone();
+            joins.push(thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("repair client");
+                for r in 0..per_client {
+                    let idx = c * per_client + r;
+                    let sample = Tensor::from_vec(
+                        corpus.data()[idx * width..(idx + 1) * width].to_vec(),
+                        &sample_shape,
+                    )
+                    .expect("sample");
+                    let _ = client.infer(&sample).expect("infer during repair");
+                    // Pace the load so it spans the aging and at least
+                    // one background scrub pass.
+                    thread::sleep(Duration::from_micros(500));
+                }
+            }));
+        }
+        thread::sleep(Duration::from_millis(5));
+        let drift = RetentionDrift::new(Seconds(1e6)).expect("drift model");
+        let aging = AgingConfig::new(Seconds(100.0), drift)
+            .expect("aging config")
+            .with_seed(0xa9e);
+        let network = Arc::clone(server.network().expect("served network"));
+        if let Some(step) = AgingClock::new(aging).advance(20_000) {
+            network.age(&step).expect("age served network");
+        }
+        for j in joins {
+            j.join().expect("repair client thread");
+        }
+        // Grace window: the scrubber runs on its own cadence.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.stats().scrub_repairs == before_repair.scrub_repairs
+            && Instant::now() < deadline
+        {
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+    let repair_stats = server.stats();
+    let repairs_under_load = repair_stats.scrub_repairs - before_repair.scrub_repairs;
+    let swaps_under_load = repair_stats.plan_swaps - before_repair.plan_swaps;
+    assert!(
+        repairs_under_load > 0,
+        "scrubber never repaired the aged network under load"
+    );
+    assert!(
+        swaps_under_load >= 2,
+        "expected the aging publish plus at least one repair swap, saw {swaps_under_load}"
+    );
+
     let stats = server.stats();
-    let expected_total = (verify_n + 2 * total) as u64;
+    let expected_total = (verify_n + 3 * total) as u64;
     let lossless = stats.accepted == expected_total
         && stats.completed == expected_total
         && stats.rejected_busy == 0
         && stats.expired == 0
+        && stats.shutdown_rejects == 0
         && stats.engine_errors == 0;
     assert!(
         lossless,
-        "request accounting broke: {} accepted, {} completed of {expected_total}",
-        stats.accepted, stats.completed
+        "request accounting broke: {} accepted, {} completed of {expected_total} \
+         ({} busy, {} expired)",
+        stats.accepted, stats.completed, stats.rejected_busy, stats.expired
     );
 
     let speedup = bat.requests_per_sec / seq.requests_per_sec;
@@ -235,6 +318,12 @@ fn main() {
     ));
     json.push_str(&format!("  \"speedup\": {},\n", json_num(speedup)));
     json.push_str(&format!(
+        "  \"hot_repair\": {{\"requests\": {total}, \"scrub_repairs\": {repairs_under_load}, \
+         \"plan_swaps\": {swaps_under_load}, \"rejected_busy\": {}, \"expired\": {}}},\n",
+        stats.rejected_busy - before_repair.rejected_busy,
+        stats.expired - before_repair.expired
+    ));
+    json.push_str(&format!(
         "  \"latency\": {{\"count\": {}, \"p50_nanos\": {}, \"p95_nanos\": {}, \
          \"p99_nanos\": {}, \"max_nanos\": {}}},\n",
         stats.latency.count,
@@ -245,14 +334,19 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"server\": {{\"accepted\": {}, \"completed\": {}, \"rejected_busy\": {}, \
-         \"expired\": {}, \"engine_errors\": {}, \"batches\": {}, \"batched_samples\": {}}}\n",
+         \"expired\": {}, \"engine_errors\": {}, \"batches\": {}, \"batched_samples\": {}, \
+         \"scrub_passes\": {}, \"scrub_tiles\": {}, \"scrub_repairs\": {}, \"plan_swaps\": {}}}\n",
         stats.accepted,
         stats.completed,
         stats.rejected_busy,
         stats.expired,
         stats.engine_errors,
         stats.batches,
-        stats.batched_samples
+        stats.batched_samples,
+        stats.scrub_passes,
+        stats.scrub_tiles,
+        stats.scrub_repairs,
+        stats.plan_swaps
     ));
     json.push_str("}\n");
 
@@ -267,5 +361,9 @@ fn main() {
     println!(
         "batched   : {:>8.1} req/s  (mean batch {:.2}, largest {})  {:.2}x",
         bat.requests_per_sec, bat.mean_batch, bat.largest_batch, speedup
+    );
+    println!(
+        "hot repair: {total} requests answered, {repairs_under_load} repairs, \
+         {swaps_under_load} epoch swaps, 0 rejects"
     );
 }

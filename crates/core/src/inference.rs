@@ -18,13 +18,14 @@
 //! This is the machinery behind the paper's Fig. 7 accuracy study.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use resipe_analog::units::Seconds;
 use resipe_nn::data::Dataset;
 use resipe_nn::layers::{im2col, Layer};
 use resipe_nn::network::Network;
 use resipe_nn::tensor::Tensor;
+use resipe_reram::aging::AgingStep;
 use resipe_reram::faults::RetentionDrift;
 use resipe_reram::variation::VariationModel;
 
@@ -35,7 +36,7 @@ use crate::error::ResipeError;
 use crate::mapping::{MappedWeights, SpikeEncoding, TileMapper};
 use crate::repair::{repair_layer_with, HealthReport, RepairPolicy};
 use crate::seeds;
-use crate::telemetry::{Telemetry, TelemetrySnapshot};
+use crate::telemetry::{Counter, Telemetry, TelemetrySnapshot};
 
 /// How activations are spike-encoded at each hardware layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -329,21 +330,25 @@ fn lower_mapped(
 }
 
 /// A layer lowered onto the hardware (or executed digitally).
+///
+/// Crossbar layers do not own their conductance state: they reference
+/// it by weight-layer index into the currently-published
+/// [`NetworkEpoch`], so a repair or aging event can swap in fresh
+/// crossbar state without touching the layer graph.
 #[derive(Debug, Clone)]
 enum HwLayer {
-    /// A dense layer on crossbars.
+    /// A dense layer on crossbars (`weights` indexes the epoch).
     Dense {
-        mapped: MappedWeights,
+        weights: usize,
         bias: Vec<f64>,
         input_scale: f64,
-        encoding: SpikeEncoding,
     },
-    /// A convolution on crossbars via im2col.
+    /// A convolution on crossbars via im2col (`weights` indexes the
+    /// epoch).
     Conv {
-        mapped: MappedWeights,
+        weights: usize,
         bias: Vec<f64>,
         input_scale: f64,
-        encoding: SpikeEncoding,
         kernel: usize,
         padding: usize,
         out_channels: usize,
@@ -357,6 +362,118 @@ enum HwLayer {
     AvgPool(usize),
     /// Digital flatten.
     Flatten,
+}
+
+/// One weight layer's crossbar state within a published [`NetworkEpoch`]:
+/// the mapped conductances, the layer's spike encoding, and the lazily
+/// built [`BatchPlan`] derived from them. Immutable once published —
+/// repair and aging build a *new* `LayerState` and publish it inside a
+/// new epoch rather than mutating this one, which is what lets in-flight
+/// requests keep executing the state they loaded.
+#[derive(Debug)]
+pub(crate) struct LayerState {
+    pub(crate) mapped: MappedWeights,
+    encoding: SpikeEncoding,
+    plan: OnceLock<Arc<BatchPlan>>,
+}
+
+impl LayerState {
+    pub(crate) fn new(mapped: MappedWeights, encoding: SpikeEncoding) -> LayerState {
+        LayerState {
+            mapped,
+            encoding,
+            plan: OnceLock::new(),
+        }
+    }
+
+    /// The spike encoding activations enter this layer with.
+    pub(crate) fn encoding(&self) -> SpikeEncoding {
+        self.encoding
+    }
+
+    /// The cached [`BatchPlan`], built on first planned use of this
+    /// state. Plans are pure functions of `(mapped, engine, encoding)`,
+    /// so lazy build-once semantics change no bits.
+    fn plan(&self, engine: &ResipeEngine) -> Arc<BatchPlan> {
+        Arc::clone(
+            self.plan
+                .get_or_init(|| Arc::new(BatchPlan::new(engine, &self.mapped, self.encoding))),
+        )
+    }
+}
+
+/// An immutable snapshot of every crossbar layer's state, published
+/// atomically. A request loads the epoch once at entry and executes all
+/// layers against that snapshot, so no request can ever observe a torn
+/// mix of pre- and post-repair layers — even when one repair pass
+/// touches several layers.
+#[derive(Debug)]
+pub(crate) struct NetworkEpoch {
+    /// Monotone version number (0 at compile, +1 per publish).
+    pub(crate) epoch: u64,
+    /// One state per weight-bearing layer, in weight-layer order.
+    pub(crate) layers: Vec<Arc<LayerState>>,
+}
+
+/// An ArcSwap-style epoch-versioned cell on `std::sync` primitives: the
+/// write lock is held only for the pointer replacement (readers clone
+/// the `Arc` under the read lock and drop it immediately), so swaps
+/// never stall in-flight inference and readers never block each other.
+#[derive(Debug)]
+struct EpochCell {
+    current: RwLock<Arc<NetworkEpoch>>,
+    swaps: AtomicU64,
+}
+
+impl EpochCell {
+    fn new(epoch: Arc<NetworkEpoch>) -> EpochCell {
+        EpochCell {
+            current: RwLock::new(epoch),
+            swaps: AtomicU64::new(0),
+        }
+    }
+
+    /// The currently-published epoch. In-flight holders of a previous
+    /// epoch keep it alive through their `Arc` until they finish.
+    fn load(&self) -> Arc<NetworkEpoch> {
+        Arc::clone(&self.current.read().expect("epoch cell poisoned"))
+    }
+
+    /// Publishes `layers` as the next epoch and returns its number.
+    fn swap(&self, layers: Vec<Arc<LayerState>>) -> u64 {
+        let mut guard = self.current.write().expect("epoch cell poisoned");
+        let next = guard.epoch + 1;
+        *guard = Arc::new(NetworkEpoch {
+            epoch: next,
+            layers,
+        });
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        next
+    }
+
+    /// Publishes a next epoch that replaces only the listed weight
+    /// layers, carrying every other layer over from the epoch current
+    /// *at publish time*. The read-modify-write runs under the write
+    /// lock, so a concurrent full swap is never silently clobbered on
+    /// layers this update does not touch.
+    fn swap_layers(&self, updates: Vec<(usize, Arc<LayerState>)>) -> u64 {
+        let mut guard = self.current.write().expect("epoch cell poisoned");
+        let mut layers = guard.layers.clone();
+        for (index, state) in updates {
+            layers[index] = state;
+        }
+        let next = guard.epoch + 1;
+        *guard = Arc::new(NetworkEpoch {
+            epoch: next,
+            layers,
+        });
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        next
+    }
+
+    fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
 }
 
 /// How [`HardwareNetwork::run`] executes the hardware layers.
@@ -444,12 +561,11 @@ pub struct HardwareNetwork {
     /// handle) unless set via [`HardwareNetwork::compile_with_telemetry`]
     /// or [`HardwareNetwork::set_telemetry`].
     telemetry: Telemetry,
-    /// Lazily built, immutable [`BatchPlan`] per layer (digital layers
-    /// never initialize theirs). Plans are pure functions of the
-    /// compiled layer and the engine, so building once and reusing
-    /// forever changes no bits — it removes the serial per-call rebuild
-    /// that throttled short batches.
-    plans: Vec<OnceLock<Arc<BatchPlan>>>,
+    /// The epoch-versioned crossbar state every request executes
+    /// against. Repair and aging publish new epochs here via an atomic
+    /// swap; requests load the cell once at entry (see
+    /// [`NetworkEpoch`]).
+    weights: EpochCell,
     /// Recycled kernel scratch buffers — workers take one per chunk and
     /// return it, so steady-state inference allocates only its outputs.
     scratch_pool: Mutex<Vec<BatchScratch>>,
@@ -470,9 +586,12 @@ impl Clone for HardwareNetwork {
             // recorder, not per-instance state — clones keep reporting
             // into the same sink.
             telemetry: self.telemetry.clone(),
-            // Plans are deterministic per layer; a clone can share the
-            // already-built Arcs.
-            plans: self.plans.clone(),
+            // A clone snapshots the epoch published *now* into its own
+            // cell: later swaps on the original never reach the clone
+            // (and vice versa), which is exactly what a frozen reference
+            // copy needs. The immutable `LayerState`s (and their built
+            // plans) are shared by `Arc`.
+            weights: EpochCell::new(self.weights.load()),
             scratch_pool: Mutex::new(Vec::new()),
         }
     }
@@ -568,6 +687,7 @@ impl HardwareNetwork {
         }
 
         let mut layers = Vec::with_capacity(net.len());
+        let mut weight_states: Vec<Arc<LayerState>> = Vec::new();
         let mut scale_iter = scales.into_iter();
         let mut weight_layer_index = 0usize;
         let mut health = HealthReport::default();
@@ -591,11 +711,11 @@ impl HardwareNetwork {
                     )?;
                     let encoding = options.encoding.encoding_for(weight_layer_index);
                     weight_layer_index += 1;
+                    weight_states.push(Arc::new(LayerState::new(mapped, encoding)));
                     HwLayer::Dense {
-                        mapped,
+                        weights: weight_states.len() - 1,
                         bias: d.bias().data().iter().map(|&v| v as f64).collect(),
                         input_scale: scale_iter.next().expect("one scale per weight layer"),
-                        encoding,
                     }
                 }
                 Layer::Conv2d(c) => {
@@ -623,11 +743,11 @@ impl HardwareNetwork {
                     )?;
                     let encoding = options.encoding.encoding_for(weight_layer_index);
                     weight_layer_index += 1;
+                    weight_states.push(Arc::new(LayerState::new(mapped, encoding)));
                     HwLayer::Conv {
-                        mapped,
+                        weights: weight_states.len() - 1,
                         bias: c.bias().data().iter().map(|&v| v as f64).collect(),
                         input_scale: scale_iter.next().expect("one scale per weight layer"),
-                        encoding,
                         kernel: c.kernel_size(),
                         padding: c.padding(),
                         out_channels: c.out_channels(),
@@ -641,7 +761,6 @@ impl HardwareNetwork {
             layers.push(hw);
         }
         drop(_compile_span);
-        let plans = (0..layers.len()).map(|_| OnceLock::new()).collect();
         Ok(HardwareNetwork {
             engine,
             layers,
@@ -649,7 +768,10 @@ impl HardwareNetwork {
             mvm_count: AtomicU64::new(0),
             health,
             telemetry,
-            plans,
+            weights: EpochCell::new(Arc::new(NetworkEpoch {
+                epoch: 0,
+                layers: weight_states,
+            })),
             scratch_pool: Mutex::new(Vec::new()),
         })
     }
@@ -694,10 +816,11 @@ impl HardwareNetwork {
     /// through the dense layers (convolutions add one per output pixel per
     /// tile pair).
     pub fn dense_mvms_per_sample(&self) -> usize {
+        let epoch = self.weights.load();
         self.layers
             .iter()
             .map(|l| match l {
-                HwLayer::Dense { mapped, .. } => mapped.mvms_per_forward(),
+                HwLayer::Dense { weights, .. } => epoch.layers[*weights].mapped.mvms_per_forward(),
                 _ => 0,
             })
             .sum()
@@ -733,14 +856,21 @@ impl HardwareNetwork {
     ///
     /// Returns shape errors for incompatible inputs.
     pub fn run(&self, input: &Tensor, options: &RunOptions) -> Result<RunResult, ResipeError> {
+        // Load the published epoch exactly once: every layer of this
+        // request executes against the same immutable snapshot, so a
+        // concurrent repair swap can never hand a request a torn mix of
+        // pre- and post-repair crossbars.
+        let epoch = self.weights.load();
         let outputs = {
             let _forward_span = self.telemetry.span("forward");
             let mut x = input.clone();
             for (li, layer) in self.layers.iter().enumerate() {
                 let _layer_span = self.telemetry.span_with(|| format!("forward/layer{li}"));
                 x = match options.mode {
-                    ExecutionMode::PerSample => self.forward_layer(li, layer, &x)?,
-                    ExecutionMode::Planned => self.forward_layer_batched(li, layer, &x, options)?,
+                    ExecutionMode::PerSample => self.forward_layer(&epoch, li, layer, &x)?,
+                    ExecutionMode::Planned => {
+                        self.forward_layer_batched(&epoch, li, layer, &x, options)?
+                    }
                 };
             }
             x
@@ -781,16 +911,74 @@ impl HardwareNetwork {
         Ok(self.run(input, &RunOptions::planned())?.outputs)
     }
 
-    /// The cached [`BatchPlan`] of layer `li`, built on first use.
-    fn layer_plan(
-        &self,
-        li: usize,
-        mapped: &MappedWeights,
-        encoding: SpikeEncoding,
-    ) -> Arc<BatchPlan> {
-        Arc::clone(
-            self.plans[li].get_or_init(|| Arc::new(BatchPlan::new(&self.engine, mapped, encoding))),
-        )
+    /// The currently-published epoch number: 0 at compile, +1 for every
+    /// repair or aging publish since.
+    pub fn epoch(&self) -> u64 {
+        self.weights.load().epoch
+    }
+
+    /// How many epoch swaps (plan republishes) this instance has
+    /// performed — the hot-repair counter surfaced by serving stats.
+    pub fn plan_swaps(&self) -> u64 {
+        self.weights.swaps()
+    }
+
+    /// The currently-published epoch snapshot (for the scrubber, which
+    /// BISTs and clones layer states off the hot path).
+    pub(crate) fn current_epoch(&self) -> Arc<NetworkEpoch> {
+        self.weights.load()
+    }
+
+    /// Atomically publishes `layers` as the next epoch. In-flight
+    /// requests finish on the epoch they loaded; new requests see the
+    /// published one. Returns the new epoch number.
+    pub(crate) fn publish_epoch(&self, layers: Vec<Arc<LayerState>>) -> u64 {
+        let next = self.weights.swap(layers);
+        self.telemetry.add(Counter::PlanSwaps, 1);
+        next
+    }
+
+    /// Atomically publishes a next epoch replacing only the listed
+    /// weight layers (the scrubber's interface: untouched layers keep
+    /// their `LayerState` Arcs and built plans). Returns the new epoch
+    /// number.
+    pub(crate) fn publish_layer_updates(&self, updates: Vec<(usize, Arc<LayerState>)>) -> u64 {
+        let next = self.weights.swap_layers(updates);
+        self.telemetry.add(Counter::PlanSwaps, 1);
+        next
+    }
+
+    /// The engine this network was compiled for (scrubber BIST runs
+    /// against the same circuit configuration the compile used).
+    pub(crate) fn engine(&self) -> &ResipeEngine {
+        &self.engine
+    }
+
+    /// Applies one [`AgingStep`] of live-traffic wear to every crossbar
+    /// layer and publishes the aged state as a new epoch.
+    ///
+    /// Each weight layer ages under its own substream of the step
+    /// (`step.substream(layer)`), so identically-shaped layers do not
+    /// wear identical cells. The aged `LayerState`s are built off the
+    /// hot path and swapped in atomically — in-flight requests are
+    /// never exposed to a half-aged network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping errors (shape mismatches cannot occur for
+    /// states cloned from the published epoch, but the drift model can
+    /// reject invalid elapsed times).
+    pub fn age(&self, step: &AgingStep) -> Result<(), ResipeError> {
+        let epoch = self.weights.load();
+        let mut aged = Vec::with_capacity(epoch.layers.len());
+        for (li, state) in epoch.layers.iter().enumerate() {
+            let sub = step.substream(li as u64);
+            let mut mapped = state.mapped.clone();
+            mapped.age(&sub)?;
+            aged.push(Arc::new(LayerState::new(mapped, state.encoding())));
+        }
+        self.publish_epoch(aged);
+        Ok(())
     }
 
     /// Borrows a recycled kernel scratch buffer (or a fresh one).
@@ -812,6 +1000,7 @@ impl HardwareNetwork {
 
     fn forward_layer_batched(
         &self,
+        epoch: &NetworkEpoch,
         li: usize,
         layer: &HwLayer,
         x: &Tensor,
@@ -820,11 +1009,12 @@ impl HardwareNetwork {
         use rayon::prelude::*;
         match layer {
             HwLayer::Dense {
-                mapped,
+                weights,
                 bias,
                 input_scale,
-                encoding,
             } => {
+                let state = &epoch.layers[*weights];
+                let mapped = &state.mapped;
                 let s = x.shape();
                 if s.len() != 2 || s[1] != mapped.rows() {
                     return Err(ResipeError::DimensionMismatch {
@@ -833,7 +1023,7 @@ impl HardwareNetwork {
                     });
                 }
                 let n = s[0];
-                let plan = self.layer_plan(li, mapped, *encoding);
+                let plan = state.plan(&self.engine);
                 let probe = self.layer_probe(li);
                 // Samples are independent; fan whole sample blocks out
                 // over the pool. The block is the parallel grain *and*
@@ -893,14 +1083,15 @@ impl HardwareNetwork {
                 Ok(out)
             }
             HwLayer::Conv {
-                mapped,
+                weights,
                 bias,
                 input_scale,
-                encoding,
                 kernel,
                 padding,
                 out_channels,
             } => {
+                let state = &epoch.layers[*weights];
+                let mapped = &state.mapped;
                 let s = x.shape();
                 if s.len() != 4 {
                     return Err(ResipeError::DimensionMismatch {
@@ -912,7 +1103,7 @@ impl HardwareNetwork {
                 let h_out = h + 2 * padding + 1 - kernel;
                 let w_out = w + 2 * padding + 1 - kernel;
                 let n_pix = h_out * w_out;
-                let plan = self.layer_plan(li, mapped, *encoding);
+                let plan = state.plan(&self.engine);
                 let probe = self.layer_probe(li);
                 let n_cols = mapped.cols();
                 // Samples already fan out over the pool; within one
@@ -972,7 +1163,7 @@ impl HardwareNetwork {
                 }
                 Ok(out)
             }
-            digital => self.forward_layer(li, digital, x),
+            digital => self.forward_layer(epoch, li, digital, x),
         }
     }
 
@@ -983,14 +1174,22 @@ impl HardwareNetwork {
         self.telemetry.layer_probe(li, cfg.slice().0, cfg.vs().0)
     }
 
-    fn forward_layer(&self, li: usize, layer: &HwLayer, x: &Tensor) -> Result<Tensor, ResipeError> {
+    fn forward_layer(
+        &self,
+        epoch: &NetworkEpoch,
+        li: usize,
+        layer: &HwLayer,
+        x: &Tensor,
+    ) -> Result<Tensor, ResipeError> {
         match layer {
             HwLayer::Dense {
-                mapped,
+                weights,
                 bias,
                 input_scale,
-                encoding,
             } => {
+                let state = &epoch.layers[*weights];
+                let mapped = &state.mapped;
+                let encoding = state.encoding();
                 let s = x.shape();
                 if s.len() != 2 || s[1] != mapped.rows() {
                     return Err(ResipeError::DimensionMismatch {
@@ -1007,7 +1206,7 @@ impl HardwareNetwork {
                         .iter()
                         .map(|&v| (v as f64 / input_scale).clamp(0.0, 1.0))
                         .collect();
-                    let y = mapped.forward(&self.engine, &a, *encoding)?;
+                    let y = mapped.forward(&self.engine, &a, encoding)?;
                     self.mvm_count
                         .fetch_add(mapped.mvms_per_forward() as u64, Ordering::Relaxed);
                     if let Some(p) = &probe {
@@ -1020,14 +1219,16 @@ impl HardwareNetwork {
                 Ok(out)
             }
             HwLayer::Conv {
-                mapped,
+                weights,
                 bias,
                 input_scale,
-                encoding,
                 kernel,
                 padding,
                 out_channels,
             } => {
+                let state = &epoch.layers[*weights];
+                let mapped = &state.mapped;
+                let encoding = state.encoding();
                 let s = x.shape();
                 if s.len() != 4 {
                     return Err(ResipeError::DimensionMismatch {
@@ -1047,7 +1248,7 @@ impl HardwareNetwork {
                         let a: Vec<f64> = (0..fan_in)
                             .map(|r| (cols.get(&[r, pix]) as f64 / input_scale).clamp(0.0, 1.0))
                             .collect();
-                        let y = mapped.forward(&self.engine, &a, *encoding)?;
+                        let y = mapped.forward(&self.engine, &a, encoding)?;
                         self.mvm_count
                             .fetch_add(mapped.mvms_per_forward() as u64, Ordering::Relaxed);
                         if let Some(p) = &probe {

@@ -69,6 +69,7 @@ pub mod pipeline;
 pub mod power;
 pub mod prelude;
 pub mod repair;
+pub mod scrub;
 pub mod seeds;
 pub mod spike;
 pub mod telemetry;

@@ -40,12 +40,13 @@
 //!   it samples is exactly proportional to the value it carries.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use resipe_analog::units::{Ohms, Seconds, Siemens};
+use resipe_reram::aging::AgingStep;
 use resipe_reram::device::ResistanceWindow;
-use resipe_reram::faults::{FaultMap, RetentionDrift};
+use resipe_reram::faults::{CellFault, FaultMap, RetentionDrift};
 use resipe_reram::quantize::Quantizer;
 use resipe_reram::variation::VariationModel;
 
@@ -119,20 +120,6 @@ impl TileMapper {
     pub fn with_access_resistance(mut self, r: Ohms) -> TileMapper {
         self.access_resistance = r;
         self
-    }
-
-    /// Sets the maximum wordlines per tile.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `rows` is zero.
-    #[deprecated(
-        since = "0.1.0",
-        note = "panics on zero rows; use `try_with_max_rows` and handle the error"
-    )]
-    pub fn with_max_rows(self, rows: usize) -> TileMapper {
-        self.try_with_max_rows(rows)
-            .expect("tile rows must be nonzero")
     }
 
     /// Sets the maximum wordlines per tile, rejecting zero.
@@ -859,14 +846,78 @@ impl MappedWeights {
     ) -> Result<MappedWeights, ResipeError> {
         let window = self.window;
         for tile in &mut self.tiles {
-            for cells in [&mut tile.cell_plus, &mut tile.cell_minus] {
-                for g in cells.iter_mut() {
-                    *g = drift.relaxed(Siemens(*g), window, elapsed)?.0;
-                }
+            for (cells, map) in [
+                (&mut tile.cell_plus, &tile.fault_plus),
+                (&mut tile.cell_minus, &tile.fault_minus),
+            ] {
+                drift.age_and_reassert_values(cells, window, elapsed, map)?;
             }
-            tile.pin_faults(window);
+            tile.recompute_eff();
         }
         Ok(self)
+    }
+
+    /// Applies one [`AgingStep`] of live-traffic aging in place:
+    /// endurance wear events strike deterministically-chosen cells
+    /// stuck-at-LRS, then every cell relaxes by the step's retention
+    /// drift over its elapsed virtual time, with stuck cells re-pinned.
+    /// Decode constants stay at their design values — aging is invisible
+    /// to the peripheral, which is exactly why accuracy degrades until a
+    /// repair reprograms the drifted cells back toward their targets.
+    ///
+    /// Each wear event's placement is a pure function of the step's
+    /// `(seed, event index)` — independent of how the request stream was
+    /// chunked into steps and of tile visit order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::Reram`] if the step's elapsed time is
+    /// invalid.
+    pub fn age(&mut self, step: &AgingStep) -> Result<(), ResipeError> {
+        // Endurance wear: global event k picks one physical cell across
+        // the whole mapped layer (both arrays of every tile).
+        let geometry: Vec<(usize, usize)> =
+            self.tiles.iter().map(|t| (t.rows, t.phys_cols)).collect();
+        let total_cells: usize = geometry.iter().map(|&(r, c)| 2 * r * c).sum();
+        if total_cells > 0 {
+            for event in step.wear_events() {
+                let mut rng = StdRng::seed_from_u64(step.wear_event_seed(event));
+                let mut flat = rng.gen_range(0..total_cells);
+                for (ti, &(rows, cols)) in geometry.iter().enumerate() {
+                    let per_array = rows * cols;
+                    if flat >= 2 * per_array {
+                        flat -= 2 * per_array;
+                        continue;
+                    }
+                    let tile = &mut self.tiles[ti];
+                    let map = if flat < per_array {
+                        &mut tile.fault_plus
+                    } else {
+                        flat -= per_array;
+                        &mut tile.fault_minus
+                    };
+                    let (r, c) = (flat / cols, flat % cols);
+                    if map.fault(r, c) == CellFault::Healthy {
+                        map.set(r, c, CellFault::StuckLrs);
+                    }
+                    break;
+                }
+            }
+        }
+        // Retention drift with automatic stuck-cell re-pinning (also
+        // pins any cells the wear loop above just struck).
+        let window = self.window;
+        for tile in &mut self.tiles {
+            for (cells, map) in [
+                (&mut tile.cell_plus, &tile.fault_plus),
+                (&mut tile.cell_minus, &tile.fault_minus),
+            ] {
+                step.drift()
+                    .age_and_reassert_values(cells, window, step.elapsed(), map)?;
+            }
+            tile.recompute_eff();
+        }
+        Ok(())
     }
 
     /// The cell resistance window the weights were mapped with.
@@ -982,14 +1033,6 @@ mod tests {
             TileMapper::paper().try_with_max_rows(8).unwrap().max_rows(),
             8
         );
-    }
-
-    /// The deprecated panicking shim delegates to `try_with_max_rows`;
-    /// this is the repo's single remaining `#[allow(deprecated)]` site.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_with_max_rows_delegates() {
-        assert_eq!(TileMapper::paper().with_max_rows(16).max_rows(), 16);
     }
 
     #[test]
@@ -1168,6 +1211,68 @@ mod tests {
             .unwrap()[0];
         assert!((exact - fine).abs() < 1e-6, "fine grid {fine} vs {exact}");
         assert!((exact - coarse).abs() > 1e-4, "coarse grid had no effect");
+    }
+
+    #[test]
+    fn aging_is_chunking_invariant_and_degrades_output() {
+        use resipe_reram::aging::{AgingClock, AgingConfig};
+        use resipe_reram::faults::RetentionDrift;
+        let mut rng = StdRng::seed_from_u64(9);
+        let weights: Vec<f64> = (0..32 * 4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mapped = TileMapper::paper().map(&weights, 32, 4).unwrap();
+        let cfg = AgingConfig::new(Seconds(10.0), RetentionDrift::new(Seconds(1e4)).unwrap())
+            .unwrap()
+            .with_wear_per_request(0.002)
+            .unwrap()
+            .with_seed(17);
+
+        // One big step vs. the same requests in uneven chunks.
+        let mut whole = mapped.clone();
+        let mut clock = AgingClock::new(cfg);
+        whole.age(&clock.advance(1000).unwrap()).unwrap();
+
+        let mut chunked = mapped.clone();
+        let mut clock2 = AgingClock::new(cfg);
+        for n in [1u64, 499, 300, 200] {
+            chunked.age(&clock2.advance(n).unwrap()).unwrap();
+        }
+        // The wear schedule (which cells got struck) is *exactly*
+        // chunking-invariant; drifted conductances match to FP rounding
+        // (chunked decay multiplies exponentials instead of summing
+        // exponents).
+        assert!(whole.fault_rate() > 0.0, "wear events must strike cells");
+        assert_eq!(whole.fault_rate(), chunked.fault_rate());
+        for (tw, tc) in whole.tiles().iter().zip(chunked.tiles()) {
+            assert_eq!(tw.fault_plus(), tc.fault_plus());
+            assert_eq!(tw.fault_minus(), tc.fault_minus());
+            for (a, b) in tw.eff_plus().iter().zip(tc.eff_plus()) {
+                assert!((a - b).abs() <= 1e-12 * a.abs(), "{a} vs {b}");
+            }
+            for (a, b) in tw.eff_minus().iter().zip(tc.eff_minus()) {
+                assert!((a - b).abs() <= 1e-12 * a.abs(), "{a} vs {b}");
+            }
+        }
+
+        // Aged hardware produces measurably different (degraded) output.
+        let e = engine();
+        let a: Vec<f64> = (0..32).map(|_| 0.5).collect();
+        let fresh_y = mapped.forward(&e, &a, SpikeEncoding::PassThrough).unwrap();
+        let aged_y = whole.forward(&e, &a, SpikeEncoding::PassThrough).unwrap();
+        let moved = fresh_y
+            .iter()
+            .zip(&aged_y)
+            .any(|(f, g)| (f - g).abs() > 1e-6);
+        assert!(moved, "aging must move the decoded output");
+    }
+
+    #[test]
+    fn zero_request_aging_never_fires() {
+        use resipe_reram::aging::{AgingClock, AgingConfig};
+        use resipe_reram::faults::RetentionDrift;
+        let cfg =
+            AgingConfig::new(Seconds(1.0), RetentionDrift::new(Seconds(1.0)).unwrap()).unwrap();
+        let mut clock = AgingClock::new(cfg);
+        assert!(clock.advance(0).is_none());
     }
 
     #[test]

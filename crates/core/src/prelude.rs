@@ -9,7 +9,8 @@
 //! ([`CompileOptions`], [`TileMapper`], [`HardwareNetwork`],
 //! [`CompileCache`]), the unified run API ([`RunOptions`],
 //! [`RunResult`], [`ExecutionMode`]), resilience ([`RepairPolicy`],
-//! [`HealthReport`]), energy ([`EnergyModel`], [`StageEnergy`]),
+//! [`HealthReport`], [`Scrubber`], [`ScrubConfig`]), energy
+//! ([`EnergyModel`], [`StageEnergy`]),
 //! telemetry ([`Telemetry`], [`TelemetrySnapshot`]) and the
 //! [`resipe_nn`] data types ([`Tensor`], [`Network`], [`Dataset`]).
 //!
@@ -28,6 +29,7 @@ pub use crate::inference::{
 pub use crate::mapping::{SpikeEncoding, TileMapper};
 pub use crate::power::{EnergyBreakdown, EnergyModel, PeripheralCosts, StageEnergy};
 pub use crate::repair::{HealthReport, RepairPolicy, TileStatus};
+pub use crate::scrub::{ScrubConfig, ScrubStats, Scrubber};
 pub use crate::spike::SpikeTime;
 pub use crate::telemetry::{Telemetry, TelemetrySnapshot};
 

@@ -89,9 +89,20 @@ pub(crate) enum Counter {
     /// Tile conductance bytes streamed by the blocked kernel — one
     /// tile pass per block, versus one per sample unblocked.
     KernelBytesStreamed,
+    /// Background scrub passes completed.
+    ScrubPasses,
+    /// Tiles BIST-checked by the background scrubber.
+    TilesScrubbed,
+    /// Tile repairs triggered by the background scrubber.
+    ScrubRepairs,
+    /// Epoch swaps: repaired/aged crossbar state published atomically.
+    PlanSwaps,
+    /// Wall-clock nanoseconds between a scrub pass detecting degradation
+    /// and publishing the repaired epoch (time served degraded).
+    DegradedServingNanos,
 }
 
-const COUNTER_COUNT: usize = 13;
+const COUNTER_COUNT: usize = 18;
 
 /// One span's running aggregate.
 #[derive(Debug, Default, Clone)]
@@ -265,6 +276,11 @@ impl Telemetry {
             kernel_blocks: c(Counter::KernelBlocks),
             kernel_block_samples: c(Counter::KernelBlockSamples),
             kernel_bytes_streamed: c(Counter::KernelBytesStreamed),
+            scrub_passes: c(Counter::ScrubPasses),
+            tiles_scrubbed: c(Counter::TilesScrubbed),
+            scrub_repairs: c(Counter::ScrubRepairs),
+            plan_swaps: c(Counter::PlanSwaps),
+            degraded_serving_nanos: c(Counter::DegradedServingNanos),
         };
         let mut spans: Vec<SpanSnapshot> = sink
             .spans
@@ -492,6 +508,16 @@ pub struct CounterSnapshot {
     pub kernel_block_samples: u64,
     /// Tile conductance bytes streamed by the blocked kernel.
     pub kernel_bytes_streamed: u64,
+    /// Background scrub passes completed.
+    pub scrub_passes: u64,
+    /// Tiles BIST-checked by the background scrubber.
+    pub tiles_scrubbed: u64,
+    /// Tile repairs triggered by the background scrubber.
+    pub scrub_repairs: u64,
+    /// Epoch swaps (repaired/aged state published atomically).
+    pub plan_swaps: u64,
+    /// Wall-clock nanoseconds served degraded (detection → publish).
+    pub degraded_serving_nanos: u64,
 }
 
 /// One aggregated span: every open/close of `path` summed.
@@ -615,7 +641,9 @@ impl TelemetrySnapshot {
              \"compile_cache_evictions\": {}, \
              \"comparator_offset_rejects\": {}, \"saturated_decodes\": {}, \
              \"kernel_blocks\": {}, \"kernel_block_samples\": {}, \
-             \"kernel_bytes_streamed\": {}}},\n",
+             \"kernel_bytes_streamed\": {}, \
+             \"scrub_passes\": {}, \"tiles_scrubbed\": {}, \"scrub_repairs\": {}, \
+             \"plan_swaps\": {}, \"degraded_serving_nanos\": {}}},\n",
             c.mvms,
             c.zero_activation_skips,
             c.spare_remaps,
@@ -628,7 +656,12 @@ impl TelemetrySnapshot {
             c.saturated_decodes,
             c.kernel_blocks,
             c.kernel_block_samples,
-            c.kernel_bytes_streamed
+            c.kernel_bytes_streamed,
+            c.scrub_passes,
+            c.tiles_scrubbed,
+            c.scrub_repairs,
+            c.plan_swaps,
+            c.degraded_serving_nanos
         ));
         s.push_str("  \"spans\": [\n");
         for (i, sp) in self.spans.iter().enumerate() {
@@ -826,6 +859,11 @@ mod tests {
             "\"kernel_blocks\"",
             "\"kernel_block_samples\"",
             "\"kernel_bytes_streamed\"",
+            "\"scrub_passes\"",
+            "\"tiles_scrubbed\"",
+            "\"scrub_repairs\"",
+            "\"plan_swaps\"",
+            "\"degraded_serving_nanos\"",
             "\"spans\"",
             "\"layers\"",
             "\"t_out\"",

@@ -1,0 +1,223 @@
+//! Epoch-swap consistency under concurrent traffic.
+//!
+//! The scrubber publishes repaired crossbar state by swapping the
+//! network's epoch while requests are in flight. The contract these
+//! tests pin: a request sees **exactly one** epoch — every output is
+//! bit-identical to either the pre-repair network or the post-repair
+//! network, never a torn mix of repaired and unrepaired layers.
+//!
+//! The references are precomputable because the whole damage/repair
+//! chain is deterministic: aging is a pure function of the clock seed
+//! and served-request count, and a scrub pass is a pure function of
+//! `(scrub seed, pass index, published state)`. A bit-identical mirror
+//! network aged on the same schedule and scrubbed with the same seed
+//! lands in the bit-identical repaired state — so the mirror yields the
+//! exact pre- and post-swap outputs the live threads must observe.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use resipe::inference::{CompileOptions, HardwareNetwork, RunOptions};
+use resipe::repair::RepairPolicy;
+use resipe::scrub::{ScrubConfig, Scrubber};
+use resipe_analog::units::Seconds;
+use resipe_nn::layers::{Dense, Relu};
+use resipe_nn::network::Network;
+use resipe_nn::tensor::Tensor;
+use resipe_reram::aging::{AgingClock, AgingConfig, AgingStep};
+use resipe_reram::faults::RetentionDrift;
+
+fn random_input(rng: &mut StdRng, shape: &[usize]) -> Tensor {
+    let len = shape.iter().product();
+    Tensor::from_vec(
+        (0..len).map(|_| rng.gen_range(0.0..1.0f32)).collect(),
+        shape,
+    )
+    .expect("shape")
+}
+
+/// Retention drift heavy enough (2τ elapsed) to regress every tile past
+/// a 0.05-swing BIST threshold, so the scrub pass genuinely repairs and
+/// swaps rather than passing quietly.
+fn heavy_aging_step(seed: u64) -> AgingStep {
+    let drift = RetentionDrift::new(Seconds(1e6)).expect("drift");
+    let config = AgingConfig::new(Seconds(100.0), drift)
+        .expect("aging config")
+        .with_seed(seed);
+    AgingClock::new(config)
+        .advance(20_000)
+        .expect("nonzero advance")
+}
+
+/// Scrub policy sharp enough to see smooth drift (the 0.4 default only
+/// trips on hard faults).
+fn sensitive_scrub(seed: u64) -> ScrubConfig {
+    let mut policy = RepairPolicy::full();
+    policy.bist.cell_threshold = 0.05;
+    ScrubConfig::new().with_policy(policy).with_seed(seed)
+}
+
+fn bits_equal(a: &Tensor, b: &Tensor) -> bool {
+    a.shape() == b.shape()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Builds the live network and its bit-identical mirror, ages both on
+/// the same schedule, and returns `(live hw, live scrubber, pre-repair
+/// outputs, post-repair outputs)` for the given probe inputs.
+#[allow(clippy::type_complexity)]
+fn aged_pair(
+    net: &Network,
+    calib: &Tensor,
+    options: &CompileOptions,
+    scrub_seed: u64,
+    aging_seed: u64,
+    probes: &[(Tensor, RunOptions)],
+) -> (Arc<HardwareNetwork>, Scrubber, Vec<Tensor>, Vec<Tensor>) {
+    let hw = Arc::new(HardwareNetwork::compile(net, calib, options).expect("compile"));
+    let mirror = Arc::new(hw.as_ref().clone());
+    // Both scrubbers attach while fresh so their health baselines (and
+    // pass indices) match; both networks then age identically.
+    let scrubber = Scrubber::new(Arc::clone(&hw), sensitive_scrub(scrub_seed)).expect("scrubber");
+    let mirror_scrubber =
+        Scrubber::new(Arc::clone(&mirror), sensitive_scrub(scrub_seed)).expect("mirror scrubber");
+    let step = heavy_aging_step(aging_seed);
+    hw.age(&step).expect("age live");
+    mirror.age(&step).expect("age mirror");
+
+    let pre: Vec<Tensor> = probes
+        .iter()
+        .map(|(x, opts)| mirror.run(x, opts).expect("pre reference").outputs)
+        .collect();
+    let report = mirror_scrubber.scrub_pass().expect("mirror scrub");
+    assert!(report.repairs > 0, "aging must regress past the baseline");
+    assert!(report.swapped, "mirror repair must publish a new epoch");
+    let post: Vec<Tensor> = probes
+        .iter()
+        .map(|(x, opts)| mirror.run(x, opts).expect("post reference").outputs)
+        .collect();
+    (hw, scrubber, pre, post)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Reader threads hammer the per-sample and batched-planned paths
+    /// while the scrubber repairs and swaps underneath them: every
+    /// output observed is bit-identical to the pre-repair or the
+    /// post-repair reference, and once the swap lands, reads settle on
+    /// the post-repair bits.
+    #[test]
+    fn concurrent_swap_yields_pre_or_post_bits_never_torn(
+        in_features in 8usize..40,
+        out_features in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Network::new("hotswap-prop");
+        net.push(Dense::new(in_features, out_features, &mut rng));
+        net.push(Relu::new());
+        net.push(Dense::new(out_features, 3, &mut rng));
+        let calib = random_input(&mut rng, &[4, in_features]);
+        let probes = vec![
+            (random_input(&mut rng, &[1, in_features]), RunOptions::per_sample()),
+            (random_input(&mut rng, &[5, in_features]), RunOptions::planned()),
+        ];
+        let options = CompileOptions::paper().with_seed(seed);
+        let (hw, scrubber, pre, post) =
+            aged_pair(&net, &calib, &options, seed ^ 0x5c47b, seed, &probes);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for t in 0..3usize {
+            let hw = Arc::clone(&hw);
+            let stop = Arc::clone(&stop);
+            let probes = probes.clone();
+            let pre = pre.clone();
+            let post = post.clone();
+            readers.push(thread::spawn(move || {
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Relaxed) || reads == 0 {
+                    let which = (reads as usize + t) % probes.len();
+                    let (x, opts) = &probes[which];
+                    let out = hw.run(x, opts).expect("live run").outputs;
+                    assert!(
+                        bits_equal(&out, &pre[which]) || bits_equal(&out, &post[which]),
+                        "thread {t} observed an output matching neither the \
+                         pre- nor the post-repair epoch (torn swap?)"
+                    );
+                    reads += 1;
+                }
+                reads
+            }));
+        }
+
+        // Repair and swap while the readers are mid-flight.
+        let report = scrubber.scrub_pass().expect("live scrub");
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            let reads = r.join().expect("reader thread");
+            prop_assert!(reads > 0, "reader made no observations");
+        }
+        prop_assert!(report.repairs > 0);
+        prop_assert!(report.swapped);
+
+        // After the swap, the live network answers with exactly the
+        // mirror's post-repair bits — deterministic repair means the
+        // hot path converged on a precomputable state.
+        for (i, (x, opts)) in probes.iter().enumerate() {
+            let settled = hw.run(x, opts).expect("settled run").outputs;
+            prop_assert!(
+                bits_equal(&settled, &post[i]),
+                "post-swap output diverged from the deterministic repair reference"
+            );
+        }
+    }
+}
+
+/// The background thread flavor of the same contract: readers hammer
+/// while the scrub loop runs on its own cadence; every observed output
+/// belongs to a published epoch.
+#[test]
+fn background_scrub_thread_never_tears_outputs() {
+    let mut rng = StdRng::seed_from_u64(1204);
+    let mut net = Network::new("hotswap-bg");
+    net.push(Dense::new(24, 6, &mut rng));
+    let calib = random_input(&mut rng, &[4, 24]);
+    let probes = vec![
+        (random_input(&mut rng, &[1, 24]), RunOptions::per_sample()),
+        (random_input(&mut rng, &[3, 24]), RunOptions::planned()),
+    ];
+    let options = CompileOptions::paper().with_seed(11);
+    let (hw, scrubber, pre, post) = aged_pair(&net, &calib, &options, 31, 17, &probes);
+
+    scrubber.start();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let mut saw_post = false;
+    let mut reads = 0usize;
+    while !saw_post {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "background scrubber never published the repaired epoch"
+        );
+        let which = reads % probes.len();
+        let (x, opts) = &probes[which];
+        let out = hw.run(x, opts).expect("live run").outputs;
+        assert!(
+            bits_equal(&out, &pre[which]) || bits_equal(&out, &post[which]),
+            "observed an output matching neither published epoch"
+        );
+        saw_post = bits_equal(&out, &post[which]);
+        reads += 1;
+    }
+    scrubber.stop();
+    assert!(scrubber.stats().repairs > 0);
+}

@@ -1,0 +1,353 @@
+//! Request-count-driven aging: a wall-clock-free clock for online
+//! degradation studies.
+//!
+//! A deployed crossbar ages *while serving*: retention drift relaxes
+//! programmed conductances toward HRS and endurance wear-out strikes
+//! individual cells stuck. Modelling that against the host's wall clock
+//! would make every experiment irreproducible — two runs of the same
+//! workload on different machines would age differently. Instead,
+//! [`AgingClock`] is stepped by **served-request count**: each request
+//! advances virtual device time by a fixed configurable amount, and
+//! wear events fire on a deterministic seeded schedule derived from the
+//! global request counter.
+//!
+//! Two properties make the schedule reproducible and host-independent:
+//!
+//! * **Chunking invariance** — `advance(a); advance(b)` fires exactly
+//!   the same wear events as `advance(a + b)`: events are numbered
+//!   globally (event `k` fires when the cumulative expected count
+//!   crosses `k`) and each event's placement is a pure function of
+//!   `(seed, k)`, never of how the request stream was batched. Drift is
+//!   chunking-invariant in real arithmetic (exponential decay composes
+//!   multiplicatively), so chunked and whole-run conductances agree to
+//!   floating-point rounding.
+//! * **No wall clock** — nothing in this module reads host time. Wall
+//!   time is only ever observed by telemetry, never by the aging model.
+//!
+//! The clock itself is engine-agnostic: it converts request counts into
+//! an [`AgingStep`] (elapsed virtual seconds + a range of wear-event
+//! indices + per-event seeds). Applying the step to mapped tiles —
+//! relaxing conductances with [`RetentionDrift::age_and_reassert`] and
+//! pinning worn cells stuck — is the caller's job, because only the
+//! caller knows the tile geometry.
+
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+use resipe_analog::units::Seconds;
+
+use crate::error::ReramError;
+use crate::faults::RetentionDrift;
+
+/// Domain-separation tag folded into wear-event seeds so wear draws can
+/// never collide with other consumers of the same base seed.
+const WEAR_TAG: u64 = 0x003e_a70f_a9e5; // "wear of ages"
+
+/// splitmix64 finalizer — the same mixer the core crate's seed
+/// substreams use, replicated here so `resipe-reram` stays independent
+/// of crates above it.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives the `index`-th decorrelated substream of `base`.
+fn substream(base: u64, index: u64) -> u64 {
+    splitmix64(base ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index.wrapping_add(1)))
+}
+
+/// How fast the device ages per served request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgingConfig {
+    /// Virtual device seconds that elapse per served request. The drift
+    /// model sees `requests × seconds_per_request` of retention time.
+    pub seconds_per_request: Seconds,
+    /// The retention-drift model applied over the elapsed virtual time.
+    pub drift: RetentionDrift,
+    /// Expected endurance wear-out events (cells failing stuck) per
+    /// served request, across the whole aged array population. Zero
+    /// disables wear.
+    pub wear_per_request: f64,
+    /// Base seed for the wear-event schedule.
+    pub seed: u64,
+}
+
+impl AgingConfig {
+    /// A drift-only config (no wear) with the given virtual time per
+    /// request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidFault`] if `seconds_per_request` is
+    /// negative or not finite.
+    pub fn new(
+        seconds_per_request: Seconds,
+        drift: RetentionDrift,
+    ) -> Result<AgingConfig, ReramError> {
+        if seconds_per_request.0 < 0.0 || !seconds_per_request.0.is_finite() {
+            return Err(ReramError::InvalidFault {
+                reason: format!(
+                    "seconds per request must be non-negative and finite, got {seconds_per_request}"
+                ),
+            });
+        }
+        Ok(AgingConfig {
+            seconds_per_request,
+            drift,
+            wear_per_request: 0.0,
+            seed: 0,
+        })
+    }
+
+    /// Sets the expected wear-out events per served request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidFault`] if `rate` is negative or not
+    /// finite.
+    pub fn with_wear_per_request(mut self, rate: f64) -> Result<AgingConfig, ReramError> {
+        if rate < 0.0 || !rate.is_finite() {
+            return Err(ReramError::InvalidFault {
+                reason: format!("wear rate must be non-negative and finite, got {rate}"),
+            });
+        }
+        self.wear_per_request = rate;
+        Ok(self)
+    }
+
+    /// Sets the base seed for the wear-event schedule.
+    pub fn with_seed(mut self, seed: u64) -> AgingConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A monotone counter of served requests, convertible into aging steps.
+///
+/// The clock never touches hardware itself; [`AgingClock::advance`]
+/// returns an [`AgingStep`] describing *what* aging the counted
+/// requests imply, and the owner of the mapped tiles applies it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgingClock {
+    config: AgingConfig,
+    served: u64,
+}
+
+impl AgingClock {
+    /// A clock at request zero.
+    pub fn new(config: AgingConfig) -> AgingClock {
+        AgingClock { config, served: 0 }
+    }
+
+    /// Total requests counted so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// The aging configuration.
+    pub fn config(&self) -> &AgingConfig {
+        &self.config
+    }
+
+    /// Cumulative wear events implied by `served` total requests:
+    /// `⌊wear_per_request × served⌋`.
+    fn wear_events_by(&self, served: u64) -> u64 {
+        (self.config.wear_per_request * served as f64).floor() as u64
+    }
+
+    /// Counts `requests` more served requests and returns the aging they
+    /// imply, or `None` when `requests` is zero (no time passes, no
+    /// events fire).
+    ///
+    /// Chunking-invariant: any partition of the same request stream into
+    /// `advance` calls yields the same total drift and the same wear
+    /// events at the same global indices.
+    pub fn advance(&mut self, requests: u64) -> Option<AgingStep> {
+        if requests == 0 {
+            return None;
+        }
+        let from_request = self.served;
+        let to_request = self.served.saturating_add(requests);
+        let wear_from = self.wear_events_by(from_request);
+        let wear_to = self.wear_events_by(to_request);
+        self.served = to_request;
+        Some(AgingStep {
+            from_request,
+            to_request,
+            elapsed: Seconds(self.config.seconds_per_request.0 * requests as f64),
+            drift: self.config.drift,
+            wear_from,
+            wear_to,
+            base_seed: self.config.seed,
+        })
+    }
+}
+
+/// The aging implied by one contiguous span of served requests.
+///
+/// Produced by [`AgingClock::advance`]; consumed by whatever owns the
+/// mapped tiles (in this workspace,
+/// `resipe::inference::HardwareNetwork::age`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgingStep {
+    from_request: u64,
+    to_request: u64,
+    elapsed: Seconds,
+    drift: RetentionDrift,
+    wear_from: u64,
+    wear_to: u64,
+    base_seed: u64,
+}
+
+impl AgingStep {
+    /// The first request index covered by this step.
+    pub fn from_request(&self) -> u64 {
+        self.from_request
+    }
+
+    /// One past the last request index covered by this step.
+    pub fn to_request(&self) -> u64 {
+        self.to_request
+    }
+
+    /// Requests covered by this step.
+    pub fn requests(&self) -> u64 {
+        self.to_request - self.from_request
+    }
+
+    /// Virtual device time elapsed over this step.
+    pub fn elapsed(&self) -> Seconds {
+        self.elapsed
+    }
+
+    /// The drift model to relax conductances with over
+    /// [`AgingStep::elapsed`].
+    pub fn drift(&self) -> RetentionDrift {
+        self.drift
+    }
+
+    /// Global indices of the endurance wear events that fire during this
+    /// step. Event numbering is cumulative across the clock's lifetime,
+    /// so re-chunking the request stream never re-fires or skips an
+    /// event.
+    pub fn wear_events(&self) -> Range<u64> {
+        self.wear_from..self.wear_to
+    }
+
+    /// The decorrelated seed for global wear event `event`. A pure
+    /// function of `(config seed, event index)` — independent of visit
+    /// order, chunking, and host.
+    pub fn wear_event_seed(&self, event: u64) -> u64 {
+        substream(self.base_seed ^ WEAR_TAG, event)
+    }
+
+    /// A copy of this step whose wear-event seeds are decorrelated by
+    /// `index` — one per aged entity (e.g. one per network layer), so
+    /// identically-shaped entities never wear in identical positions.
+    pub fn substream(&self, index: u64) -> AgingStep {
+        AgingStep {
+            base_seed: substream(self.base_seed, index),
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(wear: f64) -> AgingConfig {
+        AgingConfig::new(
+            Seconds(1.0),
+            RetentionDrift::new(Seconds(1e4)).expect("tau"),
+        )
+        .expect("config")
+        .with_wear_per_request(wear)
+        .expect("wear")
+        .with_seed(42)
+    }
+
+    #[test]
+    fn advance_accumulates_served_and_elapsed() {
+        let mut clock = AgingClock::new(config(0.0));
+        let step = clock.advance(100).expect("step");
+        assert_eq!(step.from_request(), 0);
+        assert_eq!(step.to_request(), 100);
+        assert_eq!(step.requests(), 100);
+        assert_eq!(step.elapsed(), Seconds(100.0));
+        assert_eq!(clock.served(), 100);
+        assert!(clock.advance(0).is_none());
+        assert_eq!(clock.served(), 100);
+    }
+
+    #[test]
+    fn wear_schedule_is_chunking_invariant() {
+        let mut whole = AgingClock::new(config(0.013));
+        let step = whole.advance(10_000).expect("step");
+        let all: Vec<u64> = step.wear_events().collect();
+
+        let mut chunked = AgingClock::new(config(0.013));
+        let mut events = Vec::new();
+        let mut seeds = Vec::new();
+        for chunk in [1u64, 7, 1000, 3, 8989] {
+            if let Some(s) = chunked.advance(chunk) {
+                for e in s.wear_events() {
+                    seeds.push(s.wear_event_seed(e));
+                    events.push(e);
+                }
+            }
+        }
+        assert_eq!(chunked.served(), 10_000);
+        assert_eq!(events, all, "event indices must not depend on chunking");
+        let whole_seeds: Vec<u64> = all.iter().map(|&e| step.wear_event_seed(e)).collect();
+        assert_eq!(
+            seeds, whole_seeds,
+            "event seeds must not depend on chunking"
+        );
+        assert_eq!(all.len(), 130, "0.013 events/req over 10k requests");
+    }
+
+    #[test]
+    fn event_seeds_are_decorrelated_and_deterministic() {
+        let mut clock = AgingClock::new(config(1.0));
+        let step = clock.advance(3).expect("step");
+        let s0 = step.wear_event_seed(0);
+        let s1 = step.wear_event_seed(1);
+        assert_ne!(s0, s1);
+        // Same config, fresh clock: identical schedule.
+        let mut again = AgingClock::new(config(1.0));
+        let step2 = again.advance(3).expect("step");
+        assert_eq!(step2.wear_event_seed(0), s0);
+        assert_eq!(step2.wear_event_seed(1), s1);
+        // Different seed: different schedule.
+        let mut other = AgingClock::new(config(1.0).with_seed(43));
+        let step3 = other.advance(3).expect("step");
+        assert_ne!(step3.wear_event_seed(0), s0);
+    }
+
+    #[test]
+    fn config_rejects_bad_parameters() {
+        let drift = RetentionDrift::new(Seconds(1.0)).expect("tau");
+        assert!(AgingConfig::new(Seconds(-1.0), drift).is_err());
+        assert!(AgingConfig::new(Seconds(f64::NAN), drift).is_err());
+        let ok = AgingConfig::new(Seconds(1.0), drift).expect("config");
+        assert!(ok.with_wear_per_request(-0.5).is_err());
+        assert!(ok.with_wear_per_request(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn zero_seconds_per_request_is_wear_only() {
+        let drift = RetentionDrift::new(Seconds(1.0)).expect("tau");
+        let cfg = AgingConfig::new(Seconds(0.0), drift)
+            .expect("config")
+            .with_wear_per_request(0.5)
+            .expect("wear");
+        let mut clock = AgingClock::new(cfg);
+        let step = clock.advance(10).expect("step");
+        assert_eq!(step.elapsed(), Seconds(0.0));
+        assert_eq!(step.wear_events().count(), 5);
+    }
+}

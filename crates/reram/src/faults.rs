@@ -359,10 +359,80 @@ impl RetentionDrift {
         Ok(())
     }
 
+    /// Relaxes every cell of `cells` for `elapsed` and immediately
+    /// re-pins every stuck cell of `faults` — the safe way to age an
+    /// array that carries a fault map.
+    ///
+    /// [`RetentionDrift::apply_to_cells`] alone lets stuck cells drift
+    /// off their pinned conductance, silently un-sticking them until the
+    /// caller remembers to re-apply the map. This combined path makes
+    /// the re-pin automatic and atomic from the caller's point of view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidFault`] if `elapsed` is invalid, or
+    /// [`ReramError::DimensionMismatch`] if `cells.len()` does not match
+    /// the fault map's dimensions.
+    pub fn age_and_reassert(
+        &self,
+        cells: &mut [ReramCell],
+        elapsed: Seconds,
+        faults: &FaultMap,
+    ) -> Result<(), ReramError> {
+        // Validate the shape before mutating anything, so a mismatched
+        // map cannot leave the array half-aged.
+        if cells.len() != faults.rows() * faults.cols() {
+            return Err(ReramError::DimensionMismatch {
+                expected: (faults.rows(), faults.cols()),
+                got: (cells.len() / faults.cols().max(1), faults.cols()),
+            });
+        }
+        self.apply_to_cells(cells, elapsed)?;
+        faults.pin_cells(cells)
+    }
+
+    /// The value-level twin of [`RetentionDrift::age_and_reassert`] for
+    /// layers that store bare conductances rather than [`ReramCell`]s
+    /// (tiled weight maps do): relaxes a row-major slice of conductance
+    /// values for `elapsed`, clamps to `window`, and re-pins every stuck
+    /// cell of `faults`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidFault`] if `elapsed` is invalid, or
+    /// [`ReramError::DimensionMismatch`] if `g.len()` does not match the
+    /// fault map's dimensions. On error the slice is untouched.
+    pub fn age_and_reassert_values(
+        &self,
+        g: &mut [f64],
+        window: ResistanceWindow,
+        elapsed: Seconds,
+        faults: &FaultMap,
+    ) -> Result<(), ReramError> {
+        if g.len() != faults.rows() * faults.cols() {
+            return Err(ReramError::DimensionMismatch {
+                expected: (faults.rows(), faults.cols()),
+                got: (g.len() / faults.cols().max(1), faults.cols()),
+            });
+        }
+        let factor = self.retention_factor(elapsed)?;
+        let g_min = window.g_min().0;
+        for v in g.iter_mut() {
+            *v = window.clamp(Siemens(g_min + (*v - g_min) * factor)).0;
+        }
+        for (r, c, fault) in faults.stuck_cells() {
+            if let Some(s) = fault.stuck_conductance(window) {
+                g[r * faults.cols() + c] = s.0;
+            }
+        }
+        Ok(())
+    }
+
     /// Relaxes every cell of a crossbar in place for `elapsed`.
     ///
-    /// Stuck cells drift too; re-apply the array's [`FaultMap`] afterwards
-    /// if stuck cells must stay pinned.
+    /// Stuck cells drift too; prefer [`RetentionDrift::age_and_reassert`]
+    /// when the array carries a [`FaultMap`], which re-pins stuck cells
+    /// automatically instead of relying on the caller to remember.
     ///
     /// # Errors
     ///
@@ -614,6 +684,94 @@ mod tests {
         let drift = RetentionDrift::new(Seconds(10.0)).unwrap();
         let g = window.conductance_for_fraction(0.7).unwrap();
         assert_eq!(drift.relaxed(g, window, Seconds(0.0)).unwrap(), g);
+    }
+
+    #[test]
+    fn age_and_reassert_keeps_stuck_cells_pinned() {
+        let window = ResistanceWindow::RECOMMENDED;
+        let drift = RetentionDrift::new(Seconds(10.0)).unwrap();
+        let mut map = FaultMap::healthy(2, 2);
+        map.set(0, 0, CellFault::StuckLrs);
+        map.set(1, 1, CellFault::StuckHrs);
+        let mut cells = vec![ReramCell::new(window); 4];
+        for cell in &mut cells {
+            cell.program_fraction(0.8).unwrap();
+        }
+        map.pin_cells(&mut cells).unwrap();
+        drift
+            .age_and_reassert(&mut cells, Seconds(30.0), &map)
+            .unwrap();
+        // Stuck cells stay exactly pinned despite three time constants
+        // of drift; healthy cells relax toward HRS.
+        assert_eq!(cells[0].conductance(), window.g_max());
+        assert_eq!(cells[3].conductance(), window.g_min());
+        let g0 = window.conductance_for_fraction(0.8).unwrap();
+        assert!(cells[1].conductance().0 < g0.0);
+        assert!(cells[2].conductance().0 < g0.0);
+        assert!(cells[1].conductance().0 > window.g_min().0);
+    }
+
+    #[test]
+    fn age_and_reassert_matches_manual_sequence() {
+        let window = ResistanceWindow::RECOMMENDED;
+        let drift = RetentionDrift::new(Seconds(5.0)).unwrap();
+        let map = FaultMap::clustered(4, 4, 0.2, 2, 11).unwrap();
+        let mut combined = vec![ReramCell::new(window); 16];
+        for (i, cell) in combined.iter_mut().enumerate() {
+            cell.program_fraction(i as f64 / 15.0).unwrap();
+        }
+        let mut manual = combined.clone();
+        drift
+            .age_and_reassert(&mut combined, Seconds(7.0), &map)
+            .unwrap();
+        drift.apply_to_cells(&mut manual, Seconds(7.0)).unwrap();
+        map.pin_cells(&mut manual).unwrap();
+        assert_eq!(combined, manual);
+    }
+
+    #[test]
+    fn age_and_reassert_values_matches_cell_variant() {
+        let window = ResistanceWindow::RECOMMENDED;
+        let drift = RetentionDrift::new(Seconds(3.0)).unwrap();
+        let map = FaultMap::clustered(4, 4, 0.25, 3, 5).unwrap();
+        let mut cells = vec![ReramCell::new(window); 16];
+        for (i, cell) in cells.iter_mut().enumerate() {
+            cell.program_fraction(i as f64 / 15.0).unwrap();
+        }
+        let mut values: Vec<f64> = cells.iter().map(|c| c.conductance().0).collect();
+        drift
+            .age_and_reassert(&mut cells, Seconds(4.0), &map)
+            .unwrap();
+        drift
+            .age_and_reassert_values(&mut values, window, Seconds(4.0), &map)
+            .unwrap();
+        for (cell, v) in cells.iter().zip(&values) {
+            assert_eq!(cell.conductance().0, *v);
+        }
+        // Shape mismatch leaves the slice untouched.
+        let mut short = vec![window.g_max().0; 3];
+        let before = short.clone();
+        assert!(drift
+            .age_and_reassert_values(&mut short, window, Seconds(1.0), &map)
+            .is_err());
+        assert_eq!(short, before);
+    }
+
+    #[test]
+    fn age_and_reassert_rejects_shape_mismatch_without_aging() {
+        let window = ResistanceWindow::RECOMMENDED;
+        let drift = RetentionDrift::new(Seconds(5.0)).unwrap();
+        let map = FaultMap::healthy(2, 2);
+        let mut cells = vec![ReramCell::new(window); 3];
+        for cell in &mut cells {
+            cell.program_fraction(0.9).unwrap();
+        }
+        let before = cells.clone();
+        assert!(matches!(
+            drift.age_and_reassert(&mut cells, Seconds(1.0), &map),
+            Err(ReramError::DimensionMismatch { .. })
+        ));
+        assert_eq!(cells, before, "failed call must not half-age the array");
     }
 
     #[test]

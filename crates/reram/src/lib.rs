@@ -12,6 +12,9 @@
 //! * [`faults`] — persistent hard faults: seeded spatially-clustered
 //!   stuck-at maps, retention drift toward HRS, and per-cell endurance
 //!   wear-out, for fault-injection and repair studies;
+//! * [`aging`] — a wall-clock-free [`AgingClock`] stepped by
+//!   served-request count, converting live traffic into deterministic
+//!   retention drift and endurance wear schedules;
 //! * [`crossbar`] — an M×N 1T1R array with access-transistor series
 //!   resistance, programming, and column conductance queries;
 //! * [`mapping`] — weight-matrix → conductance mapping (linear and
@@ -38,6 +41,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![warn(missing_docs)]
 
+pub mod aging;
 pub mod crossbar;
 pub mod device;
 pub mod error;
@@ -47,6 +51,7 @@ pub mod program;
 pub mod quantize;
 pub mod variation;
 
+pub use aging::{AgingClock, AgingConfig, AgingStep};
 pub use crossbar::Crossbar;
 pub use device::{ReramCell, ResistanceWindow};
 pub use error::ReramError;

@@ -56,12 +56,25 @@ pub struct NetworkExecutor {
 impl NetworkExecutor {
     /// Wraps a compiled network.
     pub fn new(hw: HardwareNetwork) -> NetworkExecutor {
-        NetworkExecutor { hw: Arc::new(hw) }
+        NetworkExecutor::new_shared(Arc::new(hw))
+    }
+
+    /// Wraps an already-shared compiled network — the constructor to use
+    /// when something else (a background [`resipe::scrub::Scrubber`], an
+    /// aging driver) holds the same network and mutates its published
+    /// epoch while this executor serves it.
+    pub fn new_shared(hw: Arc<HardwareNetwork>) -> NetworkExecutor {
+        NetworkExecutor { hw }
     }
 
     /// The served network.
     pub fn network(&self) -> &HardwareNetwork {
         &self.hw
+    }
+
+    /// A cloneable handle to the served network.
+    pub fn network_arc(&self) -> Arc<HardwareNetwork> {
+        Arc::clone(&self.hw)
     }
 }
 

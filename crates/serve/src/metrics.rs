@@ -173,6 +173,15 @@ pub struct ServerStats {
     pub batched_samples: u64,
     /// Largest single coalesced batch, in samples.
     pub largest_batch: u64,
+    /// Background scrub passes completed (0 when scrubbing is off).
+    pub scrub_passes: u64,
+    /// Tiles BIST-checked by the background scrubber, lifetime.
+    pub scrub_tiles: u64,
+    /// Tile repairs triggered by the background scrubber, lifetime.
+    pub scrub_repairs: u64,
+    /// Epoch swaps on the served network (scrub repairs + aging
+    /// publishes), lifetime.
+    pub plan_swaps: u64,
     /// Request-latency percentiles (admission → response enqueued).
     pub latency: LatencySnapshot,
     /// The engine's [`resipe::telemetry::TelemetrySnapshot`] in its
@@ -194,7 +203,7 @@ impl ServerStats {
 
     /// Serializes the snapshot for the wire.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(18 * 8 + self.telemetry_json.len());
+        let mut buf = Vec::with_capacity(22 * 8 + self.telemetry_json.len());
         for v in [
             self.queue_depth,
             self.queue_capacity,
@@ -209,6 +218,10 @@ impl ServerStats {
             self.batches,
             self.batched_samples,
             self.largest_batch,
+            self.scrub_passes,
+            self.scrub_tiles,
+            self.scrub_repairs,
+            self.plan_swaps,
             self.latency.count,
             self.latency.p50_nanos,
             self.latency.p95_nanos,
@@ -244,6 +257,10 @@ impl ServerStats {
             batches: next()?,
             batched_samples: next()?,
             largest_batch: next()?,
+            scrub_passes: next()?,
+            scrub_tiles: next()?,
+            scrub_repairs: next()?,
+            plan_swaps: next()?,
             latency: LatencySnapshot::default(),
             telemetry_json: String::new(),
         };
@@ -276,6 +293,8 @@ impl ServerStats {
              \"completed\": {}, \"rejected_busy\": {}, \"expired\": {}, \
              \"bad_requests\": {}, \"shutdown_rejects\": {}, \"engine_errors\": {}, \
              \"batches\": {}, \"batched_samples\": {}, \"largest_batch\": {}, \
+             \"scrub_passes\": {}, \"scrub_tiles\": {}, \"scrub_repairs\": {}, \
+             \"plan_swaps\": {}, \
              \"latency\": {{\"count\": {}, \"p50_nanos\": {}, \"p95_nanos\": {}, \
              \"p99_nanos\": {}, \"max_nanos\": {}}}, \"telemetry\": {}}}",
             self.queue_depth,
@@ -291,6 +310,10 @@ impl ServerStats {
             self.batches,
             self.batched_samples,
             self.largest_batch,
+            self.scrub_passes,
+            self.scrub_tiles,
+            self.scrub_repairs,
+            self.plan_swaps,
             l.count,
             l.p50_nanos,
             l.p95_nanos,
@@ -355,6 +378,10 @@ mod tests {
             batches: 12,
             batched_samples: 90,
             largest_batch: 16,
+            scrub_passes: 4,
+            scrub_tiles: 50,
+            scrub_repairs: 3,
+            plan_swaps: 5,
             latency: LatencySnapshot {
                 count: 90,
                 p50_nanos: 1_000,
@@ -390,6 +417,10 @@ mod tests {
             "\"expired\"",
             "\"batches\"",
             "\"largest_batch\"",
+            "\"scrub_passes\"",
+            "\"scrub_tiles\"",
+            "\"scrub_repairs\"",
+            "\"plan_swaps\"",
             "\"p50_nanos\"",
             "\"p99_nanos\"",
             "\"telemetry\"",

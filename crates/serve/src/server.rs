@@ -31,6 +31,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use resipe::inference::HardwareNetwork;
+use resipe::scrub::{ScrubConfig, ScrubCounters, Scrubber};
 use resipe::telemetry::Telemetry;
 
 use crate::batcher::{
@@ -56,6 +57,13 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Batch worker threads draining the queue.
     pub workers: usize,
+    /// When set, [`Server::spawn`] attaches a background [`Scrubber`]
+    /// with this configuration to the served network: tiles are
+    /// BIST-walked between batches, regressions repaired off the hot
+    /// path, and the repaired state hot-swapped without dropping a
+    /// single request. Ignored by [`Server::spawn_with_executor`]
+    /// (mock executors have no crossbars to scrub).
+    pub scrub: Option<ScrubConfig>,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +73,7 @@ impl Default for ServerConfig {
             max_wait: Duration::from_micros(300),
             queue_capacity: 256,
             workers: 1,
+            scrub: None,
         }
     }
 }
@@ -94,6 +103,12 @@ impl ServerConfig {
         self
     }
 
+    /// Attaches a background scrubber to the served network.
+    pub fn with_scrub(mut self, scrub: ScrubConfig) -> ServerConfig {
+        self.scrub = Some(scrub);
+        self
+    }
+
     fn validate(&self) -> Result<(), ServeError> {
         if self.max_batch == 0 {
             return Err(ServeError::BadRequest("max_batch must be nonzero".into()));
@@ -119,6 +134,11 @@ struct Shared {
     shutting_down: AtomicBool,
     telemetry: Telemetry,
     sample_shape: Vec<usize>,
+    /// The served network, when serving real hardware (None under a
+    /// mock executor). Lets `stats()` report the epoch swap count.
+    network: Option<Arc<HardwareNetwork>>,
+    /// Counters of the attached scrubber, if any.
+    scrub_counters: Option<Arc<ScrubCounters>>,
     /// Live connection streams, for unblocking readers at shutdown.
     conns: Mutex<Vec<TcpStream>>,
     /// Joinable connection reader/writer threads.
@@ -127,6 +147,11 @@ struct Shared {
 
 impl Shared {
     fn stats(&self) -> ServerStats {
+        let scrub = self
+            .scrub_counters
+            .as_deref()
+            .map(ScrubCounters::snapshot)
+            .unwrap_or_default();
         ServerStats {
             accepted: ServerCounters::get(&self.counters.accepted),
             completed: ServerCounters::get(&self.counters.completed),
@@ -138,6 +163,10 @@ impl Shared {
             batches: ServerCounters::get(&self.counters.batches),
             batched_samples: ServerCounters::get(&self.counters.batched_samples),
             largest_batch: ServerCounters::get(&self.counters.largest_batch),
+            scrub_passes: scrub.passes,
+            scrub_tiles: scrub.tiles_scrubbed,
+            scrub_repairs: scrub.repairs,
+            plan_swaps: self.network.as_ref().map_or(0, |hw| hw.plan_swaps()),
             queue_depth: self.queue.len() as u64,
             queue_capacity: self.queue.capacity() as u64,
             in_flight: self.in_flight.load(Ordering::Relaxed),
@@ -153,6 +182,7 @@ pub struct Server {
     local_addr: SocketAddr,
     listener_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
+    scrubber: Option<Scrubber>,
 }
 
 impl Server {
@@ -173,12 +203,19 @@ impl Server {
         config: ServerConfig,
     ) -> Result<Server, ServeError> {
         let telemetry = hw.telemetry().clone();
-        Server::spawn_with_executor(
-            Arc::new(NetworkExecutor::new(hw)),
+        let hw = Arc::new(hw);
+        let scrubber = match config.scrub {
+            Some(scrub_config) => Some(Scrubber::new(Arc::clone(&hw), scrub_config)?),
+            None => None,
+        };
+        Server::spawn_inner(
+            Arc::new(NetworkExecutor::new_shared(Arc::clone(&hw))),
             telemetry,
             sample_shape,
             addr,
             config,
+            Some(hw),
+            scrubber,
         )
     }
 
@@ -194,6 +231,18 @@ impl Server {
         sample_shape: &[usize],
         addr: A,
         config: ServerConfig,
+    ) -> Result<Server, ServeError> {
+        Server::spawn_inner(executor, telemetry, sample_shape, addr, config, None, None)
+    }
+
+    fn spawn_inner<A: ToSocketAddrs>(
+        executor: Arc<dyn BatchExecutor>,
+        telemetry: Telemetry,
+        sample_shape: &[usize],
+        addr: A,
+        config: ServerConfig,
+        network: Option<Arc<HardwareNetwork>>,
+        scrubber: Option<Scrubber>,
     ) -> Result<Server, ServeError> {
         config.validate()?;
         if sample_shape.is_empty() || sample_shape.contains(&0) {
@@ -211,9 +260,14 @@ impl Server {
             shutting_down: AtomicBool::new(false),
             telemetry,
             sample_shape: sample_shape.to_vec(),
+            network,
+            scrub_counters: scrubber.as_ref().map(Scrubber::counters),
             conns: Mutex::new(Vec::new()),
             conn_handles: Mutex::new(Vec::new()),
         });
+        if let Some(scrubber) = &scrubber {
+            scrubber.start();
+        }
 
         let mut worker_handles = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
@@ -246,12 +300,28 @@ impl Server {
             local_addr,
             listener_handle: Some(listener_handle),
             worker_handles,
+            scrubber,
         })
     }
 
     /// The bound address (useful after binding port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The served [`HardwareNetwork`], when this server was spawned over
+    /// real hardware ([`Server::spawn`]); `None` under a mock executor.
+    ///
+    /// The handle is live: aging it ([`HardwareNetwork::age`]) while the
+    /// server runs models in-field degradation of the served part, which
+    /// an attached scrubber then detects and hot-repairs.
+    pub fn network(&self) -> Option<&Arc<HardwareNetwork>> {
+        self.shared.network.as_ref()
+    }
+
+    /// The attached background scrubber, if the config requested one.
+    pub fn scrubber(&self) -> Option<&Scrubber> {
+        self.scrubber.as_ref()
     }
 
     /// A point-in-time snapshot of the server's counters, queue state,
@@ -277,6 +347,12 @@ impl Server {
         self.shared.queue.close();
         for h in self.worker_handles.drain(..) {
             let _ = h.join();
+        }
+        // The scrubber keeps running through the drain above (a repair
+        // landing mid-drain is still served atomically); stop it only
+        // once every admitted request has been answered.
+        if let Some(scrubber) = &self.scrubber {
+            scrubber.stop();
         }
         // Unblock connection readers; writers exit once the last reply
         // (sent by the drained workers above) has been flushed.

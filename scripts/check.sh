@@ -55,8 +55,8 @@ serve_out="$(mktemp)"
 cargo run --release -q -p resipe-bench --bin serve_bench -- --smoke --out "$serve_out" >/dev/null
 for key in model clients requests_per_client total_requests max_batch max_wait_us \
     bit_identical lossless sequential batched requests_per_sec mean_batch \
-    largest_batch speedup latency p50_nanos p99_nanos server accepted completed \
-    rejected_busy expired; do
+    largest_batch speedup hot_repair latency p50_nanos p99_nanos server accepted \
+    completed rejected_busy expired scrub_passes scrub_repairs plan_swaps; do
     if ! grep -q "\"$key\"" "$serve_out"; then
         echo "check: BENCH_serve.json schema drift — missing key \"$key\"" >&2
         rm -f "$serve_out"
@@ -74,6 +74,29 @@ if ! grep -q '"lossless": true' "$serve_out"; then
     exit 1
 fi
 rm -f "$serve_out"
+
+echo "==> scrub_sweep --smoke (resilience gate + schema check)"
+scrub_out="$(mktemp)"
+cargo run --release -q -p resipe-bench --bin scrub_sweep -- --smoke --out "$scrub_out" >/dev/null
+for key in model fresh_accuracy checkpoints requests_per_checkpoint \
+    seconds_per_request drift_tau_s scrub_off scrub_on served_requests accuracy \
+    degraded_monotone final_gap recovered scrub_repairs_curve availability \
+    total_requests accepted completed rejected_busy expired shutdown_rejects \
+    engine_errors scrub_passes scrub_tiles scrub_repairs plan_swaps lossless; do
+    if ! grep -q "\"$key\"" "$scrub_out"; then
+        echo "check: BENCH_scrub.json schema drift — missing key \"$key\"" >&2
+        rm -f "$scrub_out"
+        exit 1
+    fi
+done
+for gate in '"degraded_monotone": true' '"recovered": true' '"lossless": true'; do
+    if ! grep -q "$gate" "$scrub_out"; then
+        echo "check: scrub_sweep resilience gate failed ($gate)" >&2
+        rm -f "$scrub_out"
+        exit 1
+    fi
+done
+rm -f "$scrub_out"
 
 if [[ "$perf_smoke" -eq 1 ]]; then
     echo "==> throughput --smoke --gate (perf gate)"
