@@ -39,12 +39,14 @@
 //! core; on multicore hosts [`crate::inference::HardwareNetwork::forward_batch`]
 //! additionally fans samples out across the rayon pool.
 
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use resipe_analog::units::Seconds;
 
 use crate::engine::ResipeEngine;
 use crate::error::ResipeError;
+use crate::kernel::{Backend, FIXED_LEVELS, VECTOR_LANES};
 use crate::mapping::{MappedWeights, SpikeEncoding, Tile};
 use crate::telemetry::{LayerProbe, SampleStats};
 
@@ -79,6 +81,24 @@ struct TilePlan {
     /// Hoisted decode of `V_out = +0.0` per logical column.
     d0_plus: Vec<f64>,
     d0_minus: Vec<f64>,
+}
+
+/// Pre-quantized integer mirror of one [`TilePlan`] for the
+/// [`Backend::FixedI32`] kernel: conductances rounded to `i32` codes of
+/// `g_lsb` siemens each, built lazily once per plan and shared by every
+/// fixed-point block afterwards.
+#[derive(Debug, Clone)]
+struct FixedTile {
+    /// Column-major conductance codes `round(g / g_lsb)`.
+    q_plus: Vec<i32>,
+    q_minus: Vec<i32>,
+    /// Conductance quantization step: `max(g) / 2^FIXED_QBITS` over both
+    /// arrays of this tile (floored at `f64::MIN_POSITIVE` so an
+    /// all-zero tile stays well-defined).
+    g_lsb: f64,
+    /// Dequantization factor `v_lsb * g_lsb` applied to the integer dot
+    /// product.
+    w_scale: f64,
 }
 
 impl TilePlan {
@@ -173,8 +193,13 @@ pub struct BatchScratch {
     /// `nz_idx[nz_bounds[b]..nz_bounds[b + 1]]`.
     nz_bounds: Vec<usize>,
     /// Staged `(V_out⁺, V_out⁻)` per (column, sample) of the probed
-    /// block path, indexed `j * samples + b`.
+    /// block path and of the non-scalar kernel backends, indexed
+    /// `j * samples + b`.
     v_cols_block: Vec<(f64, f64)>,
+    /// Quantized held-voltage codes of the current tile block (stride
+    /// `tile.rows` per sample), filled by the [`Backend::FixedI32`]
+    /// prepare stage.
+    q_in_block: Vec<i32>,
     /// Normalized-activation staging for a block of samples — borrowed
     /// by `HardwareNetwork` between kernel invocations so the per-block
     /// input copy reuses one allocation.
@@ -208,6 +233,13 @@ pub struct BatchPlan {
     /// tiles (both differential arrays) — the traffic one block of the
     /// blocked kernel streams, versus once per *sample* unblocked.
     tile_stream_bytes: u64,
+    /// Held-voltage quantization step `V_s / 2^FIXED_QBITS` of the
+    /// fixed-point backend.
+    v_lsb: f64,
+    /// Lazily built integer tile mirrors for [`Backend::FixedI32`] —
+    /// a pure function of the plan, so sharing the cache across threads
+    /// and backends is race-free.
+    fixed: OnceLock<Vec<FixedTile>>,
 }
 
 impl BatchPlan {
@@ -243,6 +275,8 @@ impl BatchPlan {
             scale: mapped.weight_scale() / (v_ref * mapped.delta_g_eff().0),
             max_tile_rows: mapped.tiles().iter().map(Tile::rows).max().unwrap_or(0),
             tile_stream_bytes: 0,
+            v_lsb: vs / FIXED_LEVELS,
+            fixed: OnceLock::new(),
             tiles,
         };
         plan.tile_stream_bytes = plan
@@ -772,8 +806,391 @@ impl BatchPlan {
         }
         stats.s2_decode_nanos += t_scale.elapsed().as_nanos() as u64;
         probe.record_block(stats, samples as u64);
-        probe.record_kernel(samples as u64, self.tile_stream_bytes);
+        probe.record_kernel(samples as u64, self.tile_stream_bytes, Backend::Scalar);
         Ok(())
+    }
+
+    /// [`BatchPlan::forward_one`] executed by the selected
+    /// [`Backend`]. [`Backend::Scalar`] *is* `forward_one`;
+    /// [`Backend::VectorF32`] returns the same bits through the lane
+    /// kernel; [`Backend::FixedI32`] stays within
+    /// [`BatchPlan::backend_error_bound`] of the reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::DimensionMismatch`] unless
+    /// `activations.len() == rows`.
+    pub fn forward_one_with(
+        &self,
+        backend: Backend,
+        activations: &[f64],
+        scratch: &mut BatchScratch,
+    ) -> Result<Vec<f64>, ResipeError> {
+        if backend == Backend::Scalar {
+            return self.forward_one(activations, scratch);
+        }
+        let mut out = vec![0.0f64; self.cols];
+        self.forward_block_with(backend, activations, 1, &mut out, scratch)?;
+        Ok(out)
+    }
+
+    /// [`BatchPlan::forward_block`] executed by the selected
+    /// [`Backend`]. The scalar arm delegates to the untouched reference
+    /// kernel; the other backends run the shared
+    /// encode → prepare → stage → decode pipeline with their own
+    /// computation stage (see [`crate::kernel`] for the per-backend
+    /// equivalence guarantees).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::DimensionMismatch`] unless
+    /// `activations.len() == samples * rows` and
+    /// `out.len() == samples * cols`.
+    pub fn forward_block_with(
+        &self,
+        backend: Backend,
+        activations: &[f64],
+        samples: usize,
+        out: &mut [f64],
+        scratch: &mut BatchScratch,
+    ) -> Result<(), ResipeError> {
+        if backend == Backend::Scalar {
+            return self.forward_block(activations, samples, out, scratch);
+        }
+        self.run_block_kernel(backend, activations, samples, out, scratch, None)
+    }
+
+    /// [`BatchPlan::forward_block_probed`] executed by the selected
+    /// [`Backend`]: the probed counterpart of
+    /// [`BatchPlan::forward_block_with`]. The probe's kernel counters
+    /// record the block against the backend that ran it (per-backend
+    /// block counters, backend-specific streamed bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResipeError::DimensionMismatch`] unless
+    /// `activations.len() == samples * rows` and
+    /// `out.len() == samples * cols`.
+    pub fn forward_block_probed_with(
+        &self,
+        backend: Backend,
+        activations: &[f64],
+        samples: usize,
+        out: &mut [f64],
+        scratch: &mut BatchScratch,
+        probe: Option<&LayerProbe>,
+    ) -> Result<(), ResipeError> {
+        if backend == Backend::Scalar {
+            return self.forward_block_probed(activations, samples, out, scratch, probe);
+        }
+        self.run_block_kernel(backend, activations, samples, out, scratch, probe)
+    }
+
+    /// The generic staged block pipeline behind the non-scalar
+    /// backends: shared S1 block encode, backend prepare + compute
+    /// stages filling the `(V_out⁺, V_out⁻)` staging buffer, then the
+    /// shared decode pass. Always decoding (no `d0` fast path) returns
+    /// the same bits as the fused scalar kernel — the zero-voltage fast
+    /// path reuses a value hoisted from this same pure function — which
+    /// is what lets one decode pass serve every backend.
+    fn run_block_kernel(
+        &self,
+        backend: Backend,
+        activations: &[f64],
+        samples: usize,
+        out: &mut [f64],
+        scratch: &mut BatchScratch,
+        probe: Option<&LayerProbe>,
+    ) -> Result<(), ResipeError> {
+        if activations.len() != samples * self.rows {
+            return Err(ResipeError::DimensionMismatch {
+                expected: samples * self.rows,
+                got: activations.len(),
+            });
+        }
+        if out.len() != samples * self.cols {
+            return Err(ResipeError::DimensionMismatch {
+                expected: samples * self.cols,
+                got: out.len(),
+            });
+        }
+        let kernel = backend.kernel();
+        let mut stats = SampleStats {
+            mvms: (samples * 2 * self.tiles.len()) as u64,
+            ..SampleStats::default()
+        };
+        out.fill(0.0);
+        for ti in 0..self.tiles.len() {
+            let t0 = Instant::now();
+            stats.zero_activation_skips +=
+                self.encode_block(&self.tiles[ti], activations, samples, scratch);
+            kernel.prepare_tile_block(self, ti, samples, scratch);
+            let t1 = Instant::now();
+            scratch.v_cols_block.clear();
+            scratch
+                .v_cols_block
+                .resize(self.tiles[ti].cols * samples, (0.0, 0.0));
+            kernel.stage_tile_block(self, ti, samples, scratch);
+            let t2 = Instant::now();
+            let tile = &self.tiles[ti];
+            for j in 0..tile.cols {
+                for b in 0..samples {
+                    let (vp, vm) = scratch.v_cols_block[j * samples + b];
+                    let (d_plus, tr_p) =
+                        self.decode_column_traced(vp, tile.offset_plus[j], tile.k_plus[j]);
+                    let (d_minus, tr_m) =
+                        self.decode_column_traced(vm, tile.offset_minus[j], tile.k_minus[j]);
+                    if let Some(probe) = probe {
+                        for tr in [&tr_p, &tr_m] {
+                            probe.record_decode(tr.v_eff, tr.t_obs);
+                            stats.comparator_offset_rejects += u64::from(tr.offset_clamped);
+                            stats.saturated_decodes += u64::from(tr.saturated);
+                        }
+                    }
+                    out[b * self.cols + j] += d_plus - d_minus;
+                }
+            }
+            let t3 = Instant::now();
+            stats.s1_encode_nanos += (t1 - t0).as_nanos() as u64;
+            stats.crossbar_nanos += (t2 - t1).as_nanos() as u64;
+            stats.s2_decode_nanos += (t3 - t2).as_nanos() as u64;
+        }
+        let t_scale = Instant::now();
+        for y in out.iter_mut() {
+            *y *= self.scale;
+        }
+        stats.s2_decode_nanos += t_scale.elapsed().as_nanos() as u64;
+        if let Some(probe) = probe {
+            probe.record_block(stats, samples as u64);
+            probe.record_kernel(samples as u64, kernel.stream_bytes(self), backend);
+        }
+        Ok(())
+    }
+
+    /// The scalar computation stage in staged form: the sparse
+    /// non-zero-index walk of [`BatchPlan::forward_block`] writing the
+    /// sampled voltage pairs into the staging buffer instead of fusing
+    /// the decode.
+    pub(crate) fn stage_tile_block_scalar(
+        &self,
+        ti: usize,
+        samples: usize,
+        scratch: &mut BatchScratch,
+    ) {
+        let tile = &self.tiles[ti];
+        for j in 0..tile.cols {
+            let col = j * tile.rows..(j + 1) * tile.rows;
+            let gp = &tile.g_plus[col.clone()];
+            let gm = &tile.g_minus[col];
+            for b in 0..samples {
+                let v_in = &scratch.v_in_block[b * tile.rows..(b + 1) * tile.rows];
+                let nz = &scratch.nz_idx[scratch.nz_bounds[b]..scratch.nz_bounds[b + 1]];
+                let mut wp = 0.0f64;
+                let mut wm = 0.0f64;
+                for &p in nz {
+                    let v = v_in[p as usize];
+                    wp += v * gp[p as usize];
+                    wm += v * gm[p as usize];
+                }
+                scratch.v_cols_block[j * samples + b] = (
+                    Self::v_out(wp, tile.g_total_plus[j], tile.charge_plus[j]),
+                    Self::v_out(wm, tile.g_total_minus[j], tile.charge_minus[j]),
+                );
+            }
+        }
+    }
+
+    /// The [`Backend::VectorF32`] computation stage: [`VECTOR_LANES`]
+    /// samples advance per conductance load, each lane's accumulator
+    /// adding its products in the reference ascending row order, and the
+    /// dense rows replace the non-zero index walk (zero-voltage rows
+    /// contribute exact `±0.0` products, which cannot flip an
+    /// accumulator that is never `-0.0`). Bit-identical to
+    /// [`BatchPlan::stage_tile_block_scalar`] by construction.
+    pub(crate) fn stage_tile_block_vector(
+        &self,
+        ti: usize,
+        samples: usize,
+        scratch: &mut BatchScratch,
+    ) {
+        let tile = &self.tiles[ti];
+        let rows = tile.rows;
+        for j in 0..tile.cols {
+            let col = j * rows..(j + 1) * rows;
+            let gp = &tile.g_plus[col.clone()];
+            let gm = &tile.g_minus[col];
+            let (gtp, chp) = (tile.g_total_plus[j], tile.charge_plus[j]);
+            let (gtm, chm) = (tile.g_total_minus[j], tile.charge_minus[j]);
+            let mut b = 0usize;
+            while b + VECTOR_LANES <= samples {
+                let mut wp = [0.0f64; VECTOR_LANES];
+                let mut wm = [0.0f64; VECTOR_LANES];
+                let lanes: [&[f64]; VECTOR_LANES] = std::array::from_fn(|l| {
+                    &scratch.v_in_block[(b + l) * rows..(b + l + 1) * rows]
+                });
+                for (p, (&gpv, &gmv)) in gp.iter().zip(gm).enumerate() {
+                    for l in 0..VECTOR_LANES {
+                        let v = lanes[l][p];
+                        wp[l] += v * gpv;
+                        wm[l] += v * gmv;
+                    }
+                }
+                for l in 0..VECTOR_LANES {
+                    scratch.v_cols_block[j * samples + b + l] =
+                        (Self::v_out(wp[l], gtp, chp), Self::v_out(wm[l], gtm, chm));
+                }
+                b += VECTOR_LANES;
+            }
+            while b < samples {
+                let v_in = &scratch.v_in_block[b * rows..(b + 1) * rows];
+                let mut swp = 0.0f64;
+                let mut swm = 0.0f64;
+                for (p, (&gpv, &gmv)) in gp.iter().zip(gm).enumerate() {
+                    let v = v_in[p];
+                    swp += v * gpv;
+                    swm += v * gmv;
+                }
+                scratch.v_cols_block[j * samples + b] =
+                    (Self::v_out(swp, gtp, chp), Self::v_out(swm, gtm, chm));
+                b += 1;
+            }
+        }
+    }
+
+    /// The [`Backend::FixedI32`] prepare stage: rounds the block's held
+    /// wordline voltages to `i32` codes of `v_lsb` volts each. Codes
+    /// never exceed `2^FIXED_QBITS` because held voltages live in
+    /// `[0, V_s)`.
+    pub(crate) fn quantize_block_inputs(&self, scratch: &mut BatchScratch) {
+        scratch.q_in_block.clear();
+        for &v in &scratch.v_in_block {
+            scratch.q_in_block.push((v / self.v_lsb).round() as i32);
+        }
+    }
+
+    /// The [`Backend::FixedI32`] computation stage: an exact `i64` dot
+    /// product of the quantized voltage and conductance codes,
+    /// dequantized once per `(column, sample)` and fed through the same
+    /// analog charge division as the reference. Products are bounded by
+    /// `2^(2·FIXED_QBITS)`, so the accumulator cannot overflow below
+    /// `2^33` wordlines per tile.
+    pub(crate) fn stage_tile_block_fixed(
+        &self,
+        ti: usize,
+        samples: usize,
+        scratch: &mut BatchScratch,
+    ) {
+        let tile = &self.tiles[ti];
+        let ft = &self.fixed_tiles()[ti];
+        let rows = tile.rows;
+        for j in 0..tile.cols {
+            let col = j * rows..(j + 1) * rows;
+            let qp = &ft.q_plus[col.clone()];
+            let qm = &ft.q_minus[col];
+            for b in 0..samples {
+                let qv = &scratch.q_in_block[b * rows..(b + 1) * rows];
+                let mut ap = 0i64;
+                let mut am = 0i64;
+                for (p, (&qpv, &qmv)) in qp.iter().zip(qm).enumerate() {
+                    let v = i64::from(qv[p]);
+                    ap += v * i64::from(qpv);
+                    am += v * i64::from(qmv);
+                }
+                scratch.v_cols_block[j * samples + b] = (
+                    Self::v_out(
+                        ap as f64 * ft.w_scale,
+                        tile.g_total_plus[j],
+                        tile.charge_plus[j],
+                    ),
+                    Self::v_out(
+                        am as f64 * ft.w_scale,
+                        tile.g_total_minus[j],
+                        tile.charge_minus[j],
+                    ),
+                );
+            }
+        }
+    }
+
+    /// The lazily built integer tile mirrors of the fixed-point backend.
+    fn fixed_tiles(&self) -> &[FixedTile] {
+        self.fixed.get_or_init(|| {
+            self.tiles
+                .iter()
+                .map(|t| {
+                    let g_max = t
+                        .g_plus
+                        .iter()
+                        .chain(&t.g_minus)
+                        .fold(f64::MIN_POSITIVE, |m, &g| m.max(g));
+                    let g_lsb = g_max / FIXED_LEVELS;
+                    let quantize =
+                        |gs: &[f64]| gs.iter().map(|&g| (g / g_lsb).round() as i32).collect();
+                    FixedTile {
+                        q_plus: quantize(&t.g_plus),
+                        q_minus: quantize(&t.g_minus),
+                        g_lsb,
+                        w_scale: self.v_lsb * g_lsb,
+                    }
+                })
+                .collect()
+        })
+    }
+
+    /// Worst-case absolute deviation of the selected backend from the
+    /// scalar reference, per logical output column, on *any* valid
+    /// input. Exact backends return all-zero bounds; the documented
+    /// [`Backend::FixedI32`] bound is, per column `j` and differential
+    /// arm of each tile:
+    ///
+    /// * weighted-sum quantization
+    ///   `Δw ≤ ΣG_j · v_lsb/2 + rows · (V_s · g_lsb/2 + v_lsb·g_lsb/4)`
+    ///   (each held voltage is within `v_lsb/2` of its code, each
+    ///   conductance within `g_lsb/2`, voltages below `V_s`);
+    /// * through the charge division, `Δv_out = (Δw / ΣG_j) · charge_j`;
+    /// * through the decode — a monotone 1-Lipschitz map of the clamped
+    ///   comparator voltage, plus `V_s · q / τ_gd` when spike times are
+    ///   quantized to `q` (time rounding moves each decode by at most
+    ///   `q/2 · V_s/τ_gd`), plus a `10⁻¹² V_s` float-evaluation
+    ///   allowance — divided by the column constant `k_j`;
+    /// * summed over both arms and all tiles, scaled by the digital
+    ///   rescale, with a `1 + 10⁻⁹` safety factor for `f64` rounding in
+    ///   the comparison itself.
+    ///
+    /// The `backend_equivalence` proptests pin every fixed-point output
+    /// inside this bound across shapes, block sizes and the full
+    /// non-ideality chain.
+    pub fn backend_error_bound(&self, backend: Backend) -> Vec<f64> {
+        if backend.is_exact() {
+            return vec![0.0; self.cols];
+        }
+        let dv = self.v_lsb / 2.0;
+        let tq = self.time_quantum.map_or(0.0, |q| self.vs * q / self.tau);
+        let fixed = self.fixed_tiles();
+        let mut bound = vec![0.0f64; self.cols];
+        for (tile, ft) in self.tiles.iter().zip(fixed) {
+            let dg = ft.g_lsb / 2.0;
+            let per_row = self.vs * dg + dv * dg;
+            for (j, slot) in bound.iter_mut().enumerate().take(tile.cols) {
+                for (g_total, charge, k) in [
+                    (tile.g_total_plus[j], tile.charge_plus[j], tile.k_plus[j]),
+                    (tile.g_total_minus[j], tile.charge_minus[j], tile.k_minus[j]),
+                ] {
+                    if g_total == 0.0 {
+                        // Both backends sample exactly V_out = 0 here.
+                        continue;
+                    }
+                    let dw = g_total * dv + tile.rows as f64 * per_row;
+                    let dvout = dw / g_total * charge;
+                    *slot += (dvout + tq + 1e-12 * self.vs) / k;
+                }
+            }
+        }
+        let s = self.scale.abs() * (1.0 + 1e-9);
+        for b in &mut bound {
+            *b *= s;
+        }
+        bound
     }
 }
 
@@ -1014,5 +1431,166 @@ mod tests {
             plan.tile_stream_bytes()
         );
         assert!(plan.tile_stream_bytes() > 0);
+    }
+
+    /// A mapped layer carrying the full non-ideality chain, shared by
+    /// the backend tests below.
+    fn nonideal_mapped(rows: usize, cols: usize, quantized: bool) -> MappedWeights {
+        let mut rng = StdRng::seed_from_u64(41);
+        let weights: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let model = resipe_reram::VariationModel::device_to_device(0.12).unwrap();
+        let mapped = TileMapper::paper()
+            .with_spare_cols(2)
+            .map(&weights, rows, cols)
+            .unwrap()
+            .with_faults(0.02, 4, 31)
+            .unwrap()
+            .perturbed(&model, 9)
+            .with_comparator_offsets(0.01, 17);
+        if quantized {
+            mapped.with_time_quantization(Seconds(1e-9))
+        } else {
+            mapped
+        }
+    }
+
+    #[test]
+    fn vector_backend_is_bit_identical_across_blocks() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let mapped = nonideal_mapped(80, 6, true);
+        let e = engine();
+        for encoding in [SpikeEncoding::LinearTime, SpikeEncoding::PassThrough] {
+            let plan = BatchPlan::new(&e, &mapped, encoding);
+            let mut scratch = plan.scratch();
+            let n = 11usize;
+            let a: Vec<f64> = (0..n * 80)
+                .map(|_| {
+                    if rng.gen_range(0.0..1.0) < 0.4 {
+                        0.0
+                    } else {
+                        rng.gen_range(0.0..1.0)
+                    }
+                })
+                .collect();
+            let mut reference = Vec::with_capacity(n * 6);
+            for b in 0..n {
+                reference.extend(
+                    plan.forward_one(&a[b * 80..(b + 1) * 80], &mut scratch)
+                        .unwrap(),
+                );
+            }
+            // Blocks below, at, and above the lane width exercise both
+            // the unrolled lanes and the scalar remainder loop.
+            for block in [1usize, 3, 4, 5, 8, 11] {
+                let mut out = vec![f64::NAN; n * 6];
+                for start in (0..n).step_by(block) {
+                    let b = block.min(n - start);
+                    plan.forward_block_with(
+                        Backend::VectorF32,
+                        &a[start * 80..(start + b) * 80],
+                        b,
+                        &mut out[start * 6..(start + b) * 6],
+                        &mut scratch,
+                    )
+                    .unwrap();
+                }
+                exact_eq(&reference, &out);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_backend_stays_within_documented_bound() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let e = engine();
+        for quantized in [false, true] {
+            let mapped = nonideal_mapped(64, 5, quantized);
+            let plan = BatchPlan::new(&e, &mapped, SpikeEncoding::PassThrough);
+            let bound = plan.backend_error_bound(Backend::FixedI32);
+            assert!(bound.iter().all(|&b| b > 0.0 && b.is_finite()));
+            let mut scratch = plan.scratch();
+            for _ in 0..8 {
+                let a: Vec<f64> = (0..64).map(|_| rng.gen_range(0.0..1.0)).collect();
+                let exact = plan.forward_one(&a, &mut scratch).unwrap();
+                let fixed = plan
+                    .forward_one_with(Backend::FixedI32, &a, &mut scratch)
+                    .unwrap();
+                for (j, ((x, f), b)) in exact.iter().zip(&fixed).zip(&bound).enumerate() {
+                    let dev = (x - f).abs();
+                    assert!(
+                        dev <= *b,
+                        "column {j}: |{x:e} - {f:e}| = {dev:e} exceeds bound {b:e} \
+                         (quantized: {quantized})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_backends_report_zero_bound() {
+        let mapped = nonideal_mapped(32, 3, false);
+        let e = engine();
+        let plan = BatchPlan::new(&e, &mapped, SpikeEncoding::LinearTime);
+        assert!(plan
+            .backend_error_bound(Backend::Scalar)
+            .iter()
+            .all(|&b| b == 0.0));
+        assert!(plan
+            .backend_error_bound(Backend::VectorF32)
+            .iter()
+            .all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn probed_backend_blocks_count_per_backend() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let weights: Vec<f64> = (0..48 * 4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mapped = TileMapper::paper().map(&weights, 48, 4).unwrap();
+        let e = engine();
+        let plan = BatchPlan::new(&e, &mapped, SpikeEncoding::PassThrough);
+        let telemetry = crate::telemetry::Telemetry::enabled();
+        let cfg = e.config();
+        let probe = telemetry
+            .layer_probe(0, cfg.slice().0, cfg.vs().0)
+            .expect("enabled probe");
+        let mut scratch = plan.scratch();
+        let n = 6usize;
+        let a: Vec<f64> = (0..n * 48).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let mut plain = vec![0.0; n * 4];
+        plan.forward_block_with(Backend::VectorF32, &a, n, &mut plain, &mut scratch)
+            .unwrap();
+        let mut probed = vec![0.0; n * 4];
+        plan.forward_block_probed_with(
+            Backend::VectorF32,
+            &a,
+            n,
+            &mut probed,
+            &mut scratch,
+            Some(&probe),
+        )
+        .unwrap();
+        exact_eq(&plain, &probed);
+        let mut fixed = vec![0.0; n * 4];
+        plan.forward_block_probed_with(
+            Backend::FixedI32,
+            &a,
+            n,
+            &mut fixed,
+            &mut scratch,
+            Some(&probe),
+        )
+        .unwrap();
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counters.kernel_blocks, 2);
+        assert_eq!(snap.counters.backend_vector_f32_blocks, 1);
+        assert_eq!(snap.counters.backend_fixed_i32_blocks, 1);
+        assert_eq!(snap.counters.backend_scalar_blocks, 0);
+        // The vector backend streams the f64 mirrors, the fixed backend
+        // its half-width i32 codes.
+        assert_eq!(
+            snap.counters.kernel_bytes_streamed,
+            plan.tile_stream_bytes() + plan.tile_stream_bytes() / 2
+        );
     }
 }

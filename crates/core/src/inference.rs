@@ -33,6 +33,7 @@ use crate::batch::{BatchPlan, BatchScratch};
 use crate::config::ResipeConfig;
 use crate::engine::ResipeEngine;
 use crate::error::ResipeError;
+use crate::kernel::Backend;
 use crate::mapping::{MappedWeights, SpikeEncoding, TileMapper};
 use crate::repair::{repair_layer_with, HealthReport, RepairPolicy};
 use crate::seeds;
@@ -500,6 +501,12 @@ pub struct RunOptions {
     /// Block size never changes output bits — only how samples are
     /// grouped per tile pass.
     pub block: Option<usize>,
+    /// Kernel backend executing the planned path's crossbar weighted
+    /// sums (default [`Backend::Scalar`]; see [`crate::kernel`] for the
+    /// per-backend exactness guarantees). Ignored by
+    /// [`ExecutionMode::PerSample`], which *is* the scalar reference by
+    /// definition.
+    pub backend: Backend,
 }
 
 impl RunOptions {
@@ -508,6 +515,7 @@ impl RunOptions {
         RunOptions {
             mode: ExecutionMode::Planned,
             block: None,
+            backend: Backend::Scalar,
         }
     }
 
@@ -516,6 +524,7 @@ impl RunOptions {
         RunOptions {
             mode: ExecutionMode::PerSample,
             block: None,
+            backend: Backend::Scalar,
         }
     }
 
@@ -528,6 +537,12 @@ impl RunOptions {
     /// Pins the planned path's sample-block size (clamped to ≥ 1).
     pub fn with_block_size(mut self, block: usize) -> RunOptions {
         self.block = Some(block.max(1));
+        self
+    }
+
+    /// Selects the kernel backend of the planned path.
+    pub fn with_backend(mut self, backend: Backend) -> RunOptions {
+        self.backend = backend;
         self
     }
 }
@@ -1056,7 +1071,8 @@ impl HardwareNetwork {
                             );
                         }
                         let mut ys = vec![0.0f64; b * cols];
-                        let r = plan.forward_block_probed(
+                        let r = plan.forward_block_probed_with(
+                            options.backend,
                             &a_block,
                             b,
                             &mut ys,
@@ -1132,7 +1148,8 @@ impl HardwareNetwork {
                                     (cols.get(&[r, pix]) as f64 / input_scale).clamp(0.0, 1.0)
                                 }));
                             }
-                            if let Err(e) = plan.forward_block_probed(
+                            if let Err(e) = plan.forward_block_probed_with(
+                                options.backend,
                                 &a_block,
                                 bl,
                                 &mut pix_out[start * n_cols..(start + bl) * n_cols],

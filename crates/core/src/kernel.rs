@@ -1,0 +1,375 @@
+//! Pluggable MVM kernel backends for the batched execution engine.
+//!
+//! A *kernel backend* is the strategy that turns one tile's held
+//! wordline voltages into the per-column sampled bitline voltages
+//! `(V_out⁺, V_out⁻)` inside [`BatchPlan`]'s blocked forward pass.
+//! Everything around that seam — the S1 encode, the charge division
+//! `V_eq (1 − e^(−Δt ΣG / C_cog))`, the S2 comparator decode, telemetry
+//! staging — is shared by every backend, so a backend swaps only the
+//! weighted-sum arithmetic of the computation stage.
+//!
+//! Three backends ship (see `DESIGN.md` § "Kernel backends" for the full
+//! written contract, including what a fourth backend must uphold):
+//!
+//! * [`Backend::Scalar`] — the bit-exact reference: the sparse
+//!   column-major walk of [`BatchPlan::forward_block`], identical to the
+//!   per-sample [`MappedWeights::forward`](crate::mapping::MappedWeights::forward)
+//!   sequence.
+//! * [`Backend::VectorF32`] — an explicitly unrolled lane kernel with a
+//!   **fixed reduction order**: lanes map to the *sample* dimension
+//!   (never the row-reduction dimension), each lane keeps the reference
+//!   row-sequential accumulation, and zero-voltage rows are included as
+//!   exact `+0.0` products instead of being index-skipped. Both choices
+//!   are provably bit-preserving, so this backend is **bit-identical**
+//!   to [`Backend::Scalar`] — the property that keeps the repo-wide
+//!   blocked ≡ per-sample equivalence proptests meaningful under
+//!   vectorization. (The `F32` suffix names the float-vector half of the
+//!   float/fixed pair; the arithmetic stays `f64`, because lane-mapping
+//!   the reduction dimension or narrowing the accumulator would both
+//!   forfeit bit-exactness — the contract a vector backend must keep.)
+//! * [`Backend::FixedI32`] — an integer kernel on pre-quantized inputs:
+//!   held voltages and conductances are rounded to `i32` codes
+//!   (`2^15` levels each) and the weighted sum runs as an exact `i64`
+//!   dot product — a more honest model of the paper's time-domain ADC,
+//!   where spike times are counted in discrete pulse quanta rather than
+//!   measured as real numbers. This backend is **bounded-error**, not
+//!   bit-exact: [`BatchPlan::backend_error_bound`] computes the
+//!   documented worst-case per-column deviation from the scalar
+//!   reference, and the `backend_equivalence` proptests pin every output
+//!   inside it.
+//!
+//! Backends are selected per run via
+//! [`RunOptions::with_backend`](crate::inference::RunOptions::with_backend)
+//! and threaded through the serve path
+//! ([`ServerConfig::with_backend`](../../resipe_serve/struct.ServerConfig.html)
+//! where the `resipe-serve` crate is in use); the chosen backend is
+//! surfaced in telemetry (per-backend block counters) and in the serving
+//! `STATS` snapshot.
+//!
+//! # Determinism
+//!
+//! Every backend is a pure function of `(plan, activations)` — no
+//! randomness, no host-dependent tiling, no data-dependent reassociation
+//! — so a given backend produces the same bits on every machine, for
+//! every block size, on every run. Block size only changes how many
+//! samples share one pass over the tile data, never the per-sample
+//! operation sequence.
+
+use crate::batch::{BatchPlan, BatchScratch};
+
+/// Quantization depth of the fixed-point backend: held voltages and
+/// conductances are each rounded to `2^FIXED_QBITS` levels across their
+/// physical range (`[0, V_s]` and `[0, g_max]` respectively).
+///
+/// 15 bits keeps every `i64` accumulator product within `2^30` (so even
+/// pathological tile heights cannot overflow) while holding the
+/// per-column error bound far below the circuit non-idealities the
+/// engine already models.
+pub const FIXED_QBITS: u32 = 15;
+
+/// Number of quantization levels (`2^FIXED_QBITS`) of the fixed-point
+/// backend.
+pub const FIXED_LEVELS: f64 = (1u32 << FIXED_QBITS) as f64;
+
+/// Lane width of the [`Backend::VectorF32`] kernel: how many *samples*
+/// one unrolled inner loop advances per conductance load. Lanes map to
+/// the sample dimension only, so the width is a pure throughput knob —
+/// it can never change output bits.
+pub const VECTOR_LANES: usize = 4;
+
+mod sealed {
+    /// Seals [`super::KernelBackend`]: backends stage into crate-private
+    /// scratch buffers, so the trait is implementable only inside this
+    /// crate. `DESIGN.md` § "Kernel backends" documents what a new
+    /// in-crate backend must uphold.
+    pub trait Sealed {}
+    impl Sealed for super::ScalarKernel {}
+    impl Sealed for super::VectorF32Kernel {}
+    impl Sealed for super::FixedI32Kernel {}
+}
+
+/// Selects which [`KernelBackend`] executes the crossbar weighted sums.
+///
+/// This is the value carried by
+/// [`RunOptions`](crate::inference::RunOptions): cheap to copy, hash and
+/// compare, with [`Backend::Scalar`] as the default everywhere. The
+/// implementation behind each variant is reached via
+/// [`Backend::kernel`].
+///
+/// ```
+/// use resipe::inference::RunOptions;
+/// use resipe::kernel::Backend;
+///
+/// let opts = RunOptions::planned().with_backend(Backend::VectorF32);
+/// assert_eq!(opts.backend.name(), "vector_f32");
+/// assert!(opts.backend.is_exact());
+/// assert_eq!(Backend::from_name("fixed_i32"), Some(Backend::FixedI32));
+/// assert_eq!(RunOptions::planned().backend, Backend::Scalar);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// The bit-exact scalar reference kernel (the default).
+    #[default]
+    Scalar,
+    /// The sample-lane vector kernel — bit-identical to `Scalar`.
+    VectorF32,
+    /// The fixed-point integer kernel — bounded-error
+    /// (see [`BatchPlan::backend_error_bound`]).
+    FixedI32,
+}
+
+impl Backend {
+    /// Every selectable backend, in sweep order.
+    pub fn all() -> [Backend; 3] {
+        [Backend::Scalar, Backend::VectorF32, Backend::FixedI32]
+    }
+
+    /// The backend's stable machine-readable name, as surfaced in
+    /// telemetry counters, `BENCH_throughput.json` rows and the serving
+    /// `STATS` snapshot.
+    pub fn name(self) -> &'static str {
+        self.kernel().name()
+    }
+
+    /// Parses a [`Backend::name`] back into a selector (`None` for
+    /// unknown names).
+    pub fn from_name(name: &str) -> Option<Backend> {
+        Backend::all().into_iter().find(|b| b.name() == name)
+    }
+
+    /// `true` when this backend is bit-identical to the scalar
+    /// reference (rather than bounded-error).
+    pub fn is_exact(self) -> bool {
+        self.kernel().is_exact()
+    }
+
+    /// The implementation behind this selector.
+    pub fn kernel(self) -> &'static dyn KernelBackend {
+        match self {
+            Backend::Scalar => &ScalarKernel,
+            Backend::VectorF32 => &VectorF32Kernel,
+            Backend::FixedI32 => &FixedI32Kernel,
+        }
+    }
+}
+
+/// The strategy interface one kernel backend implements.
+///
+/// The trait is sealed: backends read crate-private plan and scratch
+/// internals, so new implementations live in this crate (the written
+/// contract for adding one is in `DESIGN.md` § "Kernel backends").
+/// Callers select a backend with [`Backend`] and never invoke these
+/// methods directly — [`BatchPlan::forward_block_with`] drives them.
+///
+/// # Contract (summary)
+///
+/// * **Determinism** — output bits are a pure function of
+///   `(plan, activations)`; never of block size, host, thread count or
+///   iteration timing.
+/// * **Fixed reduction order** — each `(column, sample)` accumulation
+///   chain must use one documented, input-independent operation order.
+///   Exact backends must use the reference row-sequential order; a
+///   backend that reassociates must declare itself bounded-error and
+///   back a computable bound.
+/// * **Scratch/aliasing** — a backend may only write the staging
+///   buffers handed to it ([`BatchScratch`]); it must not retain
+///   pointers across calls or communicate between tiles except through
+///   its declared per-plan prepared state.
+/// * **Equivalence obligation** — exact backends are gated by
+///   bit-equality proptests against the scalar reference; bounded-error
+///   backends by proptests against their published bound.
+pub trait KernelBackend: sealed::Sealed + std::fmt::Debug + Send + Sync {
+    /// Stable machine-readable backend name (`snake_case`).
+    fn name(&self) -> &'static str;
+
+    /// `true` when bit-identical to [`Backend::Scalar`] by construction.
+    fn is_exact(&self) -> bool;
+
+    /// Conductance-state bytes this backend streams in one pass over
+    /// all of `plan`'s tiles — the per-block memory traffic reported to
+    /// the telemetry `kernel_bytes_streamed` counter. The fixed-point
+    /// backend streams `i32` codes, half the bytes of the `f64`
+    /// backends.
+    fn stream_bytes(&self, plan: &BatchPlan) -> u64;
+
+    /// Per-(tile, block) preparation after the shared S1 encode has
+    /// filled the scratch staging buffers (e.g. quantizing held
+    /// voltages). The default does nothing.
+    fn prepare_tile_block(
+        &self,
+        plan: &BatchPlan,
+        tile: usize,
+        samples: usize,
+        scratch: &mut BatchScratch,
+    ) {
+        let _ = (plan, tile, samples, scratch);
+    }
+
+    /// Computes the sampled `(V_out⁺, V_out⁻)` of every
+    /// `(column, sample)` pair of one tile into the scratch staging
+    /// buffer at index `column * samples + sample`. The caller has
+    /// already run the shared encode and sized the staging buffer; the
+    /// shared decode pass consumes it afterwards.
+    fn stage_tile_block(
+        &self,
+        plan: &BatchPlan,
+        tile: usize,
+        samples: usize,
+        scratch: &mut BatchScratch,
+    );
+}
+
+/// The bit-exact scalar reference kernel: a sparse (non-zero-indexed)
+/// column-major walk accumulating each column's weighted sum in row
+/// order — the exact floating-point sequence of
+/// [`MappedWeights::forward`](crate::mapping::MappedWeights::forward).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarKernel;
+
+impl KernelBackend for ScalarKernel {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn stream_bytes(&self, plan: &BatchPlan) -> u64 {
+        plan.tile_stream_bytes()
+    }
+
+    fn stage_tile_block(
+        &self,
+        plan: &BatchPlan,
+        tile: usize,
+        samples: usize,
+        scratch: &mut BatchScratch,
+    ) {
+        plan.stage_tile_block_scalar(tile, samples, scratch);
+    }
+}
+
+/// The sample-lane vector kernel: unrolls [`VECTOR_LANES`] samples per
+/// conductance load with a fixed, reference-order reduction per lane.
+///
+/// Bit-exactness argument (the two deltas versus the scalar walk):
+///
+/// 1. **Dense rows instead of the non-zero index list.** A skipped row
+///    holds exactly `+0.0` volts, its products are `±0.0`, and adding a
+///    signed zero to an accumulator that is never `-0.0` (it starts at
+///    `+0.0` and `+0.0 + ±0.0 == +0.0` in round-to-nearest) changes no
+///    bits.
+/// 2. **Lanes across samples.** Each `(column, sample)` chain is an
+///    independent accumulator; unrolling loads `g[p]` once for
+///    [`VECTOR_LANES`] samples but every chain still adds its products
+///    in ascending row order — no reassociation anywhere.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VectorF32Kernel;
+
+impl KernelBackend for VectorF32Kernel {
+    fn name(&self) -> &'static str {
+        "vector_f32"
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn stream_bytes(&self, plan: &BatchPlan) -> u64 {
+        plan.tile_stream_bytes()
+    }
+
+    fn stage_tile_block(
+        &self,
+        plan: &BatchPlan,
+        tile: usize,
+        samples: usize,
+        scratch: &mut BatchScratch,
+    ) {
+        plan.stage_tile_block_vector(tile, samples, scratch);
+    }
+}
+
+/// The fixed-point integer kernel: quantizes held voltages and
+/// conductances to `i32` codes ([`FIXED_QBITS`] bits each) and runs the
+/// weighted sum as an exact `i64` dot product, modelling the paper's
+/// time-domain ADC counting discrete pulse quanta.
+///
+/// The analog constants of the charge division (`ΣG`, the charge
+/// factor, the decode constants `k_j`) remain `f64` — they are circuit
+/// properties, not ADC arithmetic. The only deviation from the scalar
+/// reference is therefore the input quantization, which is what makes
+/// the worst-case bound of [`BatchPlan::backend_error_bound`] tight and
+/// computable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FixedI32Kernel;
+
+impl KernelBackend for FixedI32Kernel {
+    fn name(&self) -> &'static str {
+        "fixed_i32"
+    }
+
+    fn is_exact(&self) -> bool {
+        false
+    }
+
+    fn stream_bytes(&self, plan: &BatchPlan) -> u64 {
+        // i32 codes instead of f64 conductances: half the traffic.
+        plan.tile_stream_bytes() / 2
+    }
+
+    fn prepare_tile_block(
+        &self,
+        plan: &BatchPlan,
+        tile: usize,
+        samples: usize,
+        scratch: &mut BatchScratch,
+    ) {
+        let _ = (tile, samples);
+        plan.quantize_block_inputs(scratch);
+    }
+
+    fn stage_tile_block(
+        &self,
+        plan: &BatchPlan,
+        tile: usize,
+        samples: usize,
+        scratch: &mut BatchScratch,
+    ) {
+        plan.stage_tile_block_fixed(tile, samples, scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for b in Backend::all() {
+            assert_eq!(Backend::from_name(b.name()), Some(b));
+            assert_eq!(b.kernel().name(), b.name());
+        }
+        assert_eq!(Backend::from_name("gpu"), None);
+    }
+
+    #[test]
+    fn default_is_scalar() {
+        assert_eq!(Backend::default(), Backend::Scalar);
+        assert_eq!(Backend::default().name(), "scalar");
+    }
+
+    #[test]
+    fn exactness_flags() {
+        assert!(Backend::Scalar.is_exact());
+        assert!(Backend::VectorF32.is_exact());
+        assert!(!Backend::FixedI32.is_exact());
+    }
+
+    #[test]
+    fn stable_names() {
+        let names: Vec<&str> = Backend::all().iter().map(|b| b.name()).collect();
+        assert_eq!(names, ["scalar", "vector_f32", "fixed_i32"]);
+    }
+}

@@ -63,6 +63,7 @@ pub mod engine;
 pub mod error;
 pub mod gd;
 pub mod inference;
+pub mod kernel;
 pub mod mapping;
 pub mod parasitics;
 pub mod pipeline;

@@ -100,9 +100,15 @@ pub(crate) enum Counter {
     /// Wall-clock nanoseconds between a scrub pass detecting degradation
     /// and publishing the repaired epoch (time served degraded).
     DegradedServingNanos,
+    /// Kernel blocks executed by the scalar reference backend.
+    BackendScalarBlocks,
+    /// Kernel blocks executed by the sample-lane vector backend.
+    BackendVectorBlocks,
+    /// Kernel blocks executed by the fixed-point integer backend.
+    BackendFixedBlocks,
 }
 
-const COUNTER_COUNT: usize = 18;
+const COUNTER_COUNT: usize = 21;
 
 /// One span's running aggregate.
 #[derive(Debug, Default, Clone)]
@@ -281,6 +287,9 @@ impl Telemetry {
             scrub_repairs: c(Counter::ScrubRepairs),
             plan_swaps: c(Counter::PlanSwaps),
             degraded_serving_nanos: c(Counter::DegradedServingNanos),
+            backend_scalar_blocks: c(Counter::BackendScalarBlocks),
+            backend_vector_f32_blocks: c(Counter::BackendVectorBlocks),
+            backend_fixed_i32_blocks: c(Counter::BackendFixedBlocks),
         };
         let mut spans: Vec<SpanSnapshot> = sink
             .spans
@@ -454,12 +463,19 @@ impl LayerProbe {
 
     /// Records one blocked-kernel invocation against the global kernel
     /// counters: a block of `samples` samples that streamed `bytes` of
-    /// tile conductance data.
-    pub(crate) fn record_kernel(&self, samples: u64, bytes: u64) {
+    /// tile conductance data through the selected `backend`, which is
+    /// also tallied on its own per-backend block counter.
+    pub(crate) fn record_kernel(&self, samples: u64, bytes: u64, backend: crate::kernel::Backend) {
         let c = &self.sink.counters;
         c[Counter::KernelBlocks as usize].fetch_add(1, Ordering::Relaxed);
         c[Counter::KernelBlockSamples as usize].fetch_add(samples, Ordering::Relaxed);
         c[Counter::KernelBytesStreamed as usize].fetch_add(bytes, Ordering::Relaxed);
+        let by_backend = match backend {
+            crate::kernel::Backend::Scalar => Counter::BackendScalarBlocks,
+            crate::kernel::Backend::VectorF32 => Counter::BackendVectorBlocks,
+            crate::kernel::Backend::FixedI32 => Counter::BackendFixedBlocks,
+        };
+        c[by_backend as usize].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records `n` MVMs against this layer (the per-sample sequential
@@ -518,6 +534,12 @@ pub struct CounterSnapshot {
     pub plan_swaps: u64,
     /// Wall-clock nanoseconds served degraded (detection → publish).
     pub degraded_serving_nanos: u64,
+    /// Kernel blocks executed by the scalar reference backend.
+    pub backend_scalar_blocks: u64,
+    /// Kernel blocks executed by the sample-lane vector backend.
+    pub backend_vector_f32_blocks: u64,
+    /// Kernel blocks executed by the fixed-point integer backend.
+    pub backend_fixed_i32_blocks: u64,
 }
 
 /// One aggregated span: every open/close of `path` summed.
@@ -643,7 +665,9 @@ impl TelemetrySnapshot {
              \"kernel_blocks\": {}, \"kernel_block_samples\": {}, \
              \"kernel_bytes_streamed\": {}, \
              \"scrub_passes\": {}, \"tiles_scrubbed\": {}, \"scrub_repairs\": {}, \
-             \"plan_swaps\": {}, \"degraded_serving_nanos\": {}}},\n",
+             \"plan_swaps\": {}, \"degraded_serving_nanos\": {}, \
+             \"backend_scalar_blocks\": {}, \"backend_vector_f32_blocks\": {}, \
+             \"backend_fixed_i32_blocks\": {}}},\n",
             c.mvms,
             c.zero_activation_skips,
             c.spare_remaps,
@@ -661,7 +685,10 @@ impl TelemetrySnapshot {
             c.tiles_scrubbed,
             c.scrub_repairs,
             c.plan_swaps,
-            c.degraded_serving_nanos
+            c.degraded_serving_nanos,
+            c.backend_scalar_blocks,
+            c.backend_vector_f32_blocks,
+            c.backend_fixed_i32_blocks
         ));
         s.push_str("  \"spans\": [\n");
         for (i, sp) in self.spans.iter().enumerate() {
@@ -800,15 +827,19 @@ mod tests {
             },
             8,
         );
-        probe.record_kernel(8, 4096);
-        probe.record_kernel(5, 4096);
+        probe.record_kernel(8, 4096, crate::kernel::Backend::Scalar);
+        probe.record_kernel(5, 4096, crate::kernel::Backend::VectorF32);
+        probe.record_kernel(2, 2048, crate::kernel::Backend::FixedI32);
         let snap = t.snapshot();
         assert_eq!(snap.layers[0].calls, 8, "calls advance by the block");
         assert_eq!(snap.layers[0].mvms, 16);
         assert_eq!(snap.counters.zero_activation_skips, 3);
-        assert_eq!(snap.counters.kernel_blocks, 2);
-        assert_eq!(snap.counters.kernel_block_samples, 13);
-        assert_eq!(snap.counters.kernel_bytes_streamed, 8192);
+        assert_eq!(snap.counters.kernel_blocks, 3);
+        assert_eq!(snap.counters.kernel_block_samples, 15);
+        assert_eq!(snap.counters.kernel_bytes_streamed, 10240);
+        assert_eq!(snap.counters.backend_scalar_blocks, 1);
+        assert_eq!(snap.counters.backend_vector_f32_blocks, 1);
+        assert_eq!(snap.counters.backend_fixed_i32_blocks, 1);
     }
 
     #[test]
@@ -864,6 +895,9 @@ mod tests {
             "\"scrub_repairs\"",
             "\"plan_swaps\"",
             "\"degraded_serving_nanos\"",
+            "\"backend_scalar_blocks\"",
+            "\"backend_vector_f32_blocks\"",
+            "\"backend_fixed_i32_blocks\"",
             "\"spans\"",
             "\"layers\"",
             "\"t_out\"",

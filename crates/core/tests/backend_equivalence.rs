@@ -1,0 +1,275 @@
+//! Per-backend equivalence obligations of the kernel backends, end to
+//! end (the gate the `DESIGN.md` backend contract demands).
+//!
+//! * [`Backend::VectorF32`] must be **bit-identical** to the scalar
+//!   reference — the same obligation the `block_equivalence` suite pins
+//!   for blocking, here replayed with the lane kernel selected, across
+//!   random shapes, batch sizes, block sizes, thread counts and the
+//!   full non-ideality chain.
+//! * [`Backend::FixedI32`] must stay within the documented per-column
+//!   bound of [`BatchPlan::backend_error_bound`] — with and without
+//!   time quantization — and be deterministic (same bits on every run).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use resipe::batch::BatchPlan;
+use resipe::inference::{CompileOptions, FaultInjection, HardwareNetwork, RunOptions};
+use resipe::kernel::Backend;
+use resipe::mapping::{MappedWeights, SpikeEncoding, TileMapper};
+use resipe::{ResipeConfig, ResipeEngine};
+use resipe_analog::units::Seconds;
+use resipe_nn::layers::{Conv2d, Dense};
+use resipe_nn::network::Network;
+use resipe_nn::tensor::Tensor;
+use resipe_reram::variation::VariationModel;
+
+fn assert_bit_identical(a: &Tensor, b: &Tensor) {
+    assert_eq!(a.shape(), b.shape());
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "element {i}: {x:e} vs {y:e} differ in bits"
+        );
+    }
+}
+
+/// The full non-ideality chain (mirrors `block_equivalence`).
+fn nonideal_options(seed: u64) -> CompileOptions {
+    CompileOptions::paper()
+        .with_mapper(TileMapper::paper().with_spare_cols(2))
+        .with_variation(VariationModel::device_to_device(0.15).unwrap())
+        .with_seed(seed)
+        .with_faults(FaultInjection::clustered(0.02, 4, seed ^ 0x5eed))
+        .with_repair(resipe::repair::RepairPolicy::full())
+        .with_comparator_sigma(0.01)
+        .with_time_quantization(Seconds(1e-9))
+}
+
+/// Sparse activations in `[0, 1]` — exact zeros exercise the encode
+/// zero-skip path the vector backend replaces with dense `±0.0` adds.
+fn sparse_input(rng: &mut StdRng, shape: &[usize]) -> Tensor {
+    let len = shape.iter().product();
+    Tensor::from_vec(
+        (0..len)
+            .map(|_| {
+                if rng.gen_range(0.0..1.0) < 0.4 {
+                    0.0
+                } else {
+                    rng.gen_range(0.0..1.0f32)
+                }
+            })
+            .collect(),
+        shape,
+    )
+    .expect("shape")
+}
+
+/// One mapped layer carrying the full non-ideality chain, built
+/// directly for plan-level bound checks.
+fn nonideal_mapped(rows: usize, cols: usize, seed: u64, quantized: bool) -> MappedWeights {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let model = VariationModel::device_to_device(0.12).unwrap();
+    let mapped = TileMapper::paper()
+        .with_spare_cols(2)
+        .map(&weights, rows, cols)
+        .expect("map")
+        .with_faults(0.02, 4, seed ^ 0xfau64)
+        .expect("faults")
+        .perturbed(&model, seed ^ 0x7)
+        .with_comparator_offsets(0.01, seed ^ 0x11);
+    if quantized {
+        mapped.with_time_quantization(Seconds(1e-9))
+    } else {
+        mapped
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The lane kernel equals the per-sample reference path to the bit —
+    /// for any shape, batch, block size and thread count, under the full
+    /// non-ideality chain. This is the `block_equivalence` obligation
+    /// replayed with `Backend::VectorF32` selected.
+    #[test]
+    fn vector_backend_is_bit_identical_to_per_sample(
+        in_features in 1usize..60,
+        out_features in 1usize..8,
+        batch in 1usize..12,
+        block_idx in 0usize..7,
+        threads_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let block = [1usize, 2, 3, 5, 8, 32, 64][block_idx];
+        let threads = [1usize, 2, 4][threads_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Network::new("backend-prop");
+        net.push(Dense::new(in_features, out_features, &mut rng));
+        let calib = sparse_input(&mut rng, &[2, in_features]);
+        let x = sparse_input(&mut rng, &[batch, in_features]);
+        let hw = HardwareNetwork::compile(&net, &calib, &nonideal_options(seed))
+            .expect("compile");
+        let reference = hw.run(&x, &RunOptions::per_sample()).expect("reference").outputs;
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let vectored = pool
+            .install(|| {
+                hw.run(
+                    &x,
+                    &RunOptions::planned()
+                        .with_block_size(block)
+                        .with_backend(Backend::VectorF32),
+                )
+            })
+            .expect("vector run")
+            .outputs;
+        for (a, b) in reference.data().iter().zip(vectored.data()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Every fixed-point output stays within the documented per-column
+    /// bound of the scalar reference — across shapes, block sizes, the
+    /// full non-ideality chain, with and without time quantization.
+    #[test]
+    fn fixed_backend_stays_within_documented_bound(
+        rows in 1usize..70,
+        cols in 1usize..7,
+        batch in 1usize..10,
+        block_idx in 0usize..4,
+        quantized in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let block = [1usize, 3, 8, 64][block_idx];
+        let mapped = nonideal_mapped(rows, cols, seed, quantized);
+        let engine = ResipeEngine::new(ResipeConfig::paper());
+        let plan = BatchPlan::new(&engine, &mapped, SpikeEncoding::PassThrough);
+        let bound = plan.backend_error_bound(Backend::FixedI32);
+        prop_assert!(bound.iter().all(|b| b.is_finite()));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let a: Vec<f64> = (0..batch * rows)
+            .map(|_| {
+                if rng.gen_range(0.0..1.0) < 0.4 {
+                    0.0
+                } else {
+                    rng.gen_range(0.0..1.0)
+                }
+            })
+            .collect();
+        let mut scratch = plan.scratch();
+        let mut fixed = vec![f64::NAN; batch * cols];
+        for start in (0..batch).step_by(block) {
+            let b = block.min(batch - start);
+            plan.forward_block_with(
+                Backend::FixedI32,
+                &a[start * rows..(start + b) * rows],
+                b,
+                &mut fixed[start * cols..(start + b) * cols],
+                &mut scratch,
+            )
+            .expect("fixed block");
+        }
+        for b in 0..batch {
+            let exact = plan
+                .forward_one(&a[b * rows..(b + 1) * rows], &mut scratch)
+                .expect("reference");
+            for (j, (x, f)) in exact.iter().zip(&fixed[b * cols..(b + 1) * cols]).enumerate() {
+                let dev = (x - f).abs();
+                prop_assert!(
+                    dev <= bound[j],
+                    "sample {b} column {j}: |{x:e} - {f:e}| = {dev:e} > bound {b_j:e}",
+                    b_j = bound[j]
+                );
+            }
+        }
+    }
+}
+
+/// A two-crossbar-layer network (with an interleaved digital ReLU) run
+/// on the fixed-point backend stays a faithful approximation of the
+/// scalar reference end to end, and is deterministic to the bit.
+#[test]
+fn fixed_backend_network_run_is_close_and_deterministic() {
+    let mut rng = StdRng::seed_from_u64(97);
+    let mut net = Network::new("fixed-two-layer");
+    net.push(Dense::new(33, 9, &mut rng));
+    net.push(resipe_nn::layers::Relu::new());
+    net.push(Dense::new(9, 4, &mut rng));
+    let calib = sparse_input(&mut rng, &[4, 33]);
+    let x = sparse_input(&mut rng, &[11, 33]);
+    let hw = HardwareNetwork::compile(&net, &calib, &nonideal_options(7)).expect("compile");
+    let reference = hw
+        .run(&x, &RunOptions::per_sample())
+        .expect("reference")
+        .outputs;
+    let opts = RunOptions::planned().with_backend(Backend::FixedI32);
+    let fixed = hw.run(&x, &opts).expect("fixed run").outputs;
+    let again = hw.run(&x, &opts).expect("fixed rerun").outputs;
+    assert_bit_identical(&fixed, &again);
+    let scale: f32 = reference
+        .data()
+        .iter()
+        .fold(0.0f32, |m, v| m.max(v.abs()))
+        .max(1e-3);
+    for (i, (r, f)) in reference.data().iter().zip(fixed.data()).enumerate() {
+        assert!(f.is_finite(), "element {i} not finite");
+        let dev = (r - f).abs();
+        // ~15-bit input quantization per crossbar layer leaves the
+        // network output within a fraction of a percent of full scale;
+        // 1% is a loose, deterministic ceiling.
+        assert!(
+            dev <= 0.01 * scale,
+            "element {i}: |{r:e} - {f:e}| = {dev:e} exceeds 1% of scale {scale:e}"
+        );
+    }
+}
+
+/// The convolution arm routes pixel blocks through the selected
+/// backend too: the lane kernel must stay bit-identical there.
+#[test]
+fn conv_layer_vector_backend_is_bit_identical() {
+    let mut rng = StdRng::seed_from_u64(55);
+    let mut net = Network::new("conv-backend");
+    net.push(Conv2d::new(1, 3, 3, 1, &mut rng));
+    let calib = sparse_input(&mut rng, &[2, 1, 6, 6]);
+    let x = sparse_input(&mut rng, &[3, 1, 6, 6]);
+    let hw = HardwareNetwork::compile(&net, &calib, &nonideal_options(3)).expect("compile");
+    let reference = hw.run(&x, &RunOptions::per_sample()).expect("reference");
+    for block in [1usize, 5, 32] {
+        let vectored = hw
+            .run(
+                &x,
+                &RunOptions::planned()
+                    .with_block_size(block)
+                    .with_backend(Backend::VectorF32),
+            )
+            .expect("vector conv run");
+        assert_bit_identical(&reference.outputs, &vectored.outputs);
+    }
+}
+
+/// `PerSample` mode ignores the backend selector — it *is* the scalar
+/// reference by definition.
+#[test]
+fn per_sample_mode_ignores_backend() {
+    let mut rng = StdRng::seed_from_u64(61);
+    let mut net = Network::new("per-sample-backend");
+    net.push(Dense::new(20, 3, &mut rng));
+    let calib = sparse_input(&mut rng, &[2, 20]);
+    let x = sparse_input(&mut rng, &[5, 20]);
+    let hw = HardwareNetwork::compile(&net, &calib, &nonideal_options(13)).expect("compile");
+    let reference = hw.run(&x, &RunOptions::per_sample()).expect("reference");
+    let fixed = hw
+        .run(
+            &x,
+            &RunOptions::per_sample().with_backend(Backend::FixedI32),
+        )
+        .expect("per-sample fixed");
+    assert_bit_identical(&reference.outputs, &fixed.outputs);
+}

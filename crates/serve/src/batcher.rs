@@ -51,6 +51,7 @@ pub trait BatchExecutor: Send + Sync + 'static {
 #[derive(Debug)]
 pub struct NetworkExecutor {
     hw: Arc<HardwareNetwork>,
+    options: RunOptions,
 }
 
 impl NetworkExecutor {
@@ -64,7 +65,20 @@ impl NetworkExecutor {
     /// aging driver) holds the same network and mutates its published
     /// epoch while this executor serves it.
     pub fn new_shared(hw: Arc<HardwareNetwork>) -> NetworkExecutor {
-        NetworkExecutor { hw }
+        NetworkExecutor {
+            hw,
+            options: RunOptions::planned(),
+        }
+    }
+
+    /// Selects the kernel [`Backend`](resipe::kernel::Backend) every
+    /// coalesced batch runs through (default
+    /// [`Backend::Scalar`](resipe::kernel::Backend::Scalar); exact
+    /// backends keep the bit-identity contract above, the fixed-point
+    /// backend trades it for the documented error bound).
+    pub fn with_backend(mut self, backend: resipe::kernel::Backend) -> NetworkExecutor {
+        self.options = self.options.with_backend(backend);
+        self
     }
 
     /// The served network.
@@ -80,7 +94,7 @@ impl NetworkExecutor {
 
 impl BatchExecutor for NetworkExecutor {
     fn execute(&self, batch: &Tensor) -> Result<Tensor, ResipeError> {
-        Ok(self.hw.run(batch, &RunOptions::planned())?.outputs)
+        Ok(self.hw.run(batch, &self.options)?.outputs)
     }
 }
 

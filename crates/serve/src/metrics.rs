@@ -182,6 +182,9 @@ pub struct ServerStats {
     /// Epoch swaps on the served network (scrub repairs + aging
     /// publishes), lifetime.
     pub plan_swaps: u64,
+    /// Name of the kernel [`Backend`](resipe::kernel::Backend) the
+    /// server executes batches with (`"scalar"` by default).
+    pub kernel_backend: String,
     /// Request-latency percentiles (admission → response enqueued).
     pub latency: LatencySnapshot,
     /// The engine's [`resipe::telemetry::TelemetrySnapshot`] in its
@@ -230,6 +233,8 @@ impl ServerStats {
         ] {
             put_u64(&mut buf, v);
         }
+        put_u32(&mut buf, self.kernel_backend.len() as u32);
+        buf.extend_from_slice(self.kernel_backend.as_bytes());
         put_u32(&mut buf, self.telemetry_json.len() as u32);
         buf.extend_from_slice(self.telemetry_json.as_bytes());
         buf
@@ -261,6 +266,7 @@ impl ServerStats {
             scrub_tiles: next()?,
             scrub_repairs: next()?,
             plan_swaps: next()?,
+            kernel_backend: String::new(),
             latency: LatencySnapshot::default(),
             telemetry_json: String::new(),
         };
@@ -271,14 +277,20 @@ impl ServerStats {
             p99_nanos: next()?,
             max_nanos: next()?,
         };
-        let json_len = take_u32(bytes, &mut at)? as usize;
-        let end = at
-            .checked_add(json_len)
-            .filter(|&e| e <= bytes.len())
-            .ok_or_else(|| ServeError::Protocol("truncated stats telemetry".into()))?;
-        stats.telemetry_json = String::from_utf8(bytes[at..end].to_vec())
-            .map_err(|e| ServeError::Protocol(format!("stats telemetry not UTF-8: {e}")))?;
-        if end != bytes.len() {
+        let mut take_str = |what: &str| -> Result<String, ServeError> {
+            let len = take_u32(bytes, &mut at)? as usize;
+            let end = at
+                .checked_add(len)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| ServeError::Protocol(format!("truncated stats {what}")))?;
+            let s = String::from_utf8(bytes[at..end].to_vec())
+                .map_err(|e| ServeError::Protocol(format!("stats {what} not UTF-8: {e}")))?;
+            at = end;
+            Ok(s)
+        };
+        stats.kernel_backend = take_str("backend name")?;
+        stats.telemetry_json = take_str("telemetry")?;
+        if at != bytes.len() {
             return Err(ServeError::Protocol("trailing bytes after stats".into()));
         }
         Ok(stats)
@@ -294,7 +306,7 @@ impl ServerStats {
              \"bad_requests\": {}, \"shutdown_rejects\": {}, \"engine_errors\": {}, \
              \"batches\": {}, \"batched_samples\": {}, \"largest_batch\": {}, \
              \"scrub_passes\": {}, \"scrub_tiles\": {}, \"scrub_repairs\": {}, \
-             \"plan_swaps\": {}, \
+             \"plan_swaps\": {}, \"kernel_backend\": \"{}\", \
              \"latency\": {{\"count\": {}, \"p50_nanos\": {}, \"p95_nanos\": {}, \
              \"p99_nanos\": {}, \"max_nanos\": {}}}, \"telemetry\": {}}}",
             self.queue_depth,
@@ -314,6 +326,7 @@ impl ServerStats {
             self.scrub_tiles,
             self.scrub_repairs,
             self.plan_swaps,
+            self.kernel_backend,
             l.count,
             l.p50_nanos,
             l.p95_nanos,
@@ -382,6 +395,7 @@ mod tests {
             scrub_tiles: 50,
             scrub_repairs: 3,
             plan_swaps: 5,
+            kernel_backend: "vector_f32".to_owned(),
             latency: LatencySnapshot {
                 count: 90,
                 p50_nanos: 1_000,
@@ -421,6 +435,7 @@ mod tests {
             "\"scrub_tiles\"",
             "\"scrub_repairs\"",
             "\"plan_swaps\"",
+            "\"kernel_backend\"",
             "\"p50_nanos\"",
             "\"p99_nanos\"",
             "\"telemetry\"",

@@ -31,6 +31,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use resipe::inference::HardwareNetwork;
+use resipe::kernel::Backend;
 use resipe::scrub::{ScrubConfig, ScrubCounters, Scrubber};
 use resipe::telemetry::Telemetry;
 
@@ -64,6 +65,12 @@ pub struct ServerConfig {
     /// single request. Ignored by [`Server::spawn_with_executor`]
     /// (mock executors have no crossbars to scrub).
     pub scrub: Option<ScrubConfig>,
+    /// Kernel [`Backend`] every coalesced batch executes with (default
+    /// [`Backend::Scalar`]). Surfaced back to clients as the
+    /// `kernel_backend` field of `STATS`. Ignored by
+    /// [`Server::spawn_with_executor`] (mock executors bring their own
+    /// arithmetic), though still reported in stats.
+    pub backend: Backend,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +81,7 @@ impl Default for ServerConfig {
             queue_capacity: 256,
             workers: 1,
             scrub: None,
+            backend: Backend::Scalar,
         }
     }
 }
@@ -109,6 +117,12 @@ impl ServerConfig {
         self
     }
 
+    /// Selects the kernel backend batches execute with.
+    pub fn with_backend(mut self, backend: Backend) -> ServerConfig {
+        self.backend = backend;
+        self
+    }
+
     fn validate(&self) -> Result<(), ServeError> {
         if self.max_batch == 0 {
             return Err(ServeError::BadRequest("max_batch must be nonzero".into()));
@@ -134,6 +148,8 @@ struct Shared {
     shutting_down: AtomicBool,
     telemetry: Telemetry,
     sample_shape: Vec<usize>,
+    /// Name of the kernel backend batches execute with, for `STATS`.
+    kernel_backend: &'static str,
     /// The served network, when serving real hardware (None under a
     /// mock executor). Lets `stats()` report the epoch swap count.
     network: Option<Arc<HardwareNetwork>>,
@@ -170,6 +186,7 @@ impl Shared {
             queue_depth: self.queue.len() as u64,
             queue_capacity: self.queue.capacity() as u64,
             in_flight: self.in_flight.load(Ordering::Relaxed),
+            kernel_backend: self.kernel_backend.to_owned(),
             latency: self.latency.snapshot(),
             telemetry_json: self.telemetry.snapshot().to_json(),
         }
@@ -209,7 +226,7 @@ impl Server {
             None => None,
         };
         Server::spawn_inner(
-            Arc::new(NetworkExecutor::new_shared(Arc::clone(&hw))),
+            Arc::new(NetworkExecutor::new_shared(Arc::clone(&hw)).with_backend(config.backend)),
             telemetry,
             sample_shape,
             addr,
@@ -260,6 +277,7 @@ impl Server {
             shutting_down: AtomicBool::new(false),
             telemetry,
             sample_shape: sample_shape.to_vec(),
+            kernel_backend: config.backend.name(),
             network,
             scrub_counters: scrubber.as_ref().map(Scrubber::counters),
             conns: Mutex::new(Vec::new()),

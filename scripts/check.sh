@@ -8,14 +8,23 @@
 # measured speedup clears the host-appropriate floor (4-thread >= 2x
 # over 1-thread on hosts with >= 4 CPUs; 1-thread batched >= 2x over
 # sequential on smaller hosts, where thread scaling is unobservable).
+#
+# With --backends-smoke, additionally runs the throughput bench's kernel
+# backend sweep (scalar / vector_f32 / fixed_i32) and schema-checks the
+# per-backend rows of BENCH_throughput.json. The bench itself hard-fails
+# if an exact backend loses bit identity or the fixed-point backend
+# drifts past 10% of full scale. Every stage, flag, gate, and output
+# field is documented in docs/BENCHMARKS.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 perf_smoke=0
+backends_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --perf-smoke) perf_smoke=1 ;;
-        *) echo "check: unknown argument '$arg' (supported: --perf-smoke)" >&2; exit 2 ;;
+        --backends-smoke) backends_smoke=1 ;;
+        *) echo "check: unknown argument '$arg' (supported: --perf-smoke, --backends-smoke)" >&2; exit 2 ;;
     esac
 done
 
@@ -104,6 +113,28 @@ if [[ "$perf_smoke" -eq 1 ]]; then
     cargo run --release -q -p resipe-bench --bin throughput -- --smoke --gate \
         --out "$perf_out" >/dev/null
     rm -f "$perf_out"
+fi
+
+if [[ "$backends_smoke" -eq 1 ]]; then
+    echo "==> throughput --smoke (kernel backend sweep + schema check)"
+    backends_out="$(mktemp)"
+    cargo run --release -q -p resipe-bench --bin throughput -- --smoke \
+        --out "$backends_out" >/dev/null
+    for key in backends backend speedup_vs_scalar exact max_abs_dev; do
+        if ! grep -q "\"$key\"" "$backends_out"; then
+            echo "check: BENCH_throughput.json schema drift — missing key \"$key\"" >&2
+            rm -f "$backends_out"
+            exit 1
+        fi
+    done
+    for name in scalar vector_f32 fixed_i32; do
+        if ! grep -q "\"backend\": \"$name\"" "$backends_out"; then
+            echo "check: backend sweep missing row for \"$name\"" >&2
+            rm -f "$backends_out"
+            exit 1
+        fi
+    done
+    rm -f "$backends_out"
 fi
 
 echo "check: all gates passed"
