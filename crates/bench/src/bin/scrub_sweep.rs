@@ -41,7 +41,7 @@ use resipe_nn::tensor::Tensor;
 use resipe_nn::train::{Sgd, TrainConfig};
 use resipe_reram::aging::{AgingClock, AgingConfig};
 use resipe_reram::faults::RetentionDrift;
-use resipe_serve::{Client, Server, ServerConfig};
+use resipe_serve::{Client, ModelSpec, Server, ServerConfig};
 
 fn json_num(v: f64) -> String {
     if v.is_finite() {
@@ -212,20 +212,20 @@ fn main() {
     let indices: Vec<usize> = (0..total).map(|i| i % train.len()).collect();
     let (corpus, _) = train.batch(&indices).expect("corpus");
 
-    let mut server = Server::spawn(
-        served_hw,
-        &sample_shape,
-        "127.0.0.1:0",
-        ServerConfig::default()
-            .with_queue_capacity((2 * total).max(64))
-            .with_scrub(
-                ScrubConfig::new()
-                    .with_policy(drift_sensitive_policy())
-                    .with_interval(Duration::from_millis(2))
-                    .with_seed(7),
-            ),
-    )
-    .expect("server spawn");
+    let mut server = Server::builder()
+        .config(
+            ServerConfig::default()
+                .with_queue_capacity((2 * total).max(64))
+                .with_scrub(
+                    ScrubConfig::new()
+                        .with_policy(drift_sensitive_policy())
+                        .with_interval(Duration::from_millis(2))
+                        .with_seed(7),
+                ),
+        )
+        .register_model("mlp1", ModelSpec::compiled(served_hw, &sample_shape))
+        .bind("127.0.0.1:0")
+        .expect("server bind");
     let addr = server.local_addr();
 
     let load_start = Instant::now();
@@ -254,7 +254,7 @@ fn main() {
     // the regression and hot-swap repaired state with no request lost.
     thread::sleep(Duration::from_millis(10));
     let mut serve_clock = AgingClock::new(aging);
-    let network = Arc::clone(server.network().expect("served network handle"));
+    let network = server.network().expect("served network handle");
     if let Some(step) = serve_clock.advance(step_requests * checkpoints as u64) {
         network.age(&step).expect("age served network");
     }

@@ -22,13 +22,22 @@
 //! answered — while the `STATS` verb reports the repairs and epoch
 //! swaps that happened underneath the traffic.
 //!
+//! A fourth scenario exercises the **model registry**: two different
+//! MLP-1 instances served simultaneously, two replicas each, with one
+//! replica of the loaded model drained mid-traffic — the gate is again
+//! zero rejects, with per-model p99 latency and per-replica load
+//! recorded in the report. A hand-rolled byte-level v1 client (exactly
+//! what a binary compiled before protocol v2 would send) is also
+//! checked bit-identical against the oracle.
+//!
 //! ```text
 //! cargo run --release --bin serve_bench              # full measurement
 //! cargo run --release --bin serve_bench -- --smoke   # CI-sized
 //! cargo run --release --bin serve_bench -- --clients 8 --requests 200
 //! ```
 
-use std::sync::Arc;
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -43,7 +52,7 @@ use resipe_nn::tensor::Tensor;
 use resipe_nn::train::{Sgd, TrainConfig};
 use resipe_reram::aging::{AgingClock, AgingConfig};
 use resipe_reram::faults::RetentionDrift;
-use resipe_serve::{Client, Server, ServerConfig};
+use resipe_serve::{Client, ModelSpec, ReplicaHealth, Server, ServerConfig};
 
 fn json_num(v: f64) -> String {
     if v.is_finite() {
@@ -88,6 +97,16 @@ fn main() {
     let hw = HardwareNetwork::compile(&net, &calib, &CompileOptions::paper()).expect("compile");
     let oracle = hw.clone();
 
+    // A second, genuinely different MLP-1 (distinct init seed → distinct
+    // weights) for the multi-model scenario; registered lazily so its
+    // compile cost lands on first request, through the shared cache.
+    let mut net2 = models::mlp1(13).expect("model 2");
+    Sgd::new(TrainConfig::new(epochs.min(2)).with_learning_rate(0.1))
+        .fit(&mut net2, &train)
+        .expect("training 2");
+    let oracle2 = HardwareNetwork::compile(&net2, &calib, &CompileOptions::paper())
+        .expect("compile oracle 2");
+
     let sample_shape = train.sample_shape().to_vec();
     let width: usize = sample_shape.iter().product();
     let total = clients * per_client;
@@ -99,22 +118,30 @@ fn main() {
     // so the measured scenarios and the oracle check are unaffected.
     let mut scrub_policy = RepairPolicy::full();
     scrub_policy.bist.cell_threshold = 0.05;
-    let server = Server::spawn(
-        hw,
-        &sample_shape,
-        "127.0.0.1:0",
-        ServerConfig::default()
-            .with_max_batch(max_batch)
-            .with_max_wait(Duration::from_micros(max_wait_us))
-            .with_queue_capacity((2 * total).max(64))
-            .with_scrub(
-                ScrubConfig::new()
-                    .with_policy(scrub_policy)
-                    .with_interval(Duration::from_millis(5))
-                    .with_seed(7),
-            ),
-    )
-    .expect("server spawn");
+    let scrub = ScrubConfig::new()
+        .with_policy(scrub_policy)
+        .with_interval(Duration::from_millis(5))
+        .with_seed(7);
+    let server = Server::builder()
+        .config(
+            ServerConfig::default()
+                .with_max_batch(max_batch)
+                .with_max_wait(Duration::from_micros(max_wait_us))
+                .with_queue_capacity((2 * total).max(64)),
+        )
+        .register_model(
+            "mlp1",
+            ModelSpec::compiled(hw, &sample_shape).with_scrub(scrub),
+        )
+        .replicas(2)
+        .register_model(
+            "mlp2",
+            ModelSpec::network(net2, calib.clone(), CompileOptions::paper(), &sample_shape),
+        )
+        .replicas(2)
+        .default_model("mlp1")
+        .bind("127.0.0.1:0")
+        .expect("server bind");
     let addr = server.local_addr();
 
     // ---- Correctness gate: served outputs byte-equal the local oracle.
@@ -141,6 +168,52 @@ fn main() {
         }
     }
     assert!(bit_identical, "served outputs diverged from the oracle");
+
+    // ---- v1 wire compatibility: hand-rolled legacy frames (exactly
+    // what a pre-registry binary emits) against the v2 server. Checked
+    // on the pristine network, before the aging scenario mutates it
+    // (hot repair restores function, not the exact conductance bits).
+    eprintln!("checking hand-rolled v1 frames against the oracle...");
+    let v1_n = 8usize.min(total);
+    let v1_compat = {
+        let mut stream = TcpStream::connect(addr).expect("raw v1 connect");
+        let mut ok = true;
+        for idx in 0..v1_n {
+            let mut payload = vec![1u8]; // verb Infer
+            payload.extend_from_slice(&((idx + 1) as u64).to_le_bytes());
+            payload.extend_from_slice(&0u32.to_le_bytes());
+            payload.push(sample_shape.len() as u8);
+            for &d in &sample_shape {
+                payload.extend_from_slice(&(d as u32).to_le_bytes());
+            }
+            for &v in &corpus.data()[idx * width..(idx + 1) * width] {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+            let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+            frame.extend_from_slice(&payload);
+            stream.write_all(&frame).expect("raw v1 write");
+
+            let mut len = [0u8; 4];
+            stream.read_exact(&mut len).expect("raw v1 len");
+            let mut resp = vec![0u8; u32::from_le_bytes(len) as usize];
+            stream.read_exact(&mut resp).expect("raw v1 body");
+            ok &= resp[0] == 0; // status Ok, legacy framing (no preamble)
+            let ndim = resp[9] as usize;
+            let data_at = 10 + 4 * ndim;
+            let served: Vec<f32> = resp[data_at..]
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            let expected = &reference.data()[idx * out_width..(idx + 1) * out_width];
+            ok &= served.len() == expected.len()
+                && served
+                    .iter()
+                    .zip(expected)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+        }
+        ok
+    };
+    assert!(v1_compat, "legacy v1 bytes no longer bit-identical");
 
     let baseline = server.stats();
 
@@ -246,7 +319,7 @@ fn main() {
         let aging = AgingConfig::new(Seconds(100.0), drift)
             .expect("aging config")
             .with_seed(0xa9e);
-        let network = Arc::clone(server.network().expect("served network"));
+        let network = server.network().expect("served network");
         if let Some(step) = AgingClock::new(aging).advance(20_000) {
             network.age(&step).expect("age served network");
         }
@@ -273,8 +346,93 @@ fn main() {
         "expected the aging publish plus at least one repair swap, saw {swaps_under_load}"
     );
 
+    // ---- Scenario 4: the model registry under load. Two models, two
+    // replicas each, concurrent per-model clients, and one replica of
+    // the hot model drained mid-traffic. The gate: zero rejects, every
+    // request answered, both models' outputs bit-identical to their own
+    // oracles (spot-checked), and per-replica load visible in STATS.
+    let s4_clients = clients.max(2);
+    eprintln!("measuring multi-model registry load ({s4_clients} clients across 2 models)...");
+    let reference2 = oracle2.forward(&corpus).expect("oracle 2 forward");
+    {
+        // Warm mlp2: its first request pays the lazy compile.
+        let mut warm = Client::connect(addr).expect("warm client");
+        let sample =
+            Tensor::from_vec(corpus.data()[..width].to_vec(), &sample_shape).expect("sample");
+        let served = warm.model("mlp2").infer(&sample).expect("mlp2 warmup");
+        assert!(
+            served
+                .data()
+                .iter()
+                .zip(&reference2.data()[..reference2.len() / total])
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "mlp2 served output diverged from its oracle"
+        );
+    }
+    let before_multi = server.stats();
+    let (multi_elapsed, s4_total) = {
+        let start = Instant::now();
+        let mut joins = Vec::new();
+        for c in 0..s4_clients {
+            let corpus = corpus.clone();
+            let sample_shape = sample_shape.clone();
+            let model = if c % 2 == 0 { "mlp1" } else { "mlp2" };
+            joins.push(thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("registry client");
+                for r in 0..per_client {
+                    let idx = (c * per_client + r) % total;
+                    let sample = Tensor::from_vec(
+                        corpus.data()[idx * width..(idx + 1) * width].to_vec(),
+                        &sample_shape,
+                    )
+                    .expect("sample");
+                    let _ = client.model(model).infer(&sample).expect("registry infer");
+                }
+            }));
+        }
+        // Mid-load: drain replica 0 of the default model. Traffic must
+        // keep flowing to replica 1 with zero rejects.
+        thread::sleep(Duration::from_millis(5));
+        server
+            .set_replica_health("mlp1", 0, ReplicaHealth::Draining)
+            .expect("drain replica");
+        for j in joins {
+            j.join().expect("registry client thread");
+        }
+        (start.elapsed().as_secs_f64(), s4_clients * per_client)
+    };
+    let multi_stats = server.stats();
+    let multi_rejects = multi_stats.rejected_busy - before_multi.rejected_busy;
+    assert_eq!(
+        multi_rejects, 0,
+        "draining a replica mid-load must not reject traffic"
+    );
+    assert!(multi_stats.models.len() >= 2, "registry lost a model");
+    for block in &multi_stats.models {
+        assert!(
+            block.replicas.len() >= 2,
+            "model '{}' should report >= 2 replicas",
+            block.name
+        );
+        let replica_completed: u64 = block.replicas.iter().map(|r| r.completed).sum();
+        assert_eq!(
+            replica_completed, block.completed,
+            "model '{}': per-replica completions must sum to the model total",
+            block.name
+        );
+    }
+    let drained = multi_stats
+        .model("mlp1")
+        .and_then(|b| b.replicas.first())
+        .map(|r| r.health_name())
+        .unwrap_or("unknown");
+    assert_eq!(drained, "draining", "replica 0 should report its drain");
+    server
+        .set_replica_health("mlp1", 0, ReplicaHealth::Healthy)
+        .expect("restore replica");
+
     let stats = server.stats();
-    let expected_total = (verify_n + 3 * total) as u64;
+    let expected_total = (verify_n + 3 * total + 1 + s4_total + v1_n) as u64;
     let lossless = stats.accepted == expected_total
         && stats.completed == expected_total
         && stats.rejected_busy == 0
@@ -317,6 +475,46 @@ fn main() {
         bat.largest_batch
     ));
     json.push_str(&format!("  \"speedup\": {},\n", json_num(speedup)));
+    json.push_str(&format!("  \"v1_compat\": {v1_compat},\n"));
+    json.push_str(&format!(
+        "  \"multi_model\": {{\"models\": {}, \"requests\": {s4_total}, \"elapsed_s\": {}, \
+         \"requests_per_sec\": {}, \"rejected_busy\": {multi_rejects}, \
+         \"drained_replica\": \"mlp1/0\"}},\n",
+        stats.models.len(),
+        json_num(multi_elapsed),
+        json_num(s4_total as f64 / multi_elapsed),
+    ));
+    json.push_str("  \"models\": [\n");
+    for (i, block) in stats.models.iter().enumerate() {
+        let replicas: Vec<String> = block
+            .replicas
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"index\": {}, \"health\": \"{}\", \"completed\": {}, \"batches\": {}}}",
+                    r.index,
+                    r.health_name(),
+                    r.completed,
+                    r.batches
+                )
+            })
+            .collect();
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"accepted\": {}, \"completed\": {}, \
+             \"rejected_busy\": {}, \"mean_batch\": {}, \"p50_nanos\": {}, \
+             \"p99_nanos\": {}, \"replicas\": [{}]}}{}\n",
+            block.name,
+            block.accepted,
+            block.completed,
+            block.rejected_busy,
+            json_num(block.mean_batch_size()),
+            block.latency.p50_nanos,
+            block.latency.p99_nanos,
+            replicas.join(", "),
+            if i + 1 == stats.models.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"hot_repair\": {{\"requests\": {total}, \"scrub_repairs\": {repairs_under_load}, \
          \"plan_swaps\": {swaps_under_load}, \"rejected_busy\": {}, \"expired\": {}}},\n",
@@ -365,5 +563,10 @@ fn main() {
     println!(
         "hot repair: {total} requests answered, {repairs_under_load} repairs, \
          {swaps_under_load} epoch swaps, 0 rejects"
+    );
+    println!(
+        "registry  : {} models x 2 replicas, {s4_total} requests, replica drained mid-load, \
+         0 rejects, v1 bytes bit-identical",
+        stats.models.len()
     );
 }

@@ -1,13 +1,17 @@
 //! The dynamic micro-batcher: coalesces queued requests into one
-//! [`Planned`](resipe::inference::ExecutionMode::Planned) forward pass.
+//! [`Planned`](resipe::inference::ExecutionMode::Planned) forward pass
+//! on one engine replica.
 //!
-//! Each worker thread loops: pop a weighted batch from the
-//! [`BoundedQueue`] (blocking for the first request, lingering up to
-//! `max_wait` for more, never exceeding `max_batch` samples), drop
-//! requests whose deadline already passed, stack the survivors into one
-//! `[n, sample…]` tensor **in FIFO order**, execute it through the
-//! [`BatchExecutor`], and route each request's output rows back to the
-//! issuing connection's reply channel.
+//! Each model's worker threads loop: pop a weighted batch from the
+//! model's [`BoundedQueue`] (blocking for the first request, lingering
+//! up to `max_wait` for more, never exceeding `max_batch` samples), drop
+//! requests whose deadline already passed, pick a target replica per
+//! request (the hinted replica when healthy, otherwise the balancer's
+//! least-outstanding pick — one pick shared by every un-hinted request
+//! so the coalesced batch stays whole), stack each replica's group into
+//! one `[n, sample…]` tensor **in FIFO order**, execute it through the
+//! replica's [`BatchExecutor`], and route each request's output rows
+//! back to the issuing connection's reply channel.
 //!
 //! Because the planned batch path is bit-identical to the per-sample
 //! path (the PR 2 contract, re-asserted by this crate's integration
@@ -16,7 +20,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use resipe::inference::{HardwareNetwork, RunOptions};
 use resipe::ResipeError;
@@ -24,7 +28,7 @@ use resipe_nn::tensor::Tensor;
 
 use crate::metrics::{LatencyHistogram, ServerCounters};
 use crate::protocol::{encode_tensor, Status};
-use crate::queue::BoundedQueue;
+use crate::registry::{pick_replica, ModelEntry, Replica};
 
 /// Executes one coalesced batch. Implemented by [`NetworkExecutor`] for
 /// real hardware networks; tests substitute cheap mock executors.
@@ -101,12 +105,16 @@ impl BatchExecutor for NetworkExecutor {
 /// One admitted inference request, queued for a worker.
 #[derive(Debug)]
 pub(crate) struct PendingRequest {
+    /// Wire version the request arrived in; the reply mirrors it.
+    pub version: u8,
     /// Client-chosen correlation id, echoed in the reply.
     pub id: u64,
     /// Row-major sample data, `n × width` values.
     pub samples: Vec<f32>,
     /// Samples in this request (the request's queue weight).
     pub n: usize,
+    /// Preferred replica, honored while that replica is healthy.
+    pub replica_hint: Option<u32>,
     /// Absolute expiry instant, if the client set a deadline.
     pub deadline: Option<Instant>,
     /// Admission time, for the latency histogram.
@@ -118,126 +126,183 @@ pub(crate) struct PendingRequest {
 /// A response routed back to a connection's writer thread.
 #[derive(Debug)]
 pub(crate) struct Reply {
+    /// Wire version to frame the response in.
+    pub version: u8,
     pub status: Status,
     pub id: u64,
     pub payload: Vec<u8>,
 }
 
-/// Everything one batch worker needs; cloned per worker thread.
+/// Everything one batch worker needs; cloned per worker thread. The
+/// per-model state lives in the entry; the global counters aggregate
+/// across models for the server-wide stats.
 #[derive(Clone)]
 pub(crate) struct WorkerContext {
-    pub queue: Arc<BoundedQueue<PendingRequest>>,
-    pub executor: Arc<dyn BatchExecutor>,
-    /// Per-sample tensor shape (without the batch dimension).
-    pub sample_shape: Vec<usize>,
-    pub max_batch: usize,
-    pub max_wait: Duration,
-    pub counters: Arc<ServerCounters>,
-    pub latency: Arc<LatencyHistogram>,
-    pub in_flight: Arc<AtomicU64>,
+    pub entry: Arc<ModelEntry>,
+    pub global_counters: Arc<ServerCounters>,
+    pub global_latency: Arc<LatencyHistogram>,
 }
 
 impl WorkerContext {
-    fn finish(&self, req: &PendingRequest, reply: Reply) {
+    /// Bumps the same counter on the model and the global set.
+    fn bump(&self, pick: impl Fn(&ServerCounters) -> &AtomicU64, n: u64) {
+        ServerCounters::add(pick(&self.entry.counters), n);
+        ServerCounters::add(pick(&self.global_counters), n);
+    }
+
+    fn max(&self, pick: impl Fn(&ServerCounters) -> &AtomicU64, n: u64) {
+        pick(&self.entry.counters).fetch_max(n, Ordering::Relaxed);
+        pick(&self.global_counters).fetch_max(n, Ordering::Relaxed);
+    }
+
+    fn finish(&self, req: &PendingRequest, status: Status, payload: Vec<u8>) {
         // The client may have disconnected; routing failures are benign.
-        let _ = req.reply.send(reply);
-        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let _ = req.reply.send(Reply {
+            version: req.version,
+            status,
+            id: req.id,
+            payload,
+        });
+        self.entry.in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
-/// The worker loop: runs until the queue is closed **and** drained, so
-/// graceful shutdown answers every admitted request.
+/// The worker loop: runs until the model's queue is closed **and**
+/// drained, so graceful shutdown answers every admitted request.
 pub(crate) fn worker_loop(ctx: WorkerContext) {
-    let width: usize = ctx.sample_shape.iter().product();
-    while let Some(batch) =
-        ctx.queue
-            .pop_batch(ctx.max_batch, ctx.max_wait, |r: &PendingRequest| r.n)
-    {
+    let width: usize = ctx.entry.sample_shape.iter().product();
+    while let Some(batch) = ctx.entry.queue.pop_batch(
+        ctx.entry.max_batch,
+        ctx.entry.max_wait,
+        |r: &PendingRequest| r.n,
+    ) {
         let now = Instant::now();
         let (live, dead): (Vec<_>, Vec<_>) = batch
             .into_iter()
             .partition(|r| r.deadline.is_none_or(|d| d > now));
         for req in dead {
-            ServerCounters::add(&ctx.counters.expired, 1);
+            ctx.bump(|c| &c.expired, 1);
             ctx.finish(
                 &req,
-                Reply {
-                    status: Status::Expired,
-                    id: req.id,
-                    payload: b"deadline exceeded before execution".to_vec(),
-                },
+                Status::Expired,
+                b"deadline exceeded before execution".to_vec(),
             );
         }
         if live.is_empty() {
             continue;
         }
-        let total: usize = live.iter().map(|r| r.n).sum();
-        let mut data = Vec::with_capacity(total * width);
-        for req in &live {
-            data.extend_from_slice(&req.samples);
-        }
-        let mut shape = Vec::with_capacity(1 + ctx.sample_shape.len());
-        shape.push(total);
-        shape.extend_from_slice(&ctx.sample_shape);
-        let input = Tensor::from_vec(data, &shape).expect("admission validated sample shapes");
-        match ctx.executor.execute(&input) {
-            Ok(outputs) => {
-                let out_shape = outputs.shape().to_vec();
-                assert_eq!(
-                    out_shape.first().copied(),
-                    Some(total),
-                    "executor must return one output row per input row"
-                );
-                let row_len = outputs.len() / total;
-                ServerCounters::add(&ctx.counters.batches, 1);
-                ServerCounters::add(&ctx.counters.batched_samples, total as u64);
-                ctx.counters
-                    .largest_batch
-                    .fetch_max(total as u64, Ordering::Relaxed);
-                let done = Instant::now();
-                let mut row = 0usize;
-                for req in &live {
-                    let start = row * row_len;
-                    let end = start + req.n * row_len;
-                    row += req.n;
-                    let mut req_shape = out_shape.clone();
-                    req_shape[0] = req.n;
-                    let sub = Tensor::from_vec(outputs.data()[start..end].to_vec(), &req_shape)
-                        .expect("row slice matches shape");
-                    ctx.latency.record(done.duration_since(req.enqueued));
-                    ServerCounters::add(&ctx.counters.completed, 1);
-                    ctx.finish(
-                        req,
-                        Reply {
-                            status: Status::Ok,
-                            id: req.id,
-                            payload: encode_tensor(&sub),
-                        },
-                    );
-                }
-            }
+        // Resolve the replica set (compiling lazily on the very first
+        // batch); an unresolvable model answers EngineError.
+        let replicas = match ctx.entry.replicas() {
+            Ok(replicas) => replicas,
             Err(e) => {
                 let msg = e.to_string().into_bytes();
                 for req in &live {
-                    ServerCounters::add(&ctx.counters.engine_errors, 1);
+                    ctx.bump(|c| &c.engine_errors, 1);
+                    ctx.finish(req, Status::EngineError, msg.clone());
+                }
+                continue;
+            }
+        };
+        // Route each request: a healthy hinted replica wins, everything
+        // else shares one balancer pick so the coalesced batch stays
+        // whole. Group by replica, preserving FIFO order within groups.
+        let mut groups: Vec<(Arc<Replica>, Vec<PendingRequest>)> = Vec::new();
+        for req in live {
+            match pick_replica(replicas, req.replica_hint) {
+                Some(replica) => match groups.iter_mut().find(|(r, _)| r.index == replica.index) {
+                    Some((_, group)) => group.push(req),
+                    None => groups.push((replica, vec![req])),
+                },
+                None => {
+                    ctx.bump(|c| &c.engine_errors, 1);
                     ctx.finish(
-                        req,
-                        Reply {
-                            status: Status::EngineError,
-                            id: req.id,
-                            payload: msg.clone(),
-                        },
+                        &req,
+                        Status::EngineError,
+                        b"no healthy replica available".to_vec(),
                     );
                 }
             }
         }
+        for (replica, group) in groups {
+            execute_group(&ctx, &replica, group, width);
+        }
     }
+}
+
+/// Stacks one replica's request group into a single tensor, executes it,
+/// and routes each request's rows back.
+fn execute_group(ctx: &WorkerContext, replica: &Replica, group: Vec<PendingRequest>, width: usize) {
+    let total: usize = group.iter().map(|r| r.n).sum();
+    replica
+        .outstanding
+        .fetch_add(group.len() as u64, Ordering::Relaxed);
+    let mut data = Vec::with_capacity(total * width);
+    for req in &group {
+        data.extend_from_slice(&req.samples);
+    }
+    let mut shape = Vec::with_capacity(1 + ctx.entry.sample_shape.len());
+    shape.push(total);
+    shape.extend_from_slice(&ctx.entry.sample_shape);
+    let input = Tensor::from_vec(data, &shape).expect("admission validated sample shapes");
+    match replica.executor.execute(&input) {
+        Ok(outputs) => {
+            let out_shape = outputs.shape().to_vec();
+            assert_eq!(
+                out_shape.first().copied(),
+                Some(total),
+                "executor must return one output row per input row"
+            );
+            let row_len = outputs.len() / total;
+            ctx.bump(|c| &c.batches, 1);
+            ctx.bump(|c| &c.batched_samples, total as u64);
+            ctx.max(|c| &c.largest_batch, total as u64);
+            replica.batches.fetch_add(1, Ordering::Relaxed);
+            replica
+                .completed
+                .fetch_add(group.len() as u64, Ordering::Relaxed);
+            let done = Instant::now();
+            let mut row = 0usize;
+            for req in &group {
+                let start = row * row_len;
+                let end = start + req.n * row_len;
+                row += req.n;
+                let mut req_shape = out_shape.clone();
+                req_shape[0] = req.n;
+                let sub = Tensor::from_vec(outputs.data()[start..end].to_vec(), &req_shape)
+                    .expect("row slice matches shape");
+                let latency = done.duration_since(req.enqueued);
+                ctx.entry.latency.record(latency);
+                ctx.global_latency.record(latency);
+                ctx.bump(|c| &c.completed, 1);
+                ctx.finish(req, Status::Ok, encode_tensor(&sub));
+            }
+        }
+        Err(e) => {
+            let msg = e.to_string().into_bytes();
+            for req in &group {
+                ctx.bump(|c| &c.engine_errors, 1);
+                ctx.finish(req, Status::EngineError, msg.clone());
+            }
+        }
+    }
+    replica
+        .outstanding
+        .fetch_sub(group.len() as u64, Ordering::Relaxed);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
     use std::thread;
+    use std::time::Duration;
+
+    use resipe::cache::CompileCache;
+    use resipe::kernel::Backend;
+
+    use crate::protocol::PROTOCOL_V1;
+    use crate::registry::{ModelSpec, ReplicaHealth};
 
     /// Echoes its input: output row `i` = input row `i`.
     struct EchoExecutor;
@@ -259,16 +324,25 @@ mod tests {
         }
     }
 
-    fn context(executor: Arc<dyn BatchExecutor>, max_batch: usize) -> WorkerContext {
-        WorkerContext {
-            queue: Arc::new(BoundedQueue::new(64)),
-            executor,
-            sample_shape: vec![2],
+    fn context(
+        executor: Arc<dyn BatchExecutor>,
+        max_batch: usize,
+        replicas: usize,
+    ) -> WorkerContext {
+        let entry = ModelEntry::new(
+            "test".into(),
+            ModelSpec::executor(executor, &[2]).with_replicas(replicas),
+            64,
             max_batch,
-            max_wait: Duration::from_millis(1),
-            counters: Arc::new(ServerCounters::default()),
-            latency: Arc::new(LatencyHistogram::new()),
-            in_flight: Arc::new(AtomicU64::new(0)),
+            Duration::from_millis(1),
+            1,
+            Backend::Scalar,
+            Arc::new(Mutex::new(CompileCache::new(2))),
+        );
+        WorkerContext {
+            entry: Arc::new(entry),
+            global_counters: Arc::new(ServerCounters::default()),
+            global_latency: Arc::new(LatencyHistogram::new()),
         }
     }
 
@@ -280,9 +354,11 @@ mod tests {
     ) -> PendingRequest {
         let n = samples.len() / 2;
         PendingRequest {
+            version: PROTOCOL_V1,
             id,
             samples,
             n,
+            replica_hint: None,
             deadline,
             enqueued: Instant::now(),
             reply: reply.clone(),
@@ -291,16 +367,18 @@ mod tests {
 
     #[test]
     fn echo_batch_routes_rows_back_per_request() {
-        let ctx = context(Arc::new(EchoExecutor), 8);
+        let ctx = context(Arc::new(EchoExecutor), 8, 1);
         let (tx, rx) = mpsc::channel();
-        ctx.in_flight.store(2, Ordering::Relaxed);
-        ctx.queue
+        ctx.entry.in_flight.store(2, Ordering::Relaxed);
+        ctx.entry
+            .queue
             .try_push(request(1, vec![1.0, 2.0], None, &tx))
             .unwrap();
-        ctx.queue
+        ctx.entry
+            .queue
             .try_push(request(2, vec![3.0, 4.0, 5.0, 6.0], None, &tx))
             .unwrap();
-        ctx.queue.close();
+        ctx.entry.queue.close();
         worker_loop(ctx.clone());
         let a = rx.recv().unwrap();
         let b = rx.recv().unwrap();
@@ -312,68 +390,118 @@ mod tests {
         let tb = crate::protocol::decode_tensor(&b.payload).unwrap();
         assert_eq!(tb.shape(), &[2, 2]);
         assert_eq!(tb.data(), &[3.0, 4.0, 5.0, 6.0]);
-        assert_eq!(ServerCounters::get(&ctx.counters.completed), 2);
-        assert_eq!(ServerCounters::get(&ctx.counters.batches), 1);
-        assert_eq!(ServerCounters::get(&ctx.counters.batched_samples), 3);
-        assert_eq!(ctx.in_flight.load(Ordering::Relaxed), 0);
+        assert_eq!(ServerCounters::get(&ctx.entry.counters.completed), 2);
+        assert_eq!(ServerCounters::get(&ctx.global_counters.completed), 2);
+        assert_eq!(ServerCounters::get(&ctx.entry.counters.batches), 1);
+        assert_eq!(ServerCounters::get(&ctx.entry.counters.batched_samples), 3);
+        assert_eq!(ctx.entry.in_flight.load(Ordering::Relaxed), 0);
+        let replicas = ctx.entry.replicas().unwrap();
+        assert_eq!(replicas[0].completed.load(Ordering::Relaxed), 2);
+        assert_eq!(replicas[0].batches.load(Ordering::Relaxed), 1);
+        assert_eq!(replicas[0].outstanding.load(Ordering::Relaxed), 0);
     }
 
     #[test]
     fn expired_requests_dropped_before_execution() {
-        let ctx = context(Arc::new(EchoExecutor), 8);
+        let ctx = context(Arc::new(EchoExecutor), 8, 1);
         let (tx, rx) = mpsc::channel();
-        ctx.in_flight.store(2, Ordering::Relaxed);
+        ctx.entry.in_flight.store(2, Ordering::Relaxed);
         let past = Instant::now() - Duration::from_millis(1);
-        ctx.queue
+        ctx.entry
+            .queue
             .try_push(request(1, vec![1.0, 2.0], Some(past), &tx))
             .unwrap();
-        ctx.queue
+        ctx.entry
+            .queue
             .try_push(request(2, vec![3.0, 4.0], None, &tx))
             .unwrap();
-        ctx.queue.close();
+        ctx.entry.queue.close();
         worker_loop(ctx.clone());
         let replies: Vec<Reply> = rx.try_iter().collect();
         assert_eq!(replies.len(), 2);
         assert_eq!(replies[0].status, Status::Expired);
         assert_eq!(replies[0].id, 1);
         assert_eq!(replies[1].status, Status::Ok);
-        assert_eq!(ServerCounters::get(&ctx.counters.expired), 1);
-        assert_eq!(ServerCounters::get(&ctx.counters.completed), 1);
+        assert_eq!(ServerCounters::get(&ctx.entry.counters.expired), 1);
+        assert_eq!(ServerCounters::get(&ctx.entry.counters.completed), 1);
     }
 
     #[test]
     fn executor_failure_answers_every_request() {
-        let ctx = context(Arc::new(FailExecutor), 8);
+        let ctx = context(Arc::new(FailExecutor), 8, 1);
         let (tx, rx) = mpsc::channel();
-        ctx.in_flight.store(2, Ordering::Relaxed);
+        ctx.entry.in_flight.store(2, Ordering::Relaxed);
         for id in [1, 2] {
-            ctx.queue
+            ctx.entry
+                .queue
                 .try_push(request(id, vec![0.0, 0.0], None, &tx))
                 .unwrap();
         }
-        ctx.queue.close();
+        ctx.entry.queue.close();
         worker_loop(ctx.clone());
         let replies: Vec<Reply> = rx.try_iter().collect();
         assert_eq!(replies.len(), 2);
         assert!(replies.iter().all(|r| r.status == Status::EngineError));
-        assert_eq!(ServerCounters::get(&ctx.counters.engine_errors), 2);
-        assert_eq!(ctx.in_flight.load(Ordering::Relaxed), 0);
+        assert_eq!(ServerCounters::get(&ctx.entry.counters.engine_errors), 2);
+        assert_eq!(ctx.entry.in_flight.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn hinted_requests_split_to_their_replica() {
+        let ctx = context(Arc::new(EchoExecutor), 8, 2);
+        let (tx, rx) = mpsc::channel();
+        ctx.entry.in_flight.store(2, Ordering::Relaxed);
+        let mut hinted = request(1, vec![1.0, 2.0], None, &tx);
+        hinted.replica_hint = Some(1);
+        ctx.entry.queue.try_push(hinted).unwrap();
+        ctx.entry
+            .queue
+            .try_push(request(2, vec![3.0, 4.0], None, &tx))
+            .unwrap();
+        ctx.entry.queue.close();
+        worker_loop(ctx.clone());
+        let replies: Vec<Reply> = rx.try_iter().collect();
+        assert!(replies.iter().all(|r| r.status == Status::Ok));
+        let replicas = ctx.entry.replicas().unwrap();
+        assert_eq!(replicas[1].completed.load(Ordering::Relaxed), 1);
+        assert_eq!(replicas[0].completed.load(Ordering::Relaxed), 1);
+        // Two groups → two batch executions.
+        assert_eq!(ServerCounters::get(&ctx.entry.counters.batches), 2);
+    }
+
+    #[test]
+    fn all_sick_replicas_answer_engine_error() {
+        let ctx = context(Arc::new(EchoExecutor), 8, 1);
+        ctx.entry.replicas().unwrap()[0].set_health(ReplicaHealth::Sick);
+        let (tx, rx) = mpsc::channel();
+        ctx.entry.in_flight.store(1, Ordering::Relaxed);
+        ctx.entry
+            .queue
+            .try_push(request(1, vec![1.0, 2.0], None, &tx))
+            .unwrap();
+        ctx.entry.queue.close();
+        worker_loop(ctx.clone());
+        let reply = rx.recv().unwrap();
+        assert_eq!(reply.status, Status::EngineError);
+        assert!(String::from_utf8_lossy(&reply.payload).contains("no healthy replica"));
     }
 
     #[test]
     fn disconnected_client_does_not_stall_the_batch() {
-        let ctx = context(Arc::new(EchoExecutor), 8);
+        let ctx = context(Arc::new(EchoExecutor), 8, 1);
         let (dead_tx, dead_rx) = mpsc::channel();
         drop(dead_rx); // client went away
         let (tx, rx) = mpsc::channel();
-        ctx.in_flight.store(2, Ordering::Relaxed);
-        ctx.queue
+        ctx.entry.in_flight.store(2, Ordering::Relaxed);
+        ctx.entry
+            .queue
             .try_push(request(1, vec![1.0, 2.0], None, &dead_tx))
             .unwrap();
-        ctx.queue
+        ctx.entry
+            .queue
             .try_push(request(2, vec![3.0, 4.0], None, &tx))
             .unwrap();
-        ctx.queue.close();
+        ctx.entry.queue.close();
         let worker = thread::spawn(move || worker_loop(ctx));
         let ok = rx.recv().unwrap();
         assert_eq!((ok.status, ok.id), (Status::Ok, 2));

@@ -1,4 +1,11 @@
 //! A blocking TCP client for the serving protocol.
+//!
+//! [`Client`] speaks both protocol versions: the legacy single-model
+//! verbs (`infer`, `infer_batch`, `ping`) stay on the v1 wire —
+//! byte-identical to the pre-registry client, routed to the server's
+//! default model — while [`Client::model`] returns a [`ModelHandle`]
+//! that addresses a named model (and optionally a pinned replica) over
+//! protocol v2.
 
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -7,9 +14,10 @@ use std::time::{Duration, Instant};
 use resipe_nn::tensor::Tensor;
 
 use crate::error::ServeError;
-use crate::metrics::ServerStats;
+use crate::metrics::{ModelStatsBlock, ServerStats};
 use crate::protocol::{
-    decode_tensor, read_response, write_request, Request, Response, Status, Verb,
+    decode_model_list, decode_tensor, read_response, write_request, ModelInfo, Request, Response,
+    Status, Verb,
 };
 
 /// A blocking client over one TCP connection.
@@ -54,18 +62,48 @@ impl Client {
         self
     }
 
-    fn round_trip(&mut self, verb: Verb, tensor: Option<Tensor>) -> Result<Response, ServeError> {
+    /// Addresses the named model over protocol v2. The handle borrows
+    /// this client's connection; requests through it interleave with
+    /// direct calls.
+    pub fn model<'c>(&'c mut self, name: &str) -> ModelHandle<'c> {
+        ModelHandle {
+            client: self,
+            model: name.to_owned(),
+            replica_hint: None,
+        }
+    }
+
+    /// Lists the models the server registers, with replica counts and
+    /// health (protocol v2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol failures.
+    pub fn list_models(&mut self) -> Result<Vec<ModelInfo>, ServeError> {
+        let id = self.take_id();
+        let resp = self.round_trip(Request::v2(Verb::ListModels, id, 0, "", None))?;
+        decode_model_list(&resp.payload)
+    }
+
+    /// Fetches one model's stats block (protocol v2).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoSuchModel`] when the model is unknown; socket
+    /// and protocol failures propagate.
+    pub fn model_stats(&mut self, name: &str) -> Result<ModelStatsBlock, ServeError> {
+        let id = self.take_id();
+        let resp = self.round_trip(Request::v2(Verb::ModelStats, id, 0, name, None))?;
+        ModelStatsBlock::decode(&resp.payload)
+    }
+
+    fn take_id(&mut self) -> u64 {
         let id = self.next_id;
         self.next_id = self.next_id.wrapping_add(1);
-        let req = Request {
-            verb,
-            id,
-            deadline_us: match verb {
-                Verb::Infer | Verb::InferBatch => self.deadline_us,
-                _ => 0,
-            },
-            tensor,
-        };
+        id
+    }
+
+    fn round_trip(&mut self, req: Request) -> Result<Response, ServeError> {
         write_request(&mut self.writer, &req)?;
         let resp = read_response(&mut self.reader)?.ok_or_else(|| {
             ServeError::Io(std::io::Error::new(
@@ -73,10 +111,10 @@ impl Client {
                 "server closed the connection before replying",
             ))
         })?;
-        if resp.id != id {
+        if resp.id != req.id {
             return Err(ServeError::Protocol(format!(
-                "response id {} does not match request id {id}",
-                resp.id
+                "response id {} does not match request id {}",
+                resp.id, req.id
             )));
         }
         match resp.status {
@@ -90,38 +128,50 @@ impl Client {
             Status::EngineError => Err(ServeError::Engine(
                 String::from_utf8_lossy(&resp.payload).into_owned(),
             )),
+            Status::Malformed => Err(ServeError::Malformed(
+                String::from_utf8_lossy(&resp.payload).into_owned(),
+            )),
+            Status::NoSuchModel => Err(ServeError::NoSuchModel(
+                String::from_utf8_lossy(&resp.payload).into_owned(),
+            )),
         }
     }
 
-    /// Runs one sample (shape = the server's per-sample shape) and
-    /// returns its output with the leading batch dimension stripped.
+    fn legacy_round_trip(
+        &mut self,
+        verb: Verb,
+        tensor: Option<Tensor>,
+    ) -> Result<Response, ServeError> {
+        let id = self.take_id();
+        let deadline_us = match verb {
+            Verb::Infer | Verb::InferBatch => self.deadline_us,
+            _ => 0,
+        };
+        self.round_trip(Request::v1(verb, id, deadline_us, tensor))
+    }
+
+    /// Runs one sample (shape = the default model's per-sample shape)
+    /// and returns its output with the leading batch dimension
+    /// stripped. Stays on the v1 wire, routed to the server's default
+    /// model.
     ///
     /// # Errors
     ///
     /// Admission-control statuses map to their [`ServeError`] variants;
     /// socket and protocol failures propagate.
     pub fn infer(&mut self, sample: &Tensor) -> Result<Tensor, ServeError> {
-        let resp = self.round_trip(Verb::Infer, Some(sample.clone()))?;
-        let out = decode_tensor(&resp.payload)?;
-        let shape = out.shape();
-        if shape.first() != Some(&1) {
-            return Err(ServeError::Protocol(format!(
-                "single-sample reply has batch dimension {:?}",
-                shape.first()
-            )));
-        }
-        let inner: Vec<usize> = shape[1..].to_vec();
-        Tensor::from_vec(out.data().to_vec(), &inner).map_err(ServeError::from)
+        let resp = self.legacy_round_trip(Verb::Infer, Some(sample.clone()))?;
+        strip_batch_dim(&resp.payload)
     }
 
-    /// Runs a batch (first dimension = sample count); the reply keeps
-    /// the batch dimension.
+    /// Runs a batch (first dimension = sample count) against the
+    /// default model; the reply keeps the batch dimension.
     ///
     /// # Errors
     ///
     /// As [`Client::infer`].
     pub fn infer_batch(&mut self, batch: &Tensor) -> Result<Tensor, ServeError> {
-        let resp = self.round_trip(Verb::InferBatch, Some(batch.clone()))?;
+        let resp = self.legacy_round_trip(Verb::InferBatch, Some(batch.clone()))?;
         decode_tensor(&resp.payload)
     }
 
@@ -132,17 +182,110 @@ impl Client {
     /// Propagates socket and protocol failures.
     pub fn ping(&mut self) -> Result<Duration, ServeError> {
         let start = Instant::now();
-        self.round_trip(Verb::Ping, None)?;
+        self.legacy_round_trip(Verb::Ping, None)?;
         Ok(start.elapsed())
     }
 
-    /// Fetches the server's health/metrics snapshot.
+    /// Fetches the server's health/metrics snapshot, including the
+    /// per-model blocks (protocol v2).
     ///
     /// # Errors
     ///
     /// Propagates socket and protocol failures.
     pub fn stats(&mut self) -> Result<ServerStats, ServeError> {
-        let resp = self.round_trip(Verb::Stats, None)?;
+        let id = self.take_id();
+        let resp = self.round_trip(Request::v2(Verb::Stats, id, 0, "", None))?;
         ServerStats::decode(&resp.payload)
+    }
+}
+
+fn strip_batch_dim(payload: &[u8]) -> Result<Tensor, ServeError> {
+    let out = decode_tensor(payload)?;
+    let shape = out.shape();
+    if shape.first() != Some(&1) {
+        return Err(ServeError::Protocol(format!(
+            "single-sample reply has batch dimension {:?}",
+            shape.first()
+        )));
+    }
+    let inner: Vec<usize> = shape[1..].to_vec();
+    Tensor::from_vec(out.data().to_vec(), &inner).map_err(ServeError::from)
+}
+
+/// Addresses one named model over protocol v2, borrowing a [`Client`]'s
+/// connection. Obtained from [`Client::model`].
+///
+/// ```no_run
+/// # use resipe_serve::Client;
+/// # fn demo(client: &mut Client, sample: &resipe_nn::tensor::Tensor) {
+/// let out = client.model("mlp1").infer(sample).unwrap();
+/// # let _ = out;
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ModelHandle<'c> {
+    client: &'c mut Client,
+    model: String,
+    replica_hint: Option<u32>,
+}
+
+impl ModelHandle<'_> {
+    /// Pins subsequent requests to one replica (useful for comparing
+    /// replicas compiled with variation enabled, where each replica's
+    /// conductance draw differs). The balancer honors the hint only
+    /// while that replica is healthy.
+    pub fn with_replica_hint(mut self, replica: u32) -> Self {
+        self.replica_hint = Some(replica);
+        self
+    }
+
+    fn request(&mut self, verb: Verb, tensor: Option<Tensor>) -> Request {
+        let id = self.client.take_id();
+        let deadline_us = match verb {
+            Verb::Infer | Verb::InferBatch => self.client.deadline_us,
+            _ => 0,
+        };
+        let mut req = Request::v2(verb, id, deadline_us, &self.model, tensor);
+        if let Some(hint) = self.replica_hint {
+            req = req.with_replica_hint(hint);
+        }
+        req
+    }
+
+    /// Runs one sample against this model; the leading batch dimension
+    /// is stripped from the reply.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoSuchModel`] when the model is unknown; otherwise
+    /// as [`Client::infer`].
+    pub fn infer(&mut self, sample: &Tensor) -> Result<Tensor, ServeError> {
+        let req = self.request(Verb::Infer, Some(sample.clone()));
+        let resp = self.client.round_trip(req)?;
+        strip_batch_dim(&resp.payload)
+    }
+
+    /// Runs a batch against this model; the reply keeps the batch
+    /// dimension.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelHandle::infer`].
+    pub fn infer_batch(&mut self, batch: &Tensor) -> Result<Tensor, ServeError> {
+        let req = self.request(Verb::InferBatch, Some(batch.clone()));
+        let resp = self.client.round_trip(req)?;
+        decode_tensor(&resp.payload)
+    }
+
+    /// Fetches this model's stats block (queue/latency/replica
+    /// health).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::model_stats`].
+    pub fn stats(&mut self) -> Result<ModelStatsBlock, ServeError> {
+        let req = self.request(Verb::ModelStats, None);
+        let resp = self.client.round_trip(req)?;
+        ModelStatsBlock::decode(&resp.payload)
     }
 }

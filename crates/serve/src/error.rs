@@ -33,6 +33,14 @@ pub enum ServeError {
     /// The hardware engine failed while executing the batch
     /// (server-side [`ResipeError`], carried as text over the wire).
     Engine(String),
+    /// The frame's preamble was garbage: neither a valid protocol-v1
+    /// verb byte nor the v2 magic+version pair. Unlike
+    /// [`ServeError::Protocol`] (a recognizable frame with invalid
+    /// content), a malformed preamble is answered without any attempt
+    /// to decode the rest of the payload.
+    Malformed(String),
+    /// The request addressed a model name the server does not serve.
+    NoSuchModel(String),
 }
 
 impl fmt::Display for ServeError {
@@ -45,6 +53,8 @@ impl fmt::Display for ServeError {
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Engine(msg) => write!(f, "engine error: {msg}"),
+            ServeError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+            ServeError::NoSuchModel(name) => write!(f, "no such model: {name}"),
         }
     }
 }

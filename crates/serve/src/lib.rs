@@ -1,17 +1,37 @@
-//! `resipe-serve` — a TCP inference server for compiled ReSiPE networks.
+//! `resipe-serve` — a multi-model TCP inference server for compiled
+//! ReSiPE networks.
 //!
-//! The crate turns a [`HardwareNetwork`](resipe::inference::HardwareNetwork)
+//! The crate turns a set of [`HardwareNetwork`](resipe::inference::HardwareNetwork)s
 //! into a network service without any external dependencies: plain
-//! `std::net` sockets, `std::thread` workers, and a length-prefixed
-//! binary protocol ([`protocol`]).
+//! `std::net` sockets, `std::thread` workers, and a versioned
+//! length-prefixed binary protocol ([`protocol`]).
 //!
 //! # Architecture
 //!
-//! - **Admission control** — every connection's requests flow through a
-//!   [`queue::BoundedQueue`]; when it is full the server answers
-//!   [`protocol::Status::Busy`] immediately instead of queueing
-//!   unboundedly, and requests whose deadline passes while queued are
-//!   dropped with [`protocol::Status::Expired`].
+//! - **Model registry** — [`Server::builder`] registers named models
+//!   ([`ModelSpec`]); each gets its own bounded queue, batcher workers,
+//!   counters, and latency histogram. Network-sourced models compile
+//!   lazily through a shared
+//!   [`CompileCache`](resipe::cache::CompileCache) on first request.
+//! - **Replicated engine shards** — every model runs
+//!   [`with_replicas(n)`](ModelSpec::with_replicas) engine instances
+//!   with distinct variation/fault seeds. A deterministic
+//!   least-outstanding-requests balancer spreads batches across the
+//!   [`Healthy`](ReplicaHealth::Healthy) replicas; a replica whose BIST
+//!   starts failing can be set [`Draining`](ReplicaHealth::Draining) or
+//!   [`Sick`](ReplicaHealth::Sick) via [`Server::set_replica_health`]
+//!   without dropping traffic.
+//! - **Versioned protocol** — v2 frames carry a magic+version preamble,
+//!   a model name, and an optional replica hint, and add the
+//!   `ListModels`/`ModelStats` verbs. Pre-registry **v1 frames keep
+//!   working bit-identically** (they route to the default model), and
+//!   garbage preambles are rejected with
+//!   [`Status::Malformed`](protocol::Status::Malformed) before any
+//!   tensor decode.
+//! - **Admission control** — per-model bounded queues answer
+//!   [`Status::Busy`](protocol::Status::Busy) when full instead of
+//!   queueing unboundedly; requests whose deadline passes while queued
+//!   are dropped with [`Status::Expired`](protocol::Status::Expired).
 //! - **Dynamic micro-batching** — [`batcher`] workers coalesce queued
 //!   requests (up to [`ServerConfig::max_batch`] samples, lingering at
 //!   most [`ServerConfig::max_wait`]) into one
@@ -21,10 +41,11 @@
 //!   the integration tests assert byte equality under the full
 //!   non-ideality chain.
 //! - **Observability** — the `Stats` verb returns a [`ServerStats`]
-//!   snapshot: queue depth, in-flight count, reject/expiry counters,
-//!   p50/p95/p99 latency, and the engine's full
+//!   snapshot with per-model [`ModelStatsBlock`]s (queue depth,
+//!   reject/expiry counters, p50/p95/p99 latency, per-replica health
+//!   and load) plus the engine's full
 //!   [`TelemetrySnapshot`](resipe::telemetry::TelemetrySnapshot) as
-//!   JSON (including compile-cache hit/miss/eviction pressure).
+//!   JSON.
 //! - **Graceful shutdown** — [`Server::shutdown`] refuses new work,
 //!   drains and answers everything already admitted, then closes
 //!   connections.
@@ -32,21 +53,28 @@
 //! # Quickstart
 //!
 //! ```no_run
-//! use resipe::inference::{CompileOptions, HardwareNetwork};
+//! use resipe::inference::CompileOptions;
 //! use resipe_nn::data::synth_digits;
 //! use resipe_nn::models;
 //! use resipe_nn::tensor::Tensor;
-//! use resipe_serve::{Client, Server, ServerConfig};
+//! use resipe_serve::{Client, ModelSpec, Server, ServerConfig};
 //!
 //! let data = synth_digits(16, 1).unwrap();
 //! let (calib, _) = data.batch(&(0..16).collect::<Vec<_>>()).unwrap();
 //! let net = models::mlp1(7).unwrap();
-//! let hw = HardwareNetwork::compile(&net, &calib, &CompileOptions::paper()).unwrap();
-//! let server = Server::spawn(hw, &[1, 28, 28], "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let server = Server::builder()
+//!     .config(ServerConfig::default())
+//!     .register_model(
+//!         "mlp1",
+//!         ModelSpec::network(net, calib, CompileOptions::paper(), &[1, 28, 28]),
+//!     )
+//!     .replicas(2)
+//!     .bind("127.0.0.1:0")
+//!     .unwrap();
 //!
 //! let mut client = Client::connect(server.local_addr()).unwrap();
 //! let sample = Tensor::from_vec(vec![0.5; 784], &[1, 28, 28]).unwrap();
-//! let output = client.infer(&sample).unwrap();
+//! let output = client.model("mlp1").infer(&sample).unwrap();
 //! assert_eq!(output.shape(), &[10]);
 //! ```
 
@@ -59,11 +87,13 @@ pub mod error;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
+pub mod registry;
 pub mod server;
 
 pub use batcher::{BatchExecutor, NetworkExecutor};
-pub use client::Client;
+pub use client::{Client, ModelHandle};
 pub use error::ServeError;
-pub use metrics::{LatencyHistogram, LatencySnapshot, ServerStats};
-pub use protocol::{Request, Response, Status, Verb};
-pub use server::{Server, ServerConfig};
+pub use metrics::{LatencyHistogram, LatencySnapshot, ModelStatsBlock, ReplicaStats, ServerStats};
+pub use protocol::{ModelInfo, Request, Response, Status, Verb};
+pub use registry::{ModelSpec, ReplicaHealth};
+pub use server::{Server, ServerBuilder, ServerConfig};

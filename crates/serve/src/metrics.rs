@@ -4,10 +4,21 @@
 //! are relaxed atomics, mirroring the overhead contract of
 //! [`resipe::telemetry`]. The [`ServerStats`] snapshot is what the
 //! `Stats` protocol verb serializes — queue depth, in-flight count,
-//! admission-control counters, request-latency percentiles, and the
-//! engine's own [`resipe::telemetry::TelemetrySnapshot`] (as its stable
-//! JSON form, which carries the compile-cache hit/miss/eviction
-//! pressure counters among others).
+//! admission-control counters, request-latency percentiles, per-model
+//! blocks with per-replica health, and the engine's own
+//! [`resipe::telemetry::TelemetrySnapshot`] (as its stable JSON form,
+//! which carries the compile-cache hit/miss/eviction pressure counters
+//! among others).
+//!
+//! Two wire encodings exist:
+//!
+//! - the **count-prefixed** v2 layout ([`ServerStats::encode`]): every
+//!   counter block opens with a `u32` count of the `u64`s that follow,
+//!   so adding a counter is no longer wire-breaking — an old decoder
+//!   skips the extras, a new decoder zero-fills the missing tail;
+//! - the **legacy** fixed layout ([`ServerStats::encode_legacy`]): the
+//!   exact 22-`u64` format the pre-registry protocol used, still sent
+//!   in answer to v1 `Stats` frames so old client binaries keep parsing.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -109,7 +120,17 @@ pub struct LatencySnapshot {
     pub max_nanos: u64,
 }
 
-/// Lock-free lifetime counters of one server.
+impl LatencySnapshot {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"count\": {}, \"p50_nanos\": {}, \"p95_nanos\": {}, \
+             \"p99_nanos\": {}, \"max_nanos\": {}}}",
+            self.count, self.p50_nanos, self.p95_nanos, self.p99_nanos, self.max_nanos
+        )
+    }
+}
+
+/// Lock-free lifetime counters of one server (or one model's share).
 #[derive(Debug, Default)]
 pub struct ServerCounters {
     /// Requests admitted into the queue.
@@ -144,16 +165,284 @@ impl ServerCounters {
     }
 }
 
+/// Reads `n_u64`-prefixed counters into `out`, zero-filling when the
+/// wire carries fewer than `out.len()` and skipping any extras — the
+/// mechanism that makes counter additions non-wire-breaking.
+fn take_counter_block(bytes: &[u8], at: &mut usize, out: &mut [u64]) -> Result<(), ServeError> {
+    let n = take_u32(bytes, at)? as usize;
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = if i < n { take_u64(bytes, at)? } else { 0 };
+    }
+    for _ in out.len()..n {
+        take_u64(bytes, at)?;
+    }
+    Ok(())
+}
+
+fn put_counter_block(buf: &mut Vec<u8>, counters: &[u64]) {
+    put_u32(buf, counters.len() as u32);
+    for &v in counters {
+        put_u64(buf, v);
+    }
+}
+
+fn take_short_str(bytes: &[u8], at: &mut usize, what: &str) -> Result<String, ServeError> {
+    let len = *bytes
+        .get(*at)
+        .ok_or_else(|| ServeError::Protocol(format!("truncated {what} length")))?
+        as usize;
+    *at += 1;
+    let end = at
+        .checked_add(len)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| ServeError::Protocol(format!("truncated {what}")))?;
+    let s = String::from_utf8(bytes[*at..end].to_vec())
+        .map_err(|e| ServeError::Protocol(format!("{what} not UTF-8: {e}")))?;
+    *at = end;
+    Ok(s)
+}
+
+/// One engine replica's slice of a model's stats.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Replica index within the model (stable across the server's life).
+    pub index: u32,
+    /// Health state: 0 = healthy, 1 = draining, 2 = sick.
+    pub health: u8,
+    /// Requests currently dispatched to this replica and not yet done.
+    pub outstanding: u64,
+    /// Requests this replica answered successfully, lifetime.
+    pub completed: u64,
+    /// Coalesced batches this replica executed, lifetime.
+    pub batches: u64,
+}
+
+impl ReplicaStats {
+    /// Human name of the health state.
+    pub fn health_name(&self) -> &'static str {
+        match self.health {
+            0 => "healthy",
+            1 => "draining",
+            2 => "sick",
+            _ => "unknown",
+        }
+    }
+}
+
+/// One registered model's slice of the server stats: its own admission
+/// counters, latency percentiles, and per-replica blocks.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct ModelStatsBlock {
+    /// The model's registry name.
+    pub name: String,
+    /// Requests queued for this model and not yet picked up.
+    pub queue_depth: u64,
+    /// This model's bounded-queue admission capacity.
+    pub queue_capacity: u64,
+    /// Requests admitted for this model and not yet answered.
+    pub in_flight: u64,
+    /// Requests admitted into this model's queue, lifetime.
+    pub accepted: u64,
+    /// Requests answered successfully, lifetime.
+    pub completed: u64,
+    /// `Busy` rejections, lifetime.
+    pub rejected_busy: u64,
+    /// Deadline expiries, lifetime.
+    pub expired: u64,
+    /// Malformed/mis-shaped rejections, lifetime.
+    pub bad_requests: u64,
+    /// Rejections while draining, lifetime.
+    pub shutdown_rejects: u64,
+    /// Engine-error responses, lifetime.
+    pub engine_errors: u64,
+    /// Coalesced batches executed, lifetime.
+    pub batches: u64,
+    /// Samples executed across all batches, lifetime.
+    pub batched_samples: u64,
+    /// Largest single coalesced batch, in samples.
+    pub largest_batch: u64,
+    /// This model's request-latency percentiles.
+    pub latency: LatencySnapshot,
+    /// Per-replica health and throughput, indexed by replica.
+    pub replicas: Vec<ReplicaStats>,
+}
+
+impl ModelStatsBlock {
+    /// Mean coalesced batch size in samples (0 when nothing ran).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_samples as f64 / self.batches as f64
+        }
+    }
+
+    fn counters(&self) -> [u64; 18] {
+        [
+            self.queue_depth,
+            self.queue_capacity,
+            self.in_flight,
+            self.accepted,
+            self.completed,
+            self.rejected_busy,
+            self.expired,
+            self.bad_requests,
+            self.shutdown_rejects,
+            self.engine_errors,
+            self.batches,
+            self.batched_samples,
+            self.largest_batch,
+            self.latency.count,
+            self.latency.p50_nanos,
+            self.latency.p95_nanos,
+            self.latency.p99_nanos,
+            self.latency.max_nanos,
+        ]
+    }
+
+    /// Serializes one model block (the `ModelStats` verb's body):
+    /// `[u8 name_len][name][u32 n_u64][u64×n][u32 n_replicas]` then per
+    /// replica `[u32 index][u8 health][u32 n_u64][u64×n]`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32 + self.name.len() + 18 * 8);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        debug_assert!(self.name.len() <= 255);
+        buf.push(self.name.len() as u8);
+        buf.extend_from_slice(self.name.as_bytes());
+        put_counter_block(buf, &self.counters());
+        put_u32(buf, self.replicas.len() as u32);
+        for r in &self.replicas {
+            put_u32(buf, r.index);
+            buf.push(r.health);
+            put_counter_block(buf, &[r.outstanding, r.completed, r.batches]);
+        }
+    }
+
+    /// Deserializes one model block that fills `bytes` exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] for truncation, invalid UTF-8,
+    /// or trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<ModelStatsBlock, ServeError> {
+        let mut at = 0usize;
+        let block = Self::decode_from(bytes, &mut at)?;
+        if at != bytes.len() {
+            return Err(ServeError::Protocol(
+                "trailing bytes after model stats".into(),
+            ));
+        }
+        Ok(block)
+    }
+
+    fn decode_from(bytes: &[u8], at: &mut usize) -> Result<ModelStatsBlock, ServeError> {
+        let name = take_short_str(bytes, at, "model name")?;
+        let mut c = [0u64; 18];
+        take_counter_block(bytes, at, &mut c)?;
+        let n_replicas = take_u32(bytes, at)? as usize;
+        let mut replicas = Vec::with_capacity(n_replicas.min(1024));
+        for _ in 0..n_replicas {
+            let index = take_u32(bytes, at)?;
+            let health = *bytes
+                .get(*at)
+                .ok_or_else(|| ServeError::Protocol("truncated replica health".into()))?;
+            *at += 1;
+            let mut rc = [0u64; 3];
+            take_counter_block(bytes, at, &mut rc)?;
+            replicas.push(ReplicaStats {
+                index,
+                health,
+                outstanding: rc[0],
+                completed: rc[1],
+                batches: rc[2],
+            });
+        }
+        Ok(ModelStatsBlock {
+            name,
+            queue_depth: c[0],
+            queue_capacity: c[1],
+            in_flight: c[2],
+            accepted: c[3],
+            completed: c[4],
+            rejected_busy: c[5],
+            expired: c[6],
+            bad_requests: c[7],
+            shutdown_rejects: c[8],
+            engine_errors: c[9],
+            batches: c[10],
+            batched_samples: c[11],
+            largest_batch: c[12],
+            latency: LatencySnapshot {
+                count: c[13],
+                p50_nanos: c[14],
+                p95_nanos: c[15],
+                p99_nanos: c[16],
+                max_nanos: c[17],
+            },
+            replicas,
+        })
+    }
+
+    /// Stable-key JSON rendering of one model block.
+    pub fn to_json(&self) -> String {
+        let replicas: Vec<String> = self
+            .replicas
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"index\": {}, \"health\": \"{}\", \"outstanding\": {}, \
+                     \"completed\": {}, \"batches\": {}}}",
+                    r.index,
+                    r.health_name(),
+                    r.outstanding,
+                    r.completed,
+                    r.batches
+                )
+            })
+            .collect();
+        format!(
+            "{{\"name\": \"{}\", \"queue_depth\": {}, \"queue_capacity\": {}, \
+             \"in_flight\": {}, \"accepted\": {}, \"completed\": {}, \
+             \"rejected_busy\": {}, \"expired\": {}, \"bad_requests\": {}, \
+             \"shutdown_rejects\": {}, \"engine_errors\": {}, \"batches\": {}, \
+             \"batched_samples\": {}, \"largest_batch\": {}, \
+             \"latency\": {}, \"replicas\": [{}]}}",
+            self.name,
+            self.queue_depth,
+            self.queue_capacity,
+            self.in_flight,
+            self.accepted,
+            self.completed,
+            self.rejected_busy,
+            self.expired,
+            self.bad_requests,
+            self.shutdown_rejects,
+            self.engine_errors,
+            self.batches,
+            self.batched_samples,
+            self.largest_batch,
+            self.latency.to_json(),
+            replicas.join(", ")
+        )
+    }
+}
+
 /// The `STATS` verb's payload: a point-in-time health/metrics snapshot.
+/// Global counters aggregate over every registered model; the `models`
+/// vector carries the per-model breakdown.
 #[derive(Debug, Default, Clone, PartialEq)]
 pub struct ServerStats {
-    /// Requests queued but not yet picked up by a worker.
+    /// Requests queued but not yet picked up by a worker (all models).
     pub queue_depth: u64,
-    /// The bounded queue's admission capacity, in requests.
+    /// Total admission capacity across the per-model bounded queues.
     pub queue_capacity: u64,
     /// Requests admitted and not yet answered (queued or executing).
     pub in_flight: u64,
-    /// Requests admitted into the queue, lifetime.
+    /// Requests admitted into a queue, lifetime.
     pub accepted: u64,
     /// Requests answered successfully, lifetime.
     pub completed: u64,
@@ -179,19 +468,22 @@ pub struct ServerStats {
     pub scrub_tiles: u64,
     /// Tile repairs triggered by the background scrubber, lifetime.
     pub scrub_repairs: u64,
-    /// Epoch swaps on the served network (scrub repairs + aging
+    /// Epoch swaps on the served networks (scrub repairs + aging
     /// publishes), lifetime.
     pub plan_swaps: u64,
     /// Name of the kernel [`Backend`](resipe::kernel::Backend) the
     /// server executes batches with (`"scalar"` by default).
     pub kernel_backend: String,
-    /// Request-latency percentiles (admission → response enqueued).
+    /// Request-latency percentiles (admission → response enqueued),
+    /// across all models.
     pub latency: LatencySnapshot,
     /// The engine's [`resipe::telemetry::TelemetrySnapshot`] in its
     /// stable JSON form (`TelemetrySnapshot::to_json`): span hierarchy,
     /// MVM/skip counters, compile-cache hit/miss/eviction pressure, and
     /// the spike-time saturation histograms.
     pub telemetry_json: String,
+    /// Per-model breakdown (empty in legacy-decoded snapshots).
+    pub models: Vec<ModelStatsBlock>,
 }
 
 impl ServerStats {
@@ -204,10 +496,13 @@ impl ServerStats {
         }
     }
 
-    /// Serializes the snapshot for the wire.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(22 * 8 + self.telemetry_json.len());
-        for v in [
+    /// The named model's block, if present.
+    pub fn model(&self, name: &str) -> Option<&ModelStatsBlock> {
+        self.models.iter().find(|m| m.name == name)
+    }
+
+    fn global_counters(&self) -> [u64; 22] {
+        [
             self.queue_depth,
             self.queue_capacity,
             self.in_flight,
@@ -230,7 +525,100 @@ impl ServerStats {
             self.latency.p95_nanos,
             self.latency.p99_nanos,
             self.latency.max_nanos,
-        ] {
+        ]
+    }
+
+    /// Serializes the snapshot in the count-prefixed v2 layout:
+    /// `[u32 n_u64][u64×n]` global counters, the two length-prefixed
+    /// strings, then `[u32 n_models]` × model block.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(4 + 22 * 8 + self.telemetry_json.len());
+        put_counter_block(&mut buf, &self.global_counters());
+        put_u32(&mut buf, self.kernel_backend.len() as u32);
+        buf.extend_from_slice(self.kernel_backend.as_bytes());
+        put_u32(&mut buf, self.telemetry_json.len() as u32);
+        buf.extend_from_slice(self.telemetry_json.as_bytes());
+        put_u32(&mut buf, self.models.len() as u32);
+        for m in &self.models {
+            m.encode_into(&mut buf);
+        }
+        buf
+    }
+
+    /// Deserializes a count-prefixed v2 snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] for truncation or invalid UTF-8.
+    pub fn decode(bytes: &[u8]) -> Result<ServerStats, ServeError> {
+        let mut at = 0usize;
+        let mut c = [0u64; 22];
+        take_counter_block(bytes, &mut at, &mut c)?;
+        let mut stats = Self::from_globals(&c);
+        let mut take_str = |what: &str| -> Result<String, ServeError> {
+            let len = take_u32(bytes, &mut at)? as usize;
+            let end = at
+                .checked_add(len)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| ServeError::Protocol(format!("truncated stats {what}")))?;
+            let s = String::from_utf8(bytes[at..end].to_vec())
+                .map_err(|e| ServeError::Protocol(format!("stats {what} not UTF-8: {e}")))?;
+            at = end;
+            Ok(s)
+        };
+        stats.kernel_backend = take_str("backend name")?;
+        stats.telemetry_json = take_str("telemetry")?;
+        let n_models = take_u32(bytes, &mut at)? as usize;
+        stats.models.reserve(n_models.min(1024));
+        for _ in 0..n_models {
+            stats
+                .models
+                .push(ModelStatsBlock::decode_from(bytes, &mut at)?);
+        }
+        if at != bytes.len() {
+            return Err(ServeError::Protocol("trailing bytes after stats".into()));
+        }
+        Ok(stats)
+    }
+
+    fn from_globals(c: &[u64; 22]) -> ServerStats {
+        ServerStats {
+            queue_depth: c[0],
+            queue_capacity: c[1],
+            in_flight: c[2],
+            accepted: c[3],
+            completed: c[4],
+            rejected_busy: c[5],
+            expired: c[6],
+            bad_requests: c[7],
+            shutdown_rejects: c[8],
+            engine_errors: c[9],
+            batches: c[10],
+            batched_samples: c[11],
+            largest_batch: c[12],
+            scrub_passes: c[13],
+            scrub_tiles: c[14],
+            scrub_repairs: c[15],
+            plan_swaps: c[16],
+            kernel_backend: String::new(),
+            latency: LatencySnapshot {
+                count: c[17],
+                p50_nanos: c[18],
+                p95_nanos: c[19],
+                p99_nanos: c[20],
+                max_nanos: c[21],
+            },
+            telemetry_json: String::new(),
+            models: Vec::new(),
+        }
+    }
+
+    /// Serializes the snapshot in the legacy fixed 22-`u64` layout the
+    /// pre-registry protocol used — no count prefix, no model blocks.
+    /// Sent in answer to v1 `Stats` frames so old clients keep parsing.
+    pub fn encode_legacy(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(22 * 8 + self.telemetry_json.len());
+        for v in self.global_counters() {
             put_u64(&mut buf, v);
         }
         put_u32(&mut buf, self.kernel_backend.len() as u32);
@@ -240,43 +628,19 @@ impl ServerStats {
         buf
     }
 
-    /// Deserializes a snapshot from the wire.
+    /// Deserializes a legacy fixed-layout snapshot (what a pre-registry
+    /// server sends). `models` comes back empty.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::Protocol`] for truncation or invalid UTF-8.
-    pub fn decode(bytes: &[u8]) -> Result<ServerStats, ServeError> {
+    pub fn decode_legacy(bytes: &[u8]) -> Result<ServerStats, ServeError> {
         let mut at = 0usize;
-        let mut next = || take_u64(bytes, &mut at);
-        let mut stats = ServerStats {
-            queue_depth: next()?,
-            queue_capacity: next()?,
-            in_flight: next()?,
-            accepted: next()?,
-            completed: next()?,
-            rejected_busy: next()?,
-            expired: next()?,
-            bad_requests: next()?,
-            shutdown_rejects: next()?,
-            engine_errors: next()?,
-            batches: next()?,
-            batched_samples: next()?,
-            largest_batch: next()?,
-            scrub_passes: next()?,
-            scrub_tiles: next()?,
-            scrub_repairs: next()?,
-            plan_swaps: next()?,
-            kernel_backend: String::new(),
-            latency: LatencySnapshot::default(),
-            telemetry_json: String::new(),
-        };
-        stats.latency = LatencySnapshot {
-            count: next()?,
-            p50_nanos: next()?,
-            p95_nanos: next()?,
-            p99_nanos: next()?,
-            max_nanos: next()?,
-        };
+        let mut c = [0u64; 22];
+        for slot in &mut c {
+            *slot = take_u64(bytes, &mut at)?;
+        }
+        let mut stats = Self::from_globals(&c);
         let mut take_str = |what: &str| -> Result<String, ServeError> {
             let len = take_u32(bytes, &mut at)? as usize;
             let end = at
@@ -299,7 +663,7 @@ impl ServerStats {
     /// Stable-key JSON rendering (the `BENCH_serve.json` `"stats"`
     /// fragment); the telemetry snapshot is embedded verbatim.
     pub fn to_json(&self) -> String {
-        let l = &self.latency;
+        let models: Vec<String> = self.models.iter().map(|m| m.to_json()).collect();
         format!(
             "{{\"queue_depth\": {}, \"queue_capacity\": {}, \"in_flight\": {}, \"accepted\": {}, \
              \"completed\": {}, \"rejected_busy\": {}, \"expired\": {}, \
@@ -307,8 +671,7 @@ impl ServerStats {
              \"batches\": {}, \"batched_samples\": {}, \"largest_batch\": {}, \
              \"scrub_passes\": {}, \"scrub_tiles\": {}, \"scrub_repairs\": {}, \
              \"plan_swaps\": {}, \"kernel_backend\": \"{}\", \
-             \"latency\": {{\"count\": {}, \"p50_nanos\": {}, \"p95_nanos\": {}, \
-             \"p99_nanos\": {}, \"max_nanos\": {}}}, \"telemetry\": {}}}",
+             \"latency\": {}, \"models\": [{}], \"telemetry\": {}}}",
             self.queue_depth,
             self.queue_capacity,
             self.in_flight,
@@ -327,11 +690,8 @@ impl ServerStats {
             self.scrub_repairs,
             self.plan_swaps,
             self.kernel_backend,
-            l.count,
-            l.p50_nanos,
-            l.p95_nanos,
-            l.p99_nanos,
-            l.max_nanos,
+            self.latency.to_json(),
+            models.join(", "),
             if self.telemetry_json.is_empty() {
                 "null"
             } else {
@@ -375,9 +735,8 @@ mod tests {
         );
     }
 
-    #[test]
-    fn stats_wire_round_trip() {
-        let stats = ServerStats {
+    fn sample_stats() -> ServerStats {
+        ServerStats {
             queue_depth: 3,
             queue_capacity: 256,
             in_flight: 5,
@@ -404,25 +763,143 @@ mod tests {
                 max_nanos: 12_345,
             },
             telemetry_json: "{\"enabled\": false}".to_owned(),
-        };
+            models: vec![ModelStatsBlock {
+                name: "mlp1".to_owned(),
+                queue_depth: 3,
+                queue_capacity: 256,
+                in_flight: 5,
+                accepted: 100,
+                completed: 90,
+                rejected_busy: 7,
+                expired: 2,
+                bad_requests: 1,
+                shutdown_rejects: 0,
+                engine_errors: 0,
+                batches: 12,
+                batched_samples: 90,
+                largest_batch: 16,
+                latency: LatencySnapshot {
+                    count: 90,
+                    p50_nanos: 1_000,
+                    p95_nanos: 5_000,
+                    p99_nanos: 9_000,
+                    max_nanos: 12_345,
+                },
+                replicas: vec![
+                    ReplicaStats {
+                        index: 0,
+                        health: 0,
+                        outstanding: 2,
+                        completed: 60,
+                        batches: 8,
+                    },
+                    ReplicaStats {
+                        index: 1,
+                        health: 1,
+                        outstanding: 0,
+                        completed: 30,
+                        batches: 4,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn stats_wire_round_trip() {
+        let stats = sample_stats();
         let back = ServerStats::decode(&stats.encode()).unwrap();
         assert_eq!(back, stats);
         assert!((back.mean_batch_size() - 7.5).abs() < 1e-12);
+        assert_eq!(back.model("mlp1").unwrap().replicas.len(), 2);
+        assert_eq!(back.models[0].replicas[1].health_name(), "draining");
+    }
+
+    #[test]
+    fn legacy_wire_round_trip_drops_models() {
+        let stats = sample_stats();
+        let back = ServerStats::decode_legacy(&stats.encode_legacy()).unwrap();
+        assert!(back.models.is_empty());
+        assert_eq!(back.accepted, stats.accepted);
+        assert_eq!(back.latency, stats.latency);
+        assert_eq!(back.kernel_backend, stats.kernel_backend);
+        assert_eq!(back.telemetry_json, stats.telemetry_json);
+    }
+
+    #[test]
+    fn legacy_layout_is_the_pre_registry_bytes() {
+        // The legacy encoder must write exactly the fixed 22-u64 layout:
+        // no count prefix, counters in declaration order.
+        let stats = sample_stats();
+        let wire = stats.encode_legacy();
+        assert_eq!(
+            u64::from_le_bytes(wire[..8].try_into().unwrap()),
+            stats.queue_depth
+        );
+        assert_eq!(
+            u64::from_le_bytes(wire[8..16].try_into().unwrap()),
+            stats.queue_capacity
+        );
+        let str_section = 22 * 8;
+        assert_eq!(
+            u32::from_le_bytes(wire[str_section..str_section + 4].try_into().unwrap()),
+            stats.kernel_backend.len() as u32
+        );
+    }
+
+    #[test]
+    fn count_prefix_tolerates_counter_evolution() {
+        // An "older" sender with fewer counters: the tail zero-fills.
+        let mut wire = Vec::new();
+        put_counter_block(&mut wire, &[9, 256, 1]); // only 3 of 22
+        put_u32(&mut wire, 0); // empty backend name
+        put_u32(&mut wire, 0); // empty telemetry
+        put_u32(&mut wire, 0); // no models
+        let stats = ServerStats::decode(&wire).unwrap();
+        assert_eq!(stats.queue_depth, 9);
+        assert_eq!(stats.queue_capacity, 256);
+        assert_eq!(stats.accepted, 0);
+        // A "newer" sender with extra counters: the extras are skipped.
+        let mut wire = Vec::new();
+        let mut counters = sample_stats().global_counters().to_vec();
+        counters.push(4242); // future counter
+        put_counter_block(&mut wire, &counters);
+        put_u32(&mut wire, 0);
+        put_u32(&mut wire, 0);
+        put_u32(&mut wire, 0);
+        let stats = ServerStats::decode(&wire).unwrap();
+        assert_eq!(stats.queue_depth, 3);
+        assert_eq!(stats.latency.max_nanos, 12_345);
     }
 
     #[test]
     fn stats_decode_rejects_truncation() {
-        let stats = ServerStats::default();
-        let wire = stats.encode();
-        assert!(ServerStats::decode(&wire[..wire.len() - 1]).is_err());
-        let mut extra = wire.clone();
-        extra.push(0);
-        assert!(ServerStats::decode(&extra).is_err());
+        for (encode, decode) in [
+            (
+                ServerStats::encode as fn(&ServerStats) -> Vec<u8>,
+                ServerStats::decode as fn(&[u8]) -> Result<ServerStats, ServeError>,
+            ),
+            (ServerStats::encode_legacy, ServerStats::decode_legacy),
+        ] {
+            let wire = encode(&sample_stats());
+            assert!(decode(&wire[..wire.len() - 1]).is_err());
+            let mut extra = wire.clone();
+            extra.push(0);
+            assert!(decode(&extra).is_err());
+        }
+    }
+
+    #[test]
+    fn model_block_round_trip() {
+        let block = sample_stats().models[0].clone();
+        let back = ModelStatsBlock::decode(&block.encode()).unwrap();
+        assert_eq!(back, block);
+        assert!(ModelStatsBlock::decode(&block.encode()[..4]).is_err());
     }
 
     #[test]
     fn stats_json_has_stable_keys() {
-        let json = ServerStats::default().to_json();
+        let json = sample_stats().to_json();
         for key in [
             "\"queue_depth\"",
             "\"queue_capacity\"",
@@ -438,9 +915,13 @@ mod tests {
             "\"kernel_backend\"",
             "\"p50_nanos\"",
             "\"p99_nanos\"",
+            "\"models\"",
+            "\"replicas\"",
+            "\"health\"",
             "\"telemetry\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        assert!(json.contains("\"health\": \"draining\""));
     }
 }

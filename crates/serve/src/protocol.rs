@@ -1,4 +1,5 @@
-//! The wire protocol: length-prefixed binary frames over TCP.
+//! The wire protocol: length-prefixed binary frames over TCP, in two
+//! versions.
 //!
 //! Every message is one **frame**:
 //!
@@ -6,25 +7,55 @@
 //! [u32 LE payload_len][payload bytes]
 //! ```
 //!
-//! A request payload is
+//! The payload's first byte disambiguates the protocol version:
+//!
+//! - a byte in `1..=4` is a **protocol v1** request verb (the original
+//!   single-model wire format, kept bit-identical so pre-registry client
+//!   binaries keep working),
+//! - [`MAGIC`] (`0xA5`) opens a **protocol v2** preamble
+//!   (`[MAGIC][version]`),
+//! - anything else is a **malformed preamble**, answered with
+//!   [`Status::Malformed`] *without* attempting a tensor decode.
+//!
+//! A v1 request payload is
 //!
 //! ```text
 //! [u8 verb][u64 LE id][u32 LE deadline_us][tensor?]
 //! ```
 //!
-//! where `id` is a client-chosen correlation token echoed verbatim in
-//! the response, `deadline_us` is a relative deadline in microseconds
-//! (`0` = none) measured from server admission, and the tensor is
-//! present for the inference verbs only. A response payload is
+//! and routes to the server's *default model*. A v2 request payload is
+//!
+//! ```text
+//! [u8 MAGIC][u8 version=2][u8 verb][u64 LE id][u32 LE deadline_us]
+//! [u8 model_len][model utf-8][u8 hint_flag][u32 LE replica_hint?][tensor?]
+//! ```
+//!
+//! where `model` addresses a registered model by name (empty = the
+//! default model) and `replica_hint`, when `hint_flag == 1`, asks the
+//! balancer to prefer a specific engine replica. `id` is a client-chosen
+//! correlation token echoed verbatim in the response, `deadline_us` is a
+//! relative deadline in microseconds (`0` = none) measured from server
+//! admission, and the tensor is present for the inference verbs only.
+//!
+//! Responses mirror the request's version. A v1 response payload is
 //!
 //! ```text
 //! [u8 status][u64 LE id][body]
 //! ```
 //!
+//! and a v2 response payload is
+//!
+//! ```text
+//! [u8 MAGIC][u8 version=2][u8 status][u64 LE id][body]
+//! ```
+//!
 //! with the body depending on `(verb, status)`: an encoded tensor for a
 //! successful inference, an encoded [`crate::metrics::ServerStats`] blob
-//! for a successful `Stats`, empty for `Ping`, and a UTF-8 diagnostic
-//! message for every non-[`Status::Ok`] status.
+//! for a successful `Stats` (the *legacy* fixed layout for v1 requests,
+//! the count-prefixed v2 layout otherwise), a [`ModelInfo`] list for
+//! `ListModels`, a [`crate::metrics::ModelStatsBlock`] for `ModelStats`,
+//! empty for `Ping`, and a UTF-8 diagnostic message for every
+//! non-[`Status::Ok`] status.
 //!
 //! Tensors travel as
 //!
@@ -51,7 +82,23 @@ pub const MAX_FRAME_BYTES: u32 = 1 << 26;
 /// Maximum tensor rank accepted on the wire.
 pub const MAX_TENSOR_RANK: usize = 8;
 
-/// Request verbs.
+/// First payload byte of every v2 frame. Deliberately outside the v1
+/// verb range (`1..=4`) and the v1 status range (`0..=5`), so one byte
+/// tells the two protocol generations apart.
+pub const MAGIC: u8 = 0xA5;
+
+/// Version byte of the original single-model protocol (implicit on the
+/// wire — v1 frames carry no preamble).
+pub const PROTOCOL_V1: u8 = 1;
+
+/// Version byte of the model-addressed protocol.
+pub const PROTOCOL_V2: u8 = 2;
+
+/// Longest model name accepted on the wire (its length is a `u8`).
+pub const MAX_MODEL_NAME: usize = 255;
+
+/// Request verbs. `ListModels` and `ModelStats` exist only in protocol
+/// v2; a v1 frame carrying their byte is rejected as an unknown verb.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum Verb {
@@ -63,39 +110,58 @@ pub enum Verb {
     Ping = 3,
     /// Health/metrics snapshot: returns a serialized
     /// [`crate::metrics::ServerStats`] (queue depth, in-flight count,
-    /// reject/expiry counters, latency percentiles and the engine's
-    /// telemetry snapshot).
+    /// reject/expiry counters, latency percentiles, per-model and
+    /// per-replica blocks, and the engine's telemetry snapshot).
     Stats = 4,
+    /// v2 only: enumerate the registered models ([`ModelInfo`] list).
+    ListModels = 5,
+    /// v2 only: one model's [`crate::metrics::ModelStatsBlock`]; the
+    /// request's `model` field names the model.
+    ModelStats = 6,
 }
 
 impl Verb {
-    fn from_u8(v: u8) -> Option<Verb> {
+    fn from_u8(v: u8, version: u8) -> Option<Verb> {
         match v {
             1 => Some(Verb::Infer),
             2 => Some(Verb::InferBatch),
             3 => Some(Verb::Ping),
             4 => Some(Verb::Stats),
+            5 if version >= PROTOCOL_V2 => Some(Verb::ListModels),
+            6 if version >= PROTOCOL_V2 => Some(Verb::ModelStats),
             _ => None,
         }
     }
+
+    /// Whether this verb carries an input tensor.
+    pub fn carries_tensor(self) -> bool {
+        matches!(self, Verb::Infer | Verb::InferBatch)
+    }
 }
 
-/// Response status codes.
+/// Response status codes. `Malformed` and `NoSuchModel` are only ever
+/// sent in v2 framing (a peer that sends garbage or addresses models is
+/// by definition not a v1 binary).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum Status {
     /// Success; the body is the verb's payload.
     Ok = 0,
-    /// Admission control rejected the request: the queue is full.
+    /// Admission control rejected the request: the model's queue is full.
     Busy = 1,
     /// The request's deadline passed before execution.
     Expired = 2,
-    /// The request was malformed or mis-shaped.
+    /// The request was well-framed but invalid (bad shape, bad body).
     BadRequest = 3,
     /// The server is draining and refuses new work.
     ShuttingDown = 4,
     /// The engine failed while executing the batch.
     EngineError = 5,
+    /// The frame's preamble was garbage — neither a v1 verb nor the v2
+    /// magic — and was rejected before any tensor decode was attempted.
+    Malformed = 6,
+    /// The request addressed a model name the server does not serve.
+    NoSuchModel = 7,
 }
 
 impl Status {
@@ -107,6 +173,8 @@ impl Status {
             3 => Some(Status::BadRequest),
             4 => Some(Status::ShuttingDown),
             5 => Some(Status::EngineError),
+            6 => Some(Status::Malformed),
+            7 => Some(Status::NoSuchModel),
             _ => None,
         }
     }
@@ -115,26 +183,89 @@ impl Status {
 /// A parsed request frame.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
+    /// Wire version this request travels in ([`PROTOCOL_V1`] or
+    /// [`PROTOCOL_V2`]); responses mirror it.
+    pub version: u8,
     /// What the client asked for.
     pub verb: Verb,
     /// Client-chosen correlation id, echoed in the response.
     pub id: u64,
     /// Relative deadline in microseconds from admission; `0` = none.
     pub deadline_us: u32,
+    /// Addressed model name; empty = the server's default model (always
+    /// empty for v1 requests).
+    pub model: String,
+    /// Preferred engine replica, honored when that replica is healthy.
+    pub replica_hint: Option<u32>,
     /// Input tensor for the inference verbs.
     pub tensor: Option<Tensor>,
+}
+
+impl Request {
+    /// A v1 request (default-model routing, no replica hint).
+    pub fn v1(verb: Verb, id: u64, deadline_us: u32, tensor: Option<Tensor>) -> Request {
+        Request {
+            version: PROTOCOL_V1,
+            verb,
+            id,
+            deadline_us,
+            model: String::new(),
+            replica_hint: None,
+            tensor,
+        }
+    }
+
+    /// A v2 request addressing `model` (empty = default model).
+    pub fn v2(
+        verb: Verb,
+        id: u64,
+        deadline_us: u32,
+        model: &str,
+        tensor: Option<Tensor>,
+    ) -> Request {
+        Request {
+            version: PROTOCOL_V2,
+            verb,
+            id,
+            deadline_us,
+            model: model.to_owned(),
+            replica_hint: None,
+            tensor,
+        }
+    }
+
+    /// Sets the replica hint (v2 only; ignored by v1 encoding).
+    pub fn with_replica_hint(mut self, replica: u32) -> Request {
+        self.replica_hint = Some(replica);
+        self
+    }
 }
 
 /// A parsed response frame. The body stays raw bytes — its
 /// interpretation depends on the verb the client sent.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
+    /// Wire version the response traveled in.
+    pub version: u8,
     /// Outcome code.
     pub status: Status,
     /// The request's correlation id, echoed.
     pub id: u64,
     /// Verb-dependent body (tensor, stats blob, or diagnostic text).
     pub payload: Vec<u8>,
+}
+
+/// One registered model, as reported by the `ListModels` verb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// The model's registry name (what requests address).
+    pub name: String,
+    /// Per-sample input shape (without the batch dimension).
+    pub sample_shape: Vec<usize>,
+    /// Configured engine replicas.
+    pub replicas: u32,
+    /// Replicas currently in the `Healthy` state.
+    pub healthy: u32,
 }
 
 pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
@@ -285,40 +416,155 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ServeError> {
     Ok(Some(payload))
 }
 
-/// Writes one request frame.
+/// Encodes a request payload in the request's own wire version.
 ///
 /// # Errors
 ///
-/// Propagates socket errors.
-pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
-    let mut payload = Vec::with_capacity(16);
-    payload.push(req.verb as u8);
-    put_u64(&mut payload, req.id);
-    put_u32(&mut payload, req.deadline_us);
+/// Returns [`ServeError::Protocol`] for a request not representable in
+/// its version: a v1 request carrying a model name, replica hint, or a
+/// v2-only verb; or a model name longer than [`MAX_MODEL_NAME`].
+pub fn encode_request(req: &Request) -> Result<Vec<u8>, ServeError> {
+    let mut payload = Vec::with_capacity(24 + req.model.len());
+    match req.version {
+        PROTOCOL_V1 => {
+            if !req.model.is_empty() || req.replica_hint.is_some() {
+                return Err(ServeError::Protocol(
+                    "protocol v1 cannot carry a model name or replica hint".into(),
+                ));
+            }
+            if matches!(req.verb, Verb::ListModels | Verb::ModelStats) {
+                return Err(ServeError::Protocol(format!(
+                    "verb {:?} requires protocol v2",
+                    req.verb
+                )));
+            }
+            payload.push(req.verb as u8);
+            put_u64(&mut payload, req.id);
+            put_u32(&mut payload, req.deadline_us);
+        }
+        PROTOCOL_V2 => {
+            if req.model.len() > MAX_MODEL_NAME {
+                return Err(ServeError::Protocol(format!(
+                    "model name of {} bytes exceeds the {MAX_MODEL_NAME}-byte limit",
+                    req.model.len()
+                )));
+            }
+            payload.push(MAGIC);
+            payload.push(PROTOCOL_V2);
+            payload.push(req.verb as u8);
+            put_u64(&mut payload, req.id);
+            put_u32(&mut payload, req.deadline_us);
+            payload.push(req.model.len() as u8);
+            payload.extend_from_slice(req.model.as_bytes());
+            match req.replica_hint {
+                Some(r) => {
+                    payload.push(1);
+                    put_u32(&mut payload, r);
+                }
+                None => payload.push(0),
+            }
+        }
+        v => {
+            return Err(ServeError::Protocol(format!(
+                "unsupported protocol version {v}"
+            )))
+        }
+    }
     if let Some(t) = &req.tensor {
         encode_tensor_into(&mut payload, t);
     }
-    write_frame(w, &payload)
+    Ok(payload)
 }
 
-/// Parses a request payload (one frame, already read).
+/// Writes one request frame in the request's own wire version.
 ///
 /// # Errors
 ///
-/// Returns [`ServeError::Protocol`] for an unknown verb, truncation, a
-/// malformed tensor, or an unexpected body.
+/// As [`encode_request`]; socket errors propagate as [`ServeError::Io`].
+pub fn write_request(w: &mut impl Write, req: &Request) -> Result<(), ServeError> {
+    let payload = encode_request(req)?;
+    write_frame(w, &payload).map_err(ServeError::Io)
+}
+
+/// Parses a request payload (one frame, already read), accepting both
+/// protocol versions.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Malformed`] when the preamble is garbage —
+/// neither a v1 verb byte nor `[MAGIC][supported version]` — **before**
+/// any tensor decode is attempted, and [`ServeError::Protocol`] for a
+/// recognizable frame with invalid content (truncation, malformed
+/// tensor, trailing bytes).
 pub fn parse_request(payload: &[u8]) -> Result<Request, ServeError> {
-    let verb_byte = *payload
+    let first = *payload
         .first()
-        .ok_or_else(|| ServeError::Protocol("empty request frame".into()))?;
-    let verb = Verb::from_u8(verb_byte)
-        .ok_or_else(|| ServeError::Protocol(format!("unknown verb {verb_byte}")))?;
-    let mut at = 1usize;
+        .ok_or_else(|| ServeError::Malformed("empty request frame".into()))?;
+    let mut at: usize;
+    let (version, verb) = if first == MAGIC {
+        let ver = *payload
+            .get(1)
+            .ok_or_else(|| ServeError::Malformed("magic byte without version".into()))?;
+        if ver != PROTOCOL_V2 {
+            return Err(ServeError::Malformed(format!(
+                "unsupported protocol version {ver}"
+            )));
+        }
+        let verb_byte = *payload
+            .get(2)
+            .ok_or_else(|| ServeError::Malformed("v2 preamble without verb".into()))?;
+        let verb = Verb::from_u8(verb_byte, ver)
+            .ok_or_else(|| ServeError::Malformed(format!("unknown v2 verb {verb_byte}")))?;
+        at = 3;
+        (ver, verb)
+    } else {
+        let verb = Verb::from_u8(first, PROTOCOL_V1).ok_or_else(|| {
+            ServeError::Malformed(format!(
+                "preamble byte {first:#04x} is neither a v1 verb nor the v2 magic {MAGIC:#04x}"
+            ))
+        })?;
+        at = 1;
+        (PROTOCOL_V1, verb)
+    };
     let id = take_u64(payload, &mut at)?;
     let deadline_us = take_u32(payload, &mut at)?;
-    let tensor = match verb {
-        Verb::Infer | Verb::InferBatch => Some(decode_tensor_from(payload, &mut at)?),
-        Verb::Ping | Verb::Stats => None,
+    let (model, replica_hint) = if version >= PROTOCOL_V2 {
+        let name_len = *payload
+            .get(at)
+            .ok_or_else(|| ServeError::Protocol("truncated model name length".into()))?
+            as usize;
+        at += 1;
+        let end = at
+            .checked_add(name_len)
+            .filter(|&e| e <= payload.len())
+            .ok_or_else(|| ServeError::Protocol("truncated model name".into()))?;
+        let model = String::from_utf8(payload[at..end].to_vec())
+            .map_err(|e| ServeError::Protocol(format!("model name not UTF-8: {e}")))?;
+        at = end;
+        let flag = *payload
+            .get(at)
+            .ok_or_else(|| ServeError::Protocol("truncated replica hint flag".into()))?;
+        at += 1;
+        let hint = match flag {
+            0 => None,
+            1 => Some(take_u32(payload, &mut at)?),
+            f => {
+                return Err(ServeError::Protocol(format!(
+                    "replica hint flag must be 0 or 1, got {f}"
+                )))
+            }
+        };
+        (model, hint)
+    } else {
+        (String::new(), None)
+    };
+    // A tensor-carrying verb without payload bytes parses as
+    // tensor-less; admission answers it BadRequest under the request's
+    // own id, exactly as the pre-registry server did.
+    let tensor = if verb.carries_tensor() && at < payload.len() {
+        Some(decode_tensor_from(payload, &mut at)?)
+    } else {
+        None
     };
     if at != payload.len() {
         return Err(ServeError::Protocol(format!(
@@ -327,9 +573,12 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, ServeError> {
         )));
     }
     Ok(Request {
+        version,
         verb,
         id,
         deadline_us,
+        model,
+        replica_hint,
         tensor,
     })
 }
@@ -346,41 +595,137 @@ pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, ServeError> {
     }
 }
 
-/// Writes one response frame.
+/// Writes one response frame in `version`'s framing (responses mirror
+/// the request's version).
 ///
 /// # Errors
 ///
 /// Propagates socket errors.
-pub fn write_response(w: &mut impl Write, status: Status, id: u64, body: &[u8]) -> io::Result<()> {
-    let mut payload = Vec::with_capacity(9 + body.len());
+pub fn write_response(
+    w: &mut impl Write,
+    version: u8,
+    status: Status,
+    id: u64,
+    body: &[u8],
+) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(11 + body.len());
+    if version >= PROTOCOL_V2 {
+        payload.push(MAGIC);
+        payload.push(PROTOCOL_V2);
+    }
     payload.push(status as u8);
     put_u64(&mut payload, id);
     payload.extend_from_slice(body);
     write_frame(w, &payload)
 }
 
-/// Reads and parses one response. `Ok(None)` on clean EOF.
+/// Reads and parses one response, accepting both framings. `Ok(None)` on
+/// clean EOF.
 ///
 /// # Errors
 ///
 /// As [`read_frame`], plus [`ServeError::Protocol`] for an unknown
-/// status byte or a truncated header.
+/// status byte, an unsupported version, or a truncated header.
 pub fn read_response(r: &mut impl Read) -> Result<Option<Response>, ServeError> {
     let Some(payload) = read_frame(r)? else {
         return Ok(None);
     };
-    let status_byte = *payload
+    let first = *payload
         .first()
         .ok_or_else(|| ServeError::Protocol("empty response frame".into()))?;
+    let (version, mut at) = if first == MAGIC {
+        let ver = *payload
+            .get(1)
+            .ok_or_else(|| ServeError::Protocol("magic byte without version".into()))?;
+        if ver != PROTOCOL_V2 {
+            return Err(ServeError::Protocol(format!(
+                "unsupported response version {ver}"
+            )));
+        }
+        (ver, 2usize)
+    } else {
+        (PROTOCOL_V1, 0usize)
+    };
+    let status_byte = *payload
+        .get(at)
+        .ok_or_else(|| ServeError::Protocol("truncated response status".into()))?;
+    at += 1;
     let status = Status::from_u8(status_byte)
         .ok_or_else(|| ServeError::Protocol(format!("unknown status {status_byte}")))?;
-    let mut at = 1usize;
     let id = take_u64(&payload, &mut at)?;
     Ok(Some(Response {
+        version,
         status,
         id,
         payload: payload[at..].to_vec(),
     }))
+}
+
+/// Encodes a `ListModels` response body: `[u32 count]` then per model
+/// `[u8 name_len][name][u8 ndim][u32 dims…][u32 replicas][u32 healthy]`.
+pub fn encode_model_list(models: &[ModelInfo]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u32(&mut buf, models.len() as u32);
+    for m in models {
+        debug_assert!(m.name.len() <= MAX_MODEL_NAME);
+        buf.push(m.name.len() as u8);
+        buf.extend_from_slice(m.name.as_bytes());
+        buf.push(m.sample_shape.len() as u8);
+        for &d in &m.sample_shape {
+            put_u32(&mut buf, d as u32);
+        }
+        put_u32(&mut buf, m.replicas);
+        put_u32(&mut buf, m.healthy);
+    }
+    buf
+}
+
+/// Decodes a `ListModels` response body.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] for truncation or trailing bytes.
+pub fn decode_model_list(bytes: &[u8]) -> Result<Vec<ModelInfo>, ServeError> {
+    let mut at = 0usize;
+    let count = take_u32(bytes, &mut at)? as usize;
+    let mut models = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let name_len = *bytes
+            .get(at)
+            .ok_or_else(|| ServeError::Protocol("truncated model name length".into()))?
+            as usize;
+        at += 1;
+        let end = at
+            .checked_add(name_len)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| ServeError::Protocol("truncated model name".into()))?;
+        let name = String::from_utf8(bytes[at..end].to_vec())
+            .map_err(|e| ServeError::Protocol(format!("model name not UTF-8: {e}")))?;
+        at = end;
+        let ndim = *bytes
+            .get(at)
+            .ok_or_else(|| ServeError::Protocol("truncated sample rank".into()))?
+            as usize;
+        at += 1;
+        let mut sample_shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            sample_shape.push(take_u32(bytes, &mut at)? as usize);
+        }
+        let replicas = take_u32(bytes, &mut at)?;
+        let healthy = take_u32(bytes, &mut at)?;
+        models.push(ModelInfo {
+            name,
+            sample_shape,
+            replicas,
+            healthy,
+        });
+    }
+    if at != bytes.len() {
+        return Err(ServeError::Protocol(
+            "trailing bytes after model list".into(),
+        ));
+    }
+    Ok(models)
 }
 
 #[cfg(test)]
@@ -410,25 +755,20 @@ mod tests {
     }
 
     #[test]
-    fn request_round_trip() {
-        let req = Request {
-            verb: Verb::InferBatch,
-            id: 0xdead_beef_0042,
-            deadline_us: 1500,
-            tensor: Some(tensor(&[2, 4])),
-        };
+    fn v1_request_round_trip() {
+        let req = Request::v1(
+            Verb::InferBatch,
+            0xdead_beef_0042,
+            1500,
+            Some(tensor(&[2, 4])),
+        );
         let mut wire = Vec::new();
         write_request(&mut wire, &req).unwrap();
         let back = read_request(&mut wire.as_slice()).unwrap().unwrap();
         assert_eq!(back, req);
         // Verbs without a body round-trip too.
         for verb in [Verb::Ping, Verb::Stats] {
-            let req = Request {
-                verb,
-                id: 7,
-                deadline_us: 0,
-                tensor: None,
-            };
+            let req = Request::v1(verb, 7, 0, None);
             let mut wire = Vec::new();
             write_request(&mut wire, &req).unwrap();
             assert_eq!(read_request(&mut wire.as_slice()).unwrap().unwrap(), req);
@@ -436,20 +776,71 @@ mod tests {
     }
 
     #[test]
-    fn response_round_trip() {
+    fn v1_wire_layout_is_the_legacy_bytes() {
+        // The exact byte layout the pre-registry protocol wrote; a v1
+        // client binary produces these frames verbatim.
+        let t = tensor(&[2]);
+        let req = Request::v1(Verb::Infer, 3, 250, Some(t.clone()));
         let mut wire = Vec::new();
-        write_response(&mut wire, Status::Busy, 9, b"queue full").unwrap();
-        let back = read_response(&mut wire.as_slice()).unwrap().unwrap();
-        assert_eq!(back.status, Status::Busy);
-        assert_eq!(back.id, 9);
-        assert_eq!(back.payload, b"queue full");
+        write_request(&mut wire, &req).unwrap();
+        let mut expected_payload = vec![1u8]; // Verb::Infer
+        expected_payload.extend_from_slice(&3u64.to_le_bytes());
+        expected_payload.extend_from_slice(&250u32.to_le_bytes());
+        encode_tensor_into(&mut expected_payload, &t);
+        let mut expected = (expected_payload.len() as u32).to_le_bytes().to_vec();
+        expected.extend_from_slice(&expected_payload);
+        assert_eq!(wire, expected, "v1 framing drifted from the legacy bytes");
+    }
+
+    #[test]
+    fn v2_request_round_trip() {
+        let req =
+            Request::v2(Verb::Infer, 99, 777, "vgg16-s", Some(tensor(&[3]))).with_replica_hint(2);
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        let back = read_request(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(back, req);
+        // v2-only verbs round-trip.
+        for verb in [Verb::ListModels, Verb::ModelStats] {
+            let req = Request::v2(verb, 5, 0, "mlp1", None);
+            let mut wire = Vec::new();
+            write_request(&mut wire, &req).unwrap();
+            assert_eq!(read_request(&mut wire.as_slice()).unwrap().unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn v1_cannot_carry_v2_fields() {
+        let mut sink = Vec::new();
+        let with_model = Request {
+            model: "mlp1".into(),
+            ..Request::v1(Verb::Ping, 1, 0, None)
+        };
+        assert!(write_request(&mut sink, &with_model).is_err());
+        let with_hint = Request::v1(Verb::Ping, 1, 0, None).with_replica_hint(0);
+        assert!(write_request(&mut sink, &with_hint).is_err());
+        let v2_verb = Request::v1(Verb::ListModels, 1, 0, None);
+        assert!(write_request(&mut sink, &v2_verb).is_err());
+    }
+
+    #[test]
+    fn response_round_trip_both_versions() {
+        for version in [PROTOCOL_V1, PROTOCOL_V2] {
+            let mut wire = Vec::new();
+            write_response(&mut wire, version, Status::Busy, 9, b"queue full").unwrap();
+            let back = read_response(&mut wire.as_slice()).unwrap().unwrap();
+            assert_eq!(back.version, version);
+            assert_eq!(back.status, Status::Busy);
+            assert_eq!(back.id, 9);
+            assert_eq!(back.payload, b"queue full");
+        }
     }
 
     #[test]
     fn clean_eof_is_none_mid_frame_is_error() {
         assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
         let mut wire = Vec::new();
-        write_response(&mut wire, Status::Ok, 1, b"xyz").unwrap();
+        write_response(&mut wire, PROTOCOL_V1, Status::Ok, 1, b"xyz").unwrap();
         let truncated = &wire[..wire.len() - 1];
         assert!(matches!(
             read_response(&mut &truncated[..]),
@@ -472,9 +863,67 @@ mod tests {
     }
 
     #[test]
+    fn garbage_preambles_are_malformed_not_decoded() {
+        // Neither a v1 verb (1..=4) nor the MAGIC byte: Malformed.
+        assert!(matches!(parse_request(&[]), Err(ServeError::Malformed(_))));
+        assert!(matches!(
+            parse_request(&[0x7f, 1, 2, 3]),
+            Err(ServeError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_request(&[99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]),
+            Err(ServeError::Malformed(_))
+        ));
+        // Magic with a bogus version: Malformed.
+        assert!(matches!(
+            parse_request(&[MAGIC, 9, 1]),
+            Err(ServeError::Malformed(_))
+        ));
+        // Magic with an unknown verb: Malformed.
+        assert!(matches!(
+            parse_request(&[MAGIC, PROTOCOL_V2, 200]),
+            Err(ServeError::Malformed(_))
+        ));
+        // A v2-only verb byte in a v1 frame: Malformed (v1 doesn't know it).
+        assert!(matches!(
+            parse_request(&[5, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]),
+            Err(ServeError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn random_bytes_never_panic_and_are_rejected() {
+        // A deterministic xorshift stream of garbage payloads; none may
+        // panic, and any that parse must carry a valid verb (the odds of
+        // random bytes forming a valid frame are astronomically small,
+        // but the contract is "no panic, clean error", not "always Err").
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in 0..256usize {
+            let payload: Vec<u8> = (0..len).map(|_| (next() & 0xff) as u8).collect();
+            match parse_request(&payload) {
+                Ok(req) => assert!(matches!(
+                    req.verb,
+                    Verb::Infer
+                        | Verb::InferBatch
+                        | Verb::Ping
+                        | Verb::Stats
+                        | Verb::ListModels
+                        | Verb::ModelStats
+                )),
+                Err(ServeError::Malformed(_)) | Err(ServeError::Protocol(_)) => {}
+                Err(e) => panic!("unexpected error class: {e}"),
+            }
+        }
+    }
+
+    #[test]
     fn malformed_payloads_rejected() {
-        assert!(parse_request(&[]).is_err());
-        assert!(parse_request(&[99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
         // Rank 0 and excessive rank.
         assert!(decode_tensor(&[0]).is_err());
         assert!(decode_tensor(&[(MAX_TENSOR_RANK + 1) as u8]).is_err());
@@ -487,5 +936,34 @@ mod tests {
         let mut ok = encode_tensor(&tensor(&[2]));
         ok.push(0);
         assert!(decode_tensor(&ok).is_err());
+        // A valid v1 preamble with trailing garbage is Protocol, not
+        // Malformed — the frame was recognizable.
+        let mut wire = encode_request(&Request::v1(Verb::Ping, 1, 0, None)).unwrap();
+        wire.push(0xee);
+        assert!(matches!(parse_request(&wire), Err(ServeError::Protocol(_))));
+    }
+
+    #[test]
+    fn model_list_round_trip() {
+        let models = vec![
+            ModelInfo {
+                name: "mlp1".into(),
+                sample_shape: vec![1, 28, 28],
+                replicas: 3,
+                healthy: 2,
+            },
+            ModelInfo {
+                name: "vgg19-s".into(),
+                sample_shape: vec![3, 32, 32],
+                replicas: 1,
+                healthy: 1,
+            },
+        ];
+        let back = decode_model_list(&encode_model_list(&models)).unwrap();
+        assert_eq!(back, models);
+        assert!(decode_model_list(&[1, 2, 3]).is_err());
+        let mut extra = encode_model_list(&models);
+        extra.push(0);
+        assert!(decode_model_list(&extra).is_err());
     }
 }

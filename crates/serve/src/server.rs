@@ -1,51 +1,63 @@
-//! The TCP inference server.
+//! The TCP inference server: a model registry behind a versioned
+//! protocol.
 //!
 //! Thread anatomy (all plain `std::thread`, no async runtime):
 //!
 //! ```text
-//! listener ──accept──▶ per-connection reader ──try_push──▶ BoundedQueue
-//!                      per-connection writer ◀──mpsc──┐        │
-//!                                                     │   pop_batch
-//!                                                     │        ▼
-//!                                                     └── batch workers
+//! listener ──accept──▶ per-connection reader ──try_push──▶ per-model BoundedQueue
+//!                      per-connection writer ◀──mpsc──┐         │
+//!                                                     │     pop_batch
+//!                                                     │         ▼
+//!                                                     └── per-model batch workers
+//!                                                             │ pick_replica
+//!                                                             ▼
+//!                                                     EngineReplica set
 //! ```
 //!
-//! Each connection gets a *reader* thread (parses frames, performs
-//! admission control, answers `PING`/`STATS` directly) and a *writer*
-//! thread (drains the connection's reply channel and writes response
-//! frames), so a slow client never blocks the batch workers — replies
-//! queue in the connection's channel, and batch workers only ever do a
-//! non-blocking channel send.
+//! Each connection gets a *reader* thread (parses frames — both
+//! protocol versions — resolves the addressed model, performs
+//! admission control, answers `PING`/`STATS`/`LIST_MODELS`/
+//! `MODEL_STATS` directly) and a *writer* thread (drains the
+//! connection's reply channel and writes response frames in each
+//! request's own wire version), so a slow client never blocks the
+//! batch workers. Every model owns its own bounded queue and worker
+//! pool; workers dispatch coalesced batches to the model's replicas
+//! through the deterministic balancer in [`crate::registry`].
 //!
 //! Graceful shutdown ([`Server::shutdown`]) proceeds in strict order:
-//! stop accepting, close the queue (new pushes fail `ShuttingDown`),
-//! join the workers — which first **drain** every admitted request and
-//! answer it — then unblock connection readers and join them. No
-//! admitted request is ever dropped with no reply.
+//! stop accepting, close every model queue (new pushes fail
+//! `ShuttingDown`), join the workers — which first **drain** every
+//! admitted request and answer it — stop the scrubbers, then unblock
+//! connection readers and join them. No admitted request is ever
+//! dropped with no reply.
 
 use std::io::BufReader;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use resipe::cache::CompileCache;
 use resipe::inference::HardwareNetwork;
 use resipe::kernel::Backend;
-use resipe::scrub::{ScrubConfig, ScrubCounters, Scrubber};
+use resipe::scrub::ScrubConfig;
 use resipe::telemetry::Telemetry;
 
-use crate::batcher::{
-    worker_loop, BatchExecutor, NetworkExecutor, PendingRequest, Reply, WorkerContext,
-};
+use crate::batcher::{worker_loop, BatchExecutor, PendingRequest, Reply, WorkerContext};
 use crate::error::ServeError;
 use crate::metrics::{LatencyHistogram, ServerCounters, ServerStats};
-use crate::protocol::{parse_request, read_frame, write_response, Request, Status, Verb};
-use crate::queue::{BoundedQueue, PushError};
+use crate::protocol::{
+    encode_model_list, parse_request, read_frame, write_response, ModelInfo, Request, Status, Verb,
+    MAX_MODEL_NAME, PROTOCOL_V1,
+};
+use crate::queue::PushError;
+use crate::registry::{ModelEntry, ModelRegistry, ModelSpec, ReplicaHealth};
 
-/// Tuning knobs for a [`Server`]. Defaults suit the paper's MLP-1
-/// workload on a small host: coalesce up to 32 samples per plan
-/// execution, linger at most 300 µs for stragglers.
+/// Server-wide serving defaults; every [`ModelSpec`] knob left unset
+/// inherits from here. Defaults suit the paper's MLP-1 workload on a
+/// small host: coalesce up to 32 samples per plan execution, linger at
+/// most 300 µs for stragglers.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Largest sample count coalesced into one batch execution.
@@ -53,23 +65,22 @@ pub struct ServerConfig {
     /// Micro-batching linger window: how long an open batch waits for
     /// more requests after its first one arrived.
     pub max_wait: Duration,
-    /// Bounded queue capacity in *requests*; pushes beyond it answer
-    /// [`Status::Busy`].
+    /// Per-model bounded queue capacity in *requests*; pushes beyond it
+    /// answer [`Status::Busy`].
     pub queue_capacity: usize,
-    /// Batch worker threads draining the queue.
+    /// Batch worker threads per model.
     pub workers: usize,
-    /// When set, [`Server::spawn`] attaches a background [`Scrubber`]
-    /// with this configuration to the served network: tiles are
+    /// When set, every model's replicas get a background
+    /// [`Scrubber`](resipe::scrub::Scrubber) with this configuration
+    /// (overridable per model via [`ModelSpec::with_scrub`]): tiles are
     /// BIST-walked between batches, regressions repaired off the hot
     /// path, and the repaired state hot-swapped without dropping a
-    /// single request. Ignored by [`Server::spawn_with_executor`]
-    /// (mock executors have no crossbars to scrub).
+    /// single request. Ignored for executor-backed models (mock
+    /// executors have no crossbars to scrub).
     pub scrub: Option<ScrubConfig>,
-    /// Kernel [`Backend`] every coalesced batch executes with (default
+    /// Kernel [`Backend`] coalesced batches execute with (default
     /// [`Backend::Scalar`]). Surfaced back to clients as the
-    /// `kernel_backend` field of `STATS`. Ignored by
-    /// [`Server::spawn_with_executor`] (mock executors bring their own
-    /// arithmetic), though still reported in stats.
+    /// `kernel_backend` field of `STATS`.
     pub backend: Backend,
 }
 
@@ -99,19 +110,19 @@ impl ServerConfig {
         self
     }
 
-    /// Sets the bounded queue capacity (requests).
+    /// Sets the per-model bounded queue capacity (requests).
     pub fn with_queue_capacity(mut self, capacity: usize) -> ServerConfig {
         self.queue_capacity = capacity;
         self
     }
 
-    /// Sets the number of batch worker threads.
+    /// Sets the number of batch worker threads per model.
     pub fn with_workers(mut self, workers: usize) -> ServerConfig {
         self.workers = workers;
         self
     }
 
-    /// Attaches a background scrubber to the served network.
+    /// Attaches a background scrubber to every model's replicas.
     pub fn with_scrub(mut self, scrub: ScrubConfig) -> ServerConfig {
         self.scrub = Some(scrub);
         self
@@ -139,172 +150,188 @@ impl ServerConfig {
     }
 }
 
-/// State shared by the listener, connection threads, and workers.
-struct Shared {
-    queue: Arc<BoundedQueue<PendingRequest>>,
-    counters: Arc<ServerCounters>,
-    latency: Arc<LatencyHistogram>,
-    in_flight: Arc<AtomicU64>,
-    shutting_down: AtomicBool,
+/// Compile-cache slots the registry keeps; generous relative to the
+/// paper's six architectures times a handful of replica seeds.
+const COMPILE_CACHE_CAPACITY: usize = 32;
+
+/// Configures and binds a [`Server`]: register models, set the default,
+/// bind. Obtained from [`Server::builder`].
+///
+/// ```no_run
+/// # use resipe_serve::{Server, ServerConfig, ModelSpec};
+/// # use resipe::inference::CompileOptions;
+/// # fn demo(net: resipe_nn::Network, calib: resipe_nn::tensor::Tensor) {
+/// let server = Server::builder()
+///     .config(ServerConfig::default())
+///     .register_model(
+///         "mlp1",
+///         ModelSpec::network(net, calib, CompileOptions::paper(), &[1, 28, 28]),
+///     )
+///     .replicas(2)
+///     .bind("127.0.0.1:0")
+///     .unwrap();
+/// # let _ = server;
+/// # }
+/// ```
+pub struct ServerBuilder {
+    config: ServerConfig,
+    models: Vec<(String, ModelSpec)>,
+    default_model: Option<String>,
     telemetry: Telemetry,
-    sample_shape: Vec<usize>,
-    /// Name of the kernel backend batches execute with, for `STATS`.
-    kernel_backend: &'static str,
-    /// The served network, when serving real hardware (None under a
-    /// mock executor). Lets `stats()` report the epoch swap count.
-    network: Option<Arc<HardwareNetwork>>,
-    /// Counters of the attached scrubber, if any.
-    scrub_counters: Option<Arc<ScrubCounters>>,
-    /// Live connection streams, for unblocking readers at shutdown.
-    conns: Mutex<Vec<TcpStream>>,
-    /// Joinable connection reader/writer threads.
-    conn_handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
-impl Shared {
-    fn stats(&self) -> ServerStats {
-        let scrub = self
-            .scrub_counters
-            .as_deref()
-            .map(ScrubCounters::snapshot)
-            .unwrap_or_default();
-        ServerStats {
-            accepted: ServerCounters::get(&self.counters.accepted),
-            completed: ServerCounters::get(&self.counters.completed),
-            rejected_busy: ServerCounters::get(&self.counters.rejected_busy),
-            expired: ServerCounters::get(&self.counters.expired),
-            bad_requests: ServerCounters::get(&self.counters.bad_requests),
-            shutdown_rejects: ServerCounters::get(&self.counters.shutdown_rejects),
-            engine_errors: ServerCounters::get(&self.counters.engine_errors),
-            batches: ServerCounters::get(&self.counters.batches),
-            batched_samples: ServerCounters::get(&self.counters.batched_samples),
-            largest_batch: ServerCounters::get(&self.counters.largest_batch),
-            scrub_passes: scrub.passes,
-            scrub_tiles: scrub.tiles_scrubbed,
-            scrub_repairs: scrub.repairs,
-            plan_swaps: self.network.as_ref().map_or(0, |hw| hw.plan_swaps()),
-            queue_depth: self.queue.len() as u64,
-            queue_capacity: self.queue.capacity() as u64,
-            in_flight: self.in_flight.load(Ordering::Relaxed),
-            kernel_backend: self.kernel_backend.to_owned(),
-            latency: self.latency.snapshot(),
-            telemetry_json: self.telemetry.snapshot().to_json(),
-        }
+impl ServerBuilder {
+    /// Sets the server-wide serving defaults.
+    pub fn config(mut self, config: ServerConfig) -> ServerBuilder {
+        self.config = config;
+        self
     }
-}
 
-/// A running inference server; dropping it shuts it down gracefully.
-pub struct Server {
-    shared: Arc<Shared>,
-    local_addr: SocketAddr,
-    listener_handle: Option<JoinHandle<()>>,
-    worker_handles: Vec<JoinHandle<()>>,
-    scrubber: Option<Scrubber>,
-}
+    /// Registers a model under `name`. The first registered model is
+    /// the default (what v1 clients and empty v2 model names route to)
+    /// unless [`ServerBuilder::default_model`] overrides it.
+    pub fn register_model(mut self, name: &str, spec: ModelSpec) -> ServerBuilder {
+        self.models.push((name.to_owned(), spec));
+        self
+    }
 
-impl Server {
-    /// Serves a compiled [`HardwareNetwork`] on `addr` (use port 0 for an
-    /// ephemeral port; read it back with [`Server::local_addr`]).
+    /// Sets the replica count of the **most recently registered**
+    /// model (sugar for [`ModelSpec::with_replicas`]).
     ///
-    /// `sample_shape` is the per-sample input shape *without* the batch
-    /// dimension (e.g. `[784]` for MLP-1); requests whose tensor shape
-    /// does not match are answered [`Status::BadRequest`].
+    /// # Panics
+    ///
+    /// Panics when no model has been registered yet.
+    pub fn replicas(mut self, n: usize) -> ServerBuilder {
+        let (_, spec) = self
+            .models
+            .last_mut()
+            .expect("replicas(n) must follow register_model");
+        spec.replicas = n;
+        self
+    }
+
+    /// Names the model v1 frames and empty v2 model names route to
+    /// (default: the first registered model).
+    pub fn default_model(mut self, name: &str) -> ServerBuilder {
+        self.default_model = Some(name.to_owned());
+        self
+    }
+
+    /// Sets the telemetry sink lazy compiles and the `STATS` snapshot
+    /// report into (default: disabled).
+    pub fn telemetry(mut self, telemetry: Telemetry) -> ServerBuilder {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Validates the registration set, binds `addr`, and starts
+    /// serving (use port 0 for an ephemeral port; read it back with
+    /// [`Server::local_addr`]).
     ///
     /// # Errors
     ///
-    /// Fails if the listener cannot bind or the config is invalid.
-    pub fn spawn<A: ToSocketAddrs>(
-        hw: HardwareNetwork,
-        sample_shape: &[usize],
-        addr: A,
-        config: ServerConfig,
-    ) -> Result<Server, ServeError> {
-        let telemetry = hw.telemetry().clone();
-        let hw = Arc::new(hw);
-        let scrubber = match config.scrub {
-            Some(scrub_config) => Some(Scrubber::new(Arc::clone(&hw), scrub_config)?),
-            None => None,
-        };
-        Server::spawn_inner(
-            Arc::new(NetworkExecutor::new_shared(Arc::clone(&hw)).with_backend(config.backend)),
-            telemetry,
-            sample_shape,
-            addr,
-            config,
-            Some(hw),
-            scrubber,
-        )
-    }
-
-    /// Serves an arbitrary [`BatchExecutor`] — the seam the integration
-    /// tests use to substitute deterministic mock engines.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the listener cannot bind or the config is invalid.
-    pub fn spawn_with_executor<A: ToSocketAddrs>(
-        executor: Arc<dyn BatchExecutor>,
-        telemetry: Telemetry,
-        sample_shape: &[usize],
-        addr: A,
-        config: ServerConfig,
-    ) -> Result<Server, ServeError> {
-        Server::spawn_inner(executor, telemetry, sample_shape, addr, config, None, None)
-    }
-
-    fn spawn_inner<A: ToSocketAddrs>(
-        executor: Arc<dyn BatchExecutor>,
-        telemetry: Telemetry,
-        sample_shape: &[usize],
-        addr: A,
-        config: ServerConfig,
-        network: Option<Arc<HardwareNetwork>>,
-        scrubber: Option<Scrubber>,
-    ) -> Result<Server, ServeError> {
-        config.validate()?;
-        if sample_shape.is_empty() || sample_shape.contains(&0) {
+    /// Fails when no model is registered, a name is empty / duplicated
+    /// / over [`MAX_MODEL_NAME`] bytes, a sample shape is invalid, a
+    /// limit override is zero, the default model is unknown, or the
+    /// listener cannot bind.
+    pub fn bind<A: ToSocketAddrs>(self, addr: A) -> Result<Server, ServeError> {
+        self.config.validate()?;
+        if self.models.is_empty() {
             return Err(ServeError::BadRequest(
-                "sample shape must be nonempty with nonzero dims".into(),
+                "a server needs at least one registered model".into(),
             ));
         }
+        for (name, spec) in &self.models {
+            if name.is_empty() || name.len() > MAX_MODEL_NAME {
+                return Err(ServeError::BadRequest(format!(
+                    "model name '{name}' must be 1..={MAX_MODEL_NAME} bytes"
+                )));
+            }
+            if self.models.iter().filter(|(n, _)| n == name).count() > 1 {
+                return Err(ServeError::BadRequest(format!(
+                    "model '{name}' registered twice"
+                )));
+            }
+            if spec.sample_shape.is_empty() || spec.sample_shape.contains(&0) {
+                return Err(ServeError::BadRequest(format!(
+                    "model '{name}': sample shape must be nonempty with nonzero dims"
+                )));
+            }
+            if spec.replicas == 0 {
+                return Err(ServeError::BadRequest(format!(
+                    "model '{name}': replica count must be nonzero"
+                )));
+            }
+            if spec.queue_capacity == Some(0)
+                || spec.max_batch == Some(0)
+                || spec.workers == Some(0)
+            {
+                return Err(ServeError::BadRequest(format!(
+                    "model '{name}': limit overrides must be nonzero"
+                )));
+            }
+        }
+        let default_model = self
+            .default_model
+            .unwrap_or_else(|| self.models[0].0.clone());
+        if !self.models.iter().any(|(n, _)| *n == default_model) {
+            return Err(ServeError::BadRequest(format!(
+                "default model '{default_model}' is not registered"
+            )));
+        }
+
+        let cache = Arc::new(Mutex::new(
+            CompileCache::new(COMPILE_CACHE_CAPACITY).with_telemetry(self.telemetry.clone()),
+        ));
+        let entries: Vec<Arc<ModelEntry>> = self
+            .models
+            .into_iter()
+            .map(|(name, mut spec)| {
+                if spec.scrub.is_none() {
+                    spec.scrub = self.config.scrub;
+                }
+                Arc::new(ModelEntry::new(
+                    name,
+                    spec,
+                    self.config.queue_capacity,
+                    self.config.max_batch,
+                    self.config.max_wait,
+                    self.config.workers,
+                    self.config.backend,
+                    Arc::clone(&cache),
+                ))
+            })
+            .collect();
+        let registry = ModelRegistry::new(entries, default_model);
+
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            queue: Arc::new(BoundedQueue::new(config.queue_capacity)),
-            counters: Arc::new(ServerCounters::default()),
-            latency: Arc::new(LatencyHistogram::new()),
-            in_flight: Arc::new(AtomicU64::new(0)),
+            registry,
+            global_counters: Arc::new(ServerCounters::default()),
+            global_latency: Arc::new(LatencyHistogram::new()),
             shutting_down: AtomicBool::new(false),
-            telemetry,
-            sample_shape: sample_shape.to_vec(),
-            kernel_backend: config.backend.name(),
-            network,
-            scrub_counters: scrubber.as_ref().map(Scrubber::counters),
+            telemetry: self.telemetry,
+            kernel_backend: self.config.backend.name(),
             conns: Mutex::new(Vec::new()),
             conn_handles: Mutex::new(Vec::new()),
         });
-        if let Some(scrubber) = &scrubber {
-            scrubber.start();
-        }
 
-        let mut worker_handles = Vec::with_capacity(config.workers);
-        for i in 0..config.workers {
-            let ctx = WorkerContext {
-                queue: Arc::clone(&shared.queue),
-                executor: Arc::clone(&executor),
-                sample_shape: shared.sample_shape.clone(),
-                max_batch: config.max_batch,
-                max_wait: config.max_wait,
-                counters: Arc::clone(&shared.counters),
-                latency: Arc::clone(&shared.latency),
-                in_flight: Arc::clone(&shared.in_flight),
-            };
-            worker_handles.push(
-                thread::Builder::new()
-                    .name(format!("resipe-serve-worker-{i}"))
-                    .spawn(move || worker_loop(ctx))
-                    .map_err(ServeError::Io)?,
-            );
+        let mut worker_handles = Vec::new();
+        for entry in shared.registry.entries() {
+            for i in 0..entry.workers {
+                let ctx = WorkerContext {
+                    entry: Arc::clone(entry),
+                    global_counters: Arc::clone(&shared.global_counters),
+                    global_latency: Arc::clone(&shared.global_latency),
+                };
+                worker_handles.push(
+                    thread::Builder::new()
+                        .name(format!("resipe-serve-{}-worker-{i}", entry.name))
+                        .spawn(move || worker_loop(ctx))
+                        .map_err(ServeError::Io)?,
+                );
+            }
         }
 
         let accept_shared = Arc::clone(&shared);
@@ -318,8 +345,137 @@ impl Server {
             local_addr,
             listener_handle: Some(listener_handle),
             worker_handles,
-            scrubber,
         })
+    }
+}
+
+/// State shared by the listener, connection threads, and workers.
+struct Shared {
+    registry: ModelRegistry,
+    global_counters: Arc<ServerCounters>,
+    global_latency: Arc<LatencyHistogram>,
+    shutting_down: AtomicBool,
+    telemetry: Telemetry,
+    /// Name of the kernel backend batches execute with, for `STATS`.
+    kernel_backend: &'static str,
+    /// Live connection streams, for unblocking readers at shutdown.
+    conns: Mutex<Vec<TcpStream>>,
+    /// Joinable connection reader/writer threads.
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        let mut queue_depth = 0u64;
+        let mut queue_capacity = 0u64;
+        let mut in_flight = 0u64;
+        let mut scrub = (0u64, 0u64, 0u64);
+        let mut plan_swaps = 0u64;
+        let mut models = Vec::with_capacity(self.registry.entries().len());
+        for entry in self.registry.entries() {
+            let block = entry.stats_block();
+            queue_depth += block.queue_depth;
+            queue_capacity += block.queue_capacity;
+            in_flight += block.in_flight;
+            let (passes, tiles, repairs) = entry.scrub_totals();
+            scrub.0 += passes;
+            scrub.1 += tiles;
+            scrub.2 += repairs;
+            plan_swaps += entry.plan_swap_total();
+            models.push(block);
+        }
+        ServerStats {
+            accepted: ServerCounters::get(&self.global_counters.accepted),
+            completed: ServerCounters::get(&self.global_counters.completed),
+            rejected_busy: ServerCounters::get(&self.global_counters.rejected_busy),
+            expired: ServerCounters::get(&self.global_counters.expired),
+            bad_requests: ServerCounters::get(&self.global_counters.bad_requests),
+            shutdown_rejects: ServerCounters::get(&self.global_counters.shutdown_rejects),
+            engine_errors: ServerCounters::get(&self.global_counters.engine_errors),
+            batches: ServerCounters::get(&self.global_counters.batches),
+            batched_samples: ServerCounters::get(&self.global_counters.batched_samples),
+            largest_batch: ServerCounters::get(&self.global_counters.largest_batch),
+            scrub_passes: scrub.0,
+            scrub_tiles: scrub.1,
+            scrub_repairs: scrub.2,
+            plan_swaps,
+            queue_depth,
+            queue_capacity,
+            in_flight,
+            kernel_backend: self.kernel_backend.to_owned(),
+            latency: self.global_latency.snapshot(),
+            telemetry_json: self.telemetry.snapshot().to_json(),
+            models,
+        }
+    }
+}
+
+/// A running inference server; dropping it shuts it down gracefully.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    listener_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts configuring a server: register models, then
+    /// [`bind`](ServerBuilder::bind).
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder {
+            config: ServerConfig::default(),
+            models: Vec::new(),
+            default_model: None,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Serves one compiled [`HardwareNetwork`] on `addr` as the model
+    /// `"default"`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listener cannot bind or the config is invalid.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use Server::builder().register_model(name, ModelSpec::compiled(hw, shape)).bind(addr)"
+    )]
+    pub fn spawn<A: ToSocketAddrs>(
+        hw: HardwareNetwork,
+        sample_shape: &[usize],
+        addr: A,
+        config: ServerConfig,
+    ) -> Result<Server, ServeError> {
+        let telemetry = hw.telemetry().clone();
+        Server::builder()
+            .telemetry(telemetry)
+            .config(config)
+            .register_model("default", ModelSpec::compiled(hw, sample_shape))
+            .bind(addr)
+    }
+
+    /// Serves an arbitrary [`BatchExecutor`] on `addr` as the model
+    /// `"default"`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listener cannot bind or the config is invalid.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use Server::builder().register_model(name, ModelSpec::executor(executor, shape)).bind(addr)"
+    )]
+    pub fn spawn_with_executor<A: ToSocketAddrs>(
+        executor: Arc<dyn BatchExecutor>,
+        telemetry: Telemetry,
+        sample_shape: &[usize],
+        addr: A,
+        config: ServerConfig,
+    ) -> Result<Server, ServeError> {
+        Server::builder()
+            .telemetry(telemetry)
+            .config(config)
+            .register_model("default", ModelSpec::executor(executor, sample_shape))
+            .bind(addr)
     }
 
     /// The bound address (useful after binding port 0).
@@ -327,23 +483,67 @@ impl Server {
         self.local_addr
     }
 
-    /// The served [`HardwareNetwork`], when this server was spawned over
-    /// real hardware ([`Server::spawn`]); `None` under a mock executor.
+    /// The default model's replica-0 [`HardwareNetwork`], when that
+    /// model serves real hardware; resolves (compiles) the replicas on
+    /// first call. `None` for executor-backed models or when
+    /// compilation fails.
     ///
-    /// The handle is live: aging it ([`HardwareNetwork::age`]) while the
-    /// server runs models in-field degradation of the served part, which
-    /// an attached scrubber then detects and hot-repairs.
-    pub fn network(&self) -> Option<&Arc<HardwareNetwork>> {
-        self.shared.network.as_ref()
+    /// The handle is live: aging it ([`HardwareNetwork::age`]) while
+    /// the server runs models in-field degradation of the served part,
+    /// which an attached scrubber then detects and hot-repairs.
+    pub fn network(&self) -> Option<Arc<HardwareNetwork>> {
+        self.model_network(&self.shared.registry.default_entry().name.clone(), 0)
     }
 
-    /// The attached background scrubber, if the config requested one.
-    pub fn scrubber(&self) -> Option<&Scrubber> {
-        self.scrubber.as_ref()
+    /// The named model's replica-`replica` network, resolving (lazily
+    /// compiling) the replica set on first call.
+    pub fn model_network(&self, model: &str, replica: u32) -> Option<Arc<HardwareNetwork>> {
+        let entry = self.shared.registry.get(model)?;
+        let replicas = entry.replicas().ok()?;
+        replicas
+            .get(replica as usize)
+            .and_then(|r| r.network.as_ref().map(Arc::clone))
+    }
+
+    /// The registered models, with replica counts and health.
+    pub fn models(&self) -> Vec<ModelInfo> {
+        self.shared.registry.infos()
+    }
+
+    /// Sets one replica's health state — the hook BIST monitoring (or
+    /// an operator) uses to drain a suspect chip without dropping
+    /// traffic. Resolves the model's replicas if not yet resolved.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoSuchModel`] for an unknown model,
+    /// [`ServeError::BadRequest`] for an out-of-range replica index,
+    /// [`ServeError::Engine`] when the replica set failed to compile.
+    pub fn set_replica_health(
+        &self,
+        model: &str,
+        replica: u32,
+        health: ReplicaHealth,
+    ) -> Result<(), ServeError> {
+        let entry = self
+            .shared
+            .registry
+            .get(model)
+            .ok_or_else(|| ServeError::NoSuchModel(model.to_owned()))?;
+        let replicas = entry.replicas()?;
+        let r = replicas.get(replica as usize).ok_or_else(|| {
+            ServeError::BadRequest(format!(
+                "model '{}' has {} replicas, no index {replica}",
+                entry.name,
+                replicas.len()
+            ))
+        })?;
+        r.set_health(health);
+        Ok(())
     }
 
     /// A point-in-time snapshot of the server's counters, queue state,
-    /// latency histogram, and engine telemetry.
+    /// latency histograms, per-model blocks, and engine telemetry.
     pub fn stats(&self) -> ServerStats {
         self.shared.stats()
     }
@@ -362,15 +562,17 @@ impl Server {
         }
         // Fail new admissions, then let workers drain what was admitted;
         // every queued request is answered into its connection channel.
-        self.shared.queue.close();
+        for entry in self.shared.registry.entries() {
+            entry.queue.close();
+        }
         for h in self.worker_handles.drain(..) {
             let _ = h.join();
         }
-        // The scrubber keeps running through the drain above (a repair
-        // landing mid-drain is still served atomically); stop it only
+        // The scrubbers keep running through the drain above (a repair
+        // landing mid-drain is still served atomically); stop them only
         // once every admitted request has been answered.
-        if let Some(scrubber) = &self.scrubber {
-            scrubber.stop();
+        for entry in self.shared.registry.entries() {
+            entry.stop_scrubbers();
         }
         // Unblock connection readers; writers exit once the last reply
         // (sent by the drained workers above) has been flushed.
@@ -438,7 +640,15 @@ fn spawn_connection(stream: TcpStream, shared: Arc<Shared>) {
 
 fn writer_loop(mut stream: TcpStream, replies: mpsc::Receiver<Reply>) {
     while let Ok(reply) = replies.recv() {
-        if write_response(&mut stream, reply.status, reply.id, &reply.payload).is_err() {
+        if write_response(
+            &mut stream,
+            reply.version,
+            reply.status,
+            reply.id,
+            &reply.payload,
+        )
+        .is_err()
+        {
             break; // client went away; drain silently
         }
     }
@@ -460,9 +670,19 @@ fn reader_loop(stream: TcpStream, shared: Arc<Shared>, replies: mpsc::Sender<Rep
                 }
             }
             Err(e) => {
-                ServerCounters::add(&shared.counters.bad_requests, 1);
+                // A garbage preamble earns Malformed — rejected before
+                // any tensor decode was attempted; a recognizable frame
+                // with invalid content keeps the original BadRequest.
+                // Both answer in v1 framing (there is no version to
+                // mirror when the preamble itself failed to parse).
+                let status = match &e {
+                    ServeError::Malformed(_) => Status::Malformed,
+                    _ => Status::BadRequest,
+                };
+                ServerCounters::add(&shared.global_counters.bad_requests, 1);
                 let sent = replies.send(Reply {
-                    status: Status::BadRequest,
+                    version: PROTOCOL_V1,
+                    status,
                     id: 0,
                     payload: e.to_string().into_bytes(),
                 });
@@ -474,6 +694,16 @@ fn reader_loop(stream: TcpStream, shared: Arc<Shared>, replies: mpsc::Sender<Rep
     }
 }
 
+/// Bumps a counter on both the model's and the global set.
+fn bump(
+    entry: &ModelEntry,
+    global: &ServerCounters,
+    pick: impl Fn(&ServerCounters) -> &std::sync::atomic::AtomicU64,
+) {
+    ServerCounters::add(pick(&entry.counters), 1);
+    ServerCounters::add(pick(global), 1);
+}
+
 /// Admission control for one parsed request. Returns `Err` only when the
 /// reply channel is closed (connection writer gone).
 fn handle_request(
@@ -481,56 +711,71 @@ fn handle_request(
     shared: &Arc<Shared>,
     replies: &mpsc::Sender<Reply>,
 ) -> Result<(), mpsc::SendError<Reply>> {
+    let reply = |status: Status, payload: Vec<u8>| Reply {
+        version: req.version,
+        status,
+        id: req.id,
+        payload,
+    };
     match req.verb {
-        Verb::Ping => replies.send(Reply {
-            status: Status::Ok,
-            id: req.id,
-            payload: Vec::new(),
-        }),
-        Verb::Stats => replies.send(Reply {
-            status: Status::Ok,
-            id: req.id,
-            payload: shared.stats().encode(),
-        }),
+        Verb::Ping => replies.send(reply(Status::Ok, Vec::new())),
+        Verb::Stats => {
+            // v1 clients get the legacy fixed layout, bit-identical to
+            // the pre-registry server; v2 clients get the
+            // count-prefixed layout with per-model blocks.
+            let stats = shared.stats();
+            let payload = if req.version == PROTOCOL_V1 {
+                stats.encode_legacy()
+            } else {
+                stats.encode()
+            };
+            replies.send(reply(Status::Ok, payload))
+        }
+        Verb::ListModels => replies.send(reply(
+            Status::Ok,
+            encode_model_list(&shared.registry.infos()),
+        )),
+        Verb::ModelStats => match shared.registry.get(&req.model) {
+            Some(entry) => replies.send(reply(Status::Ok, entry.stats_block().encode())),
+            None => replies.send(reply(Status::NoSuchModel, req.model.clone().into_bytes())),
+        },
         Verb::Infer | Verb::InferBatch => {
+            let Some(entry) = shared.registry.get(&req.model) else {
+                ServerCounters::add(&shared.global_counters.bad_requests, 1);
+                return replies.send(reply(Status::NoSuchModel, req.model.clone().into_bytes()));
+            };
             let Some(tensor) = req.tensor else {
-                ServerCounters::add(&shared.counters.bad_requests, 1);
-                return replies.send(Reply {
-                    status: Status::BadRequest,
-                    id: req.id,
-                    payload: b"inference request carries no tensor".to_vec(),
-                });
+                bump(entry, &shared.global_counters, |c| &c.bad_requests);
+                return replies.send(reply(
+                    Status::BadRequest,
+                    b"inference request carries no tensor".to_vec(),
+                ));
             };
             let (n, shape_ok) = match req.verb {
-                Verb::Infer => (1usize, tensor.shape() == &shared.sample_shape[..]),
+                Verb::Infer => (1usize, tensor.shape() == &entry.sample_shape[..]),
                 _ => (
                     tensor.shape().first().copied().unwrap_or(0),
-                    tensor.shape().len() == shared.sample_shape.len() + 1
-                        && tensor.shape()[1..] == shared.sample_shape[..]
+                    tensor.shape().len() == entry.sample_shape.len() + 1
+                        && tensor.shape()[1..] == entry.sample_shape[..]
                         && !tensor.shape().is_empty()
                         && tensor.shape()[0] > 0,
                 ),
             };
             if !shape_ok {
-                ServerCounters::add(&shared.counters.bad_requests, 1);
-                return replies.send(Reply {
-                    status: Status::BadRequest,
-                    id: req.id,
-                    payload: format!(
+                bump(entry, &shared.global_counters, |c| &c.bad_requests);
+                return replies.send(reply(
+                    Status::BadRequest,
+                    format!(
                         "sample shape mismatch: served shape is {:?}, got {:?}",
-                        shared.sample_shape,
+                        entry.sample_shape,
                         tensor.shape()
                     )
                     .into_bytes(),
-                });
+                ));
             }
             if shared.shutting_down.load(Ordering::SeqCst) {
-                ServerCounters::add(&shared.counters.shutdown_rejects, 1);
-                return replies.send(Reply {
-                    status: Status::ShuttingDown,
-                    id: req.id,
-                    payload: Vec::new(),
-                });
+                bump(entry, &shared.global_counters, |c| &c.shutdown_rejects);
+                return replies.send(reply(Status::ShuttingDown, Vec::new()));
             }
             let now = Instant::now();
             let deadline = if req.deadline_us == 0 {
@@ -539,38 +784,32 @@ fn handle_request(
                 Some(now + Duration::from_micros(u64::from(req.deadline_us)))
             };
             let pending = PendingRequest {
+                version: req.version,
                 id: req.id,
                 samples: tensor.data().to_vec(),
                 n,
+                replica_hint: req.replica_hint,
                 deadline,
                 enqueued: now,
                 reply: replies.clone(),
             };
             // Count in-flight *before* the push so a concurrent stats
             // reader never observes a queued request as unaccounted.
-            shared.in_flight.fetch_add(1, Ordering::Relaxed);
-            match shared.queue.try_push(pending) {
+            entry.in_flight.fetch_add(1, Ordering::Relaxed);
+            match entry.queue.try_push(pending) {
                 Ok(()) => {
-                    ServerCounters::add(&shared.counters.accepted, 1);
+                    bump(entry, &shared.global_counters, |c| &c.accepted);
                     Ok(())
                 }
                 Err(PushError::Full(_)) => {
-                    shared.in_flight.fetch_sub(1, Ordering::Relaxed);
-                    ServerCounters::add(&shared.counters.rejected_busy, 1);
-                    replies.send(Reply {
-                        status: Status::Busy,
-                        id: req.id,
-                        payload: Vec::new(),
-                    })
+                    entry.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    bump(entry, &shared.global_counters, |c| &c.rejected_busy);
+                    replies.send(reply(Status::Busy, Vec::new()))
                 }
                 Err(PushError::Closed(_)) => {
-                    shared.in_flight.fetch_sub(1, Ordering::Relaxed);
-                    ServerCounters::add(&shared.counters.shutdown_rejects, 1);
-                    replies.send(Reply {
-                        status: Status::ShuttingDown,
-                        id: req.id,
-                        payload: Vec::new(),
-                    })
+                    entry.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    bump(entry, &shared.global_counters, |c| &c.shutdown_rejects);
+                    replies.send(reply(Status::ShuttingDown, Vec::new()))
                 }
             }
         }

@@ -119,8 +119,7 @@ proptest! {
 /// `max_batch`.
 #[test]
 fn batches_route_to_issuing_clients_and_respect_max_batch() {
-    use resipe::telemetry::Telemetry;
-    use resipe_serve::{Client, Server, ServerConfig};
+    use resipe_serve::{Client, ModelSpec, Server, ServerConfig};
 
     const WIDTH: usize = 4;
     const CLIENTS: usize = 4;
@@ -130,17 +129,19 @@ fn batches_route_to_issuing_clients_and_respect_max_batch() {
     let executor = Arc::new(RecordingEcho {
         batch_sizes: Mutex::new(Vec::new()),
     });
-    let server = Server::spawn_with_executor(
-        Arc::clone(&executor) as Arc<dyn BatchExecutor>,
-        Telemetry::disabled(),
-        &[WIDTH],
-        "127.0.0.1:0",
-        ServerConfig::default()
-            .with_max_batch(MAX_BATCH)
-            .with_max_wait(Duration::from_micros(200))
-            .with_queue_capacity(512),
-    )
-    .unwrap();
+    let server = Server::builder()
+        .config(
+            ServerConfig::default()
+                .with_max_batch(MAX_BATCH)
+                .with_max_wait(Duration::from_micros(200))
+                .with_queue_capacity(512),
+        )
+        .register_model(
+            "echo",
+            ModelSpec::executor(Arc::clone(&executor) as Arc<dyn BatchExecutor>, &[WIDTH]),
+        )
+        .bind("127.0.0.1:0")
+        .unwrap();
     let addr = server.local_addr();
 
     let mut joins = Vec::new();
@@ -187,8 +188,7 @@ fn batches_route_to_issuing_clients_and_respect_max_batch() {
 /// route correctly and never split a request across replies.
 #[test]
 fn mixed_batch_and_single_requests_round_trip() {
-    use resipe::telemetry::Telemetry;
-    use resipe_serve::{Client, Server, ServerConfig};
+    use resipe_serve::{Client, ModelSpec, Server, ServerConfig};
 
     struct PlusOne;
     impl BatchExecutor for PlusOne {
@@ -198,14 +198,11 @@ fn mixed_batch_and_single_requests_round_trip() {
         }
     }
 
-    let server = Server::spawn_with_executor(
-        Arc::new(PlusOne),
-        Telemetry::disabled(),
-        &[2],
-        "127.0.0.1:0",
-        ServerConfig::default().with_max_batch(3),
-    )
-    .unwrap();
+    let server = Server::builder()
+        .config(ServerConfig::default().with_max_batch(3))
+        .register_model("plus-one", ModelSpec::executor(Arc::new(PlusOne), &[2]))
+        .bind("127.0.0.1:0")
+        .unwrap();
     let mut client = Client::connect(server.local_addr()).unwrap();
 
     let single = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();

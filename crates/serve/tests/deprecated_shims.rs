@@ -1,0 +1,87 @@
+//! Back-compat shims: the deprecated `Server::spawn` /
+//! `Server::spawn_with_executor` constructors must keep working exactly
+//! as before the registry existed — single default model, v1 clients,
+//! same stats surface. These are the **only** remaining call sites of
+//! the deprecated API (`scripts/check.sh` greps to enforce that).
+
+#![allow(deprecated)]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use resipe::inference::{CompileOptions, HardwareNetwork};
+use resipe::telemetry::Telemetry;
+use resipe::ResipeError;
+use resipe_nn::data::synth_digits;
+use resipe_nn::models;
+use resipe_nn::tensor::Tensor;
+use resipe_serve::batcher::BatchExecutor;
+use resipe_serve::{Client, Server, ServerConfig};
+
+struct Echo;
+
+impl BatchExecutor for Echo {
+    fn execute(&self, batch: &Tensor) -> Result<Tensor, ResipeError> {
+        Ok(batch.clone())
+    }
+}
+
+#[test]
+fn spawn_with_executor_still_serves_a_default_model() {
+    let server = Server::spawn_with_executor(
+        Arc::new(Echo),
+        Telemetry::disabled(),
+        &[3],
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let sample = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+    let out = client.infer(&sample).unwrap();
+    assert_eq!(out.data(), sample.data());
+
+    // The shim registers the model under the name "default"; v2 callers
+    // see it in the registry alongside the v1 path.
+    let infos = client.list_models().unwrap();
+    assert_eq!(infos.len(), 1);
+    assert_eq!(infos[0].name, "default");
+    assert_eq!(infos[0].replicas, 1);
+    let out2 = client.model("default").infer(&sample).unwrap();
+    assert_eq!(out2.data(), sample.data());
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.models.len(), 1);
+}
+
+#[test]
+fn spawn_still_serves_a_compiled_network() {
+    let train = synth_digits(32, 1).unwrap();
+    let (calib, _) = train.batch(&(0..16).collect::<Vec<_>>()).unwrap();
+    let net = models::mlp1(7).unwrap();
+    let hw = HardwareNetwork::compile(&net, &calib, &CompileOptions::paper()).unwrap();
+    let oracle = hw.clone();
+
+    let shape = train.sample_shape().to_vec();
+    let server = Server::spawn(
+        hw,
+        &shape,
+        "127.0.0.1:0",
+        ServerConfig::default().with_max_wait(Duration::ZERO),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let (sample, _) = train.batch(&[0]).unwrap();
+    let served = client.infer_batch(&sample).unwrap();
+    let local = oracle.forward(&sample).unwrap();
+    assert_eq!(served.shape(), local.shape());
+    for (a, b) in served.data().iter().zip(local.data()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "shim broke bit-identity");
+    }
+    assert!(
+        server.network().is_some(),
+        "compiled model exposes hardware"
+    );
+}

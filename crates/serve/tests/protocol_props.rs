@@ -1,0 +1,165 @@
+//! Property tests of the wire protocol: every well-formed request —
+//! in both protocol versions — survives an encode → parse round trip
+//! bit-identically (including NaN/infinity/denormal payload bits), the
+//! v1 encoding is byte-for-byte the legacy layout, and arbitrary
+//! garbage never panics the parser.
+
+use proptest::prelude::*;
+
+use resipe_nn::tensor::Tensor;
+use resipe_serve::protocol::{
+    encode_request, encode_tensor, parse_request, Request, Verb, MAX_MODEL_NAME, PROTOCOL_V1,
+    PROTOCOL_V2,
+};
+
+const V1_VERBS: [Verb; 4] = [Verb::Infer, Verb::InferBatch, Verb::Ping, Verb::Stats];
+const V2_VERBS: [Verb; 6] = [
+    Verb::Infer,
+    Verb::InferBatch,
+    Verb::Ping,
+    Verb::Stats,
+    Verb::ListModels,
+    Verb::ModelStats,
+];
+
+/// Builds a tensor whose element *bits* are fully arbitrary — NaNs,
+/// infinities, denormals, negative zero — so the round trip is checked
+/// at the bit level, not through float equality.
+fn tensor_from(rank: usize, dim: usize, bits: &[u32]) -> Tensor {
+    let dims = vec![dim; rank];
+    let len: usize = dims.iter().product();
+    let data: Vec<f32> = (0..len)
+        .map(|i| f32::from_bits(bits.get(i).copied().unwrap_or(0x7fc0_0000 + i as u32)))
+        .collect();
+    Tensor::from_vec(data, &dims).unwrap()
+}
+
+fn model_name(len: usize, seed: u64) -> String {
+    const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-_.";
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            CHARSET[(state >> 33) as usize % CHARSET.len()] as char
+        })
+        .collect()
+}
+
+fn assert_tensor_bits(a: &Option<Tensor>, b: &Option<Tensor>) {
+    match (a, b) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            assert_eq!(a.shape(), b.shape());
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        _ => panic!("tensor presence changed across the round trip"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// v1 requests round-trip bit-identically through the v1 wire, and
+    /// the encoding is byte-for-byte the pre-registry layout:
+    /// `[verb][u64 id][u32 deadline][tensor?]`, all little-endian.
+    #[test]
+    fn v1_requests_round_trip_on_the_legacy_bytes(
+        verb_sel in 0usize..4,
+        id in any::<u64>(),
+        deadline_us in 0u32..=u32::MAX,
+        rank in 1usize..4,
+        dim in 1usize..5,
+        bits in proptest::collection::vec(any::<u32>(), 0..128),
+        has_tensor in any::<bool>(),
+    ) {
+        let verb = V1_VERBS[verb_sel];
+        let tensor = (verb.carries_tensor() && has_tensor)
+            .then(|| tensor_from(rank, dim, &bits));
+        let req = Request::v1(verb, id, deadline_us, tensor.clone());
+        let bytes = encode_request(&req).unwrap();
+
+        // Golden layout: no preamble, raw verb first.
+        let mut legacy = vec![verb as u8];
+        legacy.extend_from_slice(&id.to_le_bytes());
+        legacy.extend_from_slice(&deadline_us.to_le_bytes());
+        if let Some(t) = &tensor {
+            legacy.extend_from_slice(&encode_tensor(t));
+        }
+        prop_assert_eq!(&bytes, &legacy);
+
+        let back = parse_request(&bytes).unwrap();
+        prop_assert_eq!(back.version, PROTOCOL_V1);
+        prop_assert_eq!(back.verb, verb);
+        prop_assert_eq!(back.id, id);
+        prop_assert_eq!(back.deadline_us, deadline_us);
+        prop_assert_eq!(&back.model, "");
+        prop_assert_eq!(back.replica_hint, None);
+        assert_tensor_bits(&back.tensor, &req.tensor);
+    }
+
+    /// v2 requests — model names, replica hints, the new verbs —
+    /// round-trip bit-identically through the v2 wire.
+    #[test]
+    fn v2_requests_round_trip(
+        verb_sel in 0usize..6,
+        id in any::<u64>(),
+        deadline_us in 0u32..=u32::MAX,
+        name_len in 0usize..40,
+        name_seed in any::<u64>(),
+        hint in any::<u32>(),
+        has_hint in any::<bool>(),
+        rank in 1usize..4,
+        dim in 1usize..5,
+        bits in proptest::collection::vec(any::<u32>(), 0..128),
+        has_tensor in any::<bool>(),
+    ) {
+        let verb = V2_VERBS[verb_sel];
+        let model = model_name(name_len, name_seed);
+        let tensor = (verb.carries_tensor() && has_tensor)
+            .then(|| tensor_from(rank, dim, &bits));
+        let mut req = Request::v2(verb, id, deadline_us, &model, tensor);
+        if has_hint {
+            req = req.with_replica_hint(hint);
+        }
+        let bytes = encode_request(&req).unwrap();
+        let back = parse_request(&bytes).unwrap();
+        prop_assert_eq!(back.version, PROTOCOL_V2);
+        prop_assert_eq!(back.verb, verb);
+        prop_assert_eq!(back.id, id);
+        prop_assert_eq!(back.deadline_us, deadline_us);
+        prop_assert_eq!(&back.model, &model);
+        prop_assert_eq!(back.replica_hint, has_hint.then_some(hint));
+        assert_tensor_bits(&back.tensor, &req.tensor);
+    }
+
+    /// Arbitrary bytes never panic the parser; anything that fails to
+    /// parse yields a clean error, and a payload whose first byte is
+    /// neither a v1 verb nor the v2 magic is *always* rejected.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        payload in proptest::collection::vec(0u8..=255, 0..512),
+    ) {
+        let parsed = parse_request(&payload);
+        let first = payload.first().copied();
+        if let Some(b) = first {
+            if !(1..=4).contains(&b) && b != 0xA5 {
+                prop_assert!(parsed.is_err(), "junk preamble {b:#04x} accepted");
+            }
+        } else {
+            prop_assert!(parsed.is_err(), "empty payload accepted");
+        }
+    }
+
+    /// Model names beyond the wire limit are refused at encode time,
+    /// never truncated silently.
+    #[test]
+    fn oversized_model_names_refuse_to_encode(extra in 1usize..64) {
+        let name = "m".repeat(MAX_MODEL_NAME + extra);
+        let req = Request::v2(Verb::Ping, 1, 0, &name, None);
+        prop_assert!(encode_request(&req).is_err());
+    }
+}

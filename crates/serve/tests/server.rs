@@ -7,11 +7,22 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use resipe::telemetry::Telemetry;
 use resipe::ResipeError;
 use resipe_nn::tensor::Tensor;
 use resipe_serve::batcher::BatchExecutor;
-use resipe_serve::{Client, ServeError, Server, ServerConfig};
+use resipe_serve::{Client, ModelSpec, ServeError, Server, ServerConfig};
+
+/// Binds a single executor-backed model `"echo"` behind the builder.
+fn bind_executor(
+    executor: Arc<dyn BatchExecutor>,
+    shape: &[usize],
+    config: ServerConfig,
+) -> Result<Server, ServeError> {
+    Server::builder()
+        .config(config)
+        .register_model("echo", ModelSpec::executor(executor, shape))
+        .bind("127.0.0.1:0")
+}
 
 /// Echoes input after an optional artificial delay.
 struct SlowEcho {
@@ -47,14 +58,7 @@ impl BatchExecutor for SlowEcho {
 }
 
 fn spawn_echo(config: ServerConfig) -> Server {
-    Server::spawn_with_executor(
-        Arc::new(SlowEcho::instant()),
-        Telemetry::disabled(),
-        &[3],
-        "127.0.0.1:0",
-        config,
-    )
-    .unwrap()
+    bind_executor(Arc::new(SlowEcho::instant()), &[3], config).unwrap()
 }
 
 #[test]
@@ -101,11 +105,9 @@ fn overload_answers_busy_without_panic() {
         gate: std::sync::Mutex::new(gate_rx),
         entered: AtomicU64::new(0),
     });
-    let server = Server::spawn_with_executor(
+    let server = bind_executor(
         Arc::clone(&executor) as Arc<dyn BatchExecutor>,
-        Telemetry::disabled(),
         &[3],
-        "127.0.0.1:0",
         ServerConfig::default()
             .with_queue_capacity(2)
             .with_max_batch(1)
@@ -161,11 +163,9 @@ fn overload_answers_busy_without_panic() {
 
 #[test]
 fn deadline_expiry_is_reported() {
-    let server = Server::spawn_with_executor(
+    let server = bind_executor(
         Arc::new(SlowEcho::with_delay(Duration::from_millis(120))),
-        Telemetry::disabled(),
         &[3],
-        "127.0.0.1:0",
         ServerConfig::default()
             .with_max_batch(1)
             .with_max_wait(Duration::ZERO),
@@ -216,11 +216,9 @@ fn bad_shape_is_rejected_not_executed() {
 #[test]
 fn shutdown_drains_admitted_work_and_refuses_new() {
     let executor = Arc::new(SlowEcho::with_delay(Duration::from_millis(40)));
-    let mut server = Server::spawn_with_executor(
+    let mut server = bind_executor(
         Arc::clone(&executor) as Arc<dyn BatchExecutor>,
-        Telemetry::disabled(),
         &[3],
-        "127.0.0.1:0",
         ServerConfig::default()
             .with_max_batch(1)
             .with_max_wait(Duration::ZERO),
@@ -278,30 +276,31 @@ fn invalid_configs_are_rejected() {
         ServerConfig::default().with_queue_capacity(0),
         ServerConfig::default().with_workers(0),
     ] {
-        assert!(Server::spawn_with_executor(
-            mk(),
-            Telemetry::disabled(),
-            &[3],
-            "127.0.0.1:0",
-            config
-        )
-        .is_err());
+        assert!(bind_executor(mk(), &[3], config).is_err());
     }
     // Degenerate sample shapes are rejected too.
-    assert!(Server::spawn_with_executor(
-        mk(),
-        Telemetry::disabled(),
-        &[],
-        "127.0.0.1:0",
-        ServerConfig::default()
-    )
-    .is_err());
-    assert!(Server::spawn_with_executor(
-        mk(),
-        Telemetry::disabled(),
-        &[3, 0],
-        "127.0.0.1:0",
-        ServerConfig::default()
-    )
-    .is_err());
+    assert!(bind_executor(mk(), &[], ServerConfig::default()).is_err());
+    assert!(bind_executor(mk(), &[3, 0], ServerConfig::default()).is_err());
+
+    // Registry-level validation: no models, duplicate names, bad
+    // default, zero replicas, oversized name.
+    assert!(Server::builder().bind("127.0.0.1:0").is_err());
+    assert!(Server::builder()
+        .register_model("a", ModelSpec::executor(mk(), &[3]))
+        .register_model("a", ModelSpec::executor(mk(), &[3]))
+        .bind("127.0.0.1:0")
+        .is_err());
+    assert!(Server::builder()
+        .register_model("a", ModelSpec::executor(mk(), &[3]))
+        .default_model("missing")
+        .bind("127.0.0.1:0")
+        .is_err());
+    assert!(Server::builder()
+        .register_model("a", ModelSpec::executor(mk(), &[3]).with_replicas(0))
+        .bind("127.0.0.1:0")
+        .is_err());
+    assert!(Server::builder()
+        .register_model(&"x".repeat(300), ModelSpec::executor(mk(), &[3]))
+        .bind("127.0.0.1:0")
+        .is_err());
 }

@@ -14,7 +14,7 @@ use resipe_nn::models;
 use resipe_nn::tensor::Tensor;
 use resipe_nn::train::{Sgd, TrainConfig};
 use resipe_reram::variation::VariationModel;
-use resipe_serve::{Client, Server, ServerConfig};
+use resipe_serve::{Client, ModelSpec, Server, ServerConfig};
 
 fn assert_bit_identical(a: &Tensor, b: &Tensor) {
     assert_eq!(a.shape(), b.shape());
@@ -50,15 +50,15 @@ fn concurrent_served_outputs_match_local_per_sample_bitwise() {
     let oracle = hw.clone();
 
     let sample_shape = train.sample_shape().to_vec();
-    let server = Server::spawn(
-        hw,
-        &sample_shape,
-        "127.0.0.1:0",
-        ServerConfig::default()
-            .with_max_batch(8)
-            .with_max_wait(Duration::from_micros(500)),
-    )
-    .unwrap();
+    let server = Server::builder()
+        .config(
+            ServerConfig::default()
+                .with_max_batch(8)
+                .with_max_wait(Duration::from_micros(500)),
+        )
+        .register_model("mlp1", ModelSpec::compiled(hw, &sample_shape))
+        .bind("127.0.0.1:0")
+        .unwrap();
     let addr = server.local_addr();
 
     // A fixed corpus; each client walks a different stride so batches

@@ -15,18 +15,41 @@
 # if an exact backend loses bit identity or the fixed-point backend
 # drifts past 10% of full scale. Every stage, flag, gate, and output
 # field is documented in docs/BENCHMARKS.md.
+#
+# With --serve-smoke, additionally re-runs the serving bench and
+# schema-checks the registry surface of BENCH_serve.json: the per-model
+# blocks (per-model p99, per-replica health/load), the multi-model
+# scenario gates (two models, a replica drained mid-load, zero rejects),
+# and the v1 wire-compatibility bit (hand-rolled legacy frames answered
+# bit-identically by the v2 server).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 perf_smoke=0
 backends_smoke=0
+serve_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --perf-smoke) perf_smoke=1 ;;
         --backends-smoke) backends_smoke=1 ;;
-        *) echo "check: unknown argument '$arg' (supported: --perf-smoke, --backends-smoke)" >&2; exit 2 ;;
+        --serve-smoke) serve_smoke=1 ;;
+        *) echo "check: unknown argument '$arg' (supported: --perf-smoke, --backends-smoke, --serve-smoke)" >&2; exit 2 ;;
     esac
 done
+
+# The deprecated single-model constructors must not creep back into
+# non-test code: the builder/registry API is the supported surface. The
+# only allowed call sites are the shims themselves and their
+# back-compat test.
+echo "==> deprecated serving API grep gate"
+spawn_hits="$(grep -rn "Server::spawn" --include='*.rs' crates/ \
+    | grep -v "crates/serve/src/server.rs" \
+    | grep -v "crates/serve/tests/deprecated_shims.rs" || true)"
+if [[ -n "$spawn_hits" ]]; then
+    echo "check: deprecated Server::spawn* called outside the shims:" >&2
+    echo "$spawn_hits" >&2
+    exit 2
+fi
 
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
@@ -65,7 +88,8 @@ cargo run --release -q -p resipe-bench --bin serve_bench -- --smoke --out "$serv
 for key in model clients requests_per_client total_requests max_batch max_wait_us \
     bit_identical lossless sequential batched requests_per_sec mean_batch \
     largest_batch speedup hot_repair latency p50_nanos p99_nanos server accepted \
-    completed rejected_busy expired scrub_passes scrub_repairs plan_swaps; do
+    completed rejected_busy expired scrub_passes scrub_repairs plan_swaps \
+    v1_compat multi_model models replicas; do
     if ! grep -q "\"$key\"" "$serve_out"; then
         echo "check: BENCH_serve.json schema drift — missing key \"$key\"" >&2
         rm -f "$serve_out"
@@ -113,6 +137,37 @@ if [[ "$perf_smoke" -eq 1 ]]; then
     cargo run --release -q -p resipe-bench --bin throughput -- --smoke --gate \
         --out "$perf_out" >/dev/null
     rm -f "$perf_out"
+fi
+
+if [[ "$serve_smoke" -eq 1 ]]; then
+    echo "==> serve_bench --smoke (multi-model registry gate + schema check)"
+    registry_out="$(mktemp)"
+    cargo run --release -q -p resipe-bench --bin serve_bench -- --smoke \
+        --out "$registry_out" >/dev/null
+    # Per-model blocks: both registered models present with per-replica
+    # detail and a per-model p99.
+    for name in mlp1 mlp2; do
+        if ! grep -q "\"name\": \"$name\"" "$registry_out"; then
+            echo "check: BENCH_serve.json missing per-model block for \"$name\"" >&2
+            rm -f "$registry_out"
+            exit 1
+        fi
+    done
+    for key in multi_model drained_replica p99_nanos health index; do
+        if ! grep -q "\"$key\"" "$registry_out"; then
+            echo "check: BENCH_serve.json registry schema drift — missing \"$key\"" >&2
+            rm -f "$registry_out"
+            exit 1
+        fi
+    done
+    for gate in '"v1_compat": true' '"rejected_busy": 0' '"lossless": true'; do
+        if ! grep -q "$gate" "$registry_out"; then
+            echo "check: serve_bench registry gate failed ($gate)" >&2
+            rm -f "$registry_out"
+            exit 1
+        fi
+    done
+    rm -f "$registry_out"
 fi
 
 if [[ "$backends_smoke" -eq 1 ]]; then
