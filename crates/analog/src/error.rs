@@ -35,6 +35,22 @@ pub enum AnalogError {
         /// The time-step index at which factorization failed.
         step: usize,
     },
+    /// The MNA system factored, but its estimated condition is so poor the
+    /// solution would silently lose most of its precision.
+    ///
+    /// Only raised when a minimum reciprocal condition is requested via
+    /// [`crate::transient::TransientConfig::with_min_rcond`]. Typical
+    /// causes at whole-tile scale: a wire-resistance / off-resistance
+    /// contrast far beyond double precision, or an almost-floating node
+    /// connected only through `r_off` switches.
+    IllConditioned {
+        /// The time-step index at which the factorization was checked.
+        step: usize,
+        /// Estimated reciprocal 1-norm condition `1/(‖A‖₁·‖A⁻¹‖₁)`.
+        rcond: f64,
+        /// Pivot growth `max|U| / max|A|` of the offending factorization.
+        pivot_growth: f64,
+    },
     /// A requested waveform was not captured during the simulation.
     WaveformNotCaptured {
         /// The node whose waveform was requested.
@@ -56,6 +72,18 @@ impl fmt::Display for AnalogError {
             }
             AnalogError::SingularMatrix { step } => {
                 write!(f, "singular MNA matrix at time step {step}")
+            }
+            AnalogError::IllConditioned {
+                step,
+                rcond,
+                pivot_growth,
+            } => {
+                write!(
+                    f,
+                    "ill-conditioned MNA matrix at time step {step}: estimated rcond {rcond:.3e} \
+                     (pivot growth {pivot_growth:.3e}); solutions would lose most of their \
+                     precision — rescale element values or relax the min_rcond gate"
+                )
             }
             AnalogError::WaveformNotCaptured { index } => {
                 write!(f, "waveform for node {index} was not captured")
@@ -87,6 +115,13 @@ mod tests {
         assert!(e.to_string().contains("zero step"));
         let e = AnalogError::WaveformNotCaptured { index: 2 };
         assert!(e.to_string().contains("node 2"));
+        let e = AnalogError::IllConditioned {
+            step: 5,
+            rcond: 1e-17,
+            pivot_growth: 3.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("step 5") && msg.contains("rcond") && msg.contains("min_rcond"));
     }
 
     #[test]

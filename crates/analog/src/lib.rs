@@ -55,12 +55,15 @@
 pub mod error;
 pub mod linalg;
 pub mod netlist;
+pub mod sparse;
 pub mod transient;
 pub mod units;
 pub mod waveform;
 
 pub use error::AnalogError;
 pub use netlist::{Netlist, Node};
-pub use transient::{Integrator, Transient, TransientConfig, TransientResult};
+pub use transient::{
+    Integrator, SolverKind, SolverSession, SolverStats, Transient, TransientConfig, TransientResult,
+};
 pub use units::{Amps, Farads, Hertz, Ohms, Seconds, Siemens, Volts};
 pub use waveform::Waveform;

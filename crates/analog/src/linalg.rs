@@ -1,8 +1,13 @@
 //! Dense linear algebra: the small LU solver behind the MNA engine.
 //!
-//! MNA systems for ReSiPE-scale circuits are tiny (tens of unknowns for a
-//! 32×32 crossbar column slice), so a dense LU factorization with partial
-//! pivoting is simpler and faster than any sparse machinery.
+//! MNA systems for single-column ReSiPE circuits are tiny (tens of
+//! unknowns), and there a dense LU factorization with partial pivoting
+//! beats any sparse machinery. Whole-tile systems (hundreds to thousands
+//! of unknowns, a few nonzeros per row) flip that trade — the transient
+//! solver switches to [`crate::sparse`] above a size threshold (see
+//! [`crate::transient::SolverKind`]) and keeps this solver as the
+//! small-system fast path and the correctness reference the sparse path
+//! is property-tested against.
 //!
 //! ```
 //! use resipe_analog::linalg::Matrix;
@@ -115,6 +120,21 @@ impl Matrix {
     pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
         let lu = LuFactors::factor(self)?;
         Some(lu.solve(b))
+    }
+
+    /// Largest absolute entry (0 for an all-zero matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+
+    /// The matrix 1-norm: the largest absolute column sum.
+    pub fn norm_one(&self) -> f64 {
+        let mut best = 0.0f64;
+        for c in 0..self.cols {
+            let sum: f64 = (0..self.rows).map(|r| self[(r, c)].abs()).sum();
+            best = best.max(sum);
+        }
+        best
     }
 }
 
@@ -239,6 +259,55 @@ impl LuFactors {
         x
     }
 
+    /// Solves `Aᵀ x = b` — needed by the 1-norm condition estimator that
+    /// backs the transient solver's `min_rcond` gate.
+    ///
+    /// With `P A = L U`, `Aᵀ = Uᵀ Lᵀ P`: forward-substitute through `Uᵀ`,
+    /// back-substitute through the unit-diagonal `Lᵀ`, then undo the row
+    /// permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the factored dimension.
+    #[allow(clippy::needless_range_loop)] // in-place substitution over w
+    pub fn solve_transposed(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "dimension mismatch in LU solve");
+        let n = self.n;
+        let mut w = b.to_vec();
+        for i in 0..n {
+            let mut sum = w[i];
+            for j in 0..i {
+                sum -= self.lu[j * n + i] * w[j];
+            }
+            w[i] = sum / self.lu[i * n + i];
+        }
+        for i in (0..n).rev() {
+            let mut sum = w[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[j * n + i] * w[j];
+            }
+            w[i] = sum;
+        }
+        let mut x = vec![0.0; n];
+        for (i, &p) in self.perm.iter().enumerate() {
+            x[p] = w[i];
+        }
+        x
+    }
+
+    /// Largest absolute entry of the `U` factor (diagonal included) —
+    /// the numerator of the pivot-growth diagnostic.
+    pub fn max_abs_upper(&self) -> f64 {
+        let n = self.n;
+        let mut best = 0.0f64;
+        for i in 0..n {
+            for j in i..n {
+                best = best.max(self.lu[i * n + j].abs());
+            }
+        }
+        best
+    }
+
     /// The dimension of the factored system.
     pub fn dim(&self) -> usize {
         self.n
@@ -302,6 +371,28 @@ mod tests {
             assert!((back[0] - rhs[0]).abs() < 1e-12);
             assert!((back[1] - rhs[1]).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn transposed_solve_round_trips() {
+        // Asymmetric on purpose so Aᵀ ≠ A and pivoting kicks in.
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, -1.0, 0.5], &[3.0, 0.0, -2.0]]);
+        let lu = LuFactors::factor(&a).expect("non-singular");
+        let b = vec![1.0, -2.0, 0.25];
+        let x = lu.solve_transposed(&b);
+        // Check Aᵀ x = b, i.e. for each column c: Σ_r A[r][c]·x[r] = b[c].
+        for c in 0..3 {
+            let got: f64 = (0..3).map(|r| a[(r, c)] * x[r]).sum();
+            assert!((got - b[c]).abs() < 1e-12, "col {c}: {got} vs {}", b[c]);
+        }
+        assert!(lu.max_abs_upper() > 0.0);
+    }
+
+    #[test]
+    fn norms() {
+        let a = Matrix::from_rows(&[&[1.0, -4.0], &[2.0, 3.0]]);
+        assert_eq!(a.max_abs(), 4.0);
+        assert_eq!(a.norm_one(), 7.0); // column 1: |-4| + |3|
     }
 
     #[test]

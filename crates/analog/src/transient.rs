@@ -13,10 +13,33 @@
 //! source levels). The solver refactors its LU only when a controller
 //! actually changed something, so pure-RC stretches run at one
 //! back/forward-substitution per step.
+//!
+//! # Solver backends
+//!
+//! Each step solves one linear system, and the solver picks how per run
+//! via [`SolverKind`]: dense LU ([`crate::linalg`]) below a size
+//! threshold, sparse LU with reusable symbolic analysis ([`crate::sparse`])
+//! above it. The sparse path exploits the switch-topology-stability of the
+//! ReSiPE datapath three ways, in increasing scope:
+//!
+//! 1. **unchanged matrix** → no factorization at all, only an RHS refresh
+//!    and one substitution (both backends);
+//! 2. **changed values, same topology** → a numeric refactorization that
+//!    replays the frozen pivot order and fill pattern (sparse only);
+//! 3. **new run, same topology** → a [`SolverSession`] carries the
+//!    symbolic analysis across [`Transient::run_with_session`] calls, so a
+//!    parameter sweep pays for pivot/pattern discovery exactly once.
+//!
+//! [`SolverStats`] counts all of this (assemblies, symbolic analyses,
+//! refactorizations, reused-factor solves) for benchmarks and acceptance
+//! tests, and [`TransientConfig::with_min_rcond`] arms a per-factorization
+//! condition gate that turns silent precision loss into
+//! [`AnalogError::IllConditioned`].
 
 use crate::error::AnalogError;
 use crate::linalg::{LuFactors, Matrix};
 use crate::netlist::{Netlist, Node};
+use crate::sparse::{CsrMatrix, CsrPattern, MnaStamp, PatternBuilder, SparseLu, SparseLuError};
 use crate::units::{Joules, Seconds, Volts};
 use crate::waveform::Waveform;
 
@@ -32,6 +55,43 @@ pub enum Integrator {
     Trapezoidal,
 }
 
+/// Which linear-solver backend a transient run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverKind {
+    /// Pick per system size: dense below
+    /// [`SolverKind::SPARSE_THRESHOLD`] unknowns, sparse at or above it.
+    #[default]
+    Auto,
+    /// Always dense LU ([`crate::linalg`]) — the small-system fast path.
+    Dense,
+    /// Always sparse LU with reusable symbolic analysis
+    /// ([`crate::sparse`]) — the whole-tile path.
+    Sparse,
+}
+
+impl SolverKind {
+    /// `Auto` switches to the sparse backend at this many unknowns.
+    ///
+    /// Below it, dense LU's contiguous O(n³) loop beats the sparse
+    /// machinery's indirection; a 128×128 ReSiPE tile sits far above it
+    /// (387 unknowns, ~2 % structural density).
+    pub const SPARSE_THRESHOLD: usize = 64;
+
+    /// Resolves `Auto` for a system of `n_unknowns`.
+    fn resolve(self, n_unknowns: usize) -> SolverKind {
+        match self {
+            SolverKind::Auto => {
+                if n_unknowns >= Self::SPARSE_THRESHOLD {
+                    SolverKind::Sparse
+                } else {
+                    SolverKind::Dense
+                }
+            }
+            other => other,
+        }
+    }
+}
+
 /// Configuration of a transient run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransientConfig {
@@ -39,6 +99,8 @@ pub struct TransientConfig {
     step: Seconds,
     capture_every: usize,
     integrator: Integrator,
+    solver: SolverKind,
+    min_rcond: Option<f64>,
 }
 
 impl TransientConfig {
@@ -54,7 +116,41 @@ impl TransientConfig {
             step: Self::DEFAULT_STEP,
             capture_every: 1,
             integrator: Integrator::default(),
+            solver: SolverKind::default(),
+            min_rcond: None,
         }
+    }
+
+    /// Selects the linear-solver backend (default: [`SolverKind::Auto`]).
+    pub fn with_solver(mut self, solver: SolverKind) -> TransientConfig {
+        self.solver = solver;
+        self
+    }
+
+    /// The configured solver backend selection.
+    pub fn solver(&self) -> SolverKind {
+        self.solver
+    }
+
+    /// Arms the condition gate: every (re)factorization estimates the
+    /// system's reciprocal 1-norm condition number, and the run fails with
+    /// [`AnalogError::IllConditioned`] if it drops below `min_rcond`.
+    ///
+    /// Off by default — a healthy ReSiPE netlist legitimately spans the
+    /// full switch on/off contrast (`r_off/r_on ≈ 1e14`, so
+    /// `rcond ≈ 1e-14..1e-16` is *normal*), and the estimate costs a
+    /// handful of extra substitutions per factorization. Arm it for
+    /// whole-tile validation runs where silent precision loss would
+    /// corrupt an oracle; thresholds around `1e-18`–`1e-20` separate
+    /// "healthy contrast" from "actually degenerate".
+    pub fn with_min_rcond(mut self, min_rcond: f64) -> TransientConfig {
+        self.min_rcond = Some(min_rcond);
+        self
+    }
+
+    /// The armed condition-gate threshold, if any.
+    pub fn min_rcond(&self) -> Option<f64> {
+        self.min_rcond
     }
 
     /// Selects the integration scheme.
@@ -112,6 +208,13 @@ impl TransientConfig {
                 reason: "capture_every must be at least 1".to_owned(),
             });
         }
+        if let Some(r) = self.min_rcond {
+            if !(r > 0.0) || !(r <= 1.0) {
+                return Err(AnalogError::InvalidConfig {
+                    reason: format!("min_rcond must be in (0, 1], got {r}"),
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -166,6 +269,241 @@ impl Controller for NoController {
     }
 }
 
+/// Counters describing the linear-solver work of one or more transient
+/// runs — the observable behind "symbolic analysis is computed once and
+/// reused" claims in benchmarks and acceptance tests.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[non_exhaustive]
+pub struct SolverStats {
+    /// The backend that actually ran (`Auto` already resolved).
+    pub backend: SolverKind,
+    /// System size: `(nodes − 1) + voltage-source branches`.
+    pub unknowns: usize,
+    /// Structural nonzeros of the MNA pattern (`unknowns²` for dense).
+    pub nonzeros: usize,
+    /// Matrix value assemblies (stamping passes over the netlist).
+    pub assemblies: usize,
+    /// Pivot-order/pattern discoveries. The sparse backend counts fresh
+    /// [`SparseLu::factor`] calls; dense LU re-pivots every factorization,
+    /// so each dense factorization lands here.
+    pub symbolic_analyses: usize,
+    /// Runs that inherited a cached symbolic analysis from a
+    /// [`SolverSession`] instead of computing their own.
+    pub symbolic_reuses: usize,
+    /// Value-only refactorizations over a frozen symbolic structure
+    /// (sparse backend only; always 0 for dense).
+    pub numeric_refactors: usize,
+    /// Total linear solves (one per integrated step).
+    pub solves: usize,
+    /// Solves that skipped factorization entirely because the matrix was
+    /// unchanged — only the right-hand side was refreshed.
+    pub reused_factor_solves: usize,
+    /// Largest pivot growth `max|U| / max|A|` seen across factorizations.
+    pub pivot_growth_max: f64,
+    /// Smallest reciprocal condition estimate seen; only populated when
+    /// the [`TransientConfig::with_min_rcond`] gate is armed (estimation
+    /// costs solves).
+    pub min_rcond_seen: Option<f64>,
+}
+
+impl SolverStats {
+    /// Folds another run's counters into these totals (used by
+    /// [`SolverSession`]): counts add, extrema merge, identity fields
+    /// (`backend`, sizes) take the latest run's values.
+    fn absorb(&mut self, run: &SolverStats) {
+        self.backend = run.backend;
+        self.unknowns = run.unknowns;
+        self.nonzeros = run.nonzeros;
+        self.assemblies += run.assemblies;
+        self.symbolic_analyses += run.symbolic_analyses;
+        self.symbolic_reuses += run.symbolic_reuses;
+        self.numeric_refactors += run.numeric_refactors;
+        self.solves += run.solves;
+        self.reused_factor_solves += run.reused_factor_solves;
+        self.pivot_growth_max = self.pivot_growth_max.max(run.pivot_growth_max);
+        self.min_rcond_seen = match (self.min_rcond_seen, run.min_rcond_seen) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+/// Carries sparse symbolic analyses (and solver-stat totals) across
+/// transient runs.
+///
+/// A parameter sweep simulates many structurally identical netlists —
+/// same topology, different element values. Passing one session to every
+/// [`Transient::run_with_session`] call lets run *N+1* reuse run *N*'s
+/// fill-reducing order and frozen LU structure: the new run's pattern is
+/// compared against the cached one ([`CsrPattern`] equality), and on a
+/// match the expensive pivot/pattern discovery is replaced by a numeric
+/// refactorization. Dense runs pass through unaffected (the cache neither
+/// helps nor hurts them); their counters still accumulate in
+/// [`SolverSession::stats`].
+#[derive(Debug, Default)]
+pub struct SolverSession {
+    cache: Option<SessionCache>,
+    totals: SolverStats,
+}
+
+#[derive(Debug)]
+struct SessionCache {
+    pattern: CsrPattern,
+    lu: SparseLu,
+}
+
+impl SolverSession {
+    /// Creates an empty session.
+    pub fn new() -> SolverSession {
+        SolverSession::default()
+    }
+
+    /// Solver counters accumulated over every run this session served.
+    pub fn stats(&self) -> SolverStats {
+        self.totals
+    }
+}
+
+/// Per-run solver state: the assembled matrix plus (possibly stale)
+/// factors for whichever backend the run resolved to.
+//
+// Exactly one instance exists per transient run and it lives on the
+// stack of `run_with_session`, so the dense/sparse size imbalance never
+// costs anything — boxing would only add a pointer chase to the hot
+// per-step solve path.
+#[allow(clippy::large_enum_variant)]
+enum SolverBackend {
+    Dense {
+        matrix: Matrix,
+        factors: Option<LuFactors>,
+    },
+    Sparse {
+        matrix: CsrMatrix,
+        order: Vec<usize>,
+        lu: Option<SparseLu>,
+    },
+}
+
+impl SolverBackend {
+    /// Refactors from the freshly assembled matrix, updates diagnostics,
+    /// and applies the condition gate if armed.
+    fn refresh_factors(
+        &mut self,
+        step: usize,
+        min_rcond: Option<f64>,
+        stats: &mut SolverStats,
+    ) -> Result<(), AnalogError> {
+        let (pivot_growth, rcond) = match self {
+            SolverBackend::Dense { matrix, factors } => {
+                let f = LuFactors::factor(matrix).ok_or(AnalogError::SingularMatrix { step })?;
+                stats.symbolic_analyses += 1;
+                let max_a = matrix.max_abs();
+                let growth = if max_a > 0.0 {
+                    f.max_abs_upper() / max_a
+                } else {
+                    1.0
+                };
+                let rcond = min_rcond.map(|_| dense_rcond(&f, matrix.norm_one()));
+                *factors = Some(f);
+                (growth, rcond)
+            }
+            SolverBackend::Sparse { matrix, order, lu } => {
+                // Prefer a value-only replay of the frozen structure; fall
+                // back to a fresh pivoting factorization if a stored pivot
+                // collapsed (or no factorization exists yet).
+                let refreshed = match lu.as_mut() {
+                    Some(f) => match f.refactor(matrix) {
+                        Ok(()) => {
+                            stats.numeric_refactors += 1;
+                            true
+                        }
+                        Err(SparseLuError::PivotLost { .. }) => false,
+                        Err(SparseLuError::Singular { .. }) => {
+                            return Err(AnalogError::SingularMatrix { step })
+                        }
+                    },
+                    None => false,
+                };
+                if !refreshed {
+                    let f = SparseLu::factor(matrix, order)
+                        .map_err(|_| AnalogError::SingularMatrix { step })?;
+                    stats.symbolic_analyses += 1;
+                    *lu = Some(f);
+                }
+                let f = lu.as_ref().expect("factored above");
+                let rcond = min_rcond.map(|_| f.rcond_estimate(matrix.norm_one()));
+                (f.pivot_growth(), rcond)
+            }
+        };
+        stats.pivot_growth_max = stats.pivot_growth_max.max(pivot_growth);
+        if let Some(rc) = rcond {
+            stats.min_rcond_seen = Some(stats.min_rcond_seen.map_or(rc, |m| m.min(rc)));
+            let threshold = min_rcond.expect("rcond only estimated when gate armed");
+            if rc < threshold {
+                return Err(AnalogError::IllConditioned {
+                    step,
+                    rcond: rc,
+                    pivot_growth,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn has_factors(&self) -> bool {
+        match self {
+            SolverBackend::Dense { factors, .. } => factors.is_some(),
+            SolverBackend::Sparse { lu, .. } => lu.is_some(),
+        }
+    }
+
+    fn solve(&self, rhs: &[f64]) -> Vec<f64> {
+        match self {
+            SolverBackend::Dense { factors, .. } => {
+                factors.as_ref().expect("factored before solve").solve(rhs)
+            }
+            SolverBackend::Sparse { lu, .. } => {
+                lu.as_ref().expect("factored before solve").solve(rhs)
+            }
+        }
+    }
+}
+
+/// Hager-style reciprocal condition estimate on dense factors (the sparse
+/// equivalent lives on [`SparseLu::rcond_estimate`]).
+fn dense_rcond(f: &LuFactors, a_norm_one: f64) -> f64 {
+    let n = f.dim();
+    if a_norm_one <= 0.0 || n == 0 {
+        return 0.0;
+    }
+    let mut x = vec![1.0 / n as f64; n];
+    let mut est = 0.0f64;
+    for _ in 0..5 {
+        let y = f.solve(&x);
+        est = y.iter().map(|v| v.abs()).sum();
+        let xi: Vec<f64> = y
+            .iter()
+            .map(|&v| if v < 0.0 { -1.0 } else { 1.0 })
+            .collect();
+        let z = f.solve_transposed(&xi);
+        let (j, zmax) = z
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i, v.abs()))
+            .fold((0, 0.0), |acc, it| if it.1 > acc.1 { it } else { acc });
+        let dot: f64 = z.iter().zip(&x).map(|(a, b)| a * b).sum();
+        if zmax <= dot.abs() {
+            break;
+        }
+        x.iter_mut().for_each(|v| *v = 0.0);
+        x[j] = 1.0;
+    }
+    if est <= 0.0 || !est.is_finite() {
+        return 0.0;
+    }
+    (1.0 / (a_norm_one * est)).min(1.0)
+}
+
 /// Result of a transient run: per-node waveforms plus per-source energy.
 #[derive(Debug, Clone)]
 pub struct TransientResult {
@@ -173,6 +511,7 @@ pub struct TransientResult {
     source_energy: Vec<Joules>,
     final_voltages: Vec<f64>,
     steps: usize,
+    solver_stats: SolverStats,
 }
 
 impl TransientResult {
@@ -221,6 +560,11 @@ impl TransientResult {
     pub fn steps(&self) -> usize {
         self.steps
     }
+
+    /// Linear-solver counters for this run (see [`SolverStats`]).
+    pub fn solver_stats(&self) -> SolverStats {
+        self.solver_stats
+    }
 }
 
 /// A transient simulation of one netlist.
@@ -263,14 +607,31 @@ impl Transient {
     /// # Errors
     ///
     /// Same as [`Transient::run`].
-    pub fn run_with<C: Controller>(
+    pub fn run_with<C: Controller>(self, controller: C) -> Result<TransientResult, AnalogError> {
+        self.run_with_session(controller, &mut SolverSession::new())
+    }
+
+    /// Runs the simulation, reusing `session`'s cached symbolic analysis
+    /// when the netlist topology matches the session's previous run.
+    ///
+    /// This is the batched-sweep entry point: structurally identical
+    /// netlists (same nodes/elements, different values) share one sparse
+    /// symbolic analysis across the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Transient::run`], plus [`AnalogError::IllConditioned`]
+    /// when a [`TransientConfig::with_min_rcond`] gate is armed and trips.
+    pub fn run_with_session<C: Controller>(
         mut self,
         mut controller: C,
+        session: &mut SolverSession,
     ) -> Result<TransientResult, AnalogError> {
         let n_nodes = self.net.node_count();
         let n_unknowns = (n_nodes - 1) + self.net.vsource_count();
         let h = self.cfg.step.0;
         let n_steps = (self.cfg.stop.0 / h).round() as usize;
+        let min_rcond = self.cfg.min_rcond;
 
         let mut voltages = vec![0.0; n_nodes]; // index 0 = ground
                                                // Capacitor branch voltage history, seeded from initial conditions.
@@ -288,9 +649,46 @@ impl Transient {
         let mut waveforms = vec![Waveform::new(); n_nodes];
         let mut source_energy = vec![0.0; self.net.vsource_count()];
 
-        let mut matrix = Matrix::zeros(n_unknowns.max(1), n_unknowns.max(1));
+        let mut stats = SolverStats {
+            backend: self.cfg.solver.resolve(n_unknowns),
+            unknowns: n_unknowns,
+            ..SolverStats::default()
+        };
+        let mut backend = match stats.backend {
+            SolverKind::Dense | SolverKind::Auto => {
+                stats.nonzeros = n_unknowns * n_unknowns;
+                SolverBackend::Dense {
+                    matrix: Matrix::zeros(n_unknowns.max(1), n_unknowns.max(1)),
+                    factors: None,
+                }
+            }
+            SolverKind::Sparse => {
+                // One symbolic stamping pass freezes the pattern (positions
+                // are value- and integrator-independent).
+                let mut builder = PatternBuilder::new(n_unknowns);
+                stamp_mna(&self.net, &mut builder, h, Integrator::BackwardEuler);
+                let pattern = builder.finish();
+                stats.nonzeros = pattern.nnz();
+                // A session cache with the same pattern donates its frozen
+                // symbolic analysis; the values are stale, but the first
+                // assembly refactors before any solve.
+                let cached_lu = match session.cache.take() {
+                    Some(c) if c.pattern == pattern => {
+                        stats.symbolic_reuses += 1;
+                        Some(c.lu)
+                    }
+                    _ => None,
+                };
+                let order = crate::sparse::min_degree_order(&pattern);
+                SolverBackend::Sparse {
+                    matrix: CsrMatrix::from_pattern(pattern),
+                    order,
+                    lu: cached_lu,
+                }
+            }
+        };
+        let mut factors_current = false;
         let mut rhs = vec![0.0; n_unknowns];
-        let mut factors: Option<LuFactors> = None;
 
         // Capture t = 0.
         for (node, wf) in waveforms.iter_mut().enumerate() {
@@ -305,7 +703,7 @@ impl Transient {
             };
             let dirty = controller.on_step(&view, &mut self.net);
             if dirty {
-                factors = None;
+                factors_current = false;
             }
             // Trapezoidal runs use one backward-Euler startup step to
             // establish a consistent capacitor-current history; the
@@ -316,7 +714,7 @@ impl Transient {
                 self.cfg.integrator
             };
             if step == 1 && self.cfg.integrator == Integrator::Trapezoidal {
-                factors = None;
+                factors_current = false;
             }
 
             if n_unknowns == 0 {
@@ -326,16 +724,28 @@ impl Transient {
             // (Re)assemble. Conductance stamps only change when the netlist
             // changed, but the RHS changes every step (capacitor history),
             // so we rebuild RHS always and the matrix only when dirty.
-            if factors.is_none() {
-                matrix.clear();
-                self.stamp_matrix(&mut matrix, h, integrator);
-                factors =
-                    Some(LuFactors::factor(&matrix).ok_or(AnalogError::SingularMatrix { step })?);
+            if !factors_current {
+                match &mut backend {
+                    SolverBackend::Dense { matrix, .. } => {
+                        matrix.clear();
+                        stamp_mna(&self.net, matrix, h, integrator);
+                    }
+                    SolverBackend::Sparse { matrix, .. } => {
+                        matrix.clear();
+                        stamp_mna(&self.net, matrix, h, integrator);
+                    }
+                }
+                stats.assemblies += 1;
+                backend.refresh_factors(step, min_rcond, &mut stats)?;
+                factors_current = true;
+            } else if backend.has_factors() {
+                stats.reused_factor_solves += 1;
             }
             rhs.fill(0.0);
             self.stamp_rhs(&mut rhs, h, &cap_history, &cap_current, integrator);
 
-            let solution = factors.as_ref().expect("factored above").solve(&rhs);
+            stats.solves += 1;
+            let solution = backend.solve(&rhs);
 
             // Unpack node voltages (index 0 stays ground).
             voltages[1..n_nodes].copy_from_slice(&solution[..n_nodes - 1]);
@@ -370,56 +780,29 @@ impl Transient {
             }
         }
 
+        // Donate the (now value-fresh) sparse factorization back to the
+        // session so the next structurally identical run can refactor
+        // instead of re-analyzing.
+        if let SolverBackend::Sparse {
+            matrix,
+            lu: Some(lu),
+            ..
+        } = backend
+        {
+            session.cache = Some(SessionCache {
+                pattern: matrix.pattern().clone(),
+                lu,
+            });
+        }
+        session.totals.absorb(&stats);
+
         Ok(TransientResult {
             waveforms,
             source_energy: source_energy.into_iter().map(Joules).collect(),
             final_voltages: voltages,
             steps: n_steps,
+            solver_stats: stats,
         })
-    }
-
-    /// Stamps the conductance and incidence parts of the MNA matrix.
-    fn stamp_matrix(&self, m: &mut Matrix, h: f64, integrator: Integrator) {
-        let n_nodes = self.net.node_count();
-        let mut stamp_conductance = |a: Node, b: Node, g: f64| {
-            if !a.is_ground() {
-                m.stamp(a.index() - 1, a.index() - 1, g);
-            }
-            if !b.is_ground() {
-                m.stamp(b.index() - 1, b.index() - 1, g);
-            }
-            if !a.is_ground() && !b.is_ground() {
-                m.stamp(a.index() - 1, b.index() - 1, -g);
-                m.stamp(b.index() - 1, a.index() - 1, -g);
-            }
-        };
-
-        for r in &self.net.resistors {
-            stamp_conductance(r.a, r.b, 1.0 / r.ohms.0);
-        }
-        for sw in &self.net.switches {
-            stamp_conductance(sw.a, sw.b, 1.0 / sw.resistance().0);
-        }
-        let cap_factor = match integrator {
-            Integrator::BackwardEuler => 1.0,
-            Integrator::Trapezoidal => 2.0,
-        };
-        for c in &self.net.capacitors {
-            stamp_conductance(c.a, c.b, cap_factor * c.farads.0 / h);
-        }
-        for (k, vs) in self.net.vsources.iter().enumerate() {
-            let row = (n_nodes - 1) + k;
-            // Constraint: V(b) − V(a) = volts; branch current flows b→a
-            // inside the source.
-            if !vs.b.is_ground() {
-                m.stamp(row, vs.b.index() - 1, 1.0);
-                m.stamp(vs.b.index() - 1, row, 1.0);
-            }
-            if !vs.a.is_ground() {
-                m.stamp(row, vs.a.index() - 1, -1.0);
-                m.stamp(vs.a.index() - 1, row, -1.0);
-            }
-        }
     }
 
     /// Stamps the right-hand side: capacitor history and source values.
@@ -455,6 +838,54 @@ impl Transient {
         }
         for (k, vs) in self.net.vsources.iter().enumerate() {
             rhs[(n_nodes - 1) + k] = vs.volts.0;
+        }
+    }
+}
+
+/// Stamps the conductance and incidence parts of the MNA system into any
+/// [`MnaStamp`] sink — a dense matrix, a sparse matrix over a frozen
+/// pattern, or a [`PatternBuilder`] doing the symbolic pass. One routine
+/// serving all three is what guarantees the dense and sparse backends (and
+/// the pattern they factor) can never drift apart.
+fn stamp_mna<S: MnaStamp>(net: &Netlist, m: &mut S, h: f64, integrator: Integrator) {
+    let n_nodes = net.node_count();
+    let mut stamp_conductance = |a: Node, b: Node, g: f64| {
+        if !a.is_ground() {
+            m.add(a.index() - 1, a.index() - 1, g);
+        }
+        if !b.is_ground() {
+            m.add(b.index() - 1, b.index() - 1, g);
+        }
+        if !a.is_ground() && !b.is_ground() {
+            m.add(a.index() - 1, b.index() - 1, -g);
+            m.add(b.index() - 1, a.index() - 1, -g);
+        }
+    };
+
+    for r in &net.resistors {
+        stamp_conductance(r.a, r.b, 1.0 / r.ohms.0);
+    }
+    for sw in &net.switches {
+        stamp_conductance(sw.a, sw.b, 1.0 / sw.resistance().0);
+    }
+    let cap_factor = match integrator {
+        Integrator::BackwardEuler => 1.0,
+        Integrator::Trapezoidal => 2.0,
+    };
+    for c in &net.capacitors {
+        stamp_conductance(c.a, c.b, cap_factor * c.farads.0 / h);
+    }
+    for (k, vs) in net.vsources.iter().enumerate() {
+        let row = (n_nodes - 1) + k;
+        // Constraint: V(b) − V(a) = volts; branch current flows b→a
+        // inside the source.
+        if !vs.b.is_ground() {
+            m.add(row, vs.b.index() - 1, 1.0);
+            m.add(vs.b.index() - 1, row, 1.0);
+        }
+        if !vs.a.is_ground() {
+            m.add(row, vs.a.index() - 1, -1.0);
+            m.add(vs.a.index() - 1, row, -1.0);
         }
     }
 }
@@ -728,6 +1159,164 @@ mod tests {
         assert_eq!(cfg.integrator(), Integrator::BackwardEuler);
         let cfg = cfg.with_integrator(Integrator::Trapezoidal);
         assert_eq!(cfg.integrator(), Integrator::Trapezoidal);
+    }
+
+    /// Builds the RC+switch netlist used by the backend-seam tests.
+    fn switched_rc() -> (Netlist, Node, crate::netlist::SwitchId) {
+        let mut net = Netlist::new();
+        let vdd = net.node("vdd");
+        let cap = net.node("cap");
+        net.voltage_source(Node::GROUND, vdd, Volts(1.0));
+        let sw = net.switch(vdd, cap, Ohms(1e3), Ohms(1e15));
+        net.capacitor(cap, Node::GROUND, Farads(1e-9));
+        net.resistor(cap, Node::GROUND, Ohms(1e9));
+        (net, cap, sw)
+    }
+
+    #[test]
+    fn sparse_backend_matches_dense() {
+        let (net, cap, sw) = switched_rc();
+        let run = |solver: SolverKind| {
+            let mut closed = false;
+            let controller = move |view: &StepView<'_>, net: &mut Netlist| {
+                if !closed && view.time.0 >= 1e-6 {
+                    net.set_switch(sw, SwitchState::Closed);
+                    closed = true;
+                    true
+                } else {
+                    false
+                }
+            };
+            let cfg = TransientConfig::new(Seconds(3e-6))
+                .with_step(Seconds(1e-9))
+                .with_solver(solver);
+            Transient::new(&net, cfg)
+                .unwrap()
+                .run_with(controller)
+                .unwrap()
+        };
+        let dense = run(SolverKind::Dense);
+        let sparse = run(SolverKind::Sparse);
+        assert_eq!(dense.solver_stats().backend, SolverKind::Dense);
+        assert_eq!(sparse.solver_stats().backend, SolverKind::Sparse);
+        // 3 unknowns: Auto resolves dense.
+        assert_eq!(
+            run(SolverKind::Auto).solver_stats().backend,
+            SolverKind::Dense
+        );
+        let dw = dense.waveform(cap).unwrap();
+        let sw_ = sparse.waveform(cap).unwrap();
+        for (a, b) in dw.values().iter().zip(sw_.values()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        assert!((dense.total_source_energy().0 - sparse.total_source_energy().0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn sparse_counters_show_reuse_within_a_run() {
+        let (net, _cap, sw) = switched_rc();
+        let mut closed = false;
+        let controller = move |view: &StepView<'_>, net: &mut Netlist| {
+            if !closed && view.time.0 >= 1e-6 {
+                net.set_switch(sw, SwitchState::Closed);
+                closed = true;
+                true
+            } else {
+                false
+            }
+        };
+        let cfg = TransientConfig::new(Seconds(3e-6))
+            .with_step(Seconds(1e-9))
+            .with_solver(SolverKind::Sparse);
+        let res = Transient::new(&net, cfg)
+            .unwrap()
+            .run_with(controller)
+            .unwrap();
+        let s = res.solver_stats();
+        // One symbolic analysis at step 0; the switch event refactors
+        // without re-analyzing; every other step reuses the factors.
+        assert_eq!(s.symbolic_analyses, 1, "{s:?}");
+        assert_eq!(s.numeric_refactors, 1, "{s:?}");
+        assert_eq!(s.assemblies, 2, "{s:?}");
+        assert_eq!(s.solves, res.steps());
+        assert_eq!(s.reused_factor_solves, s.solves - 2);
+        assert!(s.nonzeros > 0 && s.nonzeros < s.unknowns * s.unknowns);
+    }
+
+    #[test]
+    fn session_reuses_symbolic_analysis_across_runs() {
+        let mut session = SolverSession::new();
+        for ohms in [1e3, 2e3, 5e3] {
+            let mut net = Netlist::new();
+            let vdd = net.node("vdd");
+            let cap = net.node("cap");
+            net.voltage_source(Node::GROUND, vdd, Volts(1.0));
+            net.resistor(vdd, cap, Ohms(ohms));
+            net.capacitor(cap, Node::GROUND, Farads(1e-9));
+            let cfg = TransientConfig::new(Seconds(1e-6))
+                .with_step(Seconds(1e-9))
+                .with_solver(SolverKind::Sparse);
+            Transient::new(&net, cfg)
+                .unwrap()
+                .run_with_session(NoController, &mut session)
+                .unwrap();
+        }
+        let totals = session.stats();
+        // Run 1 analyzes; runs 2 and 3 inherit the structure and only
+        // refactor values.
+        assert_eq!(totals.symbolic_analyses, 1, "{totals:?}");
+        assert_eq!(totals.symbolic_reuses, 2, "{totals:?}");
+        assert_eq!(totals.numeric_refactors, 2, "{totals:?}");
+        assert_eq!(totals.solves, 3000);
+    }
+
+    #[test]
+    fn min_rcond_gate_trips_on_degenerate_contrast() {
+        // A nearly floating node: `b` hangs off the rest of the circuit
+        // through ~1e19 Ω only, so its row is ~13 orders of magnitude
+        // lighter than `a`'s — factorable, but numerically degenerate.
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.resistor(Node::GROUND, a, Ohms(1.0));
+        net.resistor(a, b, Ohms(1e19));
+        net.resistor(b, Node::GROUND, Ohms(1e19));
+        net.capacitor(b, Node::GROUND, Farads(1e-21));
+        let base = TransientConfig::new(Seconds(1e-6)).with_step(Seconds(1e-8));
+        // Without the gate the run silently succeeds.
+        Transient::new(&net, base.clone()).unwrap().run().unwrap();
+        for solver in [SolverKind::Dense, SolverKind::Sparse] {
+            let cfg = base.clone().with_solver(solver).with_min_rcond(1e-6);
+            let err = Transient::new(&net, cfg).unwrap().run();
+            assert!(
+                matches!(err, Err(AnalogError::IllConditioned { rcond, .. }) if rcond < 1e-6),
+                "{solver:?}: {err:?}"
+            );
+        }
+        // A healthy circuit passes the same gate and reports diagnostics.
+        let (healthy, _, _) = switched_rc();
+        let cfg = base.with_solver(SolverKind::Sparse).with_min_rcond(1e-16);
+        let res = Transient::new(&healthy, cfg).unwrap().run().unwrap();
+        let s = res.solver_stats();
+        assert!(s.min_rcond_seen.unwrap() >= 1e-16, "{s:?}");
+        assert!(s.pivot_growth_max > 0.0);
+    }
+
+    #[test]
+    fn invalid_min_rcond_rejected() {
+        let net = Netlist::new();
+        for bad in [0.0, -1.0, 2.0, f64::NAN] {
+            assert!(matches!(
+                Transient::new(
+                    &net,
+                    TransientConfig::new(Seconds(1e-6)).with_min_rcond(bad)
+                ),
+                Err(AnalogError::InvalidConfig { .. })
+            ));
+        }
+        let cfg = TransientConfig::new(Seconds(1e-6)).with_min_rcond(1e-12);
+        assert_eq!(cfg.min_rcond(), Some(1e-12));
+        assert_eq!(cfg.solver(), SolverKind::Auto);
     }
 
     #[test]

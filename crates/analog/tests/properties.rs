@@ -2,11 +2,63 @@
 
 use proptest::prelude::*;
 
-use resipe_analog::linalg::Matrix;
+use resipe_analog::linalg::{LuFactors, Matrix};
 use resipe_analog::netlist::{Netlist, Node};
-use resipe_analog::transient::{Integrator, Transient, TransientConfig};
+use resipe_analog::sparse::{CsrMatrix, MnaStamp, PatternBuilder, SparseLu, SparseLuError};
+use resipe_analog::transient::{Integrator, SolverKind, Transient, TransientConfig};
 use resipe_analog::units::{Farads, Ohms, Seconds, Volts};
 use resipe_analog::waveform::{Edge, Waveform};
+
+/// An MNA-shaped random system: a conductance block (symmetric pattern,
+/// diagonally reinforced by ground conductances) bordered by voltage-source
+/// incidence rows with structurally zero diagonals. Stamped identically
+/// into a dense [`Matrix`] and a sparse [`CsrMatrix`] through the shared
+/// [`MnaStamp`] trait.
+fn mna_shaped(
+    n_nodes: usize,
+    edges: &[(usize, usize, f64)],
+    grounds: &[f64],
+    n_vsrc: usize,
+) -> (Matrix, CsrMatrix) {
+    let n = n_nodes + n_vsrc;
+    let mut dense = Matrix::zeros(n, n);
+    let mut builder = PatternBuilder::new(n);
+    {
+        let mut stamp_both = |r: usize, c: usize, v: f64| {
+            dense.add(r, c, v);
+            builder.add(r, c, v);
+        };
+        for (i, &g) in grounds.iter().enumerate() {
+            stamp_both(i, i, g);
+        }
+        for &(a, b, g) in edges {
+            stamp_both(a, a, g);
+            stamp_both(b, b, g);
+            stamp_both(a, b, -g);
+            stamp_both(b, a, -g);
+        }
+        // Source k drives node k (distinct nodes keep the system regular).
+        for k in 0..n_vsrc {
+            stamp_both(n_nodes + k, k, 1.0);
+            stamp_both(k, n_nodes + k, 1.0);
+        }
+    }
+    let mut sparse = CsrMatrix::from_pattern(builder.finish());
+    for (i, &g) in grounds.iter().enumerate() {
+        sparse.add(i, i, g);
+    }
+    for &(a, b, g) in edges {
+        sparse.add(a, a, g);
+        sparse.add(b, b, g);
+        sparse.add(a, b, -g);
+        sparse.add(b, a, -g);
+    }
+    for k in 0..n_vsrc {
+        sparse.add(n_nodes + k, k, 1.0);
+        sparse.add(k, n_nodes + k, 1.0);
+    }
+    (dense, sparse)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -57,6 +109,8 @@ proptest! {
             .with_step(Seconds(tau / 200.0))
             .with_integrator(integrator);
         let res = Transient::new(&net, cfg).expect("valid").run().expect("converges");
+        // Small circuits must keep riding the dense fast path under Auto.
+        prop_assert_eq!(res.solver_stats().backend, SolverKind::Dense);
         let wf = res.waveform(cap).expect("captured");
         let mut prev = -1e-9;
         for &v in wf.values() {
@@ -64,6 +118,126 @@ proptest! {
             prop_assert!(v >= prev - 1e-9, "non-monotone");
             prev = v;
         }
+    }
+
+    /// Whole-tile charge conservation on the sparse path: with no
+    /// resistive path to ground, every coulomb the source delivers lands
+    /// on a bitline capacitor — backward Euler satisfies this *exactly*
+    /// (per-step KCL), so the only slack is LU roundoff.
+    #[test]
+    fn whole_tile_charge_conservation_sparse(
+        m in 16usize..28,
+        k in 16usize..28,
+        r_kohm in 1.0..50.0f64,
+        c_ff in 50.0..500.0f64,
+    ) {
+        let mut net = Netlist::new();
+        let src = net.node("src");
+        net.voltage_source(Node::GROUND, src, Volts(1.0));
+        let c = Farads(c_ff * 1e-15);
+        let bls: Vec<Node> = (0..k)
+            .map(|j| {
+                let bl = net.node(&format!("bl{j}"));
+                net.capacitor(bl, Node::GROUND, c);
+                bl
+            })
+            .collect();
+        for i in 0..m {
+            let wl = net.node(&format!("wl{i}"));
+            net.resistor(src, wl, Ohms(r_kohm * 1e3));
+            for (j, &bl) in bls.iter().enumerate() {
+                // Deterministically de-uniformed mesh resistances.
+                let spread = 1.0 + 0.5 * ((i * 31 + j * 17) % 10) as f64 / 10.0;
+                net.resistor(wl, bl, Ohms(r_kohm * 1e3 * spread));
+            }
+        }
+        let cfg = TransientConfig::new(Seconds(200e-9))
+            .with_step(Seconds(1e-9))
+            .with_solver(SolverKind::Sparse);
+        let res = Transient::new(&net, cfg).expect("valid").run().expect("converges");
+        let s = res.solver_stats();
+        prop_assert_eq!(s.backend, SolverKind::Sparse);
+        prop_assert_eq!(s.symbolic_analyses, 1);
+        prop_assert_eq!(s.reused_factor_solves, s.solves - 1);
+
+        // Q_source = E / V_s (constant 1 V source); Q_caps = Σ C·v_final.
+        let q_source = res.total_source_energy().0 / 1.0;
+        let q_caps: f64 = bls
+            .iter()
+            .map(|&bl| c.0 * res.final_voltage(bl).expect("bl exists").0)
+            .sum();
+        prop_assert!(q_caps > 0.0, "caps actually charged");
+        let rel = (q_source - q_caps).abs() / q_caps;
+        prop_assert!(rel < 1e-9, "charge leak: {q_source} vs {q_caps} (rel {rel})");
+    }
+
+    /// Sparse LU ≡ dense LU on random well-conditioned MNA-shaped systems:
+    /// same solution, same transposed solution, through an independent
+    /// fill-reducing order and pivot sequence.
+    #[test]
+    fn sparse_lu_matches_dense_on_mna_systems(
+        n_nodes in 3usize..10,
+        n_vsrc in 0usize..3,
+        n_edges in 2usize..20,
+        edge_a in proptest::collection::vec(0usize..10, 20),
+        edge_b in proptest::collection::vec(0usize..10, 20),
+        edge_g in proptest::collection::vec(0.1..10.0f64, 20),
+        grounds in proptest::collection::vec(0.1..5.0f64, 10),
+        rhs_seed in proptest::collection::vec(-10.0..10.0f64, 13),
+    ) {
+        let n_vsrc = n_vsrc.min(n_nodes);
+        let edges: Vec<(usize, usize, f64)> = (0..n_edges)
+            .map(|e| (edge_a[e] % n_nodes, edge_b[e] % n_nodes, edge_g[e]))
+            .filter(|&(a, b, _)| a != b)
+            .collect();
+        let (dense, sparse) =
+            mna_shaped(n_nodes, &edges, &grounds[..n_nodes], n_vsrc);
+        let n = n_nodes + n_vsrc;
+        let rhs = &rhs_seed[..n];
+
+        let order = resipe_analog::sparse::min_degree_order(sparse.pattern());
+        let lu = SparseLu::factor(&sparse, &order).expect("regular MNA system");
+        let dense_lu = LuFactors::factor(&dense).expect("regular MNA system");
+
+        let xs = lu.solve(rhs);
+        let xd = dense_lu.solve(rhs);
+        for (s, d) in xs.iter().zip(&xd) {
+            prop_assert!((s - d).abs() < 1e-8 * d.abs().max(1.0), "{s} vs {d}");
+        }
+        let ts = lu.solve_transposed(rhs);
+        let td = dense_lu.solve_transposed(rhs);
+        for (s, d) in ts.iter().zip(&td) {
+            prop_assert!((s - d).abs() < 1e-8 * d.abs().max(1.0), "{s} vs {d}");
+        }
+    }
+
+    /// Singular-matrix error parity: a structurally floating node makes the
+    /// dense solver return `None` and the sparse factorization report
+    /// `Singular` — never a wrong answer from either.
+    #[test]
+    fn sparse_lu_singular_parity(
+        n_nodes in 3usize..8,
+        floater in 0usize..8,
+        grounds in proptest::collection::vec(0.1..5.0f64, 8),
+    ) {
+        let floater = floater % n_nodes;
+        // Ring-connect every node except the floater; give the others
+        // ground conductances.
+        let mut edges = Vec::new();
+        let ring: Vec<usize> = (0..n_nodes).filter(|&i| i != floater).collect();
+        for w in ring.windows(2) {
+            edges.push((w[0], w[1], 1.0));
+        }
+        let grounds: Vec<f64> = (0..n_nodes)
+            .map(|i| if i == floater { 0.0 } else { grounds[i] })
+            .collect();
+        let (dense, sparse) = mna_shaped(n_nodes, &edges, &grounds, 0);
+        prop_assert!(dense.solve(&vec![1.0; n_nodes]).is_none());
+        let order = resipe_analog::sparse::min_degree_order(sparse.pattern());
+        prop_assert!(matches!(
+            SparseLu::factor(&sparse, &order),
+            Err(SparseLuError::Singular { .. })
+        ));
     }
 
     /// Waveform interpolation stays within the convex hull of its

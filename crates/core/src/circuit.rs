@@ -20,7 +20,9 @@
 //! | S2 `[T, 2T)` | recharging from 0 | open | holds `V_out` |
 
 use resipe_analog::netlist::{Netlist, Node, SwitchState};
-use resipe_analog::transient::{StepView, Transient, TransientConfig};
+use resipe_analog::transient::{
+    SolverKind, SolverSession, SolverStats, StepView, Transient, TransientConfig,
+};
 use resipe_analog::units::{Joules, Ohms, Seconds, Siemens, Volts};
 use resipe_analog::waveform::{Edge, Waveform};
 
@@ -270,8 +272,14 @@ impl AnalogMac {
 /// `C_cog` and comparator readout — the architecture of paper Fig. 4 at
 /// netlist level.
 ///
-/// Node count grows as `M + N + const`, so keep dimensions modest (the
-/// tests use 4×3; a 32×32 run is feasible in release builds).
+/// Node count grows as `M + N + const` (plus `M·N` bitline-segment nodes
+/// when [`AnalogMvm::with_wire_resistance`] is armed). The transient's
+/// [`SolverKind::Auto`] seam keeps small crossbars on dense LU and routes
+/// whole tiles to the sparse reusable-factorization path, which is what
+/// makes the full 128×128 `engine_vs_circuit` oracle and the
+/// `circuit_sweep` campaigns tractable; pass a [`SolverSession`] via
+/// [`AnalogMvm::run_with_session`] to share one symbolic analysis across
+/// a batch of structurally identical runs.
 #[derive(Debug, Clone)]
 pub struct AnalogMvm {
     config: ResipeConfig,
@@ -279,6 +287,9 @@ pub struct AnalogMvm {
     conductances: Vec<Siemens>,
     rows: usize,
     cols: usize,
+    solver: SolverKind,
+    min_rcond: Option<f64>,
+    wire_resistance: Option<Ohms>,
 }
 
 /// Per-column results of one analog MVM run.
@@ -288,6 +299,9 @@ pub struct AnalogMvmResult {
     pub columns: Vec<AnalogMacResult>,
     /// Total energy delivered by all sources over the run.
     pub source_energy: Joules,
+    /// Linear-solver counters of the underlying transient (backend kind,
+    /// symbolic analyses, refactorizations, reused-factor solves).
+    pub solver_stats: SolverStats,
 }
 
 impl AnalogMvm {
@@ -322,7 +336,41 @@ impl AnalogMvm {
             conductances: conductances.to_vec(),
             rows,
             cols,
+            solver: SolverKind::Auto,
+            min_rcond: None,
+            wire_resistance: None,
         })
+    }
+
+    /// Selects the linear-solver backend for the underlying transient
+    /// (default: [`SolverKind::Auto`] — dense for small crossbars, sparse
+    /// for whole tiles).
+    pub fn with_solver(mut self, solver: SolverKind) -> AnalogMvm {
+        self.solver = solver;
+        self
+    }
+
+    /// Arms the transient's condition gate: the run fails with an
+    /// actionable error instead of silently losing precision if the MNA
+    /// system's estimated reciprocal condition drops below `min_rcond`.
+    /// See `TransientConfig::with_min_rcond` for threshold guidance.
+    pub fn with_min_rcond(mut self, min_rcond: f64) -> AnalogMvm {
+        self.min_rcond = Some(min_rcond);
+        self
+    }
+
+    /// Models bitline wire resistance: each column becomes an RC ladder
+    /// with `ohms` per cell-to-cell segment (sense amplifier at the far
+    /// end, so row 0's cell current crosses `rows` segments). `None`
+    /// (the default) keeps the ideal zero-resistance bitline and exactly
+    /// the original netlist topology.
+    ///
+    /// This is the circuit-fidelity counterpart of
+    /// [`crate::parasitics`]'s analytical IR-drop model and the knob the
+    /// `circuit_sweep` campaign sweeps.
+    pub fn with_wire_resistance(mut self, ohms: Ohms) -> AnalogMvm {
+        self.wire_resistance = Some(ohms);
+        self
     }
 
     /// Runs the full two-slice transient.
@@ -333,6 +381,24 @@ impl AnalogMvm {
     /// [`ResipeError::DimensionMismatch`] for bad inputs, or analog
     /// errors.
     pub fn run(&self, t_in: &[Seconds], step: Seconds) -> Result<AnalogMvmResult, ResipeError> {
+        self.run_with_session(t_in, step, &mut SolverSession::new())
+    }
+
+    /// Runs the full two-slice transient, reusing `session`'s cached
+    /// sparse symbolic analysis when the crossbar topology matches the
+    /// previous run — the batched-sweep entry point: a sweep over
+    /// conductances, spike times, `Vth`, or wire resistance *values* pays
+    /// for symbolic analysis once across the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AnalogMvm::run`].
+    pub fn run_with_session(
+        &self,
+        t_in: &[Seconds],
+        step: Seconds,
+        session: &mut SolverSession,
+    ) -> Result<AnalogMvmResult, ResipeError> {
         let slice = self.config.slice();
         if t_in.len() != self.rows {
             return Err(ResipeError::DimensionMismatch {
@@ -374,14 +440,38 @@ impl AnalogMvm {
         // conducting at the cell resistance during the computation stage,
         // open otherwise — which is also what prevents bitline-to-bitline
         // sneak paths while `C_cog` holds its value through S2.
+        // Optional bitline wire ladder: cell (i, j) taps column j's wire
+        // at segment node `bl(i, j)`, and the sense end (`C_cog`) hangs
+        // off the far end, so row 0's current crosses all `rows` wire
+        // segments. Without wire resistance every cell taps the `cog`
+        // node directly — exactly the original ideal topology.
+        let cell_taps: Vec<Vec<Node>> = match self.wire_resistance {
+            None => (0..self.rows).map(|_| cog_nodes.clone()).collect(),
+            Some(r_seg) => {
+                let mut taps = vec![Vec::with_capacity(self.cols); self.rows];
+                for (j, &cog) in cog_nodes.iter().enumerate() {
+                    let mut toward_sense = cog;
+                    for i in (0..self.rows).rev() {
+                        let bl = net.node(&format!("bl{i}_{j}"));
+                        net.resistor(bl, toward_sense, r_seg);
+                        taps[i].push(bl);
+                        toward_sense = bl;
+                    }
+                }
+                // The inner loop walked rows in reverse but columns in
+                // order, so taps[i][j] is already correctly indexed.
+                taps
+            }
+        };
+
         let mut held_sources = Vec::with_capacity(self.rows);
         let mut cell_switches = Vec::with_capacity(self.rows * self.cols);
-        for i in 0..self.rows {
+        for (i, row_taps) in cell_taps.iter().enumerate() {
             let held = net.node(&format!("held{i}"));
             held_sources.push(net.voltage_source(Node::GROUND, held, Volts(0.0)));
-            for (j, &cog) in cog_nodes.iter().enumerate() {
+            for (j, &tap) in row_taps.iter().enumerate() {
                 let r_cell = self.conductances[i * self.cols + j].recip();
-                cell_switches.push(net.switch(held, cog, r_cell, SWITCH_R_OFF));
+                cell_switches.push(net.switch(held, tap, r_cell, SWITCH_R_OFF));
             }
         }
 
@@ -432,8 +522,13 @@ impl AnalogMvm {
             dirty
         };
 
-        let cfg = TransientConfig::new(Seconds(2.0 * slice.0)).with_step(step);
-        let result = Transient::new(&net, cfg)?.run_with(controller)?;
+        let mut cfg = TransientConfig::new(Seconds(2.0 * slice.0))
+            .with_step(step)
+            .with_solver(self.solver);
+        if let Some(r) = self.min_rcond {
+            cfg = cfg.with_min_rcond(r);
+        }
+        let result = Transient::new(&net, cfg)?.run_with_session(controller, session)?;
 
         let ramp_wave = result.waveform(ramp)?;
         let ramp_at_s2 = ramp_wave
@@ -466,6 +561,7 @@ impl AnalogMvm {
         Ok(AnalogMvmResult {
             columns,
             source_energy: result.total_source_energy(),
+            solver_stats: result.solver_stats(),
         })
     }
 }
@@ -643,6 +739,98 @@ mod tests {
                 "cog drift {start} -> {end}"
             );
         }
+    }
+
+    #[test]
+    fn forced_sparse_backend_matches_dense_mvm() {
+        let cfg = ResipeConfig::paper();
+        let g: Vec<Siemens> = (0..6).map(|i| Siemens(30e-6 + 15e-6 * i as f64)).collect();
+        let t_in = [Seconds(20e-9), Seconds(45e-9)];
+        let run = |solver| {
+            AnalogMvm::new(cfg, &g, 2, 3)
+                .unwrap()
+                .with_solver(solver)
+                .run(&t_in, STEP)
+                .unwrap()
+        };
+        let dense = run(SolverKind::Dense);
+        let sparse = run(SolverKind::Sparse);
+        assert_eq!(dense.solver_stats.backend, SolverKind::Dense);
+        assert_eq!(sparse.solver_stats.backend, SolverKind::Sparse);
+        for (d, s) in dense.columns.iter().zip(&sparse.columns) {
+            assert!((d.v_out.0 - s.v_out.0).abs() < 1e-9);
+            assert!((d.t_out.0 - s.t_out.0).abs() < 1e-15);
+            assert_eq!(d.saturated, s.saturated);
+        }
+        assert!((dense.source_energy.0 - sparse.source_energy.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn session_shares_symbolic_analysis_across_mvm_runs() {
+        let cfg = ResipeConfig::paper();
+        let g = vec![Siemens(50e-6); 4];
+        let mvm = AnalogMvm::new(cfg, &g, 2, 2)
+            .unwrap()
+            .with_solver(SolverKind::Sparse);
+        let mut session = SolverSession::new();
+        // Quantized spike times keep the sample-and-hold event count equal
+        // across runs; only values differ.
+        for t in [20e-9, 40e-9, 60e-9] {
+            mvm.run_with_session(&[Seconds(t), Seconds(t)], STEP, &mut session)
+                .unwrap();
+        }
+        let totals = session.stats();
+        assert_eq!(totals.symbolic_analyses, 1, "{totals:?}");
+        assert_eq!(totals.symbolic_reuses, 2, "{totals:?}");
+        assert!(totals.numeric_refactors >= 2, "{totals:?}");
+        assert!(totals.reused_factor_solves > totals.numeric_refactors * 100);
+    }
+
+    #[test]
+    fn wire_resistance_causes_ir_drop() {
+        let cfg = ResipeConfig::paper();
+        // Strong cells so bitline current (and thus IR drop) is visible.
+        let g = vec![Siemens(200e-6); 8 * 2];
+        let t_in = vec![Seconds(20e-9); 8];
+        let ideal = AnalogMvm::new(cfg, &g, 8, 2)
+            .unwrap()
+            .run(&t_in, STEP)
+            .unwrap();
+        let wired = AnalogMvm::new(cfg, &g, 8, 2)
+            .unwrap()
+            .with_wire_resistance(Ohms(50.0))
+            .run(&t_in, STEP)
+            .unwrap();
+        for (i, (w, id)) in wired.columns.iter().zip(&ideal.columns).enumerate() {
+            assert!(
+                w.v_out.0 < id.v_out.0,
+                "col {i}: wire {} should sit below ideal {}",
+                w.v_out,
+                id.v_out
+            );
+            // 50 Ω segments against 5 kΩ cells: a few percent, not a
+            // collapse.
+            assert!(
+                w.v_out.0 > 0.8 * id.v_out.0,
+                "col {i}: wire drop too large ({} vs {})",
+                w.v_out,
+                id.v_out
+            );
+        }
+    }
+
+    #[test]
+    fn mvm_min_rcond_gate_passes_healthy_tile() {
+        let cfg = ResipeConfig::paper();
+        let g = vec![Siemens(50e-6); 4];
+        let res = AnalogMvm::new(cfg, &g, 2, 2)
+            .unwrap()
+            .with_solver(SolverKind::Sparse)
+            .with_min_rcond(1e-20)
+            .run(&[Seconds(20e-9), Seconds(40e-9)], STEP)
+            .unwrap();
+        let rc = res.solver_stats.min_rcond_seen.expect("gate armed");
+        assert!(rc >= 1e-20, "healthy tile rcond {rc}");
     }
 
     #[test]

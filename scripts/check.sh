@@ -22,18 +22,28 @@
 # scenario gates (two models, a replica drained mid-load, zero rejects),
 # and the v1 wire-compatibility bit (hand-rolled legacy frames answered
 # bit-identically by the v2 server).
+#
+# With --circuit-smoke, additionally runs the whole-tile circuit
+# validation campaign in smoke mode and schema-checks BENCH_circuit.json.
+# The bench hard-fails if the netlist drifts out of engine tolerance, a
+# sweep group re-analyzes its topology (symbolic analysis must be shared
+# across the batch), or IR drop stops being monotone in wire resistance.
+# Single-threaded circuit solves, so it runs fine on `host_parallelism: 1`
+# CI hosts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 perf_smoke=0
 backends_smoke=0
 serve_smoke=0
+circuit_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --perf-smoke) perf_smoke=1 ;;
         --backends-smoke) backends_smoke=1 ;;
         --serve-smoke) serve_smoke=1 ;;
-        *) echo "check: unknown argument '$arg' (supported: --perf-smoke, --backends-smoke, --serve-smoke)" >&2; exit 2 ;;
+        --circuit-smoke) circuit_smoke=1 ;;
+        *) echo "check: unknown argument '$arg' (supported: --perf-smoke, --backends-smoke, --serve-smoke, --circuit-smoke)" >&2; exit 2 ;;
     esac
 done
 
@@ -190,6 +200,34 @@ if [[ "$backends_smoke" -eq 1 ]]; then
         fi
     done
     rm -f "$backends_out"
+fi
+
+if [[ "$circuit_smoke" -eq 1 ]]; then
+    echo "==> circuit_sweep --smoke (whole-tile circuit gate + schema check)"
+    circuit_out="$(mktemp)"
+    cargo run --release -q -p resipe-bench --bin circuit_sweep -- --smoke \
+        --out "$circuit_out" >/dev/null
+    for key in model tolerance v_out_volts t_out_rel arms group rows cols \
+        wire_ohms dt_ps steps v_out_mean max_abs_dv mean_abs_dv max_rel_dt \
+        saturated_cols saturation_agreement wall_ms solver backend unknowns \
+        nonzeros assemblies symbolic_analyses symbolic_reuses numeric_refactors \
+        solves reused_factor_solves pivot_growth_max totals runs \
+        topology_groups within_tolerance ir_drop_monotone elapsed_s; do
+        if ! grep -q "\"$key\"" "$circuit_out"; then
+            echo "check: BENCH_circuit.json schema drift — missing key \"$key\"" >&2
+            rm -f "$circuit_out"
+            exit 1
+        fi
+    done
+    for gate in '"within_tolerance": true' '"ir_drop_monotone": true' \
+        '"topology_groups": 2, "symbolic_analyses": 2'; do
+        if ! grep -q "$gate" "$circuit_out"; then
+            echo "check: circuit_sweep validation gate failed ($gate)" >&2
+            rm -f "$circuit_out"
+            exit 1
+        fi
+    done
+    rm -f "$circuit_out"
 fi
 
 echo "check: all gates passed"

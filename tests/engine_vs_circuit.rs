@@ -1,13 +1,28 @@
 //! Integration test: the closed-form engine against the MNA netlist
 //! simulation across a grid of operating points — the reproduction's
 //! equivalent of validating the analytical model against Virtuoso.
+//!
+//! The small MAC grids run the dense solver; the whole-tile tests at the
+//! bottom are the headline oracle: a full 128×128 crossbar transient on
+//! the sparse reusable-factorization path, cross-checked column by column
+//! against the closed-form engine. Tolerances there (documented in
+//! DESIGN.md "Sparse analog validation"): `|Δv_out| < 0.01 V` and
+//! `|Δt_out|/t_out < 0.05` per column.
 
+use resipe_suite::analog::transient::{SolverKind, SolverSession};
 use resipe_suite::analog::units::{Seconds, Siemens};
-use resipe_suite::core::circuit::AnalogMac;
+use resipe_suite::core::circuit::{AnalogMac, AnalogMvm};
 use resipe_suite::core::config::ResipeConfig;
 use resipe_suite::core::engine::ResipeEngine;
 
 const STEP: Seconds = Seconds(25e-12);
+
+/// Deterministic pseudo-random cell conductance in the paper's 5–150 µS
+/// device range (Knuth multiplicative hash on the cell index).
+fn cell_g(i: usize) -> Siemens {
+    let frac = (i as u64).wrapping_mul(2654435761) % 1000;
+    Siemens(5e-6 + 145e-6 * frac as f64 / 999.0)
+}
 
 fn check(t_in: &[Seconds], g: &[Siemens], tol_rel: f64) {
     let cfg = ResipeConfig::paper();
@@ -85,6 +100,106 @@ fn early_spikes_small_conductance() {
         &[Siemens(5e-6), Siemens(8e-6)],
         0.05,
     );
+}
+
+/// Compares every column of an analog MVM run against the closed-form
+/// engine under the whole-tile tolerances.
+fn check_columns(
+    analog: &resipe_suite::core::circuit::AnalogMvmResult,
+    g: &[Siemens],
+    rows: usize,
+    cols: usize,
+    t_in: &[Seconds],
+) {
+    let cfg = ResipeConfig::paper();
+    let g_flat: Vec<f64> = g.iter().map(|g| g.0).collect();
+    let engine = ResipeEngine::new(cfg)
+        .mvm_matrix(&g_flat, rows, cols, t_in)
+        .expect("engine mvm");
+    assert_eq!(analog.columns.len(), engine.len());
+    for (j, (a, e)) in analog.columns.iter().zip(&engine).enumerate() {
+        assert_eq!(a.saturated, e.saturated, "col {j}: saturation agreement");
+        let dv = (a.v_out.0 - e.v_out.0).abs();
+        assert!(dv < 0.01, "col {j}: v_out {} vs {}", a.v_out, e.v_out);
+        if !e.saturated {
+            let rel = (a.t_out.0 - e.t_out.0).abs() / e.t_out.0.max(1e-10);
+            assert!(
+                rel < 0.05,
+                "col {j}: t_out {} ns vs {} ns (rel {rel})",
+                a.t_out.as_nanos(),
+                e.t_out.as_nanos()
+            );
+        }
+    }
+}
+
+/// The headline oracle: a full 128×128 crossbar tile at circuit fidelity.
+///
+/// 387 MNA unknowns — `Auto` resolves to the sparse backend, and the
+/// counters must show exactly one symbolic analysis for the whole
+/// transient, with every switch event handled by a value-only
+/// refactorization and every quiet step reusing the factors outright.
+#[test]
+fn whole_tile_128x128_sparse_oracle() {
+    let cfg = ResipeConfig::paper();
+    let (rows, cols) = (128, 128);
+    let g: Vec<Siemens> = (0..rows * cols).map(cell_g).collect();
+    // Spike times quantized to five distinct values: the sample-and-hold
+    // controller then dirties the netlist only five times during S1, so
+    // the whole 4000-step run refactors a handful of times.
+    let t_in: Vec<Seconds> = (0..rows)
+        .map(|i| Seconds(((i * 7) % 5 + 1) as f64 * 10e-9))
+        .collect();
+    let step = Seconds(50e-12);
+    let analog = AnalogMvm::new(cfg, &g, rows, cols)
+        .expect("tile builds")
+        .run(&t_in, step)
+        .expect("sparse transient converges");
+
+    let s = analog.solver_stats;
+    assert_eq!(s.backend, SolverKind::Sparse, "Auto must resolve sparse");
+    assert_eq!(s.unknowns, 387, "(258 nodes − gnd) + 129 source branches");
+    assert_eq!(s.symbolic_analyses, 1, "one analysis for the run: {s:?}");
+    assert!(
+        s.numeric_refactors >= 5 && s.numeric_refactors <= 16,
+        "switch events refactor, never re-analyze: {s:?}"
+    );
+    assert_eq!(
+        s.solves, 4000,
+        "one solve per 50 ps step over 200 ns: {s:?}"
+    );
+    assert!(
+        s.reused_factor_solves >= s.solves - 20,
+        "quiet steps reuse factors outright: {s:?}"
+    );
+    check_columns(&analog, &g, rows, cols, &t_in);
+}
+
+/// Sweep points share one symbolic analysis through a `SolverSession`:
+/// three different conductance maps on the same 32×32 topology analyze
+/// once and refactor twice.
+#[test]
+fn sweep_points_share_symbolic_analysis() {
+    let cfg = ResipeConfig::paper();
+    let (rows, cols) = (32, 32);
+    let t_in: Vec<Seconds> = (0..rows)
+        .map(|i| Seconds(((i % 4 + 1) as f64) * 15e-9))
+        .collect();
+    let mut session = SolverSession::new();
+    for scale in [1.0, 0.5, 2.0] {
+        let g: Vec<Siemens> = (0..rows * cols)
+            .map(|i| Siemens(cell_g(i).0 * scale))
+            .collect();
+        let analog = AnalogMvm::new(cfg, &g, rows, cols)
+            .expect("tile builds")
+            .run_with_session(&t_in, Seconds(100e-12), &mut session)
+            .expect("transient converges");
+        assert_eq!(analog.solver_stats.backend, SolverKind::Sparse);
+        check_columns(&analog, &g, rows, cols, &t_in);
+    }
+    let totals = session.stats();
+    assert_eq!(totals.symbolic_analyses, 1, "{totals:?}");
+    assert_eq!(totals.symbolic_reuses, 2, "{totals:?}");
 }
 
 #[test]
