@@ -16,6 +16,15 @@
 //! request was lost or duplicated (`accepted == completed`, zero
 //! rejects/expiries during measurement runs).
 //!
+//! A **many-connection overload** scenario then opens hundreds of
+//! simultaneous connections — far more than the server's fixed budget
+//! of event-loop threads — fires paced traffic over all of them at
+//! once, and records p99 latency under that overload. The gate is
+//! structural, not timing-based (CI hosts vary): every connection
+//! served bit-identically to the oracle, zero lost or duplicated
+//! replies, and the `conns_peak` counter proving the connections were
+//! truly simultaneous on the small thread budget.
+//!
 //! A third scenario ages the served network **mid-load** and lets the
 //! attached background scrubber hot-repair it: the gate is 100 %
 //! availability — zero busy rejects, zero expiries, every request
@@ -82,6 +91,9 @@ fn main() {
         .max(1);
     let max_batch = args.usize_of("max-batch", 32).max(1);
     let max_wait_us = args.usize_of("max-wait-us", 300) as u64;
+    let mc_conns = args.usize_of("conns", 256).max(1);
+    let mc_per_conn = args.usize_of("conn-requests", 2).max(1);
+    let event_threads = args.usize_of("event-threads", 2).max(1);
     let out_path = args
         .value_of("out")
         .unwrap_or("BENCH_serve.json")
@@ -127,7 +139,12 @@ fn main() {
             ServerConfig::default()
                 .with_max_batch(max_batch)
                 .with_max_wait(Duration::from_micros(max_wait_us))
-                .with_queue_capacity((2 * total).max(64)),
+                // Big enough that neither the batched scenarios nor
+                // one outstanding request per overload connection can
+                // hit admission control.
+                .with_queue_capacity((2 * total).max(2 * mc_conns).max(64))
+                .with_event_threads(event_threads)
+                .with_max_connections((2 * mc_conns).max(1024)),
         )
         .register_model(
             "mlp1",
@@ -288,6 +305,112 @@ fn main() {
         }
     };
 
+    // ---- Many-connection overload: mc_conns simultaneous connections
+    // on the server's fixed event-thread budget, all firing at once
+    // through a barrier. Runs on the still-pristine network (before the
+    // aging scenario) so every reply checks bit-identical to the
+    // oracle. Gates are structural: zero lost/duplicated replies and a
+    // conns_peak proving true simultaneity.
+    eprintln!(
+        "measuring {mc_conns} simultaneous connections x {mc_per_conn} requests \
+         on {event_threads} event threads..."
+    );
+    let before_mc = server.stats();
+    let mc_total = mc_conns * mc_per_conn;
+    let (mc_elapsed, mc_latencies, mc_replies, mc_mismatches) = {
+        let start_barrier = std::sync::Arc::new(std::sync::Barrier::new(mc_conns));
+        let done_barrier = std::sync::Arc::new(std::sync::Barrier::new(mc_conns));
+        let mut joins = Vec::new();
+        let start = Instant::now();
+        for c in 0..mc_conns {
+            let corpus = corpus.clone();
+            let sample_shape = sample_shape.clone();
+            let reference = reference.clone();
+            let start_barrier = std::sync::Arc::clone(&start_barrier);
+            let done_barrier = std::sync::Arc::clone(&done_barrier);
+            joins.push(thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("overload client");
+                let mut latencies = Vec::with_capacity(mc_per_conn);
+                let mut replies = 0u64;
+                let mut mismatches = 0u64;
+                // Everyone connects first, then fires together.
+                start_barrier.wait();
+                for r in 0..mc_per_conn {
+                    let idx = (c * mc_per_conn + r) % total;
+                    let sample = Tensor::from_vec(
+                        corpus.data()[idx * width..(idx + 1) * width].to_vec(),
+                        &sample_shape,
+                    )
+                    .expect("sample");
+                    let t0 = Instant::now();
+                    let served = client.infer(&sample).expect("overload infer");
+                    latencies.push(t0.elapsed().as_nanos() as u64);
+                    replies += 1;
+                    let out_width = reference.len() / total;
+                    let expected = &reference.data()[idx * out_width..(idx + 1) * out_width];
+                    if !(served.data().len() == expected.len()
+                        && served
+                            .data()
+                            .iter()
+                            .zip(expected)
+                            .all(|(a, b)| a.to_bits() == b.to_bits()))
+                    {
+                        mismatches += 1;
+                    }
+                }
+                // Hold the connection until everyone finished, so the
+                // peak counter records all of them simultaneously open.
+                done_barrier.wait();
+                (latencies, replies, mismatches)
+            }));
+        }
+        let mut latencies = Vec::with_capacity(mc_total);
+        let mut replies = 0u64;
+        let mut mismatches = 0u64;
+        for j in joins {
+            let (l, r, m) = j.join().expect("overload client thread");
+            latencies.extend(l);
+            replies += r;
+            mismatches += m;
+        }
+        (
+            start.elapsed().as_secs_f64(),
+            latencies,
+            replies,
+            mismatches,
+        )
+    };
+    let after_mc = server.stats();
+    let mc_completed = after_mc.completed - before_mc.completed;
+    let mc_lost = (mc_total as u64).saturating_sub(mc_completed.min(mc_replies));
+    let mc_duplicated = mc_replies.saturating_sub(mc_total as u64);
+    let mc_peak = after_mc.conns_peak;
+    let (mc_p50, mc_p99) = {
+        let mut sorted = mc_latencies.clone();
+        sorted.sort_unstable();
+        let pick = |q: f64| {
+            sorted
+                .get(((sorted.len() as f64 * q) as usize).min(sorted.len().saturating_sub(1)))
+                .copied()
+                .unwrap_or(0)
+        };
+        (pick(0.50), pick(0.99))
+    };
+    assert_eq!(
+        mc_mismatches, 0,
+        "overload replies diverged from the oracle"
+    );
+    assert_eq!(mc_lost, 0, "overload lost replies");
+    assert_eq!(mc_duplicated, 0, "overload duplicated replies");
+    assert!(
+        mc_peak >= mc_conns as u64,
+        "conns_peak {mc_peak} never saw all {mc_conns} connections simultaneously"
+    );
+    assert_eq!(
+        after_mc.conns_evicted_slow, 0,
+        "healthy overload clients must not be evicted"
+    );
+
     // ---- Scenario 3: hot repair under load. Age the served network
     // mid-traffic; the background scrubber must detect, repair, and
     // epoch-swap without a single request being rejected or lost.
@@ -432,7 +555,7 @@ fn main() {
         .expect("restore replica");
 
     let stats = server.stats();
-    let expected_total = (verify_n + 3 * total + 1 + s4_total + v1_n) as u64;
+    let expected_total = (verify_n + 3 * total + 1 + s4_total + v1_n + mc_total) as u64;
     let lossless = stats.accepted == expected_total
         && stats.completed == expected_total
         && stats.rejected_busy == 0
@@ -476,6 +599,17 @@ fn main() {
     ));
     json.push_str(&format!("  \"speedup\": {},\n", json_num(speedup)));
     json.push_str(&format!("  \"v1_compat\": {v1_compat},\n"));
+    json.push_str(&format!(
+        "  \"many_connections\": {{\"connections\": {mc_conns}, \
+         \"requests_per_connection\": {mc_per_conn}, \"requests\": {mc_total}, \
+         \"event_threads\": {event_threads}, \"elapsed_s\": {}, \
+         \"requests_per_sec\": {}, \"p50_nanos\": {mc_p50}, \"p99_nanos\": {mc_p99}, \
+         \"conns_peak\": {mc_peak}, \"lost\": {mc_lost}, \"duplicated\": {mc_duplicated}, \
+         \"evicted_slow\": {}}},\n",
+        json_num(mc_elapsed),
+        json_num(mc_total as f64 / mc_elapsed),
+        after_mc.conns_evicted_slow,
+    ));
     json.push_str(&format!(
         "  \"multi_model\": {{\"models\": {}, \"requests\": {s4_total}, \"elapsed_s\": {}, \
          \"requests_per_sec\": {}, \"rejected_busy\": {multi_rejects}, \
@@ -568,5 +702,10 @@ fn main() {
         "registry  : {} models x 2 replicas, {s4_total} requests, replica drained mid-load, \
          0 rejects, v1 bytes bit-identical",
         stats.models.len()
+    );
+    println!(
+        "overload  : {mc_conns} simultaneous conns on {event_threads} event threads, \
+         {mc_total} requests, p99 {:.2} ms, 0 lost, 0 duplicated",
+        mc_p99 as f64 / 1e6
     );
 }

@@ -119,11 +119,11 @@ pub(crate) struct PendingRequest {
     pub deadline: Option<Instant>,
     /// Admission time, for the latency histogram.
     pub enqueued: Instant,
-    /// The issuing connection's reply channel.
-    pub reply: mpsc::Sender<Reply>,
+    /// Where the finished reply routes back to.
+    pub reply: ReplySink,
 }
 
-/// A response routed back to a connection's writer thread.
+/// A response routed back to the issuing connection.
 #[derive(Debug)]
 pub(crate) struct Reply {
     /// Wire version to frame the response in.
@@ -131,6 +131,32 @@ pub(crate) struct Reply {
     pub status: Status,
     pub id: u64,
     pub payload: Vec<u8>,
+}
+
+/// Where a worker routes a finished request's reply: in production, the
+/// issuing connection's event-loop mailbox (the push wakes the owning
+/// loop, which frames the reply into that connection's outbound buffer
+/// and drains it on `POLLOUT`); in unit tests, a plain channel.
+#[derive(Debug, Clone)]
+pub(crate) enum ReplySink {
+    /// An event-loop connection mailbox.
+    Conn(Arc<crate::event_loop::ConnMailbox>),
+    /// A bare channel, for tests that inspect replies directly.
+    #[allow(dead_code)] // constructed only by the unit tests below
+    Channel(mpsc::Sender<Reply>),
+}
+
+impl ReplySink {
+    /// Routes `reply`. Failures are benign — the client went away and
+    /// its connection (or test receiver) is gone.
+    pub fn send(&self, reply: Reply) {
+        match self {
+            ReplySink::Conn(mailbox) => mailbox.push(reply),
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(reply);
+            }
+        }
+    }
 }
 
 /// Everything one batch worker needs; cloned per worker thread. The
@@ -157,7 +183,7 @@ impl WorkerContext {
 
     fn finish(&self, req: &PendingRequest, status: Status, payload: Vec<u8>) {
         // The client may have disconnected; routing failures are benign.
-        let _ = req.reply.send(Reply {
+        req.reply.send(Reply {
             version: req.version,
             status,
             id: req.id,
@@ -361,7 +387,7 @@ mod tests {
             replica_hint: None,
             deadline,
             enqueued: Instant::now(),
-            reply: reply.clone(),
+            reply: ReplySink::Channel(reply.clone()),
         }
     }
 

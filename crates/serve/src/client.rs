@@ -8,7 +8,7 @@
 //! protocol v2.
 
 use std::io::BufReader;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use resipe_nn::tensor::Tensor;
@@ -43,6 +43,23 @@ impl Client {
     /// Propagates connection failures.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ServeError> {
         let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream)
+    }
+
+    /// Connects with a bound on how long the TCP handshake may take.
+    /// A server whose accept backlog is full (or a blackholed route)
+    /// fails here with [`std::io::ErrorKind::TimedOut`] instead of
+    /// hanging for the OS connect timeout (minutes on most stacks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures, including the timeout.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        Client::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Client, ServeError> {
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
@@ -51,6 +68,20 @@ impl Client {
             next_id: 1,
             deadline_us: 0,
         })
+    }
+
+    /// Bounds how long any subsequent call waits for the server's
+    /// reply bytes (`None` restores blocking forever). When the server
+    /// goes silent mid-reply the pending call fails with an
+    /// [`ServeError::Io`] whose kind is `WouldBlock` or `TimedOut`
+    /// (platform-dependent) instead of wedging the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket option failures (e.g. a zero duration).
+    pub fn with_read_timeout(self, timeout: Option<Duration>) -> Result<Client, ServeError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(self)
     }
 
     /// Sets a per-request relative deadline applied to subsequent

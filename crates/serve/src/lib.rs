@@ -46,9 +46,17 @@
 //!   and load) plus the engine's full
 //!   [`TelemetrySnapshot`](resipe::telemetry::TelemetrySnapshot) as
 //!   JSON.
+//! - **Readiness event loop** — a fixed budget of event-loop threads
+//!   ([`ServerConfig::event_threads`]) multiplexes every accepted
+//!   connection over `poll(2)` with non-blocking sockets, so thousands
+//!   of connections never cost thousands of threads. Frames decode
+//!   incrementally ([`protocol::FrameAccum`]), replies route through
+//!   per-connection **bounded** outbound buffers drained on `POLLOUT`,
+//!   and a slow client that stops reading is evicted
+//!   (`conns_evicted_slow`) instead of wedging a thread.
 //! - **Graceful shutdown** — [`Server::shutdown`] refuses new work,
-//!   drains and answers everything already admitted, then closes
-//!   connections.
+//!   drains and answers everything already admitted, flushes every
+//!   answered reply the peers will accept, then closes connections.
 //!
 //! # Quickstart
 //!
@@ -79,16 +87,21 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one FFI module ([`sys`], the `poll(2)`
+// binding) scope-allows unsafe with documented safety arguments;
+// everything else in the crate stays unsafe-free.
+#![deny(unsafe_code)]
 
 pub mod batcher;
 pub mod client;
 pub mod error;
+mod event_loop;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod registry;
 pub mod server;
+mod sys;
 
 pub use batcher::{BatchExecutor, NetworkExecutor};
 pub use client::{Client, ModelHandle};

@@ -165,6 +165,40 @@ impl ServerCounters {
     }
 }
 
+/// Lock-free connection-lifecycle counters. Kept separate from
+/// [`ServerCounters`] because connections are a server-global resource —
+/// the event loop owns sockets before any request routes to a model, so
+/// these never appear in per-model blocks.
+#[derive(Debug, Default)]
+pub struct ConnCounters {
+    /// Connections accepted, lifetime.
+    pub accepted: AtomicU64,
+    /// Connections currently registered with an event loop.
+    pub open: AtomicU64,
+    /// High-water mark of simultaneously open connections.
+    pub peak: AtomicU64,
+    /// Connections evicted because their outbound buffer overflowed —
+    /// the peer stopped reading while replies kept arriving.
+    pub evicted_slow: AtomicU64,
+    /// Connections refused at accept because `max_connections` was
+    /// already open.
+    pub rejected: AtomicU64,
+}
+
+impl ConnCounters {
+    /// Records an accepted connection entering an event loop.
+    pub(crate) fn on_open(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        let now_open = self.open.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now_open, Ordering::Relaxed);
+    }
+
+    /// Records a connection leaving its event loop for any reason.
+    pub(crate) fn on_close(&self) {
+        self.open.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// Reads `n_u64`-prefixed counters into `out`, zero-filling when the
 /// wire carries fewer than `out.len()` and skipping any extras — the
 /// mechanism that makes counter additions non-wire-breaking.
@@ -482,6 +516,19 @@ pub struct ServerStats {
     /// MVM/skip counters, compile-cache hit/miss/eviction pressure, and
     /// the spike-time saturation histograms.
     pub telemetry_json: String,
+    /// Connections accepted, lifetime. The connection-lifecycle
+    /// counters travel only in the count-prefixed v2 layout (appended
+    /// after the original 22) — the legacy layout stays frozen, so
+    /// v1-decoded snapshots report them as 0.
+    pub conns_accepted: u64,
+    /// Connections currently registered with an event loop.
+    pub conns_open: u64,
+    /// High-water mark of simultaneously open connections.
+    pub conns_peak: u64,
+    /// Slow-client evictions (outbound buffer overflow), lifetime.
+    pub conns_evicted_slow: u64,
+    /// Connections refused at accept (`max_connections` reached).
+    pub conns_rejected: u64,
     /// Per-model breakdown (empty in legacy-decoded snapshots).
     pub models: Vec<ModelStatsBlock>,
 }
@@ -501,7 +548,10 @@ impl ServerStats {
         self.models.iter().find(|m| m.name == name)
     }
 
-    fn global_counters(&self) -> [u64; 22] {
+    // The first 22 entries are the frozen legacy layout; new counters
+    // append strictly at the end so the count prefix keeps old and new
+    // decoders interoperable.
+    fn global_counters(&self) -> [u64; 27] {
         [
             self.queue_depth,
             self.queue_capacity,
@@ -525,6 +575,11 @@ impl ServerStats {
             self.latency.p95_nanos,
             self.latency.p99_nanos,
             self.latency.max_nanos,
+            self.conns_accepted,
+            self.conns_open,
+            self.conns_peak,
+            self.conns_evicted_slow,
+            self.conns_rejected,
         ]
     }
 
@@ -532,7 +587,7 @@ impl ServerStats {
     /// `[u32 n_u64][u64×n]` global counters, the two length-prefixed
     /// strings, then `[u32 n_models]` × model block.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(4 + 22 * 8 + self.telemetry_json.len());
+        let mut buf = Vec::with_capacity(4 + 27 * 8 + self.telemetry_json.len());
         put_counter_block(&mut buf, &self.global_counters());
         put_u32(&mut buf, self.kernel_backend.len() as u32);
         buf.extend_from_slice(self.kernel_backend.as_bytes());
@@ -552,7 +607,7 @@ impl ServerStats {
     /// Returns [`ServeError::Protocol`] for truncation or invalid UTF-8.
     pub fn decode(bytes: &[u8]) -> Result<ServerStats, ServeError> {
         let mut at = 0usize;
-        let mut c = [0u64; 22];
+        let mut c = [0u64; 27];
         take_counter_block(bytes, &mut at, &mut c)?;
         let mut stats = Self::from_globals(&c);
         let mut take_str = |what: &str| -> Result<String, ServeError> {
@@ -581,7 +636,7 @@ impl ServerStats {
         Ok(stats)
     }
 
-    fn from_globals(c: &[u64; 22]) -> ServerStats {
+    fn from_globals(c: &[u64; 27]) -> ServerStats {
         ServerStats {
             queue_depth: c[0],
             queue_capacity: c[1],
@@ -609,6 +664,11 @@ impl ServerStats {
                 max_nanos: c[21],
             },
             telemetry_json: String::new(),
+            conns_accepted: c[22],
+            conns_open: c[23],
+            conns_peak: c[24],
+            conns_evicted_slow: c[25],
+            conns_rejected: c[26],
             models: Vec::new(),
         }
     }
@@ -618,7 +678,10 @@ impl ServerStats {
     /// Sent in answer to v1 `Stats` frames so old clients keep parsing.
     pub fn encode_legacy(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(22 * 8 + self.telemetry_json.len());
-        for v in self.global_counters() {
+        // Exactly the first 22 counters — the connection counters exist
+        // only in the count-prefixed layout; a fixed-layout decoder
+        // counts bytes, so appending here would break old clients.
+        for &v in &self.global_counters()[..22] {
             put_u64(&mut buf, v);
         }
         put_u32(&mut buf, self.kernel_backend.len() as u32);
@@ -636,8 +699,8 @@ impl ServerStats {
     /// Returns [`ServeError::Protocol`] for truncation or invalid UTF-8.
     pub fn decode_legacy(bytes: &[u8]) -> Result<ServerStats, ServeError> {
         let mut at = 0usize;
-        let mut c = [0u64; 22];
-        for slot in &mut c {
+        let mut c = [0u64; 27];
+        for slot in c.iter_mut().take(22) {
             *slot = take_u64(bytes, &mut at)?;
         }
         let mut stats = Self::from_globals(&c);
@@ -670,7 +733,9 @@ impl ServerStats {
              \"bad_requests\": {}, \"shutdown_rejects\": {}, \"engine_errors\": {}, \
              \"batches\": {}, \"batched_samples\": {}, \"largest_batch\": {}, \
              \"scrub_passes\": {}, \"scrub_tiles\": {}, \"scrub_repairs\": {}, \
-             \"plan_swaps\": {}, \"kernel_backend\": \"{}\", \
+             \"plan_swaps\": {}, \"conns_accepted\": {}, \"conns_open\": {}, \
+             \"conns_peak\": {}, \"conns_evicted_slow\": {}, \
+             \"conns_rejected\": {}, \"kernel_backend\": \"{}\", \
              \"latency\": {}, \"models\": [{}], \"telemetry\": {}}}",
             self.queue_depth,
             self.queue_capacity,
@@ -689,6 +754,11 @@ impl ServerStats {
             self.scrub_tiles,
             self.scrub_repairs,
             self.plan_swaps,
+            self.conns_accepted,
+            self.conns_open,
+            self.conns_peak,
+            self.conns_evicted_slow,
+            self.conns_rejected,
             self.kernel_backend,
             self.latency.to_json(),
             models.join(", "),
@@ -763,6 +833,11 @@ mod tests {
                 max_nanos: 12_345,
             },
             telemetry_json: "{\"enabled\": false}".to_owned(),
+            conns_accepted: 17,
+            conns_open: 4,
+            conns_peak: 9,
+            conns_evicted_slow: 2,
+            conns_rejected: 1,
             models: vec![ModelStatsBlock {
                 name: "mlp1".to_owned(),
                 queue_depth: 3,
@@ -806,6 +881,18 @@ mod tests {
     }
 
     #[test]
+    fn conn_counters_track_peak() {
+        let c = ConnCounters::default();
+        c.on_open();
+        c.on_open();
+        c.on_close();
+        c.on_open();
+        assert_eq!(ServerCounters::get(&c.accepted), 3);
+        assert_eq!(ServerCounters::get(&c.open), 2);
+        assert_eq!(ServerCounters::get(&c.peak), 2);
+    }
+
+    #[test]
     fn stats_wire_round_trip() {
         let stats = sample_stats();
         let back = ServerStats::decode(&stats.encode()).unwrap();
@@ -824,6 +911,9 @@ mod tests {
         assert_eq!(back.latency, stats.latency);
         assert_eq!(back.kernel_backend, stats.kernel_backend);
         assert_eq!(back.telemetry_json, stats.telemetry_json);
+        // Connection counters live only in the v2 layout.
+        assert_eq!(back.conns_accepted, 0);
+        assert_eq!(back.conns_peak, 0);
     }
 
     #[test]
@@ -912,6 +1002,11 @@ mod tests {
             "\"scrub_tiles\"",
             "\"scrub_repairs\"",
             "\"plan_swaps\"",
+            "\"conns_accepted\"",
+            "\"conns_open\"",
+            "\"conns_peak\"",
+            "\"conns_evicted_slow\"",
+            "\"conns_rejected\"",
             "\"kernel_backend\"",
             "\"p50_nanos\"",
             "\"p99_nanos\"",

@@ -416,6 +416,83 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ServeError> {
     Ok(Some(payload))
 }
 
+/// Incremental frame accumulator: the non-blocking twin of
+/// [`read_frame`] used by the event loop, accepting arbitrary partial
+/// reads (down to one byte at a time) and emitting complete frame
+/// payloads byte-identical to what the blocking path would have
+/// produced.
+///
+/// Feed it whatever a non-blocking read returned; it consumes up to one
+/// frame's worth of bytes per call and reports how many it took, so a
+/// single read that spans several frames is drained by calling
+/// [`FrameAccum::feed`] in a loop on the remainder.
+#[derive(Debug, Default)]
+pub struct FrameAccum {
+    header: [u8; 4],
+    header_filled: usize,
+    target: usize,
+    payload: Vec<u8>,
+}
+
+impl FrameAccum {
+    /// An empty accumulator, positioned at a frame boundary.
+    pub fn new() -> FrameAccum {
+        FrameAccum::default()
+    }
+
+    /// Whether bytes of an unfinished frame are buffered — an EOF here
+    /// is a mid-frame disconnect, not a clean close.
+    pub fn mid_frame(&self) -> bool {
+        self.header_filled > 0
+    }
+
+    /// Consumes bytes from `input` toward the current frame. Returns
+    /// `(consumed, Some(payload))` once a frame completes (leaving the
+    /// accumulator ready for the next frame, with `input[consumed..]`
+    /// unread), or `(consumed, None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] as soon as the length header
+    /// completes with a value above [`MAX_FRAME_BYTES`] — the oversized
+    /// payload is never buffered.
+    pub fn feed(&mut self, input: &[u8]) -> Result<(usize, Option<Vec<u8>>), ServeError> {
+        let mut used = 0usize;
+        while self.header_filled < 4 {
+            let Some(&b) = input.get(used) else {
+                return Ok((used, None));
+            };
+            self.header[self.header_filled] = b;
+            self.header_filled += 1;
+            used += 1;
+            if self.header_filled == 4 {
+                let len = u32::from_le_bytes(self.header);
+                if len > MAX_FRAME_BYTES {
+                    return Err(ServeError::Protocol(format!(
+                        "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+                    )));
+                }
+                self.target = len as usize;
+                // Capacity is claimed lazily: a peer that advertises a
+                // huge frame but sends nothing holds no allocation.
+                self.payload = Vec::with_capacity(self.target.min(64 * 1024));
+            }
+        }
+        let need = self.target - self.payload.len();
+        let take = need.min(input.len() - used);
+        self.payload.extend_from_slice(&input[used..used + take]);
+        used += take;
+        if self.payload.len() == self.target {
+            let frame = std::mem::take(&mut self.payload);
+            self.header_filled = 0;
+            self.target = 0;
+            Ok((used, Some(frame)))
+        } else {
+            Ok((used, None))
+        }
+    }
+}
+
 /// Encodes a request payload in the request's own wire version.
 ///
 /// # Errors
@@ -608,6 +685,15 @@ pub fn write_response(
     id: u64,
     body: &[u8],
 ) -> io::Result<()> {
+    let payload = encode_response(version, status, id, body);
+    write_frame(w, &payload)
+}
+
+/// Encodes a response *payload* (no frame header) in `version`'s
+/// framing — the single source of the response byte layout, shared by
+/// the blocking [`write_response`] and the event loop's outbound
+/// buffers.
+pub fn encode_response(version: u8, status: Status, id: u64, body: &[u8]) -> Vec<u8> {
     let mut payload = Vec::with_capacity(11 + body.len());
     if version >= PROTOCOL_V2 {
         payload.push(MAGIC);
@@ -616,7 +702,18 @@ pub fn write_response(
     payload.push(status as u8);
     put_u64(&mut payload, id);
     payload.extend_from_slice(body);
-    write_frame(w, &payload)
+    payload
+}
+
+/// Encodes a complete response frame (`[u32 LE len][payload]`) ready to
+/// append to a connection's outbound buffer.
+pub fn encode_response_frame(version: u8, status: Status, id: u64, body: &[u8]) -> Vec<u8> {
+    let payload = encode_response(version, status, id, body);
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES as usize, "frame too big");
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    put_u32(&mut frame, payload.len() as u32);
+    frame.extend_from_slice(&payload);
+    frame
 }
 
 /// Reads and parses one response, accepting both framings. `Ok(None)` on
@@ -941,6 +1038,95 @@ mod tests {
         let mut wire = encode_request(&Request::v1(Verb::Ping, 1, 0, None)).unwrap();
         wire.push(0xee);
         assert!(matches!(parse_request(&wire), Err(ServeError::Protocol(_))));
+    }
+
+    #[test]
+    fn frame_accum_matches_blocking_reader_byte_at_a_time() {
+        let req = Request::v2(Verb::Infer, 42, 100, "mlp1", Some(tensor(&[2, 3])));
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        // Two back-to-back frames in one stream.
+        let second = Request::v1(Verb::Ping, 7, 0, None);
+        write_request(&mut wire, &second).unwrap();
+        let blocking_first = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+
+        let mut accum = FrameAccum::new();
+        let mut frames = Vec::new();
+        for &b in &wire {
+            let (used, done) = accum.feed(&[b]).unwrap();
+            assert_eq!(used, 1);
+            if let Some(f) = done {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0], blocking_first);
+        assert_eq!(parse_request(&frames[0]).unwrap(), req);
+        assert_eq!(parse_request(&frames[1]).unwrap(), second);
+        assert!(!accum.mid_frame());
+    }
+
+    #[test]
+    fn frame_accum_drains_multi_frame_buffer() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, PROTOCOL_V1, Status::Ok, 1, b"ab").unwrap();
+        write_response(&mut wire, PROTOCOL_V2, Status::Busy, 2, b"").unwrap();
+        let mut accum = FrameAccum::new();
+        let mut at = 0usize;
+        let mut frames = Vec::new();
+        while at < wire.len() {
+            let (used, done) = accum.feed(&wire[at..]).unwrap();
+            at += used;
+            if let Some(f) = done {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(
+            frames[0],
+            encode_response(PROTOCOL_V1, Status::Ok, 1, b"ab")
+        );
+        assert_eq!(
+            frames[1],
+            encode_response(PROTOCOL_V2, Status::Busy, 2, b"")
+        );
+    }
+
+    #[test]
+    fn frame_accum_rejects_oversized_header_before_buffering() {
+        let mut accum = FrameAccum::new();
+        let header = (MAX_FRAME_BYTES + 1).to_le_bytes();
+        // First three bytes are fine; the fourth completes the header.
+        assert!(accum.feed(&header[..3]).unwrap().1.is_none());
+        assert!(matches!(
+            accum.feed(&header[3..]),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn frame_accum_reports_mid_frame() {
+        let mut accum = FrameAccum::new();
+        assert!(!accum.mid_frame());
+        accum.feed(&[3, 0]).unwrap();
+        assert!(accum.mid_frame(), "partial header is mid-frame");
+        accum.feed(&[0, 0, 0xaa]).unwrap();
+        assert!(accum.mid_frame(), "partial payload is mid-frame");
+        let (_, done) = accum.feed(&[0xbb, 0xcc]).unwrap();
+        assert_eq!(done.unwrap(), vec![0xaa, 0xbb, 0xcc]);
+        assert!(!accum.mid_frame());
+    }
+
+    #[test]
+    fn encode_response_frame_matches_write_response() {
+        for version in [PROTOCOL_V1, PROTOCOL_V2] {
+            let mut wire = Vec::new();
+            write_response(&mut wire, version, Status::Expired, 88, b"late").unwrap();
+            assert_eq!(
+                wire,
+                encode_response_frame(version, Status::Expired, 88, b"late")
+            );
+        }
     }
 
     #[test]

@@ -1,40 +1,46 @@
 //! The TCP inference server: a model registry behind a versioned
-//! protocol.
+//! protocol, served by a fixed-thread readiness event loop.
 //!
 //! Thread anatomy (all plain `std::thread`, no async runtime):
 //!
 //! ```text
-//! listener ──accept──▶ per-connection reader ──try_push──▶ per-model BoundedQueue
-//!                      per-connection writer ◀──mpsc──┐         │
-//!                                                     │     pop_batch
-//!                                                     │         ▼
-//!                                                     └── per-model batch workers
+//! listener ──accept──▶ event loops (N threads, poll-multiplexed conns)
+//!                        │ parse + admission          ▲ reply mailbox
+//!                        ▼                            │  + wakeup pipe
+//!                      per-model BoundedQueue ──pop_batch──▶ per-model
+//!                                                            batch workers
 //!                                                             │ pick_replica
 //!                                                             ▼
 //!                                                     EngineReplica set
 //! ```
 //!
-//! Each connection gets a *reader* thread (parses frames — both
-//! protocol versions — resolves the addressed model, performs
-//! admission control, answers `PING`/`STATS`/`LIST_MODELS`/
-//! `MODEL_STATS` directly) and a *writer* thread (drains the
-//! connection's reply channel and writes response frames in each
-//! request's own wire version), so a slow client never blocks the
-//! batch workers. Every model owns its own bounded queue and worker
-//! pool; workers dispatch coalesced batches to the model's replicas
-//! through the deterministic balancer in [`crate::registry`].
+//! Connection count is decoupled from thread count: a small, fixed
+//! budget of event-loop threads ([`ServerConfig::event_threads`]) puts
+//! every accepted socket into non-blocking mode and multiplexes them
+//! over `poll(2)` (see [`crate::event_loop`]). Each loop incrementally
+//! decodes frames — both protocol versions — resolves the addressed
+//! model, performs admission control, answers
+//! `PING`/`STATS`/`LIST_MODELS`/`MODEL_STATS` inline, and drains each
+//! connection's reply mailbox into a **bounded** outbound buffer
+//! flushed on `POLLOUT`. A slow client fills its buffer and is evicted
+//! with the `conns_evicted_slow` counter bumped — it can never wedge a
+//! thread or stall other connections. Every model owns its own bounded
+//! queue and worker pool; workers dispatch coalesced batches to the
+//! model's replicas through the deterministic balancer in
+//! [`crate::registry`] and wake the owning loop through its pipe.
 //!
 //! Graceful shutdown ([`Server::shutdown`]) proceeds in strict order:
 //! stop accepting, close every model queue (new pushes fail
 //! `ShuttingDown`), join the workers — which first **drain** every
-//! admitted request and answer it — stop the scrubbers, then unblock
-//! connection readers and join them. No admitted request is ever
-//! dropped with no reply.
+//! admitted request and answer it into its connection's mailbox — stop
+//! the scrubbers, then flag the event loops to drain: each walks its
+//! connection table, flushes every answered reply the peer will
+//! accept, and closes. No admitted request is ever dropped with no
+//! reply.
 
-use std::io::BufReader;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -44,12 +50,12 @@ use resipe::kernel::Backend;
 use resipe::scrub::ScrubConfig;
 use resipe::telemetry::Telemetry;
 
-use crate::batcher::{worker_loop, BatchExecutor, PendingRequest, Reply, WorkerContext};
+use crate::batcher::{worker_loop, BatchExecutor, PendingRequest, Reply, ReplySink, WorkerContext};
 use crate::error::ServeError;
-use crate::metrics::{LatencyHistogram, ServerCounters, ServerStats};
+use crate::event_loop::{run_event_loop, EventLoopHandle};
+use crate::metrics::{ConnCounters, LatencyHistogram, ServerCounters, ServerStats};
 use crate::protocol::{
-    encode_model_list, parse_request, read_frame, write_response, ModelInfo, Request, Status, Verb,
-    MAX_MODEL_NAME, PROTOCOL_V1,
+    encode_model_list, ModelInfo, Request, Status, Verb, MAX_MODEL_NAME, PROTOCOL_V1,
 };
 use crate::queue::PushError;
 use crate::registry::{ModelEntry, ModelRegistry, ModelSpec, ReplicaHealth};
@@ -82,6 +88,21 @@ pub struct ServerConfig {
     /// [`Backend::Scalar`]). Surfaced back to clients as the
     /// `kernel_backend` field of `STATS`.
     pub backend: Backend,
+    /// Event-loop threads multiplexing the client connections (default
+    /// 2). Connection count is independent of this: each loop polls
+    /// its whole share of the sockets, so thousands of connections run
+    /// on this fixed budget.
+    pub event_threads: usize,
+    /// Most connections held open at once (default 1024); further
+    /// accepts are closed immediately with the `conns_rejected`
+    /// counter bumped.
+    pub max_connections: usize,
+    /// Per-connection outbound buffer bound in bytes (default 4 MiB).
+    /// A connection whose unflushed replies exceed it is evicted as a
+    /// slow client. Must comfortably exceed the largest single reply
+    /// the served models can produce — one reply bigger than the cap
+    /// is itself an eviction.
+    pub write_buffer_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +114,9 @@ impl Default for ServerConfig {
             workers: 1,
             scrub: None,
             backend: Backend::Scalar,
+            event_threads: 2,
+            max_connections: 1024,
+            write_buffer_cap: 4 * 1024 * 1024,
         }
     }
 }
@@ -134,6 +158,24 @@ impl ServerConfig {
         self
     }
 
+    /// Sets the event-loop thread count.
+    pub fn with_event_threads(mut self, event_threads: usize) -> ServerConfig {
+        self.event_threads = event_threads;
+        self
+    }
+
+    /// Sets the open-connection limit.
+    pub fn with_max_connections(mut self, max_connections: usize) -> ServerConfig {
+        self.max_connections = max_connections;
+        self
+    }
+
+    /// Sets the per-connection outbound buffer bound (bytes).
+    pub fn with_write_buffer_cap(mut self, write_buffer_cap: usize) -> ServerConfig {
+        self.write_buffer_cap = write_buffer_cap;
+        self
+    }
+
     fn validate(&self) -> Result<(), ServeError> {
         if self.max_batch == 0 {
             return Err(ServeError::BadRequest("max_batch must be nonzero".into()));
@@ -145,6 +187,21 @@ impl ServerConfig {
         }
         if self.workers == 0 {
             return Err(ServeError::BadRequest("workers must be nonzero".into()));
+        }
+        if self.event_threads == 0 {
+            return Err(ServeError::BadRequest(
+                "event_threads must be nonzero".into(),
+            ));
+        }
+        if self.max_connections == 0 {
+            return Err(ServeError::BadRequest(
+                "max_connections must be nonzero".into(),
+            ));
+        }
+        if self.write_buffer_cap == 0 {
+            return Err(ServeError::BadRequest(
+                "write_buffer_cap must be nonzero".into(),
+            ));
         }
         Ok(())
     }
@@ -306,15 +363,22 @@ impl ServerBuilder {
 
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let mut event_loops = Vec::with_capacity(self.config.event_threads);
+        for _ in 0..self.config.event_threads {
+            event_loops.push(Arc::new(EventLoopHandle::new().map_err(ServeError::Io)?));
+        }
         let shared = Arc::new(Shared {
             registry,
             global_counters: Arc::new(ServerCounters::default()),
             global_latency: Arc::new(LatencyHistogram::new()),
             shutting_down: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             telemetry: self.telemetry,
             kernel_backend: self.config.backend.name(),
-            conns: Mutex::new(Vec::new()),
-            conn_handles: Mutex::new(Vec::new()),
+            conn_counters: ConnCounters::default(),
+            write_buffer_cap: self.config.write_buffer_cap,
+            max_connections: self.config.max_connections,
+            event_loops,
         });
 
         let mut worker_handles = Vec::new();
@@ -334,6 +398,18 @@ impl ServerBuilder {
             }
         }
 
+        let mut event_handles = Vec::with_capacity(shared.event_loops.len());
+        for (i, handle) in shared.event_loops.iter().enumerate() {
+            let loop_handle = Arc::clone(handle);
+            let loop_shared = Arc::clone(&shared);
+            event_handles.push(
+                thread::Builder::new()
+                    .name(format!("resipe-serve-event-{i}"))
+                    .spawn(move || run_event_loop(loop_handle, loop_shared))
+                    .map_err(ServeError::Io)?,
+            );
+        }
+
         let accept_shared = Arc::clone(&shared);
         let listener_handle = thread::Builder::new()
             .name("resipe-serve-listener".into())
@@ -345,23 +421,31 @@ impl ServerBuilder {
             local_addr,
             listener_handle: Some(listener_handle),
             worker_handles,
+            event_handles,
         })
     }
 }
 
-/// State shared by the listener, connection threads, and workers.
-struct Shared {
+/// State shared by the listener, event loops, and workers.
+pub(crate) struct Shared {
     registry: ModelRegistry,
-    global_counters: Arc<ServerCounters>,
+    pub(crate) global_counters: Arc<ServerCounters>,
     global_latency: Arc<LatencyHistogram>,
     shutting_down: AtomicBool,
+    /// Set (after workers drain) to make every event loop flush its
+    /// answered replies, close its connections, and exit.
+    pub(crate) draining: AtomicBool,
     telemetry: Telemetry,
     /// Name of the kernel backend batches execute with, for `STATS`.
     kernel_backend: &'static str,
-    /// Live connection streams, for unblocking readers at shutdown.
-    conns: Mutex<Vec<TcpStream>>,
-    /// Joinable connection reader/writer threads.
-    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Connection-lifecycle counters (accept/open/peak/evict/reject).
+    pub(crate) conn_counters: ConnCounters,
+    /// Per-connection outbound buffer bound; beyond it, eviction.
+    pub(crate) write_buffer_cap: usize,
+    /// Open-connection limit enforced at accept.
+    max_connections: usize,
+    /// The event loops accepted sockets round-robin onto.
+    event_loops: Vec<Arc<EventLoopHandle>>,
 }
 
 impl Shared {
@@ -405,6 +489,11 @@ impl Shared {
             kernel_backend: self.kernel_backend.to_owned(),
             latency: self.global_latency.snapshot(),
             telemetry_json: self.telemetry.snapshot().to_json(),
+            conns_accepted: ServerCounters::get(&self.conn_counters.accepted),
+            conns_open: ServerCounters::get(&self.conn_counters.open),
+            conns_peak: ServerCounters::get(&self.conn_counters.peak),
+            conns_evicted_slow: ServerCounters::get(&self.conn_counters.evicted_slow),
+            conns_rejected: ServerCounters::get(&self.conn_counters.rejected),
             models,
         }
     }
@@ -416,6 +505,7 @@ pub struct Server {
     local_addr: SocketAddr,
     listener_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
+    event_handles: Vec<JoinHandle<()>>,
 }
 
 impl Server {
@@ -574,16 +664,15 @@ impl Server {
         for entry in self.shared.registry.entries() {
             entry.stop_scrubbers();
         }
-        // Unblock connection readers; writers exit once the last reply
-        // (sent by the drained workers above) has been flushed.
-        for stream in self.shared.conns.lock().expect("conns poisoned").iter() {
-            let _ = stream.shutdown(Shutdown::Read);
+        // Every admitted request now has its reply sitting in a
+        // connection mailbox. Flag the event loops to drain: each
+        // flushes what its peers will accept, closes its connections,
+        // and exits.
+        self.shared.draining.store(true, Ordering::SeqCst);
+        for handle in &self.shared.event_loops {
+            handle.wake();
         }
-        let handles: Vec<JoinHandle<()>> = {
-            let mut guard = self.shared.conn_handles.lock().expect("handles poisoned");
-            guard.drain(..).collect()
-        };
-        for h in handles {
+        for h in self.event_handles.drain(..) {
             let _ = h.join();
         }
     }
@@ -596,101 +685,30 @@ impl Drop for Server {
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut next_loop = 0usize;
     for stream in listener.incoming() {
         if shared.shutting_down.load(Ordering::SeqCst) {
             break; // wake-up connection or racing client — drop it
         }
         let Ok(stream) = stream else { continue };
+        if ServerCounters::get(&shared.conn_counters.open) >= shared.max_connections as u64 {
+            // At capacity: close immediately. The peer sees EOF on its
+            // first read rather than a wedged, never-answered socket.
+            ServerCounters::add(&shared.conn_counters.rejected, 1);
+            continue;
+        }
+        // The event loop's reads and writes assume a non-blocking
+        // socket; a connection we cannot deblock is unusable.
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
         let _ = stream.set_nodelay(true);
-        spawn_connection(stream, Arc::clone(&shared));
-    }
-}
-
-fn spawn_connection(stream: TcpStream, shared: Arc<Shared>) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
-    let write_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    shared.conns.lock().expect("conns poisoned").push(stream);
-
-    let writer = thread::Builder::new()
-        .name("resipe-serve-conn-writer".into())
-        .spawn(move || writer_loop(write_half, reply_rx));
-    let reader_shared = Arc::clone(&shared);
-    let tx = reply_tx.clone();
-    let reader = thread::Builder::new()
-        .name("resipe-serve-conn-reader".into())
-        .spawn(move || {
-            reader_loop(read_half, reader_shared, tx);
-            // Dropping the last sender ends the writer's recv loop.
-            drop(reply_tx);
-        });
-    let mut handles = shared.conn_handles.lock().expect("handles poisoned");
-    if let Ok(h) = writer {
-        handles.push(h);
-    }
-    if let Ok(h) = reader {
-        handles.push(h);
-    }
-}
-
-fn writer_loop(mut stream: TcpStream, replies: mpsc::Receiver<Reply>) {
-    while let Ok(reply) = replies.recv() {
-        if write_response(
-            &mut stream,
-            reply.version,
-            reply.status,
-            reply.id,
-            &reply.payload,
-        )
-        .is_err()
-        {
-            break; // client went away; drain silently
-        }
-    }
-    let _ = stream.shutdown(Shutdown::Write);
-}
-
-fn reader_loop(stream: TcpStream, shared: Arc<Shared>, replies: mpsc::Sender<Reply>) {
-    let mut reader = BufReader::new(stream);
-    loop {
-        let frame = match read_frame(&mut reader) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => break, // clean EOF at a frame boundary
-            Err(_) => break,   // torn frame or reset — nothing to answer
-        };
-        match parse_request(&frame) {
-            Ok(req) => {
-                if handle_request(req, &shared, &replies).is_err() {
-                    break; // reply channel gone — writer died
-                }
-            }
-            Err(e) => {
-                // A garbage preamble earns Malformed — rejected before
-                // any tensor decode was attempted; a recognizable frame
-                // with invalid content keeps the original BadRequest.
-                // Both answer in v1 framing (there is no version to
-                // mirror when the preamble itself failed to parse).
-                let status = match &e {
-                    ServeError::Malformed(_) => Status::Malformed,
-                    _ => Status::BadRequest,
-                };
-                ServerCounters::add(&shared.global_counters.bad_requests, 1);
-                let sent = replies.send(Reply {
-                    version: PROTOCOL_V1,
-                    status,
-                    id: 0,
-                    payload: e.to_string().into_bytes(),
-                });
-                if sent.is_err() {
-                    break;
-                }
-            }
-        }
+        shared.conn_counters.on_open();
+        // Round-robin across loops: connection counts stay balanced
+        // and no loop needs cross-loop coordination afterwards.
+        let target = &shared.event_loops[next_loop % shared.event_loops.len()];
+        next_loop = next_loop.wrapping_add(1);
+        target.adopt(stream);
     }
 }
 
@@ -704,13 +722,11 @@ fn bump(
     ServerCounters::add(pick(global), 1);
 }
 
-/// Admission control for one parsed request. Returns `Err` only when the
-/// reply channel is closed (connection writer gone).
-fn handle_request(
-    req: Request,
-    shared: &Arc<Shared>,
-    replies: &mpsc::Sender<Reply>,
-) -> Result<(), mpsc::SendError<Reply>> {
+/// Admission control for one parsed request. Inline verbs
+/// (`PING`/`STATS`/`LIST_MODELS`/`MODEL_STATS`) and every rejection are
+/// answered straight into `sink`; accepted inference requests carry the
+/// sink with them so the batch worker answers it later.
+pub(crate) fn handle_request(req: Request, shared: &Arc<Shared>, sink: &ReplySink) {
     let reply = |status: Status, payload: Vec<u8>| Reply {
         version: req.version,
         status,
@@ -718,7 +734,7 @@ fn handle_request(
         payload,
     };
     match req.verb {
-        Verb::Ping => replies.send(reply(Status::Ok, Vec::new())),
+        Verb::Ping => sink.send(reply(Status::Ok, Vec::new())),
         Verb::Stats => {
             // v1 clients get the legacy fixed layout, bit-identical to
             // the pre-registry server; v2 clients get the
@@ -729,24 +745,24 @@ fn handle_request(
             } else {
                 stats.encode()
             };
-            replies.send(reply(Status::Ok, payload))
+            sink.send(reply(Status::Ok, payload))
         }
-        Verb::ListModels => replies.send(reply(
+        Verb::ListModels => sink.send(reply(
             Status::Ok,
             encode_model_list(&shared.registry.infos()),
         )),
         Verb::ModelStats => match shared.registry.get(&req.model) {
-            Some(entry) => replies.send(reply(Status::Ok, entry.stats_block().encode())),
-            None => replies.send(reply(Status::NoSuchModel, req.model.clone().into_bytes())),
+            Some(entry) => sink.send(reply(Status::Ok, entry.stats_block().encode())),
+            None => sink.send(reply(Status::NoSuchModel, req.model.clone().into_bytes())),
         },
         Verb::Infer | Verb::InferBatch => {
             let Some(entry) = shared.registry.get(&req.model) else {
                 ServerCounters::add(&shared.global_counters.bad_requests, 1);
-                return replies.send(reply(Status::NoSuchModel, req.model.clone().into_bytes()));
+                return sink.send(reply(Status::NoSuchModel, req.model.clone().into_bytes()));
             };
             let Some(tensor) = req.tensor else {
                 bump(entry, &shared.global_counters, |c| &c.bad_requests);
-                return replies.send(reply(
+                return sink.send(reply(
                     Status::BadRequest,
                     b"inference request carries no tensor".to_vec(),
                 ));
@@ -763,7 +779,7 @@ fn handle_request(
             };
             if !shape_ok {
                 bump(entry, &shared.global_counters, |c| &c.bad_requests);
-                return replies.send(reply(
+                return sink.send(reply(
                     Status::BadRequest,
                     format!(
                         "sample shape mismatch: served shape is {:?}, got {:?}",
@@ -775,7 +791,7 @@ fn handle_request(
             }
             if shared.shutting_down.load(Ordering::SeqCst) {
                 bump(entry, &shared.global_counters, |c| &c.shutdown_rejects);
-                return replies.send(reply(Status::ShuttingDown, Vec::new()));
+                return sink.send(reply(Status::ShuttingDown, Vec::new()));
             }
             let now = Instant::now();
             let deadline = if req.deadline_us == 0 {
@@ -791,7 +807,7 @@ fn handle_request(
                 replica_hint: req.replica_hint,
                 deadline,
                 enqueued: now,
-                reply: replies.clone(),
+                reply: sink.clone(),
             };
             // Count in-flight *before* the push so a concurrent stats
             // reader never observes a queued request as unaccounted.
@@ -799,17 +815,16 @@ fn handle_request(
             match entry.queue.try_push(pending) {
                 Ok(()) => {
                     bump(entry, &shared.global_counters, |c| &c.accepted);
-                    Ok(())
                 }
                 Err(PushError::Full(_)) => {
                     entry.in_flight.fetch_sub(1, Ordering::Relaxed);
                     bump(entry, &shared.global_counters, |c| &c.rejected_busy);
-                    replies.send(reply(Status::Busy, Vec::new()))
+                    sink.send(reply(Status::Busy, Vec::new()));
                 }
                 Err(PushError::Closed(_)) => {
                     entry.in_flight.fetch_sub(1, Ordering::Relaxed);
                     bump(entry, &shared.global_counters, |c| &c.shutdown_rejects);
-                    replies.send(reply(Status::ShuttingDown, Vec::new()))
+                    sink.send(reply(Status::ShuttingDown, Vec::new()));
                 }
             }
         }

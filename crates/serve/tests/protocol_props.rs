@@ -1,15 +1,17 @@
 //! Property tests of the wire protocol: every well-formed request —
 //! in both protocol versions — survives an encode → parse round trip
 //! bit-identically (including NaN/infinity/denormal payload bits), the
-//! v1 encoding is byte-for-byte the legacy layout, and arbitrary
-//! garbage never panics the parser.
+//! v1 encoding is byte-for-byte the legacy layout, arbitrary garbage
+//! never panics the parser, and the incremental [`FrameAccum`] decoder
+//! recovers exactly the frames the blocking reader sees no matter how
+//! the byte stream is sliced.
 
 use proptest::prelude::*;
 
 use resipe_nn::tensor::Tensor;
 use resipe_serve::protocol::{
-    encode_request, encode_tensor, parse_request, Request, Verb, MAX_MODEL_NAME, PROTOCOL_V1,
-    PROTOCOL_V2,
+    encode_request, encode_tensor, parse_request, read_frame, write_request, write_response,
+    FrameAccum, Request, Status, Verb, MAX_MODEL_NAME, PROTOCOL_V1, PROTOCOL_V2,
 };
 
 const V1_VERBS: [Verb; 4] = [Verb::Infer, Verb::InferBatch, Verb::Ping, Verb::Stats];
@@ -45,6 +47,58 @@ fn model_name(len: usize, seed: u64) -> String {
             CHARSET[(state >> 33) as usize % CHARSET.len()] as char
         })
         .collect()
+}
+
+const STATUSES: [Status; 8] = [
+    Status::Ok,
+    Status::Busy,
+    Status::Expired,
+    Status::BadRequest,
+    Status::ShuttingDown,
+    Status::EngineError,
+    Status::Malformed,
+    Status::NoSuchModel,
+];
+
+/// Feeds `stream` to a fresh [`FrameAccum`] sliced into the given
+/// chunk sizes (cycled; sizes are clamped to at least one byte) and
+/// returns the complete frames it produced.
+fn accum_frames(stream: &[u8], chunk_sizes: &[usize]) -> Vec<Vec<u8>> {
+    let mut accum = FrameAccum::new();
+    let mut frames = Vec::new();
+    let mut offset = 0usize;
+    let mut chunk_idx = 0usize;
+    while offset < stream.len() {
+        let size = chunk_sizes
+            .get(chunk_idx % chunk_sizes.len().max(1))
+            .copied()
+            .unwrap_or(1)
+            .max(1)
+            .min(stream.len() - offset);
+        chunk_idx += 1;
+        let mut chunk = &stream[offset..offset + size];
+        offset += size;
+        // A single chunk may complete several frames; drain it fully.
+        while !chunk.is_empty() {
+            let (used, frame) = accum.feed(chunk).unwrap();
+            chunk = &chunk[used..];
+            if let Some(frame) = frame {
+                frames.push(frame);
+            }
+        }
+    }
+    assert!(!accum.mid_frame(), "stream must end at a frame boundary");
+    frames
+}
+
+/// The same stream read by the blocking frame reader, as the oracle.
+fn blocking_frames(stream: &[u8]) -> Vec<Vec<u8>> {
+    let mut cursor = std::io::Cursor::new(stream);
+    let mut frames = Vec::new();
+    while let Some(frame) = read_frame(&mut cursor).unwrap() {
+        frames.push(frame);
+    }
+    frames
 }
 
 fn assert_tensor_bits(a: &Option<Tensor>, b: &Option<Tensor>) {
@@ -161,5 +215,82 @@ proptest! {
         let name = "m".repeat(MAX_MODEL_NAME + extra);
         let req = Request::v2(Verb::Ping, 1, 0, &name, None);
         prop_assert!(encode_request(&req).is_err());
+    }
+
+    /// A stream of mixed v1/v2 request frames fed to [`FrameAccum`]
+    /// one byte at a time AND in random-sized chunks yields exactly the
+    /// frames the blocking reader sees, and each parses to the original
+    /// request bit-identically.
+    #[test]
+    fn frame_accum_recovers_request_streams_under_any_slicing(
+        specs in proptest::collection::vec(
+            ((0usize..4, any::<u64>(), any::<u32>(), 0usize..20, any::<u64>()),
+             (1usize..3, 1usize..4,
+              proptest::collection::vec(any::<u32>(), 0..32),
+              any::<bool>(), any::<bool>())),
+            1..6,
+        ),
+        chunk_sizes in proptest::collection::vec(1usize..64, 1..16),
+    ) {
+        let mut stream = Vec::new();
+        let mut originals = Vec::new();
+        for ((verb_sel, id, deadline_us, name_len, name_seed), (rank, dim, bits, has_tensor, v2))
+            in &specs
+        {
+            let verb = V1_VERBS[*verb_sel];
+            let tensor = (verb.carries_tensor() && *has_tensor)
+                .then(|| tensor_from(*rank, *dim, bits));
+            let req = if *v2 {
+                Request::v2(verb, *id, *deadline_us, &model_name(*name_len, *name_seed), tensor)
+            } else {
+                Request::v1(verb, *id, *deadline_us, tensor)
+            };
+            write_request(&mut stream, &req).unwrap();
+            originals.push(req);
+        }
+
+        let golden = blocking_frames(&stream);
+        prop_assert_eq!(golden.len(), originals.len());
+        for (chunks, label) in [(&chunk_sizes[..], "random chunks"), (&[1usize][..], "byte at a time")] {
+            let frames = accum_frames(&stream, chunks);
+            prop_assert_eq!(&frames, &golden, "frame bytes diverged ({})", label);
+            for (frame, original) in frames.iter().zip(&originals) {
+                let back = parse_request(frame).unwrap();
+                prop_assert_eq!(back.version, original.version);
+                prop_assert_eq!(back.verb, original.verb);
+                prop_assert_eq!(back.id, original.id);
+                prop_assert_eq!(back.deadline_us, original.deadline_us);
+                prop_assert_eq!(&back.model, &original.model);
+                prop_assert_eq!(back.replica_hint, original.replica_hint);
+                assert_tensor_bits(&back.tensor, &original.tensor);
+            }
+        }
+    }
+
+    /// A stream of mixed v1/v2 *response* frames — every status code,
+    /// arbitrary bodies — fed to [`FrameAccum`] under arbitrary slicing
+    /// yields byte-identical frames to the blocking reader.
+    #[test]
+    fn frame_accum_recovers_reply_streams_under_any_slicing(
+        specs in proptest::collection::vec(
+            (0usize..8, any::<u64>(),
+             proptest::collection::vec(any::<u8>(), 0..200),
+             any::<bool>()),
+            1..8,
+        ),
+        chunk_sizes in proptest::collection::vec(1usize..48, 1..16),
+    ) {
+        let mut stream = Vec::new();
+        for (status_sel, id, body, v2) in &specs {
+            let version = if *v2 { PROTOCOL_V2 } else { PROTOCOL_V1 };
+            write_response(&mut stream, version, STATUSES[*status_sel], *id, body).unwrap();
+        }
+
+        let golden = blocking_frames(&stream);
+        prop_assert_eq!(golden.len(), specs.len());
+        for chunks in [&chunk_sizes[..], &[1usize][..]] {
+            let frames = accum_frames(&stream, chunks);
+            prop_assert_eq!(&frames, &golden, "reply frame bytes diverged");
+        }
     }
 }

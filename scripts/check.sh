@@ -23,6 +23,13 @@
 # and the v1 wire-compatibility bit (hand-rolled legacy frames answered
 # bit-identically by the v2 server).
 #
+# With --conn-smoke, additionally runs the serving bench's
+# many-connection overload scenario and gates on its *structural* facts
+# (the timing on `host_parallelism: 1` CI hosts is not meaningful):
+# 256 simultaneous connections served by the configured 2 event-loop
+# threads, zero lost or duplicated replies, bit-identical outputs, and
+# a p99-under-overload figure recorded in BENCH_serve.json.
+#
 # With --circuit-smoke, additionally runs the whole-tile circuit
 # validation campaign in smoke mode and schema-checks BENCH_circuit.json.
 # The bench hard-fails if the netlist drifts out of engine tolerance, a
@@ -36,14 +43,16 @@ cd "$(dirname "$0")/.."
 perf_smoke=0
 backends_smoke=0
 serve_smoke=0
+conn_smoke=0
 circuit_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --perf-smoke) perf_smoke=1 ;;
         --backends-smoke) backends_smoke=1 ;;
         --serve-smoke) serve_smoke=1 ;;
+        --conn-smoke) conn_smoke=1 ;;
         --circuit-smoke) circuit_smoke=1 ;;
-        *) echo "check: unknown argument '$arg' (supported: --perf-smoke, --backends-smoke, --serve-smoke, --circuit-smoke)" >&2; exit 2 ;;
+        *) echo "check: unknown argument '$arg' (supported: --perf-smoke, --backends-smoke, --serve-smoke, --conn-smoke, --circuit-smoke)" >&2; exit 2 ;;
     esac
 done
 
@@ -178,6 +187,34 @@ if [[ "$serve_smoke" -eq 1 ]]; then
         fi
     done
     rm -f "$registry_out"
+fi
+
+if [[ "$conn_smoke" -eq 1 ]]; then
+    echo "==> serve_bench --smoke (many-connection overload gate)"
+    conn_out="$(mktemp)"
+    cargo run --release -q -p resipe-bench --bin serve_bench -- --smoke \
+        --out "$conn_out" >/dev/null
+    for key in many_connections connections requests_per_connection event_threads \
+        conns_peak lost duplicated evicted_slow; do
+        if ! grep -q "\"$key\"" "$conn_out"; then
+            echo "check: BENCH_serve.json overload schema drift — missing \"$key\"" >&2
+            rm -f "$conn_out"
+            exit 1
+        fi
+    done
+    # Structural gates only — the CI host's timing is not meaningful,
+    # but N connections on K threads, zero lost/duplicated replies, and
+    # bit identity are facts. (serve_bench itself also asserts
+    # conns_peak >= connections and a recorded p99.)
+    for gate in '"connections": 256' '"event_threads": 2' '"lost": 0' \
+        '"duplicated": 0' '"bit_identical": true' '"lossless": true'; do
+        if ! grep -q "$gate" "$conn_out"; then
+            echo "check: serve_bench overload gate failed ($gate)" >&2
+            rm -f "$conn_out"
+            exit 1
+        fi
+    done
+    rm -f "$conn_out"
 fi
 
 if [[ "$backends_smoke" -eq 1 ]]; then

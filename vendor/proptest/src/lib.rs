@@ -131,6 +131,15 @@ mod tests {
         }
 
         #[test]
+        fn tuples_sample_elementwise(
+            pair in (0u64..10, any::<bool>()),
+            nested in crate::collection::vec((0usize..4, 0u8..=255), 1..5),
+        ) {
+            prop_assert!(pair.0 < 10);
+            prop_assert!(nested.iter().all(|(a, _)| *a < 4));
+        }
+
+        #[test]
         fn vec_strategy_lengths(
             fixed in crate::collection::vec(0.0..1.0f64, 5),
             ranged in crate::collection::vec(0u64..100, 2..8),

@@ -42,6 +42,31 @@ range_strategy!(i32);
 range_strategy!(i64);
 range_strategy!(isize);
 
+// Tuples of strategies sample element-wise, mirroring upstream
+// proptest (which supports up to arity 10).
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
 /// Always yields a clone of its value.
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone>(pub T);
@@ -67,6 +92,12 @@ impl Arbitrary for bool {
 
 impl Arbitrary for u64 {
     fn arbitrary(rng: &mut StdRng) -> u64 {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut StdRng) -> u8 {
         rng.gen()
     }
 }

@@ -22,6 +22,12 @@ impl StandardSample for f32 {
     }
 }
 
+impl StandardSample for u8 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u8 {
+        rng.next_u32() as u8
+    }
+}
+
 impl StandardSample for u64 {
     fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
         rng.next_u64()
